@@ -1,0 +1,58 @@
+//! Criterion benches for the blocking layer (supports E2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minoan_blocking::{builders, filter, purge, CanopyConfig, ErMode, LshConfig, Method};
+use minoan_datagen::{generate, profiles};
+use std::hint::black_box;
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocking");
+    group.sample_size(10);
+    for &n in &[200usize, 500] {
+        let world = generate(&profiles::center_dense(n, 7));
+        group.bench_with_input(BenchmarkId::new("token", n), &world, |b, w| {
+            b.iter(|| black_box(builders::token_blocking(&w.dataset, ErMode::CleanClean)));
+        });
+        group.bench_with_input(BenchmarkId::new("token+uri", n), &world, |b, w| {
+            b.iter(|| black_box(builders::token_and_uri_blocking(&w.dataset, ErMode::CleanClean)));
+        });
+        group.bench_with_input(BenchmarkId::new("attr-clustering", n), &world, |b, w| {
+            b.iter(|| {
+                black_box(builders::attribute_clustering_blocking(
+                    &w.dataset,
+                    ErMode::CleanClean,
+                    0.2,
+                ))
+            });
+        });
+        let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+        group.bench_with_input(BenchmarkId::new("purge+filter", n), &blocks, |b, blocks| {
+            b.iter(|| black_box(filter::filter(&purge::purge(blocks).collection)));
+        });
+    }
+    group.finish();
+}
+
+/// The advanced blocker families (supports E9).
+fn bench_blocker_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocking-families");
+    group.sample_size(10);
+    let world = generate(&profiles::center_dense(300, 7));
+    let methods: Vec<(&str, Method)> = vec![
+        ("qgrams3", Method::QGrams(3)),
+        ("ext-qgrams", Method::ExtendedQGrams(3, 0.8)),
+        ("snm6", Method::SortedNeighborhood(6)),
+        ("adaptive-snm", Method::AdaptiveSortedNeighborhood(4, 32)),
+        ("minhash-lsh", Method::MinHashLsh(LshConfig::default())),
+        ("canopy", Method::Canopy(CanopyConfig::default())),
+    ];
+    for (name, method) in methods {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(method.run(&world.dataset, ErMode::CleanClean)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocking, bench_blocker_families);
+criterion_main!(benches);

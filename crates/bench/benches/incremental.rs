@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the incremental resolver: per-arrival
+//! cost across arrival orders (E11's latency companion).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use minoan_datagen::{generate, profiles, ArrivalOrder};
+use minoan_er::{IncrementalConfig, IncrementalResolver, Matcher, MatcherConfig};
+
+fn bench_arrivals(c: &mut Criterion) {
+    let world = generate(&profiles::center_dense(300, 42));
+    let matcher = Matcher::new(&world.dataset, MatcherConfig::default());
+    for order in [ArrivalOrder::Shuffled { seed: 7 }, ArrivalOrder::KbSequential] {
+        let stream = order.order(&world.dataset, &world.truth);
+        c.bench_function(&format!("incremental/full stream ({})", order.name()), |b| {
+            b.iter_batched(
+                || {
+                    IncrementalResolver::new(
+                        &world.dataset,
+                        &matcher,
+                        IncrementalConfig::default(),
+                    )
+                },
+                |mut resolver| {
+                    resolver.arrive_all(stream.iter().copied());
+                    resolver.comparisons()
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_composite_rules(c: &mut Criterion) {
+    use minoan_blocking::ErMode;
+    use minoan_er::{CompositeConfig, CompositeResolver};
+    let world = generate(&profiles::center_dense(300, 42));
+    let pairs = minoan_bench::candidate_pairs_public(&world, ErMode::CleanClean);
+    let matcher = Matcher::new(&world.dataset, MatcherConfig::default());
+    c.bench_function("rules/composite resolver 300 entities", |b| {
+        b.iter(|| {
+            CompositeResolver::new(&world.dataset, &matcher, CompositeConfig::default())
+                .run(&pairs)
+                .matches
+                .len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_arrivals, bench_composite_rules);
+criterion_main!(benches);

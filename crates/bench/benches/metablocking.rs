@@ -1,0 +1,44 @@
+//! Criterion benches for meta-blocking (supports E3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minoan_blocking::{builders, filter, purge, ErMode};
+use minoan_datagen::{generate, profiles};
+use minoan_metablocking::{prune, BlockingGraph, WeightingScheme};
+use std::hint::black_box;
+
+fn bench_metablocking(c: &mut Criterion) {
+    let world = generate(&profiles::center_dense(400, 11));
+    let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    let cleaned = filter::filter(&purge::purge(&blocks).collection);
+
+    let mut group = c.benchmark_group("metablocking");
+    group.sample_size(10);
+    group.bench_function("graph-build", |b| {
+        b.iter(|| black_box(BlockingGraph::build(&cleaned)));
+    });
+
+    let graph = BlockingGraph::build(&cleaned);
+    for scheme in WeightingScheme::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("weights", scheme.name()),
+            &scheme,
+            |b, &s| b.iter(|| black_box(s.all_weights(&graph))),
+        );
+    }
+    group.bench_function("wep/arcs", |b| {
+        b.iter(|| black_box(prune::wep(&graph, WeightingScheme::Arcs)));
+    });
+    group.bench_function("wnp/arcs", |b| {
+        b.iter(|| black_box(prune::wnp(&graph, WeightingScheme::Arcs, false)));
+    });
+    group.bench_function("cnp/js", |b| {
+        b.iter(|| black_box(prune::cnp(&graph, WeightingScheme::Js, false, None)));
+    });
+    group.bench_function("cep/ecbs", |b| {
+        b.iter(|| black_box(prune::cep(&graph, WeightingScheme::Ecbs, None)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metablocking);
+criterion_main!(benches);

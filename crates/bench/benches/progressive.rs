@@ -1,0 +1,62 @@
+//! Criterion benches for the progressive engine (supports E4/E5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use minoan_blocking::{builders, filter, purge, ErMode};
+use minoan_datagen::{generate, profiles};
+use minoan_er::{
+    BenefitModel, Matcher, MatcherConfig, Pipeline, PipelineConfig, ProgressiveResolver,
+    ResolverConfig, Strategy,
+};
+use minoan_metablocking::{prune, BlockingGraph, WeightingScheme};
+use minoan_rdf::EntityId;
+use std::hint::black_box;
+
+fn candidates(world: &minoan_datagen::GeneratedWorld) -> Vec<(EntityId, EntityId, f64)> {
+    let blocks = builders::token_and_uri_blocking(&world.dataset, ErMode::CleanClean);
+    let cleaned = filter::filter(&purge::purge(&blocks).collection);
+    let graph = BlockingGraph::build(&cleaned);
+    prune::wnp(&graph, WeightingScheme::Arcs, false)
+        .pairs
+        .into_iter()
+        .map(|p| (p.a, p.b, p.weight))
+        .collect()
+}
+
+fn bench_progressive(c: &mut Criterion) {
+    let world = generate(&profiles::center_dense(300, 3));
+    let pairs = candidates(&world);
+    let mut group = c.benchmark_group("progressive");
+    group.sample_size(10);
+
+    group.bench_function("matcher-build", |b| {
+        b.iter(|| black_box(Matcher::new(&world.dataset, MatcherConfig::default())));
+    });
+
+    let strategies = [
+        ("batch", Strategy::Batch),
+        ("static", Strategy::StaticBestFirst),
+        ("progressive/pq", Strategy::Progressive(BenefitModel::PairQuantity)),
+        ("progressive/rel", Strategy::Progressive(BenefitModel::RelationshipCompleteness)),
+    ];
+    for (label, strategy) in strategies {
+        group.bench_with_input(BenchmarkId::new("resolve", label), &strategy, |b, &s| {
+            b.iter(|| {
+                let matcher = Matcher::new(&world.dataset, MatcherConfig::default());
+                let resolver = ProgressiveResolver::new(
+                    &world.dataset,
+                    matcher,
+                    ResolverConfig { strategy: s, ..Default::default() },
+                );
+                black_box(resolver.run(&pairs))
+            });
+        });
+    }
+
+    group.bench_function("full-pipeline", |b| {
+        b.iter(|| black_box(Pipeline::new(PipelineConfig::default()).run(&world.dataset)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_progressive);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches for the similarity measures (matcher hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use minoan_similarity::{
+    jaro_winkler, levenshtein, qgram_similarity, token, TfIdfWeights,
+};
+use std::hint::black_box;
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    group.sample_size(20);
+
+    // Token sets the size a description produces (~25 tokens).
+    let a: Vec<u32> = (0..25).map(|i| i * 3).collect();
+    let b: Vec<u32> = (0..25).map(|i| i * 4).collect();
+    group.bench_function("jaccard/25", |bch| {
+        bch.iter(|| black_box(token::jaccard(&a, &b)));
+    });
+    group.bench_function("weighted-jaccard/25", |bch| {
+        bch.iter(|| black_box(token::weighted_jaccard(&a, &b, |t| 1.0 / (t + 1) as f64)));
+    });
+    let idf = TfIdfWeights::build(200, (0..100).map(|i| vec![i, i % 50, i % 25]));
+    group.bench_function("tfidf-cosine/25", |bch| {
+        bch.iter(|| black_box(idf.cosine(&a, &b)));
+    });
+
+    let s1 = "mikis theodorakis composer";
+    let s2 = "m theodorakis greek composer";
+    group.bench_function("levenshtein/26", |bch| {
+        bch.iter(|| black_box(levenshtein(s1, s2)));
+    });
+    group.bench_function("jaro-winkler/26", |bch| {
+        bch.iter(|| black_box(jaro_winkler(s1, s2)));
+    });
+    group.bench_function("bigram/26", |bch| {
+        bch.iter(|| black_box(qgram_similarity(s1, s2, 2)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

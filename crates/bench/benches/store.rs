@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks of the triple-store substrate: bulk load +
+//! freeze, pattern scans, snapshot encode/decode.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use minoan_datagen::{generate, profiles};
+use minoan_rdf::KbId;
+use minoan_store::{FrozenStore, TripleStore};
+
+fn build_store(scale: usize) -> FrozenStore {
+    let world = generate(&profiles::center_dense(scale, 42));
+    let mut store = TripleStore::new();
+    for kb in 0..world.dataset.kb_count() {
+        let id = KbId(kb as u16);
+        let doc = world.dataset.to_ntriples(id);
+        store.load_ntriples(&world.dataset.kb(id).name, &doc).expect("generated N-Triples");
+    }
+    store.freeze()
+}
+
+fn bench_load_freeze(c: &mut Criterion) {
+    let world = generate(&profiles::center_dense(300, 42));
+    let docs: Vec<(String, String)> = (0..world.dataset.kb_count())
+        .map(|kb| {
+            let id = KbId(kb as u16);
+            (world.dataset.kb(id).name.to_string(), world.dataset.to_ntriples(id))
+        })
+        .collect();
+    c.bench_function("store/load+freeze 300 entities", |b| {
+        b.iter_batched(
+            TripleStore::new,
+            |mut store| {
+                for (name, doc) in &docs {
+                    store.load_ntriples(name, doc).unwrap();
+                }
+                store.freeze()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_pattern_scans(c: &mut Criterion) {
+    let store = build_store(300);
+    let predicates: Vec<_> = store
+        .stats()
+        .predicate_histogram
+        .iter()
+        .map(|&(p, _)| p)
+        .take(8)
+        .collect();
+    c.bench_function("store/predicate scans (POS)", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for &p in &predicates {
+                n += store.match_pattern(None, Some(p), None).count();
+            }
+            n
+        })
+    });
+    let subjects = store.graph_subjects(minoan_store::GraphId(0));
+    c.bench_function("store/subject scans (SPO)", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for &s in subjects.iter().take(200) {
+                n += store.match_pattern(Some(s), None, None).count();
+            }
+            n
+        })
+    });
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let store = build_store(300);
+    c.bench_function("store/snapshot encode", |b| b.iter(|| store.to_snapshot()));
+    let bytes = store.to_snapshot();
+    c.bench_function("store/snapshot decode", |b| {
+        b.iter(|| FrozenStore::from_snapshot(&bytes).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_load_freeze, bench_pattern_scans, bench_snapshot);
+criterion_main!(benches);

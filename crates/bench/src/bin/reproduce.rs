@@ -1,0 +1,65 @@
+//! Regenerates every experiment table and figure from EXPERIMENTS.md.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p minoan-bench --bin reproduce [exp2|...|exp13|all] [--scale N] [--seed S]
+//! ```
+
+use minoan_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut which = "all".to_string();
+    let mut scale = experiments::DEFAULT_SCALE;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a positive integer"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            other if other.starts_with("exp") || other == "all" => which = other.to_string(),
+            other => die(&format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+
+    let report = match which.as_str() {
+        "exp2" => experiments::exp2_blocking(scale, seed),
+        "exp3" => experiments::exp3_metablocking(scale, seed),
+        "exp4" => experiments::exp4_progressive_recall(scale, seed),
+        "exp5" => experiments::exp5_quality_dimensions(scale, seed),
+        "exp6" => experiments::exp6_periphery(scale, seed),
+        "exp7" => experiments::exp7_scalability(scale, seed),
+        "exp8" => experiments::exp8_ablations(scale, seed),
+        "exp9" => minoan_bench::experiments2::exp9_blocking_methods(scale, seed),
+        "exp10" => minoan_bench::experiments2::exp10_metablocking_extensions(scale, seed),
+        "exp11" => minoan_bench::experiments2::exp11_incremental(scale, seed),
+        "exp12" => minoan_bench::experiments2::exp12_oracle_bounds(scale, seed),
+        "exp13" => minoan_bench::experiments2::exp13_composite_rules(scale, seed),
+        "exp14" => minoan_bench::experiments2::exp14_clustering(scale, seed),
+        "exp15" => minoan_bench::experiments2::exp15_fault_tolerance(scale, seed),
+        "exp16" => minoan_bench::experiments2::exp16_variance(scale, seed),
+        "exp17" => minoan_bench::experiments2::exp17_corruption(scale, seed),
+        "all" => experiments::run_all(scale, seed),
+        other => die(&format!("unknown experiment: {other}")),
+    };
+    println!("{report}");
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("reproduce: {msg}");
+    eprintln!("usage: reproduce [exp2..exp8|all] [--scale N] [--seed S]");
+    std::process::exit(2);
+}

@@ -1,0 +1,11 @@
+//! Experiment harness for the MinoanER reproduction.
+//!
+//! Each `expN` function regenerates one experiment from EXPERIMENTS.md and
+//! returns its report as plain text; the `reproduce` binary prints them.
+//! Criterion micro-benchmarks live in `benches/`.
+
+pub mod experiments;
+pub mod experiments2;
+
+pub use experiments::*;
+pub use experiments2::*;

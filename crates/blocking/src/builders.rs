@@ -1,0 +1,261 @@
+//! Blocking-key extractors.
+//!
+//! All builders are schema-agnostic per the paper: keys are tokens of
+//! attribute values and URIs, with no assumptions about the schema.
+
+use crate::collection::{BlockCollection, ErMode};
+use minoan_common::{FxHashMap, FxHashSet, UnionFind};
+use minoan_rdf::tokenize;
+use minoan_rdf::{Dataset, EntityId, Value};
+
+/// Token blocking: one block per distinct token appearing in any attribute
+/// value (literal tokens + resource-URI infix tokens) of a description.
+pub fn token_blocking(dataset: &Dataset, mode: ErMode) -> BlockCollection {
+    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for e in dataset.entities() {
+        let mut tokens: Vec<String> = dataset.blocking_tokens(e);
+        tokens.sort_unstable();
+        tokens.dedup();
+        for t in tokens {
+            groups.entry(t).or_default().push(e);
+        }
+    }
+    BlockCollection::from_groups(dataset, mode, groups)
+}
+
+/// Prefix-Infix(-Suffix) URI blocking: one block per token of the subject
+/// URI's *infix* — naming evidence independent of attribute values.
+pub fn uri_infix_blocking(dataset: &Dataset, mode: ErMode) -> BlockCollection {
+    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for e in dataset.entities() {
+        let mut tokens = tokenize::uri_infix_tokens(dataset.uri(e));
+        tokens.sort_unstable();
+        tokens.dedup();
+        for t in tokens {
+            groups.entry(format!("uri:{t}")).or_default().push(e);
+        }
+    }
+    BlockCollection::from_groups(dataset, mode, groups)
+}
+
+/// Token blocking ∪ URI-infix blocking — the paper's "common token in their
+/// descriptions *or URIs*" criterion in one collection. Key spaces are kept
+/// disjoint by the `uri:` prefix.
+pub fn token_and_uri_blocking(dataset: &Dataset, mode: ErMode) -> BlockCollection {
+    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for e in dataset.entities() {
+        let mut tokens: Vec<String> = dataset.blocking_tokens(e);
+        tokens.sort_unstable();
+        tokens.dedup();
+        for t in tokens {
+            groups.entry(t).or_default().push(e);
+        }
+        let mut utoks = tokenize::uri_infix_tokens(dataset.uri(e));
+        utoks.sort_unstable();
+        utoks.dedup();
+        for t in utoks {
+            groups.entry(format!("uri:{t}")).or_default().push(e);
+        }
+    }
+    BlockCollection::from_groups(dataset, mode, groups)
+}
+
+/// Attribute-clustering blocking (Papadakis et al. style): attribute names
+/// are clustered across KBs by the similarity of their aggregate value
+/// token sets; token keys are then qualified by cluster id, so the same
+/// token in *unrelated* attributes no longer collides.
+///
+/// `link_threshold` is the minimum token-Jaccard between two attributes'
+/// value vocabularies for them to be linked (clusters = connected
+/// components of best-match links). Attributes that match nothing form
+/// singleton clusters; a shared "glue" cluster is NOT used — unmatched
+/// attributes keep their own key space, which is what prunes the false
+/// conflicts.
+pub fn attribute_clustering_blocking(
+    dataset: &Dataset,
+    mode: ErMode,
+    link_threshold: f64,
+) -> BlockCollection {
+    // 1. Aggregate value-token vocabulary per (kb, attribute symbol).
+    //    Attribute identity must be KB-scoped: the same predicate IRI in two
+    //    KBs is still clustered (its token sets will be near-identical).
+    let mut vocab: FxHashMap<(u16, u32), FxHashSet<String>> = FxHashMap::default();
+    for e in dataset.entities() {
+        let kb = dataset.kb_of(e).0;
+        let d = dataset.description(e);
+        for (p, v) in &d.attributes {
+            let toks = match v {
+                Value::Literal(s) => tokenize::value_tokens(s).collect::<Vec<_>>(),
+                Value::Resource(u) => tokenize::uri_infix_tokens(u),
+            };
+            let entry = vocab.entry((kb, p.0)).or_default();
+            for t in toks {
+                entry.insert(t);
+            }
+        }
+    }
+    let mut attrs: Vec<((u16, u32), FxHashSet<String>)> = vocab.into_iter().collect();
+    attrs.sort_unstable_by_key(|(k, _)| *k);
+
+    // 2. Best-match links across KBs, kept when above the threshold.
+    let n = attrs.len();
+    let mut uf = UnionFind::new(n);
+    for i in 0..n {
+        let mut best: Option<(usize, f64)> = None;
+        for j in 0..n {
+            if attrs[i].0 .0 == attrs[j].0 .0 {
+                continue; // same KB
+            }
+            let sim = set_jaccard(&attrs[i].1, &attrs[j].1);
+            if sim >= link_threshold && best.map(|(_, s)| sim > s).unwrap_or(true) {
+                best = Some((j, sim));
+            }
+        }
+        if let Some((j, _)) = best {
+            uf.union(i as u32, j as u32);
+        }
+    }
+    let cluster_of: FxHashMap<(u16, u32), u32> = attrs
+        .iter()
+        .enumerate()
+        .map(|(i, (key, _))| (*key, uf.find(i as u32)))
+        .collect();
+
+    // 3. Cluster-qualified token keys.
+    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for e in dataset.entities() {
+        let kb = dataset.kb_of(e).0;
+        let d = dataset.description(e);
+        let mut keys: Vec<String> = Vec::new();
+        for (p, v) in &d.attributes {
+            let Some(&cluster) = cluster_of.get(&(kb, p.0)) else { continue };
+            let toks = match v {
+                Value::Literal(s) => tokenize::value_tokens(s).collect::<Vec<_>>(),
+                Value::Resource(u) => tokenize::uri_infix_tokens(u),
+            };
+            for t in toks {
+                keys.push(format!("c{cluster}:{t}"));
+            }
+        }
+        keys.sort_unstable();
+        keys.dedup();
+        for k in keys {
+            groups.entry(k).or_default().push(e);
+        }
+    }
+    BlockCollection::from_groups(dataset, mode, groups)
+}
+
+fn set_jaccard(a: &FxHashSet<String>, b: &FxHashSet<String>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    let union = a.len() + b.len() - inter;
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_datagen::{generate, profiles};
+    use minoan_rdf::DatasetBuilder;
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/r/");
+        let k1 = b.add_kb("b", "http://b/r/");
+        b.add_literal(k0, "http://a/r/Knossos_Palace", "http://a/o/label", "Knossos palace Crete");
+        b.add_literal(k0, "http://a/r/Athens", "http://a/o/label", "Athens Greece");
+        b.add_literal(k1, "http://b/r/Knossos", "http://b/o/name", "Knossos ruins Crete");
+        b.add_literal(k1, "http://b/r/Sparta", "http://b/o/name", "Sparta Greece");
+        b.build()
+    }
+
+    #[test]
+    fn token_blocking_groups_by_common_tokens() {
+        let ds = toy();
+        let c = token_blocking(&ds, ErMode::CleanClean);
+        let keys: Vec<&str> = (0..c.len()).map(|i| c.key_str(crate::BlockId(i as u32))).collect();
+        assert!(keys.contains(&"knossos"));
+        assert!(keys.contains(&"crete"));
+        assert!(keys.contains(&"greece"));
+        // "palace" appears only in KB a → no cross-KB comparison → dropped.
+        assert!(!keys.contains(&"palace"));
+    }
+
+    #[test]
+    fn uri_blocking_uses_infixes_only() {
+        let ds = toy();
+        let c = uri_infix_blocking(&ds, ErMode::CleanClean);
+        let keys: Vec<&str> = (0..c.len()).map(|i| c.key_str(crate::BlockId(i as u32))).collect();
+        assert_eq!(keys, vec!["uri:knossos"]);
+    }
+
+    #[test]
+    fn combined_blocking_is_superset() {
+        let ds = toy();
+        let t = token_blocking(&ds, ErMode::CleanClean);
+        let u = uri_infix_blocking(&ds, ErMode::CleanClean);
+        let both = token_and_uri_blocking(&ds, ErMode::CleanClean);
+        assert_eq!(both.len(), t.len() + u.len());
+        assert!(both.distinct_pairs().len() >= t.distinct_pairs().len());
+    }
+
+    #[test]
+    fn token_blocking_finds_most_true_pairs_on_center_data() {
+        let g = generate(&profiles::center_dense(150, 21));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        let pairs: std::collections::HashSet<_> = c.distinct_pairs().into_iter().collect();
+        let found = g
+            .truth
+            .matching_pair_iter()
+            .filter(|&(a, b)| pairs.contains(&(a, b)))
+            .count() as u64;
+        let pc = found as f64 / g.truth.matching_pairs() as f64;
+        assert!(pc > 0.95, "token blocking PC on easy data should be ≈1, got {pc}");
+    }
+
+    #[test]
+    fn attribute_clustering_reduces_comparisons_vs_token_blocking() {
+        let g = generate(&profiles::center_dense(200, 5));
+        let tb = token_blocking(&g.dataset, ErMode::CleanClean);
+        let ac = attribute_clustering_blocking(&g.dataset, ErMode::CleanClean, 0.2);
+        assert!(
+            ac.total_comparisons() < tb.total_comparisons(),
+            "clustering {} should cut comparisons vs token {}",
+            ac.total_comparisons(),
+            tb.total_comparisons()
+        );
+        // ...while keeping decent recall.
+        let pairs: std::collections::HashSet<_> = ac.distinct_pairs().into_iter().collect();
+        let found = g
+            .truth
+            .matching_pair_iter()
+            .filter(|&(a, b)| pairs.contains(&(a, b)))
+            .count();
+        let pc = found as f64 / g.truth.matching_pairs() as f64;
+        assert!(pc > 0.8, "attribute clustering PC too low: {pc}");
+    }
+
+    #[test]
+    fn dirty_mode_blocks_within_one_kb() {
+        let g = generate(&profiles::dirty_single(80, 9));
+        let c = token_blocking(&g.dataset, ErMode::Dirty);
+        assert!(c.total_comparisons() > 0);
+        let pairs: std::collections::HashSet<_> = c.distinct_pairs().into_iter().collect();
+        let found = g
+            .truth
+            .matching_pair_iter()
+            .filter(|&(a, b)| pairs.contains(&(a, b)))
+            .count() as u64;
+        assert!(found as f64 / g.truth.matching_pairs() as f64 > 0.9);
+    }
+
+    #[test]
+    fn empty_dataset_produces_empty_collection() {
+        let ds = DatasetBuilder::new().build();
+        let c = token_blocking(&ds, ErMode::CleanClean);
+        assert!(c.is_empty());
+    }
+}

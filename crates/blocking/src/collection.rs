@@ -1,0 +1,401 @@
+//! The block collection data structure.
+
+use minoan_common::{FxHashMap, FxHashSet, Interner, Symbol};
+use minoan_rdf::{Dataset, EntityId};
+use std::fmt;
+
+/// Whether comparisons happen within one dirty source or only across clean
+/// sources.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErMode {
+    /// Dirty ER: any pair of distinct descriptions in a block is a
+    /// comparison.
+    Dirty,
+    /// Clean–clean (cross-KB) ER: only pairs from *different* KBs are
+    /// comparisons (each KB is internally duplicate-free).
+    CleanClean,
+}
+
+/// Dense id of a block within a [`BlockCollection`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// One block: a key and the entities that share it.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Interned block key (token, infix token, or cluster-qualified token).
+    pub key: Symbol,
+    /// Member entities, sorted ascending.
+    pub entities: Box<[EntityId]>,
+    /// Number of comparisons this block induces under the collection's
+    /// [`ErMode`].
+    pub comparisons: u64,
+}
+
+impl Block {
+    /// Number of member entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the block has no members (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+}
+
+/// A set of blocks plus the inverted per-entity view.
+///
+/// Invariants established at construction:
+/// * every block induces at least one comparison (singleton and
+///   single-KB-in-clean-mode blocks are dropped),
+/// * block member lists are sorted,
+/// * `entity_blocks(e)` lists, sorted by block id, exactly the blocks
+///   containing `e`.
+pub struct BlockCollection {
+    mode: ErMode,
+    blocks: Vec<Block>,
+    keys: Interner,
+    entity_blocks: Vec<Vec<BlockId>>,
+    kb_of: Vec<u16>,
+    total_comparisons: u64,
+}
+
+impl BlockCollection {
+    /// Builds a collection from raw `key → entities` groups.
+    ///
+    /// `dataset` supplies the KB partition (for clean–clean comparison
+    /// counting) and the entity-id universe.
+    pub fn from_groups(
+        dataset: &Dataset,
+        mode: ErMode,
+        groups: impl IntoIterator<Item = (String, Vec<EntityId>)>,
+    ) -> Self {
+        let kb_of: Vec<u16> = (0..dataset.len() as u32)
+            .map(|e| dataset.kb_of(EntityId(e)).0)
+            .collect();
+        let mut keys = Interner::new();
+        let mut blocks: Vec<Block> = Vec::new();
+        // Sort groups by key for full determinism independent of map order.
+        let mut groups: Vec<(String, Vec<EntityId>)> = groups.into_iter().collect();
+        groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        for (key, mut entities) in groups {
+            entities.sort_unstable();
+            entities.dedup();
+            let comparisons = block_comparisons(&entities, &kb_of, mode);
+            if comparisons == 0 {
+                continue;
+            }
+            let sym = keys.intern(&key);
+            blocks.push(Block { key: sym, entities: entities.into_boxed_slice(), comparisons });
+        }
+        Self::assemble(mode, blocks, keys, kb_of)
+    }
+
+    /// Rebuilds a collection from already-formed blocks (used by purging
+    /// and filtering). Blocks inducing no comparison are dropped.
+    pub(crate) fn rebuild(&self, blocks: Vec<(Symbol, Vec<EntityId>)>) -> Self {
+        let mut keys = Interner::new();
+        let mut out = Vec::with_capacity(blocks.len());
+        for (old_key, mut entities) in blocks {
+            entities.sort_unstable();
+            entities.dedup();
+            let comparisons = block_comparisons(&entities, &self.kb_of, self.mode);
+            if comparisons == 0 {
+                continue;
+            }
+            let sym = keys.intern(self.keys.resolve(old_key));
+            out.push(Block { key: sym, entities: entities.into_boxed_slice(), comparisons });
+        }
+        Self::assemble(self.mode, out, keys, self.kb_of.clone())
+    }
+
+    fn assemble(mode: ErMode, blocks: Vec<Block>, keys: Interner, kb_of: Vec<u16>) -> Self {
+        let mut entity_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); kb_of.len()];
+        let mut total = 0u64;
+        for (i, b) in blocks.iter().enumerate() {
+            total += b.comparisons;
+            for &e in b.entities.iter() {
+                entity_blocks[e.index()].push(BlockId(i as u32));
+            }
+        }
+        Self { mode, blocks, keys, entity_blocks, kb_of, total_comparisons: total }
+    }
+
+    /// ER mode the collection was built under.
+    pub fn mode(&self) -> ErMode {
+        self.mode
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether there are no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// The blocks, in key order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Block by id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Resolves a block key symbol to its string.
+    pub fn key_str(&self, b: BlockId) -> &str {
+        self.keys.resolve(self.blocks[b.index()].key)
+    }
+
+    /// Blocks containing entity `e`, sorted by block id.
+    pub fn entity_blocks(&self, e: EntityId) -> &[BlockId] {
+        &self.entity_blocks[e.index()]
+    }
+
+    /// Number of entities placed in at least one block.
+    pub fn placed_entities(&self) -> usize {
+        self.entity_blocks.iter().filter(|b| !b.is_empty()).count()
+    }
+
+    /// Σ over blocks of their member count (the "block assignments" BC).
+    pub fn total_assignments(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len() as u64).sum()
+    }
+
+    /// Σ over blocks of their comparisons (with repetitions across blocks).
+    pub fn total_comparisons(&self) -> u64 {
+        self.total_comparisons
+    }
+
+    /// KB id of entity `e` (cached copy of the dataset's partition).
+    pub fn kb_of(&self, e: EntityId) -> u16 {
+        self.kb_of[e.index()]
+    }
+
+    /// Number of entities in the underlying dataset.
+    pub fn num_entities(&self) -> usize {
+        self.kb_of.len()
+    }
+
+    /// Whether `a, b` is a valid comparison under the ER mode.
+    #[inline]
+    pub fn comparable(&self, a: EntityId, b: EntityId) -> bool {
+        a != b && (self.mode == ErMode::Dirty || self.kb_of[a.index()] != self.kb_of[b.index()])
+    }
+
+    /// All *distinct* comparable pairs across blocks, normalised `(a < b)`.
+    ///
+    /// This materialises the deduplicated comparison set — use only at
+    /// experiment scale (it is exactly what meta-blocking exists to avoid).
+    pub fn distinct_pairs(&self) -> Vec<(EntityId, EntityId)> {
+        let mut set: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
+        for b in &self.blocks {
+            for (i, &x) in b.entities.iter().enumerate() {
+                for &y in &b.entities[i + 1..] {
+                    if self.comparable(x, y) {
+                        set.insert((x.min(y), x.max(y)));
+                    }
+                }
+            }
+        }
+        let mut v: Vec<_> = set.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterates `(block, pair)` occurrences *with* repetitions — the raw
+    /// comparison stream meta-blocking analyses.
+    pub fn pair_occurrences(&self) -> impl Iterator<Item = (BlockId, EntityId, EntityId)> + '_ {
+        self.blocks.iter().enumerate().flat_map(move |(bi, b)| {
+            let id = BlockId(bi as u32);
+            b.entities.iter().enumerate().flat_map(move |(i, &x)| {
+                b.entities[i + 1..]
+                    .iter()
+                    .filter(move |&&y| self.comparable(x, y))
+                    .map(move |&y| (id, x.min(y), x.max(y)))
+            })
+        })
+    }
+
+    /// Distribution summary: (min, median, max) block sizes.
+    pub fn size_summary(&self) -> (usize, usize, usize) {
+        if self.blocks.is_empty() {
+            return (0, 0, 0);
+        }
+        let mut sizes: Vec<usize> = self.blocks.iter().map(|b| b.len()).collect();
+        sizes.sort_unstable();
+        (sizes[0], sizes[sizes.len() / 2], sizes[sizes.len() - 1])
+    }
+}
+
+impl fmt::Debug for BlockCollection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BlockCollection")
+            .field("mode", &self.mode)
+            .field("blocks", &self.blocks.len())
+            .field("comparisons", &self.total_comparisons)
+            .finish()
+    }
+}
+
+/// Comparisons a member list induces: all pairs (dirty) or cross-KB pairs
+/// only (clean–clean: C(n,2) − Σ_kb C(n_kb,2)).
+pub(crate) fn block_comparisons(entities: &[EntityId], kb_of: &[u16], mode: ErMode) -> u64 {
+    let n = entities.len() as u64;
+    let all = n * n.saturating_sub(1) / 2;
+    match mode {
+        ErMode::Dirty => all,
+        ErMode::CleanClean => {
+            let mut per_kb: FxHashMap<u16, u64> = FxHashMap::default();
+            for &e in entities {
+                *per_kb.entry(kb_of[e.index()]).or_insert(0) += 1;
+            }
+            let intra: u64 = per_kb.values().map(|&c| c * c.saturating_sub(1) / 2).sum();
+            all - intra
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_rdf::DatasetBuilder;
+
+    /// Two KBs with 3 + 2 entities.
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        for (kb, uri) in [
+            (k0, "http://a/0"),
+            (k0, "http://a/1"),
+            (k0, "http://a/2"),
+            (k1, "http://b/3"),
+            (k1, "http://b/4"),
+        ] {
+            b.add_literal(kb, uri, "http://p/label", "x");
+        }
+        b.build()
+    }
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn clean_clean_counts_cross_kb_only() {
+        let ds = dataset();
+        let groups = vec![("t".to_string(), vec![e(0), e(1), e(3)])];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        assert_eq!(c.len(), 1);
+        // Pairs: (0,1) intra, (0,3), (1,3) cross → 2 comparisons.
+        assert_eq!(c.total_comparisons(), 2);
+    }
+
+    #[test]
+    fn dirty_counts_all_pairs() {
+        let ds = dataset();
+        let groups = vec![("t".to_string(), vec![e(0), e(1), e(3)])];
+        let c = BlockCollection::from_groups(&ds, ErMode::Dirty, groups);
+        assert_eq!(c.total_comparisons(), 3);
+    }
+
+    #[test]
+    fn useless_blocks_are_dropped() {
+        let ds = dataset();
+        let groups = vec![
+            ("single".to_string(), vec![e(0)]),
+            ("intra_only".to_string(), vec![e(0), e(1)]),
+            ("good".to_string(), vec![e(0), e(3)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.key_str(BlockId(0)), "good");
+        // In dirty mode the intra pair survives.
+        let groups = vec![
+            ("single".to_string(), vec![e(0)]),
+            ("intra_only".to_string(), vec![e(0), e(1)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::Dirty, groups);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn entity_blocks_inverse_view() {
+        let ds = dataset();
+        let groups = vec![
+            ("k1".to_string(), vec![e(0), e(3)]),
+            ("k2".to_string(), vec![e(0), e(4)]),
+            ("k3".to_string(), vec![e(1), e(3)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        assert_eq!(c.entity_blocks(e(0)).len(), 2);
+        assert_eq!(c.entity_blocks(e(1)).len(), 1);
+        assert_eq!(c.entity_blocks(e(2)).len(), 0);
+        assert_eq!(c.placed_entities(), 4);
+        assert_eq!(c.total_assignments(), 6);
+    }
+
+    #[test]
+    fn duplicate_members_are_deduped() {
+        let ds = dataset();
+        let groups = vec![("t".to_string(), vec![e(0), e(0), e(3), e(3)])];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        assert_eq!(c.block(BlockId(0)).len(), 2);
+        assert_eq!(c.total_comparisons(), 1);
+    }
+
+    #[test]
+    fn distinct_pairs_dedup_across_blocks() {
+        let ds = dataset();
+        let groups = vec![
+            ("k1".to_string(), vec![e(0), e(3)]),
+            ("k2".to_string(), vec![e(0), e(3), e(4)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        // Occurrences: (0,3) twice, (0,4), (3,4) intra-b? 3 and 4 same KB → no.
+        assert_eq!(c.total_comparisons(), 3);
+        let pairs = c.distinct_pairs();
+        assert_eq!(pairs, vec![(e(0), e(3)), (e(0), e(4))]);
+        assert_eq!(c.pair_occurrences().count(), 3);
+    }
+
+    #[test]
+    fn groups_are_sorted_by_key() {
+        let ds = dataset();
+        let groups = vec![
+            ("zz".to_string(), vec![e(0), e(3)]),
+            ("aa".to_string(), vec![e(1), e(4)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        assert_eq!(c.key_str(BlockId(0)), "aa");
+        assert_eq!(c.key_str(BlockId(1)), "zz");
+    }
+
+    #[test]
+    fn size_summary_handles_empty() {
+        let ds = dataset();
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, Vec::<(String, Vec<EntityId>)>::new());
+        assert_eq!(c.size_summary(), (0, 0, 0));
+        assert!(c.is_empty());
+    }
+}

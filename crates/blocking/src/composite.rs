@@ -1,0 +1,298 @@
+//! Composite blocking workflows.
+//!
+//! Real ER deployments rarely run a single blocker: evidence from several
+//! key spaces is combined (union) or used to confirm each other
+//! (intersection), then purged and filtered. This module provides the
+//! combinators plus a declarative [`BlockingWorkflow`] builder used by the
+//! CLI and the experiment harness.
+
+use crate::builders;
+use crate::canopy::{canopy_blocking, CanopyConfig};
+use crate::collection::{BlockCollection, ErMode};
+use crate::filter;
+use crate::lsh::{minhash_lsh_blocking, LshConfig};
+use crate::purge;
+use crate::qgrams;
+use crate::sorted_neighborhood;
+use minoan_common::FxHashSet;
+use minoan_rdf::{Dataset, EntityId};
+
+/// Union of several block collections: all blocks of all inputs, with key
+/// spaces kept disjoint by an input-index prefix. The result's comparison
+/// stream is the concatenation — meta-blocking downstream handles the
+/// added redundancy (and benefits from it: co-occurrence across *methods*
+/// is extra match evidence).
+pub fn union(dataset: &Dataset, mode: ErMode, inputs: &[&BlockCollection]) -> BlockCollection {
+    let mut groups: Vec<(String, Vec<EntityId>)> = Vec::new();
+    for (i, c) in inputs.iter().enumerate() {
+        for (bi, b) in c.blocks().iter().enumerate() {
+            let key = format!("u{}:{}", i, c.key_str(crate::collection::BlockId(bi as u32)));
+            groups.push((key, b.entities.to_vec()));
+        }
+    }
+    BlockCollection::from_groups(dataset, mode, groups)
+}
+
+/// Distinct pairs proposed by **every** input — high-precision candidate
+/// confirmation (a pair survives only if all methods agree).
+pub fn pair_intersection(inputs: &[&BlockCollection]) -> Vec<(EntityId, EntityId)> {
+    let Some((first, rest)) = inputs.split_first() else {
+        return Vec::new();
+    };
+    let mut current: FxHashSet<(EntityId, EntityId)> = first.distinct_pairs().into_iter().collect();
+    for c in rest {
+        let next: FxHashSet<(EntityId, EntityId)> = c.distinct_pairs().into_iter().collect();
+        current.retain(|p| next.contains(p));
+    }
+    let mut v: Vec<_> = current.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// The blocking method a workflow step runs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Method {
+    /// Token blocking over values + resource URIs.
+    Token,
+    /// Prefix-Infix(-Suffix) URI blocking.
+    UriInfix,
+    /// Token ∪ URI blocking (the paper's default criterion).
+    TokenAndUri,
+    /// Attribute-clustering blocking with the given link threshold.
+    AttributeClustering(f64),
+    /// Character q-grams of the tokens.
+    QGrams(usize),
+    /// Extended q-grams: `(q, threshold)`.
+    ExtendedQGrams(usize, f64),
+    /// Fixed-window sorted neighborhood.
+    SortedNeighborhood(usize),
+    /// Adaptive sorted neighborhood: `(prefix_len, max_block)`.
+    AdaptiveSortedNeighborhood(usize, usize),
+    /// MinHash-LSH banding.
+    MinHashLsh(LshConfig),
+    /// Canopy clustering.
+    Canopy(CanopyConfig),
+}
+
+impl Method {
+    /// Runs the method.
+    pub fn run(&self, dataset: &Dataset, mode: ErMode) -> BlockCollection {
+        match *self {
+            Method::Token => builders::token_blocking(dataset, mode),
+            Method::UriInfix => builders::uri_infix_blocking(dataset, mode),
+            Method::TokenAndUri => builders::token_and_uri_blocking(dataset, mode),
+            Method::AttributeClustering(t) => {
+                builders::attribute_clustering_blocking(dataset, mode, t)
+            }
+            Method::QGrams(q) => qgrams::qgram_blocking(dataset, mode, q),
+            Method::ExtendedQGrams(q, t) => qgrams::extended_qgram_blocking(dataset, mode, q, t),
+            Method::SortedNeighborhood(w) => {
+                sorted_neighborhood::sorted_neighborhood(dataset, mode, w)
+            }
+            Method::AdaptiveSortedNeighborhood(p, m) => {
+                sorted_neighborhood::adaptive_sorted_neighborhood(dataset, mode, p, m)
+            }
+            Method::MinHashLsh(c) => minhash_lsh_blocking(dataset, mode, c),
+            Method::Canopy(c) => canopy_blocking(dataset, mode, c),
+        }
+    }
+
+    /// Stable name used in reports and the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Token => "token",
+            Method::UriInfix => "uri-infix",
+            Method::TokenAndUri => "token+uri",
+            Method::AttributeClustering(_) => "attribute-clustering",
+            Method::QGrams(_) => "qgrams",
+            Method::ExtendedQGrams(..) => "extended-qgrams",
+            Method::SortedNeighborhood(_) => "sorted-neighborhood",
+            Method::AdaptiveSortedNeighborhood(..) => "adaptive-sorted-neighborhood",
+            Method::MinHashLsh(_) => "minhash-lsh",
+            Method::Canopy(_) => "canopy",
+        }
+    }
+}
+
+/// Per-stage measurements of a workflow run.
+#[derive(Clone, Debug, Default)]
+pub struct WorkflowReport {
+    /// `(stage name, blocks, comparisons)` after each stage.
+    pub stages: Vec<(String, usize, u64)>,
+}
+
+impl WorkflowReport {
+    fn record(&mut self, stage: impl Into<String>, c: &BlockCollection) {
+        self.stages.push((stage.into(), c.len(), c.total_comparisons()));
+    }
+
+    /// Comparisons after the final stage.
+    pub fn final_comparisons(&self) -> u64 {
+        self.stages.last().map_or(0, |s| s.2)
+    }
+}
+
+/// Declarative blocking workflow: one or more methods (unioned), optional
+/// purging, optional filtering.
+#[derive(Clone, Debug)]
+pub struct BlockingWorkflow {
+    methods: Vec<Method>,
+    purge: bool,
+    filter_ratio: Option<f64>,
+}
+
+impl BlockingWorkflow {
+    /// Starts a workflow with one method.
+    pub fn new(method: Method) -> Self {
+        Self { methods: vec![method], purge: false, filter_ratio: None }
+    }
+
+    /// Adds a method; its blocks are unioned with the previous ones.
+    pub fn also(mut self, method: Method) -> Self {
+        self.methods.push(method);
+        self
+    }
+
+    /// Enables comparison-based block purging.
+    pub fn with_purging(mut self) -> Self {
+        self.purge = true;
+        self
+    }
+
+    /// Enables block filtering with the given retain ratio.
+    pub fn with_filtering(mut self, ratio: f64) -> Self {
+        self.filter_ratio = Some(ratio);
+        self
+    }
+
+    /// Runs the workflow, returning the final collection and the report.
+    pub fn run(&self, dataset: &Dataset, mode: ErMode) -> (BlockCollection, WorkflowReport) {
+        let mut report = WorkflowReport::default();
+        let mut current = if self.methods.len() == 1 {
+            let c = self.methods[0].run(dataset, mode);
+            report.record(self.methods[0].name(), &c);
+            c
+        } else {
+            let collections: Vec<BlockCollection> =
+                self.methods.iter().map(|m| m.run(dataset, mode)).collect();
+            for (m, c) in self.methods.iter().zip(&collections) {
+                report.record(m.name(), c);
+            }
+            let refs: Vec<&BlockCollection> = collections.iter().collect();
+            let u = union(dataset, mode, &refs);
+            report.record("union", &u);
+            u
+        };
+        if self.purge {
+            let outcome = purge::purge(&current);
+            current = outcome.collection;
+            report.record("purge", &current);
+        }
+        if let Some(r) = self.filter_ratio {
+            current = filter::filter_with(&current, r);
+            report.record("filter", &current);
+        }
+        (current, report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_datagen::{generate, profiles};
+    use minoan_rdf::DatasetBuilder;
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        b.add_literal(k0, "http://a/0", "http://p/d", "alpha beta");
+        b.add_literal(k1, "http://b/1", "http://p/d", "alpha gamma");
+        b.add_literal(k0, "http://a/2", "http://p/d", "beta gamma");
+        b.add_literal(k1, "http://b/3", "http://p/d", "delta epsilon");
+        b.build()
+    }
+
+    #[test]
+    fn union_preserves_all_pairs() {
+        let ds = dataset();
+        let tok = builders::token_blocking(&ds, ErMode::CleanClean);
+        let uri = builders::uri_infix_blocking(&ds, ErMode::CleanClean);
+        let u = union(&ds, ErMode::CleanClean, &[&tok, &uri]);
+        let union_pairs: FxHashSet<_> = u.distinct_pairs().into_iter().collect();
+        for p in tok.distinct_pairs() {
+            assert!(union_pairs.contains(&p));
+        }
+        for p in uri.distinct_pairs() {
+            assert!(union_pairs.contains(&p));
+        }
+    }
+
+    #[test]
+    fn intersection_is_subset_of_each_input() {
+        let ds = dataset();
+        let tok = builders::token_blocking(&ds, ErMode::CleanClean);
+        let q = qgrams::qgram_blocking(&ds, ErMode::CleanClean, 3);
+        let inter = pair_intersection(&[&tok, &q]);
+        let tok_pairs: FxHashSet<_> = tok.distinct_pairs().into_iter().collect();
+        let q_pairs: FxHashSet<_> = q.distinct_pairs().into_iter().collect();
+        for p in &inter {
+            assert!(tok_pairs.contains(p) && q_pairs.contains(p));
+        }
+    }
+
+    #[test]
+    fn intersection_of_nothing_is_empty() {
+        assert!(pair_intersection(&[]).is_empty());
+    }
+
+    #[test]
+    fn workflow_single_method_records_one_stage() {
+        let ds = dataset();
+        let (c, report) = BlockingWorkflow::new(Method::Token).run(&ds, ErMode::CleanClean);
+        assert_eq!(report.stages.len(), 1);
+        assert_eq!(report.final_comparisons(), c.total_comparisons());
+    }
+
+    #[test]
+    fn workflow_union_purge_filter_stages() {
+        let g = generate(&profiles::center_dense(120, 11));
+        let (c, report) = BlockingWorkflow::new(Method::Token)
+            .also(Method::UriInfix)
+            .with_purging()
+            .with_filtering(0.5)
+            .run(&g.dataset, ErMode::CleanClean);
+        // token, uri-infix, union, purge, filter.
+        assert_eq!(report.stages.len(), 5);
+        assert_eq!(report.stages[2].0, "union");
+        assert_eq!(report.stages[4].0, "filter");
+        // Each post-processing stage only reduces comparisons.
+        assert!(report.stages[3].2 <= report.stages[2].2);
+        assert!(report.stages[4].2 <= report.stages[3].2);
+        assert_eq!(c.total_comparisons(), report.final_comparisons());
+    }
+
+    #[test]
+    fn every_method_runs_on_generated_data() {
+        let g = generate(&profiles::center_dense(80, 3));
+        let methods = [
+            Method::Token,
+            Method::UriInfix,
+            Method::TokenAndUri,
+            Method::AttributeClustering(0.3),
+            Method::QGrams(3),
+            Method::ExtendedQGrams(3, 0.8),
+            Method::SortedNeighborhood(4),
+            Method::AdaptiveSortedNeighborhood(4, 32),
+            Method::MinHashLsh(LshConfig::default()),
+            Method::Canopy(CanopyConfig::default()),
+        ];
+        for m in methods {
+            let c = m.run(&g.dataset, ErMode::CleanClean);
+            assert!(!m.name().is_empty());
+            // Every method must produce at least one comparison on a dense
+            // centre-profile world of duplicates.
+            assert!(c.total_comparisons() > 0, "{} produced nothing", m.name());
+        }
+    }
+}

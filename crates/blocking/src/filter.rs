@@ -1,0 +1,127 @@
+//! Block filtering.
+//!
+//! After purging, individual entities can still sit in very many blocks.
+//! Block filtering (Papadakis et al.) keeps, for every entity, only the
+//! `ratio` fraction of its blocks with the *fewest* comparisons — the most
+//! discriminative evidence — and rebuilds the collection from the retained
+//! (entity, block) assignments.
+
+use crate::collection::{BlockCollection, ErMode};
+use minoan_common::FxHashMap;
+use minoan_rdf::EntityId;
+
+/// Default retain ratio from the literature.
+pub const DEFAULT_RATIO: f64 = 0.8;
+
+/// Applies block filtering with `ratio` ∈ (0, 1]; each entity keeps
+/// `ceil(ratio × |blocks(e)|)` of its smallest blocks.
+pub fn filter_with(collection: &BlockCollection, ratio: f64) -> BlockCollection {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1], got {ratio}");
+    let mut retained: FxHashMap<u32, Vec<EntityId>> = FxHashMap::default();
+    for e in 0..collection.num_entities() as u32 {
+        let e = EntityId(e);
+        let bs = collection.entity_blocks(e);
+        if bs.is_empty() {
+            continue;
+        }
+        let keep = ((ratio * bs.len() as f64).ceil() as usize).clamp(1, bs.len());
+        let mut sorted: Vec<_> = bs.to_vec();
+        // Fewest comparisons first; ties by id for determinism.
+        sorted.sort_by_key(|&b| (collection.block(b).comparisons, b));
+        for &b in sorted.iter().take(keep) {
+            retained.entry(b.0).or_default().push(e);
+        }
+    }
+    let mut blocks: Vec<_> = retained.into_iter().collect();
+    blocks.sort_unstable_by_key(|(b, _)| *b);
+    let rebuilt: Vec<_> = blocks
+        .into_iter()
+        .map(|(b, members)| (collection.block(crate::BlockId(b)).key, members))
+        .collect();
+    collection.rebuild(rebuilt)
+}
+
+/// Block filtering with the standard ratio 0.8.
+pub fn filter(collection: &BlockCollection) -> BlockCollection {
+    filter_with(collection, DEFAULT_RATIO)
+}
+
+/// Convenience: the standard cleaning pipeline `purge → filter`.
+pub fn clean(collection: &BlockCollection) -> BlockCollection {
+    let purged = crate::purge::purge(collection);
+    filter(&purged.collection)
+}
+
+/// Re-exported for symmetry with the other cleaning steps.
+pub fn mode_of(collection: &BlockCollection) -> ErMode {
+    collection.mode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::token_blocking;
+    use crate::collection::ErMode;
+    use minoan_datagen::{generate, profiles};
+
+    #[test]
+    fn filtering_reduces_comparisons() {
+        let g = generate(&profiles::center_dense(250, 4));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        let f = filter_with(&c, 0.5);
+        assert!(f.total_comparisons() < c.total_comparisons());
+        assert!(f.total_assignments() < c.total_assignments());
+    }
+
+    #[test]
+    fn ratio_one_changes_nothing_structurally() {
+        let g = generate(&profiles::center_dense(100, 4));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        let f = filter_with(&c, 1.0);
+        assert_eq!(f.total_assignments(), c.total_assignments());
+        assert_eq!(f.total_comparisons(), c.total_comparisons());
+        assert_eq!(f.len(), c.len());
+    }
+
+    #[test]
+    fn every_blocked_entity_keeps_at_least_one_block() {
+        let g = generate(&profiles::center_dense(150, 6));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        let f = filter_with(&c, 0.3);
+        // Entities may drop out only if all their retained blocks lost their
+        // cross-KB partners; the vast majority must remain placed.
+        assert!(f.placed_entities() as f64 >= 0.8 * c.placed_entities() as f64);
+    }
+
+    #[test]
+    fn filtering_keeps_recall_reasonable() {
+        let g = generate(&profiles::center_dense(200, 10));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        let f = filter(&c);
+        let pairs: std::collections::HashSet<_> = f.distinct_pairs().into_iter().collect();
+        let found = g
+            .truth
+            .matching_pair_iter()
+            .filter(|&(a, b)| pairs.contains(&(a, b)))
+            .count() as f64;
+        let pc = found / g.truth.matching_pairs() as f64;
+        assert!(pc > 0.85, "filtering lost too much recall: {pc}");
+    }
+
+    #[test]
+    fn clean_pipeline_composes() {
+        let g = generate(&profiles::center_dense(200, 12));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        let cleaned = clean(&c);
+        assert!(cleaned.total_comparisons() < c.total_comparisons());
+        assert_eq!(mode_of(&cleaned), ErMode::CleanClean);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn zero_ratio_panics() {
+        let g = generate(&profiles::center_dense(50, 1));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        let _ = filter_with(&c, 0.0);
+    }
+}

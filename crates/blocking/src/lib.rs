@@ -1,0 +1,51 @@
+//! Blocking for entity resolution in the Web of Data.
+//!
+//! "Blocking places similar entity descriptions into blocks, leaving to the
+//! entity matching algorithm the comparisons only between descriptions
+//! within the same block" (paper §1). Following the paper, all blocking
+//! here is **schema-agnostic**: keys come from tokens of attribute values
+//! and URIs, never from schema knowledge.
+//!
+//! * [`builders`] — token blocking, Prefix-Infix(-Suffix) URI blocking,
+//!   attribute-clustering blocking, and their combination.
+//! * [`collection`] — the [`BlockCollection`] representation shared with
+//!   meta-blocking (blocks, per-entity block lists, comparison counting for
+//!   dirty and clean–clean ER).
+//! * [`purge`] — comparison-based block purging (drops oversized blocks).
+//! * [`filter`] — block filtering (each entity keeps its `r`% smallest
+//!   blocks).
+//! * [`schedule`] — block scheduling: the classic pay-as-you-go ordering
+//!   of comparisons by block utility (a progressive baseline).
+//! * [`parallel`] — token blocking as a MapReduce job on
+//!   [`minoan_mapreduce::Engine`], the substrate of reference \[5\].
+//!
+//! # Example
+//!
+//! ```
+//! use minoan_datagen::{generate, profiles};
+//! use minoan_blocking::{builders, ErMode};
+//!
+//! let g = generate(&profiles::center_dense(150, 7));
+//! let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
+//! assert!(blocks.len() > 0);
+//! assert!(blocks.total_comparisons() > 0);
+//! ```
+
+pub mod builders;
+pub mod canopy;
+pub mod collection;
+pub mod composite;
+pub mod filter;
+pub mod lsh;
+pub mod parallel;
+pub mod purge;
+pub mod qgrams;
+pub mod schedule;
+pub mod sorted_neighborhood;
+
+pub use canopy::{canopy_blocking, CanopyConfig};
+pub use collection::{Block, BlockCollection, BlockId, ErMode};
+pub use composite::{pair_intersection, union, BlockingWorkflow, Method, WorkflowReport};
+pub use lsh::{minhash_lsh_blocking, LshConfig};
+pub use qgrams::{extended_qgram_blocking, qgram_blocking};
+pub use sorted_neighborhood::{adaptive_sorted_neighborhood, sorted_neighborhood};

@@ -1,0 +1,160 @@
+//! MinHash-LSH blocking.
+//!
+//! Locality-sensitive hashing over MinHash signatures: each description's
+//! token set is summarised by a `bands × rows` signature; descriptions
+//! whose signature agrees on *all rows of at least one band* land in a
+//! common block. The probability of co-occurring is `1 − (1 − s^r)^b` for
+//! Jaccard similarity `s` — an S-curve whose threshold `(1/b)^(1/r)` the
+//! configuration controls, giving a principled way to target the "somehow
+//! similar" regime (low token overlap) that exact token blocking misses.
+
+use crate::collection::{BlockCollection, ErMode};
+use minoan_common::hash::fx_hash_bytes;
+use minoan_common::{FxHashMap, FxHashSet};
+use minoan_rdf::{Dataset, EntityId};
+use minoan_similarity::MinHasher;
+
+/// Configuration of the LSH blocker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LshConfig {
+    /// Number of bands `b`.
+    pub bands: usize,
+    /// Rows per band `r` (signature length is `b·r`).
+    pub rows: usize,
+    /// Seed of the MinHash permutation family.
+    pub seed: u64,
+}
+
+impl Default for LshConfig {
+    fn default() -> Self {
+        Self { bands: 8, rows: 4, seed: 0x15a4 }
+    }
+}
+
+impl LshConfig {
+    /// The approximate Jaccard threshold of the S-curve, `(1/b)^(1/r)`.
+    pub fn threshold(&self) -> f64 {
+        (1.0 / self.bands as f64).powf(1.0 / self.rows as f64)
+    }
+}
+
+/// Hashes each entity's blocking-token set into LSH band buckets; each
+/// non-trivial bucket becomes a block keyed `lsh:{band}:{bucket-hash}`.
+///
+/// # Panics
+/// Panics if `bands == 0` or `rows == 0`.
+pub fn minhash_lsh_blocking(dataset: &Dataset, mode: ErMode, config: LshConfig) -> BlockCollection {
+    assert!(config.bands > 0, "bands must be positive");
+    assert!(config.rows > 0, "rows must be positive");
+    let hasher = MinHasher::new(config.bands * config.rows, config.seed);
+    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for e in dataset.entities() {
+        let tokens = token_ids(dataset, e);
+        if tokens.is_empty() {
+            continue;
+        }
+        let sig = hasher.signature(&tokens);
+        for band in 0..config.bands {
+            let slice = &sig.0[band * config.rows..(band + 1) * config.rows];
+            let mut bytes = Vec::with_capacity(config.rows * 8);
+            for v in slice {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+            let bucket = fx_hash_bytes(&bytes);
+            groups.entry(format!("lsh:{band}:{bucket:016x}")).or_default().push(e);
+        }
+    }
+    BlockCollection::from_groups(dataset, mode, groups)
+}
+
+/// Deterministic 32-bit ids of an entity's distinct blocking tokens.
+fn token_ids(dataset: &Dataset, e: EntityId) -> Vec<u32> {
+    let mut tokens = dataset.blocking_tokens(e);
+    tokens.sort_unstable();
+    tokens.dedup();
+    let mut seen: FxHashSet<u32> = FxHashSet::default();
+    tokens
+        .iter()
+        .map(|t| (fx_hash_bytes(t.as_bytes()) & 0xffff_ffff) as u32)
+        .filter(|id| seen.insert(*id))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_rdf::DatasetBuilder;
+
+    /// Two near-duplicate descriptions (high Jaccard) + two unrelated ones.
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        b.add_literal(k0, "http://a/0", "http://p/d", "alpha beta gamma delta epsilon zeta");
+        b.add_literal(k1, "http://b/1", "http://p/d", "alpha beta gamma delta epsilon eta");
+        b.add_literal(k0, "http://a/2", "http://p/d", "one two three four five six");
+        b.add_literal(k1, "http://b/3", "http://p/d", "seven eight nine ten eleven twelve");
+        b.build()
+    }
+
+    #[test]
+    fn high_jaccard_pair_is_blocked_together() {
+        let ds = dataset();
+        let blocks = minhash_lsh_blocking(&ds, ErMode::CleanClean, LshConfig::default());
+        let pairs = blocks.distinct_pairs();
+        assert!(
+            pairs.contains(&(EntityId(0), EntityId(1))),
+            "near-duplicates must share a band bucket: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn disjoint_sets_rarely_collide() {
+        let ds = dataset();
+        let blocks = minhash_lsh_blocking(&ds, ErMode::CleanClean, LshConfig::default());
+        let pairs = blocks.distinct_pairs();
+        assert!(
+            !pairs.contains(&(EntityId(2), EntityId(3))),
+            "token-disjoint descriptions should not co-occur: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn threshold_formula() {
+        let c = LshConfig { bands: 16, rows: 4, seed: 0 };
+        assert!((c.threshold() - (1.0f64 / 16.0).powf(0.25)).abs() < 1e-12);
+        // More bands → lower threshold (more permissive).
+        let permissive = LshConfig { bands: 32, rows: 4, seed: 0 };
+        assert!(permissive.threshold() < c.threshold());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = dataset();
+        let a = minhash_lsh_blocking(&ds, ErMode::CleanClean, LshConfig::default());
+        let b = minhash_lsh_blocking(&ds, ErMode::CleanClean, LshConfig::default());
+        assert_eq!(a.distinct_pairs(), b.distinct_pairs());
+    }
+
+    #[test]
+    fn different_seed_changes_buckets_not_semantics() {
+        let ds = dataset();
+        let c1 = LshConfig { seed: 1, ..LshConfig::default() };
+        let blocks = minhash_lsh_blocking(&ds, ErMode::CleanClean, c1);
+        // The high-similarity pair should survive any seed with b=8, r=4
+        // (collision probability ≈ 1 − (1 − s⁴)⁸ ≈ 0.97 for s ≈ 0.71).
+        assert!(blocks.distinct_pairs().contains(&(EntityId(0), EntityId(1))));
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = DatasetBuilder::new().build();
+        assert!(minhash_lsh_blocking(&ds, ErMode::Dirty, LshConfig::default()).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bands")]
+    fn zero_bands_rejected() {
+        minhash_lsh_blocking(&dataset(), ErMode::Dirty, LshConfig { bands: 0, rows: 4, seed: 0 });
+    }
+}

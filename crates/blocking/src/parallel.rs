@@ -1,0 +1,132 @@
+//! Blocking as MapReduce jobs (reference \[5\]'s substrate).
+//!
+//! * **map**: entity → `(key, entity)` for every distinct blocking key
+//!   (tokens, or q-grams of tokens);
+//! * **reduce**: key → block (member list), dropping useless blocks.
+//!
+//! The outputs are bit-identical to the serial builders; the point of this
+//! module is the E7 scalability experiment and fidelity to the paper's
+//! "parallel processing power of a computer cluster via Hadoop MapReduce".
+
+use crate::collection::{BlockCollection, ErMode};
+use crate::qgrams;
+use minoan_common::FxHashSet;
+use minoan_mapreduce::Engine;
+use minoan_rdf::{Dataset, EntityId};
+
+/// Runs token blocking on `engine`. Equivalent to the serial builder.
+pub fn parallel_token_blocking(
+    dataset: &Dataset,
+    mode: ErMode,
+    engine: &Engine,
+) -> BlockCollection {
+    parallel_token_blocking_with_stats(dataset, mode, engine).0
+}
+
+/// As [`parallel_token_blocking`], also returning the job's execution
+/// statistics (used by the scalability experiment E7).
+pub fn parallel_token_blocking_with_stats(
+    dataset: &Dataset,
+    mode: ErMode,
+    engine: &Engine,
+) -> (BlockCollection, minoan_mapreduce::JobStats) {
+    let inputs: Vec<EntityId> = dataset.entities().collect();
+    let result = engine.run(
+        inputs,
+        |&e, emit| {
+            let mut tokens = dataset.blocking_tokens(e);
+            tokens.sort_unstable();
+            tokens.dedup();
+            for t in tokens {
+                emit(t, e);
+            }
+        },
+        |token, members, out| {
+            out.push((token.clone(), members.clone()));
+        },
+    );
+    (
+        BlockCollection::from_groups(dataset, mode, result.output),
+        result.stats,
+    )
+}
+
+/// Runs q-grams blocking on `engine`. Equivalent to
+/// [`crate::qgrams::qgram_blocking`].
+///
+/// # Panics
+/// Panics if `q == 0`.
+pub fn parallel_qgram_blocking(
+    dataset: &Dataset,
+    mode: ErMode,
+    q: usize,
+    engine: &Engine,
+) -> BlockCollection {
+    assert!(q > 0, "q must be positive");
+    let inputs: Vec<EntityId> = dataset.entities().collect();
+    let result = engine.run(
+        inputs,
+        |&e, emit| {
+            let mut keys: FxHashSet<String> = FxHashSet::default();
+            for token in dataset.blocking_tokens(e) {
+                for g in qgrams::qgrams(&token, q) {
+                    keys.insert(g);
+                }
+            }
+            let mut keys: Vec<String> = keys.into_iter().collect();
+            keys.sort_unstable();
+            for k in keys {
+                emit(k, e);
+            }
+        },
+        |key, members, out| {
+            out.push((key.clone(), members.clone()));
+        },
+    );
+    BlockCollection::from_groups(dataset, mode, result.output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::token_blocking;
+    use minoan_datagen::{generate, profiles};
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = generate(&profiles::center_dense(120, 2));
+        let serial = token_blocking(&g.dataset, ErMode::CleanClean);
+        for workers in [1, 4] {
+            let par = parallel_token_blocking(&g.dataset, ErMode::CleanClean, &Engine::new(workers));
+            assert_eq!(par.len(), serial.len());
+            assert_eq!(par.total_comparisons(), serial.total_comparisons());
+            for (a, b) in par.blocks().iter().zip(serial.blocks()) {
+                assert_eq!(a.entities, b.entities);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_qgrams_matches_serial() {
+        let g = generate(&profiles::center_dense(80, 3));
+        let serial = crate::qgrams::qgram_blocking(&g.dataset, ErMode::CleanClean, 3);
+        for workers in [1, 4] {
+            let par = parallel_qgram_blocking(
+                &g.dataset,
+                ErMode::CleanClean,
+                3,
+                &Engine::new(workers),
+            );
+            assert_eq!(par.len(), serial.len());
+            assert_eq!(par.total_comparisons(), serial.total_comparisons());
+        }
+    }
+
+    #[test]
+    fn works_in_dirty_mode() {
+        let g = generate(&profiles::dirty_single(60, 2));
+        let par = parallel_token_blocking(&g.dataset, ErMode::Dirty, &Engine::new(2));
+        let serial = token_blocking(&g.dataset, ErMode::Dirty);
+        assert_eq!(par.total_comparisons(), serial.total_comparisons());
+    }
+}

@@ -1,0 +1,225 @@
+//! Q-grams blocking.
+//!
+//! Token blocking requires an *exact* common token; typos and morphological
+//! variation ("Heraklion" vs "Iraklion") defeat it. Q-grams blocking keys
+//! on character q-grams of the tokens instead, so descriptions sharing most
+//! of a token's characters still co-occur. Extended q-grams raises
+//! precision back up by keying on *combinations* of q-grams, requiring
+//! several shared q-grams before two descriptions meet.
+
+use crate::collection::{BlockCollection, ErMode};
+use minoan_common::{FxHashMap, FxHashSet};
+use minoan_rdf::{Dataset, EntityId};
+
+/// Character q-grams of a token. Tokens shorter than `q` yield themselves.
+pub fn qgrams(token: &str, q: usize) -> Vec<String> {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() <= q {
+        return vec![token.to_string()];
+    }
+    chars.windows(q).map(|w| w.iter().collect()).collect()
+}
+
+/// Q-grams blocking: one block per distinct q-gram of any blocking token.
+///
+/// # Panics
+/// Panics if `q == 0`.
+pub fn qgram_blocking(dataset: &Dataset, mode: ErMode, q: usize) -> BlockCollection {
+    assert!(q > 0, "q must be positive");
+    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for e in dataset.entities() {
+        let mut keys: FxHashSet<String> = FxHashSet::default();
+        for token in dataset.blocking_tokens(e) {
+            for g in qgrams(&token, q) {
+                keys.insert(g);
+            }
+        }
+        let mut keys: Vec<String> = keys.into_iter().collect();
+        keys.sort_unstable();
+        for k in keys {
+            groups.entry(k).or_default().push(e);
+        }
+    }
+    BlockCollection::from_groups(dataset, mode, groups)
+}
+
+/// Upper bound on the number of q-gram combinations generated per token by
+/// [`extended_qgram_blocking`]; tokens whose combination count would exceed
+/// it fall back to plain q-gram keys.
+pub const MAX_COMBINATIONS: usize = 64;
+
+/// Extended q-grams blocking: for each token with `k` q-grams, keys are all
+/// sorted concatenations of `l = max(1, ⌊k·threshold⌋)` of them, so two
+/// descriptions must share at least `l` q-grams of a token to co-occur.
+///
+/// `threshold ∈ (0, 1]`; `threshold == 1` degenerates to whole-token keys.
+///
+/// # Panics
+/// Panics if `q == 0` or `threshold` is outside `(0, 1]`.
+pub fn extended_qgram_blocking(
+    dataset: &Dataset,
+    mode: ErMode,
+    q: usize,
+    threshold: f64,
+) -> BlockCollection {
+    assert!(q > 0, "q must be positive");
+    assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0, 1]");
+    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for e in dataset.entities() {
+        let mut keys: FxHashSet<String> = FxHashSet::default();
+        for token in dataset.blocking_tokens(e) {
+            let mut grams = qgrams(&token, q);
+            grams.sort_unstable();
+            grams.dedup();
+            let k = grams.len();
+            let l = ((k as f64 * threshold).floor() as usize).max(1);
+            if combination_count(k, l) > MAX_COMBINATIONS {
+                // Exponential blow-up guard: plain q-grams for this token.
+                for g in grams {
+                    keys.insert(g);
+                }
+                continue;
+            }
+            for combo in combinations(&grams, l) {
+                keys.insert(combo.join("~"));
+            }
+        }
+        let mut keys: Vec<String> = keys.into_iter().collect();
+        keys.sort_unstable();
+        for kstr in keys {
+            groups.entry(kstr).or_default().push(e);
+        }
+    }
+    BlockCollection::from_groups(dataset, mode, groups)
+}
+
+/// `C(n, k)` saturating at `usize::MAX`.
+fn combination_count(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = match acc.checked_mul(n - i) {
+            Some(v) => v / (i + 1),
+            None => return usize::MAX,
+        };
+    }
+    acc
+}
+
+/// All size-`k` combinations of `items`, in lexicographic index order.
+fn combinations(items: &[String], k: usize) -> Vec<Vec<&str>> {
+    let mut out = Vec::new();
+    if k == 0 || k > items.len() {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|&i| items[i].as_str()).collect());
+        // Advance the combination indices.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + items.len() - k {
+                break;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_rdf::DatasetBuilder;
+
+    fn dataset() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        // Same city, one-character variation: token blocking misses it.
+        b.add_literal(k0, "http://a/0", "http://p/label", "heraklion");
+        b.add_literal(k1, "http://b/1", "http://p/label", "heraklio");
+        b.add_literal(k0, "http://a/2", "http://p/label", "qqqq");
+        b.add_literal(k1, "http://b/3", "http://p/label", "wwww");
+        b.build()
+    }
+
+    #[test]
+    fn qgrams_basic() {
+        assert_eq!(qgrams("abcd", 3), vec!["abc", "bcd"]);
+        assert_eq!(qgrams("ab", 3), vec!["ab"], "short tokens kept whole");
+        assert_eq!(qgrams("abc", 3), vec!["abc"]);
+    }
+
+    #[test]
+    fn qgram_blocking_recovers_typo_pairs() {
+        let ds = dataset();
+        let blocks = qgram_blocking(&ds, ErMode::CleanClean, 3);
+        let pairs = blocks.distinct_pairs();
+        assert!(
+            pairs.contains(&(EntityId(0), EntityId(1))),
+            "heraklion/heraklio share q-grams: {pairs:?}"
+        );
+        assert!(!pairs.contains(&(EntityId(2), EntityId(3))), "qqqq and wwww share nothing");
+    }
+
+    #[test]
+    fn extended_requires_more_shared_evidence() {
+        let ds = dataset();
+        let plain = qgram_blocking(&ds, ErMode::CleanClean, 3);
+        let extended = extended_qgram_blocking(&ds, ErMode::CleanClean, 3, 0.9);
+        assert!(
+            extended.total_comparisons() <= plain.total_comparisons(),
+            "extended ({}) must not exceed plain ({})",
+            extended.total_comparisons(),
+            plain.total_comparisons()
+        );
+    }
+
+    #[test]
+    fn extended_threshold_one_is_whole_token() {
+        let ds = dataset();
+        let extended = extended_qgram_blocking(&ds, ErMode::CleanClean, 3, 1.0);
+        // l = k → single combination = all q-grams of the token joined;
+        // only exactly-equal tokens co-occur, so no pair here.
+        assert_eq!(extended.distinct_pairs().len(), 0);
+    }
+
+    #[test]
+    fn combination_count_matches_pascal() {
+        assert_eq!(combination_count(5, 2), 10);
+        assert_eq!(combination_count(6, 3), 20);
+        assert_eq!(combination_count(3, 5), 0);
+        assert_eq!(combination_count(4, 0), 1);
+    }
+
+    #[test]
+    fn combinations_enumerate_lexicographically() {
+        let items: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let combos = combinations(&items, 2);
+        assert_eq!(combos, vec![vec!["a", "b"], vec!["a", "c"], vec!["b", "c"]]);
+        assert!(combinations(&items, 0).is_empty());
+        assert!(combinations(&items, 4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "q must be positive")]
+    fn zero_q_rejected() {
+        qgram_blocking(&dataset(), ErMode::Dirty, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        extended_qgram_blocking(&dataset(), ErMode::Dirty, 3, 1.5);
+    }
+}

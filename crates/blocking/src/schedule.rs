@@ -1,0 +1,136 @@
+//! Block scheduling: the classic pay-as-you-go *blocking* baseline.
+//!
+//! Before meta-blocking, progressive ER over blocks was done by *ordering
+//! the blocks themselves* by utility — smaller blocks first, since the
+//! probability that a comparison inside a block is a match shrinks with
+//! the block's comparison count — and streaming comparisons block by
+//! block, deduplicating pairs across blocks (each distinct pair is emitted
+//! at its highest-utility block only).
+//!
+//! The engine's `Strategy::Batch` over this stream reproduces that
+//! baseline, giving E4 a third comparison point between random order and
+//! graph-based scheduling.
+
+use crate::collection::BlockCollection;
+use minoan_common::FxHashSet;
+use minoan_rdf::EntityId;
+
+/// Utility of a block: `1 / ‖b‖` (the ARCS block term) — the probability
+/// proxy the block-scheduling literature uses.
+pub fn block_utility(comparisons: u64) -> f64 {
+    1.0 / comparisons.max(1) as f64
+}
+
+/// Produces the deduplicated comparison stream in block-utility order.
+///
+/// Blocks are visited by decreasing utility (ties: block id); within a
+/// block, pairs in member order; a pair already emitted by an earlier
+/// block is skipped. Each pair carries its emitting block's utility as the
+/// weight.
+pub fn scheduled_pairs(collection: &BlockCollection) -> Vec<(EntityId, EntityId, f64)> {
+    let mut order: Vec<usize> = (0..collection.len()).collect();
+    order.sort_by(|&x, &y| {
+        let (bx, by) = (collection.blocks()[x].comparisons, collection.blocks()[y].comparisons);
+        bx.cmp(&by).then(x.cmp(&y))
+    });
+    let mut seen: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
+    let mut out = Vec::new();
+    for idx in order {
+        let block = &collection.blocks()[idx];
+        let utility = block_utility(block.comparisons);
+        for (i, &x) in block.entities.iter().enumerate() {
+            for &y in &block.entities[i + 1..] {
+                if !collection.comparable(x, y) {
+                    continue;
+                }
+                let key = (x.min(y), x.max(y));
+                if seen.insert(key) {
+                    out.push((key.0, key.1, utility));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builders::token_blocking;
+    use crate::collection::ErMode;
+    use minoan_datagen::{generate, profiles};
+    use minoan_rdf::DatasetBuilder;
+
+    #[test]
+    fn utility_is_inverse_comparisons() {
+        assert_eq!(block_utility(1), 1.0);
+        assert_eq!(block_utility(4), 0.25);
+        assert_eq!(block_utility(0), 1.0, "degenerate blocks clamp");
+    }
+
+    #[test]
+    fn pairs_are_deduplicated_and_utility_ordered() {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        for i in 0..3 {
+            b.add_literal(k0, &format!("http://a/{i}"), "http://p", "x");
+        }
+        for i in 3..6 {
+            b.add_literal(k1, &format!("http://b/{i}"), "http://p", "x");
+        }
+        let ds = b.build();
+        let e = EntityId;
+        let groups = vec![
+            ("big".to_string(), vec![e(0), e(1), e(3), e(4)]), // 4 comparisons
+            ("small".to_string(), vec![e(0), e(3)]),           // 1 comparison
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        let pairs = scheduled_pairs(&c);
+        // (0,3) must come from the small block with utility 1.0, first.
+        assert_eq!(pairs[0], (e(0), e(3), 1.0));
+        // No duplicates; total = distinct pairs.
+        assert_eq!(pairs.len(), c.distinct_pairs().len());
+        // Weights are non-increasing.
+        assert!(pairs.windows(2).all(|w| w[0].2 >= w[1].2));
+    }
+
+    #[test]
+    fn stream_covers_exactly_the_distinct_pairs() {
+        let g = generate(&profiles::center_dense(120, 5));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        let stream = scheduled_pairs(&c);
+        let stream_set: std::collections::HashSet<_> =
+            stream.iter().map(|&(a, b, _)| (a, b)).collect();
+        let distinct: std::collections::HashSet<_> =
+            c.distinct_pairs().into_iter().collect();
+        assert_eq!(stream_set, distinct);
+        assert_eq!(stream.len(), distinct.len(), "no pair emitted twice");
+    }
+
+    #[test]
+    fn early_stream_is_denser_in_matches_than_late() {
+        // The whole point of the ordering: the first half of the stream
+        // should contain more true matches than the second half.
+        let g = generate(&profiles::center_dense(200, 9));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        let stream = scheduled_pairs(&c);
+        let half = stream.len() / 2;
+        let hits = |part: &[(EntityId, EntityId, f64)]| {
+            part.iter().filter(|&&(a, b, _)| g.truth.is_match(a, b)).count()
+        };
+        let early = hits(&stream[..half]);
+        let late = hits(&stream[half..]);
+        assert!(
+            early > late,
+            "utility order should front-load matches: {early} vs {late}"
+        );
+    }
+
+    #[test]
+    fn empty_collection_empty_stream() {
+        let ds = DatasetBuilder::new().build();
+        let c = token_blocking(&ds, ErMode::CleanClean);
+        assert!(scheduled_pairs(&c).is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! String interning.
+//!
+//! Tokens, attribute names and URI fragments are repeated millions of times
+//! in blocking. Interning replaces them with dense `u32` [`Symbol`]s so the
+//! rest of the system hashes and compares integers, and block indexes can be
+//! plain vectors indexed by symbol.
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// A dense handle to an interned string.
+///
+/// Symbols are only meaningful relative to the [`Interner`] that produced
+/// them; they are ordered by first-interning time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The raw index of this symbol, usable as a vector index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// An append-only string interner.
+///
+/// Strings are stored once; [`Interner::intern`] returns the existing symbol
+/// for a known string. Lookup back to `&str` is O(1).
+#[derive(Default, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Symbol>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an interner with capacity for `n` distinct strings.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            map: FxHashMap::with_capacity_and_hasher(n, Default::default()),
+            strings: Vec::with_capacity(n),
+        }
+    }
+
+    /// Interns `s`, returning its dense symbol.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Symbol(
+            u32::try_from(self.strings.len()).expect("interner overflow: more than u32::MAX strings"),
+        );
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Returns the symbol for `s` if it was interned before.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Resolves a symbol back to its string.
+    ///
+    /// # Panics
+    /// Panics if `sym` did not come from this interner.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether no string has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates over `(Symbol, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Symbol(i as u32), s.as_ref()))
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Interner").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("dbpedia");
+        let b = i.intern("dbpedia");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_resolve() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(i.resolve(a), "a");
+        assert_eq!(i.resolve(b), "b");
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("x"), None);
+        let s = i.intern("x");
+        assert_eq!(i.get("x"), Some(s));
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = Interner::new();
+        for w in ["t0", "t1", "t2"] {
+            i.intern(w);
+        }
+        let collected: Vec<&str> = i.iter().map(|(_, s)| s).collect();
+        assert_eq!(collected, vec!["t0", "t1", "t2"]);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let i = Interner::with_capacity(128);
+        assert!(i.is_empty());
+    }
+}

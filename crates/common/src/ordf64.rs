@@ -1,0 +1,57 @@
+//! A totally ordered wrapper for finite `f64` values.
+//!
+//! Priorities, weights and similarities in this project are always finite,
+//! so a panicking total order is the right tool: NaNs indicate a bug and
+//! fail loudly instead of silently mis-sorting.
+
+/// Finite `f64` with total order. Construction does not validate; the
+/// comparison panics on NaN.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).expect("NaN in OrdF64 comparison")
+    }
+}
+
+impl From<f64> for OrdF64 {
+    fn from(v: f64) -> Self {
+        OrdF64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64() {
+        let mut v = vec![OrdF64(3.0), OrdF64(-1.0), OrdF64(2.5)];
+        v.sort();
+        assert_eq!(v, vec![OrdF64(-1.0), OrdF64(2.5), OrdF64(3.0)]);
+    }
+
+    #[test]
+    fn works_in_binary_heap() {
+        let mut h = std::collections::BinaryHeap::new();
+        h.push(OrdF64(1.0));
+        h.push(OrdF64(9.0));
+        h.push(OrdF64(4.0));
+        assert_eq!(h.pop(), Some(OrdF64(9.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics_on_compare() {
+        let _ = OrdF64(f64::NAN) < OrdF64(1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Small numeric helpers shared by pruning and evaluation code.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation; `0.0` for fewer than two samples.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// `p`-th percentile (0..=100) by nearest-rank on a copy of the data.
+/// Returns `0.0` for an empty slice.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * (v.len() as f64 - 1.0)).round() as usize;
+    v[rank]
+}
+
+/// Area under a monotone step curve given as `(x, y)` points, normalised by
+/// the x-range so the result is the mean height over `[x0, x_last]`.
+///
+/// This is the standard summary of a progressive-recall curve: a method that
+/// reaches high recall early has a larger normalised AUC. Points must be
+/// sorted by `x`; the curve is treated as right-continuous steps (value `y_i`
+/// holds on `[x_i, x_{i+1})`).
+pub fn normalized_step_auc(points: &[(f64, f64)]) -> f64 {
+    if points.len() < 2 {
+        return points.first().map(|p| p.1).unwrap_or(0.0);
+    }
+    let x0 = points[0].0;
+    let x1 = points[points.len() - 1].0;
+    let span = x1 - x0;
+    if span <= 0.0 {
+        return points[points.len() - 1].1;
+    }
+    let mut area = 0.0;
+    for w in points.windows(2) {
+        debug_assert!(w[1].0 >= w[0].0, "points must be sorted by x");
+        area += w[0].1 * (w[1].0 - w[0].0);
+    }
+    area / span
+}
+
+/// Harmonic mean of two non-negative values (the F-measure combinator).
+pub fn harmonic_mean(a: f64, b: f64) -> f64 {
+    if a + b == 0.0 {
+        0.0
+    } else {
+        2.0 * a * b / (a + b)
+    }
+}
+
+/// Natural-log "information" weight `ln(total / part)`, clamped at 0 —
+/// the shape used by ECBS/EJS meta-blocking weights. Returns 0 when either
+/// argument is non-positive or `part > total`.
+pub fn log_weight(total: f64, part: f64) -> f64 {
+    if total <= 0.0 || part <= 0.0 {
+        return 0.0;
+    }
+    (total / part).ln().max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 50.0), 3.0);
+        assert_eq!(percentile(&xs, 100.0), 5.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn auc_of_constant_curve_is_constant() {
+        let pts = [(0.0, 0.5), (1.0, 0.5), (2.0, 0.5)];
+        assert!((normalized_step_auc(&pts) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_rewards_early_rise() {
+        let early = [(0.0, 0.0), (0.1, 1.0), (1.0, 1.0)];
+        let late = [(0.0, 0.0), (0.9, 1.0), (1.0, 1.0)];
+        assert!(normalized_step_auc(&early) > normalized_step_auc(&late));
+    }
+
+    #[test]
+    fn auc_degenerate_inputs() {
+        assert_eq!(normalized_step_auc(&[]), 0.0);
+        assert_eq!(normalized_step_auc(&[(3.0, 0.7)]), 0.7);
+        assert_eq!(normalized_step_auc(&[(1.0, 0.2), (1.0, 0.9)]), 0.9);
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(0.0, 0.0), 0.0);
+        assert!((harmonic_mean(1.0, 1.0) - 1.0).abs() < 1e-12);
+        assert!((harmonic_mean(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_weight_clamps() {
+        assert_eq!(log_weight(10.0, 0.0), 0.0);
+        assert_eq!(log_weight(0.0, 1.0), 0.0);
+        assert_eq!(log_weight(5.0, 10.0), 0.0, "part > total clamps to 0");
+        assert!((log_weight(100.0, 10.0) - (10.0f64).ln()).abs() < 1e-12);
+    }
+}

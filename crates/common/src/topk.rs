@@ -1,0 +1,124 @@
+//! Bounded top-k selection.
+//!
+//! Cardinality-based meta-blocking pruning (CEP, CNP) must retain the `k`
+//! highest-weighted comparisons out of streams far larger than `k`. [`TopK`]
+//! keeps a min-heap of size ≤ `k`: each push is `O(log k)` and memory is
+//! bounded regardless of stream length.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Keeps the `k` largest items pushed into it (by `Ord`).
+///
+/// Ties at the boundary are resolved in favour of earlier-pushed items, which
+/// keeps pruning deterministic given a deterministic push order.
+#[derive(Clone, Debug)]
+pub struct TopK<T: Ord> {
+    k: usize,
+    heap: BinaryHeap<Reverse<T>>,
+}
+
+impl<T: Ord> TopK<T> {
+    /// Creates a selector for the `k` largest items. `k == 0` keeps nothing.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            heap: BinaryHeap::with_capacity(k.saturating_add(1)),
+        }
+    }
+
+    /// Offers an item; it is kept only if it ranks in the current top-k.
+    /// Returns `true` if the item was retained.
+    pub fn push(&mut self, item: T) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Reverse(item));
+            return true;
+        }
+        // Strictly greater than the current minimum replaces it.
+        let min = self.heap.peek().expect("non-empty");
+        if item > min.0 {
+            self.heap.pop();
+            self.heap.push(Reverse(item));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current smallest retained item (the "entry bar"), if any.
+    pub fn threshold(&self) -> Option<&T> {
+        self.heap.peek().map(|r| &r.0)
+    }
+
+    /// Number of retained items (≤ k).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Consumes the selector, returning retained items sorted descending.
+    pub fn into_sorted_vec(self) -> Vec<T> {
+        let mut v: Vec<T> = self.heap.into_iter().map(|r| r.0).collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_k_largest() {
+        let mut t = TopK::new(3);
+        for x in [5, 1, 9, 3, 7, 2] {
+            t.push(x);
+        }
+        assert_eq!(t.into_sorted_vec(), vec![9, 7, 5]);
+    }
+
+    #[test]
+    fn fewer_than_k_keeps_all() {
+        let mut t = TopK::new(10);
+        t.push(2);
+        t.push(1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.into_sorted_vec(), vec![2, 1]);
+    }
+
+    #[test]
+    fn zero_k_keeps_nothing() {
+        let mut t = TopK::new(0);
+        assert!(!t.push(5));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn equal_items_do_not_evict() {
+        let mut t = TopK::new(2);
+        assert!(t.push((5, "first")));
+        assert!(t.push((5, "second")));
+        // (5, "a") < (5, "first") lexicographically on the tag, so rejected;
+        // equal-to-threshold items are rejected too.
+        assert!(!t.push((4, "late")));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn threshold_tracks_minimum() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.threshold(), None);
+        t.push(10);
+        t.push(20);
+        assert_eq!(t.threshold(), Some(&10));
+        t.push(30);
+        assert_eq!(t.threshold(), Some(&20));
+    }
+}

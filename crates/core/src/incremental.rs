@@ -1,0 +1,392 @@
+//! Incremental (streaming) entity resolution.
+//!
+//! The Web of Data is not static: KBs publish descriptions continuously,
+//! and a pay-as-you-go platform must fold new descriptions into the
+//! resolved state without re-running the batch pipeline. This module
+//! provides that mode: descriptions *arrive* one at a time (or in
+//! batches); each arrival
+//!
+//! 1. indexes the newcomer's blocking tokens into an incremental inverted
+//!    index,
+//! 2. generates candidates among the *already arrived* descriptions by
+//!    common-token counting (an incremental token-blocking + CBS
+//!    weighting),
+//! 3. compares the top candidates best-first under a per-arrival budget,
+//! 4. records matches into the shared cluster state and propagates
+//!    neighbour evidence exactly like the batch update phase.
+//!
+//! The state after all arrivals is equivalent in spirit (not comparison
+//! order) to a batch run — the `incremental_stream` example and the E11
+//! experiment measure how close.
+
+use crate::benefit::ResolutionState;
+use crate::matcher::Matcher;
+use minoan_common::{FxHashMap, FxHashSet};
+use minoan_rdf::{Dataset, EntityId};
+
+/// Configuration of the incremental resolver.
+#[derive(Clone, Copy, Debug)]
+pub struct IncrementalConfig {
+    /// Maximum candidates compared per arrival.
+    pub budget_per_arrival: u64,
+    /// Maximum candidates generated per arrival (top by common tokens).
+    pub max_candidates: usize,
+    /// Skip tokens occurring in more than this many arrived descriptions
+    /// (stop-token guard, the incremental analogue of block purging).
+    pub max_token_frequency: usize,
+    /// Neighbour-propagation strength (0 disables the update phase).
+    pub alpha: f64,
+    /// In clean–clean data, an arrived entity matches at most one
+    /// description per other KB.
+    pub unique_mapping: bool,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        Self {
+            budget_per_arrival: 10,
+            max_candidates: 32,
+            max_token_frequency: 64,
+            alpha: 0.4,
+            unique_mapping: true,
+        }
+    }
+}
+
+/// What one arrival did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ArrivalReport {
+    /// Candidates generated for the newcomer.
+    pub candidates: usize,
+    /// Comparisons executed.
+    pub comparisons: u64,
+    /// Matches accepted `(other, score)` — the newcomer is implicit.
+    pub matches: Vec<(EntityId, f64)>,
+}
+
+/// The incremental resolver.
+///
+/// Borrows the full dataset (the universe descriptions are drawn from) but
+/// only ever *sees* the descriptions that have arrived.
+pub struct IncrementalResolver<'d> {
+    dataset: &'d Dataset,
+    matcher: &'d Matcher,
+    config: IncrementalConfig,
+    state: ResolutionState<'d>,
+    /// token id → arrived entities carrying it.
+    index: FxHashMap<u32, Vec<EntityId>>,
+    arrived: Vec<bool>,
+    consumed: FxHashSet<(u32, u16)>,
+    matches: Vec<(EntityId, EntityId, f64)>,
+    total_comparisons: u64,
+    /// Pending neighbour evidence from matches: pair → accumulated boost.
+    evidence: FxHashMap<(EntityId, EntityId), f64>,
+}
+
+impl<'d> IncrementalResolver<'d> {
+    /// Creates an empty resolver over a dataset and its matcher.
+    pub fn new(dataset: &'d Dataset, matcher: &'d Matcher, config: IncrementalConfig) -> Self {
+        assert!(config.alpha >= 0.0, "alpha must be non-negative");
+        assert!(config.max_candidates > 0, "need at least one candidate slot");
+        Self {
+            dataset,
+            matcher,
+            config,
+            state: ResolutionState::new(dataset),
+            index: FxHashMap::default(),
+            arrived: vec![false; dataset.len()],
+            consumed: FxHashSet::default(),
+            matches: Vec::new(),
+            total_comparisons: 0,
+            evidence: FxHashMap::default(),
+        }
+    }
+
+    /// Number of descriptions that have arrived.
+    pub fn arrived_count(&self) -> usize {
+        self.arrived.iter().filter(|&&a| a).count()
+    }
+
+    /// All accepted matches so far, in acceptance order.
+    pub fn matches(&self) -> &[(EntityId, EntityId, f64)] {
+        &self.matches
+    }
+
+    /// Total comparisons executed so far.
+    pub fn comparisons(&self) -> u64 {
+        self.total_comparisons
+    }
+
+    /// Final clusters (≥ 2 members) of the current state.
+    pub fn clusters(&mut self) -> Vec<Vec<u32>> {
+        self.state.final_clusters(2)
+    }
+
+    /// Processes the arrival of `e`. Arriving twice is a no-op.
+    pub fn arrive(&mut self, e: EntityId) -> ArrivalReport {
+        if self.arrived[e.index()] {
+            return ArrivalReport::default();
+        }
+        self.arrived[e.index()] = true;
+        let tokens = self.matcher.tokens_of(e);
+
+        // --- Candidate generation: common-token counting -----------------
+        let mut common: FxHashMap<EntityId, u32> = FxHashMap::default();
+        for &t in tokens {
+            if let Some(carriers) = self.index.get(&t) {
+                if carriers.len() > self.config.max_token_frequency {
+                    continue; // stop token
+                }
+                for &other in carriers {
+                    *common.entry(other).or_insert(0) += 1;
+                }
+            }
+        }
+        // Index the newcomer *after* lookup so it is not its own candidate.
+        for &t in tokens {
+            self.index.entry(t).or_default().push(e);
+        }
+
+        let mut candidates: Vec<(EntityId, f64)> = common
+            .into_iter()
+            .filter(|&(other, _)| self.comparable(e, other))
+            .map(|(other, cbs)| {
+                let boost = self
+                    .evidence
+                    .get(&pair_key(e, other))
+                    .copied()
+                    .unwrap_or(0.0);
+                (other, cbs as f64 + boost * 100.0)
+            })
+            .collect();
+        candidates.sort_by(|x, y| {
+            y.1.partial_cmp(&x.1).expect("finite").then(x.0.cmp(&y.0))
+        });
+        candidates.truncate(self.config.max_candidates);
+
+        // --- Budgeted best-first matching --------------------------------
+        let mut report = ArrivalReport { candidates: candidates.len(), ..Default::default() };
+        for &(other, _) in &candidates {
+            if report.comparisons >= self.config.budget_per_arrival {
+                break;
+            }
+            if self.state.same_cluster(e, other) || self.is_consumed(e, other) {
+                continue;
+            }
+            report.comparisons += 1;
+            self.total_comparisons += 1;
+            let value = self.matcher.value_similarity(e, other);
+            let boost = self.evidence.get(&pair_key(e, other)).copied().unwrap_or(0.0);
+            let score = self.matcher.composite(value, boost);
+            if self.matcher.is_match(value, score) {
+                self.state.record_match(e, other);
+                self.matches.push((e.min(other), e.max(other), score));
+                report.matches.push((other, score));
+                self.consume(e, other);
+                if self.config.alpha > 0.0 {
+                    self.propagate(e, other, score);
+                }
+                if self.config.unique_mapping {
+                    // The newcomer may still match entities of *other* KBs;
+                    // keep scanning.
+                    continue;
+                }
+            }
+        }
+        report
+    }
+
+    /// Processes a batch of arrivals in order.
+    pub fn arrive_all(&mut self, entities: impl IntoIterator<Item = EntityId>) -> ArrivalReport {
+        let mut total = ArrivalReport::default();
+        for e in entities {
+            let r = self.arrive(e);
+            total.candidates += r.candidates;
+            total.comparisons += r.comparisons;
+            total.matches.extend(r.matches);
+        }
+        total
+    }
+
+    /// Stores neighbour evidence for the pairs linked to a fresh match; if
+    /// the counterpart pair has already arrived it will be found at its
+    /// next arrival-driven comparison (or immediately, when both ends have
+    /// arrived, via a direct budgeted re-check).
+    fn propagate(&mut self, a: EntityId, b: EntityId, score: f64) {
+        const CAP: usize = 8;
+        let na = self.dataset.neighbors(a);
+        let nb = self.dataset.neighbors(b);
+        let damp = (((na.len().min(CAP) * nb.len().min(CAP)) as f64).sqrt() / 2.0).max(1.0);
+        let delta = self.config.alpha * score / damp;
+        if delta < 0.02 {
+            return;
+        }
+        let mut recheck: Vec<(EntityId, EntityId)> = Vec::new();
+        for &x in na.iter().take(CAP) {
+            for &y in nb.iter().take(CAP) {
+                if x == y || !self.comparable(x, y) {
+                    continue;
+                }
+                let key = pair_key(x, y);
+                *self.evidence.entry(key).or_insert(0.0) += delta;
+                if self.arrived[x.index()] && self.arrived[y.index()] {
+                    recheck.push(key);
+                }
+            }
+        }
+        // Immediate re-check of fully-arrived influenced pairs (bounded).
+        for (x, y) in recheck.into_iter().take(CAP) {
+            if self.state.same_cluster(x, y) || self.is_consumed(x, y) {
+                continue;
+            }
+            self.total_comparisons += 1;
+            let value = self.matcher.value_similarity(x, y);
+            let boost = self.evidence[&pair_key(x, y)];
+            let score = self.matcher.composite(value, boost);
+            if self.matcher.is_match(value, score) {
+                self.state.record_match(x, y);
+                self.matches.push((x.min(y), x.max(y), score));
+                self.consume(x, y);
+            }
+        }
+    }
+
+    fn comparable(&self, a: EntityId, b: EntityId) -> bool {
+        a != b && self.dataset.kb_of(a) != self.dataset.kb_of(b)
+    }
+
+    fn is_consumed(&self, a: EntityId, b: EntityId) -> bool {
+        self.config.unique_mapping
+            && (self.consumed.contains(&(a.0, self.dataset.kb_of(b).0))
+                || self.consumed.contains(&(b.0, self.dataset.kb_of(a).0)))
+    }
+
+    fn consume(&mut self, a: EntityId, b: EntityId) {
+        if self.config.unique_mapping {
+            self.consumed.insert((a.0, self.dataset.kb_of(b).0));
+            self.consumed.insert((b.0, self.dataset.kb_of(a).0));
+        }
+    }
+}
+
+#[inline]
+fn pair_key(a: EntityId, b: EntityId) -> (EntityId, EntityId) {
+    (a.min(b), a.max(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::MatcherConfig;
+    use minoan_datagen::{generate, profiles, GeneratedWorld};
+
+    fn world() -> GeneratedWorld {
+        generate(&profiles::center_dense(200, 71))
+    }
+
+    fn quality(g: &GeneratedWorld, matches: &[(EntityId, EntityId, f64)]) -> (f64, f64) {
+        if matches.is_empty() {
+            return (0.0, 0.0);
+        }
+        let tp = matches.iter().filter(|(a, b, _)| g.truth.is_match(*a, *b)).count() as f64;
+        (tp / matches.len() as f64, tp / g.truth.matching_pairs() as f64)
+    }
+
+    #[test]
+    fn streaming_resolution_reaches_batch_like_quality() {
+        let g = world();
+        let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+        let mut inc =
+            IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        inc.arrive_all(g.dataset.entities());
+        let (precision, recall) = quality(&g, inc.matches());
+        assert!(precision > 0.9, "precision {precision}");
+        assert!(recall > 0.6, "recall {recall}");
+        assert!(!inc.clusters().is_empty());
+    }
+
+    #[test]
+    fn arrival_order_invariance_of_quality() {
+        let g = world();
+        let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+        // Forward order.
+        let mut fwd = IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        fwd.arrive_all(g.dataset.entities());
+        // Reverse order.
+        let mut rev = IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        let mut order: Vec<EntityId> = g.dataset.entities().collect();
+        order.reverse();
+        rev.arrive_all(order);
+        let (_, recall_fwd) = quality(&g, fwd.matches());
+        let (_, recall_rev) = quality(&g, rev.matches());
+        assert!(
+            (recall_fwd - recall_rev).abs() < 0.15,
+            "order should not change quality much: {recall_fwd} vs {recall_rev}"
+        );
+    }
+
+    #[test]
+    fn double_arrival_is_noop() {
+        let g = world();
+        let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+        let mut inc = IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        let e = EntityId(0);
+        inc.arrive(e);
+        let before = inc.comparisons();
+        let r = inc.arrive(e);
+        assert_eq!(r, ArrivalReport::default());
+        assert_eq!(inc.comparisons(), before);
+        assert_eq!(inc.arrived_count(), 1);
+    }
+
+    #[test]
+    fn budget_per_arrival_is_respected() {
+        let g = world();
+        let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+        let config = IncrementalConfig { budget_per_arrival: 3, ..Default::default() };
+        let mut inc = IncrementalResolver::new(&g.dataset, &matcher, config);
+        for e in g.dataset.entities() {
+            let r = inc.arrive(e);
+            assert!(r.comparisons <= 3, "arrival exceeded budget: {}", r.comparisons);
+        }
+    }
+
+    #[test]
+    fn unique_mapping_enforced() {
+        let g = world();
+        let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+        let mut inc = IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        inc.arrive_all(g.dataset.entities());
+        let mut seen: FxHashSet<(u32, u16)> = FxHashSet::default();
+        for (a, b, _) in inc.matches() {
+            assert!(seen.insert((a.0, g.dataset.kb_of(*b).0)), "{a:?} double-matched");
+            assert!(seen.insert((b.0, g.dataset.kb_of(*a).0)), "{b:?} double-matched");
+        }
+    }
+
+    #[test]
+    fn stop_tokens_are_skipped() {
+        let g = world();
+        let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+        // Frequency cap of 1: every shared token becomes a stop token after
+        // its second carrier, so candidate counts collapse.
+        let strict = IncrementalConfig { max_token_frequency: 1, ..Default::default() };
+        let mut inc_strict = IncrementalResolver::new(&g.dataset, &matcher, strict);
+        let mut inc_default =
+            IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        let strict_report = inc_strict.arrive_all(g.dataset.entities());
+        let default_report = inc_default.arrive_all(g.dataset.entities());
+        assert!(strict_report.candidates < default_report.candidates);
+    }
+
+    #[test]
+    fn empty_resolver_state() {
+        let g = world();
+        let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+        let mut inc = IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        assert_eq!(inc.arrived_count(), 0);
+        assert_eq!(inc.comparisons(), 0);
+        assert!(inc.matches().is_empty());
+        assert!(inc.clusters().is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! The matching phase: value similarity of two descriptions.
+//!
+//! Schema-agnostic value similarity is the primary signal: IDF-weighted
+//! token overlap over all blocking tokens of the two descriptions. Where
+//! name-like attributes exist, a Jaro–Winkler component on their values is
+//! blended in. The engine further combines this *value* similarity with
+//! accumulated *neighbour* evidence (see [`Matcher::composite`]) — the
+//! paper's "similarity evidence of entity neighbors".
+
+use minoan_common::Interner;
+use minoan_rdf::{Dataset, EntityId};
+use minoan_similarity::{jaro_winkler, token, TfIdfWeights};
+
+/// Token-level similarity measure used on value tokens.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ValueMeasure {
+    /// Plain Jaccard over distinct tokens.
+    Jaccard,
+    /// IDF-weighted Jaccard (default — rare shared tokens dominate).
+    WeightedJaccard,
+    /// TF-IDF cosine.
+    TfIdfCosine,
+}
+
+/// Matcher configuration.
+#[derive(Clone, Debug)]
+pub struct MatcherConfig {
+    /// Token measure.
+    pub measure: ValueMeasure,
+    /// Weight of the name-string component (0 disables it). The token
+    /// component gets `1 − name_weight` when names are present.
+    pub name_weight: f64,
+    /// Similarity threshold at or above which a pair is declared a match.
+    pub threshold: f64,
+    /// Weight of neighbour evidence in the composite score (`β`); the value
+    /// similarity gets `1 − β` when evidence is present.
+    pub evidence_weight: f64,
+    /// Minimum *value* similarity any match must have, regardless of
+    /// neighbour evidence — evidence corroborates weak token overlap, it
+    /// never substitutes for zero overlap.
+    pub value_floor: f64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        Self {
+            measure: ValueMeasure::TfIdfCosine,
+            name_weight: 0.25,
+            threshold: 0.4,
+            evidence_weight: 0.3,
+            value_floor: 0.3,
+        }
+    }
+}
+
+/// Precomputed matcher over a dataset.
+///
+/// Construction tokenises every description once, interns tokens and
+/// builds corpus IDF statistics; [`Matcher::value_similarity`] is then a
+/// linear merge over two small sorted vectors.
+pub struct Matcher {
+    config: MatcherConfig,
+    /// Sorted, deduplicated token-id vector per entity.
+    tokens: Vec<Box<[u32]>>,
+    /// First name-like literal per entity (for the string component).
+    names: Vec<Option<Box<str>>>,
+    idf: TfIdfWeights,
+}
+
+impl Matcher {
+    /// Builds the matcher for `dataset` under `config`.
+    pub fn new(dataset: &Dataset, config: MatcherConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&config.name_weight)
+                && (0.0..=1.0).contains(&config.evidence_weight)
+                && (0.0..=1.0).contains(&config.threshold)
+                && (0.0..=1.0).contains(&config.value_floor),
+            "matcher weights must be in [0,1]"
+        );
+        let mut interner = Interner::with_capacity(dataset.len() * 4);
+        let mut tokens: Vec<Box<[u32]>> = Vec::with_capacity(dataset.len());
+        let mut names: Vec<Option<Box<str>>> = Vec::with_capacity(dataset.len());
+        for e in dataset.entities() {
+            let toks: Vec<u32> = dataset
+                .blocking_tokens(e)
+                .into_iter()
+                .map(|t| interner.intern(&t).0)
+                .collect();
+            tokens.push(token::prepare(toks).into_boxed_slice());
+            names.push(dataset.name_values(e).first().map(|s| (*s).into()));
+        }
+        let idf = TfIdfWeights::build(interner.len(), tokens.iter());
+        Self { config, tokens, names, idf }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MatcherConfig {
+        &self.config
+    }
+
+    /// Value similarity of two descriptions in `[0, 1]`.
+    pub fn value_similarity(&self, a: EntityId, b: EntityId) -> f64 {
+        let (ta, tb) = (&self.tokens[a.index()], &self.tokens[b.index()]);
+        let tok_sim = match self.config.measure {
+            ValueMeasure::Jaccard => token::jaccard(ta, tb),
+            ValueMeasure::WeightedJaccard => {
+                token::weighted_jaccard(ta, tb, |t| self.idf.idf(t))
+            }
+            ValueMeasure::TfIdfCosine => self.idf.cosine(ta, tb),
+        };
+        let name_sim = match (&self.names[a.index()], &self.names[b.index()]) {
+            (Some(na), Some(nb)) if self.config.name_weight > 0.0 => {
+                Some(jaro_winkler(&na.to_lowercase(), &nb.to_lowercase()))
+            }
+            _ => None,
+        };
+        match name_sim {
+            Some(ns) => {
+                (1.0 - self.config.name_weight) * tok_sim + self.config.name_weight * ns
+            }
+            None => tok_sim,
+        }
+    }
+
+    /// Composite score folding neighbour `evidence` into the value
+    /// similarity as an *additive boost*: with evidence `ε` and weight `β`,
+    /// `score = min(1, value + β·min(1, ε))`. Evidence can only help — a
+    /// pair never scores below its value similarity (matched neighbours are
+    /// positive evidence, per the paper's update phase).
+    pub fn composite(&self, value_sim: f64, evidence: f64) -> f64 {
+        if evidence <= 0.0 {
+            return value_sim;
+        }
+        (value_sim + self.config.evidence_weight * evidence.min(1.0)).min(1.0)
+    }
+
+    /// Whether a pair is a match: composite score at or above the
+    /// threshold *and* value similarity at or above the floor.
+    pub fn is_match(&self, value_sim: f64, score: f64) -> bool {
+        score >= self.config.threshold && value_sim >= self.config.value_floor
+    }
+
+    /// Whether a previously measured pair could now be declared a match
+    /// given its (grown) neighbour evidence. Value similarity is
+    /// deterministic, so a re-comparison is worth scheduling only when
+    /// this returns `true`.
+    pub fn could_rematch(&self, last_value: f64, evidence: f64) -> bool {
+        self.is_match(last_value, self.composite(last_value, evidence))
+    }
+
+    /// The token ids of an entity (sorted, deduplicated) — exposed for
+    /// diagnostics and tests.
+    pub fn tokens_of(&self, e: EntityId) -> &[u32] {
+        &self.tokens[e.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_datagen::{generate, profiles};
+    use minoan_rdf::DatasetBuilder;
+
+    fn toy() -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        b.add_literal(k0, "http://a/knossos", "http://o/label", "Knossos Palace ruins");
+        b.add_literal(k0, "http://a/athens", "http://o/label", "Athens Acropolis ruins");
+        b.add_literal(k1, "http://b/knossos", "http://o/name", "Knossos Palace site");
+        b.add_literal(k1, "http://b/sparta", "http://o/name", "Ancient Sparta site");
+        b.build()
+    }
+
+    #[test]
+    fn matching_pair_scores_higher_than_non_matching() {
+        let ds = toy();
+        let m = Matcher::new(&ds, MatcherConfig::default());
+        let ka = ds.entity_by_uri("http://a/knossos").unwrap();
+        let kb = ds.entity_by_uri("http://b/knossos").unwrap();
+        let sp = ds.entity_by_uri("http://b/sparta").unwrap();
+        assert!(m.value_similarity(ka, kb) > m.value_similarity(ka, sp));
+        assert!(m.value_similarity(ka, kb) > 0.4);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let ds = toy();
+        for measure in [ValueMeasure::Jaccard, ValueMeasure::WeightedJaccard, ValueMeasure::TfIdfCosine] {
+            let m = Matcher::new(&ds, MatcherConfig { measure, ..Default::default() });
+            for a in ds.entities() {
+                for b in ds.entities() {
+                    let s = m.value_similarity(a, b);
+                    assert!((0.0..=1.0 + 1e-9).contains(&s), "{measure:?} gave {s}");
+                    assert!((s - m.value_similarity(b, a)).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_descriptions_score_near_one() {
+        let ds = toy();
+        let m = Matcher::new(&ds, MatcherConfig::default());
+        for e in ds.entities() {
+            assert!(m.value_similarity(e, e) > 0.99);
+        }
+    }
+
+    #[test]
+    fn composite_blends_evidence() {
+        let ds = toy();
+        let m = Matcher::new(&ds, MatcherConfig::default());
+        assert_eq!(m.composite(0.3, 0.0), 0.3, "no evidence → value only");
+        let boosted = m.composite(0.3, 1.0);
+        assert!((boosted - (0.3 + m.config().evidence_weight)).abs() < 1e-12);
+        assert!(m.composite(0.9, 10.0) <= 1.0, "evidence clamped");
+        // Evidence never hurts.
+        assert!(m.composite(0.3, 0.2) >= 0.3);
+    }
+
+    #[test]
+    fn threshold_separates_truth_on_generated_data() {
+        let g = generate(&profiles::center_dense(150, 14));
+        let m = Matcher::new(&g.dataset, MatcherConfig::default());
+        // Average similarity of true pairs must clearly exceed random pairs.
+        let mut truth_sims = Vec::new();
+        for (a, b) in g.truth.matching_pair_iter().take(150) {
+            truth_sims.push(m.value_similarity(a, b));
+        }
+        let mut rand_sims = Vec::new();
+        let n = g.dataset.len() as u32;
+        for i in 0..150u32 {
+            let (a, b) = (EntityId(i % n), EntityId((i * 7 + 3) % n));
+            if a != b && !g.truth.is_match(a, b) {
+                rand_sims.push(m.value_similarity(a, b));
+            }
+        }
+        let tm = minoan_common::stats::mean(&truth_sims);
+        let rm = minoan_common::stats::mean(&rand_sims);
+        assert!(tm > rm + 0.3, "separation too weak: true {tm:.3} vs random {rm:.3}");
+    }
+
+    #[test]
+    fn name_component_requires_both_names() {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        // One side has a label, the other only an unrelated property.
+        b.add_literal(k0, "http://a/x", "http://o/label", "shared words here");
+        b.add_literal(k1, "http://b/x", "http://o/population", "shared words here");
+        let ds = b.build();
+        let m = Matcher::new(&ds, MatcherConfig::default());
+        let a = ds.entity_by_uri("http://a/x").unwrap();
+        let bb = ds.entity_by_uri("http://b/x").unwrap();
+        // Falls back to pure token similarity = 1.0 (same tokens).
+        assert!(m.value_similarity(a, bb) > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "matcher weights")]
+    fn invalid_config_panics() {
+        let ds = toy();
+        let _ = Matcher::new(&ds, MatcherConfig { threshold: 1.5, ..Default::default() });
+    }
+}

@@ -1,0 +1,276 @@
+//! The end-to-end MinoanER platform (Figure 1 of the paper).
+//!
+//! `Dataset → Blocking → Meta-blocking → Progressive matching → Resolution`
+//! behind a single configurable entry point. Each stage is also available
+//! separately (see the respective crates) — the pipeline just wires them
+//! with sensible defaults.
+
+use crate::engine::{ProgressiveResolver, Resolution, ResolverConfig};
+use crate::matcher::{Matcher, MatcherConfig};
+use minoan_blocking::{builders, filter, purge, BlockCollection, ErMode};
+use minoan_metablocking::{prune, BlockingGraph, WeightingScheme};
+use minoan_rdf::{Dataset, EntityId};
+
+/// Which blocking-key extractor to use.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum BlockingMethod {
+    /// Tokens of attribute values (and resource-URI infixes).
+    Token,
+    /// Tokens of the subject-URI infix only.
+    UriInfix,
+    /// Union of the two (the paper's "descriptions or URIs" criterion).
+    TokenAndUri,
+    /// Attribute-clustering blocking with the given link threshold.
+    AttributeClustering {
+        /// Minimum attribute-vocabulary Jaccard to link two attributes.
+        link_threshold: f64,
+    },
+    /// Any blocker from the full method catalogue (q-grams, sorted
+    /// neighborhood, MinHash-LSH, canopy, …).
+    Custom(minoan_blocking::Method),
+}
+
+/// Which meta-blocking pruning algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PruningMethod {
+    /// No pruning: all blocking-graph edges become candidates.
+    None,
+    /// Weighted edge pruning.
+    Wep,
+    /// Cardinality edge pruning (global top-k; `None` = literature default).
+    Cep(Option<usize>),
+    /// Weighted node pruning; `reciprocal` = intersection variant.
+    Wnp {
+        /// Both endpoints must retain the edge.
+        reciprocal: bool,
+    },
+    /// Cardinality node pruning; per-node `k` (`None` = default).
+    Cnp {
+        /// Both endpoints must retain the edge.
+        reciprocal: bool,
+        /// Per-node cardinality override.
+        k: Option<usize>,
+    },
+}
+
+/// Full pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// Dirty or clean–clean ER.
+    pub mode: ErMode,
+    /// Blocking-key extractor.
+    pub blocking: BlockingMethod,
+    /// Run comparison-based block purging.
+    pub purge: bool,
+    /// Run block filtering with this retain ratio (`None` disables).
+    pub filter_ratio: Option<f64>,
+    /// Meta-blocking edge weighting scheme.
+    pub weighting: WeightingScheme,
+    /// Meta-blocking pruning algorithm.
+    pub pruning: PruningMethod,
+    /// Matcher configuration.
+    pub matcher: MatcherConfig,
+    /// Progressive engine configuration.
+    pub resolver: ResolverConfig,
+}
+
+impl Default for PipelineConfig {
+    /// The defaults used throughout EXPERIMENTS.md: token+URI blocking,
+    /// purge + filter(0.8), ARCS-weighted WNP, progressive pair-quantity.
+    fn default() -> Self {
+        Self {
+            mode: ErMode::CleanClean,
+            blocking: BlockingMethod::TokenAndUri,
+            purge: true,
+            filter_ratio: Some(filter::DEFAULT_RATIO),
+            weighting: WeightingScheme::Arcs,
+            pruning: PruningMethod::Wnp { reciprocal: false },
+            matcher: MatcherConfig::default(),
+            resolver: ResolverConfig::default(),
+        }
+    }
+}
+
+/// Stage-by-stage statistics plus the final resolution.
+#[derive(Debug)]
+pub struct PipelineOutput {
+    /// (blocks, comparisons-with-repetition) straight out of blocking.
+    pub blocks_raw: (usize, u64),
+    /// Same after purging/filtering.
+    pub blocks_clean: (usize, u64),
+    /// Number of candidate pairs handed to the engine.
+    pub candidates: usize,
+    /// The progressive resolution result.
+    pub resolution: Resolution,
+}
+
+/// The MinoanER pipeline.
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with `config`.
+    pub fn new(config: PipelineConfig) -> Self {
+        Self { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs blocking only (exposed for experiments).
+    pub fn block(&self, dataset: &Dataset) -> BlockCollection {
+        match self.config.blocking {
+            BlockingMethod::Token => builders::token_blocking(dataset, self.config.mode),
+            BlockingMethod::UriInfix => builders::uri_infix_blocking(dataset, self.config.mode),
+            BlockingMethod::TokenAndUri => {
+                builders::token_and_uri_blocking(dataset, self.config.mode)
+            }
+            BlockingMethod::Custom(method) => method.run(dataset, self.config.mode),
+            BlockingMethod::AttributeClustering { link_threshold } => {
+                builders::attribute_clustering_blocking(dataset, self.config.mode, link_threshold)
+            }
+        }
+    }
+
+    /// Runs block cleaning (purge + filter) per the configuration.
+    pub fn clean_blocks(&self, blocks: BlockCollection) -> BlockCollection {
+        let blocks = if self.config.purge {
+            purge::purge(&blocks).collection
+        } else {
+            blocks
+        };
+        match self.config.filter_ratio {
+            Some(r) => filter::filter_with(&blocks, r),
+            None => blocks,
+        }
+    }
+
+    /// Runs meta-blocking, returning weighted candidates.
+    pub fn meta_block(&self, blocks: &BlockCollection) -> Vec<(EntityId, EntityId, f64)> {
+        let graph = BlockingGraph::build(blocks);
+        let scheme = self.config.weighting;
+        let pruned = match self.config.pruning {
+            PruningMethod::None => {
+                return graph
+                    .edges()
+                    .iter()
+                    .map(|e| (e.a, e.b, scheme.weight(&graph, e)))
+                    .collect();
+            }
+            PruningMethod::Wep => prune::wep(&graph, scheme),
+            PruningMethod::Cep(k) => prune::cep(&graph, scheme, k),
+            PruningMethod::Wnp { reciprocal } => prune::wnp(&graph, scheme, reciprocal),
+            PruningMethod::Cnp { reciprocal, k } => prune::cnp(&graph, scheme, reciprocal, k),
+        };
+        pruned.pairs.into_iter().map(|p| (p.a, p.b, p.weight)).collect()
+    }
+
+    /// Runs the full pipeline on `dataset`.
+    pub fn run(&self, dataset: &Dataset) -> PipelineOutput {
+        let raw = self.block(dataset);
+        let blocks_raw = (raw.len(), raw.total_comparisons());
+        let clean = self.clean_blocks(raw);
+        let blocks_clean = (clean.len(), clean.total_comparisons());
+        let candidates = self.meta_block(&clean);
+        let matcher = Matcher::new(dataset, self.config.matcher.clone());
+        let resolver = ProgressiveResolver::new(dataset, matcher, self.config.resolver.clone());
+        let resolution = resolver.run(&candidates);
+        PipelineOutput {
+            blocks_raw,
+            blocks_clean,
+            candidates: candidates.len(),
+            resolution,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benefit::BenefitModel;
+    use crate::engine::Strategy;
+    use minoan_datagen::{generate, profiles};
+
+    #[test]
+    fn default_pipeline_end_to_end() {
+        let g = generate(&profiles::center_dense(150, 41));
+        let out = Pipeline::new(PipelineConfig::default()).run(&g.dataset);
+        assert!(out.blocks_raw.0 > 0);
+        assert!(out.blocks_clean.1 <= out.blocks_raw.1, "cleaning must not add comparisons");
+        assert!(out.candidates > 0);
+        let tp = out
+            .resolution
+            .matches
+            .iter()
+            .filter(|(a, b, _)| g.truth.is_match(*a, *b))
+            .count() as f64;
+        let recall = tp / g.truth.matching_pairs() as f64;
+        assert!(recall > 0.7, "pipeline recall {recall}");
+    }
+
+    #[test]
+    fn every_blocking_method_works() {
+        let g = generate(&profiles::center_dense(80, 1));
+        for blocking in [
+            BlockingMethod::Token,
+            BlockingMethod::UriInfix,
+            BlockingMethod::TokenAndUri,
+            BlockingMethod::AttributeClustering { link_threshold: 0.2 },
+        ] {
+            let cfg = PipelineConfig { blocking, ..Default::default() };
+            let out = Pipeline::new(cfg).run(&g.dataset);
+            assert!(out.blocks_raw.0 > 0, "{blocking:?} produced no blocks");
+        }
+    }
+
+    #[test]
+    fn every_pruning_method_works() {
+        let g = generate(&profiles::center_dense(80, 2));
+        for pruning in [
+            PruningMethod::None,
+            PruningMethod::Wep,
+            PruningMethod::Cep(None),
+            PruningMethod::Wnp { reciprocal: true },
+            PruningMethod::Cnp { reciprocal: false, k: None },
+        ] {
+            let cfg = PipelineConfig { pruning, ..Default::default() };
+            let out = Pipeline::new(cfg).run(&g.dataset);
+            assert!(out.candidates > 0, "{pruning:?} produced no candidates");
+        }
+    }
+
+    #[test]
+    fn pruning_none_keeps_every_edge() {
+        let g = generate(&profiles::center_dense(60, 3));
+        let all = Pipeline::new(PipelineConfig {
+            pruning: PruningMethod::None,
+            ..Default::default()
+        });
+        let wep = Pipeline::new(PipelineConfig {
+            pruning: PruningMethod::Wep,
+            ..Default::default()
+        });
+        let blocks_a = all.clean_blocks(all.block(&g.dataset));
+        let ca = all.meta_block(&blocks_a).len();
+        let cw = wep.meta_block(&blocks_a).len();
+        assert!(cw < ca, "WEP must prune ({cw} vs {ca})");
+    }
+
+    #[test]
+    fn dirty_mode_pipeline() {
+        let g = generate(&profiles::dirty_single(80, 4));
+        let cfg = PipelineConfig {
+            mode: ErMode::Dirty,
+            resolver: ResolverConfig {
+                strategy: Strategy::Progressive(BenefitModel::EntityCoverage),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let out = Pipeline::new(cfg).run(&g.dataset);
+        assert!(!out.resolution.matches.is_empty());
+    }
+}

@@ -1,0 +1,191 @@
+//! The scheduling phase: a lazy max-priority queue over candidates.
+//!
+//! Benefits change as resolution progresses (entity coverage drops once an
+//! endpoint is resolved; relationship completeness rises as neighbours
+//! match), so stored priorities go stale. The scheduler handles this
+//! lazily:
+//!
+//! * every benefit-raising event pushes a *fresh* entry carrying the
+//!   candidate's current epoch — stale epochs are discarded on pop;
+//! * on pop, the current benefit is recomputed; if it still beats the next
+//!   entry it is returned, otherwise the entry is re-queued at its true
+//!   priority. Priorities only need to be correct at pop time.
+
+use crate::candidates::{CandidateId, CandidatePool};
+use minoan_common::OrdF64;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq, Eq)]
+struct Entry {
+    priority: OrdF64,
+    /// Tie-break: lower candidate id first (deterministic schedules).
+    id: std::cmp::Reverse<u32>,
+    epoch: u32,
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lazy max-heap scheduler.
+#[derive(Default)]
+pub struct Scheduler {
+    heap: BinaryHeap<Entry>,
+}
+
+/// Slack under which a re-scored entry is accepted without re-queueing.
+const EPS: f64 = 1e-9;
+
+impl Scheduler {
+    /// Empty scheduler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current number of queued entries (including stale ones).
+    pub fn queued(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Queues `id` at `priority` with the candidate's current epoch.
+    pub fn push(&mut self, pool: &CandidatePool, id: CandidateId, priority: f64) {
+        self.heap.push(Entry {
+            priority: OrdF64(priority),
+            id: std::cmp::Reverse(id.0),
+            epoch: pool.get(id).epoch,
+        });
+    }
+
+    /// Pops the candidate with the highest *current* priority.
+    ///
+    /// `rescore` must return the candidate's up-to-date priority; it is
+    /// invoked on every considered entry, so it should be cheap. Returns
+    /// `None` when no valid entry remains.
+    pub fn pop_best(
+        &mut self,
+        pool: &CandidatePool,
+        mut rescore: impl FnMut(CandidateId) -> f64,
+    ) -> Option<(CandidateId, f64)> {
+        while let Some(entry) = self.heap.pop() {
+            let id = CandidateId(entry.id.0);
+            // Stale: a newer entry for this candidate exists (epoch bumped).
+            if entry.epoch != pool.get(id).epoch {
+                continue;
+            }
+            let current = rescore(id);
+            let next_best = self.heap.peek().map(|e| e.priority.0).unwrap_or(f64::MIN);
+            if current + EPS >= next_best {
+                return Some((id, current));
+            }
+            // True priority dropped below the next entry: re-queue.
+            self.heap.push(Entry {
+                priority: OrdF64(current),
+                id: entry.id,
+                epoch: entry.epoch,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_rdf::EntityId;
+
+    fn pool_with(n: u32) -> CandidatePool {
+        let mut p = CandidatePool::new();
+        for i in 0..n {
+            p.insert(EntityId(i), EntityId(i + 100), 0.5);
+        }
+        p
+    }
+
+    #[test]
+    fn pops_in_priority_order() {
+        let pool = pool_with(3);
+        let mut s = Scheduler::new();
+        s.push(&pool, CandidateId(0), 0.3);
+        s.push(&pool, CandidateId(1), 0.9);
+        s.push(&pool, CandidateId(2), 0.6);
+        let order: Vec<u32> = std::iter::from_fn(|| {
+            s.pop_best(&pool, |id| match id.0 {
+                0 => 0.3,
+                1 => 0.9,
+                _ => 0.6,
+            })
+            .map(|(id, _)| id.0)
+        })
+        .collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn stale_epochs_are_skipped() {
+        let mut pool = pool_with(2);
+        let mut s = Scheduler::new();
+        s.push(&pool, CandidateId(0), 0.9);
+        // Bump candidate 0's epoch (as the update phase would) and re-push.
+        pool.add_evidence(EntityId(0), EntityId(100), 0.2);
+        s.push(&pool, CandidateId(0), 0.95);
+        s.push(&pool, CandidateId(1), 0.5);
+        let (id, p) = s.pop_best(&pool, |id| if id.0 == 0 { 0.95 } else { 0.5 }).unwrap();
+        assert_eq!(id.0, 0);
+        assert!((p - 0.95).abs() < 1e-12);
+        // The stale 0.9 entry must not deliver candidate 0 twice.
+        let (id2, _) = s.pop_best(&pool, |_| 0.5).unwrap();
+        assert_eq!(id2.0, 1);
+        assert!(s.pop_best(&pool, |_| 0.0).is_none());
+    }
+
+    #[test]
+    fn drifted_priorities_are_requeued() {
+        let pool = pool_with(2);
+        let mut s = Scheduler::new();
+        s.push(&pool, CandidateId(0), 1.0); // stored high…
+        s.push(&pool, CandidateId(1), 0.8);
+        // …but its true priority collapsed to 0.1.
+        let (first, p) = s
+            .pop_best(&pool, |id| if id.0 == 0 { 0.1 } else { 0.8 })
+            .unwrap();
+        assert_eq!(first.0, 1, "candidate 1 must overtake");
+        assert!((p - 0.8).abs() < 1e-12);
+        let (second, p2) = s.pop_best(&pool, |_| 0.1).unwrap();
+        assert_eq!(second.0, 0);
+        assert!((p2 - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_id() {
+        let pool = pool_with(3);
+        let mut s = Scheduler::new();
+        s.push(&pool, CandidateId(2), 0.5);
+        s.push(&pool, CandidateId(0), 0.5);
+        s.push(&pool, CandidateId(1), 0.5);
+        let order: Vec<u32> = std::iter::from_fn(|| s.pop_best(&pool, |_| 0.5).map(|(i, _)| i.0)).collect();
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn empty_pop_returns_none() {
+        let pool = pool_with(1);
+        let mut s = Scheduler::new();
+        assert!(s.pop_best(&pool, |_| 1.0).is_none());
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,212 @@
+//! Named dataset profiles.
+//!
+//! The MinoanER line of work evaluates on recurring benchmark families
+//! (Restaurants, Rexa–DBLP, BBCmusic–DBpedia, YAGO–IMDb). The real data is
+//! not redistributable, so each profile below is a synthetic analogue tuned
+//! to the family's *regime*: KB count, size ratio, vocabulary overlap and
+//! token overlap. Absolute sizes are scaled by the caller-supplied entity
+//! count so tests stay fast while benches can grow them.
+
+use crate::config::{KbConfig, WorldConfig};
+
+fn base(num_entities: usize, seed: u64) -> WorldConfig {
+    WorldConfig {
+        seed,
+        num_entities,
+        num_types: 4,
+        attrs_per_entity: 6,
+        vocab_tokens: (num_entities * 12).max(1_000),
+        zipf_exponent: 1.0,
+        value_tokens_min: 1,
+        value_tokens_max: 4,
+        mean_links: 3.5,
+        kbs: Vec::new(),
+    }
+}
+
+/// Two centre-of-the-cloud KBs: highly similar descriptions, shared
+/// vocabulary (the easy regime — DBpedia ↔ YAGO style).
+pub fn center_dense(num_entities: usize, seed: u64) -> WorldConfig {
+    let mut c = base(num_entities, seed);
+    c.kbs = vec![KbConfig::center("dbp"), KbConfig::center("ygo")];
+    c
+}
+
+/// Two periphery KBs: somehow similar descriptions with few common tokens,
+/// proprietary vocabularies, opaque URIs (the hard regime the progressive
+/// update phase targets).
+pub fn periphery_sparse(num_entities: usize, seed: u64) -> WorldConfig {
+    let mut c = base(num_entities, seed);
+    c.kbs = vec![KbConfig::periphery("openfood"), KbConfig::periphery("bio2rdf")];
+    c
+}
+
+/// Two KBs whose values agree token-for-token but suffer heavy
+/// character-level corruption (typo rate ≈ 0.45, short values): the OCR /
+/// transliteration regime where *exact* token blocking collapses and the
+/// fuzzy blocker families (q-grams, LSH) earn their comparisons.
+pub fn typo_noisy(num_entities: usize, seed: u64) -> WorldConfig {
+    typo_noisy_with(num_entities, seed, crate::CorruptionModel::Typo)
+}
+
+/// [`typo_noisy`] with an explicit corruption model (OCR confusion,
+/// abbreviation, insert/delete) — the E17 sweep.
+pub fn typo_noisy_with(
+    num_entities: usize,
+    seed: u64,
+    model: crate::CorruptionModel,
+) -> WorldConfig {
+    let mut c = base(num_entities, seed);
+    c.value_tokens_min = 1;
+    c.value_tokens_max = 2;
+    let noisy = |name: &str| {
+        let mut kb = KbConfig::center(name);
+        kb.typo_rate = 0.45;
+        kb.token_overlap = 0.97;
+        kb.vocab_overlap = 0.85;
+        kb.corruption = model;
+        // Scanned/transliterated feeds mint opaque ids: no URI evidence,
+        // the corrupted values are all there is.
+        kb.opaque_uris = true;
+        kb
+    };
+    c.kbs = vec![noisy("scanA"), noisy("scanB")];
+    c
+}
+
+/// One centre + one periphery KB — the cross-regime case.
+pub fn center_periphery(num_entities: usize, seed: u64) -> WorldConfig {
+    let mut c = base(num_entities, seed);
+    c.kbs = vec![KbConfig::center("dbp"), KbConfig::periphery("bbcmusic")];
+    c
+}
+
+/// A small LOD cloud: two centre and two periphery KBs describing one
+/// world (multi-source ER).
+pub fn lod_cloud(num_entities: usize, seed: u64) -> WorldConfig {
+    let mut c = base(num_entities, seed);
+    c.kbs = vec![
+        KbConfig::center("dbp"),
+        KbConfig::center("ygo"),
+        KbConfig::periphery("openfood"),
+        KbConfig::periphery("geo"),
+    ];
+    c
+}
+
+/// A single dirty KB with intra-source duplicates.
+pub fn dirty_single(num_entities: usize, seed: u64) -> WorldConfig {
+    let mut c = base(num_entities, seed);
+    let mut kb = KbConfig::center("dirty");
+    kb.coverage = 1.0;
+    kb.dups_per_entity = 2;
+    kb.token_overlap = 0.85;
+    c.kbs = vec![kb];
+    c
+}
+
+/// Restaurants analogue: small, two clean sources, near-identical schema.
+pub fn restaurants(seed: u64) -> WorldConfig {
+    let mut c = base(430, seed);
+    c.num_types = 1;
+    c.attrs_per_entity = 4;
+    let mut a = KbConfig::center("fodors");
+    let mut b = KbConfig::center("zagat");
+    a.coverage = 0.8;
+    b.coverage = 0.77;
+    c.kbs = vec![a, b];
+    c
+}
+
+/// Rexa–DBLP analogue: bibliographic, moderate heterogeneity, size-skewed
+/// sources.
+pub fn rexa_dblp(num_entities: usize, seed: u64) -> WorldConfig {
+    let mut c = base(num_entities, seed);
+    c.num_types = 2;
+    let mut rexa = KbConfig::periphery("rexa");
+    rexa.coverage = 0.35;
+    rexa.token_overlap = 0.55;
+    rexa.vocab_overlap = 0.45;
+    let mut dblp = KbConfig::center("dblp");
+    dblp.coverage = 0.95;
+    c.kbs = vec![rexa, dblp];
+    c
+}
+
+/// BBCmusic–DBpedia analogue: centre + periphery with opaque URIs on the
+/// periphery side and strong relationship structure (bands ↔ members).
+pub fn bbc_music_dbpedia(num_entities: usize, seed: u64) -> WorldConfig {
+    let mut c = center_periphery(num_entities, seed);
+    c.mean_links = 4.0;
+    c.kbs[1].link_keep = 0.8;
+    c
+}
+
+/// YAGO–IMDb analogue: two large centre-style KBs but with low attribute
+/// overlap (movies described by very different property sets).
+pub fn yago_imdb(num_entities: usize, seed: u64) -> WorldConfig {
+    let mut c = base(num_entities, seed);
+    let mut yago = KbConfig::center("yago");
+    let mut imdb = KbConfig::center("imdb");
+    yago.vocab_overlap = 0.4;
+    imdb.vocab_overlap = 0.4;
+    imdb.token_overlap = 0.6;
+    c.kbs = vec![yago, imdb];
+    c
+}
+
+/// All named profiles with a common size, for sweep-style experiments.
+pub fn all_profiles(num_entities: usize, seed: u64) -> Vec<(&'static str, WorldConfig)> {
+    // NOTE: typo_noisy is intentionally not in this sweep — it exists for
+    // the fuzzy-blocking experiment (E9), not the main pipeline grid.
+    vec![
+        ("center_dense", center_dense(num_entities, seed)),
+        ("periphery_sparse", periphery_sparse(num_entities, seed)),
+        ("center_periphery", center_periphery(num_entities, seed)),
+        ("lod_cloud", lod_cloud(num_entities, seed)),
+        ("dirty_single", dirty_single(num_entities, seed)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+
+    #[test]
+    fn all_profiles_validate_and_generate() {
+        for (name, cfg) in all_profiles(120, 3) {
+            cfg.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let g = generate(&cfg);
+            assert!(!g.dataset.is_empty(), "{name} generated nothing");
+            assert!(g.truth.matching_pairs() > 0, "{name} has no ground truth");
+        }
+    }
+
+    #[test]
+    fn named_analogues_validate() {
+        for cfg in [
+            restaurants(1),
+            rexa_dblp(200, 1),
+            bbc_music_dbpedia(200, 1),
+            yago_imdb(200, 1),
+        ] {
+            cfg.validate().expect("profile must validate");
+        }
+    }
+
+    #[test]
+    fn dirty_profile_is_single_kb() {
+        let g = generate(&dirty_single(100, 2));
+        assert_eq!(g.dataset.kb_count(), 1);
+        assert!(g.truth.matching_pairs() >= 90, "every entity is duplicated");
+    }
+
+    #[test]
+    fn lod_cloud_spans_four_kbs() {
+        let g = generate(&lod_cloud(80, 2));
+        assert_eq!(g.dataset.kb_count(), 4);
+        // Some entities described by 3+ KBs → clusters larger than 2.
+        assert!(g.truth.clusters().iter().any(|c| c.len() >= 3));
+    }
+}

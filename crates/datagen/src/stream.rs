@@ -1,0 +1,200 @@
+//! Arrival orders for streaming/incremental experiments.
+//!
+//! The incremental resolver's behaviour depends on *when* each description
+//! arrives relative to its duplicates. Real feeds exhibit several shapes,
+//! each reproduced here as a deterministic permutation of the dataset's
+//! entity ids:
+//!
+//! * [`ArrivalOrder::KbSequential`] — whole KBs arrive one after another
+//!   (a new source is onboarded; every duplicate pair straddles a long
+//!   temporal gap).
+//! * [`ArrivalOrder::RoundRobin`] — sources publish in lock-step (near-
+//!   simultaneous duplicates).
+//! * [`ArrivalOrder::Shuffled`] — fully interleaved, memoryless feed.
+//! * [`ArrivalOrder::ClusteredBursts`] — all descriptions of one
+//!   real-world entity arrive adjacently (ground-truth-informed; the
+//!   easiest case and a useful upper bound).
+
+use crate::truth::GroundTruth;
+use minoan_rdf::{Dataset, EntityId, KbId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How entities arrive in a streaming experiment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalOrder {
+    /// KB 0 fully, then KB 1, …
+    KbSequential,
+    /// One entity per KB in rotation.
+    RoundRobin,
+    /// Seeded uniform shuffle.
+    Shuffled {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Duplicates of the same world entity arrive back-to-back.
+    ClusteredBursts,
+}
+
+impl ArrivalOrder {
+    /// Short name for tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalOrder::KbSequential => "kb-sequential",
+            ArrivalOrder::RoundRobin => "round-robin",
+            ArrivalOrder::Shuffled { .. } => "shuffled",
+            ArrivalOrder::ClusteredBursts => "clustered-bursts",
+        }
+    }
+
+    /// Materialises the arrival permutation (every entity exactly once).
+    pub fn order(&self, dataset: &Dataset, truth: &GroundTruth) -> Vec<EntityId> {
+        match *self {
+            ArrivalOrder::KbSequential => {
+                let mut out = Vec::with_capacity(dataset.len());
+                for kb in 0..dataset.kb_count() {
+                    out.extend_from_slice(dataset.entities_of_kb(KbId(kb as u16)));
+                }
+                out
+            }
+            ArrivalOrder::RoundRobin => {
+                let per_kb: Vec<&[EntityId]> = (0..dataset.kb_count())
+                    .map(|kb| dataset.entities_of_kb(KbId(kb as u16)))
+                    .collect();
+                let longest = per_kb.iter().map(|l| l.len()).max().unwrap_or(0);
+                let mut out = Vec::with_capacity(dataset.len());
+                for i in 0..longest {
+                    for list in &per_kb {
+                        if let Some(&e) = list.get(i) {
+                            out.push(e);
+                        }
+                    }
+                }
+                out
+            }
+            ArrivalOrder::Shuffled { seed } => {
+                let mut out: Vec<EntityId> = dataset.entities().collect();
+                let mut rng = StdRng::seed_from_u64(seed);
+                out.shuffle(&mut rng);
+                out
+            }
+            ArrivalOrder::ClusteredBursts => {
+                let mut out = Vec::with_capacity(dataset.len());
+                for cluster in truth.clusters() {
+                    out.extend_from_slice(cluster);
+                }
+                // Clusters cover matchable descriptions; append any entity
+                // not referenced by the truth (defensive — generators always
+                // reference all).
+                let mut seen = vec![false; dataset.len()];
+                for &e in &out {
+                    seen[e.index()] = true;
+                }
+                for e in dataset.entities() {
+                    if !seen[e.index()] {
+                        out.push(e);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// All orders, for sweep experiments.
+    pub fn all(seed: u64) -> Vec<ArrivalOrder> {
+        vec![
+            ArrivalOrder::KbSequential,
+            ArrivalOrder::RoundRobin,
+            ArrivalOrder::Shuffled { seed },
+            ArrivalOrder::ClusteredBursts,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generate, profiles};
+
+    fn world() -> crate::GeneratedWorld {
+        generate(&profiles::center_dense(80, 29))
+    }
+
+    fn assert_permutation(dataset: &Dataset, order: &[EntityId]) {
+        assert_eq!(order.len(), dataset.len());
+        let mut seen = vec![false; dataset.len()];
+        for &e in order {
+            assert!(!seen[e.index()], "{e:?} appears twice");
+            seen[e.index()] = true;
+        }
+    }
+
+    #[test]
+    fn every_order_is_a_permutation() {
+        let g = world();
+        for order in ArrivalOrder::all(5) {
+            let o = order.order(&g.dataset, &g.truth);
+            assert_permutation(&g.dataset, &o);
+        }
+    }
+
+    #[test]
+    fn kb_sequential_groups_by_kb() {
+        let g = world();
+        let o = ArrivalOrder::KbSequential.order(&g.dataset, &g.truth);
+        let kbs: Vec<u16> = o.iter().map(|&e| g.dataset.kb_of(e).0).collect();
+        // Non-decreasing KB sequence.
+        assert!(kbs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let g = world();
+        let o = ArrivalOrder::RoundRobin.order(&g.dataset, &g.truth);
+        // The first kb_count() entries must cover distinct KBs (while all
+        // KBs still have entities).
+        let k = g.dataset.kb_count();
+        let first: Vec<u16> = o.iter().take(k).map(|&e| g.dataset.kb_of(e).0).collect();
+        let distinct: std::collections::HashSet<u16> = first.iter().copied().collect();
+        assert_eq!(distinct.len(), k);
+    }
+
+    #[test]
+    fn shuffled_differs_by_seed_but_is_deterministic() {
+        let g = world();
+        let a = ArrivalOrder::Shuffled { seed: 1 }.order(&g.dataset, &g.truth);
+        let b = ArrivalOrder::Shuffled { seed: 1 }.order(&g.dataset, &g.truth);
+        let c = ArrivalOrder::Shuffled { seed: 2 }.order(&g.dataset, &g.truth);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clustered_bursts_keeps_duplicates_adjacent() {
+        let g = world();
+        let o = ArrivalOrder::ClusteredBursts.order(&g.dataset, &g.truth);
+        // For each world entity with ≥ 2 descriptions, its positions in
+        // the order must be contiguous.
+        let pos: std::collections::HashMap<EntityId, usize> =
+            o.iter().enumerate().map(|(i, &e)| (e, i)).collect();
+        for cluster in g.truth.clusters() {
+            if cluster.len() < 2 {
+                continue;
+            }
+            let mut positions: Vec<usize> = cluster.iter().map(|e| pos[e]).collect();
+            positions.sort_unstable();
+            assert_eq!(
+                positions[positions.len() - 1] - positions[0],
+                positions.len() - 1,
+                "cluster not contiguous"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(ArrivalOrder::KbSequential.name(), "kb-sequential");
+        assert_eq!(ArrivalOrder::Shuffled { seed: 9 }.name(), "shuffled");
+    }
+}

@@ -1,0 +1,146 @@
+//! Ground truth: which descriptions refer to which real-world entity.
+
+use minoan_rdf::EntityId;
+
+/// Exact ground truth emitted alongside a generated [`crate::GeneratedWorld`].
+///
+/// Everything the evaluation needs: the description → world-entity map, the
+/// per-entity description clusters, and the world relationship graph (for
+/// the relationship-completeness quality dimension).
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    /// `entity_of[d]` = world entity described by description `d`.
+    entity_of: Vec<u32>,
+    /// `clusters[w]` = descriptions of world entity `w` (sorted ascending).
+    clusters: Vec<Vec<EntityId>>,
+    /// Undirected world relationship edges `(a < b)` between world entities.
+    world_links: Vec<(u32, u32)>,
+    /// Total number of matching description pairs (Σ C(|cluster|, 2)).
+    matching_pairs: u64,
+}
+
+impl GroundTruth {
+    /// Builds the truth from the description → world map and world links.
+    pub fn new(entity_of: Vec<u32>, num_world_entities: usize, world_links: Vec<(u32, u32)>) -> Self {
+        let mut clusters: Vec<Vec<EntityId>> = vec![Vec::new(); num_world_entities];
+        for (d, &w) in entity_of.iter().enumerate() {
+            clusters[w as usize].push(EntityId(d as u32));
+        }
+        let matching_pairs = clusters
+            .iter()
+            .map(|c| (c.len() as u64) * (c.len().saturating_sub(1) as u64) / 2)
+            .sum();
+        Self { entity_of, clusters, world_links, matching_pairs }
+    }
+
+    /// Number of descriptions covered.
+    pub fn num_descriptions(&self) -> usize {
+        self.entity_of.len()
+    }
+
+    /// Number of world entities (including those with < 2 descriptions).
+    pub fn num_world_entities(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// World entity described by `d`.
+    pub fn world_of(&self, d: EntityId) -> u32 {
+        self.entity_of[d.index()]
+    }
+
+    /// Whether two descriptions refer to the same world entity.
+    pub fn is_match(&self, a: EntityId, b: EntityId) -> bool {
+        a != b && self.entity_of[a.index()] == self.entity_of[b.index()]
+    }
+
+    /// Descriptions of world entity `w`, sorted ascending.
+    pub fn cluster(&self, w: u32) -> &[EntityId] {
+        &self.clusters[w as usize]
+    }
+
+    /// All clusters (index = world entity id).
+    pub fn clusters(&self) -> &[Vec<EntityId>] {
+        &self.clusters
+    }
+
+    /// Total number of matching description pairs — the recall denominator.
+    pub fn matching_pairs(&self) -> u64 {
+        self.matching_pairs
+    }
+
+    /// World entities with at least two descriptions (the ones ER can
+    /// actually resolve) — the entity-coverage denominator.
+    pub fn matchable_entities(&self) -> usize {
+        self.clusters.iter().filter(|c| c.len() >= 2).count()
+    }
+
+    /// Undirected world relationship edges.
+    pub fn world_links(&self) -> &[(u32, u32)] {
+        &self.world_links
+    }
+
+    /// World relationship edges whose *both* endpoints are matchable — the
+    /// relationship-completeness denominator.
+    pub fn matchable_links(&self) -> usize {
+        self.world_links
+            .iter()
+            .filter(|(a, b)| {
+                self.clusters[*a as usize].len() >= 2 && self.clusters[*b as usize].len() >= 2
+            })
+            .count()
+    }
+
+    /// Iterates all matching description pairs `(a < b)`.
+    pub fn matching_pair_iter(&self) -> impl Iterator<Item = (EntityId, EntityId)> + '_ {
+        self.clusters.iter().flat_map(|c| {
+            c.iter()
+                .enumerate()
+                .flat_map(move |(i, &a)| c[i + 1..].iter().map(move |&b| (a, b)))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        // 5 descriptions over 3 world entities: w0 = {0,2}, w1 = {1,3,4}, w2 = {}.
+        GroundTruth::new(vec![0, 1, 0, 1, 1], 3, vec![(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn clusters_and_pairs() {
+        let t = truth();
+        assert_eq!(t.cluster(0), &[EntityId(0), EntityId(2)]);
+        assert_eq!(t.cluster(1), &[EntityId(1), EntityId(3), EntityId(4)]);
+        assert!(t.cluster(2).is_empty());
+        assert_eq!(t.matching_pairs(), 1 + 3);
+        assert_eq!(t.matchable_entities(), 2);
+    }
+
+    #[test]
+    fn is_match_semantics() {
+        let t = truth();
+        assert!(t.is_match(EntityId(0), EntityId(2)));
+        assert!(t.is_match(EntityId(3), EntityId(4)));
+        assert!(!t.is_match(EntityId(0), EntityId(1)));
+        assert!(!t.is_match(EntityId(0), EntityId(0)), "self pair is not a match");
+    }
+
+    #[test]
+    fn matchable_links_require_both_sides() {
+        let t = truth();
+        // (0,1): both matchable. (1,2): w2 has no descriptions.
+        assert_eq!(t.matchable_links(), 1);
+    }
+
+    #[test]
+    fn matching_pair_iter_agrees_with_count() {
+        let t = truth();
+        let pairs: Vec<_> = t.matching_pair_iter().collect();
+        assert_eq!(pairs.len() as u64, t.matching_pairs());
+        assert!(pairs.contains(&(EntityId(0), EntityId(2))));
+        assert!(pairs.iter().all(|(a, b)| a < b));
+    }
+}

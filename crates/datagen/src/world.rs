@@ -1,0 +1,272 @@
+//! The ground-truth world: real-world entities before any KB describes them.
+
+use crate::config::WorldConfig;
+use minoan_common::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One real-world entity.
+#[derive(Clone, Debug)]
+pub struct WorldEntity {
+    /// Entity type (0..num_types); each type has its own attribute pool.
+    pub etype: u32,
+    /// Naming tokens: one globally unique token plus Zipf-sampled tokens.
+    /// These feed the "name" attribute and the URI infix.
+    pub name_tokens: Vec<u32>,
+    /// Canonical attributes: (attribute id, value token list).
+    pub attributes: Vec<(u32, Vec<u32>)>,
+    /// Outgoing relationship links (world entity ids), sorted, no self-links.
+    pub links: Vec<u32>,
+}
+
+/// The generated world: entities plus the undirected relationship graph.
+#[derive(Clone, Debug)]
+pub struct World {
+    /// All entities; index = world entity id.
+    pub entities: Vec<WorldEntity>,
+    /// Undirected, deduplicated relationship edges `(a < b)`.
+    pub links: Vec<(u32, u32)>,
+    /// Number of canonical attribute names in use (ids `0..`).
+    pub num_attr_names: u32,
+    /// Token ids `0..vocab_tokens` are Zipf tokens; ids
+    /// `vocab_tokens..vocab_tokens+num_entities` are unique name tokens.
+    pub token_universe: u32,
+}
+
+/// Attribute-pool slots per type: `attrs_per_entity` canonical slots plus
+/// two spares so descriptions of the same type do not all share the exact
+/// same attribute set.
+fn pool_size(attrs_per_entity: usize) -> usize {
+    attrs_per_entity + 2
+}
+
+impl World {
+    /// Generates the world for `config` (deterministic in `config.seed`).
+    ///
+    /// # Panics
+    /// Panics if `config.validate()` would fail; call it first for friendly
+    /// errors.
+    pub fn generate(config: &WorldConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid WorldConfig: {e}"));
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x5eed_0001);
+        let zipf = Zipf::new(config.vocab_tokens, config.zipf_exponent);
+        let pool = pool_size(config.attrs_per_entity);
+        let num_attr_names = (config.num_types * pool) as u32;
+
+        let mut entities = Vec::with_capacity(config.num_entities);
+        // Preferential attachment pool: node ids repeated by degree + 1.
+        let mut pa_pool: Vec<u32> = Vec::with_capacity(config.num_entities * 3);
+        let mut links: Vec<(u32, u32)> = Vec::new();
+
+        for id in 0..config.num_entities as u32 {
+            let etype = rng.gen_range(0..config.num_types) as u32;
+            // Unique token guarantees the entity is identifiable in
+            // principle; Zipf tokens give it realistic common vocabulary.
+            let unique = config.vocab_tokens as u32 + id;
+            let mut name_tokens = vec![unique, zipf.sample(&mut rng) as u32];
+            if rng.gen_bool(0.5) {
+                name_tokens.push(zipf.sample(&mut rng) as u32);
+            }
+
+            // Attribute 0 of the type's pool is the name attribute; the rest
+            // are sampled without replacement from the remaining pool.
+            let base = etype as usize * pool;
+            let mut slots: Vec<usize> = (1..pool).collect();
+            let mut attributes = Vec::with_capacity(config.attrs_per_entity);
+            attributes.push((base as u32, name_tokens.clone()));
+            for _ in 1..config.attrs_per_entity {
+                let pick = rng.gen_range(0..slots.len());
+                let slot = slots.swap_remove(pick);
+                let len = rng.gen_range(config.value_tokens_min..=config.value_tokens_max);
+                let value: Vec<u32> =
+                    (0..len).map(|_| zipf.sample(&mut rng) as u32).collect();
+                attributes.push(((base + slot) as u32, value));
+            }
+
+            // Relationship links via preferential attachment.
+            let mut out: Vec<u32> = Vec::new();
+            if id > 0 {
+                let k = sample_poisson(&mut rng, config.mean_links / 2.0);
+                for _ in 0..k {
+                    let target = if rng.gen_bool(0.7) && !pa_pool.is_empty() {
+                        pa_pool[rng.gen_range(0..pa_pool.len())]
+                    } else {
+                        rng.gen_range(0..id)
+                    };
+                    if target != id && !out.contains(&target) {
+                        out.push(target);
+                        links.push((target.min(id), target.max(id)));
+                        pa_pool.push(target);
+                        pa_pool.push(id);
+                    }
+                }
+            }
+            pa_pool.push(id);
+            out.sort_unstable();
+
+            entities.push(WorldEntity { etype, name_tokens, attributes, links: out });
+        }
+        links.sort_unstable();
+        links.dedup();
+
+        Self {
+            entities,
+            links,
+            num_attr_names,
+            token_universe: (config.vocab_tokens + config.num_entities) as u32,
+        }
+    }
+
+    /// Number of entities.
+    pub fn len(&self) -> usize {
+        self.entities.len()
+    }
+
+    /// Whether the world is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entities.is_empty()
+    }
+}
+
+/// Knuth's Poisson sampler — fine for the small means used here.
+fn sample_poisson<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 1000 {
+            return k; // numeric safety valve; unreachable for sane means
+        }
+    }
+}
+
+/// Renders a token id as a stable pseudo-word (bijective base-105 syllable
+/// encoding: 21 consonants × 5 vowels). Distinct ids always yield distinct
+/// words, and every word is ≥ 2 alphabetic characters.
+pub fn token_word(id: u32) -> String {
+    const CONSONANTS: &[u8] = b"bcdfghjklmnpqrstvwxyz";
+    const VOWELS: &[u8] = b"aeiou";
+    let mut n = id as u64;
+    let mut syllables = Vec::new();
+    loop {
+        let digit = (n % 105) as usize;
+        syllables.push((CONSONANTS[digit / 5], VOWELS[digit % 5]));
+        n /= 105;
+        if n == 0 {
+            break;
+        }
+        n -= 1; // bijective numeration: no leading-zero ambiguity
+    }
+    let mut word = String::with_capacity(syllables.len() * 2);
+    for (c, v) in syllables.into_iter().rev() {
+        word.push(c as char);
+        word.push(v as char);
+    }
+    word
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = WorldConfig::small(99);
+        let w1 = World::generate(&c);
+        let w2 = World::generate(&c);
+        assert_eq!(w1.len(), w2.len());
+        for (a, b) in w1.entities.iter().zip(&w2.entities) {
+            assert_eq!(a.name_tokens, b.name_tokens);
+            assert_eq!(a.attributes, b.attributes);
+            assert_eq!(a.links, b.links);
+        }
+        assert_eq!(w1.links, w2.links);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let w1 = World::generate(&WorldConfig::small(1));
+        let w2 = World::generate(&WorldConfig::small(2));
+        let same = w1
+            .entities
+            .iter()
+            .zip(&w2.entities)
+            .filter(|(a, b)| a.name_tokens == b.name_tokens)
+            .count();
+        assert!(same < w1.len() / 2, "seeds produce near-identical worlds");
+    }
+
+    #[test]
+    fn every_entity_has_unique_name_token() {
+        let c = WorldConfig::small(5);
+        let w = World::generate(&c);
+        for (id, e) in w.entities.iter().enumerate() {
+            assert_eq!(e.name_tokens[0], c.vocab_tokens as u32 + id as u32);
+            assert!(!e.attributes.is_empty());
+            assert_eq!(e.attributes[0].1, e.name_tokens, "attribute 0 is the name");
+        }
+    }
+
+    #[test]
+    fn attribute_ids_respect_type_pools() {
+        let c = WorldConfig::small(5);
+        let w = World::generate(&c);
+        let pool = pool_size(c.attrs_per_entity) as u32;
+        for e in &w.entities {
+            for (attr, _) in &e.attributes {
+                assert_eq!(attr / pool, e.etype, "attribute outside type pool");
+            }
+            // No duplicate attribute slots per entity.
+            let mut ids: Vec<u32> = e.attributes.iter().map(|(a, _)| *a).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), e.attributes.len());
+        }
+    }
+
+    #[test]
+    fn links_are_consistent_and_undirected() {
+        let w = World::generate(&WorldConfig::small(3));
+        for (a, b) in &w.links {
+            assert!(a < b);
+            assert!((*b as usize) < w.len());
+        }
+        let mut dedup = w.links.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), w.links.len());
+        // Mean links should be in the right ballpark (config says 2.0).
+        let avg = 2.0 * w.links.len() as f64 / w.len() as f64;
+        assert!(avg > 0.5 && avg < 5.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn token_words_are_unique_and_wordlike() {
+        let mut seen = std::collections::HashSet::new();
+        for id in 0..20_000u32 {
+            let word = token_word(id);
+            assert!(word.len() >= 2);
+            assert!(word.chars().all(|ch| ch.is_ascii_lowercase()));
+            assert!(seen.insert(word), "collision at id {id}");
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| sample_poisson(&mut rng, 3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "poisson mean {mean}");
+        assert_eq!(sample_poisson(&mut rng, 0.0), 0);
+    }
+}

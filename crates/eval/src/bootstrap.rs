@@ -1,0 +1,157 @@
+//! Bootstrap confidence intervals.
+//!
+//! Synthetic-world experiments are cheap to re-run, but each *run* is one
+//! sample; reporting a single recall/precision number hides the variance
+//! the generator's noise induces. The harness therefore bootstrap-resamples
+//! the per-decision outcomes of a trace to attach percentile confidence
+//! intervals to every headline metric — the difference between "the
+//! progressive scheduler wins" and "the progressive scheduler wins with a
+//! CI that excludes the baseline".
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A bootstrap percentile interval.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Interval {
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Lower percentile bound.
+    pub lo: f64,
+    /// Upper percentile bound.
+    pub hi: f64,
+}
+
+impl Interval {
+    /// Whether the interval excludes `value` (a crude significance check).
+    pub fn excludes(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+
+    /// Renders as `est [lo, hi]` with 3 decimals.
+    pub fn render(&self) -> String {
+        format!("{:.3} [{:.3}, {:.3}]", self.estimate, self.lo, self.hi)
+    }
+}
+
+/// Bootstrap percentile interval of `statistic` over resamples of `data`.
+///
+/// `level` is the central coverage (e.g. 0.95); resampling is seeded and
+/// deterministic.
+///
+/// # Panics
+/// Panics if `data` is empty, `resamples == 0`, or `level ∉ (0, 1)`.
+pub fn bootstrap_interval<T: Copy>(
+    data: &[T],
+    mut statistic: impl FnMut(&[T]) -> f64,
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Interval {
+    assert!(!data.is_empty(), "cannot bootstrap an empty sample");
+    assert!(resamples > 0, "need at least one resample");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+    let estimate = statistic(data);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xb007);
+    let mut stats: Vec<f64> = Vec::with_capacity(resamples);
+    let mut resample: Vec<T> = Vec::with_capacity(data.len());
+    for _ in 0..resamples {
+        resample.clear();
+        for _ in 0..data.len() {
+            resample.push(data[rng.gen_range(0..data.len())]);
+        }
+        stats.push(statistic(&resample));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite statistics"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((stats.len() as f64 * alpha) as usize).min(stats.len() - 1);
+    let hi_idx = ((stats.len() as f64 * (1.0 - alpha)) as usize).min(stats.len() - 1);
+    Interval { estimate, lo: stats[lo_idx], hi: stats[hi_idx] }
+}
+
+/// Bootstrap CI of a proportion (e.g. precision from per-match correctness
+/// flags).
+pub fn proportion_interval(flags: &[bool], resamples: usize, level: f64, seed: u64) -> Interval {
+    let data: Vec<f64> = flags.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    bootstrap_interval(
+        &data,
+        |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+        resamples,
+        level,
+        seed,
+    )
+}
+
+/// Bootstrap CI of the mean of `values`.
+pub fn mean_interval(values: &[f64], resamples: usize, level: f64, seed: u64) -> Interval {
+    bootstrap_interval(
+        values,
+        |xs| xs.iter().sum::<f64>() / xs.len() as f64,
+        resamples,
+        level,
+        seed,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_data_gives_degenerate_interval() {
+        let data = vec![0.5f64; 50];
+        let iv = mean_interval(&data, 200, 0.95, 1);
+        assert_eq!(iv.estimate, 0.5);
+        assert_eq!(iv.lo, 0.5);
+        assert_eq!(iv.hi, 0.5);
+        assert!(!iv.excludes(0.5));
+        assert!(iv.excludes(0.6));
+    }
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let data: Vec<f64> = (0..100).map(|i| (i % 7) as f64).collect();
+        let iv = mean_interval(&data, 500, 0.95, 2);
+        assert!(iv.lo <= iv.estimate && iv.estimate <= iv.hi);
+        assert!(iv.hi - iv.lo < 1.5, "CI suspiciously wide: {iv:?}");
+    }
+
+    #[test]
+    fn proportion_interval_tracks_true_rate() {
+        let flags: Vec<bool> = (0..200).map(|i| i % 4 != 0).collect(); // 75%
+        let iv = proportion_interval(&flags, 500, 0.95, 3);
+        assert!((iv.estimate - 0.75).abs() < 1e-12);
+        assert!(iv.lo > 0.6 && iv.hi < 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data: Vec<f64> = (0..60).map(|i| i as f64).collect();
+        let a = mean_interval(&data, 300, 0.9, 7);
+        let b = mean_interval(&data, 300, 0.9, 7);
+        assert_eq!(a, b);
+        let c = mean_interval(&data, 300, 0.9, 8);
+        assert!(a.lo != c.lo || a.hi != c.hi, "different seed should perturb the CI");
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let data: Vec<f64> = (0..80).map(|i| ((i * 37) % 11) as f64).collect();
+        let narrow = mean_interval(&data, 400, 0.5, 5);
+        let wide = mean_interval(&data, 400, 0.99, 5);
+        assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn render_format() {
+        let iv = Interval { estimate: 0.8125, lo: 0.75, hi: 0.875 };
+        assert_eq!(iv.render(), "0.812 [0.750, 0.875]");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_rejected() {
+        mean_interval(&[], 10, 0.95, 0);
+    }
+}

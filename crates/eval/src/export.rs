@@ -1,0 +1,134 @@
+//! CSV export of curves and tables.
+//!
+//! Experiment outputs are printed as plain-text tables/plots *and* written
+//! as CSV so downstream analysis (spreadsheets, plotting scripts) can
+//! consume them. The writer is deliberately minimal: RFC-4180-style
+//! quoting, LF line endings, deterministic field order.
+
+use crate::progressive::CurvePoint;
+use std::io::Write;
+use std::path::Path;
+
+/// Quotes a CSV field when needed (commas, quotes, newlines).
+pub fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serialises rows into a CSV string with a header row.
+pub fn to_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&headers.iter().map(|h| csv_field(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| csv_field(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Serialises progressive curves as CSV: one row per checkpoint, one block
+/// per labelled series (a `series` column keeps them distinguishable in a
+/// single file).
+pub fn curves_to_csv(series: &[(&str, &[CurvePoint])]) -> String {
+    let headers = [
+        "series",
+        "comparisons",
+        "recall",
+        "precision",
+        "attr_completeness",
+        "entity_coverage",
+        "rel_completeness",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (label, points) in series {
+        for p in *points {
+            rows.push(vec![
+                label.to_string(),
+                p.comparisons.to_string(),
+                format!("{:.6}", p.recall),
+                format!("{:.6}", p.precision),
+                format!("{:.6}", p.attr_completeness),
+                format!("{:.6}", p.entity_coverage),
+                format!("{:.6}", p.rel_completeness),
+            ]);
+        }
+    }
+    to_csv(&headers, &rows)
+}
+
+/// Writes a CSV string to a file, creating parent directories.
+pub fn write_csv(path: impl AsRef<Path>, content: &str) -> std::io::Result<()> {
+    if let Some(parent) = path.as_ref().parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(content.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_unquoted() {
+        assert_eq!(csv_field("abc"), "abc");
+        assert_eq!(csv_field("1.5"), "1.5");
+    }
+
+    #[test]
+    fn special_fields_quoted() {
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn table_round_trip_structure() {
+        let csv = to_csv(
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4,5".into()]],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines, vec!["x,y", "1,2", "3,\"4,5\""]);
+    }
+
+    #[test]
+    fn curves_csv_has_one_row_per_point() {
+        let pts = vec![
+            CurvePoint {
+                comparisons: 10,
+                recall: 0.5,
+                precision: 1.0,
+                attr_completeness: 0.25,
+                entity_coverage: 0.5,
+                rel_completeness: 0.1,
+            },
+            CurvePoint {
+                comparisons: 20,
+                recall: 0.75,
+                precision: 0.9,
+                attr_completeness: 0.5,
+                entity_coverage: 0.6,
+                rel_completeness: 0.2,
+            },
+        ];
+        let csv = curves_to_csv(&[("prog", &pts), ("random", &pts[..1])]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + 2 + 1);
+        assert!(lines[1].starts_with("prog,10,0.500000"));
+        assert!(lines[3].starts_with("random,10"));
+    }
+
+    #[test]
+    fn write_creates_parent_dirs() {
+        let dir = std::env::temp_dir().join("minoan_eval_export_test/nested");
+        let path = dir.join("out.csv");
+        write_csv(&path, "a,b\n1,2\n").unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "a,b\n1,2\n");
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+}

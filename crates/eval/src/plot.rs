@@ -1,0 +1,165 @@
+//! ASCII plotting of progressive curves.
+//!
+//! The paper's figures are recall/benefit-versus-budget curves. The
+//! experiment harness renders them directly in the terminal so a run's
+//! output is self-contained — no plotting toolchain required. Multiple
+//! series share one canvas, each with its own glyph, and crossovers (the
+//! thing the figures exist to show) are visible at a glance.
+
+/// One named series of `(x, y)` points.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Points, x ascending (not required but recommended).
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Constructor.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points }
+    }
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 8] = ['*', '+', 'o', 'x', '#', '@', '%', '&'];
+
+/// Renders series on a `width × height` character canvas with axes and a
+/// legend. Y is clamped to `[0, y_max]` (pass 1.0 for recall-style curves);
+/// X spans the data range.
+///
+/// # Panics
+/// Panics if `width < 16`, `height < 4`, or `y_max ≤ 0`.
+pub fn render_plot(series: &[Series], width: usize, height: usize, y_max: f64) -> String {
+    assert!(width >= 16, "plot too narrow");
+    assert!(height >= 4, "plot too short");
+    assert!(y_max > 0.0, "y_max must be positive");
+    let x_max = series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+
+    let mut canvas = vec![vec![' '; width]; height];
+    for (si, s) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for &(x, y) in &s.points {
+            let cx = ((x / x_max) * (width - 1) as f64).round() as usize;
+            let cy = ((y.clamp(0.0, y_max) / y_max) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy;
+            let col = cx.min(width - 1);
+            // First-come priority; later series fill only blank cells so
+            // every curve stays readable where they overlap.
+            if canvas[row][col] == ' ' {
+                canvas[row][col] = glyph;
+            }
+        }
+    }
+
+    let mut out = String::with_capacity((width + 12) * (height + 3));
+    for (i, row) in canvas.iter().enumerate() {
+        let y_val = y_max * (height - 1 - i) as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_val:6.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("       +{}\n", "-".repeat(width)));
+    out.push_str(&format!("        0{:>width$.0}\n", x_max, width = width - 1));
+    for (si, s) in series.iter().enumerate() {
+        out.push_str(&format!("        {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+    }
+    out
+}
+
+/// Convenience: plots recall-vs-comparisons curves from
+/// [`crate::progressive::CurvePoint`] series.
+pub fn plot_recall_curves(
+    series: &[(&str, &[crate::progressive::CurvePoint])],
+    width: usize,
+    height: usize,
+) -> String {
+    let converted: Vec<Series> = series
+        .iter()
+        .map(|(label, pts)| {
+            Series::new(
+                *label,
+                pts.iter().map(|p| (p.comparisons as f64, p.recall)).collect(),
+            )
+        })
+        .collect();
+    render_plot(&converted, width, height, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diagonal() -> Series {
+        Series::new("diag", (0..=10).map(|i| (i as f64, i as f64 / 10.0)).collect())
+    }
+
+    #[test]
+    fn renders_axes_and_legend() {
+        let text = render_plot(&[diagonal()], 40, 10, 1.0);
+        assert!(text.contains('|'), "y axis missing");
+        assert!(text.contains('+'), "origin missing");
+        assert!(text.contains("* diag"), "legend missing");
+    }
+
+    #[test]
+    fn diagonal_occupies_both_corners() {
+        let text = render_plot(&[diagonal()], 40, 10, 1.0);
+        let lines: Vec<&str> = text.lines().collect();
+        // Top row contains the final point, bottom data row the origin.
+        assert!(lines[0].contains('*'), "top row empty: {:?}", lines[0]);
+        assert!(lines[9].contains('*'), "bottom row empty: {:?}", lines[9]);
+    }
+
+    #[test]
+    fn multiple_series_use_distinct_glyphs() {
+        let a = diagonal();
+        let b = Series::new("flat", (0..=10).map(|i| (i as f64, 0.5)).collect());
+        let text = render_plot(&[a, b], 40, 10, 1.0);
+        assert!(text.contains('*'));
+        assert!(text.contains('+'));
+        assert!(text.contains("+ flat"));
+    }
+
+    #[test]
+    fn y_values_above_max_are_clamped() {
+        let s = Series::new("spike", vec![(1.0, 5.0)]);
+        let text = render_plot(&[s], 20, 5, 1.0);
+        // Must not panic; the spike lands on the top row.
+        assert!(text.lines().next().unwrap().contains('*'));
+    }
+
+    #[test]
+    fn empty_series_render_blank_canvas() {
+        let text = render_plot(&[Series::new("none", vec![])], 20, 5, 1.0);
+        assert!(text.contains("none"));
+    }
+
+    #[test]
+    #[should_panic(expected = "narrow")]
+    fn tiny_canvas_rejected() {
+        render_plot(&[], 5, 5, 1.0);
+    }
+
+    #[test]
+    fn recall_curve_wrapper() {
+        use crate::progressive::CurvePoint;
+        let pts: Vec<CurvePoint> = (0..5)
+            .map(|i| CurvePoint {
+                comparisons: i * 10,
+                recall: i as f64 / 4.0,
+                precision: 1.0,
+                attr_completeness: 0.0,
+                entity_coverage: 0.0,
+                rel_completeness: 0.0,
+            })
+            .collect();
+        let text = plot_recall_curves(&[("prog", &pts)], 30, 8);
+        assert!(text.contains("prog"));
+    }
+}

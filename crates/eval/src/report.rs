@@ -1,0 +1,146 @@
+//! Plain-text tables and series for the experiment harness.
+
+use std::fmt::Write as _;
+
+/// A simple aligned plain-text table.
+///
+/// ```
+/// use minoan_eval::Table;
+/// let mut t = Table::new(vec!["scheme", "PC", "PQ"]);
+/// t.row(vec!["CBS".into(), "0.98".into(), "0.12".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("scheme"));
+/// assert!(s.contains("CBS"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<&str>) -> Self {
+        Self { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row; must have as many cells as there are headers.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let render = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| -> std::fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:<w$}", w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            render(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with 3 decimals (the house style for metric cells).
+pub fn fmt3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// Renders aligned `(x, series…)` rows — the textual stand-in for a figure.
+/// `series` pairs a label with values aligned to `xs`.
+pub fn render_series(x_label: &str, xs: &[u64], series: &[(&str, Vec<f64>)]) -> String {
+    let mut t = Table::new(
+        std::iter::once(x_label)
+            .chain(series.iter().map(|(l, _)| *l))
+            .collect(),
+    );
+    for (i, &x) in xs.iter().enumerate() {
+        let mut row = vec![x.to_string()];
+        for (_, ys) in series {
+            row.push(ys.get(i).map(|v| fmt3(*v)).unwrap_or_else(|| "-".into()));
+        }
+        t.row(row);
+    }
+    let mut out = String::new();
+    let _ = write!(out, "{t}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(vec!["name", "v"]);
+        t.row(vec!["long-name-here".into(), "1".into()]);
+        t.row(vec!["x".into(), "22".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows same width.
+        assert_eq!(lines[0].len(), lines[2].trim_end().len().max(lines[0].len()));
+        assert!(lines[2].starts_with("long-name-here"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = render_series(
+            "budget",
+            &[0, 100, 200],
+            &[("progressive", vec![0.0, 0.5, 0.9]), ("random", vec![0.0, 0.2, 0.4])],
+        );
+        assert!(s.contains("budget"));
+        assert!(s.contains("0.500"));
+        assert!(s.contains("random"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn fmt3_rounds() {
+        assert_eq!(fmt3(0.12345), "0.123");
+        assert_eq!(fmt3(1.0), "1.000");
+    }
+
+    #[test]
+    fn missing_series_values_render_dash() {
+        let s = render_series("x", &[1, 2], &[("short", vec![0.1])]);
+        assert!(s.contains('-'));
+    }
+}

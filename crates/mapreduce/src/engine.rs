@@ -1,0 +1,485 @@
+//! The execution engine: parallel map, combiner, shuffle, parallel reduce.
+
+use crate::counters::Counters;
+use minoan_common::FxHashMap;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Per-phase execution statistics of one job.
+#[derive(Clone, Debug, Default)]
+pub struct JobStats {
+    /// Wall time of the parallel map phase, nanoseconds.
+    pub map_nanos: u64,
+    /// Wall time of the parallel partition shuffle + reduce, nanoseconds.
+    pub shuffle_nanos: u64,
+    /// Wall time of the final gather/merge, nanoseconds.
+    pub reduce_nanos: u64,
+    /// Number of map tasks (input chunks).
+    pub map_tasks: usize,
+    /// Number of distinct intermediate keys (= reduce groups).
+    pub reduce_groups: usize,
+    /// Number of intermediate key–value pairs after combining.
+    pub intermediate_pairs: usize,
+    /// Measured duration of each map task, nanoseconds (task order).
+    pub map_task_nanos: Vec<u64>,
+    /// Measured duration of each shuffle+reduce partition, nanoseconds.
+    pub partition_nanos: Vec<u64>,
+}
+
+impl JobStats {
+    /// Total wall time of the job in nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.map_nanos + self.shuffle_nanos + self.reduce_nanos
+    }
+
+    /// Models the job's makespan on `workers` parallel workers by greedy
+    /// longest-processing-time scheduling of the *measured* task
+    /// durations (map tasks, then partitions, plus the serial gather).
+    ///
+    /// This is the cluster simulation used when physical cores are not
+    /// available: task durations are real, only their overlap is modeled.
+    pub fn modeled_nanos(&self, workers: usize) -> u64 {
+        let workers = workers.max(1);
+        let phase = |tasks: &[u64]| -> u64 {
+            let mut sorted: Vec<u64> = tasks.to_vec();
+            sorted.sort_unstable_by(|a, b| b.cmp(a));
+            let mut loads = vec![0u64; workers];
+            for t in sorted {
+                let min = loads.iter_mut().min().expect("workers >= 1");
+                *min += t;
+            }
+            loads.into_iter().max().unwrap_or(0)
+        };
+        phase(&self.map_task_nanos) + phase(&self.partition_nanos) + self.reduce_nanos
+    }
+}
+
+/// Output, counters and statistics of a completed job.
+#[derive(Debug)]
+pub struct JobResult<O> {
+    /// Reduce output, ordered by intermediate key (then emission order).
+    pub output: Vec<O>,
+    /// Aggregated named counters.
+    pub counters: Counters,
+    /// Phase timings and sizes.
+    pub stats: JobStats,
+}
+
+/// A MapReduce execution engine with a fixed worker-thread count.
+///
+/// The engine is stateless between jobs; it can be cloned freely and reused.
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    workers: usize,
+}
+
+impl Default for Engine {
+    /// An engine using all available CPU parallelism.
+    fn default() -> Self {
+        Self::new(
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        )
+    }
+}
+
+impl Engine {
+    /// Creates an engine with `workers` threads (clamped to ≥ 1).
+    pub fn new(workers: usize) -> Self {
+        Self { workers: workers.max(1) }
+    }
+
+    /// Number of worker threads used by map and reduce phases.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a job without combiner. See [`Engine::run_full`].
+    pub fn run<I, K, V, O, M, R>(&self, inputs: Vec<I>, map_fn: M, reduce_fn: R) -> JobResult<O>
+    where
+        I: Send + Sync,
+        K: Ord + std::hash::Hash + Clone + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        R: Fn(&K, &mut Vec<V>, &mut Vec<O>) + Sync,
+    {
+        self.run_full(
+            inputs,
+            |input, emit, _c| map_fn(input, emit),
+            None::<fn(&K, Vec<V>) -> Vec<V>>,
+            |key, vals, out, _c| reduce_fn(key, vals, out),
+        )
+    }
+
+    /// Runs a job with a combiner applied to each map task's local output.
+    pub fn run_combined<I, K, V, O, M, C, R>(
+        &self,
+        inputs: Vec<I>,
+        map_fn: M,
+        combine_fn: C,
+        reduce_fn: R,
+    ) -> JobResult<O>
+    where
+        I: Send + Sync,
+        K: Ord + std::hash::Hash + Clone + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut dyn FnMut(K, V)) + Sync,
+        C: Fn(&K, Vec<V>) -> Vec<V> + Sync,
+        R: Fn(&K, &mut Vec<V>, &mut Vec<O>) + Sync,
+    {
+        self.run_full(
+            inputs,
+            |input, emit, _c| map_fn(input, emit),
+            Some(combine_fn),
+            |key, vals, out, _c| reduce_fn(key, vals, out),
+        )
+    }
+
+    /// Full-control entry point: map and reduce closures also receive the
+    /// job [`Counters`]; `combine_fn` (if given) is applied per map task.
+    ///
+    /// Determinism contract: map tasks are contiguous input chunks taken in
+    /// order; each key group's value list preserves (chunk index, emission
+    /// index) order; output is ordered by key, then by reduce emission
+    /// order. The worker count never changes the result.
+    pub fn run_full<I, K, V, O, M, C, R>(
+        &self,
+        inputs: Vec<I>,
+        map_fn: M,
+        combine_fn: Option<C>,
+        reduce_fn: R,
+    ) -> JobResult<O>
+    where
+        I: Send + Sync,
+        K: Ord + std::hash::Hash + Clone + Send,
+        V: Send,
+        O: Send,
+        M: Fn(&I, &mut dyn FnMut(K, V), &Counters) + Sync,
+        C: Fn(&K, Vec<V>) -> Vec<V> + Sync,
+        R: Fn(&K, &mut Vec<V>, &mut Vec<O>, &Counters) + Sync,
+    {
+        let counters = Counters::new();
+        let mut stats = JobStats::default();
+        // Hash partitioning (Hadoop's partitioner): each reduce partition
+        // owns a disjoint key range, so grouping and reducing run in
+        // parallel per partition.
+        let partitions = self.workers;
+        let hasher = minoan_common::FxBuildHasher::default();
+        let part_of = |k: &K| -> usize {
+            use std::hash::BuildHasher;
+            (hasher.hash_one(k) as usize) % partitions
+        };
+
+        // ---- Map phase -----------------------------------------------------
+        let t0 = Instant::now();
+        // 4 chunks per worker bounds scheduling skew without creating
+        // per-item overhead.
+        let num_chunks = if inputs.is_empty() {
+            0
+        } else {
+            (self.workers * 4).min(inputs.len())
+        };
+        stats.map_tasks = num_chunks;
+        let map_task_nanos: Vec<std::sync::atomic::AtomicU64> =
+            (0..num_chunks).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+        // chunk_outputs[chunk][partition] = that chunk's spill for the partition.
+        // Per chunk, per partition: that chunk's spilled (key, value) pairs.
+        type Spills<K, V> = Vec<Vec<Mutex<Vec<(K, V)>>>>;
+        let chunk_outputs: Spills<K, V> = (0..num_chunks)
+            .map(|_| (0..partitions).map(|_| Mutex::new(Vec::new())).collect())
+            .collect();
+        if num_chunks > 0 {
+            let chunk_size = inputs.len().div_ceil(num_chunks);
+            let next = AtomicUsize::new(0);
+            let inputs = &inputs;
+            let map_fn = &map_fn;
+            let combine_fn = &combine_fn;
+            let counters_ref = &counters;
+            let chunk_outputs = &chunk_outputs;
+            let next = &next;
+            let part_of = &part_of;
+            let map_task_nanos = &map_task_nanos;
+            std::thread::scope(|scope| {
+                for _ in 0..self.workers.min(num_chunks) {
+                    scope.spawn(move || loop {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= num_chunks {
+                            break;
+                        }
+                        // Ceil-divided chunks can overshoot: clamp both
+                        // ends (trailing chunks may be empty).
+                        let lo = (c * chunk_size).min(inputs.len());
+                        let hi = ((c + 1) * chunk_size).min(inputs.len());
+                        let task_start = Instant::now();
+                        let mut local: Vec<(K, V)> = Vec::new();
+                        for input in &inputs[lo..hi] {
+                            map_fn(input, &mut |k, v| local.push((k, v)), counters_ref);
+                        }
+                        if let Some(combine) = combine_fn {
+                            local = combine_local(local, combine);
+                        }
+                        // Spill into per-partition buffers.
+                        let mut parts: Vec<Vec<(K, V)>> =
+                            (0..partitions).map(|_| Vec::new()).collect();
+                        for (k, v) in local {
+                            parts[part_of(&k)].push((k, v));
+                        }
+                        for (p, buf) in parts.into_iter().enumerate() {
+                            *chunk_outputs[c][p].lock() = buf;
+                        }
+                        map_task_nanos[c].store(
+                            task_start.elapsed().as_nanos() as u64,
+                            Ordering::Relaxed,
+                        );
+                    });
+                }
+            });
+        }
+        stats.map_nanos = t0.elapsed().as_nanos() as u64;
+        stats.map_task_nanos = map_task_nanos
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+
+        // ---- Shuffle + reduce, parallel per partition ------------------------
+        let t1 = Instant::now();
+        // Each partition groups its keys (chunk order preserved within each
+        // key group), sorts them, and reduces sequentially in key order.
+        type PartResults<K, O> = Vec<Mutex<Vec<(K, Vec<O>)>>>;
+        let part_results: PartResults<K, O> =
+            (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
+        let partition_nanos: Vec<std::sync::atomic::AtomicU64> =
+            (0..partitions).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+        let pairs_total = AtomicUsize::new(0);
+        let groups_total = AtomicUsize::new(0);
+        if num_chunks > 0 {
+            let next = AtomicUsize::new(0);
+            let reduce_fn = &reduce_fn;
+            let counters_ref = &counters;
+            let chunk_outputs = &chunk_outputs;
+            let part_results = &part_results;
+            let pairs_total = &pairs_total;
+            let groups_total = &groups_total;
+            let next = &next;
+            let partition_nanos = &partition_nanos;
+            std::thread::scope(|scope| {
+                for _ in 0..self.workers.min(partitions) {
+                    scope.spawn(move || loop {
+                        let p = next.fetch_add(1, Ordering::Relaxed);
+                        if p >= partitions {
+                            break;
+                        }
+                        let task_start = Instant::now();
+                        let mut groups: FxHashMap<K, Vec<V>> = FxHashMap::default();
+                        let mut pairs = 0usize;
+                        for chunk in chunk_outputs {
+                            for (k, v) in std::mem::take(&mut *chunk[p].lock()) {
+                                pairs += 1;
+                                groups.entry(k).or_default().push(v);
+                            }
+                        }
+                        pairs_total.fetch_add(pairs, Ordering::Relaxed);
+                        let mut grouped: Vec<(K, Vec<V>)> = groups.into_iter().collect();
+                        grouped.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+                        groups_total.fetch_add(grouped.len(), Ordering::Relaxed);
+                        let mut results: Vec<(K, Vec<O>)> = Vec::with_capacity(grouped.len());
+                        for (key, mut vals) in grouped {
+                            let mut out = Vec::new();
+                            reduce_fn(&key, &mut vals, &mut out, counters_ref);
+                            results.push((key, out));
+                        }
+                        *part_results[p].lock() = results;
+                        partition_nanos[p].store(
+                            task_start.elapsed().as_nanos() as u64,
+                            Ordering::Relaxed,
+                        );
+                    });
+                }
+            });
+        }
+        stats.intermediate_pairs = pairs_total.load(Ordering::Relaxed);
+        stats.reduce_groups = groups_total.load(Ordering::Relaxed);
+        stats.shuffle_nanos = t1.elapsed().as_nanos() as u64;
+        stats.partition_nanos = partition_nanos
+            .iter()
+            .map(|a| a.load(Ordering::Relaxed))
+            .collect();
+
+        // ---- Gather: merge partitions back into global key order ------------
+        let t2 = Instant::now();
+        let mut all: Vec<(K, Vec<O>)> = Vec::with_capacity(stats.reduce_groups);
+        for slot in part_results {
+            all.append(&mut slot.into_inner());
+        }
+        all.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut output = Vec::new();
+        for (_, mut out) in all {
+            output.append(&mut out);
+        }
+        stats.reduce_nanos = t2.elapsed().as_nanos() as u64;
+
+        JobResult { output, counters, stats }
+    }
+}
+
+/// Groups a map task's local emissions by key (preserving first-seen key
+/// order is unnecessary — the shuffle re-sorts) and applies the combiner.
+fn combine_local<K, V, C>(local: Vec<(K, V)>, combine: &C) -> Vec<(K, V)>
+where
+    K: Ord + std::hash::Hash + Clone,
+    C: Fn(&K, Vec<V>) -> Vec<V>,
+{
+    let mut by_key: FxHashMap<K, Vec<V>> = FxHashMap::default();
+    for (k, v) in local {
+        by_key.entry(k).or_default().push(v);
+    }
+    let mut grouped: Vec<(K, Vec<V>)> = by_key.into_iter().collect();
+    grouped.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let mut out = Vec::new();
+    for (k, vals) in grouped {
+        for v in combine(&k, vals) {
+            out.push((k.clone(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_count(engine: &Engine, docs: Vec<&'static str>) -> Vec<(String, u64)> {
+        engine
+            .run(
+                docs,
+                |doc, emit| {
+                    for w in doc.split_whitespace() {
+                        emit(w.to_string(), 1u64);
+                    }
+                },
+                |k, vs, out| out.push((k.clone(), vs.iter().sum())),
+            )
+            .output
+    }
+
+    #[test]
+    fn word_count_is_correct_and_sorted() {
+        let e = Engine::new(4);
+        let out = word_count(&e, vec!["b a b", "c b"]);
+        assert_eq!(
+            out,
+            vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 1)]
+        );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_result() {
+        let docs = vec!["x y z", "y y", "z x q w e r t", "q q q"];
+        let single = word_count(&Engine::new(1), docs.clone());
+        for n in [2, 3, 8] {
+            assert_eq!(word_count(&Engine::new(n), docs.clone()), single);
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let e = Engine::new(4);
+        let r = e.run(
+            Vec::<u32>::new(),
+            |_, _emit: &mut dyn FnMut(u32, u32)| {},
+            |_, _, _out: &mut Vec<u32>| {},
+        );
+        assert!(r.output.is_empty());
+        assert_eq!(r.stats.map_tasks, 0);
+        assert_eq!(r.stats.reduce_groups, 0);
+    }
+
+    #[test]
+    fn combiner_reduces_intermediate_pairs_without_changing_result() {
+        let docs: Vec<&str> = vec!["a a a a a a a a", "a a a a"];
+        let e = Engine::new(2);
+        let plain = e.run(
+            docs.clone(),
+            |d, emit| {
+                for w in d.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |k, vs, out| out.push((k.clone(), vs.iter().sum::<u64>())),
+        );
+        let combined = e.run_combined(
+            docs,
+            |d, emit| {
+                for w in d.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |_k, vs: Vec<u64>| vec![vs.iter().sum::<u64>()],
+            |k, vs, out| out.push((k.clone(), vs.iter().sum::<u64>())),
+        );
+        assert_eq!(plain.output, combined.output);
+        assert!(combined.stats.intermediate_pairs < plain.stats.intermediate_pairs);
+        assert_eq!(combined.stats.intermediate_pairs, 2, "one pair per map task");
+    }
+
+    #[test]
+    fn counters_aggregate_across_phases() {
+        let e = Engine::new(3);
+        let r = e.run_full(
+            vec![1u32, 2, 3, 4, 5],
+            |x, emit, c| {
+                c.incr("mapped");
+                emit(x % 2, *x);
+            },
+            None::<fn(&u32, Vec<u32>) -> Vec<u32>>,
+            |_k, vs, out: &mut Vec<u32>, c| {
+                c.incr("reduced");
+                out.push(vs.iter().sum());
+            },
+        );
+        assert_eq!(r.counters.get("mapped"), 5);
+        assert_eq!(r.counters.get("reduced"), 2);
+        assert_eq!(r.output, vec![2 + 4, 1 + 3 + 5]);
+    }
+
+    #[test]
+    fn value_order_within_group_is_input_order() {
+        let e = Engine::new(4);
+        let inputs: Vec<u32> = (0..100).collect();
+        let r = e.run(
+            inputs,
+            |x, emit| emit((), *x),
+            |_k, vs, out: &mut Vec<Vec<u32>>| out.push(vs.clone()),
+        );
+        assert_eq!(r.output.len(), 1);
+        let expected: Vec<u32> = (0..100).collect();
+        assert_eq!(r.output[0], expected);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let e = Engine::new(2);
+        let r = e.run(
+            vec!["a b", "b c"],
+            |d, emit| {
+                for w in d.split_whitespace() {
+                    emit(w.to_string(), 1u64);
+                }
+            },
+            |k, vs, out| out.push((k.clone(), vs.iter().sum::<u64>())),
+        );
+        assert_eq!(r.stats.intermediate_pairs, 4);
+        assert_eq!(r.stats.reduce_groups, 3);
+        assert!(r.stats.map_tasks >= 1);
+        assert!(r.stats.total_nanos() > 0);
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let e = Engine::new(0);
+        assert_eq!(e.workers(), 1);
+        assert_eq!(word_count(&e, vec!["hi"]), vec![("hi".into(), 1)]);
+    }
+}

@@ -1,0 +1,383 @@
+//! Cluster fault and straggler simulation.
+//!
+//! The engine executes jobs on local threads, where tasks neither fail nor
+//! straggle. A real Hadoop deployment — the substrate of references \[4,5\]
+//! — loses task attempts to bad nodes and suffers stragglers, and relies
+//! on two mechanisms to keep makespan bounded: **task retry** (a failed
+//! attempt is rescheduled, up to a cap) and **speculative execution** (a
+//! backup attempt of the slowest running task races the original).
+//!
+//! This module replays the *measured* per-task durations of a
+//! [`crate::JobStats`] through a deterministic event-driven cluster model
+//! with injected failures and stragglers, so experiments can report how
+//! the parallel meta-blocking jobs would behave under cluster pathologies
+//! without owning a cluster. Durations are real; only their scheduling is
+//! simulated.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Fault-injection configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultConfig {
+    /// Probability that a task *attempt* fails at a uniformly random point
+    /// of its execution (the work done until then is lost).
+    pub failure_probability: f64,
+    /// Probability that an attempt runs on a straggling node.
+    pub straggler_probability: f64,
+    /// Duration multiplier of straggling attempts (> 1).
+    pub straggler_factor: f64,
+    /// Maximum attempts per task before the job fails.
+    pub max_attempts: u32,
+    /// Launch a speculative backup attempt when a task has run longer than
+    /// this multiple of the median completed-task duration.
+    pub speculative_threshold: Option<f64>,
+    /// RNG seed (simulation is deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            failure_probability: 0.02,
+            straggler_probability: 0.05,
+            straggler_factor: 5.0,
+            max_attempts: 4,
+            speculative_threshold: Some(1.5),
+            seed: 0xfa017,
+        }
+    }
+}
+
+/// Outcome of a simulated run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimOutcome {
+    /// Simulated makespan, nanoseconds.
+    pub makespan_nanos: u64,
+    /// Attempts that failed and were retried.
+    pub failed_attempts: u32,
+    /// Speculative attempts launched.
+    pub speculative_attempts: u32,
+    /// Speculative attempts that finished before the original.
+    pub speculative_wins: u32,
+    /// Whether the job completed (false = some task exhausted retries).
+    pub completed: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Attempt {
+    task: usize,
+    finish: u64,
+    speculative: bool,
+}
+
+/// Simulates `tasks` (durations in nanoseconds) on `workers` nodes under
+/// `config`. Event-driven: at every completion instant the freed worker
+/// takes the next pending task, a retry, or a speculative backup.
+///
+/// # Panics
+/// Panics if `workers == 0` or the config is out of range.
+pub fn simulate_cluster(tasks: &[u64], workers: usize, config: &FaultConfig) -> SimOutcome {
+    assert!(workers > 0, "need at least one worker");
+    assert!((0.0..1.0).contains(&config.failure_probability), "failure probability in [0,1)");
+    assert!((0.0..=1.0).contains(&config.straggler_probability), "straggler probability in [0,1]");
+    assert!(config.straggler_factor >= 1.0, "straggler factor must be ≥ 1");
+    assert!(config.max_attempts >= 1, "need at least one attempt");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let n = tasks.len();
+    let mut outcome = SimOutcome {
+        makespan_nanos: 0,
+        failed_attempts: 0,
+        speculative_attempts: 0,
+        speculative_wins: 0,
+        completed: true,
+    };
+    if n == 0 {
+        return outcome;
+    }
+
+    let mut pending: std::collections::VecDeque<usize> = (0..n).collect();
+    let mut attempts_used = vec![0u32; n];
+    let mut done = vec![false; n];
+    let mut running: Vec<Attempt> = Vec::new(); // at most `workers`
+    let mut completed_durations: Vec<u64> = Vec::new();
+    let mut speculated = vec![false; n];
+    let mut now = 0u64;
+    let mut done_count = 0usize;
+
+    // Launches one attempt: draws straggler slowdown and failure; a
+    // failing attempt finishes (and frees its worker) at a uniform point
+    // of its slowed duration, with the work lost. `will_fail` (parallel to
+    // `running`) records which in-flight attempts are doomed.
+    let mut will_fail: Vec<bool> = Vec::new();
+    let launch = |task: usize,
+                       now: u64,
+                       speculative: bool,
+                       rng: &mut StdRng,
+                       outcome: &mut SimOutcome|
+     -> (Attempt, bool) {
+        let base = tasks[task].max(1);
+        let slowed = if rng.gen_bool(config.straggler_probability) {
+            (base as f64 * config.straggler_factor) as u64
+        } else {
+            base
+        };
+        if rng.gen_bool(config.failure_probability) {
+            outcome.failed_attempts += 1;
+            let partial = ((slowed as f64) * rng.gen_range(0.05..0.95)) as u64;
+            (Attempt { task, finish: now + partial.max(1), speculative }, true)
+        } else {
+            if speculative {
+                outcome.speculative_attempts += 1;
+            }
+            (Attempt { task, finish: now + slowed, speculative }, false)
+        }
+    };
+
+    // Fill the initial workers.
+    while running.len() < workers {
+        let Some(task) = pending.pop_front() else { break };
+        attempts_used[task] += 1;
+        let (a, fails) = launch(task, now, false, &mut rng, &mut outcome);
+        running.push(a);
+        will_fail.push(fails);
+    }
+
+    while done_count < n {
+        // Next completion event.
+        let Some((idx, _)) = running
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, a)| (a.finish, a.task))
+        else {
+            outcome.completed = false;
+            break;
+        };
+        let attempt = running.swap_remove(idx);
+        let failed = will_fail.swap_remove(idx);
+        now = attempt.finish;
+
+        if !done[attempt.task] {
+            if failed {
+                if attempts_used[attempt.task] >= config.max_attempts {
+                    outcome.completed = false;
+                    break;
+                }
+                pending.push_back(attempt.task);
+            } else {
+                done[attempt.task] = true;
+                done_count += 1;
+                completed_durations.push(tasks[attempt.task]);
+                if attempt.speculative {
+                    outcome.speculative_wins += 1;
+                }
+            }
+        }
+
+        // Refill the freed worker: pending first, then speculation.
+        let mut launched = false;
+        while let Some(task) = pending.pop_front() {
+            if done[task] {
+                continue;
+            }
+            attempts_used[task] += 1;
+            let (a, fails) = launch(task, now, false, &mut rng, &mut outcome);
+            running.push(a);
+            will_fail.push(fails);
+            launched = true;
+            break;
+        }
+        if !launched {
+            if let Some(threshold) = config.speculative_threshold {
+                if !completed_durations.is_empty() {
+                    let mut sorted = completed_durations.clone();
+                    sorted.sort_unstable();
+                    let median = sorted[sorted.len() / 2].max(1);
+                    // The attempt with the most *remaining* time — a
+                    // straggling node shows up here as a far-off finish.
+                    if let Some((candidate, remaining)) = running
+                        .iter()
+                        .filter(|a| !a.speculative && !speculated[a.task] && !done[a.task])
+                        .max_by_key(|a| a.finish)
+                        .map(|a| (a.task, a.finish.saturating_sub(now)))
+                    {
+                        if remaining as f64 > threshold * median as f64 {
+                            speculated[candidate] = true;
+                            attempts_used[candidate] += 1;
+                            let (a, fails) =
+                                launch(candidate, now, true, &mut rng, &mut outcome);
+                            running.push(a);
+                            will_fail.push(fails);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    outcome.makespan_nanos = now.max(
+        running
+            .iter()
+            .zip(&will_fail)
+            .filter(|(a, failed)| !**failed && !done[a.task])
+            .map(|(a, _)| a.finish)
+            .max()
+            .unwrap_or(now),
+    );
+    outcome
+}
+
+/// The fault-free reference makespan (greedy list scheduling), for
+/// overhead ratios.
+pub fn fault_free_makespan(tasks: &[u64], workers: usize) -> u64 {
+    assert!(workers > 0, "need at least one worker");
+    let mut sorted: Vec<u64> = tasks.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![0u64; workers];
+    for t in sorted {
+        *loads.iter_mut().min().expect("workers >= 1") += t;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform(n: usize, nanos: u64) -> Vec<u64> {
+        vec![nanos; n]
+    }
+
+    fn no_faults() -> FaultConfig {
+        FaultConfig {
+            failure_probability: 0.0,
+            straggler_probability: 0.0,
+            straggler_factor: 1.0,
+            speculative_threshold: None,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_simulation_matches_list_scheduling() {
+        let tasks = vec![100, 200, 300, 400, 500];
+        for workers in [1, 2, 4] {
+            let sim = simulate_cluster(&tasks, workers, &no_faults());
+            assert!(sim.completed);
+            assert_eq!(sim.failed_attempts, 0);
+            // Event-driven FIFO vs LPT differ slightly; both bounded by
+            // serial time and at least the critical path.
+            let serial: u64 = tasks.iter().sum();
+            assert!(sim.makespan_nanos <= serial);
+            assert!(sim.makespan_nanos >= serial / workers as u64);
+        }
+    }
+
+    #[test]
+    fn failures_increase_makespan() {
+        let tasks = uniform(64, 1_000_000);
+        let clean = simulate_cluster(&tasks, 8, &no_faults());
+        let faulty = simulate_cluster(
+            &tasks,
+            8,
+            &FaultConfig {
+                failure_probability: 0.2,
+                max_attempts: 10,
+                straggler_probability: 0.0,
+                straggler_factor: 1.0,
+                speculative_threshold: None,
+                ..Default::default()
+            },
+        );
+        assert!(faulty.completed);
+        assert!(faulty.failed_attempts > 0);
+        assert!(
+            faulty.makespan_nanos > clean.makespan_nanos,
+            "retries must cost time: {} vs {}",
+            faulty.makespan_nanos,
+            clean.makespan_nanos
+        );
+    }
+
+    #[test]
+    fn speculation_mitigates_stragglers() {
+        let tasks = uniform(64, 1_000_000);
+        let base = FaultConfig {
+            failure_probability: 0.0,
+            straggler_probability: 0.08,
+            straggler_factor: 10.0,
+            ..Default::default()
+        };
+        let without = simulate_cluster(
+            &tasks,
+            8,
+            &FaultConfig { speculative_threshold: None, ..base },
+        );
+        let with = simulate_cluster(
+            &tasks,
+            8,
+            &FaultConfig { speculative_threshold: Some(1.5), ..base },
+        );
+        assert!(with.completed && without.completed);
+        assert!(with.speculative_attempts > 0, "speculation never triggered");
+        assert!(
+            with.makespan_nanos <= without.makespan_nanos,
+            "speculation should not hurt: {} vs {}",
+            with.makespan_nanos,
+            without.makespan_nanos
+        );
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_the_job() {
+        let tasks = uniform(4, 1000);
+        let sim = simulate_cluster(
+            &tasks,
+            2,
+            &FaultConfig {
+                failure_probability: 0.999,
+                max_attempts: 2,
+                straggler_probability: 0.0,
+                straggler_factor: 1.0,
+                speculative_threshold: None,
+                ..Default::default()
+            },
+        );
+        assert!(!sim.completed);
+        assert!(sim.failed_attempts >= 2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let tasks: Vec<u64> = (1..=40).map(|i| i * 10_000).collect();
+        let cfg = FaultConfig::default();
+        let a = simulate_cluster(&tasks, 6, &cfg);
+        let b = simulate_cluster(&tasks, 6, &cfg);
+        assert_eq!(a, b);
+        let c = simulate_cluster(&tasks, 6, &FaultConfig { seed: 99, ..cfg });
+        // Different seed almost surely perturbs something.
+        assert!(a != c || a.failed_attempts == 0);
+    }
+
+    #[test]
+    fn empty_job_is_instant() {
+        let sim = simulate_cluster(&[], 4, &FaultConfig::default());
+        assert_eq!(sim.makespan_nanos, 0);
+        assert!(sim.completed);
+    }
+
+    #[test]
+    fn fault_free_makespan_bounds() {
+        let tasks = vec![5, 5, 5, 5];
+        assert_eq!(fault_free_makespan(&tasks, 4), 5);
+        assert_eq!(fault_free_makespan(&tasks, 1), 20);
+        assert_eq!(fault_free_makespan(&[], 3), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker")]
+    fn zero_workers_rejected() {
+        simulate_cluster(&[1], 0, &FaultConfig::default());
+    }
+}

@@ -1,0 +1,232 @@
+//! BLAST-style meta-blocking: χ² weighting with loose per-node pruning.
+//!
+//! BLAST (Simonini, Bergamaschi & Jagadish, PVLDB 2016) replaces the
+//! co-occurrence-count weights with the **Pearson χ² test statistic** of
+//! the independence hypothesis "entity `i` appearing in a block is
+//! independent of entity `j` appearing in it": high χ² means the two
+//! entities co-occur far more often than chance, i.e. strong match
+//! evidence. Pruning is *loose* node-centric: each node keeps edges whose
+//! weight is at least a `ratio` of its local **maximum** (not mean), and an
+//! edge survives if **either** endpoint keeps it.
+//!
+//! With the 2×2 contingency table over the `|B|` blocks
+//!
+//! ```text
+//!            j ∈ b     j ∉ b
+//! i ∈ b      n11=CBS   n12=|B_i|−CBS
+//! i ∉ b      n21=|B_j|−CBS   n22=|B|−|B_i|−|B_j|+CBS
+//! ```
+//!
+//! χ² = |B| · (n11·n22 − n12·n21)² / (r1·r2·c1·c2), zero when any marginal
+//! is empty.
+
+use crate::graph::{BlockingGraph, Edge};
+use crate::prune::{PrunedComparisons, WeightedPair};
+use crate::weights::WeightingScheme;
+use minoan_rdf::EntityId;
+
+/// Default keep ratio of the loose pruning (BLAST's recommended 0.35…0.5
+/// range; JedAI defaults to 0.5 of the *sum of the two node maxima* — here
+/// we keep the simpler per-node-max formulation and default to 0.35).
+pub const DEFAULT_RATIO: f64 = 0.35;
+
+/// Pearson χ² weight of `edge` in `graph`.
+pub fn chi_square_weight(graph: &BlockingGraph, edge: &Edge) -> f64 {
+    let total = graph.num_blocks() as f64;
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let n11 = edge.common_blocks as f64;
+    let bi = graph.blocks_of(edge.a) as f64;
+    let bj = graph.blocks_of(edge.b) as f64;
+    let n12 = bi - n11;
+    let n21 = bj - n11;
+    let n22 = total - bi - bj + n11;
+    let r1 = n11 + n12;
+    let r2 = n21 + n22;
+    let c1 = n11 + n21;
+    let c2 = n12 + n22;
+    let denom = r1 * r2 * c1 * c2;
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let d = n11 * n22 - n12 * n21;
+    (total * d * d / denom).max(0.0)
+}
+
+/// χ² weights of every edge, aligned with `graph.edges()`.
+pub fn chi_square_weights(graph: &BlockingGraph) -> Vec<f64> {
+    graph.edges().iter().map(|e| chi_square_weight(graph, e)).collect()
+}
+
+/// BLAST pruning: per node, keep edges with weight ≥ `ratio · local_max`;
+/// an edge survives if either endpoint keeps it (redundancy semantics).
+///
+/// The returned [`PrunedComparisons`] reports scheme
+/// [`WeightingScheme::Cbs`] as a placeholder label; the weights themselves
+/// are the χ² values.
+///
+/// # Panics
+/// Panics unless `0 < ratio ≤ 1`.
+pub fn blast(graph: &BlockingGraph, ratio: f64) -> PrunedComparisons {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+    let weights = chi_square_weights(graph);
+    // Local maxima per node.
+    let n = graph.num_nodes();
+    let mut local_max = vec![0.0f64; n];
+    for (i, e) in graph.edges().iter().enumerate() {
+        let w = weights[i];
+        if w > local_max[e.a.index()] {
+            local_max[e.a.index()] = w;
+        }
+        if w > local_max[e.b.index()] {
+            local_max[e.b.index()] = w;
+        }
+    }
+    let mut pairs: Vec<WeightedPair> = graph
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| {
+            let w = weights[*i];
+            w > 0.0
+                && (w >= ratio * local_max[e.a.index()] || w >= ratio * local_max[e.b.index()])
+        })
+        .map(|(i, e)| WeightedPair { a: e.a, b: e.b, weight: weights[i] })
+        .collect();
+    pairs.sort_by(|x, y| {
+        y.weight
+            .partial_cmp(&x.weight)
+            .expect("chi-square weights are finite")
+            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+    });
+    PrunedComparisons { pairs, scheme: WeightingScheme::Cbs, input_edges: graph.num_edges() }
+}
+
+/// Convenience accessor: the χ² weight of a specific pair, if the edge
+/// exists.
+pub fn pair_weight(graph: &BlockingGraph, a: EntityId, b: EntityId) -> Option<f64> {
+    let (lo, hi) = (a.min(b), a.max(b));
+    graph
+        .incident(lo)
+        .iter()
+        .map(|&i| (i, graph.edge(i)))
+        .find(|(_, e)| e.a == lo && e.b == hi)
+        .map(|(i, _)| chi_square_weight(graph, graph.edge(i)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_blocking::{BlockCollection, ErMode};
+    use minoan_rdf::DatasetBuilder;
+
+    /// Entities 0,1 in KB a; 2,3 in KB b. (0,2) co-occur in most blocks,
+    /// (1,3) only in the big catch-all block.
+    fn graph() -> BlockingGraph {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        for i in 0..2 {
+            b.add_literal(k0, &format!("http://a/{i}"), "http://p", "x");
+        }
+        for i in 2..4 {
+            b.add_literal(k1, &format!("http://b/{i}"), "http://p", "x");
+        }
+        let ds = b.build();
+        let e = EntityId;
+        let groups = vec![
+            ("k0".to_string(), vec![e(1), e(3)]),
+            ("k1".to_string(), vec![e(0), e(2)]),
+            ("k2".to_string(), vec![e(0), e(2)]),
+            ("k3".to_string(), vec![e(0), e(2), e(3)]),
+            ("k4".to_string(), vec![e(0), e(1), e(2), e(3)]),
+            ("k5".to_string(), vec![e(1), e(2)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        BlockingGraph::build(&c)
+    }
+
+    #[test]
+    fn chi_square_rewards_systematic_cooccurrence() {
+        let g = graph();
+        let strong = pair_weight(&g, EntityId(0), EntityId(2)).unwrap();
+        let weak = pair_weight(&g, EntityId(1), EntityId(3)).unwrap();
+        assert!(
+            strong > weak,
+            "systematic co-occurrence should outweigh catch-all: {strong} vs {weak}"
+        );
+    }
+
+    #[test]
+    fn chi_square_is_finite_and_nonnegative() {
+        let g = graph();
+        for w in chi_square_weights(&g) {
+            assert!(w.is_finite() && w >= 0.0);
+        }
+    }
+
+    #[test]
+    fn blast_keeps_local_maxima() {
+        let g = graph();
+        let pruned = blast(&g, 0.99);
+        // Every node's strongest edge must survive at ratio ≈ 1.
+        for e in g.edges() {
+            let w = chi_square_weight(&g, e);
+            let is_max_somewhere = [e.a, e.b].iter().any(|&n| {
+                g.incident(n)
+                    .iter()
+                    .all(|&i| chi_square_weight(&g, g.edge(i)) <= w + 1e-12)
+            });
+            if is_max_somewhere && w > 0.0 {
+                assert!(
+                    pruned.pairs.iter().any(|p| p.a == e.a && p.b == e.b),
+                    "local max edge ({:?},{:?}) dropped",
+                    e.a,
+                    e.b
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lower_ratio_keeps_more() {
+        let g = graph();
+        let strict = blast(&g, 1.0).pairs.len();
+        let loose = blast(&g, 0.1).pairs.len();
+        assert!(loose >= strict);
+        assert!(loose <= g.num_edges());
+    }
+
+    #[test]
+    fn output_is_sorted_descending() {
+        let g = graph();
+        let pruned = blast(&g, DEFAULT_RATIO);
+        assert!(pruned.pairs.windows(2).all(|w| w[0].weight >= w[1].weight));
+        assert_eq!(pruned.input_edges, g.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio")]
+    fn bad_ratio_rejected() {
+        blast(&graph(), 0.0);
+    }
+
+    #[test]
+    fn zero_weight_edges_are_dropped() {
+        // A block structure where an edge's χ² is exactly zero (perfect
+        // independence) — single block containing everything.
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        b.add_literal(k0, "http://a/0", "http://p", "x");
+        b.add_literal(k1, "http://b/1", "http://p", "x");
+        let ds = b.build();
+        let groups = vec![("k".to_string(), vec![EntityId(0), EntityId(1)])];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        let g = BlockingGraph::build(&c);
+        // |B| = 1, B_i = B_j = CBS = 1 → n22 row/col zero → weight 0.
+        let pruned = blast(&g, 0.5);
+        assert!(pruned.pairs.is_empty());
+    }
+}

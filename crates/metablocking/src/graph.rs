@@ -1,0 +1,215 @@
+//! The blocking graph.
+
+use minoan_blocking::BlockCollection;
+use minoan_common::FxHashMap;
+use minoan_rdf::EntityId;
+
+/// One edge of the blocking graph: a distinct comparable pair plus the
+/// co-occurrence statistics every weighting scheme is computed from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub a: EntityId,
+    /// Larger endpoint.
+    pub b: EntityId,
+    /// Number of blocks shared by `a` and `b` (CBS).
+    pub common_blocks: u32,
+    /// Σ over shared blocks of `1 / ‖block‖` (ARCS accumulator).
+    pub arcs: f64,
+}
+
+/// The blocking graph of a [`BlockCollection`].
+///
+/// Nodes are descriptions; there is one edge per *distinct* pair that
+/// co-occurs in at least one block (and is comparable under the ER mode).
+/// Construction is `O(Σ_b ‖b‖)` — it enumerates pair occurrences once.
+pub struct BlockingGraph {
+    edges: Vec<Edge>,
+    /// Per entity: indices into `edges` (sorted ascending).
+    adjacency: Vec<Vec<u32>>,
+    /// Per entity: number of blocks it belongs to, |B_i|.
+    blocks_of: Vec<u32>,
+    /// Total number of blocks, |B|.
+    num_blocks: usize,
+    /// Total block assignments BC = Σ |b| (drives CEP/CNP cardinalities).
+    total_assignments: u64,
+}
+
+impl BlockingGraph {
+    /// Builds the graph from a block collection.
+    pub fn build(collection: &BlockCollection) -> Self {
+        let n = collection.num_entities();
+        let mut acc: FxHashMap<(EntityId, EntityId), (u32, f64)> = FxHashMap::default();
+        for (bid, a, b) in collection.pair_occurrences() {
+            let card = collection.block(bid).comparisons as f64;
+            let e = acc.entry((a, b)).or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += 1.0 / card.max(1.0);
+        }
+        let mut edges: Vec<Edge> = acc
+            .into_iter()
+            .map(|((a, b), (cbs, arcs))| Edge { a, b, common_blocks: cbs, arcs })
+            .collect();
+        edges.sort_unstable_by_key(|e| (e.a, e.b));
+
+        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (i, e) in edges.iter().enumerate() {
+            adjacency[e.a.index()].push(i as u32);
+            adjacency[e.b.index()].push(i as u32);
+        }
+        let blocks_of: Vec<u32> = (0..n as u32)
+            .map(|e| collection.entity_blocks(EntityId(e)).len() as u32)
+            .collect();
+        Self {
+            edges,
+            adjacency,
+            blocks_of,
+            num_blocks: collection.len(),
+            total_assignments: collection.total_assignments(),
+        }
+    }
+
+    /// Number of distinct comparable pairs (edges).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of nodes (entities in the underlying dataset, including
+    /// entities that ended up in no block).
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of blocks in the source collection, |B|.
+    pub fn num_blocks(&self) -> usize {
+        self.num_blocks
+    }
+
+    /// Total block assignments BC of the source collection.
+    pub fn total_assignments(&self) -> u64 {
+        self.total_assignments
+    }
+
+    /// All edges, sorted by `(a, b)`.
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Edge by index.
+    pub fn edge(&self, idx: u32) -> &Edge {
+        &self.edges[idx as usize]
+    }
+
+    /// Indices of the edges incident to `e`.
+    pub fn incident(&self, e: EntityId) -> &[u32] {
+        &self.adjacency[e.index()]
+    }
+
+    /// Node degree |V_i| (number of distinct co-occurring entities).
+    pub fn degree(&self, e: EntityId) -> usize {
+        self.adjacency[e.index()].len()
+    }
+
+    /// |B_i| — number of blocks entity `e` belongs to.
+    pub fn blocks_of(&self, e: EntityId) -> u32 {
+        self.blocks_of[e.index()]
+    }
+
+    /// Nodes with at least one incident edge.
+    pub fn active_nodes(&self) -> usize {
+        self.adjacency.iter().filter(|a| !a.is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_blocking::{BlockCollection, ErMode};
+    use minoan_rdf::{Dataset, DatasetBuilder};
+
+    fn dataset(n0: u32, n1: u32) -> Dataset {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        for i in 0..n0 {
+            b.add_literal(k0, &format!("http://a/{i}"), "http://p", "x");
+        }
+        for i in 0..n1 {
+            b.add_literal(k1, &format!("http://b/{i}"), "http://p", "x");
+        }
+        b.build()
+    }
+
+    fn e(i: u32) -> EntityId {
+        EntityId(i)
+    }
+
+    #[test]
+    fn edge_statistics_are_exact() {
+        let ds = dataset(2, 2);
+        // Blocks: {0,2}, {0,2,3}, {1,3}.
+        let groups = vec![
+            ("k1".to_string(), vec![e(0), e(2)]),
+            ("k2".to_string(), vec![e(0), e(2), e(3)]),
+            ("k3".to_string(), vec![e(1), e(3)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        let g = BlockingGraph::build(&c);
+        assert_eq!(g.num_edges(), 3); // (0,2), (0,3), (1,3)
+        let edge02 = g.edges().iter().find(|ed| ed.a == e(0) && ed.b == e(2)).unwrap();
+        assert_eq!(edge02.common_blocks, 2);
+        // k1 has 1 comparison, k2 has 2 → arcs = 1/1 + 1/2.
+        assert!((edge02.arcs - 1.5).abs() < 1e-12);
+        let edge03 = g.edges().iter().find(|ed| ed.a == e(0) && ed.b == e(3)).unwrap();
+        assert_eq!(edge03.common_blocks, 1);
+        assert!((edge03.arcs - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let ds = dataset(2, 2);
+        let groups = vec![
+            ("k1".to_string(), vec![e(0), e(2)]),
+            ("k2".to_string(), vec![e(0), e(2), e(3)]),
+            ("k3".to_string(), vec![e(1), e(3)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        let g = BlockingGraph::build(&c);
+        assert_eq!(g.degree(e(0)), 2); // neighbours 2 and 3
+        assert_eq!(g.degree(e(1)), 1);
+        assert_eq!(g.degree(e(2)), 1);
+        assert_eq!(g.degree(e(3)), 2);
+        assert_eq!(g.blocks_of(e(0)), 2);
+        assert_eq!(g.blocks_of(e(3)), 2);
+        assert_eq!(g.num_blocks(), 3);
+        assert_eq!(g.active_nodes(), 4);
+        assert_eq!(g.total_assignments(), 7);
+    }
+
+    #[test]
+    fn empty_collection_empty_graph() {
+        let ds = dataset(1, 1);
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, Vec::<(String, Vec<EntityId>)>::new());
+        let g = BlockingGraph::build(&c);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.active_nodes(), 0);
+    }
+
+    #[test]
+    fn edges_are_normalised_and_sorted() {
+        let ds = dataset(3, 3);
+        let groups = vec![
+            ("k1".to_string(), vec![e(4), e(0)]),
+            ("k2".to_string(), vec![e(3), e(1)]),
+            ("k3".to_string(), vec![e(5), e(2)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        let g = BlockingGraph::build(&c);
+        for w in g.edges().windows(2) {
+            assert!((w[0].a, w[0].b) < (w[1].a, w[1].b));
+        }
+        for ed in g.edges() {
+            assert!(ed.a < ed.b);
+        }
+    }
+}

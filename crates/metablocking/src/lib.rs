@@ -1,0 +1,44 @@
+//! Meta-blocking: pruning the comparison stream of a block collection.
+//!
+//! Token blocking "leads to many repeated comparisons between the same
+//! pairs of descriptions. To overcome this problem, we accompany blocking
+//! with meta-blocking, which prunes such repeated comparisons. Moreover,
+//! meta-blocking aims at discarding comparisons between descriptions that
+//! share few common blocks and are thus less likely to match" (paper §1).
+//!
+//! * [`graph`] — the blocking graph: one node per description, one edge per
+//!   *distinct* comparable pair, annotated with co-occurrence statistics.
+//! * [`weights`] — the five standard edge-weighting schemes (CBS, ECBS,
+//!   JS, EJS, ARCS).
+//! * [`prune`] — the four pruning algorithms: weight-based (WEP, WNP) and
+//!   cardinality-based (CEP, CNP), with redundancy (union) and reciprocal
+//!   (intersection) variants of the node-centric ones.
+//! * [`parallel`] — the MapReduce formulations of reference \[4\]
+//!   (edge-based and entity-based strategies) on [`minoan_mapreduce`].
+//!
+//! # Example
+//!
+//! ```
+//! use minoan_datagen::{generate, profiles};
+//! use minoan_blocking::{builders, ErMode};
+//! use minoan_metablocking::{BlockingGraph, WeightingScheme, prune};
+//!
+//! let g = generate(&profiles::center_dense(120, 3));
+//! let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
+//! let graph = BlockingGraph::build(&blocks);
+//! let pruned = prune::wep(&graph, WeightingScheme::Cbs);
+//! assert!(pruned.pairs.len() <= graph.num_edges());
+//! ```
+
+pub mod graph;
+pub mod blast;
+pub mod parallel;
+pub mod prune;
+pub mod supervised;
+pub mod weights;
+
+pub use blast::{blast, chi_square_weight, chi_square_weights};
+pub use graph::{BlockingGraph, Edge};
+pub use supervised::{supervised_prune, EdgeFeatures, FeatureExtractor, Perceptron, TrainingSet};
+pub use prune::{PrunedComparisons, WeightedPair};
+pub use weights::WeightingScheme;

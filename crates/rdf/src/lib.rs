@@ -1,0 +1,41 @@
+//! Minimal RDF substrate for the MinoanER reproduction.
+//!
+//! The paper resolves entities "described by linked data in the Web (e.g.,
+//! in RDF)". Mature RDF stacks are not available in this environment, so
+//! this crate implements exactly the subset the ER algorithms exercise:
+//!
+//! * [`term`] — RDF terms (IRIs, literals, blank nodes) and triples.
+//! * [`ntriples`] — a line-based N-Triples parser and serialiser, enough to
+//!   round-trip the synthetic KBs to disk.
+//! * [`tokenize`] — schema-agnostic tokenisation of literal values and the
+//!   Prefix-Infix(-Suffix) decomposition of entity URIs used by blocking.
+//! * [`dataset`] — the entity-centric view: descriptions (one per subject),
+//!   knowledge bases, and the cross-description neighbour graph that the
+//!   progressive update phase walks.
+//!
+//! # Example
+//!
+//! ```
+//! use minoan_rdf::dataset::DatasetBuilder;
+//!
+//! let mut b = DatasetBuilder::new();
+//! let kb = b.add_kb("dbpedia", "http://dbpedia.org/resource/");
+//! b.add_literal(kb, "http://dbpedia.org/resource/Heraklion", "rdfs:label", "Heraklion city");
+//! b.add_resource(kb, "http://dbpedia.org/resource/Heraklion", "dbo:region",
+//!                "http://dbpedia.org/resource/Crete");
+//! b.add_literal(kb, "http://dbpedia.org/resource/Crete", "rdfs:label", "Crete island");
+//! let ds = b.build();
+//! assert_eq!(ds.len(), 2);
+//! let heraklion = ds.entity_by_uri("http://dbpedia.org/resource/Heraklion").unwrap();
+//! assert_eq!(ds.neighbors(heraklion).len(), 1);
+//! ```
+
+pub mod dataset;
+pub mod ntriples;
+pub mod term;
+pub mod tokenize;
+pub mod turtle;
+
+pub use dataset::{Dataset, DatasetBuilder, Description, EntityId, KbId, KbInfo, Value};
+pub use term::{Literal, Term, Triple};
+pub use turtle::{parse_turtle, TurtleError};

@@ -1,0 +1,303 @@
+//! Line-based N-Triples parsing and serialisation.
+//!
+//! Supports the subset of the W3C N-Triples grammar that LOD dumps actually
+//! use: IRI refs, blank nodes, plain / language-tagged / typed literals,
+//! `#` comments and blank lines, and the standard string escapes
+//! (`\" \\ \n \r \t \uXXXX \UXXXXXXXX`).
+
+use crate::term::{Literal, Term, Triple};
+use std::fmt;
+
+/// Parse error with 1-based line number and a human-readable reason.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number in the input.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N-Triples parse error at line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a full N-Triples document, returning every triple.
+pub fn parse_document(input: &str) -> Result<Vec<Triple>, ParseError> {
+    let mut out = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        out.push(parse_line(line, line_no)?);
+    }
+    Ok(out)
+}
+
+/// Serialises triples as an N-Triples document (one statement per line,
+/// trailing newline).
+pub fn write_document(triples: &[Triple]) -> String {
+    let mut s = String::with_capacity(triples.len() * 80);
+    for t in triples {
+        s.push_str(&t.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+/// Escapes a literal lexical form for N-Triples output.
+pub fn escape_literal(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+struct Cursor<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, reason: impl Into<String>) -> ParseError {
+        ParseError { line: self.line, reason: reason.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start_matches([' ', '\t']);
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        if let Some(r) = self.rest.strip_prefix(c) {
+            self.rest = r;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}', found {:?}", self.rest.chars().next())))
+        }
+    }
+
+    fn parse_iri(&mut self) -> Result<String, ParseError> {
+        self.expect('<')?;
+        let end = self
+            .rest
+            .find('>')
+            .ok_or_else(|| self.err("unterminated IRI (missing '>')"))?;
+        let iri = &self.rest[..end];
+        if iri.contains(char::is_whitespace) {
+            return Err(self.err("IRI contains whitespace"));
+        }
+        self.rest = &self.rest[end + 1..];
+        Ok(iri.to_string())
+    }
+
+    fn parse_blank(&mut self) -> Result<String, ParseError> {
+        let r = self
+            .rest
+            .strip_prefix("_:")
+            .ok_or_else(|| self.err("expected blank node '_:'"))?;
+        let end = r
+            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.'))
+            .unwrap_or(r.len());
+        if end == 0 {
+            return Err(self.err("empty blank node label"));
+        }
+        let label = r[..end].trim_end_matches('.');
+        if label.is_empty() {
+            return Err(self.err("empty blank node label"));
+        }
+        self.rest = &r[label.len()..];
+        Ok(label.to_string())
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        self.expect('"')?;
+        let mut value = String::new();
+        let mut chars = self.rest.char_indices();
+        let mut consumed = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '"' => {
+                    consumed = Some(i + 1);
+                    break;
+                }
+                '\\' => {
+                    let (_, esc) = chars
+                        .next()
+                        .ok_or_else(|| self.err("dangling escape at end of literal"))?;
+                    match esc {
+                        '"' => value.push('"'),
+                        '\\' => value.push('\\'),
+                        'n' => value.push('\n'),
+                        'r' => value.push('\r'),
+                        't' => value.push('\t'),
+                        'u' | 'U' => {
+                            let need = if esc == 'u' { 4 } else { 8 };
+                            let mut hex = String::with_capacity(need);
+                            for _ in 0..need {
+                                let (_, h) = chars
+                                    .next()
+                                    .ok_or_else(|| self.err("truncated \\u escape"))?;
+                                hex.push(h);
+                            }
+                            let cp = u32::from_str_radix(&hex, 16)
+                                .map_err(|_| self.err(format!("bad hex escape \\{esc}{hex}")))?;
+                            value.push(
+                                char::from_u32(cp)
+                                    .ok_or_else(|| self.err(format!("invalid code point U+{hex}")))?,
+                            );
+                        }
+                        other => return Err(self.err(format!("unknown escape '\\{other}'"))),
+                    }
+                }
+                other => value.push(other),
+            }
+        }
+        let consumed =
+            consumed.ok_or_else(|| self.err("unterminated literal (missing closing '\"')"))?;
+        self.rest = &self.rest[consumed..];
+        // Optional language tag or datatype.
+        if let Some(r) = self.rest.strip_prefix('@') {
+            let end = r
+                .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+                .unwrap_or(r.len());
+            if end == 0 {
+                return Err(self.err("empty language tag"));
+            }
+            let lang = r[..end].to_string();
+            self.rest = &r[end..];
+            Ok(Literal { value, lang: Some(lang), datatype: None })
+        } else if let Some(r) = self.rest.strip_prefix("^^") {
+            self.rest = r;
+            let dt = self.parse_iri()?;
+            Ok(Literal { value, lang: None, datatype: Some(dt) })
+        } else {
+            Ok(Literal::plain(value))
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Term, ParseError> {
+        match self.rest.chars().next() {
+            Some('<') => Ok(Term::Iri(self.parse_iri()?)),
+            Some('_') => Ok(Term::Blank(self.parse_blank()?)),
+            Some('"') => Ok(Term::Literal(self.parse_literal()?)),
+            other => Err(self.err(format!("expected term, found {other:?}"))),
+        }
+    }
+}
+
+/// Parses a single (already trimmed, non-comment) N-Triples statement.
+pub fn parse_line(line: &str, line_no: usize) -> Result<Triple, ParseError> {
+    let mut c = Cursor { rest: line, line: line_no };
+    c.skip_ws();
+    let subject = c.parse_term()?;
+    if !subject.is_subject() {
+        return Err(c.err("literal in subject position"));
+    }
+    c.skip_ws();
+    let predicate = c.parse_iri()?;
+    c.skip_ws();
+    let object = c.parse_term()?;
+    c.skip_ws();
+    c.expect('.')?;
+    c.skip_ws();
+    if !c.rest.is_empty() && !c.rest.starts_with('#') {
+        return Err(c.err(format!("trailing content after '.': {:?}", c.rest)));
+    }
+    Ok(Triple { subject, predicate, object })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_iri_triple() {
+        let t = parse_line("<http://a> <http://p> <http://b> .", 1).unwrap();
+        assert_eq!(t.subject, Term::iri("http://a"));
+        assert_eq!(t.predicate, "http://p");
+        assert_eq!(t.object, Term::iri("http://b"));
+    }
+
+    #[test]
+    fn parses_literals_with_tags() {
+        let t = parse_line("<http://a> <http://p> \"hi\"@en .", 1).unwrap();
+        assert_eq!(t.object, Term::Literal(Literal::lang_tagged("hi", "en")));
+        let t = parse_line(
+            "<http://a> <http://p> \"5\"^^<http://www.w3.org/2001/XMLSchema#int> .",
+            1,
+        )
+        .unwrap();
+        assert_eq!(
+            t.object,
+            Term::Literal(Literal::typed("5", "http://www.w3.org/2001/XMLSchema#int"))
+        );
+    }
+
+    #[test]
+    fn parses_escapes() {
+        let t = parse_line(r#"<http://a> <http://p> "a\"b\\c\ndA" ."#, 1).unwrap();
+        assert_eq!(t.object.as_literal(), Some("a\"b\\c\ndA"));
+    }
+
+    #[test]
+    fn parses_blank_nodes() {
+        let t = parse_line("_:b1 <http://p> _:b2 .", 1).unwrap();
+        assert_eq!(t.subject, Term::Blank("b1".into()));
+        assert_eq!(t.object, Term::Blank("b2".into()));
+    }
+
+    #[test]
+    fn document_skips_comments_and_blanks() {
+        let doc = "# header\n\n<http://a> <http://p> \"x\" .\n  # tail\n<http://b> <http://p> \"y\" .\n";
+        let ts = parse_document(doc).unwrap();
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn round_trip_preserves_triples() {
+        let doc = concat!(
+            "<http://a> <http://p> \"quote \\\" backslash \\\\ tab\\t\"@en .\n",
+            "<http://a> <http://q> <http://b> .\n",
+            "_:n0 <http://p> \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .\n",
+        );
+        let ts = parse_document(doc).unwrap();
+        let out = write_document(&ts);
+        let ts2 = parse_document(&out).unwrap();
+        assert_eq!(ts, ts2);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let doc = "<http://a> <http://p> \"ok\" .\n<http://a> <http://p> \"unterminated .\n";
+        let err = parse_document(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("unterminated"));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_line("<http://a> <http://p> .", 1).is_err());
+        assert!(parse_line("\"lit\" <http://p> <http://o> .", 1).is_err());
+        assert!(parse_line("<http://a> <http://p> <http://o>", 1).is_err());
+        assert!(parse_line("<http://a> <http://p> <http://o> . junk", 1).is_err());
+        assert!(parse_line("<http://a b> <http://p> <http://o> .", 1).is_err());
+    }
+
+    #[test]
+    fn trailing_comment_after_dot_is_ok() {
+        assert!(parse_line("<http://a> <http://p> <http://o> . # note", 1).is_ok());
+    }
+}

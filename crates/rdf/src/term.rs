@@ -1,0 +1,167 @@
+//! RDF terms and triples.
+
+use std::fmt;
+
+/// A literal value with optional language tag or datatype IRI.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Literal {
+    /// The lexical form (unescaped).
+    pub value: String,
+    /// `@lang` tag, if any (mutually exclusive with `datatype` in N-Triples).
+    pub lang: Option<String>,
+    /// `^^<datatype>` IRI, if any.
+    pub datatype: Option<String>,
+}
+
+impl Literal {
+    /// A plain literal with neither language tag nor datatype.
+    pub fn plain(value: impl Into<String>) -> Self {
+        Self { value: value.into(), lang: None, datatype: None }
+    }
+
+    /// A language-tagged literal.
+    pub fn lang_tagged(value: impl Into<String>, lang: impl Into<String>) -> Self {
+        Self { value: value.into(), lang: Some(lang.into()), datatype: None }
+    }
+
+    /// A typed literal.
+    pub fn typed(value: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Self { value: value.into(), lang: None, datatype: Some(datatype.into()) }
+    }
+}
+
+/// An RDF term in subject or object position.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// An IRI reference, stored without the angle brackets.
+    Iri(String),
+    /// A blank node, stored without the `_:` prefix.
+    Blank(String),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Constructor shorthand for IRIs.
+    pub fn iri(s: impl Into<String>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Constructor shorthand for plain literals.
+    pub fn literal(s: impl Into<String>) -> Self {
+        Term::Literal(Literal::plain(s))
+    }
+
+    /// The IRI string, if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The literal lexical form, if this term is a literal.
+    pub fn as_literal(&self) -> Option<&str> {
+        match self {
+            Term::Literal(l) => Some(&l.value),
+            _ => None,
+        }
+    }
+
+    /// Whether the term may appear in subject position (IRI or blank node).
+    pub fn is_subject(&self) -> bool {
+        !matches!(self, Term::Literal(_))
+    }
+}
+
+impl fmt::Display for Term {
+    /// N-Triples surface syntax (with escaping for literals).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Blank(s) => write!(f, "_:{s}"),
+            Term::Literal(l) => {
+                write!(f, "\"{}\"", crate::ntriples::escape_literal(&l.value))?;
+                if let Some(lang) = &l.lang {
+                    write!(f, "@{lang}")
+                } else if let Some(dt) = &l.datatype {
+                    write!(f, "^^<{dt}>")
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+/// A single RDF statement.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Triple {
+    /// Subject: IRI or blank node.
+    pub subject: Term,
+    /// Predicate: always an IRI in RDF; stored as the IRI string.
+    pub predicate: String,
+    /// Object: any term.
+    pub object: Term,
+}
+
+impl Triple {
+    /// Builds a triple; no validation beyond types is performed.
+    pub fn new(subject: Term, predicate: impl Into<String>, object: Term) -> Self {
+        Self { subject, predicate: predicate.into(), object }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} <{}> {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_constructors() {
+        assert_eq!(Literal::plain("x").lang, None);
+        assert_eq!(Literal::lang_tagged("x", "en").lang.as_deref(), Some("en"));
+        assert_eq!(
+            Literal::typed("3", "http://www.w3.org/2001/XMLSchema#int").datatype.as_deref(),
+            Some("http://www.w3.org/2001/XMLSchema#int")
+        );
+    }
+
+    #[test]
+    fn term_accessors() {
+        let iri = Term::iri("http://example.org/a");
+        assert_eq!(iri.as_iri(), Some("http://example.org/a"));
+        assert_eq!(iri.as_literal(), None);
+        assert!(iri.is_subject());
+        let lit = Term::literal("hello");
+        assert_eq!(lit.as_literal(), Some("hello"));
+        assert!(!lit.is_subject());
+        assert!(Term::Blank("b0".into()).is_subject());
+    }
+
+    #[test]
+    fn display_matches_ntriples_syntax() {
+        let t = Triple::new(
+            Term::iri("http://e.org/s"),
+            "http://e.org/p",
+            Term::Literal(Literal::lang_tagged("caf\u{e9} \"bar\"", "fr")),
+        );
+        assert_eq!(
+            t.to_string(),
+            "<http://e.org/s> <http://e.org/p> \"caf\u{e9} \\\"bar\\\"\"@fr ."
+        );
+        let t2 = Triple::new(Term::Blank("b1".into()), "http://e.org/p", Term::iri("http://e.org/o"));
+        assert_eq!(t2.to_string(), "_:b1 <http://e.org/p> <http://e.org/o> .");
+    }
+
+    #[test]
+    fn typed_literal_display() {
+        let t = Term::Literal(Literal::typed("42", "http://www.w3.org/2001/XMLSchema#integer"));
+        assert_eq!(t.to_string(), "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+    }
+}

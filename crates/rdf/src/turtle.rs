@@ -1,0 +1,753 @@
+//! A Turtle (Terse RDF Triple Language) parser — the subset real LOD dumps
+//! exercise.
+//!
+//! N-Triples is what the pipeline round-trips internally, but most Web of
+//! Data KBs publish Turtle. Supported here:
+//!
+//! * `@prefix` / `@base` directives (and SPARQL-style `PREFIX`/`BASE`),
+//! * prefixed names (`dbo:city`), IRIs (`<http://…>`), relative IRIs
+//!   against the base,
+//! * the `a` keyword (`rdf:type`),
+//! * predicate lists (`;`) and object lists (`,`),
+//! * blank-node labels (`_:b1`) and anonymous blank nodes (`[]`, including
+//!   nested property lists),
+//! * string literals with escapes, language tags and datatypes, plus bare
+//!   integers / decimals / booleans (typed per the Turtle spec),
+//! * `#` comments.
+//!
+//! Out of scope (not used by the ER workloads): collections `( … )`,
+//! triple-quoted long strings, and numeric exponent forms.
+
+use crate::term::{Literal, Term, Triple};
+use std::collections::HashMap;
+
+/// Turtle parse failure with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TurtleError {
+    /// 1-based line of the failure.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for TurtleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "turtle parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TurtleError {}
+
+const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+
+/// Parses a Turtle document into triples.
+pub fn parse_turtle(input: &str) -> Result<Vec<Triple>, TurtleError> {
+    Parser::new(input).parse()
+}
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    prefixes: HashMap<String, String>,
+    base: String,
+    triples: Vec<Triple>,
+    next_bnode: usize,
+    _input: &'a str,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Self {
+            chars: input.chars().collect(),
+            pos: 0,
+            line: 1,
+            prefixes: HashMap::new(),
+            base: String::new(),
+            triples: Vec::new(),
+            next_bnode: 0,
+            _input: input,
+        }
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, TurtleError> {
+        Err(TurtleError { line: self.line, message: message.into() })
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if let Some(ch) = c {
+            self.pos += 1;
+            if ch == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn eat(&mut self, expected: char) -> Result<(), TurtleError> {
+        self.skip_ws();
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => self.err(format!("expected {expected:?}, found {c:?}")),
+            None => self.err(format!("expected {expected:?}, found end of input")),
+        }
+    }
+
+    fn starts_with_keyword(&self, kw: &str) -> bool {
+        let rest: String = self.chars[self.pos..]
+            .iter()
+            .take(kw.len())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        rest == kw
+    }
+
+    fn parse(mut self) -> Result<Vec<Triple>, TurtleError> {
+        loop {
+            self.skip_ws();
+            if self.peek().is_none() {
+                return Ok(self.triples);
+            }
+            if self.starts_with_keyword("@prefix") || self.starts_with_keyword("prefix") {
+                self.parse_prefix()?;
+            } else if self.starts_with_keyword("@base") || self.starts_with_keyword("base") {
+                self.parse_base()?;
+            } else {
+                self.parse_statement()?;
+            }
+        }
+    }
+
+    fn parse_prefix(&mut self) -> Result<(), TurtleError> {
+        let at_form = self.peek() == Some('@');
+        // Consume keyword.
+        for _ in 0.."prefix".len() + usize::from(at_form) {
+            self.bump();
+        }
+        self.skip_ws();
+        // Prefix label up to ':'.
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if c.is_whitespace() {
+                return self.err("prefix label must end with ':'");
+            }
+            label.push(c);
+            self.bump();
+        }
+        self.eat(':')?;
+        self.skip_ws();
+        let iri = self.parse_iri_ref()?;
+        self.prefixes.insert(label, iri);
+        if at_form {
+            self.eat('.')?;
+        } else {
+            // SPARQL form: optional terminating dot is NOT allowed; but
+            // tolerate trailing whitespace only.
+        }
+        Ok(())
+    }
+
+    fn parse_base(&mut self) -> Result<(), TurtleError> {
+        let at_form = self.peek() == Some('@');
+        for _ in 0.."base".len() + usize::from(at_form) {
+            self.bump();
+        }
+        self.skip_ws();
+        self.base = self.parse_iri_ref()?;
+        if at_form {
+            self.eat('.')?;
+        }
+        Ok(())
+    }
+
+    fn parse_statement(&mut self) -> Result<(), TurtleError> {
+        let subject = self.parse_subject()?;
+        self.parse_predicate_object_list(&subject)?;
+        self.eat('.')
+    }
+
+    fn parse_subject(&mut self) -> Result<Term, TurtleError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_iri_ref()?)),
+            Some('_') => self.parse_bnode_label(),
+            Some('[') => self.parse_anon_bnode(),
+            Some(_) => {
+                let iri = self.parse_prefixed_name()?;
+                Ok(Term::Iri(iri))
+            }
+            None => self.err("expected subject, found end of input"),
+        }
+    }
+
+    fn parse_predicate_object_list(&mut self, subject: &Term) -> Result<(), TurtleError> {
+        loop {
+            self.skip_ws();
+            let predicate = self.parse_predicate()?;
+            loop {
+                let object = self.parse_object()?;
+                self.triples.push(Triple::new(subject.clone(), predicate.clone(), object));
+                self.skip_ws();
+                if self.peek() == Some(',') {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.skip_ws();
+            if self.peek() == Some(';') {
+                self.bump();
+                self.skip_ws();
+                // A dangling ';' before '.' or ']' is legal Turtle.
+                if matches!(self.peek(), Some('.') | Some(']')) {
+                    return Ok(());
+                }
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<String, TurtleError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => self.parse_iri_ref(),
+            Some('a') => {
+                // 'a' keyword iff followed by whitespace or '<' or '['.
+                let next = self.chars.get(self.pos + 1).copied();
+                if next.is_none_or(|c| c.is_whitespace() || c == '<' || c == '[') {
+                    self.bump();
+                    Ok(RDF_TYPE.to_string())
+                } else {
+                    self.parse_prefixed_name()
+                }
+            }
+            Some(_) => self.parse_prefixed_name(),
+            None => self.err("expected predicate, found end of input"),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Term, TurtleError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.parse_iri_ref()?)),
+            Some('"') | Some('\'') => self.parse_literal(),
+            Some('_') => self.parse_bnode_label(),
+            Some('[') => self.parse_anon_bnode(),
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => self.parse_numeric(),
+            Some('t') | Some('f')
+                if self.starts_with_keyword("true") || self.starts_with_keyword("false") =>
+            {
+                let word = if self.starts_with_keyword("true") { "true" } else { "false" };
+                for _ in 0..word.len() {
+                    self.bump();
+                }
+                Ok(Term::Literal(Literal::typed(word, XSD_BOOLEAN)))
+            }
+            Some(_) => Ok(Term::Iri(self.parse_prefixed_name()?)),
+            None => self.err("expected object, found end of input"),
+        }
+    }
+
+    fn parse_iri_ref(&mut self) -> Result<String, TurtleError> {
+        self.skip_ws();
+        if self.bump() != Some('<') {
+            return self.err("expected '<'");
+        }
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => break,
+                Some('\n') => return self.err("newline inside IRI"),
+                Some(c) => iri.push(c),
+                None => return self.err("unterminated IRI"),
+            }
+        }
+        // Resolve relative IRIs against the base (string concatenation —
+        // sufficient for the dump-style bases the workloads use).
+        if !iri.contains(':') && !self.base.is_empty() {
+            Ok(format!("{}{}", self.base, iri))
+        } else {
+            Ok(iri)
+        }
+    }
+
+    fn parse_prefixed_name(&mut self) -> Result<String, TurtleError> {
+        self.skip_ws();
+        let mut prefix = String::new();
+        while let Some(c) = self.peek() {
+            if c == ':' {
+                break;
+            }
+            if !(c.is_alphanumeric() || c == '_' || c == '-' || c == '.') {
+                return self.err(format!("unexpected character {c:?} in prefixed name"));
+            }
+            prefix.push(c);
+            self.bump();
+        }
+        if self.peek() != Some(':') {
+            return self.err("expected ':' in prefixed name");
+        }
+        self.bump();
+        let mut local = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == '%' {
+                local.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        // A trailing '.' terminates the statement, not the name.
+        while local.ends_with('.') {
+            local.pop();
+            self.pos -= 1;
+        }
+        match self.prefixes.get(&prefix) {
+            Some(ns) => Ok(format!("{ns}{local}")),
+            None => self.err(format!("undeclared prefix {prefix:?}")),
+        }
+    }
+
+    fn parse_bnode_label(&mut self) -> Result<Term, TurtleError> {
+        // "_:" label
+        self.bump(); // '_'
+        if self.bump() != Some(':') {
+            return self.err("expected ':' after '_'");
+        }
+        let mut label = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                label.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if label.is_empty() {
+            return self.err("empty blank node label");
+        }
+        Ok(Term::Blank(label))
+    }
+
+    fn parse_anon_bnode(&mut self) -> Result<Term, TurtleError> {
+        self.eat('[')?;
+        let label = format!("anon{}", self.next_bnode);
+        self.next_bnode += 1;
+        let node = Term::Blank(label);
+        self.skip_ws();
+        if self.peek() != Some(']') {
+            self.parse_predicate_object_list(&node)?;
+        }
+        self.eat(']')?;
+        Ok(node)
+    }
+
+    fn parse_literal(&mut self) -> Result<Term, TurtleError> {
+        let quote = self.bump().expect("caller checked");
+        let mut value = String::new();
+        loop {
+            match self.bump() {
+                Some(c) if c == quote => break,
+                Some('\\') => match self.bump() {
+                    Some('n') => value.push('\n'),
+                    Some('t') => value.push('\t'),
+                    Some('r') => value.push('\r'),
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('\'') => value.push('\''),
+                    Some('u') => {
+                        let hex: String = (0..4).filter_map(|_| self.bump()).collect();
+                        let cp = u32::from_str_radix(&hex, 16)
+                            .ok()
+                            .and_then(char::from_u32)
+                            .ok_or_else(|| TurtleError {
+                                line: self.line,
+                                message: format!("bad \\u escape {hex:?}"),
+                            })?;
+                        value.push(cp);
+                    }
+                    Some(other) => return self.err(format!("unknown escape \\{other}")),
+                    None => return self.err("unterminated escape"),
+                },
+                Some('\n') => return self.err("newline in single-quoted literal"),
+                Some(c) => value.push(c),
+                None => return self.err("unterminated literal"),
+            }
+        }
+        // Optional language tag or datatype.
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let mut lang = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        lang.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Term::Literal(Literal::lang_tagged(value, lang)))
+            }
+            Some('^') => {
+                self.bump();
+                if self.bump() != Some('^') {
+                    return self.err("expected '^^'");
+                }
+                let datatype = match self.peek() {
+                    Some('<') => self.parse_iri_ref()?,
+                    _ => self.parse_prefixed_name()?,
+                };
+                Ok(Term::Literal(Literal::typed(value, datatype)))
+            }
+            _ => Ok(Term::Literal(Literal::plain(value))),
+        }
+    }
+
+    fn parse_numeric(&mut self) -> Result<Term, TurtleError> {
+        let mut text = String::new();
+        if matches!(self.peek(), Some('+') | Some('-')) {
+            text.push(self.bump().expect("sign"));
+        }
+        let mut saw_dot = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !saw_dot {
+                // A dot is part of the number only if a digit follows;
+                // otherwise it terminates the statement.
+                if self.chars.get(self.pos + 1).is_some_and(|d| d.is_ascii_digit()) {
+                    saw_dot = true;
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() || text == "+" || text == "-" {
+            return self.err("malformed numeric literal");
+        }
+        let datatype = if saw_dot { XSD_DECIMAL } else { XSD_INTEGER };
+        Ok(Term::Literal(Literal::typed(text, datatype)))
+    }
+}
+
+
+/// Serialises triples as compact Turtle.
+///
+/// `prefixes` maps prefix labels to namespace IRIs; IRIs starting with a
+/// registered namespace are written as prefixed names (when the local part
+/// is a simple name), everything else as `<…>`. Triples are grouped by
+/// subject with `;`-separated predicate lists and `,`-separated object
+/// lists; `rdf:type` is written as `a`. The output round-trips through
+/// [`parse_turtle`].
+pub fn write_turtle(triples: &[Triple], prefixes: &[(&str, &str)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (label, ns) in prefixes {
+        let _ = writeln!(out, "@prefix {label}: <{ns}> .");
+    }
+    if !prefixes.is_empty() && !triples.is_empty() {
+        out.push('\n');
+    }
+
+    let shorten = |iri: &str| -> String {
+        for (label, ns) in prefixes {
+            if let Some(local) = iri.strip_prefix(ns) {
+                let simple = !local.is_empty()
+                    && local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                    && !local.ends_with('.');
+                if simple {
+                    return format!("{label}:{local}");
+                }
+            }
+        }
+        format!("<{iri}>")
+    };
+    let term_str = |t: &Term| -> String {
+        match t {
+            Term::Iri(iri) => shorten(iri),
+            Term::Blank(b) => format!("_:{b}"),
+            Term::Literal(l) => {
+                let escaped = l
+                    .value
+                    .replace('\\', "\\\\")
+                    .replace('"', "\\\"")
+                    .replace('\n', "\\n")
+                    .replace('\r', "\\r")
+                    .replace('\t', "\\t");
+                match (&l.lang, &l.datatype) {
+                    (Some(lang), _) => format!("\"{escaped}\"@{lang}"),
+                    (None, Some(dt)) => format!("\"{escaped}\"^^{}", shorten(dt)),
+                    (None, None) => format!("\"{escaped}\""),
+                }
+            }
+        }
+    };
+
+    // Group by subject, preserving first-appearance order.
+    let mut order: Vec<&Term> = Vec::new();
+    let mut groups: std::collections::HashMap<&Term, Vec<&Triple>> =
+        std::collections::HashMap::new();
+    for t in triples {
+        let entry = groups.entry(&t.subject).or_default();
+        if entry.is_empty() {
+            order.push(&t.subject);
+        }
+        entry.push(t);
+    }
+    for subject in order {
+        let group = &groups[subject];
+        let _ = write!(out, "{} ", term_str(subject));
+        // Predicate sub-groups, preserving order.
+        let mut pred_order: Vec<&str> = Vec::new();
+        let mut by_pred: std::collections::HashMap<&str, Vec<&Term>> =
+            std::collections::HashMap::new();
+        for t in group {
+            let entry = by_pred.entry(t.predicate.as_str()).or_default();
+            if entry.is_empty() {
+                pred_order.push(&t.predicate);
+            }
+            entry.push(&t.object);
+        }
+        for (pi, pred) in pred_order.iter().enumerate() {
+            let pred_text = if *pred == RDF_TYPE { "a".to_string() } else { shorten(pred) };
+            let objects: Vec<String> = by_pred[pred].iter().map(|o| term_str(o)).collect();
+            let _ = write!(out, "{pred_text} {}", objects.join(" , "));
+            if pi + 1 < pred_order.len() {
+                out.push_str(" ;\n    ");
+            }
+        }
+        out.push_str(" .\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triples(doc: &str) -> Vec<Triple> {
+        parse_turtle(doc).expect("document parses")
+    }
+
+    #[test]
+    fn basic_triple_with_prefix() {
+        let doc = "@prefix dbo: <http://dbpedia.org/ontology/> .\n\
+                   <http://x/a> dbo:name \"Heraklion\" .";
+        let t = triples(doc);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].predicate, "http://dbpedia.org/ontology/name");
+        assert_eq!(t[0].object.as_literal(), Some("Heraklion"));
+    }
+
+    #[test]
+    fn sparql_style_prefix_without_dot() {
+        let doc = "PREFIX ex: <http://e/>\nex:a ex:p ex:b .";
+        let t = triples(doc);
+        assert_eq!(t[0].subject.as_iri(), Some("http://e/a"));
+        assert_eq!(t[0].object.as_iri(), Some("http://e/b"));
+    }
+
+    #[test]
+    fn a_keyword_is_rdf_type() {
+        let doc = "@prefix ex: <http://e/> .\nex:x a ex:City .";
+        let t = triples(doc);
+        assert_eq!(t[0].predicate, RDF_TYPE);
+    }
+
+    #[test]
+    fn predicate_and_object_lists() {
+        let doc = "@prefix ex: <http://e/> .\n\
+                   ex:a ex:p ex:b , ex:c ;\n\
+                        ex:q \"v\" ;\n\
+                        .";
+        let t = triples(doc);
+        assert_eq!(t.len(), 3);
+        assert!(t.iter().all(|x| x.subject.as_iri() == Some("http://e/a")));
+        assert_eq!(t[0].object.as_iri(), Some("http://e/b"));
+        assert_eq!(t[1].object.as_iri(), Some("http://e/c"));
+        assert_eq!(t[2].object.as_literal(), Some("v"));
+    }
+
+    #[test]
+    fn language_tags_and_datatypes() {
+        let doc = "@prefix x: <http://x/> .\n\
+                   x:a x:l \"πόλη\"@el .\n\
+                   x:a x:n \"42\"^^<http://www.w3.org/2001/XMLSchema#int> .";
+        let t = triples(doc);
+        match &t[0].object {
+            Term::Literal(l) => assert_eq!(l.lang.as_deref(), Some("el")),
+            other => panic!("expected literal, got {other:?}"),
+        }
+        match &t[1].object {
+            Term::Literal(l) => {
+                assert_eq!(l.datatype.as_deref(), Some("http://www.w3.org/2001/XMLSchema#int"))
+            }
+            other => panic!("expected literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_numerics_and_booleans() {
+        let doc = "@prefix x: <http://x/> .\n\
+                   x:a x:pop 173450 .\n\
+                   x:a x:lat 35.34 .\n\
+                   x:a x:capital true .";
+        let t = triples(doc);
+        let dt = |i: usize| match &t[i].object {
+            Term::Literal(l) => l.datatype.clone().unwrap(),
+            _ => panic!(),
+        };
+        assert_eq!(dt(0), XSD_INTEGER);
+        assert_eq!(dt(1), XSD_DECIMAL);
+        assert_eq!(dt(2), XSD_BOOLEAN);
+    }
+
+    #[test]
+    fn blank_nodes_labeled_and_anonymous() {
+        let doc = "@prefix x: <http://x/> .\n\
+                   _:b1 x:p x:a .\n\
+                   x:a x:q [ x:r \"nested\" ] .";
+        let t = triples(doc);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t[0].subject, Term::Blank("b1".into()));
+        // The anonymous node appears as object of x:q and subject of x:r.
+        let anon = match &t[2].object {
+            Term::Blank(b) => b.clone(),
+            other => panic!("expected blank object, got {other:?}"),
+        };
+        assert!(t.iter().any(|x| x.subject == Term::Blank(anon.clone())
+            && x.object.as_literal() == Some("nested")));
+    }
+
+    #[test]
+    fn base_resolves_relative_iris() {
+        let doc = "@base <http://base.org/> .\n<rel> <p:abs> <other> .";
+        let t = triples(doc);
+        assert_eq!(t[0].subject.as_iri(), Some("http://base.org/rel"));
+        assert_eq!(t[0].predicate, "p:abs", "absolute IRIs are untouched");
+        assert_eq!(t[0].object.as_iri(), Some("http://base.org/other"));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let doc = "# leading comment\n@prefix x: <http://x/> . # trailing\nx:a x:p x:b . # end";
+        assert_eq!(triples(doc).len(), 1);
+    }
+
+    #[test]
+    fn escapes_in_literals() {
+        let doc = "@prefix x: <http://x/> .\nx:a x:p \"line\\nbreak \\\"quoted\\\" \\u0041\" .";
+        let t = triples(doc);
+        assert_eq!(t[0].object.as_literal(), Some("line\nbreak \"quoted\" A"));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let doc = "@prefix x: <http://x/> .\nx:a x:p undeclared:b .";
+        let err = parse_turtle(doc).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("undeclared"));
+    }
+
+    #[test]
+    fn unterminated_constructs_fail_cleanly() {
+        assert!(parse_turtle("<http://x ").is_err());
+        assert!(parse_turtle("@prefix x: <http://x/> .\nx:a x:p \"open").is_err());
+        assert!(parse_turtle("@prefix x: <http://x/> .\nx:a x:p x:b ").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_documents() {
+        assert!(triples("").is_empty());
+        assert!(triples("# nothing here\n\n").is_empty());
+    }
+
+
+    #[test]
+    fn writer_round_trips_through_parser() {
+        let doc = "@prefix x: <http://x/> .\n\
+                   x:a a x:City ;\n       x:p x:b , x:c ;\n       x:l \"v\"@el .\n\
+                   _:b1 x:q \"1.5\"^^<http://www.w3.org/2001/XMLSchema#decimal> .";
+        let original = triples(doc);
+        let written = write_turtle(&original, &[("x", "http://x/")]);
+        let reparsed = triples(&written);
+        assert_eq!(original, reparsed, "written form:\n{written}");
+    }
+
+    #[test]
+    fn writer_groups_subjects_and_uses_a() {
+        let doc = "@prefix x: <http://x/> .\nx:s a x:T .\nx:s x:p \"v\" .";
+        let written = write_turtle(&triples(doc), &[("x", "http://x/")]);
+        assert_eq!(written.matches("x:s").count(), 1, "one subject group:\n{written}");
+        assert!(written.contains(" a x:T"), "{written}");
+        assert!(written.contains(';'), "{written}");
+    }
+
+    #[test]
+    fn writer_escapes_literals() {
+        let t = vec![Triple::new(
+            Term::iri("http://x/s"),
+            "http://x/p",
+            Term::literal("say \"hi\"\nplease"),
+        )];
+        let written = write_turtle(&t, &[]);
+        let reparsed = triples(&written);
+        assert_eq!(reparsed[0].object.as_literal(), Some("say \"hi\"\nplease"));
+    }
+
+    #[test]
+    fn writer_falls_back_to_angle_brackets() {
+        let t = vec![Triple::new(
+            Term::iri("http://elsewhere/with space.x."),
+            "http://x/p",
+            Term::iri("http://x/ok"),
+        )];
+        let written = write_turtle(&t, &[("x", "http://x/")]);
+        assert!(written.contains("<http://elsewhere/with space.x.>"), "{written}");
+        assert!(written.contains("x:ok"), "{written}");
+    }
+
+    #[test]
+    fn equivalent_to_ntriples_for_shared_subset() {
+        let nt = "<http://x/a> <http://x/p> \"v\" .\n<http://x/a> <http://x/q> <http://x/b> .\n";
+        let from_nt = crate::ntriples::parse_document(nt).unwrap();
+        let from_ttl = triples(nt);
+        assert_eq!(from_nt, from_ttl, "Turtle is a superset of N-Triples");
+    }
+}

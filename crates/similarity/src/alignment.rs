@@ -1,0 +1,164 @@
+//! Sequence-alignment similarities.
+//!
+//! Edit distance (Levenshtein) penalises every difference equally;
+//! alignment scores let matches *reward* and can ignore unrelated flanking
+//! text. Both are classic record-linkage measures:
+//!
+//! * [`needleman_wunsch`] — global alignment: the whole of both strings
+//!   must align (good for names that are entirely variants of each other).
+//! * [`smith_waterman`] — local alignment: the best-scoring *substring*
+//!   pair (good when one value embeds the other, e.g. "Heraklion" inside
+//!   "Municipality of Heraklion, Crete").
+//!
+//! Scores use match = +2, mismatch = −1, gap = −1 (standard record-linkage
+//! parameters) and are normalised to `[0, 1]` by the maximum attainable
+//! score (`2 · min(|a|, |b|)`).
+
+const MATCH: i32 = 2;
+const MISMATCH: i32 = -1;
+const GAP: i32 = -1;
+
+/// Global-alignment similarity in `[0, 1]`; 1 iff the strings are equal
+/// (case-sensitive). Empty vs non-empty scores 0; two empties score 1.
+pub fn needleman_wunsch(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let (n, m) = (a.len(), b.len());
+    // Two-row DP over the alignment score.
+    let mut prev: Vec<i32> = (0..=m as i32).map(|j| j * GAP).collect();
+    let mut cur = vec![0i32; m + 1];
+    for i in 1..=n {
+        cur[0] = i as i32 * GAP;
+        for j in 1..=m {
+            let diag = prev[j - 1] + if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            cur[j] = diag.max(prev[j] + GAP).max(cur[j - 1] + GAP);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let score = prev[m];
+    let max = MATCH * n.min(m) as i32;
+    (score.max(0) as f64 / max as f64).clamp(0.0, 1.0)
+}
+
+/// Local-alignment similarity in `[0, 1]`: the best-scoring substring
+/// alignment, normalised by `2 · min(|a|, |b|)`. Reaches 1 when the
+/// shorter string appears verbatim inside the longer one.
+pub fn smith_waterman(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let (n, m) = (a.len(), b.len());
+    let mut prev = vec![0i32; m + 1];
+    let mut cur = vec![0i32; m + 1];
+    let mut best = 0i32;
+    for i in 1..=n {
+        cur[0] = 0;
+        for j in 1..=m {
+            let diag = prev[j - 1] + if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            cur[j] = 0.max(diag).max(prev[j] + GAP).max(cur[j - 1] + GAP);
+            if cur[j] > best {
+                best = cur[j];
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let max = MATCH * n.min(m) as i32;
+    (best as f64 / max as f64).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_score_one() {
+        assert!((needleman_wunsch("heraklion", "heraklion") - 1.0).abs() < 1e-12);
+        assert!((smith_waterman("heraklion", "heraklion") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_strings_score_zero() {
+        assert_eq!(needleman_wunsch("aaaa", "bbbb"), 0.0);
+        assert_eq!(smith_waterman("aaaa", "bbbb"), 0.0);
+    }
+
+    #[test]
+    fn empties() {
+        assert_eq!(needleman_wunsch("", ""), 1.0);
+        assert_eq!(needleman_wunsch("", "x"), 0.0);
+        assert_eq!(smith_waterman("", ""), 1.0);
+        assert_eq!(smith_waterman("x", ""), 0.0);
+    }
+
+    #[test]
+    fn local_alignment_finds_embedded_substring() {
+        let sw = smith_waterman("heraklion", "municipality of heraklion crete");
+        assert!((sw - 1.0).abs() < 1e-12, "embedded name should score 1: {sw}");
+        // Global alignment is dragged down by the flanking text.
+        let nw = needleman_wunsch("heraklion", "municipality of heraklion crete");
+        assert!(nw < sw, "nw {nw} should trail sw {sw}");
+    }
+
+    #[test]
+    fn single_typo_scores_high_but_below_one() {
+        let nw = needleman_wunsch("heraklion", "heraklio");
+        assert!(nw > 0.8 && nw < 1.0, "nw = {nw}");
+        let sw = smith_waterman("heraklion", "heraklio");
+        assert!(sw > 0.8, "sw = {sw}");
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("abc", "abd"), ("hello", "hallo"), ("short", "a much longer value")] {
+            assert!((needleman_wunsch(a, b) - needleman_wunsch(b, a)).abs() < 1e-12);
+            assert!((smith_waterman(a, b) - smith_waterman(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn local_at_least_global() {
+        for (a, b) in [("abcdef", "xxabcdxx"), ("kostas", "konstantinos"), ("ab", "ba")] {
+            assert!(smith_waterman(a, b) + 1e-12 >= needleman_wunsch(a, b), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn unicode_handled_per_char() {
+        assert!((needleman_wunsch("héllo", "héllo") - 1.0).abs() < 1e-12);
+        assert!(needleman_wunsch("héllo", "hello") > 0.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn scores_in_unit_interval(a in "[a-z]{0,20}", b in "[a-z]{0,20}") {
+            let nw = needleman_wunsch(&a, &b);
+            let sw = smith_waterman(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&nw));
+            prop_assert!((0.0..=1.0).contains(&sw));
+            prop_assert!(sw + 1e-12 >= nw, "local must dominate global");
+        }
+
+        #[test]
+        fn identity_scores_one(a in "[a-z]{1,20}") {
+            prop_assert!((needleman_wunsch(&a, &a) - 1.0).abs() < 1e-12);
+            prop_assert!((smith_waterman(&a, &a) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Hybrid (token × character) similarity.
+//!
+//! Name-like values in the Web of Data mix token-level variation (word
+//! order, abbreviations, extra words) with character-level noise (typos,
+//! transliteration). Hybrid measures handle both at once:
+//!
+//! * [`monge_elkan`] — for each token of `a`, the best character-level
+//!   match among `b`'s tokens, averaged (asymmetric; see
+//!   [`monge_elkan_symmetric`]).
+//! * [`soft_token_jaccard`] — Jaccard over tokens where two tokens count
+//!   as equal when their character similarity exceeds a threshold
+//!   ("soft" set intersection).
+
+use crate::string::jaro_winkler;
+
+fn tokens(s: &str) -> Vec<&str> {
+    s.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty()).collect()
+}
+
+/// Monge–Elkan similarity of `a` against `b` using Jaro–Winkler as the
+/// internal measure: `mean_{ta ∈ a} max_{tb ∈ b} jw(ta, tb)`.
+/// Empty-token inputs yield 0.
+pub fn monge_elkan(a: &str, b: &str) -> f64 {
+    let (ta, tb) = (tokens(a), tokens(b));
+    if ta.is_empty() || tb.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for x in &ta {
+        let best = tb
+            .iter()
+            .map(|y| jaro_winkler(&x.to_lowercase(), &y.to_lowercase()))
+            .fold(0.0f64, f64::max);
+        total += best;
+    }
+    total / ta.len() as f64
+}
+
+/// Symmetrised Monge–Elkan: `(me(a,b) + me(b,a)) / 2`.
+pub fn monge_elkan_symmetric(a: &str, b: &str) -> f64 {
+    (monge_elkan(a, b) + monge_elkan(b, a)) / 2.0
+}
+
+/// Soft token Jaccard: tokens match when their Jaro–Winkler similarity is
+/// ≥ `threshold`; each token may be used in at most one match (greedy,
+/// highest-similarity first), and the coefficient is
+/// `matches / (|A| + |B| − matches)`.
+pub fn soft_token_jaccard(a: &str, b: &str, threshold: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
+    let (ta, tb) = (tokens(a), tokens(b));
+    if ta.is_empty() && tb.is_empty() {
+        return 0.0;
+    }
+    // Score all cross pairs, then greedily take the best disjoint ones.
+    let mut scored: Vec<(f64, usize, usize)> = Vec::new();
+    for (i, x) in ta.iter().enumerate() {
+        for (j, y) in tb.iter().enumerate() {
+            let s = jaro_winkler(&x.to_lowercase(), &y.to_lowercase());
+            if s >= threshold {
+                scored.push((s, i, j));
+            }
+        }
+    }
+    scored.sort_by(|p, q| q.0.partial_cmp(&p.0).expect("finite").then(p.1.cmp(&q.1).then(p.2.cmp(&q.2))));
+    let mut used_a = vec![false; ta.len()];
+    let mut used_b = vec![false; tb.len()];
+    let mut matches = 0usize;
+    for (_, i, j) in scored {
+        if !used_a[i] && !used_b[j] {
+            used_a[i] = true;
+            used_b[j] = true;
+            matches += 1;
+        }
+    }
+    matches as f64 / (ta.len() + tb.len() - matches) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monge_elkan_handles_reordering_and_typos() {
+        let s = monge_elkan_symmetric("Mikis Theodorakis", "Theodorakis, Mikis");
+        assert!(s > 0.95, "word order should not matter much: {s}");
+        let s = monge_elkan_symmetric("Knossos Palace", "Knosos Palac");
+        assert!(s > 0.9, "minor typos should barely hurt: {s}");
+    }
+
+    #[test]
+    fn monge_elkan_asymmetry_is_bounded_by_symmetric() {
+        let (a, b) = ("john smith", "john smith archaeologist");
+        let me_ab = monge_elkan(a, b);
+        let me_ba = monge_elkan(b, a);
+        let sym = monge_elkan_symmetric(a, b);
+        assert!(me_ab > me_ba, "subset direction should score higher");
+        assert!((sym - (me_ab + me_ba) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monge_elkan_empty_inputs() {
+        assert_eq!(monge_elkan("", "x"), 0.0);
+        assert_eq!(monge_elkan("x", ""), 0.0);
+        assert_eq!(monge_elkan_symmetric("", ""), 0.0);
+    }
+
+    #[test]
+    fn soft_jaccard_exact_and_soft() {
+        assert_eq!(soft_token_jaccard("a b c", "a b c", 1.0), 1.0);
+        assert_eq!(soft_token_jaccard("aa bb", "cc dd", 0.95), 0.0);
+        // "knosos" ≈ "knossos" above 0.9: soft match bridges the typo.
+        let strict = soft_token_jaccard("knossos palace", "knosos palace", 1.0);
+        let soft = soft_token_jaccard("knossos palace", "knosos palace", 0.9);
+        assert!(soft > strict);
+        assert_eq!(soft, 1.0);
+    }
+
+    #[test]
+    fn soft_jaccard_each_token_used_once() {
+        // One "aa" in a must not match both "aa" tokens in b.
+        let s = soft_token_jaccard("aa", "aa aa", 1.0);
+        assert!((s - 0.5).abs() < 1e-12, "got {s}");
+    }
+
+    #[test]
+    fn soft_jaccard_empty() {
+        assert_eq!(soft_token_jaccard("", "", 0.9), 0.0);
+        assert_eq!(soft_token_jaccard("a", "", 0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_panics() {
+        let _ = soft_token_jaccard("a", "b", 1.5);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn hybrid_measures_bounded_and_symmetricised(a in "[a-z ]{0,24}", b in "[a-z ]{0,24}") {
+            let me = monge_elkan_symmetric(&a, &b);
+            proptest::prop_assert!((0.0..=1.0 + 1e-9).contains(&me));
+            proptest::prop_assert!((me - monge_elkan_symmetric(&b, &a)).abs() < 1e-12);
+            let sj = soft_token_jaccard(&a, &b, 0.9);
+            proptest::prop_assert!((0.0..=1.0 + 1e-9).contains(&sj));
+            proptest::prop_assert!((sj - soft_token_jaccard(&b, &a, 0.9)).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Similarity measures for entity matching.
+//!
+//! The matching phase of MinoanER compares entity descriptions using
+//! token-set evidence (schema-agnostic, the primary signal in the Web of
+//! Data) optionally combined with character-level string similarity on
+//! name-like attributes. This crate provides both families:
+//!
+//! * [`token`] — Jaccard, Dice, overlap and cosine coefficients over sorted
+//!   symbol slices, plus weighted (IDF) variants.
+//! * [`string`] — Levenshtein, Jaro, Jaro–Winkler and q-gram similarity.
+//! * [`tfidf`] — corpus-level document-frequency statistics producing the
+//!   IDF weights used by the weighted token measures.
+//! * [`hybrid`] — token × character hybrids (Monge–Elkan, soft token
+//!   Jaccard) for noisy name-like values.
+//! * [`minhash`] — MinHash signatures for O(k) approximate Jaccard.
+//!
+//! All similarities are in `[0, 1]`, higher = more similar.
+
+pub mod alignment;
+pub mod hybrid;
+pub mod minhash;
+pub mod numeric;
+pub mod simhash;
+pub mod softtfidf;
+pub mod string;
+pub mod tfidf;
+pub mod token;
+
+pub use alignment::{needleman_wunsch, smith_waterman};
+pub use hybrid::{monge_elkan, monge_elkan_symmetric, soft_token_jaccard};
+pub use numeric::{date_literal_similarity, numeric_literal_similarity};
+pub use simhash::{simhash_similarity, SimHash};
+pub use softtfidf::{soft_cosine, soft_tfidf};
+pub use minhash::{MinHasher, Signature};
+pub use string::{jaro, jaro_winkler, levenshtein, levenshtein_similarity, qgram_similarity};
+pub use tfidf::TfIdfWeights;
+pub use token::{cosine, dice, jaccard, overlap_coefficient, weighted_jaccard};

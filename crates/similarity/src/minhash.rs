@@ -1,0 +1,159 @@
+//! MinHash signatures for fast Jaccard estimation.
+//!
+//! Web-of-Data ER regularly needs Jaccard similarity between millions of
+//! token sets; exact merges are `O(|A|+|B|)` per pair. A [`MinHasher`]
+//! compresses each set into a fixed-length signature whose per-position
+//! agreement is an unbiased estimator of the Jaccard coefficient, turning
+//! pair scoring into an `O(k)` word comparison. Used by the harness for
+//! approximate candidate diagnostics and as an optional fast matcher path.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A family of `k` hash permutations over `u32` token ids.
+#[derive(Clone, Debug)]
+pub struct MinHasher {
+    /// (multiplier, addend) pairs of the affine universal hash family.
+    params: Vec<(u64, u64)>,
+}
+
+/// Large Mersenne prime for the universal hash family.
+const PRIME: u64 = (1 << 61) - 1;
+
+/// A fixed-length MinHash signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Signature(pub Box<[u64]>);
+
+impl MinHasher {
+    /// Creates a hasher with `k` permutations (signature length `k`),
+    /// seeded deterministically.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k > 0, "signature length must be positive");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4d69_6e48);
+        let params = (0..k)
+            .map(|_| (rng.gen_range(1..PRIME), rng.gen_range(0..PRIME)))
+            .collect();
+        Self { params }
+    }
+
+    /// Signature length.
+    pub fn k(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Computes the signature of a token set (order/duplicates irrelevant).
+    /// An empty set yields the all-`u64::MAX` signature.
+    pub fn signature(&self, tokens: &[u32]) -> Signature {
+        let mut sig = vec![u64::MAX; self.params.len()];
+        for &t in tokens {
+            let x = t as u64 + 1; // avoid the fixed point at 0
+            for (i, &(a, b)) in self.params.iter().enumerate() {
+                // (a*x + b) mod p via u128 to avoid overflow.
+                let h = ((a as u128 * x as u128 + b as u128) % PRIME as u128) as u64;
+                if h < sig[i] {
+                    sig[i] = h;
+                }
+            }
+        }
+        Signature(sig.into_boxed_slice())
+    }
+
+    /// Estimated Jaccard similarity of the underlying sets.
+    ///
+    /// # Panics
+    /// Panics if the signatures came from hashers with different `k`.
+    pub fn similarity(&self, a: &Signature, b: &Signature) -> f64 {
+        assert_eq!(a.0.len(), b.0.len(), "signature length mismatch");
+        assert_eq!(a.0.len(), self.k());
+        let agree = a.0.iter().zip(b.0.iter()).filter(|(x, y)| x == y).count();
+        agree as f64 / self.k() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::jaccard;
+
+    fn set(lo: u32, hi: u32) -> Vec<u32> {
+        (lo..hi).collect()
+    }
+
+    #[test]
+    fn identical_sets_estimate_one() {
+        let mh = MinHasher::new(64, 1);
+        let s = mh.signature(&set(0, 40));
+        assert_eq!(mh.similarity(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn disjoint_sets_estimate_near_zero() {
+        let mh = MinHasher::new(128, 2);
+        let a = mh.signature(&set(0, 50));
+        let b = mh.signature(&set(1_000, 1_050));
+        assert!(mh.similarity(&a, &b) < 0.08);
+    }
+
+    #[test]
+    fn estimate_tracks_exact_jaccard() {
+        let mh = MinHasher::new(256, 3);
+        // 50% overlap: J = 50 / 150 = 1/3.
+        let a = set(0, 100);
+        let b = set(50, 150);
+        let exact = jaccard(&a, &b);
+        let est = mh.similarity(&mh.signature(&a), &mh.signature(&b));
+        assert!(
+            (est - exact).abs() < 0.1,
+            "estimate {est:.3} too far from exact {exact:.3}"
+        );
+    }
+
+    #[test]
+    fn duplicates_and_order_do_not_matter() {
+        let mh = MinHasher::new(32, 4);
+        let s1 = mh.signature(&[5, 1, 9, 1, 5]);
+        let s2 = mh.signature(&[1, 5, 9]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn empty_sets() {
+        let mh = MinHasher::new(16, 5);
+        let e = mh.signature(&[]);
+        assert!(e.0.iter().all(|&v| v == u64::MAX));
+        // Empty vs empty agrees everywhere (degenerate, documented).
+        assert_eq!(mh.similarity(&e, &e), 1.0);
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let a = MinHasher::new(64, 7).signature(&set(0, 20));
+        let b = MinHasher::new(64, 7).signature(&set(0, 20));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_k_panics() {
+        let _ = MinHasher::new(0, 1);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn estimator_within_chernoff_band(
+            xs in proptest::collection::hash_set(0u32..400, 10..80),
+            ys in proptest::collection::hash_set(0u32..400, 10..80),
+        ) {
+            let a: Vec<u32> = { let mut v: Vec<u32> = xs.into_iter().collect(); v.sort_unstable(); v };
+            let b: Vec<u32> = { let mut v: Vec<u32> = ys.into_iter().collect(); v.sort_unstable(); v };
+            let exact = jaccard(&a, &b);
+            let mh = MinHasher::new(256, 11);
+            let est = mh.similarity(&mh.signature(&a), &mh.signature(&b));
+            // 256 permutations: |est − J| < 0.2 with overwhelming probability.
+            proptest::prop_assert!((est - exact).abs() < 0.2, "est {est} vs exact {exact}");
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Numeric and temporal value similarity.
+//!
+//! Cross-KB descriptions often disagree on numeric literals (populations,
+//! coordinates, prices) only by measurement noise, and on dates only by
+//! formatting or granularity. Token-based measures see such values as
+//! totally different strings; these measures compare them on the value
+//! axis instead and degrade gracefully to 0 when either side is not
+//! parseable.
+
+/// Parses a literal as a number, tolerating surrounding whitespace,
+/// thousands separators (`1,234,567`) and a leading `+`.
+pub fn parse_number(s: &str) -> Option<f64> {
+    let cleaned: String = s.trim().replace(',', "");
+    let cleaned = cleaned.strip_prefix('+').unwrap_or(&cleaned);
+    if cleaned.is_empty() {
+        return None;
+    }
+    cleaned.parse::<f64>().ok().filter(|v| v.is_finite())
+}
+
+/// Relative-distance similarity of two numbers:
+/// `1 − |a−b| / max(|a|, |b|)`, clamped to `[0, 1]`; equal values (incl.
+/// both zero) score 1, opposite signs score 0.
+pub fn number_similarity(a: f64, b: f64) -> f64 {
+    if !a.is_finite() || !b.is_finite() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let denom = a.abs().max(b.abs());
+    if denom == 0.0 {
+        return 1.0;
+    }
+    (1.0 - (a - b).abs() / denom).clamp(0.0, 1.0)
+}
+
+/// Parses then compares two numeric literals; unparseable input scores 0.
+pub fn numeric_literal_similarity(a: &str, b: &str) -> f64 {
+    match (parse_number(a), parse_number(b)) {
+        (Some(x), Some(y)) => number_similarity(x, y),
+        _ => 0.0,
+    }
+}
+
+/// A calendar date (proleptic Gregorian, no time component).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, PartialOrd, Ord)]
+pub struct Date {
+    /// Year (may be any i32; the similarity only uses day arithmetic).
+    pub year: i32,
+    /// Month, 1–12.
+    pub month: u8,
+    /// Day, 1–31 (validated against the month).
+    pub day: u8,
+}
+
+impl Date {
+    /// Days since 1970-01-01 (negative before). Standard civil-from-days
+    /// inverse (Howard Hinnant's algorithm).
+    pub fn days_from_epoch(&self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let mp = (i64::from(self.month) + 9) % 12;
+        let doy = (153 * mp + 2) / 5 + i64::from(self.day) - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+}
+
+/// Parses `YYYY-MM-DD`, `YYYY/MM/DD`, `DD.MM.YYYY` or a bare `YYYY`
+/// (mapped to July 1st so year-only values sit mid-year).
+pub fn parse_date(s: &str) -> Option<Date> {
+    let s = s.trim();
+    let make = |y: i32, m: u32, d: u32| -> Option<Date> {
+        if !(1..=12).contains(&m) {
+            return None;
+        }
+        let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+        let dim = [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+        if d == 0 || d > dim[(m - 1) as usize] {
+            return None;
+        }
+        Some(Date { year: y, month: m as u8, day: d as u8 })
+    };
+    for sep in ['-', '/'] {
+        let parts: Vec<&str> = s.split(sep).collect();
+        if parts.len() == 3 {
+            if let (Ok(y), Ok(m), Ok(d)) =
+                (parts[0].parse::<i32>(), parts[1].parse::<u32>(), parts[2].parse::<u32>())
+            {
+                return make(y, m, d);
+            }
+        }
+    }
+    let parts: Vec<&str> = s.split('.').collect();
+    if parts.len() == 3 {
+        if let (Ok(d), Ok(m), Ok(y)) =
+            (parts[0].parse::<u32>(), parts[1].parse::<u32>(), parts[2].parse::<i32>())
+        {
+            return make(y, m, d);
+        }
+    }
+    if s.len() == 4 {
+        if let Ok(y) = s.parse::<i32>() {
+            return make(y, 7, 1);
+        }
+    }
+    None
+}
+
+/// Exponential-decay date similarity: `exp(−|Δdays| / half_life_days ·
+/// ln 2)` — a half-life of `half_life_days` days. Same day scores 1.
+pub fn date_similarity(a: Date, b: Date, half_life_days: f64) -> f64 {
+    assert!(half_life_days > 0.0, "half-life must be positive");
+    let delta = (a.days_from_epoch() - b.days_from_epoch()).unsigned_abs() as f64;
+    (-(delta / half_life_days) * std::f64::consts::LN_2).exp()
+}
+
+/// Parses then compares two date literals with a 365-day half-life;
+/// unparseable input scores 0.
+pub fn date_literal_similarity(a: &str, b: &str) -> f64 {
+    match (parse_date(a), parse_date(b)) {
+        (Some(x), Some(y)) => date_similarity(x, y, 365.0),
+        _ => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_number_variants() {
+        assert_eq!(parse_number("42"), Some(42.0));
+        assert_eq!(parse_number(" 3.14 "), Some(3.14));
+        assert_eq!(parse_number("1,234,567"), Some(1_234_567.0));
+        assert_eq!(parse_number("+7"), Some(7.0));
+        assert_eq!(parse_number("-2.5e3"), Some(-2500.0));
+        assert_eq!(parse_number("abc"), None);
+        assert_eq!(parse_number(""), None);
+        assert_eq!(parse_number("inf"), None, "non-finite rejected");
+    }
+
+    #[test]
+    fn number_similarity_properties() {
+        assert_eq!(number_similarity(5.0, 5.0), 1.0);
+        assert_eq!(number_similarity(0.0, 0.0), 1.0);
+        assert!((number_similarity(100.0, 90.0) - 0.9).abs() < 1e-12);
+        assert_eq!(number_similarity(1.0, -1.0), 0.0);
+        assert_eq!(number_similarity(f64::NAN, 1.0), 0.0);
+    }
+
+    #[test]
+    fn numeric_literal_similarity_end_to_end() {
+        assert!((numeric_literal_similarity("1,000", "900") - 0.9).abs() < 1e-12);
+        assert_eq!(numeric_literal_similarity("x", "1"), 0.0);
+    }
+
+    #[test]
+    fn parse_date_formats() {
+        let d = Date { year: 2016, month: 3, day: 15 };
+        assert_eq!(parse_date("2016-03-15"), Some(d));
+        assert_eq!(parse_date("2016/03/15"), Some(d));
+        assert_eq!(parse_date("15.03.2016"), Some(d));
+        assert_eq!(parse_date("2016"), Some(Date { year: 2016, month: 7, day: 1 }));
+        assert_eq!(parse_date("2016-13-01"), None, "month 13");
+        assert_eq!(parse_date("2015-02-29"), None, "not a leap year");
+        assert_eq!(parse_date("2016-02-29"), Some(Date { year: 2016, month: 2, day: 29 }));
+        assert_eq!(parse_date("nonsense"), None);
+    }
+
+    #[test]
+    fn epoch_days_known_values() {
+        assert_eq!(Date { year: 1970, month: 1, day: 1 }.days_from_epoch(), 0);
+        assert_eq!(Date { year: 1970, month: 1, day: 2 }.days_from_epoch(), 1);
+        assert_eq!(Date { year: 1969, month: 12, day: 31 }.days_from_epoch(), -1);
+        assert_eq!(Date { year: 2000, month: 3, day: 1 }.days_from_epoch(), 11_017);
+    }
+
+    #[test]
+    fn date_similarity_decay() {
+        let a = Date { year: 2016, month: 1, day: 1 };
+        let same = date_similarity(a, a, 365.0);
+        assert!((same - 1.0).abs() < 1e-12);
+        let b = Date { year: 2017, month: 1, day: 1 };
+        let one_year = date_similarity(a, b, 365.0);
+        assert!((one_year - 0.5).abs() < 0.01, "one half-life ≈ 0.5: {one_year}");
+        let c = Date { year: 2018, month: 1, day: 1 };
+        assert!(date_similarity(a, c, 365.0) < one_year);
+    }
+
+    #[test]
+    fn date_literal_similarity_cross_format() {
+        let s = date_literal_similarity("2016-03-15", "15.03.2016");
+        assert!((s - 1.0).abs() < 1e-12, "same date, different format: {s}");
+        assert_eq!(date_literal_similarity("2016-03-15", "garbage"), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn zero_half_life_rejected() {
+        let d = Date { year: 2016, month: 1, day: 1 };
+        date_similarity(d, d, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn number_similarity_bounded_and_symmetric(a in -1e9f64..1e9, b in -1e9f64..1e9) {
+            let s = number_similarity(a, b);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert!((s - number_similarity(b, a)).abs() < 1e-12);
+        }
+
+        #[test]
+        fn date_round_trip_through_epoch(y in 1800i32..2200, m in 1u32..13, d in 1u32..29) {
+            let date = parse_date(&format!("{y:04}-{m:02}-{d:02}")).unwrap();
+            // Adjacent days differ by exactly one epoch day.
+            let next = Date { day: date.day + 1, ..date };
+            if parse_date(&format!("{y:04}-{m:02}-{:02}", d + 1)).is_some() {
+                prop_assert_eq!(next.days_from_epoch() - date.days_from_epoch(), 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! SimHash: 64-bit similarity-preserving fingerprints.
+//!
+//! Charikar's SimHash maps a weighted token set to a single 64-bit
+//! fingerprint whose Hamming distance tracks the cosine similarity of the
+//! underlying sets. Next to MinHash (estimates Jaccard with `k` words)
+//! SimHash trades accuracy for a single-word footprint — useful as a cheap
+//! first-pass filter before exact similarity, and as a compact description
+//! digest in the incremental resolver.
+
+use minoan_common::hash::fx_hash_bytes;
+
+/// A 64-bit SimHash fingerprint.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SimHash(pub u64);
+
+impl SimHash {
+    /// Fingerprints a token sequence with unit weights.
+    pub fn of_tokens<'a>(tokens: impl IntoIterator<Item = &'a str>) -> Self {
+        Self::of_weighted(tokens.into_iter().map(|t| (t, 1.0)))
+    }
+
+    /// Fingerprints weighted tokens: each token's 64-bit hash votes its
+    /// weight on every bit position; the sign of the tally decides the bit.
+    pub fn of_weighted<'a>(tokens: impl IntoIterator<Item = (&'a str, f64)>) -> Self {
+        let mut tally = [0.0f64; 64];
+        for (token, weight) in tokens {
+            let h = fx_hash_bytes(token.as_bytes());
+            for (bit, t) in tally.iter_mut().enumerate() {
+                if h >> bit & 1 == 1 {
+                    *t += weight;
+                } else {
+                    *t -= weight;
+                }
+            }
+        }
+        let mut out = 0u64;
+        for (bit, &t) in tally.iter().enumerate() {
+            if t > 0.0 {
+                out |= 1 << bit;
+            }
+        }
+        SimHash(out)
+    }
+
+    /// Hamming distance to another fingerprint (0–64).
+    #[inline]
+    pub fn hamming(self, other: SimHash) -> u32 {
+        (self.0 ^ other.0).count_ones()
+    }
+
+    /// Hamming similarity `1 − distance/64` in `[0, 1]`.
+    #[inline]
+    pub fn similarity(self, other: SimHash) -> f64 {
+        1.0 - f64::from(self.hamming(other)) / 64.0
+    }
+}
+
+/// Convenience: fingerprint similarity of two token slices.
+pub fn simhash_similarity<'a>(
+    a: impl IntoIterator<Item = &'a str>,
+    b: impl IntoIterator<Item = &'a str>,
+) -> f64 {
+    SimHash::of_tokens(a).similarity(SimHash::of_tokens(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC_A: [&str; 6] = ["red", "wine", "from", "crete", "greece", "vineyard"];
+    const DOC_B: [&str; 6] = ["red", "wine", "from", "crete", "hellas", "vineyard"];
+    const DOC_C: [&str; 6] = ["quantum", "flux", "torsion", "manifold", "spinor", "gauge"];
+
+    #[test]
+    fn identical_sets_have_zero_distance() {
+        let a = SimHash::of_tokens(DOC_A);
+        let b = SimHash::of_tokens(DOC_A);
+        assert_eq!(a.hamming(b), 0);
+        assert_eq!(a.similarity(b), 1.0);
+    }
+
+    #[test]
+    fn near_duplicates_closer_than_unrelated() {
+        let a = SimHash::of_tokens(DOC_A);
+        let b = SimHash::of_tokens(DOC_B);
+        let c = SimHash::of_tokens(DOC_C);
+        assert!(
+            a.hamming(b) < a.hamming(c),
+            "near-dup distance {} should beat unrelated {}",
+            a.hamming(b),
+            a.hamming(c)
+        );
+    }
+
+    #[test]
+    fn order_invariant() {
+        let a = SimHash::of_tokens(["x", "y", "z"]);
+        let b = SimHash::of_tokens(["z", "x", "y"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weights_shift_the_fingerprint() {
+        let unit = SimHash::of_weighted([("alpha", 1.0), ("beta", 1.0)]);
+        let skewed = SimHash::of_weighted([("alpha", 10.0), ("beta", 1.0)]);
+        let alpha_only = SimHash::of_tokens(["alpha"]);
+        assert!(skewed.hamming(alpha_only) <= unit.hamming(alpha_only));
+    }
+
+    #[test]
+    fn empty_set_is_zero() {
+        let e = SimHash::of_tokens(std::iter::empty::<&str>());
+        assert_eq!(e.0, 0);
+    }
+
+    #[test]
+    fn similarity_helper_matches_manual() {
+        let s = simhash_similarity(DOC_A, DOC_B);
+        let manual = SimHash::of_tokens(DOC_A).similarity(SimHash::of_tokens(DOC_B));
+        assert_eq!(s, manual);
+        assert!((0.0..=1.0).contains(&s));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn similarity_bounded_and_symmetric(
+            a in proptest::collection::vec("[a-z]{1,8}", 0..20),
+            b in proptest::collection::vec("[a-z]{1,8}", 0..20),
+        ) {
+            let ha = SimHash::of_tokens(a.iter().map(|s| s.as_str()));
+            let hb = SimHash::of_tokens(b.iter().map(|s| s.as_str()));
+            let s = ha.similarity(hb);
+            prop_assert!((0.0..=1.0).contains(&s));
+            prop_assert_eq!(ha.hamming(hb), hb.hamming(ha));
+        }
+    }
+}

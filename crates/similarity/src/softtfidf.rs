@@ -1,0 +1,148 @@
+//! Soft TF-IDF (Cohen, Ravikumar & Fienberg, 2003).
+//!
+//! TF-IDF cosine requires *exact* token matches; Soft TF-IDF relaxes this
+//! by letting a token match its most Jaro–Winkler-similar counterpart when
+//! that similarity exceeds a threshold θ, scaling the contribution by the
+//! similarity. It is the standard high-accuracy measure for noisy
+//! name-like values — exactly the "somehow similar" literals of the LOD
+//! periphery.
+//!
+//! The IDF weight is abstracted as a closure so callers can plug corpus
+//! statistics ([`crate::tfidf::TfIdfWeights`]) or unit weights.
+
+use crate::string::jaro_winkler;
+
+/// Soft TF-IDF similarity of two token sequences in `[0, 1]`.
+///
+/// For every token `a` of `a_tokens` with a best partner `b` in `b_tokens`
+/// such that `JW(a,b) ≥ threshold`, the score accrues
+/// `w(a) · w(b) · JW(a,b)`; the total is normalised by the product of the
+/// two weight-vector norms (as in TF-IDF cosine).
+///
+/// # Panics
+/// Panics unless `threshold ∈ (0, 1]`.
+pub fn soft_tfidf(
+    a_tokens: &[&str],
+    b_tokens: &[&str],
+    mut idf: impl FnMut(&str) -> f64,
+    threshold: f64,
+) -> f64 {
+    assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0, 1]");
+    if a_tokens.is_empty() || b_tokens.is_empty() {
+        return 0.0;
+    }
+    let a_weights: Vec<f64> = a_tokens.iter().map(|t| idf(t).max(0.0)).collect();
+    let b_weights: Vec<f64> = b_tokens.iter().map(|t| idf(t).max(0.0)).collect();
+    let norm_a: f64 = a_weights.iter().map(|w| w * w).sum::<f64>().sqrt();
+    let norm_b: f64 = b_weights.iter().map(|w| w * w).sum::<f64>().sqrt();
+    if norm_a == 0.0 || norm_b == 0.0 {
+        return 0.0;
+    }
+    let mut score = 0.0f64;
+    for (a, wa) in a_tokens.iter().zip(&a_weights) {
+        let mut best = 0.0f64;
+        let mut best_w = 0.0f64;
+        for (b, wb) in b_tokens.iter().zip(&b_weights) {
+            let jw = jaro_winkler(a, b);
+            if jw > best || (jw == best && *wb > best_w) {
+                best = jw;
+                best_w = *wb;
+            }
+        }
+        if best >= threshold {
+            score += wa * best_w * best;
+        }
+    }
+    (score / (norm_a * norm_b)).clamp(0.0, 1.0)
+}
+
+/// Soft TF-IDF with unit weights — a pure "soft cosine" over tokens.
+pub fn soft_cosine(a_tokens: &[&str], b_tokens: &[&str], threshold: f64) -> f64 {
+    soft_tfidf(a_tokens, b_tokens, |_| 1.0, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_token_sets_score_one() {
+        let t = ["vasilis", "efthymiou"];
+        assert!((soft_cosine(&t, &t, 0.9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_tokens_still_match() {
+        let a = ["vasilis", "efthymiou"];
+        let b = ["vassilis", "efthimiou"]; // spelling variants
+        let s = soft_cosine(&a, &b, 0.85);
+        assert!(s > 0.8, "spelling variants should score high: {s}");
+        // Exact cosine over the same tokens would be 0 (no common token).
+    }
+
+    #[test]
+    fn unrelated_tokens_score_zero() {
+        let a = ["alpha", "beta"];
+        let b = ["xylophone", "quasar"];
+        assert_eq!(soft_cosine(&a, &b, 0.9), 0.0);
+    }
+
+    #[test]
+    fn threshold_gates_fuzzy_matches() {
+        let a = ["heraklion"];
+        let b = ["heraklio"];
+        let loose = soft_cosine(&a, &b, 0.8);
+        let strict = soft_cosine(&a, &b, 0.999);
+        assert!(loose > 0.9);
+        assert_eq!(strict, 0.0, "not an exact match");
+    }
+
+    #[test]
+    fn idf_downweights_common_tokens() {
+        // "the" is common (low IDF), "zyzzyva" rare (high IDF).
+        let idf = |t: &str| if t == "the" { 0.1 } else { 3.0 };
+        let a = ["the", "zyzzyva"];
+        let b_shared_rare = ["a", "zyzzyva"];
+        let b_shared_common = ["the", "aardvark"];
+        let rare = soft_tfidf(&a, &b_shared_rare, idf, 0.9);
+        let common = soft_tfidf(&a, &b_shared_common, idf, 0.9);
+        assert!(rare > common, "sharing the rare token must count more: {rare} vs {common}");
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        assert_eq!(soft_cosine(&[], &["x"], 0.9), 0.0);
+        assert_eq!(soft_cosine(&["x"], &[], 0.9), 0.0);
+        assert_eq!(soft_cosine(&[], &[], 0.9), 0.0);
+    }
+
+    #[test]
+    fn zero_weight_vector_scores_zero() {
+        assert_eq!(soft_tfidf(&["a"], &["a"], |_| 0.0, 0.9), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn bad_threshold_rejected() {
+        soft_cosine(&["a"], &["a"], 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn bounded(
+            a in proptest::collection::vec("[a-z]{1,8}", 0..8),
+            b in proptest::collection::vec("[a-z]{1,8}", 0..8),
+        ) {
+            let ar: Vec<&str> = a.iter().map(|s| s.as_str()).collect();
+            let br: Vec<&str> = b.iter().map(|s| s.as_str()).collect();
+            let s = soft_cosine(&ar, &br, 0.9);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

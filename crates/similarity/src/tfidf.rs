@@ -1,0 +1,138 @@
+//! Corpus-level token statistics (document frequency → IDF weights).
+//!
+//! The weighted token measures need to know how *informative* each token
+//! is. [`TfIdfWeights`] is built once over all entity descriptions (each
+//! description = one document) and then shared by the matcher.
+
+use minoan_common::FxHashMap;
+
+/// Inverse-document-frequency weights over an interned token vocabulary.
+#[derive(Clone, Debug)]
+pub struct TfIdfWeights {
+    /// Document frequency per token id (dense vector over the interner).
+    doc_freq: Vec<u32>,
+    /// Number of documents observed.
+    num_docs: u32,
+}
+
+impl TfIdfWeights {
+    /// Builds weights from an iterator of documents, each a (possibly
+    /// unsorted, possibly duplicated) token-id list. `vocab_size` must be at
+    /// least `max(token id) + 1`.
+    pub fn build<I, D>(vocab_size: usize, docs: I) -> Self
+    where
+        I: IntoIterator<Item = D>,
+        D: AsRef<[u32]>,
+    {
+        let mut doc_freq = vec![0u32; vocab_size];
+        let mut num_docs = 0u32;
+        let mut seen: FxHashMap<u32, u32> = FxHashMap::default(); // token -> doc generation
+        for doc in docs {
+            num_docs += 1;
+            for &t in doc.as_ref() {
+                let gen = seen.entry(t).or_insert(0);
+                if *gen != num_docs {
+                    *gen = num_docs;
+                    doc_freq[t as usize] += 1;
+                }
+            }
+        }
+        Self { doc_freq, num_docs }
+    }
+
+    /// Number of documents the statistics were computed over.
+    pub fn num_docs(&self) -> u32 {
+        self.num_docs
+    }
+
+    /// Document frequency of token `t` (0 for unseen/out-of-range ids).
+    pub fn doc_freq(&self, t: u32) -> u32 {
+        self.doc_freq.get(t as usize).copied().unwrap_or(0)
+    }
+
+    /// Smoothed IDF weight `ln(1 + N / (1 + df))`, ≥ 0, monotonically
+    /// decreasing in document frequency.
+    pub fn idf(&self, t: u32) -> f64 {
+        let df = self.doc_freq(t) as f64;
+        (1.0 + self.num_docs as f64 / (1.0 + df)).ln()
+    }
+
+    /// TF-IDF cosine similarity between two canonical (sorted+deduped)
+    /// token slices, treating each as a binary-TF document vector.
+    pub fn cosine(&self, a: &[u32], b: &[u32]) -> f64 {
+        let norm = |xs: &[u32]| -> f64 {
+            xs.iter().map(|&t| self.idf(t).powi(2)).sum::<f64>().sqrt()
+        };
+        let (na, nb) = (norm(a), norm(b));
+        if na == 0.0 || nb == 0.0 {
+            return 0.0;
+        }
+        let (mut i, mut j, mut dot) = (0usize, 0usize, 0.0f64);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    dot += self.idf(a[i]).powi(2);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        dot / (na * nb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn weights() -> TfIdfWeights {
+        // Token 0 appears in every doc, token 1 in one, token 2 in two.
+        TfIdfWeights::build(4, [vec![0, 1], vec![0, 2], vec![0, 2, 2], vec![0]])
+    }
+
+    #[test]
+    fn doc_freq_counts_documents_not_occurrences() {
+        let w = weights();
+        assert_eq!(w.num_docs(), 4);
+        assert_eq!(w.doc_freq(0), 4);
+        assert_eq!(w.doc_freq(1), 1);
+        assert_eq!(w.doc_freq(2), 2, "duplicate within a doc counts once");
+        assert_eq!(w.doc_freq(3), 0);
+        assert_eq!(w.doc_freq(99), 0, "out of range is zero");
+    }
+
+    #[test]
+    fn idf_decreases_with_frequency() {
+        let w = weights();
+        assert!(w.idf(1) > w.idf(2));
+        assert!(w.idf(2) > w.idf(0));
+        assert!(w.idf(0) > 0.0);
+    }
+
+    #[test]
+    fn cosine_identity_and_disjoint() {
+        let w = weights();
+        assert!((w.cosine(&[0, 1], &[0, 1]) - 1.0).abs() < 1e-12);
+        assert_eq!(w.cosine(&[1], &[2]), 0.0);
+        assert_eq!(w.cosine(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn rare_shared_token_scores_higher() {
+        let w = weights();
+        // Sharing rare token 1 vs sharing ubiquitous token 0, same set sizes.
+        let rare = w.cosine(&[1, 2], &[0, 1]);
+        let common = w.cosine(&[0, 2], &[0, 1]);
+        assert!(rare > common, "rare {rare} vs common {common}");
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let w = TfIdfWeights::build(0, Vec::<Vec<u32>>::new());
+        assert_eq!(w.num_docs(), 0);
+        assert_eq!(w.cosine(&[], &[]), 0.0);
+        assert!(w.idf(5) >= 0.0);
+    }
+}

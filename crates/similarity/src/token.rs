@@ -1,0 +1,197 @@
+//! Token-set similarity coefficients.
+//!
+//! All functions operate on **sorted, deduplicated** slices of token ids
+//! (`u32` symbols from an interner). Sortedness lets every coefficient run
+//! as a linear merge without hashing; debug builds assert the invariant.
+//!
+//! Use [`prepare`] to turn an arbitrary token-id list into canonical form.
+
+/// Sorts and deduplicates a token list in place, returning it in the
+/// canonical form the coefficients expect.
+pub fn prepare(mut tokens: Vec<u32>) -> Vec<u32> {
+    tokens.sort_unstable();
+    tokens.dedup();
+    tokens
+}
+
+fn assert_canonical(xs: &[u32]) {
+    debug_assert!(xs.windows(2).all(|w| w[0] < w[1]), "tokens must be sorted+deduped");
+}
+
+/// Size of the intersection of two canonical token slices (linear merge).
+pub fn intersection_size(a: &[u32], b: &[u32]) -> usize {
+    assert_canonical(a);
+    assert_canonical(b);
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Jaccard coefficient `|A∩B| / |A∪B|`. Empty∪empty ⇒ 0.
+pub fn jaccard(a: &[u32], b: &[u32]) -> f64 {
+    let inter = intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f64 / union as f64
+    }
+}
+
+/// Dice coefficient `2|A∩B| / (|A|+|B|)`.
+pub fn dice(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    2.0 * intersection_size(a, b) as f64 / (a.len() + b.len()) as f64
+}
+
+/// Overlap coefficient `|A∩B| / min(|A|,|B|)`.
+pub fn overlap_coefficient(a: &[u32], b: &[u32]) -> f64 {
+    let m = a.len().min(b.len());
+    if m == 0 {
+        0.0
+    } else {
+        intersection_size(a, b) as f64 / m as f64
+    }
+}
+
+/// Set cosine `|A∩B| / sqrt(|A||B|)`.
+pub fn cosine(a: &[u32], b: &[u32]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    intersection_size(a, b) as f64 / ((a.len() * b.len()) as f64).sqrt()
+}
+
+/// Weighted Jaccard: `Σ_{t∈A∩B} w(t) / Σ_{t∈A∪B} w(t)`.
+///
+/// With IDF weights this is the measure MinoanER's matcher defaults to:
+/// rare shared tokens ("knossos") count far more than ubiquitous ones
+/// ("city"). `weight` must return non-negative values.
+pub fn weighted_jaccard(a: &[u32], b: &[u32], mut weight: impl FnMut(u32) -> f64) -> f64 {
+    assert_canonical(a);
+    assert_canonical(b);
+    let (mut i, mut j) = (0usize, 0usize);
+    let (mut inter_w, mut union_w) = (0.0f64, 0.0f64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                union_w += weight(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                union_w += weight(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                let w = weight(a[i]);
+                inter_w += w;
+                union_w += w;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &t in &a[i..] {
+        union_w += weight(t);
+    }
+    for &t in &b[j..] {
+        union_w += weight(t);
+    }
+    if union_w <= 0.0 {
+        0.0
+    } else {
+        inter_w / union_w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_canonicalises() {
+        assert_eq!(prepare(vec![3, 1, 3, 2, 1]), vec![1, 2, 3]);
+        assert_eq!(prepare(vec![]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        assert_eq!(jaccard(&[1, 2, 3], &[2, 3, 4]), 0.5);
+        assert_eq!(jaccard(&[1, 2], &[1, 2]), 1.0);
+        assert_eq!(jaccard(&[1], &[2]), 0.0);
+        assert_eq!(jaccard(&[], &[]), 0.0);
+        assert_eq!(jaccard(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn dice_and_overlap_and_cosine() {
+        let (a, b) = (&[1u32, 2, 3][..], &[2u32, 3, 4, 5][..]);
+        assert!((dice(a, b) - 4.0 / 7.0).abs() < 1e-12);
+        assert!((overlap_coefficient(a, b) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cosine(a, b) - 2.0 / 12f64.sqrt()).abs() < 1e-12);
+        assert_eq!(dice(&[], &[]), 0.0);
+        assert_eq!(overlap_coefficient(&[], &[1]), 0.0);
+        assert_eq!(cosine(&[], &[1]), 0.0);
+    }
+
+    #[test]
+    fn coefficients_are_symmetric() {
+        let (a, b) = (&[1u32, 4, 9, 11][..], &[2u32, 4, 11, 30, 31][..]);
+        assert_eq!(jaccard(a, b), jaccard(b, a));
+        assert_eq!(dice(a, b), dice(b, a));
+        assert_eq!(overlap_coefficient(a, b), overlap_coefficient(b, a));
+        assert_eq!(cosine(a, b), cosine(b, a));
+    }
+
+    #[test]
+    fn weighted_jaccard_equals_jaccard_for_unit_weights() {
+        let (a, b) = (&[1u32, 2, 3][..], &[2u32, 3, 4][..]);
+        assert!((weighted_jaccard(a, b, |_| 1.0) - jaccard(a, b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_jaccard_boosts_rare_tokens() {
+        // Shared token 7 is rare (weight 10), shared token 1 common (0.1).
+        let rare_shared = weighted_jaccard(&[1, 7], &[2, 7], |t| if t == 7 { 10.0 } else { 0.1 });
+        let common_shared = weighted_jaccard(&[1, 7], &[1, 9], |t| if t == 7 { 10.0 } else { 0.1 });
+        assert!(rare_shared > 0.9);
+        assert!(common_shared < 0.1);
+    }
+
+    #[test]
+    fn weighted_jaccard_zero_weights() {
+        assert_eq!(weighted_jaccard(&[1, 2], &[1, 2], |_| 0.0), 0.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn jaccard_bounds_and_identity(mut a in proptest::collection::vec(0u32..200, 0..40),
+                                       mut b in proptest::collection::vec(0u32..200, 0..40)) {
+            a.sort_unstable(); a.dedup();
+            b.sort_unstable(); b.dedup();
+            let j = jaccard(&a, &b);
+            proptest::prop_assert!((0.0..=1.0).contains(&j));
+            if !a.is_empty() {
+                proptest::prop_assert_eq!(jaccard(&a, &a), 1.0);
+            }
+            // Jaccard ≤ Dice ≤ overlap for non-empty inputs.
+            let d = dice(&a, &b);
+            proptest::prop_assert!(j <= d + 1e-12);
+            if !a.is_empty() && !b.is_empty() {
+                proptest::prop_assert!(d <= overlap_coefficient(&a, &b) + 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Dictionary encoding of RDF terms.
+//!
+//! Real triple stores (RDF-3X, Virtuoso, HDT) replace variable-length terms
+//! with dense integer ids before indexing; everything downstream then
+//! operates on fixed-width ids. The dictionary here is append-only: a term,
+//! once encoded, keeps its id for the lifetime of the store, which is what
+//! makes snapshots and the Dataset bridge stable.
+
+use crate::triple::Term;
+use minoan_common::FxHashMap;
+use std::fmt;
+
+/// Dense id of a term in a [`Dict`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// The kind tag stored next to each term's text.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[repr(u8)]
+pub enum TermKind {
+    /// IRI reference.
+    Iri = 0,
+    /// Plain literal.
+    Literal = 1,
+    /// Blank node.
+    Blank = 2,
+}
+
+impl TermKind {
+    /// Decodes the tag byte used by the snapshot format.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(TermKind::Iri),
+            1 => Some(TermKind::Literal),
+            2 => Some(TermKind::Blank),
+            _ => None,
+        }
+    }
+}
+
+/// Append-only term dictionary.
+///
+/// Terms of different kinds with the same text get *different* ids (an IRI
+/// `"x"` and a literal `"x"` are distinct RDF terms).
+#[derive(Default)]
+pub struct Dict {
+    texts: Vec<Box<str>>,
+    kinds: Vec<TermKind>,
+    lookup: FxHashMap<(TermKind, Box<str>), TermId>,
+}
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.texts.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.texts.is_empty()
+    }
+
+    /// Encodes a term, assigning a fresh id on first sight.
+    ///
+    /// # Panics
+    /// Panics past 2³² terms (the `u32` id space).
+    pub fn encode(&mut self, term: &Term) -> TermId {
+        let key = (term.kind(), term.text());
+        if let Some(&id) = self.lookup.get(&key as &dyn DictKey) {
+            return id;
+        }
+        let id = TermId(u32::try_from(self.texts.len()).expect("dictionary overflow"));
+        self.texts.push(term.text().into());
+        self.kinds.push(term.kind());
+        self.lookup.insert((term.kind(), term.text().into()), id);
+        id
+    }
+
+    /// Looks a term up without inserting.
+    pub fn encode_lookup(&self, term: &Term) -> Option<TermId> {
+        self.lookup.get(&(term.kind(), term.text()) as &dyn DictKey).copied()
+    }
+
+    /// The text of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not produced by this dictionary.
+    pub fn text(&self, id: TermId) -> &str {
+        &self.texts[id.index()]
+    }
+
+    /// The kind of `id`.
+    pub fn kind(&self, id: TermId) -> TermKind {
+        self.kinds[id.index()]
+    }
+
+    /// Reconstructs the owned [`Term`] for `id`.
+    pub fn decode(&self, id: TermId) -> Term {
+        let text = self.texts[id.index()].clone();
+        match self.kinds[id.index()] {
+            TermKind::Iri => Term::Iri(text),
+            TermKind::Literal => Term::Literal(text),
+            TermKind::Blank => Term::Blank(text),
+        }
+    }
+
+    /// Iterates `(id, kind, text)` in id order (snapshot serialisation).
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, TermKind, &str)> {
+        self.texts
+            .iter()
+            .zip(&self.kinds)
+            .enumerate()
+            .map(|(i, (t, &k))| (TermId(i as u32), k, t.as_ref()))
+    }
+
+    /// Rebuilds a dictionary from the snapshot stream. Ids are assigned in
+    /// iteration order, so round-tripping preserves every id.
+    pub fn from_entries(entries: impl IntoIterator<Item = (TermKind, String)>) -> Self {
+        let mut d = Self::new();
+        for (kind, text) in entries {
+            let id = TermId(u32::try_from(d.texts.len()).expect("dictionary overflow"));
+            d.lookup.insert((kind, text.clone().into_boxed_str()), id);
+            d.texts.push(text.into_boxed_str());
+            d.kinds.push(kind);
+        }
+        d
+    }
+}
+
+impl fmt::Debug for Dict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Dict").field("terms", &self.texts.len()).finish()
+    }
+}
+
+/// Borrowed-key lookup trick: lets `encode_lookup` query the
+/// `(TermKind, Box<str>)` map with a `(TermKind, &str)` without allocating.
+trait DictKey {
+    fn key(&self) -> (TermKind, &str);
+}
+
+impl DictKey for (TermKind, Box<str>) {
+    fn key(&self) -> (TermKind, &str) {
+        (self.0, &self.1)
+    }
+}
+
+impl DictKey for (TermKind, &str) {
+    fn key(&self) -> (TermKind, &str) {
+        (self.0, self.1)
+    }
+}
+
+impl PartialEq for dyn DictKey + '_ {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for dyn DictKey + '_ {}
+
+impl std::hash::Hash for dyn DictKey + '_ {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl<'a> std::borrow::Borrow<dyn DictKey + 'a> for (TermKind, Box<str>) {
+    fn borrow(&self) -> &(dyn DictKey + 'a) {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_idempotent() {
+        let mut d = Dict::new();
+        let a = d.encode(&Term::iri("http://x"));
+        let b = d.encode(&Term::iri("http://x"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn same_text_different_kind_gets_distinct_ids() {
+        let mut d = Dict::new();
+        let iri = d.encode(&Term::iri("x"));
+        let lit = d.encode(&Term::literal("x"));
+        let blank = d.encode(&Term::blank("x"));
+        assert_ne!(iri, lit);
+        assert_ne!(lit, blank);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut d = Dict::new();
+        for t in [Term::iri("http://a"), Term::literal("b c"), Term::blank("n0")] {
+            let id = d.encode(&t);
+            assert_eq!(d.decode(id), t);
+            assert_eq!(d.kind(id), t.kind());
+            assert_eq!(d.text(id), t.text());
+        }
+    }
+
+    #[test]
+    fn lookup_without_insert() {
+        let mut d = Dict::new();
+        let id = d.encode(&Term::literal("v"));
+        assert_eq!(d.encode_lookup(&Term::literal("v")), Some(id));
+        assert_eq!(d.encode_lookup(&Term::iri("v")), None);
+        assert_eq!(d.len(), 1, "lookup must not insert");
+    }
+
+    #[test]
+    fn from_entries_preserves_ids() {
+        let mut d = Dict::new();
+        let ids: Vec<TermId> = [Term::iri("a"), Term::literal("b"), Term::blank("c")]
+            .iter()
+            .map(|t| d.encode(t))
+            .collect();
+        let rebuilt = Dict::from_entries(d.iter().map(|(_, k, t)| (k, t.to_string())));
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(rebuilt.decode(*id), d.decode(TermId(i as u32)));
+            assert_eq!(rebuilt.encode_lookup(&d.decode(*id)), Some(*id));
+        }
+    }
+
+    #[test]
+    fn kind_tag_round_trip() {
+        for k in [TermKind::Iri, TermKind::Literal, TermKind::Blank] {
+            assert_eq!(TermKind::from_tag(k as u8), Some(k));
+        }
+        assert_eq!(TermKind::from_tag(9), None);
+    }
+}

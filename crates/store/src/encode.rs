@@ -1,0 +1,274 @@
+//! Varint + delta encoding of sorted triple arrays — the snapshot page
+//! format.
+//!
+//! Sorted id-triples compress well under delta coding: the first component
+//! is non-decreasing, so its gaps are small non-negative integers, and the
+//! remaining components are raw varints. This is the same layout idea as
+//! HDT's triple bitmaps, simplified to a byte-aligned varint stream so the
+//! decoder stays branch-light and auditable.
+//!
+//! All multi-byte integers use LEB128 (unsigned, little-endian base-128).
+
+use crate::dict::TermId;
+use crate::triple::EncodedTriple;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors surfaced while decoding a page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The stream ended inside a varint or before the promised count.
+    UnexpectedEof,
+    /// A varint exceeded the 32-bit range the id space allows.
+    VarintOverflow,
+    /// The first-component delta stream went backwards (corrupt page).
+    NotSorted,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of encoded page"),
+            DecodeError::VarintOverflow => write!(f, "varint exceeds u32 range"),
+            DecodeError::NotSorted => write!(f, "page triples are not sorted"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Appends `v` as LEB128.
+pub fn put_varint(buf: &mut BytesMut, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads one LEB128 varint, bounded to `u64`.
+pub fn get_varint(buf: &mut impl Buf) -> Result<u64, DecodeError> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        if shift >= 64 {
+            return Err(DecodeError::VarintOverflow);
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn get_varint_u32(buf: &mut impl Buf) -> Result<u32, DecodeError> {
+    let v = get_varint(buf)?;
+    u32::try_from(v).map_err(|_| DecodeError::VarintOverflow)
+}
+
+/// Encodes triples (must be sorted by `(s, p, o)`) into a page.
+///
+/// Layout: `count` varint, then per triple: subject *delta* from the
+/// previous subject, predicate, object (raw varints).
+///
+/// # Panics
+/// Debug-asserts the input is sorted; in release an unsorted input encodes
+/// losslessly but wastes space and fails `decode_page`'s sort check only if
+/// subjects regress.
+pub fn encode_page(triples: &[EncodedTriple]) -> Bytes {
+    debug_assert!(triples.windows(2).all(|w| w[0] <= w[1]), "encode_page input must be sorted");
+    let mut buf = BytesMut::with_capacity(triples.len() * 4 + 8);
+    put_varint(&mut buf, triples.len() as u64);
+    let mut prev_s = 0u32;
+    for t in triples {
+        let delta = t.s.0.wrapping_sub(prev_s);
+        put_varint(&mut buf, u64::from(delta));
+        put_varint(&mut buf, u64::from(t.p.0));
+        put_varint(&mut buf, u64::from(t.o.0));
+        prev_s = t.s.0;
+    }
+    buf.freeze()
+}
+
+/// Decodes a page produced by [`encode_page`].
+pub fn decode_page(buf: &mut impl Buf) -> Result<Vec<EncodedTriple>, DecodeError> {
+    let count = get_varint(buf)? as usize;
+    let mut out = Vec::with_capacity(count.min(1 << 20));
+    let mut s = 0u32;
+    for _ in 0..count {
+        let delta = get_varint_u32(buf)?;
+        let (next, overflow) = s.overflowing_add(delta);
+        if overflow {
+            return Err(DecodeError::NotSorted);
+        }
+        s = next;
+        let p = TermId(get_varint_u32(buf)?);
+        let o = TermId(get_varint_u32(buf)?);
+        out.push(EncodedTriple::new(TermId(s), p, o));
+    }
+    Ok(out)
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(buf: &mut BytesMut, s: &str) {
+    put_varint(buf, s.len() as u64);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Reads a length-prefixed UTF-8 string (lossy on invalid UTF-8, which can
+/// only arise from a corrupted snapshot — the checksum catches it first).
+pub fn get_str(buf: &mut impl Buf) -> Result<String, DecodeError> {
+    let len = get_varint(buf)? as usize;
+    if buf.remaining() < len {
+        return Err(DecodeError::UnexpectedEof);
+    }
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// FNV-1a 64-bit checksum used by the snapshot footer.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> EncodedTriple {
+        EncodedTriple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            assert_eq!(get_varint(&mut bytes).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn varint_eof_detected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0x80); // continuation bit set, nothing follows
+        let mut bytes = buf.freeze();
+        assert_eq!(get_varint(&mut bytes), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn page_round_trip() {
+        let mut triples = vec![t(0, 5, 9), t(0, 6, 1), t(3, 1, 1), t(3, 1, 2), t(900, 0, 0)];
+        triples.sort();
+        let page = encode_page(&triples);
+        let mut buf = page.clone();
+        assert_eq!(decode_page(&mut buf).unwrap(), triples);
+    }
+
+    #[test]
+    fn empty_page_round_trip() {
+        let page = encode_page(&[]);
+        let mut buf = page.clone();
+        assert!(decode_page(&mut buf).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delta_encoding_is_compact() {
+        // 1000 consecutive subjects with small p/o: ≤ ~3 bytes per triple.
+        let triples: Vec<_> = (0..1000u32).map(|i| t(i, 1, 2)).collect();
+        let page = encode_page(&triples);
+        assert!(page.len() < 1000 * 4, "page {} bytes", page.len());
+    }
+
+    #[test]
+    fn truncated_page_fails_cleanly() {
+        let triples = vec![t(1, 2, 3), t(4, 5, 6)];
+        let page = encode_page(&triples);
+        let mut short = page.slice(..page.len() - 1);
+        assert_eq!(decode_page(&mut short), Err(DecodeError::UnexpectedEof));
+    }
+
+    #[test]
+    fn string_round_trip() {
+        let mut buf = BytesMut::new();
+        put_str(&mut buf, "héllo wörld");
+        put_str(&mut buf, "");
+        let mut bytes = buf.freeze();
+        assert_eq!(get_str(&mut bytes).unwrap(), "héllo wörld");
+        assert_eq!(get_str(&mut bytes).unwrap(), "");
+    }
+
+    #[test]
+    fn fnv64_known_vectors() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(fnv64(b"a"), fnv64(b"b"));
+    }
+
+    #[test]
+    fn decode_rejects_subject_overflow() {
+        // Craft: count=1, delta=u32::MAX applied twice would overflow; a
+        // single huge delta from 0 is fine, so build two triples where the
+        // second delta wraps.
+        let mut buf = BytesMut::new();
+        put_varint(&mut buf, 2);
+        put_varint(&mut buf, u64::from(u32::MAX)); // s = MAX
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 1); // wraps past MAX
+        put_varint(&mut buf, 0);
+        put_varint(&mut buf, 0);
+        let mut bytes = buf.freeze();
+        assert_eq!(decode_page(&mut bytes), Err(DecodeError::NotSorted));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn varint_round_trips(v in any::<u64>()) {
+            let mut buf = BytesMut::new();
+            put_varint(&mut buf, v);
+            let mut bytes = buf.freeze();
+            prop_assert_eq!(get_varint(&mut bytes).unwrap(), v);
+        }
+
+        #[test]
+        fn page_round_trips(raw in proptest::collection::vec((0u32..10_000, 0u32..500, 0u32..10_000), 0..200)) {
+            let mut triples: Vec<EncodedTriple> = raw
+                .into_iter()
+                .map(|(s, p, o)| EncodedTriple::new(TermId(s), TermId(p), TermId(o)))
+                .collect();
+            triples.sort();
+            let page = encode_page(&triples);
+            let mut buf = page.clone();
+            prop_assert_eq!(decode_page(&mut buf).unwrap(), triples);
+        }
+
+        #[test]
+        fn strings_round_trip(s in ".*") {
+            let mut buf = BytesMut::new();
+            put_str(&mut buf, &s);
+            let mut bytes = buf.freeze();
+            prop_assert_eq!(get_str(&mut bytes).unwrap(), s);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Permutation indexes over encoded triples.
+//!
+//! The store keeps three sorted copies of the triple array — SPO, POS and
+//! OSP — so that any triple pattern with at least one bound position can be
+//! answered by a binary-search range scan on the index whose sort order
+//! starts with the bound positions. This is the classic RDF-3X / Hexastore
+//! layout restricted to the three permutations the ER workloads need
+//! (`(s ? ?)` for description assembly, `(? p ?)`/`(? p o)` for attribute
+//! scans, `(? ? o)` for inbound-link discovery).
+
+use crate::dict::TermId;
+use crate::triple::EncodedTriple;
+
+/// Which permutation an [`SortedIndex`] is ordered by.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Order {
+    /// Subject, predicate, object.
+    Spo,
+    /// Predicate, object, subject.
+    Pos,
+    /// Object, subject, predicate.
+    Osp,
+}
+
+impl Order {
+    /// Projects a triple into this order's key space.
+    #[inline]
+    pub fn key(self, t: &EncodedTriple) -> (TermId, TermId, TermId) {
+        match self {
+            Order::Spo => (t.s, t.p, t.o),
+            Order::Pos => t.pos_key(),
+            Order::Osp => t.osp_key(),
+        }
+    }
+}
+
+/// One sorted permutation of the triple set.
+pub struct SortedIndex {
+    order: Order,
+    triples: Box<[EncodedTriple]>,
+}
+
+impl SortedIndex {
+    /// Builds the index by sorting (and deduplicating) a copy of `triples`.
+    pub fn build(order: Order, triples: &[EncodedTriple]) -> Self {
+        let mut v = triples.to_vec();
+        v.sort_unstable_by_key(|t| order.key(t));
+        v.dedup();
+        Self { order, triples: v.into_boxed_slice() }
+    }
+
+    /// The index's sort order.
+    pub fn order(&self) -> Order {
+        self.order
+    }
+
+    /// Number of (distinct) triples.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// All triples in index order.
+    pub fn triples(&self) -> &[EncodedTriple] {
+        &self.triples
+    }
+
+    /// Range of triples whose first key component equals `k1`.
+    pub fn scan1(&self, k1: TermId) -> &[EncodedTriple] {
+        let lo = self.triples.partition_point(|t| self.order.key(t).0 < k1);
+        let hi = self.triples.partition_point(|t| self.order.key(t).0 <= k1);
+        &self.triples[lo..hi]
+    }
+
+    /// Range of triples whose first two key components equal `(k1, k2)`.
+    pub fn scan2(&self, k1: TermId, k2: TermId) -> &[EncodedTriple] {
+        let lo = self.triples.partition_point(|t| {
+            let k = self.order.key(t);
+            (k.0, k.1) < (k1, k2)
+        });
+        let hi = self.triples.partition_point(|t| {
+            let k = self.order.key(t);
+            (k.0, k.1) <= (k1, k2)
+        });
+        &self.triples[lo..hi]
+    }
+
+    /// Whether the fully-bound triple exists.
+    pub fn contains(&self, t: &EncodedTriple) -> bool {
+        let key = self.order.key(t);
+        self.triples
+            .binary_search_by_key(&key, |x| self.order.key(x))
+            .is_ok()
+    }
+
+    /// Distinct values of the first key component, with their run lengths
+    /// (used by the statistics module: predicates for POS, subjects for
+    /// SPO, objects for OSP).
+    pub fn first_component_runs(&self) -> Vec<(TermId, usize)> {
+        let mut out: Vec<(TermId, usize)> = Vec::new();
+        for t in self.triples.iter() {
+            let k = self.order.key(t).0;
+            match out.last_mut() {
+                Some((last, n)) if *last == k => *n += 1,
+                _ => out.push((k, 1)),
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> EncodedTriple {
+        EncodedTriple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    fn sample() -> Vec<EncodedTriple> {
+        vec![t(0, 1, 2), t(0, 1, 3), t(0, 2, 2), t(1, 1, 2), t(2, 3, 0), t(0, 1, 2)]
+    }
+
+    #[test]
+    fn build_sorts_and_dedups() {
+        let idx = SortedIndex::build(Order::Spo, &sample());
+        assert_eq!(idx.len(), 5, "duplicate (0,1,2) removed");
+        let keys: Vec<_> = idx.triples().iter().map(|x| Order::Spo.key(x)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn scan1_spo_returns_subject_range() {
+        let idx = SortedIndex::build(Order::Spo, &sample());
+        assert_eq!(idx.scan1(TermId(0)).len(), 3);
+        assert_eq!(idx.scan1(TermId(1)).len(), 1);
+        assert_eq!(idx.scan1(TermId(7)).len(), 0);
+    }
+
+    #[test]
+    fn scan2_pos_returns_predicate_object_range() {
+        let idx = SortedIndex::build(Order::Pos, &sample());
+        // predicate 1, object 2 → subjects {0, 1}.
+        let hits = idx.scan2(TermId(1), TermId(2));
+        let mut subjects: Vec<u32> = hits.iter().map(|x| x.s.0).collect();
+        subjects.sort_unstable();
+        assert_eq!(subjects, vec![0, 1]);
+    }
+
+    #[test]
+    fn scan1_osp_finds_inbound_links() {
+        let idx = SortedIndex::build(Order::Osp, &sample());
+        // object 2 is referenced by subjects 0 (twice) and 1.
+        assert_eq!(idx.scan1(TermId(2)).len(), 3);
+        // object 0 referenced once (by subject 2).
+        assert_eq!(idx.scan1(TermId(0)).len(), 1);
+    }
+
+    #[test]
+    fn contains_fully_bound() {
+        let idx = SortedIndex::build(Order::Pos, &sample());
+        assert!(idx.contains(&t(0, 1, 2)));
+        assert!(!idx.contains(&t(9, 9, 9)));
+    }
+
+    #[test]
+    fn first_component_runs_count_correctly() {
+        let idx = SortedIndex::build(Order::Spo, &sample());
+        let runs = idx.first_component_runs();
+        assert_eq!(runs, vec![(TermId(0), 3), (TermId(1), 1), (TermId(2), 1)]);
+    }
+
+    #[test]
+    fn empty_index_behaviour() {
+        let idx = SortedIndex::build(Order::Spo, &[]);
+        assert!(idx.is_empty());
+        assert!(idx.scan1(TermId(0)).is_empty());
+        assert!(idx.first_component_runs().is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! Dictionary-encoded triple store: the KB substrate of the reproduction.
+//!
+//! The paper resolves entities described in RDF knowledge bases. A real
+//! deployment of MinoanER would sit on top of a triple store that holds the
+//! KBs being resolved; no mature Rust RDF store is available offline, so
+//! this crate implements the subset such a deployment exercises:
+//!
+//! * [`dict`] — dictionary encoding: every term (IRI, literal, blank node)
+//!   maps to a dense [`TermId`] so triples are three machine words.
+//! * [`triple`] — encoded triples and quads (graph = knowledge base).
+//! * [`index`] — the three classic permutation indexes (SPO, POS, OSP) as
+//!   sorted arrays with binary-search range scans.
+//! * [`pattern`] — triple-pattern matching with index selection (the
+//!   store's tiny query planner).
+//! * [`query`] — basic-graph-pattern queries (conjunctive patterns over
+//!   variables with selectivity-ordered nested-loop joins).
+//! * [`store`] — the [`TripleStore`] API: bulk load, pattern queries,
+//!   per-graph views, and the bridge to [`minoan_rdf::Dataset`] that the ER
+//!   pipeline consumes.
+//! * [`encode`] — varint + delta encoding of sorted id arrays (the on-disk
+//!   page format), using the `bytes` crate.
+//! * [`snapshot`] — a single-file snapshot format (header, dictionary
+//!   section, per-graph triple sections, FNV-64 checksums) with
+//!   save-to/load-from both byte buffers and files.
+//! * [`stats`] — VoID-style dataset statistics (per-predicate cardinality,
+//!   distinct subjects/objects, degree distribution).
+//!
+//! # Example
+//!
+//! ```
+//! use minoan_store::{TripleStore, Term};
+//!
+//! let mut store = TripleStore::new();
+//! let g = store.create_graph("dbpedia");
+//! store.insert(g, Term::iri("http://db/Heraklion"), Term::iri("http://p/label"),
+//!              Term::literal("Heraklion"));
+//! store.insert(g, Term::iri("http://db/Heraklion"), Term::iri("http://p/region"),
+//!              Term::iri("http://db/Crete"));
+//! let snap = store.freeze();
+//! assert_eq!(snap.len(), 2);
+//! let label = snap.dict().encode_lookup(&Term::iri("http://p/label")).unwrap();
+//! assert_eq!(snap.match_pattern(None, Some(label), None).count(), 1);
+//! ```
+
+pub mod dict;
+pub mod encode;
+pub mod index;
+pub mod pattern;
+pub mod query;
+pub mod snapshot;
+pub mod stats;
+pub mod store;
+pub mod triple;
+
+pub use dict::{Dict, TermId, TermKind};
+pub use pattern::TriplePattern;
+pub use query::{execute_bgp, select_var, Bindings, QueryError, QueryPattern, QueryTerm};
+pub use snapshot::SnapshotError;
+pub use stats::StoreStats;
+pub use store::{FrozenStore, GraphId, TripleStore};
+pub use triple::{EncodedTriple, Term};

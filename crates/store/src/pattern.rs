@@ -1,0 +1,163 @@
+//! Triple-pattern matching with index selection.
+//!
+//! A [`TriplePattern`] binds any subset of the three positions. The planner
+//! picks the index whose sort order starts with the bound positions:
+//!
+//! | bound         | index | scan |
+//! |---------------|-------|------|
+//! | s p o         | SPO   | point lookup |
+//! | s p ?         | SPO   | `scan2(s, p)` |
+//! | s ? ?         | SPO   | `scan1(s)` |
+//! | ? p o         | POS   | `scan2(p, o)` |
+//! | ? p ?         | POS   | `scan1(p)` |
+//! | ? ? o         | OSP   | `scan1(o)` |
+//! | s ? o         | OSP   | `scan2(o, s)` |
+//! | ? ? ?         | SPO   | full scan |
+
+use crate::dict::TermId;
+use crate::index::{Order, SortedIndex};
+use crate::triple::EncodedTriple;
+
+/// A pattern over encoded term ids; `None` is a wildcard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TriplePattern {
+    /// Subject binding.
+    pub s: Option<TermId>,
+    /// Predicate binding.
+    pub p: Option<TermId>,
+    /// Object binding.
+    pub o: Option<TermId>,
+}
+
+impl TriplePattern {
+    /// Constructor.
+    pub fn new(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Self {
+        Self { s, p, o }
+    }
+
+    /// The all-wildcard pattern.
+    pub fn any() -> Self {
+        Self::default()
+    }
+
+    /// Number of bound positions.
+    pub fn bound_count(&self) -> usize {
+        self.s.is_some() as usize + self.p.is_some() as usize + self.o.is_some() as usize
+    }
+
+    /// Whether the encoded triple matches.
+    #[inline]
+    pub fn matches(&self, t: &EncodedTriple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+
+    /// Which index answers this pattern with the longest bound prefix.
+    pub fn preferred_order(&self) -> Order {
+        match (self.s.is_some(), self.p.is_some(), self.o.is_some()) {
+            (true, _, false) => Order::Spo, // s??, sp?, spo-without-o impossible
+            (true, true, true) => Order::Spo,
+            (true, false, true) => Order::Osp,
+            (false, true, _) => Order::Pos,
+            (false, false, true) => Order::Osp,
+            (false, false, false) => Order::Spo,
+        }
+    }
+}
+
+/// Executes `pattern` against the three indexes, yielding matches in the
+/// chosen index's order.
+pub fn execute<'a>(
+    pattern: TriplePattern,
+    spo: &'a SortedIndex,
+    pos: &'a SortedIndex,
+    osp: &'a SortedIndex,
+) -> impl Iterator<Item = EncodedTriple> + 'a {
+    let slice: &'a [EncodedTriple] = match (pattern.s, pattern.p, pattern.o) {
+        (Some(s), Some(p), _) => spo.scan2(s, p),
+        (Some(s), None, None) => spo.scan1(s),
+        (Some(s), None, Some(o)) => osp.scan2(o, s),
+        (None, Some(p), Some(o)) => pos.scan2(p, o),
+        (None, Some(p), None) => pos.scan1(p),
+        (None, None, Some(o)) => osp.scan1(o),
+        (None, None, None) => spo.triples(),
+    };
+    slice.iter().copied().filter(move |t| pattern.matches(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u32, p: u32, o: u32) -> EncodedTriple {
+        EncodedTriple::new(TermId(s), TermId(p), TermId(o))
+    }
+
+    fn indexes() -> (SortedIndex, SortedIndex, SortedIndex) {
+        let triples = vec![t(0, 1, 2), t(0, 1, 3), t(0, 2, 2), t(1, 1, 2), t(2, 3, 0)];
+        (
+            SortedIndex::build(Order::Spo, &triples),
+            SortedIndex::build(Order::Pos, &triples),
+            SortedIndex::build(Order::Osp, &triples),
+        )
+    }
+
+    fn run(p: TriplePattern) -> Vec<EncodedTriple> {
+        let (spo, pos, osp) = indexes();
+        execute(p, &spo, &pos, &osp).collect()
+    }
+
+    #[test]
+    fn fully_bound_is_point_lookup() {
+        let hits = run(TriplePattern::new(Some(TermId(0)), Some(TermId(1)), Some(TermId(3))));
+        assert_eq!(hits, vec![t(0, 1, 3)]);
+        let misses = run(TriplePattern::new(Some(TermId(0)), Some(TermId(1)), Some(TermId(9))));
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn subject_scan() {
+        assert_eq!(run(TriplePattern::new(Some(TermId(0)), None, None)).len(), 3);
+    }
+
+    #[test]
+    fn predicate_scan() {
+        assert_eq!(run(TriplePattern::new(None, Some(TermId(1)), None)).len(), 3);
+    }
+
+    #[test]
+    fn object_scan_uses_osp() {
+        let hits = run(TriplePattern::new(None, None, Some(TermId(2))));
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|x| x.o == TermId(2)));
+    }
+
+    #[test]
+    fn subject_object_scan() {
+        let hits = run(TriplePattern::new(Some(TermId(0)), None, Some(TermId(2))));
+        assert_eq!(hits.len(), 2, "predicates 1 and 2 both link 0→2");
+    }
+
+    #[test]
+    fn wildcard_returns_everything() {
+        assert_eq!(run(TriplePattern::any()).len(), 5);
+        assert_eq!(TriplePattern::any().bound_count(), 0);
+    }
+
+    #[test]
+    fn preferred_order_selection() {
+        let s = Some(TermId(0));
+        assert_eq!(TriplePattern::new(s, None, None).preferred_order(), Order::Spo);
+        assert_eq!(TriplePattern::new(None, s, None).preferred_order(), Order::Pos);
+        assert_eq!(TriplePattern::new(None, None, s).preferred_order(), Order::Osp);
+        assert_eq!(TriplePattern::new(s, None, s).preferred_order(), Order::Osp);
+    }
+
+    #[test]
+    fn matches_predicate_filter() {
+        let p = TriplePattern::new(None, Some(TermId(2)), None);
+        assert!(p.matches(&t(0, 2, 2)));
+        assert!(!p.matches(&t(0, 1, 2)));
+    }
+}

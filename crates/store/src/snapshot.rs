@@ -1,0 +1,264 @@
+//! Single-file snapshot format for a [`FrozenStore`].
+//!
+//! Layout (all integers LEB128 unless noted):
+//!
+//! ```text
+//! magic        8 bytes  "MNSTORE1"
+//! dict_count   varint
+//! dict entry   kind byte, length-prefixed text          × dict_count
+//! graph_count  varint
+//! graph entry  length-prefixed name, inserted varint,
+//!              encoded triple page (encode.rs)          × graph_count
+//! checksum     8 bytes  FNV-64 of everything above (little-endian)
+//! ```
+//!
+//! The dictionary is written in id order so every [`crate::TermId`] survives the
+//! round trip unchanged; indexes are rebuilt on load (they are derived
+//! state, and rebuilding keeps the format minimal and corruption-evident).
+
+use crate::dict::{Dict, TermKind};
+use crate::encode::{self, DecodeError};
+use crate::store::{FrozenStore, GraphId, GraphInfo};
+use crate::triple::EncodedTriple;
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"MNSTORE1";
+
+/// Errors surfaced while reading a snapshot.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The magic header does not match.
+    BadMagic,
+    /// The FNV-64 footer does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum computed from the content.
+        computed: u64,
+    },
+    /// A structural decode failure.
+    Decode(DecodeError),
+    /// An invalid term-kind tag byte.
+    BadTermKind(u8),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a MNSTORE1 snapshot"),
+            SnapshotError::ChecksumMismatch { stored, computed } => {
+                write!(f, "snapshot checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+            }
+            SnapshotError::Decode(e) => write!(f, "snapshot decode error: {e}"),
+            SnapshotError::BadTermKind(t) => write!(f, "invalid term kind tag {t}"),
+            SnapshotError::Io(e) => write!(f, "snapshot i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<DecodeError> for SnapshotError {
+    fn from(e: DecodeError) -> Self {
+        SnapshotError::Decode(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl FrozenStore {
+    /// Serialises the store into a self-contained byte buffer.
+    pub fn to_snapshot(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        encode::put_varint(&mut buf, self.dict().len() as u64);
+        for (_, kind, text) in self.dict().iter() {
+            buf.put_u8(kind as u8);
+            encode::put_str(&mut buf, text);
+        }
+        encode::put_varint(&mut buf, self.graphs().len() as u64);
+        for (gi, info) in self.graphs().iter().enumerate() {
+            encode::put_str(&mut buf, &info.name);
+            encode::put_varint(&mut buf, info.inserted);
+            let page = encode::encode_page(self.graph_triples(GraphId(gi as u16)));
+            buf.put_slice(&page);
+        }
+        let checksum = encode::fnv64(&buf);
+        buf.put_u64_le(checksum);
+        buf.to_vec()
+    }
+
+    /// Deserialises a snapshot produced by [`FrozenStore::to_snapshot`].
+    pub fn from_snapshot(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < MAGIC.len() + 8 {
+            return Err(SnapshotError::BadMagic);
+        }
+        let (content, footer) = bytes.split_at(bytes.len() - 8);
+        if &content[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let stored = u64::from_le_bytes(footer.try_into().expect("8-byte footer"));
+        let computed = encode::fnv64(content);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        let mut buf = &content[MAGIC.len()..];
+        let dict_count = encode::get_varint(&mut buf)? as usize;
+        let mut entries = Vec::with_capacity(dict_count.min(1 << 20));
+        for _ in 0..dict_count {
+            if !buf.has_remaining() {
+                return Err(SnapshotError::Decode(DecodeError::UnexpectedEof));
+            }
+            let tag = buf.get_u8();
+            let kind = TermKind::from_tag(tag).ok_or(SnapshotError::BadTermKind(tag))?;
+            let text = encode::get_str(&mut buf)?;
+            entries.push((kind, text));
+        }
+        let dict = Dict::from_entries(entries);
+        let graph_count = encode::get_varint(&mut buf)? as usize;
+        let mut graphs = Vec::with_capacity(graph_count.min(1 << 16));
+        let mut graph_triples: Vec<Box<[EncodedTriple]>> = Vec::with_capacity(graph_count.min(1 << 16));
+        for _ in 0..graph_count {
+            let name = encode::get_str(&mut buf)?;
+            let inserted = encode::get_varint(&mut buf)?;
+            let triples = encode::decode_page(&mut buf)?;
+            graphs.push(GraphInfo { name: name.into(), inserted });
+            graph_triples.push(triples.into_boxed_slice());
+        }
+        Ok(FrozenStore::from_parts(dict, graphs, graph_triples))
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let bytes = self.to_snapshot();
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(&bytes)?;
+        Ok(())
+    }
+
+    /// Loads a snapshot from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+        Self::from_snapshot(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::TripleStore;
+    use crate::triple::Term;
+
+    fn sample() -> FrozenStore {
+        let mut s = TripleStore::new();
+        let g0 = s.create_graph("dbpedia");
+        let g1 = s.create_graph("yago");
+        for i in 0..50u32 {
+            s.insert(
+                g0,
+                Term::iri(format!("http://db/e{i}")),
+                Term::iri("http://p/label"),
+                Term::literal(format!("entity number {i}")),
+            );
+            s.insert(
+                g0,
+                Term::iri(format!("http://db/e{i}")),
+                Term::iri("http://p/next"),
+                Term::iri(format!("http://db/e{}", (i + 1) % 50)),
+            );
+        }
+        s.insert(g1, Term::blank("n0"), Term::iri("http://p/x"), Term::literal("v"));
+        s.freeze()
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let f = sample();
+        let bytes = f.to_snapshot();
+        let g = FrozenStore::from_snapshot(&bytes).unwrap();
+        assert_eq!(g.len(), f.len());
+        assert_eq!(g.graphs().len(), 2);
+        assert_eq!(g.graphs()[0].name, f.graphs()[0].name);
+        assert_eq!(g.graphs()[0].inserted, 100);
+        // Term ids are preserved exactly.
+        for (id, kind, text) in f.dict().iter() {
+            assert_eq!(g.dict().kind(id), kind);
+            assert_eq!(g.dict().text(id), text);
+        }
+        // Pattern answers identical.
+        let p = f.dict().encode_lookup(&Term::iri("http://p/label")).unwrap();
+        assert_eq!(
+            f.match_pattern(None, Some(p), None).count(),
+            g.match_pattern(None, Some(p), None).count()
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_snapshot();
+        bytes[0] = b'X';
+        assert!(matches!(
+            FrozenStore::from_snapshot(&bytes),
+            Err(SnapshotError::BadMagic) | Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corruption_detected_by_checksum() {
+        let mut bytes = sample().to_snapshot();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(
+            FrozenStore::from_snapshot(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_snapshot_rejected() {
+        let bytes = sample().to_snapshot();
+        assert!(FrozenStore::from_snapshot(&bytes[..10]).is_err());
+        assert!(FrozenStore::from_snapshot(&[]).is_err());
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let f = TripleStore::new().freeze();
+        let bytes = f.to_snapshot();
+        let g = FrozenStore::from_snapshot(&bytes).unwrap();
+        assert!(g.is_empty());
+        assert!(g.graphs().is_empty());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let f = sample();
+        let dir = std::env::temp_dir().join("minoan_store_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.mnstore");
+        f.save(&path).unwrap();
+        let g = FrozenStore::load(&path).unwrap();
+        assert_eq!(g.len(), f.len());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dataset_bridge_survives_round_trip() {
+        let f = sample();
+        let g = FrozenStore::from_snapshot(&f.to_snapshot()).unwrap();
+        let ds = g.to_dataset();
+        assert_eq!(ds.kb_count(), 2);
+        assert_eq!(ds.len(), 51);
+        let e0 = ds.entity_by_uri("http://db/e0").unwrap();
+        assert!(!ds.neighbors(e0).is_empty());
+    }
+}

@@ -1,0 +1,432 @@
+//! The triple store API.
+//!
+//! A [`TripleStore`] is the mutable loading phase: create graphs (one per
+//! knowledge base), insert triples, then [`TripleStore::freeze`] into a
+//! [`FrozenStore`] with the three permutation indexes built. Frozen stores
+//! answer pattern queries and bridge into the entity-centric
+//! [`minoan_rdf::Dataset`] the ER pipeline consumes.
+
+use crate::dict::{Dict, TermId, TermKind};
+use crate::index::{Order, SortedIndex};
+use crate::pattern::{execute, TriplePattern};
+use crate::stats::StoreStats;
+use crate::triple::{EncodedTriple, Term};
+use minoan_common::FxHashSet;
+use minoan_rdf::ntriples;
+use std::fmt;
+
+/// Id of a named graph (a knowledge base) within a store.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct GraphId(pub u16);
+
+impl GraphId {
+    /// Raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Metadata of one named graph.
+#[derive(Clone, Debug)]
+pub struct GraphInfo {
+    /// Graph name (KB name, e.g. "dbpedia").
+    pub name: Box<str>,
+    /// Number of triples inserted (before dedup).
+    pub inserted: u64,
+}
+
+/// Mutable, load-phase triple store.
+#[derive(Default)]
+pub struct TripleStore {
+    dict: Dict,
+    graphs: Vec<GraphInfo>,
+    /// Per graph, the raw (possibly duplicated) triples.
+    triples: Vec<Vec<EncodedTriple>>,
+}
+
+impl TripleStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a named graph.
+    ///
+    /// # Panics
+    /// Panics past 65 536 graphs.
+    pub fn create_graph(&mut self, name: &str) -> GraphId {
+        let id = GraphId(u16::try_from(self.graphs.len()).expect("too many graphs"));
+        self.graphs.push(GraphInfo { name: name.into(), inserted: 0 });
+        self.triples.push(Vec::new());
+        id
+    }
+
+    /// Number of graphs.
+    pub fn graph_count(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Inserts one triple into `graph`.
+    ///
+    /// # Panics
+    /// Panics if `graph` was not created by this store.
+    pub fn insert(&mut self, graph: GraphId, s: Term, p: Term, o: Term) {
+        let s = self.dict.encode(&s);
+        let p = self.dict.encode(&p);
+        let o = self.dict.encode(&o);
+        self.triples[graph.index()].push(EncodedTriple::new(s, p, o));
+        self.graphs[graph.index()].inserted += 1;
+    }
+
+    /// Loads an N-Triples document into a fresh graph. Blank-node labels
+    /// are namespaced by graph so they never collide across KBs.
+    pub fn load_ntriples(
+        &mut self,
+        name: &str,
+        document: &str,
+    ) -> Result<GraphId, ntriples::ParseError> {
+        let triples = ntriples::parse_document(document)?;
+        Ok(self.load_parsed(name, &triples))
+    }
+
+    /// Loads a Turtle document into a fresh graph (same blank-node
+    /// namespacing as [`TripleStore::load_ntriples`]).
+    pub fn load_turtle(
+        &mut self,
+        name: &str,
+        document: &str,
+    ) -> Result<GraphId, minoan_rdf::TurtleError> {
+        let triples = minoan_rdf::parse_turtle(document)?;
+        Ok(self.load_parsed(name, &triples))
+    }
+
+    fn load_parsed(&mut self, name: &str, triples: &[minoan_rdf::Triple]) -> GraphId {
+        let graph = self.create_graph(name);
+        for triple in triples {
+            let subject = match &triple.subject {
+                minoan_rdf::Term::Iri(s) => Term::iri(s.as_str()),
+                minoan_rdf::Term::Blank(b) => Term::blank(format!("{name}/{b}")),
+                minoan_rdf::Term::Literal(_) => continue, // parsers reject this already
+            };
+            let object = match &triple.object {
+                minoan_rdf::Term::Iri(s) => Term::iri(s.as_str()),
+                minoan_rdf::Term::Literal(l) => Term::literal(l.value.as_str()),
+                minoan_rdf::Term::Blank(b) => Term::blank(format!("{name}/{b}")),
+            };
+            self.insert(graph, subject, Term::iri(triple.predicate.as_str()), object);
+        }
+        graph
+    }
+
+    /// Freezes the store: deduplicates, builds SPO/POS/OSP indexes (global
+    /// and the per-graph SPO views).
+    pub fn freeze(self) -> FrozenStore {
+        let mut all: Vec<EncodedTriple> = Vec::new();
+        let mut graph_triples: Vec<Box<[EncodedTriple]>> = Vec::with_capacity(self.triples.len());
+        for per_graph in &self.triples {
+            let mut v = per_graph.clone();
+            v.sort_unstable();
+            v.dedup();
+            all.extend_from_slice(&v);
+            graph_triples.push(v.into_boxed_slice());
+        }
+        let spo = SortedIndex::build(Order::Spo, &all);
+        let pos = SortedIndex::build(Order::Pos, &all);
+        let osp = SortedIndex::build(Order::Osp, &all);
+        FrozenStore { dict: self.dict, graphs: self.graphs, graph_triples, spo, pos, osp }
+    }
+}
+
+impl fmt::Debug for TripleStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TripleStore")
+            .field("graphs", &self.graphs.len())
+            .field("terms", &self.dict.len())
+            .finish()
+    }
+}
+
+/// Immutable, indexed store.
+pub struct FrozenStore {
+    dict: Dict,
+    graphs: Vec<GraphInfo>,
+    graph_triples: Vec<Box<[EncodedTriple]>>,
+    spo: SortedIndex,
+    pos: SortedIndex,
+    osp: SortedIndex,
+}
+
+impl FrozenStore {
+    /// Reassembles a frozen store from snapshot parts.
+    pub(crate) fn from_parts(
+        dict: Dict,
+        graphs: Vec<GraphInfo>,
+        graph_triples: Vec<Box<[EncodedTriple]>>,
+    ) -> Self {
+        let mut all: Vec<EncodedTriple> = Vec::new();
+        for g in &graph_triples {
+            all.extend_from_slice(g);
+        }
+        Self {
+            spo: SortedIndex::build(Order::Spo, &all),
+            pos: SortedIndex::build(Order::Pos, &all),
+            osp: SortedIndex::build(Order::Osp, &all),
+            dict,
+            graphs,
+            graph_triples,
+        }
+    }
+
+    /// Number of distinct triples across all graphs.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// Whether the store holds no triple.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// The term dictionary.
+    pub fn dict(&self) -> &Dict {
+        &self.dict
+    }
+
+    /// Graph metadata in id order.
+    pub fn graphs(&self) -> &[GraphInfo] {
+        &self.graphs
+    }
+
+    /// Distinct triples of one graph, sorted SPO.
+    pub fn graph_triples(&self, g: GraphId) -> &[EncodedTriple] {
+        &self.graph_triples[g.index()]
+    }
+
+    /// Pattern query over term ids (all graphs merged).
+    pub fn match_pattern(
+        &self,
+        s: Option<TermId>,
+        p: Option<TermId>,
+        o: Option<TermId>,
+    ) -> impl Iterator<Item = EncodedTriple> + '_ {
+        execute(TriplePattern::new(s, p, o), &self.spo, &self.pos, &self.osp)
+    }
+
+    /// Pattern query over owned terms; unknown terms yield no matches.
+    pub fn match_terms(
+        &self,
+        s: Option<&Term>,
+        p: Option<&Term>,
+        o: Option<&Term>,
+    ) -> Vec<EncodedTriple> {
+        let lookup = |t: Option<&Term>| -> Result<Option<TermId>, ()> {
+            match t {
+                None => Ok(None),
+                Some(t) => self.dict.encode_lookup(t).map(Some).ok_or(()),
+            }
+        };
+        match (lookup(s), lookup(p), lookup(o)) {
+            (Ok(s), Ok(p), Ok(o)) => self.match_pattern(s, p, o).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether the fully-bound triple exists in any graph.
+    pub fn contains(&self, t: &EncodedTriple) -> bool {
+        self.spo.contains(t)
+    }
+
+    /// Distinct subjects of one graph.
+    pub fn graph_subjects(&self, g: GraphId) -> Vec<TermId> {
+        let mut out: Vec<TermId> = Vec::new();
+        for t in self.graph_triples(g) {
+            if out.last() != Some(&t.s) {
+                out.push(t.s);
+            }
+        }
+        out
+    }
+
+    /// Computes VoID-style statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats::compute(self)
+    }
+
+    /// The POS index (the statistics module walks its runs directly).
+    pub(crate) fn pos(&self) -> &SortedIndex {
+        &self.pos
+    }
+
+    /// Bridges into the entity-centric [`minoan_rdf::Dataset`]: each graph
+    /// becomes a KB, each subject a description, IRI/blank objects become
+    /// resource attributes and literals become literal attributes.
+    ///
+    /// The KB namespace is inferred as the longest common prefix of the
+    /// graph's subject IRIs (used by Prefix-Infix(-Suffix) blocking).
+    pub fn to_dataset(&self) -> minoan_rdf::Dataset {
+        let mut builder = minoan_rdf::DatasetBuilder::new();
+        for (gi, info) in self.graphs.iter().enumerate() {
+            let g = GraphId(gi as u16);
+            let namespace = self.infer_namespace(g);
+            let kb = builder.add_kb(&info.name, &namespace);
+            for t in self.graph_triples(g) {
+                let subject = match self.dict.kind(t.s) {
+                    TermKind::Iri => self.dict.text(t.s).to_string(),
+                    TermKind::Blank => format!("bnode://{}/{}", info.name, self.dict.text(t.s)),
+                    TermKind::Literal => continue,
+                };
+                let predicate = self.dict.text(t.p);
+                match self.dict.kind(t.o) {
+                    TermKind::Literal => {
+                        builder.add_literal(kb, &subject, predicate, self.dict.text(t.o));
+                    }
+                    TermKind::Iri => {
+                        builder.add_resource(kb, &subject, predicate, self.dict.text(t.o));
+                    }
+                    TermKind::Blank => {
+                        let o = format!("bnode://{}/{}", info.name, self.dict.text(t.o));
+                        builder.add_resource(kb, &subject, predicate, &o);
+                    }
+                }
+            }
+        }
+        builder.build()
+    }
+
+    fn infer_namespace(&self, g: GraphId) -> String {
+        let mut prefix: Option<String> = None;
+        let mut seen: FxHashSet<TermId> = FxHashSet::default();
+        for t in self.graph_triples(g) {
+            if self.dict.kind(t.s) != TermKind::Iri || !seen.insert(t.s) {
+                continue;
+            }
+            let uri = self.dict.text(t.s);
+            match &mut prefix {
+                None => prefix = Some(uri.to_string()),
+                Some(p) => {
+                    let common = p
+                        .bytes()
+                        .zip(uri.bytes())
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                    p.truncate(common);
+                }
+            }
+        }
+        prefix.unwrap_or_default()
+    }
+}
+
+impl fmt::Debug for FrozenStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FrozenStore")
+            .field("graphs", &self.graphs.len())
+            .field("triples", &self.len())
+            .field("terms", &self.dict.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FrozenStore {
+        let mut s = TripleStore::new();
+        let g0 = s.create_graph("dbpedia");
+        let g1 = s.create_graph("yago");
+        s.insert(g0, Term::iri("http://db/Heraklion"), Term::iri("http://p/label"), Term::literal("Heraklion"));
+        s.insert(g0, Term::iri("http://db/Heraklion"), Term::iri("http://p/region"), Term::iri("http://db/Crete"));
+        s.insert(g0, Term::iri("http://db/Crete"), Term::iri("http://p/label"), Term::literal("Crete"));
+        // Duplicate insert — must dedup on freeze.
+        s.insert(g0, Term::iri("http://db/Crete"), Term::iri("http://p/label"), Term::literal("Crete"));
+        s.insert(g1, Term::iri("http://ya/Iraklio"), Term::iri("http://p/name"), Term::literal("Iraklio"));
+        s.freeze()
+    }
+
+    #[test]
+    fn freeze_dedups_within_graph() {
+        let f = sample();
+        assert_eq!(f.len(), 4);
+        assert_eq!(f.graph_triples(GraphId(0)).len(), 3);
+        assert_eq!(f.graph_triples(GraphId(1)).len(), 1);
+    }
+
+    #[test]
+    fn match_terms_by_predicate() {
+        let f = sample();
+        let hits = f.match_terms(None, Some(&Term::iri("http://p/label")), None);
+        assert_eq!(hits.len(), 2);
+        let unknown = f.match_terms(None, Some(&Term::iri("http://p/nope")), None);
+        assert!(unknown.is_empty());
+    }
+
+    #[test]
+    fn match_pattern_by_object_finds_inbound() {
+        let f = sample();
+        let crete = f.dict().encode_lookup(&Term::iri("http://db/Crete")).unwrap();
+        let inbound: Vec<_> = f.match_pattern(None, None, Some(crete)).collect();
+        assert_eq!(inbound.len(), 1);
+        assert_eq!(f.dict().text(inbound[0].s), "http://db/Heraklion");
+    }
+
+    #[test]
+    fn graph_subjects_distinct_and_sorted() {
+        let f = sample();
+        let subs = f.graph_subjects(GraphId(0));
+        assert_eq!(subs.len(), 2);
+    }
+
+    #[test]
+    fn to_dataset_builds_descriptions_and_links() {
+        let f = sample();
+        let ds = f.to_dataset();
+        assert_eq!(ds.kb_count(), 2);
+        assert_eq!(ds.len(), 3);
+        let h = ds.entity_by_uri("http://db/Heraklion").unwrap();
+        let c = ds.entity_by_uri("http://db/Crete").unwrap();
+        assert_eq!(ds.neighbors(h), &[c]);
+    }
+
+    #[test]
+    fn namespace_inference_common_prefix() {
+        let f = sample();
+        let ds = f.to_dataset();
+        assert_eq!(&*ds.kb(minoan_rdf::KbId(0)).namespace, "http://db/");
+    }
+
+    #[test]
+    fn load_ntriples_namespaces_blank_nodes() {
+        let doc = "_:b <http://p/x> \"v\" .\n";
+        let mut s = TripleStore::new();
+        s.load_ntriples("a", doc).unwrap();
+        s.load_ntriples("b", doc).unwrap();
+        let f = s.freeze();
+        // Same blank label in two graphs → two distinct subjects.
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn load_ntriples_surfaces_parse_errors() {
+        let mut s = TripleStore::new();
+        assert!(s.load_ntriples("bad", "not a triple\n").is_err());
+    }
+
+    #[test]
+    fn contains_fully_bound_triples() {
+        let f = sample();
+        let s = f.dict().encode_lookup(&Term::iri("http://db/Crete")).unwrap();
+        let p = f.dict().encode_lookup(&Term::iri("http://p/label")).unwrap();
+        let o = f.dict().encode_lookup(&Term::literal("Crete")).unwrap();
+        assert!(f.contains(&EncodedTriple::new(s, p, o)));
+        assert!(!f.contains(&EncodedTriple::new(o, p, s)));
+    }
+
+    #[test]
+    fn empty_store_freezes_cleanly() {
+        let f = TripleStore::new().freeze();
+        assert!(f.is_empty());
+        assert!(f.to_dataset().is_empty());
+    }
+}

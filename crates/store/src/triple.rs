@@ -1,0 +1,156 @@
+//! Terms and encoded triples.
+
+use std::fmt;
+
+/// An owned RDF term as presented to the store API.
+///
+/// This mirrors [`minoan_rdf::Term`] but is owned by this crate so the
+/// store can be used standalone; [`crate::store::TripleStore`] accepts both
+/// via `From` conversions.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// An IRI reference.
+    Iri(Box<str>),
+    /// A plain literal (lexical form only — language tags and datatypes
+    /// are normalised away by the parser upstream, matching what the
+    /// schema-agnostic ER algorithms consume).
+    Literal(Box<str>),
+    /// A blank node label (scoped to its graph by the caller).
+    Blank(Box<str>),
+}
+
+impl Term {
+    /// IRI constructor.
+    pub fn iri(s: impl Into<Box<str>>) -> Self {
+        Term::Iri(s.into())
+    }
+
+    /// Literal constructor.
+    pub fn literal(s: impl Into<Box<str>>) -> Self {
+        Term::Literal(s.into())
+    }
+
+    /// Blank-node constructor.
+    pub fn blank(s: impl Into<Box<str>>) -> Self {
+        Term::Blank(s.into())
+    }
+
+    /// The lexical content irrespective of kind.
+    pub fn text(&self) -> &str {
+        match self {
+            Term::Iri(s) | Term::Literal(s) | Term::Blank(s) => s,
+        }
+    }
+
+    /// The term's kind tag.
+    pub fn kind(&self) -> crate::dict::TermKind {
+        match self {
+            Term::Iri(_) => crate::dict::TermKind::Iri,
+            Term::Literal(_) => crate::dict::TermKind::Literal,
+            Term::Blank(_) => crate::dict::TermKind::Blank,
+        }
+    }
+}
+
+impl From<&minoan_rdf::Term> for Term {
+    fn from(t: &minoan_rdf::Term) -> Self {
+        match t {
+            minoan_rdf::Term::Iri(s) => Term::Iri(s.clone().into_boxed_str()),
+            minoan_rdf::Term::Literal(l) => Term::Literal(l.value.clone().into_boxed_str()),
+            minoan_rdf::Term::Blank(b) => Term::Blank(b.clone().into_boxed_str()),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(s) => write!(f, "<{s}>"),
+            Term::Literal(s) => write!(f, "{s:?}"),
+            Term::Blank(s) => write!(f, "_:{s}"),
+        }
+    }
+}
+
+/// A triple with all three positions dictionary-encoded.
+///
+/// Twelve bytes; ordering is the SPO order, which makes `Vec<EncodedTriple>`
+/// sortable directly for the primary index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EncodedTriple {
+    /// Subject id.
+    pub s: crate::dict::TermId,
+    /// Predicate id.
+    pub p: crate::dict::TermId,
+    /// Object id.
+    pub o: crate::dict::TermId,
+}
+
+impl EncodedTriple {
+    /// Constructor.
+    #[inline]
+    pub fn new(s: crate::dict::TermId, p: crate::dict::TermId, o: crate::dict::TermId) -> Self {
+        Self { s, p, o }
+    }
+
+    /// The triple permuted into POS order (for the POS index).
+    #[inline]
+    pub fn pos_key(&self) -> (crate::dict::TermId, crate::dict::TermId, crate::dict::TermId) {
+        (self.p, self.o, self.s)
+    }
+
+    /// The triple permuted into OSP order (for the OSP index).
+    #[inline]
+    pub fn osp_key(&self) -> (crate::dict::TermId, crate::dict::TermId, crate::dict::TermId) {
+        (self.o, self.s, self.p)
+    }
+}
+
+impl fmt::Debug for EncodedTriple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?} {:?} {:?})", self.s, self.p, self.o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dict::TermId;
+
+    #[test]
+    fn term_constructors_and_text() {
+        assert_eq!(Term::iri("http://x").text(), "http://x");
+        assert_eq!(Term::literal("v").text(), "v");
+        assert_eq!(Term::blank("b1").text(), "b1");
+    }
+
+    #[test]
+    fn term_display_forms() {
+        assert_eq!(Term::iri("http://x").to_string(), "<http://x>");
+        assert_eq!(Term::literal("a\"b").to_string(), "\"a\\\"b\"");
+        assert_eq!(Term::blank("n").to_string(), "_:n");
+    }
+
+    #[test]
+    fn rdf_term_conversion_preserves_kind() {
+        use crate::dict::TermKind;
+        let iri = minoan_rdf::Term::iri("http://x".to_string());
+        assert_eq!(Term::from(&iri).kind(), TermKind::Iri);
+        let lit = minoan_rdf::Term::literal("v".to_string());
+        assert_eq!(Term::from(&lit).kind(), TermKind::Literal);
+    }
+
+    #[test]
+    fn encoded_triple_orders_spo() {
+        let a = EncodedTriple::new(TermId(1), TermId(9), TermId(9));
+        let b = EncodedTriple::new(TermId(2), TermId(0), TermId(0));
+        assert!(a < b, "subject dominates the SPO order");
+    }
+
+    #[test]
+    fn permutation_keys() {
+        let t = EncodedTriple::new(TermId(1), TermId(2), TermId(3));
+        assert_eq!(t.pos_key(), (TermId(2), TermId(3), TermId(1)));
+        assert_eq!(t.osp_key(), (TermId(3), TermId(1), TermId(2)));
+    }
+}

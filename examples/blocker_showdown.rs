@@ -1,0 +1,74 @@
+//! Blocking-method showdown: every blocker family on both LOD regimes.
+//!
+//! Exact token blocking is the paper's workhorse for the highly-similar
+//! centre of the LOD cloud; this example shows where the fuzzy families
+//! (q-grams, LSH, sorted neighborhood, canopy) earn their extra
+//! comparisons — the noisy, "somehow similar" periphery — and how a
+//! composite workflow (union → purge → filter) combines them.
+//!
+//! Run with: `cargo run --release --example blocker_showdown`
+
+use minoan::blocking::{
+    BlockingWorkflow, CanopyConfig, LshConfig, Method,
+};
+use minoan::prelude::*;
+
+fn pair_quality(world: &minoan::datagen::GeneratedWorld, blocks: &BlockCollection) -> (f64, f64) {
+    let pairs = blocks.distinct_pairs();
+    let found = pairs.iter().filter(|&&(a, b)| world.truth.is_match(a, b)).count();
+    let pc = found as f64 / world.truth.matching_pairs() as f64;
+    let pq = if pairs.is_empty() { 0.0 } else { found as f64 / pairs.len() as f64 };
+    (pc, pq)
+}
+
+fn main() {
+    let methods: Vec<(&str, Method)> = vec![
+        ("token", Method::Token),
+        ("token+uri", Method::TokenAndUri),
+        ("qgrams(3)", Method::QGrams(3)),
+        ("sorted-neighborhood(6)", Method::SortedNeighborhood(6)),
+        ("minhash-lsh", Method::MinHashLsh(LshConfig::default())),
+        ("canopy", Method::Canopy(CanopyConfig::default())),
+    ];
+
+    for (profile_name, config) in [
+        ("center (highly similar)", profiles::center_dense(400, 11)),
+        ("periphery (somehow similar)", profiles::periphery_sparse(400, 11)),
+    ] {
+        let world = generate(&config);
+        println!("=== {profile_name} ===");
+        println!("{:<24} {:>8} {:>12} {:>7} {:>7}", "method", "blocks", "comparisons", "PC", "PQ");
+        for (name, method) in &methods {
+            let blocks = method.run(&world.dataset, ErMode::CleanClean);
+            let (pc, pq) = pair_quality(&world, &blocks);
+            println!(
+                "{:<24} {:>8} {:>12} {:>7.3} {:>7.3}",
+                name,
+                blocks.len(),
+                blocks.total_comparisons(),
+                pc,
+                pq
+            );
+        }
+
+        // Composite workflow: exact + fuzzy evidence, then purge + filter.
+        let (blocks, report) = BlockingWorkflow::new(Method::TokenAndUri)
+            .also(Method::MinHashLsh(LshConfig::default()))
+            .with_purging()
+            .with_filtering(0.8)
+            .run(&world.dataset, ErMode::CleanClean);
+        let (pc, pq) = pair_quality(&world, &blocks);
+        println!(
+            "{:<24} {:>8} {:>12} {:>7.3} {:>7.3}",
+            "workflow(union+p+f)",
+            blocks.len(),
+            blocks.total_comparisons(),
+            pc,
+            pq
+        );
+        for (stage, nblocks, comparisons) in &report.stages {
+            println!("    stage {stage:<22} blocks {nblocks:>8} comparisons {comparisons:>12}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,45 @@
+//! RDF round-trip: export a synthetic KB as N-Triples, parse it back, and
+//! resolve the re-imported dataset — demonstrating the `minoan-rdf`
+//! substrate on real serialised data.
+//!
+//! Run with: `cargo run --release --example ntriples_io`
+
+use minoan::prelude::*;
+use minoan::rdf::ntriples;
+
+fn main() {
+    // Build a world, serialise each KB to N-Triples text.
+    let world = generate(&profiles::center_dense(300, 5));
+    let docs: Vec<(String, String)> = (0..world.dataset.kb_count())
+        .map(|k| {
+            let kb = KbId(k as u16);
+            (
+                world.dataset.kb(kb).name.to_string(),
+                world.dataset.to_ntriples(kb),
+            )
+        })
+        .collect();
+    for (name, doc) in &docs {
+        let triples = ntriples::parse_document(doc).expect("own output must parse");
+        println!("KB {name}: {} triples, {} bytes serialised", triples.len(), doc.len());
+    }
+
+    // Re-import from the serialised form only.
+    let mut builder = DatasetBuilder::new();
+    for (name, doc) in &docs {
+        builder
+            .add_ntriples_kb(name, &format!("http://{name}.example.org/resource/"), doc)
+            .expect("parse");
+    }
+    let reimported = builder.build();
+    assert_eq!(reimported.len(), world.dataset.len(), "lossless round-trip");
+
+    // Resolve the re-imported dataset. Entity ids are preserved by
+    // serialisation order, so the original ground truth still applies.
+    let out = Pipeline::new(PipelineConfig::default()).run(&reimported);
+    let q = metrics::resolution_quality(&world.truth, &out.resolution);
+    println!(
+        "resolved re-imported dataset: precision {:.3}, recall {:.3} ({} matches)",
+        q.precision, q.recall, q.emitted
+    );
+}

@@ -1,0 +1,58 @@
+//! Periphery recovery: the paper's core motivation in action.
+//!
+//! "Blocking approaches in the Web of data, especially when handling
+//! somehow similar descriptions appearing in the periphery of the LOD
+//! cloud, may miss highly heterogeneous matching descriptions featuring
+//! few common tokens. To overcome that, we focus on exploiting the partial
+//! matching results as a similarity evidence for their neighbor (i.e.,
+//! linked) descriptions."
+//!
+//! This example resolves two *periphery* KBs (proprietary vocabularies,
+//! few common tokens, opaque URIs) twice — with the update phase disabled
+//! (α = 0) and enabled — and shows the recall the neighbour propagation
+//! recovers.
+//!
+//! Run with: `cargo run --release --example periphery_recovery`
+
+use minoan::prelude::*;
+
+fn run(world: &minoan::datagen::GeneratedWorld, alpha: f64) -> (f64, f64, usize) {
+    let config = PipelineConfig {
+        resolver: ResolverConfig {
+            strategy: Strategy::Progressive(BenefitModel::PairQuantity),
+            alpha,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let out = Pipeline::new(config).run(&world.dataset);
+    let q = metrics::resolution_quality(&world.truth, &out.resolution);
+    (q.precision, q.recall, out.resolution.discovered_candidates)
+}
+
+fn main() {
+    let world = generate(&profiles::periphery_sparse(1_500, 7));
+    println!(
+        "periphery dataset: {} descriptions, {} KBs, {} true pairs, {} linked descriptions",
+        world.dataset.len(),
+        world.dataset.kb_count(),
+        world.truth.matching_pairs(),
+        world
+            .dataset
+            .entities()
+            .filter(|&e| !world.dataset.neighbors(e).is_empty())
+            .count(),
+    );
+
+    let mut table = Table::new(vec!["update phase", "precision", "recall", "discovered pairs"]);
+    let (p0, r0, d0) = run(&world, 0.0);
+    table.row(vec!["off (α=0)".into(), format!("{p0:.3}"), format!("{r0:.3}"), d0.to_string()]);
+    let (p1, r1, d1) = run(&world, 0.5);
+    table.row(vec!["on (α=0.5)".into(), format!("{p1:.3}"), format!("{r1:.3}"), d1.to_string()]);
+    println!("\n{table}");
+    println!(
+        "neighbour propagation recovered {:+.1}% recall ({} candidate pairs discovered beyond blocking)",
+        (r1 - r0) * 100.0,
+        d1
+    );
+}

@@ -1,0 +1,105 @@
+//! End-to-end CLI integration: generate → stats → snapshot → inspect →
+//! resolve → eval → stream, all through the library entry point the
+//! `minoan` binary wraps.
+
+use minoan_cli::run;
+
+fn cli(cmd: &str) -> Result<String, minoan_cli::CliError> {
+    let argv: Vec<String> = cmd.split_whitespace().map(|s| s.to_string()).collect();
+    run(&argv)
+}
+
+fn workdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("minoan_cli_e2e");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = workdir();
+    // 1. Generate a world on disk.
+    let gen = cli(&format!(
+        "generate --profile lod --entities 150 --seed 21 --out {}",
+        dir.display()
+    ))
+    .expect("generate");
+    assert!(gen.contains("matching pairs"));
+
+    // 2. Collect the emitted KB files.
+    let mut inputs: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            (p.extension().map_or(false, |x| x == "nt")).then(|| p.display().to_string())
+        })
+        .collect();
+    inputs.sort();
+    assert!(inputs.len() >= 2, "lod profile emits several KBs");
+    let input_args: String =
+        inputs.iter().map(|p| format!("--input {p} ")).collect::<String>();
+
+    // 3. Stats over the N-Triples files.
+    let stats = cli(&format!("stats {input_args}")).expect("stats");
+    assert!(stats.contains("proprietary"));
+
+    // 4. Snapshot + inspect.
+    let snap = dir.join("world.mnstore");
+    cli(&format!("snapshot {input_args} --out {}", snap.display())).expect("snapshot");
+    let inspect = cli(&format!("inspect --snapshot {}", snap.display())).expect("inspect");
+    assert!(inspect.contains("store:"));
+
+    // 5. Resolve with a budget.
+    let resolve =
+        cli(&format!("resolve {input_args} --budget 5000 --show 5")).expect("resolve");
+    assert!(resolve.contains("matches"));
+
+    // 6. In-memory eval and stream commands.
+    let eval = cli("eval --profile lod --entities 150 --seed 21").expect("eval");
+    assert!(eval.contains("f1"));
+    let stream =
+        cli("stream --profile lod --entities 150 --seed 21 --order round-robin").expect("stream");
+    assert!(stream.contains("round-robin"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn turtle_inputs_resolve_like_ntriples() {
+    use minoan::prelude::*;
+    use minoan::rdf::{ntriples, turtle};
+    let dir = std::env::temp_dir().join("minoan_cli_ttl");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Build a world, write one KB as N-Triples and the other as Turtle.
+    let world = generate(&profiles::center_dense(100, 27));
+    let mut inputs = Vec::new();
+    for kb in 0..world.dataset.kb_count() {
+        let id = KbId(kb as u16);
+        let nt = world.dataset.to_ntriples(id);
+        let path = if kb == 0 {
+            let p = dir.join("a.nt");
+            std::fs::write(&p, &nt).unwrap();
+            p
+        } else {
+            let triples = ntriples::parse_document(&nt).unwrap();
+            let p = dir.join("b.ttl");
+            std::fs::write(&p, turtle::write_turtle(&triples, &[])).unwrap();
+            p
+        };
+        inputs.push(path.display().to_string());
+    }
+    let out = cli(&format!("resolve --input {} --input {} --show 2", inputs[0], inputs[1]))
+        .expect("mixed-format resolve");
+    assert!(out.contains("matches"), "{out}");
+    let stats = cli(&format!("stats --input {} --input {}", inputs[0], inputs[1])).unwrap();
+    assert!(stats.contains("store:"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cli_errors_are_user_facing() {
+    assert!(cli("resolve --input /nonexistent/file.nt").is_err());
+    assert!(cli("inspect --snapshot /nonexistent.mnstore").is_err());
+    assert!(cli("eval --profile nope").is_err());
+    assert!(cli("nonsense").is_err());
+}

@@ -1,0 +1,82 @@
+//! Cross-crate consistency of the MapReduce formulations: the parallel
+//! blocking and meta-blocking implementations must produce results
+//! identical to their serial counterparts at any worker count.
+
+use minoan::blocking::parallel::parallel_token_blocking;
+use minoan::blocking::{builders, ErMode};
+use minoan::metablocking::parallel::{parallel_cnp, parallel_wep};
+use minoan::metablocking::{prune, BlockingGraph, WeightingScheme};
+use minoan::prelude::*;
+
+#[test]
+fn parallel_blocking_identical_for_all_worker_counts() {
+    let world = generate(&profiles::lod_cloud(200, 3));
+    let serial = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    for workers in [1, 2, 5, 16] {
+        let par = parallel_token_blocking(&world.dataset, ErMode::CleanClean, &Engine::new(workers));
+        assert_eq!(par.len(), serial.len(), "workers={workers}");
+        assert_eq!(par.total_comparisons(), serial.total_comparisons());
+        assert_eq!(par.total_assignments(), serial.total_assignments());
+    }
+}
+
+#[test]
+fn parallel_metablocking_matches_serial_on_every_scheme() {
+    let world = generate(&profiles::center_dense(180, 13));
+    let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    let cleaned = filter::clean(&blocks);
+    let graph = BlockingGraph::build(&cleaned);
+    let engine = Engine::new(4);
+    for scheme in WeightingScheme::ALL {
+        let serial: std::collections::BTreeSet<(u32, u32)> = prune::wep(&graph, scheme)
+            .pairs
+            .iter()
+            .map(|p| (p.a.0, p.b.0))
+            .collect();
+        let parallel: std::collections::BTreeSet<(u32, u32)> = parallel_wep(&cleaned, scheme, &engine)
+            .pairs
+            .iter()
+            .map(|p| (p.a.0, p.b.0))
+            .collect();
+        assert_eq!(serial, parallel, "{scheme:?}");
+    }
+}
+
+#[test]
+fn parallel_cnp_reciprocal_variants_match_serial() {
+    let world = generate(&profiles::periphery_sparse(150, 17));
+    let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    let graph = BlockingGraph::build(&blocks);
+    let engine = Engine::new(3);
+    for reciprocal in [false, true] {
+        let serial: std::collections::BTreeSet<(u32, u32)> =
+            prune::cnp(&graph, WeightingScheme::Ecbs, reciprocal, Some(4))
+                .pairs
+                .iter()
+                .map(|p| (p.a.0, p.b.0))
+                .collect();
+        let parallel: std::collections::BTreeSet<(u32, u32)> =
+            parallel_cnp(&blocks, WeightingScheme::Ecbs, reciprocal, Some(4), &engine)
+                .pairs
+                .iter()
+                .map(|p| (p.a.0, p.b.0))
+                .collect();
+        assert_eq!(serial, parallel, "reciprocal={reciprocal}");
+    }
+}
+
+#[test]
+fn full_pipeline_on_parallel_blocks_equals_serial_blocks() {
+    let world = generate(&profiles::center_dense(150, 19));
+    let serial_blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    let parallel_blocks =
+        parallel_token_blocking(&world.dataset, ErMode::CleanClean, &Engine::new(8));
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let cs = pipeline.meta_block(&pipeline.clean_blocks(serial_blocks));
+    let cp = pipeline.meta_block(&pipeline.clean_blocks(parallel_blocks));
+    assert_eq!(cs.len(), cp.len());
+    for (s, p) in cs.iter().zip(&cp) {
+        assert_eq!((s.0, s.1), (p.0, p.1));
+        assert!((s.2 - p.2).abs() < 1e-9);
+    }
+}

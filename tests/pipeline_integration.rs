@@ -1,0 +1,163 @@
+//! End-to-end integration tests spanning all workspace crates.
+
+use minoan::prelude::*;
+
+fn quality(
+    world: &minoan::datagen::GeneratedWorld,
+    config: PipelineConfig,
+) -> (minoan::eval::MatchQuality, minoan::er::PipelineOutput) {
+    let out = Pipeline::new(config).run(&world.dataset);
+    (metrics::resolution_quality(&world.truth, &out.resolution), out)
+}
+
+#[test]
+fn all_profiles_resolve_end_to_end() {
+    for (name, cfg) in profiles::all_profiles(250, 77) {
+        let world = generate(&cfg);
+        let mode = if world.dataset.kb_count() > 1 { ErMode::CleanClean } else { ErMode::Dirty };
+        let config = PipelineConfig { mode, ..Default::default() };
+        let (q, out) = quality(&world, config);
+        assert!(out.candidates > 0, "{name}: no candidates");
+        assert!(q.emitted > 0, "{name}: no matches emitted");
+        assert!(q.precision > 0.6, "{name}: precision {:.3}", q.precision);
+        // Every regime must achieve non-trivial recall; easy regimes much more.
+        let floor = match name {
+            "center_dense" | "dirty_single" => 0.7,
+            "lod_cloud" | "center_periphery" => 0.35,
+            _ => 0.1,
+        };
+        assert!(q.recall > floor, "{name}: recall {:.3} below {floor}", q.recall);
+    }
+}
+
+#[test]
+fn budget_sweep_is_monotone_in_recall() {
+    let world = generate(&profiles::center_dense(300, 5));
+    let mut last_recall = -1.0;
+    for budget in [200u64, 1_000, 5_000, u64::MAX] {
+        let config = PipelineConfig {
+            resolver: ResolverConfig { budget, ..Default::default() },
+            ..Default::default()
+        };
+        let (q, out) = quality(&world, config);
+        assert!(out.resolution.comparisons <= budget);
+        assert!(
+            q.recall + 1e-9 >= last_recall,
+            "more budget must not lose recall: {} after {last_recall}",
+            q.recall
+        );
+        last_recall = q.recall;
+    }
+}
+
+#[test]
+fn pipeline_is_deterministic_across_runs() {
+    let world = generate(&profiles::lod_cloud(150, 11));
+    let run = || {
+        let (q, out) = quality(&world, PipelineConfig::default());
+        (q.tp, q.emitted, out.candidates, out.resolution.comparisons)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn blocking_quality_improves_through_the_pipeline_stages() {
+    // PQ (precision of the comparison set) must improve raw → cleaned →
+    // meta-blocked, while PC stays high.
+    let world = generate(&profiles::center_dense(250, 21));
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let raw = pipeline.block(&world.dataset);
+    let raw_pairs = raw.distinct_pairs();
+    let raw_q = metrics::blocking_quality(&world.dataset, &world.truth, &raw_pairs);
+
+    let cleaned = pipeline.clean_blocks(raw);
+    let clean_pairs = cleaned.distinct_pairs();
+    let clean_q = metrics::blocking_quality(&world.dataset, &world.truth, &clean_pairs);
+
+    let pruned: Vec<_> = pipeline
+        .meta_block(&cleaned)
+        .into_iter()
+        .map(|(a, b, _)| (a, b))
+        .collect();
+    let meta_q = metrics::blocking_quality(&world.dataset, &world.truth, &pruned);
+
+    assert!(raw_q.pc > 0.95, "raw PC {:.3}", raw_q.pc);
+    assert!(clean_q.pq >= raw_q.pq, "cleaning must not lower PQ");
+    assert!(meta_q.pq > clean_q.pq, "meta-blocking must raise PQ");
+    assert!(meta_q.pc > 0.8, "meta-blocking PC collapsed: {:.3}", meta_q.pc);
+    assert!(meta_q.comparisons < raw_q.comparisons);
+}
+
+#[test]
+fn unique_mapping_raises_precision_on_clean_data() {
+    let world = generate(&profiles::center_dense(250, 31));
+    let base = PipelineConfig::default();
+    let (q_free, _) = quality(&world, base.clone());
+    let with_unique = PipelineConfig {
+        resolver: ResolverConfig { unique_mapping: true, ..base.resolver.clone() },
+        ..base
+    };
+    let (q_unique, _) = quality(&world, with_unique);
+    assert!(
+        q_unique.precision >= q_free.precision - 1e-9,
+        "unique mapping must not hurt precision: {:.3} vs {:.3}",
+        q_unique.precision,
+        q_free.precision
+    );
+}
+
+#[test]
+fn rdf_roundtrip_preserves_resolution() {
+    let world = generate(&profiles::center_dense(120, 8));
+    let mut builder = DatasetBuilder::new();
+    for k in 0..world.dataset.kb_count() {
+        let kb = KbId(k as u16);
+        let doc = world.dataset.to_ntriples(kb);
+        builder
+            .add_ntriples_kb(
+                &world.dataset.kb(kb).name,
+                &world.dataset.kb(kb).namespace,
+                &doc,
+            )
+            .expect("parse own output");
+    }
+    let reimported = builder.build();
+    assert_eq!(reimported.len(), world.dataset.len());
+    let (q_orig, _) = quality(&world, PipelineConfig::default());
+    let out2 = Pipeline::new(PipelineConfig::default()).run(&reimported);
+    let q_re = metrics::resolution_quality(&world.truth, &out2.resolution);
+    assert_eq!(q_orig.tp, q_re.tp, "round-trip changed the resolution");
+    assert_eq!(q_orig.emitted, q_re.emitted);
+}
+
+#[test]
+fn strategies_rank_as_expected_at_low_budget() {
+    let world = generate(&profiles::center_dense(300, 41));
+    let pipeline = Pipeline::new(PipelineConfig::default());
+    let blocks = pipeline.clean_blocks(pipeline.block(&world.dataset));
+    let candidates = pipeline.meta_block(&blocks);
+    let budget = (candidates.len() / 5) as u64;
+
+    let run = |strategy: Strategy| {
+        let matcher = Matcher::new(&world.dataset, MatcherConfig::default());
+        let res = ProgressiveResolver::new(
+            &world.dataset,
+            matcher,
+            ResolverConfig { strategy, budget, ..Default::default() },
+        )
+        .run(&candidates);
+        metrics::resolution_quality(&world.truth, &res).recall
+    };
+
+    let progressive = run(Strategy::Progressive(BenefitModel::PairQuantity));
+    let static_bf = run(Strategy::StaticBestFirst);
+    let random = run(Strategy::Random { seed: 9 });
+    assert!(
+        progressive > random,
+        "progressive {progressive:.3} must beat random {random:.3}"
+    );
+    assert!(
+        static_bf > random,
+        "static best-first {static_bf:.3} must beat random {random:.3}"
+    );
+}
