@@ -14,7 +14,12 @@ fn bench_blocking(c: &mut Criterion) {
             b.iter(|| black_box(builders::token_blocking(&w.dataset, ErMode::CleanClean)));
         });
         group.bench_with_input(BenchmarkId::new("token+uri", n), &world, |b, w| {
-            b.iter(|| black_box(builders::token_and_uri_blocking(&w.dataset, ErMode::CleanClean)));
+            b.iter(|| {
+                black_box(builders::token_and_uri_blocking(
+                    &w.dataset,
+                    ErMode::CleanClean,
+                ))
+            });
         });
         group.bench_with_input(BenchmarkId::new("attr-clustering", n), &world, |b, w| {
             b.iter(|| {

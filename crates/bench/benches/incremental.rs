@@ -8,17 +8,14 @@ use minoan_er::{IncrementalConfig, IncrementalResolver, Matcher, MatcherConfig};
 fn bench_arrivals(c: &mut Criterion) {
     let world = generate(&profiles::center_dense(300, 42));
     let matcher = Matcher::new(&world.dataset, MatcherConfig::default());
-    for order in [ArrivalOrder::Shuffled { seed: 7 }, ArrivalOrder::KbSequential] {
+    for order in [
+        ArrivalOrder::Shuffled { seed: 7 },
+        ArrivalOrder::KbSequential,
+    ] {
         let stream = order.order(&world.dataset, &world.truth);
-        c.bench_function(&format!("incremental/full stream ({})", order.name()), |b| {
+        c.bench_function(format!("incremental/full stream ({})", order.name()), |b| {
             b.iter_batched(
-                || {
-                    IncrementalResolver::new(
-                        &world.dataset,
-                        &matcher,
-                        IncrementalConfig::default(),
-                    )
-                },
+                || IncrementalResolver::new(&world.dataset, &matcher, IncrementalConfig::default()),
                 |mut resolver| {
                     resolver.arrive_all(stream.iter().copied());
                     resolver.comparisons()

@@ -18,32 +18,44 @@ fn bench_mapreduce(c: &mut Criterion) {
         .map(|i| (0..30).map(|j| format!("w{} ", (i * j) % 500)).collect())
         .collect();
     for workers in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::new("word-count", workers), &workers, |b, &w| {
-            let engine = Engine::new(w);
-            b.iter(|| {
-                let r = engine.run(
-                    docs.clone(),
-                    |d, emit| {
-                        for t in d.split_whitespace() {
-                            emit(t.to_string(), 1u64);
-                        }
-                    },
-                    |k, vs, out| out.push((k.clone(), vs.iter().sum::<u64>())),
-                );
-                black_box(r.output.len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("word-count", workers),
+            &workers,
+            |b, &w| {
+                let engine = Engine::new(w);
+                b.iter(|| {
+                    let r = engine.run(
+                        docs.clone(),
+                        |d, emit| {
+                            for t in d.split_whitespace() {
+                                emit(t.to_string(), 1u64);
+                            }
+                        },
+                        |k, vs, out| out.push((k.clone(), vs.iter().sum::<u64>())),
+                    );
+                    black_box(r.output.len())
+                });
+            },
+        );
     }
 
     // The real workloads: blocking and meta-blocking jobs.
     let world = generate(&profiles::center_dense(400, 5));
     for workers in [1usize, 4] {
-        group.bench_with_input(BenchmarkId::new("token-blocking", workers), &workers, |b, &w| {
-            let engine = Engine::new(w);
-            b.iter(|| {
-                black_box(parallel_token_blocking(&world.dataset, ErMode::CleanClean, &engine))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("token-blocking", workers),
+            &workers,
+            |b, &w| {
+                let engine = Engine::new(w);
+                b.iter(|| {
+                    black_box(parallel_token_blocking(
+                        &world.dataset,
+                        ErMode::CleanClean,
+                        &engine,
+                    ))
+                });
+            },
+        );
     }
     let blocks = parallel_token_blocking(&world.dataset, ErMode::CleanClean, &Engine::new(4));
     for workers in [1usize, 4] {

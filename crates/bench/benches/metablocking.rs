@@ -1,10 +1,22 @@
-//! Criterion benches for meta-blocking (supports E3).
+//! Criterion benches for meta-blocking (supports E3), plus the
+//! build-vs-stream scaling harness that records `BENCH_metablocking.json`.
+//!
+//! The scaling harness compares, at several world sizes:
+//! * the legacy hash-map graph build (global
+//!   `FxHashMap<(EntityId, EntityId), (u32, f64)>` accumulator — the
+//!   pre-CSR implementation, reproduced here as the baseline),
+//! * the CSR counting-sort build, serial and parallel,
+//! * materialised WNP (graph build + prune) vs streaming WNP, serial and
+//!   parallel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use minoan_blocking::{builders, filter, purge, ErMode};
+use minoan_blocking::{builders, filter, purge, BlockCollection, ErMode};
+use minoan_common::FxHashMap;
 use minoan_datagen::{generate, profiles};
-use minoan_metablocking::{prune, BlockingGraph, WeightingScheme};
+use minoan_metablocking::{prune, streaming, BlockingGraph, StreamingOptions, WeightingScheme};
+use minoan_rdf::EntityId;
 use std::hint::black_box;
+use std::time::Instant;
 
 fn bench_metablocking(c: &mut Criterion) {
     let world = generate(&profiles::center_dense(400, 11));
@@ -31,8 +43,14 @@ fn bench_metablocking(c: &mut Criterion) {
     group.bench_function("wnp/arcs", |b| {
         b.iter(|| black_box(prune::wnp(&graph, WeightingScheme::Arcs, false)));
     });
+    group.bench_function("wnp/arcs-streaming", |b| {
+        b.iter(|| black_box(streaming::wnp(&cleaned, WeightingScheme::Arcs, false)));
+    });
     group.bench_function("cnp/js", |b| {
         b.iter(|| black_box(prune::cnp(&graph, WeightingScheme::Js, false, None)));
+    });
+    group.bench_function("cnp/js-streaming", |b| {
+        b.iter(|| black_box(streaming::cnp(&cleaned, WeightingScheme::Js, false, None)));
     });
     group.bench_function("cep/ecbs", |b| {
         b.iter(|| black_box(prune::cep(&graph, WeightingScheme::Ecbs, None)));
@@ -40,5 +58,176 @@ fn bench_metablocking(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_metablocking);
+/// The pre-CSR `BlockingGraph::build`: a global hash-map accumulator over
+/// all pair occurrences, then a sort. Kept as the benchmark baseline.
+fn hashmap_baseline_build(collection: &BlockCollection) -> usize {
+    let mut acc: FxHashMap<(EntityId, EntityId), (u32, f64)> = FxHashMap::default();
+    for (bid, a, b) in collection.pair_occurrences() {
+        let card = collection.block(bid).comparisons as f64;
+        let e = acc.entry((a, b)).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += 1.0 / card.max(1.0);
+    }
+    let mut edges: Vec<(EntityId, EntityId, u32, f64)> = acc
+        .into_iter()
+        .map(|((a, b), (cbs, arcs))| (a, b, cbs, arcs))
+        .collect();
+    edges.sort_unstable_by_key(|e| (e.0, e.1));
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); collection.num_entities()];
+    for (i, e) in edges.iter().enumerate() {
+        adjacency[e.0.index()].push(i as u32);
+        adjacency[e.1.index()].push(i as u32);
+    }
+    black_box(&adjacency);
+    edges.len()
+}
+
+struct Record {
+    world: usize,
+    edges: usize,
+    variant: &'static str,
+    nanos: u128,
+}
+
+fn time<F: FnMut() -> R, R>(mut f: F, reps: u32) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+/// Scaling harness: build-vs-stream at several world sizes; records
+/// throughput numbers into `BENCH_metablocking.json` at the repo root.
+fn bench_scaling(_c: &mut Criterion) {
+    // `MINOAN_BENCH_SIZES=skip` (or `0`) skips the harness entirely —
+    // it runs whole-world workloads for minutes and rewrites
+    // BENCH_metablocking.json, which is not always wanted on a filtered
+    // `cargo bench` invocation.
+    let sizes: Vec<usize> = match std::env::var("MINOAN_BENCH_SIZES") {
+        Ok(s) if s == "skip" || s == "0" => {
+            println!("scaling harness skipped (MINOAN_BENCH_SIZES={s})");
+            return;
+        }
+        Ok(s) => s.split(',').filter_map(|x| x.trim().parse().ok()).collect(),
+        Err(_) => vec![2_000, 10_000, 50_000],
+    };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut records: Vec<Record> = Vec::new();
+    println!("scaling harness: sizes {sizes:?}, {threads} threads");
+
+    for &n in &sizes {
+        let reps = if n >= 20_000 { 2 } else { 3 };
+        let world = generate(&profiles::center_dense(n, 11));
+        let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+        let cleaned = filter::filter(&purge::purge(&blocks).collection);
+        let edges = BlockingGraph::build(&cleaned).num_edges();
+        println!("world {n}: {} blocks, {edges} graph edges", cleaned.len());
+
+        let mut rec = |variant: &'static str, nanos: u128| {
+            println!(
+                "  {variant:<24} {:>10.2} ms   ({:.1} Medges/s)",
+                nanos as f64 / 1e6,
+                edges as f64 / (nanos as f64 / 1e9) / 1e6
+            );
+            records.push(Record {
+                world: n,
+                edges,
+                variant,
+                nanos,
+            });
+        };
+
+        rec(
+            "build/hashmap-baseline",
+            time(|| hashmap_baseline_build(&cleaned), reps),
+        );
+        rec(
+            "build/csr-serial",
+            time(|| BlockingGraph::build_with_threads(&cleaned, 1), reps),
+        );
+        rec(
+            "build/csr-parallel",
+            time(
+                || BlockingGraph::build_with_threads(&cleaned, threads),
+                reps,
+            ),
+        );
+
+        let graph = BlockingGraph::build(&cleaned);
+        rec(
+            "wnp/materialized-prune",
+            time(|| prune::wnp(&graph, WeightingScheme::Arcs, false), reps),
+        );
+        rec(
+            "wnp/materialized-total",
+            time(
+                || {
+                    let g = BlockingGraph::build(&cleaned);
+                    prune::wnp(&g, WeightingScheme::Arcs, false)
+                },
+                reps,
+            ),
+        );
+        rec(
+            "wnp/streaming-serial",
+            time(
+                || {
+                    streaming::wnp_with(
+                        &cleaned,
+                        WeightingScheme::Arcs,
+                        false,
+                        &StreamingOptions::with_threads(1),
+                    )
+                },
+                reps,
+            ),
+        );
+        rec(
+            "wnp/streaming-parallel",
+            time(
+                || {
+                    streaming::wnp_with(
+                        &cleaned,
+                        WeightingScheme::Arcs,
+                        false,
+                        &StreamingOptions::with_threads(threads),
+                    )
+                },
+                reps,
+            ),
+        );
+    }
+
+    // Hand-rolled JSON (no serde_json in this offline workspace).
+    let mut json = String::from("{\n  \"bench\": \"metablocking build-vs-stream\",\n");
+    json.push_str(&format!("  \"threads\": {threads},\n  \"results\": [\n"));
+    for (i, r) in records.iter().enumerate() {
+        let throughput = r.edges as f64 / (r.nanos as f64 / 1e9);
+        json.push_str(&format!(
+            "    {{\"world_entities\": {}, \"graph_edges\": {}, \"variant\": \"{}\", \
+             \"nanos\": {}, \"edges_per_sec\": {:.0}}}{}\n",
+            r.world,
+            r.edges,
+            r.variant,
+            r.nanos,
+            throughput,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_metablocking.json");
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
+criterion_group!(benches, bench_metablocking, bench_scaling);
 criterion_main!(benches);

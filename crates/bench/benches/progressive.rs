@@ -35,8 +35,14 @@ fn bench_progressive(c: &mut Criterion) {
     let strategies = [
         ("batch", Strategy::Batch),
         ("static", Strategy::StaticBestFirst),
-        ("progressive/pq", Strategy::Progressive(BenefitModel::PairQuantity)),
-        ("progressive/rel", Strategy::Progressive(BenefitModel::RelationshipCompleteness)),
+        (
+            "progressive/pq",
+            Strategy::Progressive(BenefitModel::PairQuantity),
+        ),
+        (
+            "progressive/rel",
+            Strategy::Progressive(BenefitModel::RelationshipCompleteness),
+        ),
     ];
     for (label, strategy) in strategies {
         group.bench_with_input(BenchmarkId::new("resolve", label), &strategy, |b, &s| {
@@ -45,7 +51,10 @@ fn bench_progressive(c: &mut Criterion) {
                 let resolver = ProgressiveResolver::new(
                     &world.dataset,
                     matcher,
-                    ResolverConfig { strategy: s, ..Default::default() },
+                    ResolverConfig {
+                        strategy: s,
+                        ..Default::default()
+                    },
                 );
                 black_box(resolver.run(&pairs))
             });

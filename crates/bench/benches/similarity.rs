@@ -1,9 +1,7 @@
 //! Criterion benches for the similarity measures (matcher hot path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use minoan_similarity::{
-    jaro_winkler, levenshtein, qgram_similarity, token, TfIdfWeights,
-};
+use minoan_similarity::{jaro_winkler, levenshtein, qgram_similarity, token, TfIdfWeights};
 use std::hint::black_box;
 
 fn bench_similarity(c: &mut Criterion) {

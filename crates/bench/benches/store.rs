@@ -12,7 +12,9 @@ fn build_store(scale: usize) -> FrozenStore {
     for kb in 0..world.dataset.kb_count() {
         let id = KbId(kb as u16);
         let doc = world.dataset.to_ntriples(id);
-        store.load_ntriples(&world.dataset.kb(id).name, &doc).expect("generated N-Triples");
+        store
+            .load_ntriples(&world.dataset.kb(id).name, &doc)
+            .expect("generated N-Triples");
     }
     store.freeze()
 }
@@ -22,7 +24,10 @@ fn bench_load_freeze(c: &mut Criterion) {
     let docs: Vec<(String, String)> = (0..world.dataset.kb_count())
         .map(|kb| {
             let id = KbId(kb as u16);
-            (world.dataset.kb(id).name.to_string(), world.dataset.to_ntriples(id))
+            (
+                world.dataset.kb(id).name.to_string(),
+                world.dataset.to_ntriples(id),
+            )
         })
         .collect();
     c.bench_function("store/load+freeze 300 entities", |b| {
@@ -78,5 +83,10 @@ fn bench_snapshot(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_load_freeze, bench_pattern_scans, bench_snapshot);
+criterion_group!(
+    benches,
+    bench_load_freeze,
+    bench_pattern_scans,
+    bench_snapshot
+);
 criterion_main!(benches);

@@ -62,18 +62,36 @@ fn resolve(
 pub fn exp2_blocking(scale: usize, seed: u64) -> String {
     let mut out = String::new();
     let mut table = Table::new(vec![
-        "profile", "method", "blocks", "comparisons", "PC", "PQ", "RR",
+        "profile",
+        "method",
+        "blocks",
+        "comparisons",
+        "PC",
+        "PQ",
+        "RR",
     ]);
     for (name, cfg) in profiles::all_profiles(scale, seed) {
         let world = generate(&cfg);
-        let mode = if world.dataset.kb_count() > 1 { ErMode::CleanClean } else { ErMode::Dirty };
+        let mode = if world.dataset.kb_count() > 1 {
+            ErMode::CleanClean
+        } else {
+            ErMode::Dirty
+        };
         let variants: Vec<(&str, BlockCollection)> = vec![
             ("token", builders::token_blocking(&world.dataset, mode)),
-            ("token+uri", builders::token_and_uri_blocking(&world.dataset, mode)),
-            ("attr-clust", builders::attribute_clustering_blocking(&world.dataset, mode, 0.2)),
+            (
+                "token+uri",
+                builders::token_and_uri_blocking(&world.dataset, mode),
+            ),
+            (
+                "attr-clust",
+                builders::attribute_clustering_blocking(&world.dataset, mode, 0.2),
+            ),
             (
                 "token+clean",
-                filter::filter(&purge::purge(&builders::token_blocking(&world.dataset, mode)).collection),
+                filter::filter(
+                    &purge::purge(&builders::token_blocking(&world.dataset, mode)).collection,
+                ),
             ),
         ];
         for (method, blocks) in variants {
@@ -89,7 +107,10 @@ pub fn exp2_blocking(scale: usize, seed: u64) -> String {
             ]);
         }
     }
-    let _ = writeln!(out, "E2: blocking effectiveness (PC/PQ/RR vs brute force)\n\n{table}");
+    let _ = writeln!(
+        out,
+        "E2: blocking effectiveness (PC/PQ/RR vs brute force)\n\n{table}"
+    );
     out
 }
 
@@ -102,8 +123,7 @@ pub fn exp3_metablocking(scale: usize, seed: u64) -> String {
     let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
     let cleaned = filter::filter(&purge::purge(&blocks).collection);
     let graph = BlockingGraph::build(&cleaned);
-    let base_pairs: Vec<(EntityId, EntityId)> =
-        graph.edges().iter().map(|e| (e.a, e.b)).collect();
+    let base_pairs: Vec<(EntityId, EntityId)> = graph.edges().iter().map(|e| (e.a, e.b)).collect();
     let base_q = metrics::blocking_quality(&world.dataset, &world.truth, &base_pairs);
 
     let mut out = String::new();
@@ -114,7 +134,8 @@ pub fn exp3_metablocking(scale: usize, seed: u64) -> String {
         fmt3(base_q.pc)
     );
     let mut table = Table::new(vec!["pruning", "scheme", "kept", "retention", "PC", "PQ"]);
-    type Pruner<'g> = Box<dyn Fn(&BlockingGraph, WeightingScheme) -> minoan_metablocking::PrunedComparisons + 'g>;
+    type Pruner<'g> =
+        Box<dyn Fn(&BlockingGraph, WeightingScheme) -> minoan_metablocking::PrunedComparisons + 'g>;
     let pruners: Vec<(&str, Pruner)> = vec![
         ("WEP", Box::new(prune::wep)),
         ("CEP", Box::new(|g, s| prune::cep(g, s, None))),
@@ -158,7 +179,10 @@ pub fn exp4_progressive_recall(scale: usize, seed: u64) -> String {
     id_ordered.sort_by_key(|p| (p.0, p.1));
 
     let strategies = [
-        ("progressive", Strategy::Progressive(BenefitModel::PairQuantity)),
+        (
+            "progressive",
+            Strategy::Progressive(BenefitModel::PairQuantity),
+        ),
         ("static", Strategy::StaticBestFirst),
         ("batch", Strategy::Batch),
         ("random", Strategy::Random { seed: 1 }),
@@ -166,19 +190,34 @@ pub fn exp4_progressive_recall(scale: usize, seed: u64) -> String {
     let mut series: Vec<(&str, Vec<f64>)> = Vec::new();
     let mut aucs: Vec<(&str, f64)> = Vec::new();
     for (label, strategy) in strategies {
-        let input = if label == "batch" { &id_ordered } else { &pairs };
+        let input = if label == "batch" {
+            &id_ordered
+        } else {
+            &pairs
+        };
         let mut recalls = Vec::new();
         for f in fractions {
             let budget = (total * f) / 100;
             let res = resolve(
                 &world,
                 input,
-                ResolverConfig { strategy, budget, ..Default::default() },
+                ResolverConfig {
+                    strategy,
+                    budget,
+                    ..Default::default()
+                },
             );
             recalls.push(metrics::resolution_quality(&world.truth, &res).recall);
         }
         // AUC from the full run's trace.
-        let res = resolve(&world, input, ResolverConfig { strategy, ..Default::default() });
+        let res = resolve(
+            &world,
+            input,
+            ResolverConfig {
+                strategy,
+                ..Default::default()
+            },
+        );
         let pts = progressive::progressive_curves(&world.dataset, &world.truth, &res.trace, 20);
         aucs.push((label, progressive::recall_auc(&pts)));
         series.push((label, recalls));
@@ -191,7 +230,11 @@ pub fn exp4_progressive_recall(scale: usize, seed: u64) -> String {
         total
     );
     let xs: Vec<u64> = fractions.iter().map(|f| (total * f) / 100).collect();
-    let _ = writeln!(out, "{}", minoan_eval::report::render_series("budget", &xs, &series));
+    let _ = writeln!(
+        out,
+        "{}",
+        minoan_eval::report::render_series("budget", &xs, &series)
+    );
     let mut auc_table = Table::new(vec!["strategy", "recall AUC"]);
     for (label, auc) in aucs {
         auc_table.row(vec![label.into(), fmt3(auc)]);
@@ -216,7 +259,11 @@ pub fn exp5_quality_dimensions(scale: usize, seed: u64) -> String {
         "E5: quality dimensions at 25% budget ({budget} comparisons) on lod_cloud({scale})\n"
     );
     let mut table = Table::new(vec![
-        "benefit model", "recall", "attr-compl AUC", "entity-cov AUC", "rel-compl AUC",
+        "benefit model",
+        "recall",
+        "attr-compl AUC",
+        "entity-cov AUC",
+        "rel-compl AUC",
     ]);
     for model in BenefitModel::ALL {
         let res = resolve(
@@ -254,12 +301,20 @@ pub fn exp6_periphery(scale: usize, seed: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "E6: update-phase recovery on periphery regimes\n");
     let mut table = Table::new(vec![
-        "profile", "alpha", "precision", "recall", "discovered", "matches",
+        "profile",
+        "alpha",
+        "precision",
+        "recall",
+        "discovered",
+        "matches",
     ]);
     for (name, cfg) in [
         ("periphery_sparse", profiles::periphery_sparse(scale, seed)),
         ("center_periphery", profiles::center_periphery(scale, seed)),
-        ("bbc_music_dbpedia", profiles::bbc_music_dbpedia(scale, seed)),
+        (
+            "bbc_music_dbpedia",
+            profiles::bbc_music_dbpedia(scale, seed),
+        ),
     ] {
         let world = generate(&cfg);
         let pairs = candidate_pairs(&world, ErMode::CleanClean);
@@ -267,7 +322,10 @@ pub fn exp6_periphery(scale: usize, seed: u64) -> String {
             let res = resolve(
                 &world,
                 &pairs,
-                ResolverConfig { alpha, ..Default::default() },
+                ResolverConfig {
+                    alpha,
+                    ..Default::default()
+                },
             );
             let q = metrics::resolution_quality(&world.truth, &res);
             table.row(vec![
@@ -293,7 +351,9 @@ pub fn exp7_scalability(scale: usize, seed: u64) -> String {
     // Parallelism needs enough work per task: run at 5× the common scale.
     let scale = scale * 5;
     let world = generate(&profiles::center_dense(scale, seed));
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -359,7 +419,13 @@ pub fn exp8_ablations(scale: usize, seed: u64) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "E8: ablations on center_dense({scale})\n");
     let mut table = Table::new(vec![
-        "ablation", "setting", "candidates", "comparisons", "precision", "recall", "F1",
+        "ablation",
+        "setting",
+        "candidates",
+        "comparisons",
+        "precision",
+        "recall",
+        "F1",
     ]);
 
     let mut run = |label: &str, setting: &str, config: PipelineConfig| {
@@ -377,13 +443,23 @@ pub fn exp8_ablations(scale: usize, seed: u64) -> String {
     };
 
     for (setting, purge) in [("on", true), ("off", false)] {
-        run("block purging", setting, PipelineConfig { purge, ..Default::default() });
+        run(
+            "block purging",
+            setting,
+            PipelineConfig {
+                purge,
+                ..Default::default()
+            },
+        );
     }
     for ratio in [1.0, 0.8, 0.5] {
         run(
             "filter ratio",
             &format!("{ratio:.1}"),
-            PipelineConfig { filter_ratio: Some(ratio), ..Default::default() },
+            PipelineConfig {
+                filter_ratio: Some(ratio),
+                ..Default::default()
+            },
         );
     }
     for (setting, reciprocal) in [("union", false), ("reciprocal", true)] {
@@ -401,7 +477,10 @@ pub fn exp8_ablations(scale: usize, seed: u64) -> String {
             "propagation α",
             &format!("{alpha:.2}"),
             PipelineConfig {
-                resolver: ResolverConfig { alpha, ..Default::default() },
+                resolver: ResolverConfig {
+                    alpha,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
@@ -411,7 +490,10 @@ pub fn exp8_ablations(scale: usize, seed: u64) -> String {
             "value floor",
             &format!("{floor:.1}"),
             PipelineConfig {
-                matcher: MatcherConfig { value_floor: floor, ..Default::default() },
+                matcher: MatcherConfig {
+                    value_floor: floor,
+                    ..Default::default()
+                },
                 ..Default::default()
             },
         );
@@ -431,13 +513,25 @@ pub fn run_all(scale: usize, seed: u64) -> String {
         ("E6", exp6_periphery(scale, seed)),
         ("E7", exp7_scalability(scale, seed)),
         ("E8", exp8_ablations(scale, seed)),
-        ("E9", crate::experiments2::exp9_blocking_methods(scale, seed)),
-        ("E10", crate::experiments2::exp10_metablocking_extensions(scale, seed)),
+        (
+            "E9",
+            crate::experiments2::exp9_blocking_methods(scale, seed),
+        ),
+        (
+            "E10",
+            crate::experiments2::exp10_metablocking_extensions(scale, seed),
+        ),
         ("E11", crate::experiments2::exp11_incremental(scale, seed)),
         ("E12", crate::experiments2::exp12_oracle_bounds(scale, seed)),
-        ("E13", crate::experiments2::exp13_composite_rules(scale, seed)),
+        (
+            "E13",
+            crate::experiments2::exp13_composite_rules(scale, seed),
+        ),
         ("E14", crate::experiments2::exp14_clustering(scale, seed)),
-        ("E15", crate::experiments2::exp15_fault_tolerance(scale, seed)),
+        (
+            "E15",
+            crate::experiments2::exp15_fault_tolerance(scale, seed),
+        ),
         ("E16", crate::experiments2::exp16_variance(scale, seed)),
         ("E17", crate::experiments2::exp17_corruption(scale, seed)),
     ] {
@@ -466,7 +560,16 @@ mod tests {
     #[test]
     fn exp3_covers_grid() {
         let r = exp3_metablocking(S, 1);
-        for s in ["CBS", "ECBS", "JS", "EJS", "ARCS", "WEP", "CNP", "WNP-recip"] {
+        for s in [
+            "CBS",
+            "ECBS",
+            "JS",
+            "EJS",
+            "ARCS",
+            "WEP",
+            "CNP",
+            "WNP-recip",
+        ] {
             assert!(r.contains(s), "missing {s}");
         }
     }

@@ -21,14 +21,17 @@ use minoan_metablocking::{
 use minoan_rdf::EntityId;
 use std::fmt::Write as _;
 
-
-fn pair_quality(
-    world: &GeneratedWorld,
-    pairs: &[(EntityId, EntityId)],
-) -> (f64, f64) {
-    let found = pairs.iter().filter(|&&(a, b)| world.truth.is_match(a, b)).count();
+fn pair_quality(world: &GeneratedWorld, pairs: &[(EntityId, EntityId)]) -> (f64, f64) {
+    let found = pairs
+        .iter()
+        .filter(|&&(a, b)| world.truth.is_match(a, b))
+        .count();
     let pc = found as f64 / world.truth.matching_pairs() as f64;
-    let pq = if pairs.is_empty() { 0.0 } else { found as f64 / pairs.len() as f64 };
+    let pq = if pairs.is_empty() {
+        0.0
+    } else {
+        found as f64 / pairs.len() as f64
+    };
     (pc, pq)
 }
 
@@ -64,9 +67,8 @@ pub fn exp9_blocking_methods(scale: usize, seed: u64) -> String {
         let mut table = Table::new(vec!["method", "blocks", "comparisons", "PC", "PQ"]);
         for (name, method) in &methods {
             let raw = method.run(&world.dataset, ErMode::CleanClean);
-            let blocks = minoan_blocking::filter::filter(
-                &minoan_blocking::purge::purge(&raw).collection,
-            );
+            let blocks =
+                minoan_blocking::filter::filter(&minoan_blocking::purge::purge(&raw).collection);
             let pairs = blocks.distinct_pairs();
             let (pc, pq) = pair_quality(&world, &pairs);
             table.row(vec![
@@ -91,9 +93,8 @@ pub fn exp10_metablocking_extensions(scale: usize, seed: u64) -> String {
     let world = generate(&profiles::center_periphery(scale, seed));
     let blocks =
         minoan_blocking::builders::token_and_uri_blocking(&world.dataset, ErMode::CleanClean);
-    let cleaned = minoan_blocking::filter::filter(
-        &minoan_blocking::purge::purge(&blocks).collection,
-    );
+    let cleaned =
+        minoan_blocking::filter::filter(&minoan_blocking::purge::purge(&blocks).collection);
     let graph = BlockingGraph::build(&cleaned);
 
     let mut table = Table::new(vec!["pruner", "kept", "retention", "PC", "PQ"]);
@@ -108,12 +109,21 @@ pub fn exp10_metablocking_extensions(scale: usize, seed: u64) -> String {
         ]);
     };
 
-    record("none (all edges)", graph.edges().iter().map(|e| (e.a, e.b)).collect());
+    record(
+        "none (all edges)",
+        graph.edges().iter().map(|e| (e.a, e.b)).collect(),
+    );
     for scheme in [WeightingScheme::Cbs, WeightingScheme::Arcs] {
         let wep = prune::wep(&graph, scheme);
-        record(&format!("WEP/{}", scheme.name()), wep.pairs.iter().map(|p| (p.a, p.b)).collect());
+        record(
+            &format!("WEP/{}", scheme.name()),
+            wep.pairs.iter().map(|p| (p.a, p.b)).collect(),
+        );
         let wnp = prune::wnp(&graph, scheme, false);
-        record(&format!("WNP/{}", scheme.name()), wnp.pairs.iter().map(|p| (p.a, p.b)).collect());
+        record(
+            &format!("WNP/{}", scheme.name()),
+            wnp.pairs.iter().map(|p| (p.a, p.b)).collect(),
+        );
     }
     let bl = blast::blast(&graph, blast::DEFAULT_RATIO);
     record("BLAST(chi2)", bl.pairs.iter().map(|p| (p.a, p.b)).collect());
@@ -128,7 +138,10 @@ pub fn exp10_metablocking_extensions(scale: usize, seed: u64) -> String {
     );
     let model = Perceptron::train(&train, 15);
     let sup = supervised::supervised_prune(&graph, &model);
-    record("supervised(50/class)", sup.pairs.iter().map(|p| (p.a, p.b)).collect());
+    record(
+        "supervised(50/class)",
+        sup.pairs.iter().map(|p| (p.a, p.b)).collect(),
+    );
 
     format!("{table}")
 }
@@ -141,14 +154,16 @@ pub fn exp10_metablocking_extensions(scale: usize, seed: u64) -> String {
 pub fn exp11_incremental(scale: usize, seed: u64) -> String {
     let world = generate(&profiles::center_dense(scale, seed));
     let matcher = Matcher::new(&world.dataset, MatcherConfig::default());
-    let mut table =
-        Table::new(vec!["arrival order", "comparisons", "precision", "recall", "clusters"]);
+    let mut table = Table::new(vec![
+        "arrival order",
+        "comparisons",
+        "precision",
+        "recall",
+        "clusters",
+    ]);
     for order in ArrivalOrder::all(seed) {
-        let mut resolver = IncrementalResolver::new(
-            &world.dataset,
-            &matcher,
-            IncrementalConfig::default(),
-        );
+        let mut resolver =
+            IncrementalResolver::new(&world.dataset, &matcher, IncrementalConfig::default());
         resolver.arrive_all(order.order(&world.dataset, &world.truth));
         let pairs: Vec<_> = resolver.matches().iter().map(|&(a, b, _)| (a, b)).collect();
         let q = metrics::match_quality(&world.truth, &pairs);
@@ -203,7 +218,11 @@ pub fn exp12_oracle_bounds(scale: usize, seed: u64) -> String {
     }
     let input_order = oracle::oracle_trace(&arbitrary, |a, b| truth.is_match(a, b), u64::MAX);
     let mut by_weight = pairs.clone();
-    by_weight.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite").then((x.0, x.1).cmp(&(y.0, y.1))));
+    by_weight.sort_by(|x, y| {
+        y.2.partial_cmp(&x.2)
+            .expect("finite")
+            .then((x.0, x.1).cmp(&(y.0, y.1)))
+    });
     let weight_order = oracle::oracle_trace(&by_weight, |a, b| truth.is_match(a, b), u64::MAX);
 
     // The real progressive engine (matcher decisions, not oracle).
@@ -275,11 +294,23 @@ pub fn exp13_composite_rules(scale: usize, seed: u64) -> String {
         let res = CompositeResolver::new(&world.dataset, &matcher, CompositeConfig::default())
             .run(&pairs);
         let mut table = Table::new(vec!["rule", "matches", "precision"]);
-        for rule in [Rule::NameReciprocity, Rule::ValueReciprocity, Rule::RankAggregation] {
+        for rule in [
+            Rule::NameReciprocity,
+            Rule::ValueReciprocity,
+            Rule::RankAggregation,
+        ] {
             let ms: Vec<_> = res.by_rule(rule).collect();
             let tp = ms.iter().filter(|m| world.truth.is_match(m.a, m.b)).count();
-            let precision = if ms.is_empty() { 0.0 } else { tp as f64 / ms.len() as f64 };
-            table.row(vec![rule.name().to_string(), ms.len().to_string(), fmt3(precision)]);
+            let precision = if ms.is_empty() {
+                0.0
+            } else {
+                tp as f64 / ms.len() as f64
+            };
+            table.row(vec![
+                rule.name().to_string(),
+                ms.len().to_string(),
+                fmt3(precision),
+            ]);
         }
         let all: Vec<_> = res.matches.iter().map(|m| (m.a, m.b)).collect();
         let q = metrics::match_quality(&world.truth, &all);
@@ -311,7 +342,6 @@ pub fn exp13_composite_rules(scale: usize, seed: u64) -> String {
     out
 }
 
-
 /// E14 — clustering algorithms over the same match set (Table).
 ///
 /// Claim exercised: transitive closure over-merges as matcher precision
@@ -320,7 +350,10 @@ pub fn exp13_composite_rules(scale: usize, seed: u64) -> String {
 pub fn exp14_clustering(scale: usize, seed: u64) -> String {
     use minoan_er::clustering::ClusteringAlgorithm;
     let mut out = String::new();
-    for (label, threshold) in [("precise matcher (t=0.55)", 0.55), ("noisy matcher (t=0.30)", 0.30)] {
+    for (label, threshold) in [
+        ("precise matcher (t=0.55)", 0.55),
+        ("noisy matcher (t=0.30)", 0.30),
+    ] {
         let world = generate(&profiles::center_dense(scale, seed));
         let pairs = super::experiments::candidate_pairs_public(&world, ErMode::CleanClean);
         let mut mconfig = MatcherConfig::default();
@@ -339,8 +372,13 @@ pub fn exp14_clustering(scale: usize, seed: u64) -> String {
             .filter(|c| c.len() >= 2)
             .map(|c| c.iter().map(|e| e.0).collect())
             .collect();
-        let mut table =
-            Table::new(vec!["algorithm", "clusters", "pairwise F1", "b-cubed F1", "VI"]);
+        let mut table = Table::new(vec![
+            "algorithm",
+            "clusters",
+            "pairwise F1",
+            "b-cubed F1",
+            "VI",
+        ]);
         for alg in ClusteringAlgorithm::ALL {
             let clusters = alg.run(world.dataset.len(), &res.matches, |e| {
                 world.dataset.kb_of(e).0
@@ -354,7 +392,11 @@ pub fn exp14_clustering(scale: usize, seed: u64) -> String {
                 fmt3(q.vi),
             ]);
         }
-        let _ = writeln!(out, "{label}, {} accepted matches\n{table}", res.matches.len());
+        let _ = writeln!(
+            out,
+            "{label}, {} accepted matches\n{table}",
+            res.matches.len()
+        );
     }
     out
 }
@@ -431,7 +473,10 @@ pub fn exp15_fault_tolerance(scale: usize, seed: u64) -> String {
         ),
         (
             "failures + stragglers + speculation",
-            FaultConfig { seed, ..Default::default() },
+            FaultConfig {
+                seed,
+                ..Default::default()
+            },
         ),
     ];
     for (name, cfg) in scenarios {
@@ -444,9 +489,12 @@ pub fn exp15_fault_tolerance(scale: usize, seed: u64) -> String {
             format!("{} ({})", sim.speculative_attempts, sim.speculative_wins),
         ]);
     }
-    format!("map tasks: {} | fault-free reference: {:.2} ms\n{table}", tasks.len(), clean as f64 / 1e6)
+    format!(
+        "map tasks: {} | fault-free reference: {:.2} ms\n{table}",
+        tasks.len(),
+        clean as f64 / 1e6
+    )
 }
-
 
 /// E16 — variance across worlds: bootstrap confidence intervals (Table).
 ///
@@ -457,7 +505,10 @@ pub fn exp15_fault_tolerance(scale: usize, seed: u64) -> String {
 pub fn exp16_variance(scale: usize, seed: u64) -> String {
     use minoan_eval::{mean_interval, progressive_curves, recall_auc};
     let strategies: Vec<(&str, Strategy)> = vec![
-        ("progressive", Strategy::Progressive(BenefitModel::PairQuantity)),
+        (
+            "progressive",
+            Strategy::Progressive(BenefitModel::PairQuantity),
+        ),
         ("static-best-first", Strategy::StaticBestFirst),
         ("random", Strategy::Random { seed }),
     ];
@@ -472,7 +523,11 @@ pub fn exp16_variance(scale: usize, seed: u64) -> String {
             let res = ProgressiveResolver::new(
                 &world.dataset,
                 Matcher::new(&world.dataset, MatcherConfig::default()),
-                ResolverConfig { strategy: *strategy, budget, ..Default::default() },
+                ResolverConfig {
+                    strategy: *strategy,
+                    budget,
+                    ..Default::default()
+                },
             )
             .run(&pairs);
             let curves = progressive_curves(&world.dataset, &world.truth, &res.trace, 20);
@@ -494,7 +549,6 @@ pub fn exp16_variance(scale: usize, seed: u64) -> String {
     )
 }
 
-
 /// E17 — corruption models vs blocker families (Table).
 ///
 /// Claim exercised: which blocker survives which *kind* of value noise.
@@ -509,15 +563,19 @@ pub fn exp17_corruption(scale: usize, seed: u64) -> String {
         ("qgrams(3)", Method::QGrams(3)),
         ("adaptive-snm", Method::AdaptiveSortedNeighborhood(4, 32)),
     ];
-    let mut table = Table::new(vec!["corruption", "token PC", "qgrams PC", "adaptive-snm PC"]);
+    let mut table = Table::new(vec![
+        "corruption",
+        "token PC",
+        "qgrams PC",
+        "adaptive-snm PC",
+    ]);
     for model in CorruptionModel::ALL {
         let world = generate(&profiles::typo_noisy_with(scale, seed, model));
         let mut row = vec![model.name().to_string()];
         for (_, method) in &methods {
             let raw = method.run(&world.dataset, ErMode::CleanClean);
-            let blocks = minoan_blocking::filter::filter(
-                &minoan_blocking::purge::purge(&raw).collection,
-            );
+            let blocks =
+                minoan_blocking::filter::filter(&minoan_blocking::purge::purge(&raw).collection);
             let (pc, _) = pair_quality(&world, &blocks.distinct_pairs());
             row.push(fmt3(pc));
         }
@@ -551,8 +609,13 @@ mod tests {
     #[test]
     fn exp11_covers_all_orders_plus_reference() {
         let r = exp11_incremental(SCALE, 3);
-        for o in ["kb-sequential", "round-robin", "shuffled", "clustered-bursts", "batch reference"]
-        {
+        for o in [
+            "kb-sequential",
+            "round-robin",
+            "shuffled",
+            "clustered-bursts",
+            "batch reference",
+        ] {
             assert!(r.contains(o), "missing {o} in\n{r}");
         }
     }

@@ -128,7 +128,9 @@ pub fn attribute_clustering_blocking(
         let d = dataset.description(e);
         let mut keys: Vec<String> = Vec::new();
         for (p, v) in &d.attributes {
-            let Some(&cluster) = cluster_of.get(&(kb, p.0)) else { continue };
+            let Some(&cluster) = cluster_of.get(&(kb, p.0)) else {
+                continue;
+            };
             let toks = match v {
                 Value::Literal(s) => tokenize::value_tokens(s).collect::<Vec<_>>(),
                 Value::Resource(u) => tokenize::uri_infix_tokens(u),
@@ -165,9 +167,19 @@ mod tests {
         let mut b = DatasetBuilder::new();
         let k0 = b.add_kb("a", "http://a/r/");
         let k1 = b.add_kb("b", "http://b/r/");
-        b.add_literal(k0, "http://a/r/Knossos_Palace", "http://a/o/label", "Knossos palace Crete");
+        b.add_literal(
+            k0,
+            "http://a/r/Knossos_Palace",
+            "http://a/o/label",
+            "Knossos palace Crete",
+        );
         b.add_literal(k0, "http://a/r/Athens", "http://a/o/label", "Athens Greece");
-        b.add_literal(k1, "http://b/r/Knossos", "http://b/o/name", "Knossos ruins Crete");
+        b.add_literal(
+            k1,
+            "http://b/r/Knossos",
+            "http://b/o/name",
+            "Knossos ruins Crete",
+        );
         b.add_literal(k1, "http://b/r/Sparta", "http://b/o/name", "Sparta Greece");
         b.build()
     }
@@ -176,7 +188,9 @@ mod tests {
     fn token_blocking_groups_by_common_tokens() {
         let ds = toy();
         let c = token_blocking(&ds, ErMode::CleanClean);
-        let keys: Vec<&str> = (0..c.len()).map(|i| c.key_str(crate::BlockId(i as u32))).collect();
+        let keys: Vec<&str> = (0..c.len())
+            .map(|i| c.key_str(crate::BlockId(i as u32)))
+            .collect();
         assert!(keys.contains(&"knossos"));
         assert!(keys.contains(&"crete"));
         assert!(keys.contains(&"greece"));
@@ -188,7 +202,9 @@ mod tests {
     fn uri_blocking_uses_infixes_only() {
         let ds = toy();
         let c = uri_infix_blocking(&ds, ErMode::CleanClean);
-        let keys: Vec<&str> = (0..c.len()).map(|i| c.key_str(crate::BlockId(i as u32))).collect();
+        let keys: Vec<&str> = (0..c.len())
+            .map(|i| c.key_str(crate::BlockId(i as u32)))
+            .collect();
         assert_eq!(keys, vec!["uri:knossos"]);
     }
 
@@ -213,7 +229,10 @@ mod tests {
             .filter(|&(a, b)| pairs.contains(&(a, b)))
             .count() as u64;
         let pc = found as f64 / g.truth.matching_pairs() as f64;
-        assert!(pc > 0.95, "token blocking PC on easy data should be ≈1, got {pc}");
+        assert!(
+            pc > 0.95,
+            "token blocking PC on easy data should be ≈1, got {pc}"
+        );
     }
 
     #[test]

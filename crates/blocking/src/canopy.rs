@@ -33,7 +33,11 @@ pub struct CanopyConfig {
 
 impl Default for CanopyConfig {
     fn default() -> Self {
-        Self { t1: 0.15, t2: 0.5, seed: 0xca40 }
+        Self {
+            t1: 0.15,
+            t2: 0.5,
+            seed: 0xca40,
+        }
     }
 }
 
@@ -43,7 +47,10 @@ impl Default for CanopyConfig {
 /// # Panics
 /// Panics unless `0 < t1 ≤ t2 ≤ 1`.
 pub fn canopy_blocking(dataset: &Dataset, mode: ErMode, config: CanopyConfig) -> BlockCollection {
-    assert!(config.t1 > 0.0 && config.t1 <= config.t2 && config.t2 <= 1.0, "need 0 < t1 ≤ t2 ≤ 1");
+    assert!(
+        config.t1 > 0.0 && config.t1 <= config.t2 && config.t2 <= 1.0,
+        "need 0 < t1 ≤ t2 ≤ 1"
+    );
     let n = dataset.len();
     // Token sets + inverted index (token → entities), tokens as dense ids.
     let mut token_ids: FxHashMap<String, u32> = FxHashMap::default();
@@ -127,9 +134,24 @@ mod tests {
         let k1 = b.add_kb("b", "http://b/");
         b.add_literal(k0, "http://a/0", "http://p/d", "red wine from crete greece");
         b.add_literal(k1, "http://b/1", "http://p/d", "red wine from crete hellas");
-        b.add_literal(k0, "http://a/2", "http://p/d", "blue bicycle with seven gears");
-        b.add_literal(k1, "http://b/3", "http://p/d", "bicycle blue having seven gears");
-        b.add_literal(k0, "http://a/4", "http://p/d", "totally unrelated text snippet");
+        b.add_literal(
+            k0,
+            "http://a/2",
+            "http://p/d",
+            "blue bicycle with seven gears",
+        );
+        b.add_literal(
+            k1,
+            "http://b/3",
+            "http://p/d",
+            "bicycle blue having seven gears",
+        );
+        b.add_literal(
+            k0,
+            "http://a/4",
+            "http://p/d",
+            "totally unrelated text snippet",
+        );
         b.build()
     }
 
@@ -138,8 +160,14 @@ mod tests {
         let ds = dataset();
         let blocks = canopy_blocking(&ds, ErMode::CleanClean, CanopyConfig::default());
         let pairs = blocks.distinct_pairs();
-        assert!(pairs.contains(&(EntityId(0), EntityId(1))), "wine pair: {pairs:?}");
-        assert!(pairs.contains(&(EntityId(2), EntityId(3))), "bicycle pair: {pairs:?}");
+        assert!(
+            pairs.contains(&(EntityId(0), EntityId(1))),
+            "wine pair: {pairs:?}"
+        );
+        assert!(
+            pairs.contains(&(EntityId(2), EntityId(3))),
+            "bicycle pair: {pairs:?}"
+        );
     }
 
     #[test]
@@ -147,7 +175,10 @@ mod tests {
         let ds = dataset();
         let blocks = canopy_blocking(&ds, ErMode::CleanClean, CanopyConfig::default());
         let pairs = blocks.distinct_pairs();
-        assert!(!pairs.contains(&(EntityId(0), EntityId(3))), "wine vs bicycle: {pairs:?}");
+        assert!(
+            !pairs.contains(&(EntityId(0), EntityId(3))),
+            "wine vs bicycle: {pairs:?}"
+        );
     }
 
     #[test]
@@ -158,13 +189,21 @@ mod tests {
         let tight = canopy_blocking(
             &ds,
             ErMode::Dirty,
-            CanopyConfig { t1: 0.2, t2: 0.2, seed: 7 },
+            CanopyConfig {
+                t1: 0.2,
+                t2: 0.2,
+                seed: 7,
+            },
         );
         // With t2 = 1.0 nothing is removed → every entity seeds a canopy.
         let loose = canopy_blocking(
             &ds,
             ErMode::Dirty,
-            CanopyConfig { t1: 0.2, t2: 1.0, seed: 7 },
+            CanopyConfig {
+                t1: 0.2,
+                t2: 1.0,
+                seed: 7,
+            },
         );
         assert!(tight.len() <= loose.len());
     }
@@ -180,7 +219,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "t1")]
     fn inverted_thresholds_rejected() {
-        canopy_blocking(&dataset(), ErMode::Dirty, CanopyConfig { t1: 0.9, t2: 0.2, seed: 0 });
+        canopy_blocking(
+            &dataset(),
+            ErMode::Dirty,
+            CanopyConfig {
+                t1: 0.9,
+                t2: 0.2,
+                seed: 0,
+            },
+        );
     }
 
     #[test]

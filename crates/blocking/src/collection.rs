@@ -101,7 +101,11 @@ impl BlockCollection {
                 continue;
             }
             let sym = keys.intern(&key);
-            blocks.push(Block { key: sym, entities: entities.into_boxed_slice(), comparisons });
+            blocks.push(Block {
+                key: sym,
+                entities: entities.into_boxed_slice(),
+                comparisons,
+            });
         }
         Self::assemble(mode, blocks, keys, kb_of)
     }
@@ -119,7 +123,11 @@ impl BlockCollection {
                 continue;
             }
             let sym = keys.intern(self.keys.resolve(old_key));
-            out.push(Block { key: sym, entities: entities.into_boxed_slice(), comparisons });
+            out.push(Block {
+                key: sym,
+                entities: entities.into_boxed_slice(),
+                comparisons,
+            });
         }
         Self::assemble(self.mode, out, keys, self.kb_of.clone())
     }
@@ -133,7 +141,14 @@ impl BlockCollection {
                 entity_blocks[e.index()].push(BlockId(i as u32));
             }
         }
-        Self { mode, blocks, keys, entity_blocks, kb_of, total_comparisons: total }
+        Self {
+            mode,
+            blocks,
+            keys,
+            entity_blocks,
+            kb_of,
+            total_comparisons: total,
+        }
     }
 
     /// ER mode the collection was built under.
@@ -233,6 +248,29 @@ impl BlockCollection {
                     .filter(move |&&y| self.comparable(x, y))
                     .map(move |&y| (id, x.min(y), x.max(y)))
             })
+        })
+    }
+
+    /// Iterates the comparable co-occurrences of a single entity: one
+    /// `(block, 1/‖block‖, other)` item per appearance of a comparable
+    /// co-member in a block containing `a`, in ascending block-id order.
+    ///
+    /// This is the node-centric dual of [`Self::pair_occurrences`]: summing
+    /// the items per `other` yields exactly the CBS/ARCS statistics of the
+    /// blocking-graph edges incident to `a`. Meta-blocking's streaming
+    /// path sweeps this per entity instead of materialising the edge set.
+    pub fn co_occurrences(
+        &self,
+        a: EntityId,
+    ) -> impl Iterator<Item = (BlockId, f64, EntityId)> + '_ {
+        self.entity_blocks(a).iter().flat_map(move |&bid| {
+            let b = self.block(bid);
+            let inv_card = 1.0 / (b.comparisons as f64).max(1.0);
+            b.entities
+                .iter()
+                .copied()
+                .filter(move |&y| self.comparable(a, y))
+                .map(move |y| (bid, inv_card, y))
         })
     }
 
@@ -394,7 +432,11 @@ mod tests {
     #[test]
     fn size_summary_handles_empty() {
         let ds = dataset();
-        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, Vec::<(String, Vec<EntityId>)>::new());
+        let c = BlockCollection::from_groups(
+            &ds,
+            ErMode::CleanClean,
+            Vec::<(String, Vec<EntityId>)>::new(),
+        );
         assert_eq!(c.size_summary(), (0, 0, 0));
         assert!(c.is_empty());
     }

@@ -26,7 +26,11 @@ pub fn union(dataset: &Dataset, mode: ErMode, inputs: &[&BlockCollection]) -> Bl
     let mut groups: Vec<(String, Vec<EntityId>)> = Vec::new();
     for (i, c) in inputs.iter().enumerate() {
         for (bi, b) in c.blocks().iter().enumerate() {
-            let key = format!("u{}:{}", i, c.key_str(crate::collection::BlockId(bi as u32)));
+            let key = format!(
+                "u{}:{}",
+                i,
+                c.key_str(crate::collection::BlockId(bi as u32))
+            );
             groups.push((key, b.entities.to_vec()));
         }
     }
@@ -123,7 +127,8 @@ pub struct WorkflowReport {
 
 impl WorkflowReport {
     fn record(&mut self, stage: impl Into<String>, c: &BlockCollection) {
-        self.stages.push((stage.into(), c.len(), c.total_comparisons()));
+        self.stages
+            .push((stage.into(), c.len(), c.total_comparisons()));
     }
 
     /// Comparisons after the final stage.
@@ -144,7 +149,11 @@ pub struct BlockingWorkflow {
 impl BlockingWorkflow {
     /// Starts a workflow with one method.
     pub fn new(method: Method) -> Self {
-        Self { methods: vec![method], purge: false, filter_ratio: None }
+        Self {
+            methods: vec![method],
+            purge: false,
+            filter_ratio: None,
+        }
     }
 
     /// Adds a method; its blocks are unioned with the previous ones.

@@ -16,7 +16,10 @@ pub const DEFAULT_RATIO: f64 = 0.8;
 /// Applies block filtering with `ratio` ∈ (0, 1]; each entity keeps
 /// `ceil(ratio × |blocks(e)|)` of its smallest blocks.
 pub fn filter_with(collection: &BlockCollection, ratio: f64) -> BlockCollection {
-    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0,1], got {ratio}");
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "ratio must be in (0,1], got {ratio}"
+    );
     let mut retained: FxHashMap<u32, Vec<EntityId>> = FxHashMap::default();
     for e in 0..collection.num_entities() as u32 {
         let e = EntityId(e);

@@ -27,7 +27,11 @@ pub struct LshConfig {
 
 impl Default for LshConfig {
     fn default() -> Self {
-        Self { bands: 8, rows: 4, seed: 0x15a4 }
+        Self {
+            bands: 8,
+            rows: 4,
+            seed: 0x15a4,
+        }
     }
 }
 
@@ -61,7 +65,10 @@ pub fn minhash_lsh_blocking(dataset: &Dataset, mode: ErMode, config: LshConfig) 
                 bytes.extend_from_slice(&v.to_le_bytes());
             }
             let bucket = fx_hash_bytes(&bytes);
-            groups.entry(format!("lsh:{band}:{bucket:016x}")).or_default().push(e);
+            groups
+                .entry(format!("lsh:{band}:{bucket:016x}"))
+                .or_default()
+                .push(e);
         }
     }
     BlockCollection::from_groups(dataset, mode, groups)
@@ -90,10 +97,30 @@ mod tests {
         let mut b = DatasetBuilder::new();
         let k0 = b.add_kb("a", "http://a/");
         let k1 = b.add_kb("b", "http://b/");
-        b.add_literal(k0, "http://a/0", "http://p/d", "alpha beta gamma delta epsilon zeta");
-        b.add_literal(k1, "http://b/1", "http://p/d", "alpha beta gamma delta epsilon eta");
-        b.add_literal(k0, "http://a/2", "http://p/d", "one two three four five six");
-        b.add_literal(k1, "http://b/3", "http://p/d", "seven eight nine ten eleven twelve");
+        b.add_literal(
+            k0,
+            "http://a/0",
+            "http://p/d",
+            "alpha beta gamma delta epsilon zeta",
+        );
+        b.add_literal(
+            k1,
+            "http://b/1",
+            "http://p/d",
+            "alpha beta gamma delta epsilon eta",
+        );
+        b.add_literal(
+            k0,
+            "http://a/2",
+            "http://p/d",
+            "one two three four five six",
+        );
+        b.add_literal(
+            k1,
+            "http://b/3",
+            "http://p/d",
+            "seven eight nine ten eleven twelve",
+        );
         b.build()
     }
 
@@ -121,10 +148,18 @@ mod tests {
 
     #[test]
     fn threshold_formula() {
-        let c = LshConfig { bands: 16, rows: 4, seed: 0 };
+        let c = LshConfig {
+            bands: 16,
+            rows: 4,
+            seed: 0,
+        };
         assert!((c.threshold() - (1.0f64 / 16.0).powf(0.25)).abs() < 1e-12);
         // More bands → lower threshold (more permissive).
-        let permissive = LshConfig { bands: 32, rows: 4, seed: 0 };
+        let permissive = LshConfig {
+            bands: 32,
+            rows: 4,
+            seed: 0,
+        };
         assert!(permissive.threshold() < c.threshold());
     }
 
@@ -139,11 +174,16 @@ mod tests {
     #[test]
     fn different_seed_changes_buckets_not_semantics() {
         let ds = dataset();
-        let c1 = LshConfig { seed: 1, ..LshConfig::default() };
+        let c1 = LshConfig {
+            seed: 1,
+            ..LshConfig::default()
+        };
         let blocks = minhash_lsh_blocking(&ds, ErMode::CleanClean, c1);
         // The high-similarity pair should survive any seed with b=8, r=4
         // (collision probability ≈ 1 − (1 − s⁴)⁸ ≈ 0.97 for s ≈ 0.71).
-        assert!(blocks.distinct_pairs().contains(&(EntityId(0), EntityId(1))));
+        assert!(blocks
+            .distinct_pairs()
+            .contains(&(EntityId(0), EntityId(1))));
     }
 
     #[test]
@@ -155,6 +195,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "bands")]
     fn zero_bands_rejected() {
-        minhash_lsh_blocking(&dataset(), ErMode::Dirty, LshConfig { bands: 0, rows: 4, seed: 0 });
+        minhash_lsh_blocking(
+            &dataset(),
+            ErMode::Dirty,
+            LshConfig {
+                bands: 0,
+                rows: 4,
+                seed: 0,
+            },
+        );
     }
 }

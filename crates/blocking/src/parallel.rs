@@ -97,7 +97,8 @@ mod tests {
         let g = generate(&profiles::center_dense(120, 2));
         let serial = token_blocking(&g.dataset, ErMode::CleanClean);
         for workers in [1, 4] {
-            let par = parallel_token_blocking(&g.dataset, ErMode::CleanClean, &Engine::new(workers));
+            let par =
+                parallel_token_blocking(&g.dataset, ErMode::CleanClean, &Engine::new(workers));
             assert_eq!(par.len(), serial.len());
             assert_eq!(par.total_comparisons(), serial.total_comparisons());
             for (a, b) in par.blocks().iter().zip(serial.blocks()) {
@@ -111,12 +112,8 @@ mod tests {
         let g = generate(&profiles::center_dense(80, 3));
         let serial = crate::qgrams::qgram_blocking(&g.dataset, ErMode::CleanClean, 3);
         for workers in [1, 4] {
-            let par = parallel_qgram_blocking(
-                &g.dataset,
-                ErMode::CleanClean,
-                3,
-                &Engine::new(workers),
-            );
+            let par =
+                parallel_qgram_blocking(&g.dataset, ErMode::CleanClean, 3, &Engine::new(workers));
             assert_eq!(par.len(), serial.len());
             assert_eq!(par.total_comparisons(), serial.total_comparisons());
         }

@@ -53,8 +53,10 @@ pub fn purge_with(collection: &BlockCollection, smoothing: f64) -> PurgeOutcome 
     }
 
     // Distinct cardinalities ascending, with cumulative CC and BC.
-    let mut sorted: Vec<(u64, u64)> =
-        blocks.iter().map(|b| (b.comparisons, b.len() as u64)).collect();
+    let mut sorted: Vec<(u64, u64)> = blocks
+        .iter()
+        .map(|b| (b.comparisons, b.len() as u64))
+        .collect();
     sorted.sort_unstable();
     let mut levels: Vec<(u64, u64, u64)> = Vec::new(); // (card, cum_cc, cum_bc)
     let (mut cc, mut bc) = (0u64, 0u64);
@@ -113,7 +115,10 @@ mod tests {
         let g = generate(&profiles::center_dense(300, 3));
         let c = token_blocking(&g.dataset, ErMode::CleanClean);
         let out = purge(&c);
-        assert!(out.purged_blocks > 0, "expected oversized blocks to be purged");
+        assert!(
+            out.purged_blocks > 0,
+            "expected oversized blocks to be purged"
+        );
         assert!(out.collection.total_comparisons() < c.total_comparisons());
         assert!(out.max_comparisons_per_block < u64::MAX);
         // Purging must not remove entities wholesale: most remain placed.

@@ -63,7 +63,10 @@ pub fn extended_qgram_blocking(
     threshold: f64,
 ) -> BlockCollection {
     assert!(q > 0, "q must be positive");
-    assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0, 1]");
+    assert!(
+        threshold > 0.0 && threshold <= 1.0,
+        "threshold must be in (0, 1]"
+    );
     let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
     for e in dataset.entities() {
         let mut keys: FxHashSet<String> = FxHashSet::default();
@@ -169,7 +172,10 @@ mod tests {
             pairs.contains(&(EntityId(0), EntityId(1))),
             "heraklion/heraklio share q-grams: {pairs:?}"
         );
-        assert!(!pairs.contains(&(EntityId(2), EntityId(3))), "qqqq and wwww share nothing");
+        assert!(
+            !pairs.contains(&(EntityId(2), EntityId(3))),
+            "qqqq and wwww share nothing"
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ pub fn block_utility(comparisons: u64) -> f64 {
 pub fn scheduled_pairs(collection: &BlockCollection) -> Vec<(EntityId, EntityId, f64)> {
     let mut order: Vec<usize> = (0..collection.len()).collect();
     order.sort_by(|&x, &y| {
-        let (bx, by) = (collection.blocks()[x].comparisons, collection.blocks()[y].comparisons);
+        let (bx, by) = (
+            collection.blocks()[x].comparisons,
+            collection.blocks()[y].comparisons,
+        );
         bx.cmp(&by).then(x.cmp(&y))
     });
     let mut seen: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
@@ -102,8 +105,7 @@ mod tests {
         let stream = scheduled_pairs(&c);
         let stream_set: std::collections::HashSet<_> =
             stream.iter().map(|&(a, b, _)| (a, b)).collect();
-        let distinct: std::collections::HashSet<_> =
-            c.distinct_pairs().into_iter().collect();
+        let distinct: std::collections::HashSet<_> = c.distinct_pairs().into_iter().collect();
         assert_eq!(stream_set, distinct);
         assert_eq!(stream.len(), distinct.len(), "no pair emitted twice");
     }
@@ -117,7 +119,9 @@ mod tests {
         let stream = scheduled_pairs(&c);
         let half = stream.len() / 2;
         let hits = |part: &[(EntityId, EntityId, f64)]| {
-            part.iter().filter(|&&(a, b, _)| g.truth.is_match(a, b)).count()
+            part.iter()
+                .filter(|&&(a, b, _)| g.truth.is_match(a, b))
+                .count()
         };
         let early = hits(&stream[..half]);
         let late = hits(&stream[half..]);

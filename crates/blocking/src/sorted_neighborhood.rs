@@ -52,7 +52,10 @@ pub fn sorted_neighborhood(dataset: &Dataset, mode: ErMode, window: usize) -> Bl
             groups.push((format!("snw:{i:08}"), members));
         }
     } else if !pairs.is_empty() {
-        groups.push(("snw:00000000".to_string(), pairs.iter().map(|(_, e)| *e).collect()));
+        groups.push((
+            "snw:00000000".to_string(),
+            pairs.iter().map(|(_, e)| *e).collect(),
+        ));
     }
     BlockCollection::from_groups(dataset, mode, groups)
 }

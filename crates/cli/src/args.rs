@@ -40,11 +40,16 @@ impl Args {
             .cloned()
             .ok_or_else(|| ArgError("missing command; try `minoan help`".into()))?;
         if out.command.starts_with("--") {
-            return Err(ArgError(format!("expected a command, got option {}", out.command)));
+            return Err(ArgError(format!(
+                "expected a command, got option {}",
+                out.command
+            )));
         }
         while let Some(token) = it.next() {
             let Some(name) = token.strip_prefix("--") else {
-                return Err(ArgError(format!("unexpected positional argument {token:?}")));
+                return Err(ArgError(format!(
+                    "unexpected positional argument {token:?}"
+                )));
             };
             if name.is_empty() {
                 return Err(ArgError("bare `--` is not supported".into()));
@@ -57,16 +62,24 @@ impl Args {
                 .next()
                 .ok_or_else(|| ArgError(format!("option --{name} requires a value")))?;
             if value.starts_with("--") {
-                return Err(ArgError(format!("option --{name} requires a value, got {value}")));
+                return Err(ArgError(format!(
+                    "option --{name} requires a value, got {value}"
+                )));
             }
-            out.options.entry(name.to_string()).or_default().push(value.clone());
+            out.options
+                .entry(name.to_string())
+                .or_default()
+                .push(value.clone());
         }
         Ok(out)
     }
 
     /// Single-valued option.
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.options.get(key).and_then(|v| v.last()).map(|s| s.as_str())
+        self.options
+            .get(key)
+            .and_then(|v| v.last())
+            .map(|s| s.as_str())
     }
 
     /// All values of a repeatable option.
@@ -81,7 +94,8 @@ impl Args {
 
     /// Required option with a helpful error.
     pub fn require(&self, key: &str) -> Result<&str, ArgError> {
-        self.get(key).ok_or_else(|| ArgError(format!("missing required option --{key}")))
+        self.get(key)
+            .ok_or_else(|| ArgError(format!("missing required option --{key}")))
     }
 
     /// Parses an option as `T`, with a default.
@@ -105,10 +119,16 @@ mod tests {
 
     #[test]
     fn parses_command_options_and_flags() {
-        let a = Args::parse(&argv("resolve --input a.nt --input b.nt --budget 100 --verbose"),
-                            &["verbose"]).unwrap();
+        let a = Args::parse(
+            &argv("resolve --input a.nt --input b.nt --budget 100 --verbose"),
+            &["verbose"],
+        )
+        .unwrap();
         assert_eq!(a.command, "resolve");
-        assert_eq!(a.get_all("input"), &["a.nt".to_string(), "b.nt".to_string()]);
+        assert_eq!(
+            a.get_all("input"),
+            &["a.nt".to_string(), "b.nt".to_string()]
+        );
         assert_eq!(a.get("budget"), Some("100"));
         assert!(a.flag("verbose"));
         assert!(!a.flag("quiet"));

@@ -7,8 +7,8 @@
 use crate::args::{ArgError, Args};
 use minoan_blocking::{CanopyConfig, ErMode, LshConfig};
 use minoan_datagen::{generate, profiles, ArrivalOrder, WorldConfig};
-use minoan_er::pipeline::{BlockingMethod, Pipeline, PipelineConfig};
 use minoan_er::clustering::ClusteringAlgorithm;
+use minoan_er::pipeline::{BlockingMethod, Pipeline, PipelineConfig};
 use minoan_er::{
     BenefitModel, IncrementalConfig, IncrementalResolver, Matcher, MatcherConfig, ResolverConfig,
     Strategy,
@@ -57,7 +57,9 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "resolve" => cmd_resolve(&args),
         "eval" => cmd_eval(&args),
         "stream" => cmd_stream(&args),
-        other => Err(CliError(format!("unknown command {other:?}; try `minoan help`"))),
+        other => Err(CliError(format!(
+            "unknown command {other:?}; try `minoan help`"
+        ))),
     }
 }
 
@@ -75,11 +77,12 @@ COMMANDS
   inspect   --snapshot FILE.mnstore
             Print statistics of a snapshot.
   resolve   --input FILE.nt --input FILE.nt [--strategy S] [--budget N]
-            [--blocking B] [--show K] [--no-purge] [--dirty]
+            [--blocking B] [--backend materialized|streaming] [--show K]
+            [--no-purge] [--dirty]
             Run the full pipeline over N-Triples/Turtle KBs and print
             matches.
   eval      --profile P --entities N --seed S [--strategy S] [--budget N]
-            [--clustering A]
+            [--backend materialized|streaming] [--clustering A]
             Generate a world, resolve it, and score against ground truth;
             with --clustering also report cluster-level quality.
   stream    --profile P --entities N --seed S [--order O] [--arrival-budget N]
@@ -194,7 +197,9 @@ fn cmd_stats(args: &Args) -> Result<String, CliError> {
 fn cmd_snapshot(args: &Args) -> Result<String, CliError> {
     let store = load_store(args.get_all("input"))?;
     let out = args.require("out")?;
-    store.save(out).map_err(|e| CliError(format!("cannot write snapshot: {e}")))?;
+    store
+        .save(out)
+        .map_err(|e| CliError(format!("cannot write snapshot: {e}")))?;
     Ok(format!(
         "snapshot {} written: {} triples, {} terms, {} graphs\n",
         out,
@@ -217,7 +222,9 @@ fn blocking_by_name(name: &str) -> Result<BlockingMethod, CliError> {
         "token" => BlockingMethod::Token,
         "uri-infix" => BlockingMethod::UriInfix,
         "token+uri" => BlockingMethod::TokenAndUri,
-        "attr-clustering" => BlockingMethod::AttributeClustering { link_threshold: 0.3 },
+        "attr-clustering" => BlockingMethod::AttributeClustering {
+            link_threshold: 0.3,
+        },
         "qgrams" => BlockingMethod::Custom(Method::QGrams(3)),
         "sorted-neighborhood" => BlockingMethod::Custom(Method::SortedNeighborhood(6)),
         "minhash-lsh" => BlockingMethod::Custom(Method::MinHashLsh(LshConfig::default())),
@@ -239,6 +246,10 @@ fn pipeline_config(args: &Args) -> Result<PipelineConfig, CliError> {
     }
     if let Some(s) = args.get("strategy") {
         config.resolver.strategy = strategy_by_name(s)?;
+    }
+    if let Some(b) = args.get("backend") {
+        config.backend = minoan_metablocking::GraphBackend::parse(b)
+            .ok_or_else(|| CliError(format!("unknown backend {b:?} (materialized | streaming)")))?;
     }
     config.resolver.budget = args.get_parsed("budget", u64::MAX)?;
     config.matcher.threshold = args.get_parsed("threshold", config.matcher.threshold)?;
@@ -265,7 +276,13 @@ fn cmd_resolve(args: &Args) -> Result<String, CliError> {
         out.resolution.discovered_candidates,
     );
     for (a, b, score) in out.resolution.matches.iter().take(show) {
-        let _ = writeln!(report, "  {:.3}  {}  ≡  {}", score, dataset.uri(*a), dataset.uri(*b));
+        let _ = writeln!(
+            report,
+            "  {:.3}  {}  ≡  {}",
+            score,
+            dataset.uri(*a),
+            dataset.uri(*b)
+        );
     }
     if out.resolution.matches.len() > show {
         let _ = writeln!(report, "  … {} more", out.resolution.matches.len() - show);
@@ -415,7 +432,7 @@ mod tests {
             .unwrap()
             .filter_map(|e| {
                 let p = e.unwrap().path();
-                (p.extension().map_or(false, |x| x == "nt")).then(|| p.display().to_string())
+                (p.extension().is_some_and(|x| x == "nt")).then(|| p.display().to_string())
             })
             .collect();
         nts.sort();
@@ -444,7 +461,7 @@ mod tests {
             .unwrap()
             .filter_map(|e| {
                 let p = e.unwrap().path();
-                (p.extension().map_or(false, |x| x == "nt")).then(|| p.display().to_string())
+                (p.extension().is_some_and(|x| x == "nt")).then(|| p.display().to_string())
             })
             .collect();
         let snap = dir.join("world.mnstore");
@@ -471,9 +488,10 @@ mod tests {
     #[test]
     fn eval_with_each_strategy() {
         for s in ["batch", "random", "static", "progressive:coverage"] {
-            let out =
-                run_str(&format!("eval --profile center --entities 100 --seed 9 --strategy {s}"))
-                    .unwrap();
+            let out = run_str(&format!(
+                "eval --profile center --entities 100 --seed 9 --strategy {s}"
+            ))
+            .unwrap();
             assert!(out.contains("recall"), "{s}: {out}");
         }
         assert!(run_str("eval --profile center --strategy bogus").is_err());
@@ -505,7 +523,12 @@ mod tests {
 
     #[test]
     fn eval_with_clustering_reports_cluster_quality() {
-        for alg in ["connected-components", "center", "merge-center", "unique-mapping"] {
+        for alg in [
+            "connected-components",
+            "center",
+            "merge-center",
+            "unique-mapping",
+        ] {
             let out = run_str(&format!(
                 "eval --profile center --entities 100 --seed 13 --clustering {alg}"
             ))

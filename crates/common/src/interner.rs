@@ -59,7 +59,8 @@ impl Interner {
             return sym;
         }
         let sym = Symbol(
-            u32::try_from(self.strings.len()).expect("interner overflow: more than u32::MAX strings"),
+            u32::try_from(self.strings.len())
+                .expect("interner overflow: more than u32::MAX strings"),
         );
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
@@ -101,7 +102,9 @@ impl Interner {
 
 impl fmt::Debug for Interner {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Interner").field("len", &self.len()).finish()
+        f.debug_struct("Interner")
+            .field("len", &self.len())
+            .finish()
     }
 }
 

@@ -19,7 +19,9 @@ impl PartialOrd for OrdF64 {
 
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).expect("NaN in OrdF64 comparison")
+        self.0
+            .partial_cmp(&other.0)
+            .expect("NaN in OrdF64 comparison")
     }
 }
 

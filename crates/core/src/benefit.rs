@@ -242,7 +242,12 @@ mod tests {
             for i in 0..3 {
                 b.add_literal(kb, &format!("{pre}/{i}"), &format!("{pre}/o/p{i}"), "v");
             }
-            b.add_resource(kb, &format!("{pre}/0"), &format!("{pre}/o/rel"), &format!("{pre}/1"));
+            b.add_resource(
+                kb,
+                &format!("{pre}/0"),
+                &format!("{pre}/o/rel"),
+                &format!("{pre}/1"),
+            );
         }
         b.build()
     }
@@ -304,14 +309,20 @@ mod tests {
         state.record_match(EntityId(1), EntityId(4));
         let after = BenefitModel::RelationshipCompleteness.score(&state, &c);
         assert!(after > before, "resolved neighbour link must raise benefit");
-        assert!((after - 1.0).abs() < 1e-12, "all neighbour pairs resolved → factor 1");
+        assert!(
+            (after - 1.0).abs() < 1e-12,
+            "all neighbour pairs resolved → factor 1"
+        );
     }
 
     #[test]
     fn no_neighbors_means_zero_fraction() {
         let ds = dataset();
         let state = ResolutionState::new(&ds);
-        assert_eq!(state.resolved_neighbor_fraction(EntityId(2), EntityId(5)), 0.0);
+        assert_eq!(
+            state.resolved_neighbor_fraction(EntityId(2), EntityId(5)),
+            0.0
+        );
     }
 
     #[test]
@@ -347,7 +358,12 @@ mod tests {
         let names: Vec<_> = BenefitModel::ALL.iter().map(|m| m.name()).collect();
         assert_eq!(
             names,
-            vec!["pair-quantity", "attr-completeness", "entity-coverage", "rel-completeness"]
+            vec![
+                "pair-quantity",
+                "attr-completeness",
+                "entity-coverage",
+                "rel-completeness"
+            ]
         );
     }
 }

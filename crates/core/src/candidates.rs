@@ -71,7 +71,11 @@ impl CandidatePool {
         let max_w = pairs.iter().map(|p| p.2).fold(0.0f64, f64::max);
         let mut pool = Self::new();
         for &(a, b, w) in pairs {
-            let prior = if max_w > 0.0 { (w / max_w).clamp(0.0, 1.0) } else { 0.0 };
+            let prior = if max_w > 0.0 {
+                (w / max_w).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             pool.insert(a, b, prior);
         }
         pool

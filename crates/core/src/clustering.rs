@@ -312,7 +312,12 @@ mod tests {
         let names: Vec<_> = ClusteringAlgorithm::ALL.iter().map(|a| a.name()).collect();
         assert_eq!(
             names,
-            vec!["connected-components", "center", "merge-center", "unique-mapping"]
+            vec![
+                "connected-components",
+                "center",
+                "merge-center",
+                "unique-mapping"
+            ]
         );
     }
 }

@@ -103,8 +103,15 @@ impl<'d> ProgressiveResolver<'d> {
     /// dataset.
     pub fn new(dataset: &'d Dataset, matcher: Matcher, config: ResolverConfig) -> Self {
         assert!(config.alpha >= 0.0, "alpha must be non-negative");
-        assert!(config.recompare_margin >= 0.0, "margin must be non-negative");
-        Self { dataset, matcher, config }
+        assert!(
+            config.recompare_margin >= 0.0,
+            "margin must be non-negative"
+        );
+        Self {
+            dataset,
+            matcher,
+            config,
+        }
     }
 
     /// The active configuration.
@@ -178,7 +185,11 @@ impl<'d> ProgressiveResolver<'d> {
     }
 
     /// The full progressive loop.
-    fn run_progressive(&self, pairs: &[(EntityId, EntityId, f64)], model: BenefitModel) -> Resolution {
+    fn run_progressive(
+        &self,
+        pairs: &[(EntityId, EntityId, f64)],
+        model: BenefitModel,
+    ) -> Resolution {
         let mut pool = CandidatePool::from_weighted_pairs(pairs);
         let mut state = ResolutionState::new(self.dataset);
         let mut scheduler = Scheduler::new();
@@ -249,9 +260,8 @@ impl<'d> ProgressiveResolver<'d> {
                 matches.push((a, b, score));
                 self.consume(&mut consumed, a, b);
                 if self.config.alpha > 0.0 {
-                    discovered += self.propagate(
-                        a, b, score, &mut pool, &mut scheduler, &state, model,
-                    );
+                    discovered +=
+                        self.propagate(a, b, score, &mut pool, &mut scheduler, &state, model);
                 }
             }
         }
@@ -364,7 +374,11 @@ mod tests {
             .iter()
             .filter(|(a, b, _)| g.truth.is_match(*a, *b))
             .count() as f64;
-        let precision = if res.matches.is_empty() { 0.0 } else { tp / res.matches.len() as f64 };
+        let precision = if res.matches.is_empty() {
+            0.0
+        } else {
+            tp / res.matches.len() as f64
+        };
         let recall = tp / g.truth.matching_pairs() as f64;
         (precision, recall)
     }
@@ -387,7 +401,10 @@ mod tests {
         for budget in [0u64, 10, 100] {
             let res = resolver(
                 &g,
-                ResolverConfig { budget, ..Default::default() },
+                ResolverConfig {
+                    budget,
+                    ..Default::default()
+                },
             )
             .run(&pairs);
             assert!(res.comparisons <= budget);
@@ -415,12 +432,19 @@ mod tests {
         let budget = (pairs.len() / 5) as u64; // 20% of the work
         let prog = resolver(
             &g,
-            ResolverConfig { budget, ..Default::default() },
+            ResolverConfig {
+                budget,
+                ..Default::default()
+            },
         )
         .run(&pairs);
         let rand = resolver(
             &g,
-            ResolverConfig { budget, strategy: Strategy::Random { seed: 5 }, ..Default::default() },
+            ResolverConfig {
+                budget,
+                strategy: Strategy::Random { seed: 5 },
+                ..Default::default()
+            },
         )
         .run(&pairs);
         assert!(
@@ -439,7 +463,14 @@ mod tests {
             strategy: Strategy::Progressive(BenefitModel::PairQuantity),
             ..Default::default()
         };
-        let without = resolver(&g, ResolverConfig { alpha: 0.0, ..base.clone() }).run(&pairs);
+        let without = resolver(
+            &g,
+            ResolverConfig {
+                alpha: 0.0,
+                ..base.clone()
+            },
+        )
+        .run(&pairs);
         let with = resolver(&g, ResolverConfig { alpha: 0.6, ..base }).run(&pairs);
         let (_, recall_without) = truth_quality(&g, &without);
         let (prec_with, recall_with) = truth_quality(&g, &with);
@@ -447,8 +478,14 @@ mod tests {
             recall_with > recall_without,
             "update phase must add recall on periphery data: {recall_with} vs {recall_without}"
         );
-        assert!(prec_with > 0.6, "propagation precision collapsed: {prec_with}");
-        assert!(with.discovered_candidates > 0, "no pairs discovered by propagation");
+        assert!(
+            prec_with > 0.6,
+            "propagation precision collapsed: {prec_with}"
+        );
+        assert!(
+            with.discovered_candidates > 0,
+            "no pairs discovered by propagation"
+        );
     }
 
     #[test]
@@ -457,13 +494,22 @@ mod tests {
         let pairs = candidates(&g, ErMode::CleanClean);
         let res = resolver(
             &g,
-            ResolverConfig { unique_mapping: true, ..Default::default() },
+            ResolverConfig {
+                unique_mapping: true,
+                ..Default::default()
+            },
         )
         .run(&pairs);
         let mut seen: std::collections::HashSet<(u32, u16)> = std::collections::HashSet::new();
         for (a, b, _) in &res.matches {
-            assert!(seen.insert((a.0, g.dataset.kb_of(*b).0)), "{a:?} matched twice into same KB");
-            assert!(seen.insert((b.0, g.dataset.kb_of(*a).0)), "{b:?} matched twice into same KB");
+            assert!(
+                seen.insert((a.0, g.dataset.kb_of(*b).0)),
+                "{a:?} matched twice into same KB"
+            );
+            assert!(
+                seen.insert((b.0, g.dataset.kb_of(*a).0)),
+                "{b:?} matched twice into same KB"
+            );
         }
     }
 
@@ -473,11 +519,17 @@ mod tests {
         let pairs = candidates(&g, ErMode::CleanClean);
         let res = resolver(
             &g,
-            ResolverConfig { strategy: Strategy::StaticBestFirst, ..Default::default() },
+            ResolverConfig {
+                strategy: Strategy::StaticBestFirst,
+                ..Default::default()
+            },
         )
         .run(&pairs);
         let benefits: Vec<f64> = res.trace.steps().iter().map(|s| s.benefit).collect();
-        assert!(benefits.windows(2).all(|w| w[0] >= w[1] - 1e-9), "not descending");
+        assert!(
+            benefits.windows(2).all(|w| w[0] >= w[1] - 1e-9),
+            "not descending"
+        );
     }
 
     #[test]
@@ -486,7 +538,11 @@ mod tests {
         let pairs = candidates(&g, ErMode::CleanClean);
         let res = resolver(
             &g,
-            ResolverConfig { strategy: Strategy::Batch, budget: 10, ..Default::default() },
+            ResolverConfig {
+                strategy: Strategy::Batch,
+                budget: 10,
+                ..Default::default()
+            },
         )
         .run(&pairs);
         for (step, (a, b, _)) in res.trace.steps().iter().zip(pairs.iter()) {
@@ -501,7 +557,10 @@ mod tests {
         for model in BenefitModel::ALL {
             let res = resolver(
                 &g,
-                ResolverConfig { strategy: Strategy::Progressive(model), ..Default::default() },
+                ResolverConfig {
+                    strategy: Strategy::Progressive(model),
+                    ..Default::default()
+                },
             )
             .run(&pairs);
             let (precision, _) = truth_quality(&g, &res);

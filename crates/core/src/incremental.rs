@@ -87,7 +87,10 @@ impl<'d> IncrementalResolver<'d> {
     /// Creates an empty resolver over a dataset and its matcher.
     pub fn new(dataset: &'d Dataset, matcher: &'d Matcher, config: IncrementalConfig) -> Self {
         assert!(config.alpha >= 0.0, "alpha must be non-negative");
-        assert!(config.max_candidates > 0, "need at least one candidate slot");
+        assert!(
+            config.max_candidates > 0,
+            "need at least one candidate slot"
+        );
         Self {
             dataset,
             matcher,
@@ -159,13 +162,14 @@ impl<'d> IncrementalResolver<'d> {
                 (other, cbs as f64 + boost * 100.0)
             })
             .collect();
-        candidates.sort_by(|x, y| {
-            y.1.partial_cmp(&x.1).expect("finite").then(x.0.cmp(&y.0))
-        });
+        candidates.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite").then(x.0.cmp(&y.0)));
         candidates.truncate(self.config.max_candidates);
 
         // --- Budgeted best-first matching --------------------------------
-        let mut report = ArrivalReport { candidates: candidates.len(), ..Default::default() };
+        let mut report = ArrivalReport {
+            candidates: candidates.len(),
+            ..Default::default()
+        };
         for &(other, _) in &candidates {
             if report.comparisons >= self.config.budget_per_arrival {
                 break;
@@ -176,7 +180,11 @@ impl<'d> IncrementalResolver<'d> {
             report.comparisons += 1;
             self.total_comparisons += 1;
             let value = self.matcher.value_similarity(e, other);
-            let boost = self.evidence.get(&pair_key(e, other)).copied().unwrap_or(0.0);
+            let boost = self
+                .evidence
+                .get(&pair_key(e, other))
+                .copied()
+                .unwrap_or(0.0);
             let score = self.matcher.composite(value, boost);
             if self.matcher.is_match(value, score) {
                 self.state.record_match(e, other);
@@ -288,16 +296,21 @@ mod tests {
         if matches.is_empty() {
             return (0.0, 0.0);
         }
-        let tp = matches.iter().filter(|(a, b, _)| g.truth.is_match(*a, *b)).count() as f64;
-        (tp / matches.len() as f64, tp / g.truth.matching_pairs() as f64)
+        let tp = matches
+            .iter()
+            .filter(|(a, b, _)| g.truth.is_match(*a, *b))
+            .count() as f64;
+        (
+            tp / matches.len() as f64,
+            tp / g.truth.matching_pairs() as f64,
+        )
     }
 
     #[test]
     fn streaming_resolution_reaches_batch_like_quality() {
         let g = world();
         let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
-        let mut inc =
-            IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        let mut inc = IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
         inc.arrive_all(g.dataset.entities());
         let (precision, recall) = quality(&g, inc.matches());
         assert!(precision > 0.9, "precision {precision}");
@@ -343,11 +356,18 @@ mod tests {
     fn budget_per_arrival_is_respected() {
         let g = world();
         let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
-        let config = IncrementalConfig { budget_per_arrival: 3, ..Default::default() };
+        let config = IncrementalConfig {
+            budget_per_arrival: 3,
+            ..Default::default()
+        };
         let mut inc = IncrementalResolver::new(&g.dataset, &matcher, config);
         for e in g.dataset.entities() {
             let r = inc.arrive(e);
-            assert!(r.comparisons <= 3, "arrival exceeded budget: {}", r.comparisons);
+            assert!(
+                r.comparisons <= 3,
+                "arrival exceeded budget: {}",
+                r.comparisons
+            );
         }
     }
 
@@ -359,8 +379,14 @@ mod tests {
         inc.arrive_all(g.dataset.entities());
         let mut seen: FxHashSet<(u32, u16)> = FxHashSet::default();
         for (a, b, _) in inc.matches() {
-            assert!(seen.insert((a.0, g.dataset.kb_of(*b).0)), "{a:?} double-matched");
-            assert!(seen.insert((b.0, g.dataset.kb_of(*a).0)), "{b:?} double-matched");
+            assert!(
+                seen.insert((a.0, g.dataset.kb_of(*b).0)),
+                "{a:?} double-matched"
+            );
+            assert!(
+                seen.insert((b.0, g.dataset.kb_of(*a).0)),
+                "{b:?} double-matched"
+            );
         }
     }
 
@@ -370,7 +396,10 @@ mod tests {
         let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
         // Frequency cap of 1: every shared token becomes a stop token after
         // its second carrier, so candidate counts collapse.
-        let strict = IncrementalConfig { max_token_frequency: 1, ..Default::default() };
+        let strict = IncrementalConfig {
+            max_token_frequency: 1,
+            ..Default::default()
+        };
         let mut inc_strict = IncrementalResolver::new(&g.dataset, &matcher, strict);
         let mut inc_default =
             IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());

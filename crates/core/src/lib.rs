@@ -54,11 +54,11 @@ pub mod trace;
 
 pub use benefit::BenefitModel;
 pub use candidates::{CandidateId, CandidatePool};
-pub use engine::{ProgressiveResolver, Resolution, ResolverConfig, Strategy};
-pub use matcher::{Matcher, MatcherConfig, ValueMeasure};
-pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};
 pub use clustering::ClusteringAlgorithm;
+pub use engine::{ProgressiveResolver, Resolution, ResolverConfig, Strategy};
 pub use incremental::{ArrivalReport, IncrementalConfig, IncrementalResolver};
+pub use matcher::{Matcher, MatcherConfig, ValueMeasure};
 pub use oracle::{oracle_trace, perfect_trace, schedule_efficiency};
+pub use pipeline::{Pipeline, PipelineConfig, PipelineOutput};
 pub use rules::{CompositeConfig, CompositeResolution, CompositeResolver, Rule, RuleMatch};
 pub use trace::{Trace, TraceStep};

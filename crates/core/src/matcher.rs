@@ -90,7 +90,12 @@ impl Matcher {
             names.push(dataset.name_values(e).first().map(|s| (*s).into()));
         }
         let idf = TfIdfWeights::build(interner.len(), tokens.iter());
-        Self { config, tokens, names, idf }
+        Self {
+            config,
+            tokens,
+            names,
+            idf,
+        }
     }
 
     /// The active configuration.
@@ -103,9 +108,7 @@ impl Matcher {
         let (ta, tb) = (&self.tokens[a.index()], &self.tokens[b.index()]);
         let tok_sim = match self.config.measure {
             ValueMeasure::Jaccard => token::jaccard(ta, tb),
-            ValueMeasure::WeightedJaccard => {
-                token::weighted_jaccard(ta, tb, |t| self.idf.idf(t))
-            }
+            ValueMeasure::WeightedJaccard => token::weighted_jaccard(ta, tb, |t| self.idf.idf(t)),
             ValueMeasure::TfIdfCosine => self.idf.cosine(ta, tb),
         };
         let name_sim = match (&self.names[a.index()], &self.names[b.index()]) {
@@ -115,9 +118,7 @@ impl Matcher {
             _ => None,
         };
         match name_sim {
-            Some(ns) => {
-                (1.0 - self.config.name_weight) * tok_sim + self.config.name_weight * ns
-            }
+            Some(ns) => (1.0 - self.config.name_weight) * tok_sim + self.config.name_weight * ns,
             None => tok_sim,
         }
     }
@@ -165,10 +166,30 @@ mod tests {
         let mut b = DatasetBuilder::new();
         let k0 = b.add_kb("a", "http://a/");
         let k1 = b.add_kb("b", "http://b/");
-        b.add_literal(k0, "http://a/knossos", "http://o/label", "Knossos Palace ruins");
-        b.add_literal(k0, "http://a/athens", "http://o/label", "Athens Acropolis ruins");
-        b.add_literal(k1, "http://b/knossos", "http://o/name", "Knossos Palace site");
-        b.add_literal(k1, "http://b/sparta", "http://o/name", "Ancient Sparta site");
+        b.add_literal(
+            k0,
+            "http://a/knossos",
+            "http://o/label",
+            "Knossos Palace ruins",
+        );
+        b.add_literal(
+            k0,
+            "http://a/athens",
+            "http://o/label",
+            "Athens Acropolis ruins",
+        );
+        b.add_literal(
+            k1,
+            "http://b/knossos",
+            "http://o/name",
+            "Knossos Palace site",
+        );
+        b.add_literal(
+            k1,
+            "http://b/sparta",
+            "http://o/name",
+            "Ancient Sparta site",
+        );
         b.build()
     }
 
@@ -186,8 +207,18 @@ mod tests {
     #[test]
     fn similarity_is_symmetric_and_bounded() {
         let ds = toy();
-        for measure in [ValueMeasure::Jaccard, ValueMeasure::WeightedJaccard, ValueMeasure::TfIdfCosine] {
-            let m = Matcher::new(&ds, MatcherConfig { measure, ..Default::default() });
+        for measure in [
+            ValueMeasure::Jaccard,
+            ValueMeasure::WeightedJaccard,
+            ValueMeasure::TfIdfCosine,
+        ] {
+            let m = Matcher::new(
+                &ds,
+                MatcherConfig {
+                    measure,
+                    ..Default::default()
+                },
+            );
             for a in ds.entities() {
                 for b in ds.entities() {
                     let s = m.value_similarity(a, b);
@@ -238,7 +269,10 @@ mod tests {
         }
         let tm = minoan_common::stats::mean(&truth_sims);
         let rm = minoan_common::stats::mean(&rand_sims);
-        assert!(tm > rm + 0.3, "separation too weak: true {tm:.3} vs random {rm:.3}");
+        assert!(
+            tm > rm + 0.3,
+            "separation too weak: true {tm:.3} vs random {rm:.3}"
+        );
     }
 
     #[test]
@@ -261,6 +295,12 @@ mod tests {
     #[should_panic(expected = "matcher weights")]
     fn invalid_config_panics() {
         let ds = toy();
-        let _ = Matcher::new(&ds, MatcherConfig { threshold: 1.5, ..Default::default() });
+        let _ = Matcher::new(
+            &ds,
+            MatcherConfig {
+                threshold: 1.5,
+                ..Default::default()
+            },
+        );
     }
 }

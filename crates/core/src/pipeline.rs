@@ -8,7 +8,7 @@
 use crate::engine::{ProgressiveResolver, Resolution, ResolverConfig};
 use crate::matcher::{Matcher, MatcherConfig};
 use minoan_blocking::{builders, filter, purge, BlockCollection, ErMode};
-use minoan_metablocking::{prune, BlockingGraph, WeightingScheme};
+use minoan_metablocking::{prune, streaming, BlockingGraph, GraphBackend, WeightingScheme};
 use minoan_rdf::{Dataset, EntityId};
 
 /// Which blocking-key extractor to use.
@@ -68,6 +68,11 @@ pub struct PipelineConfig {
     pub weighting: WeightingScheme,
     /// Meta-blocking pruning algorithm.
     pub pruning: PruningMethod,
+    /// Meta-blocking execution backend. [`GraphBackend::Streaming`] runs
+    /// the node-centric pruners (WNP, CNP) without materialising the
+    /// blocking graph; edge-centric methods (None, WEP, CEP) always build
+    /// the graph. Output is identical either way.
+    pub backend: GraphBackend,
     /// Matcher configuration.
     pub matcher: MatcherConfig,
     /// Progressive engine configuration.
@@ -85,6 +90,7 @@ impl Default for PipelineConfig {
             filter_ratio: Some(filter::DEFAULT_RATIO),
             weighting: WeightingScheme::Arcs,
             pruning: PruningMethod::Wnp { reciprocal: false },
+            backend: GraphBackend::Materialized,
             matcher: MatcherConfig::default(),
             resolver: ResolverConfig::default(),
         }
@@ -150,8 +156,32 @@ impl Pipeline {
 
     /// Runs meta-blocking, returning weighted candidates.
     pub fn meta_block(&self, blocks: &BlockCollection) -> Vec<(EntityId, EntityId, f64)> {
-        let graph = BlockingGraph::build(blocks);
         let scheme = self.config.weighting;
+        if self.config.backend == GraphBackend::Streaming {
+            // Node-centric pruners run on-the-fly, never materialising
+            // the edge set; edge-centric methods fall through to the
+            // graph build below.
+            match self.config.pruning {
+                PruningMethod::Wnp { reciprocal } => {
+                    let pruned = streaming::wnp(blocks, scheme, reciprocal);
+                    return pruned
+                        .pairs
+                        .into_iter()
+                        .map(|p| (p.a, p.b, p.weight))
+                        .collect();
+                }
+                PruningMethod::Cnp { reciprocal, k } => {
+                    let pruned = streaming::cnp(blocks, scheme, reciprocal, k);
+                    return pruned
+                        .pairs
+                        .into_iter()
+                        .map(|p| (p.a, p.b, p.weight))
+                        .collect();
+                }
+                PruningMethod::None | PruningMethod::Wep | PruningMethod::Cep(_) => {}
+            }
+        }
+        let graph = BlockingGraph::build(blocks);
         let pruned = match self.config.pruning {
             PruningMethod::None => {
                 return graph
@@ -165,7 +195,11 @@ impl Pipeline {
             PruningMethod::Wnp { reciprocal } => prune::wnp(&graph, scheme, reciprocal),
             PruningMethod::Cnp { reciprocal, k } => prune::cnp(&graph, scheme, reciprocal, k),
         };
-        pruned.pairs.into_iter().map(|p| (p.a, p.b, p.weight)).collect()
+        pruned
+            .pairs
+            .into_iter()
+            .map(|p| (p.a, p.b, p.weight))
+            .collect()
     }
 
     /// Runs the full pipeline on `dataset`.
@@ -199,7 +233,10 @@ mod tests {
         let g = generate(&profiles::center_dense(150, 41));
         let out = Pipeline::new(PipelineConfig::default()).run(&g.dataset);
         assert!(out.blocks_raw.0 > 0);
-        assert!(out.blocks_clean.1 <= out.blocks_raw.1, "cleaning must not add comparisons");
+        assert!(
+            out.blocks_clean.1 <= out.blocks_raw.1,
+            "cleaning must not add comparisons"
+        );
         assert!(out.candidates > 0);
         let tp = out
             .resolution
@@ -218,9 +255,14 @@ mod tests {
             BlockingMethod::Token,
             BlockingMethod::UriInfix,
             BlockingMethod::TokenAndUri,
-            BlockingMethod::AttributeClustering { link_threshold: 0.2 },
+            BlockingMethod::AttributeClustering {
+                link_threshold: 0.2,
+            },
         ] {
-            let cfg = PipelineConfig { blocking, ..Default::default() };
+            let cfg = PipelineConfig {
+                blocking,
+                ..Default::default()
+            };
             let out = Pipeline::new(cfg).run(&g.dataset);
             assert!(out.blocks_raw.0 > 0, "{blocking:?} produced no blocks");
         }
@@ -234,9 +276,15 @@ mod tests {
             PruningMethod::Wep,
             PruningMethod::Cep(None),
             PruningMethod::Wnp { reciprocal: true },
-            PruningMethod::Cnp { reciprocal: false, k: None },
+            PruningMethod::Cnp {
+                reciprocal: false,
+                k: None,
+            },
         ] {
-            let cfg = PipelineConfig { pruning, ..Default::default() };
+            let cfg = PipelineConfig {
+                pruning,
+                ..Default::default()
+            };
             let out = Pipeline::new(cfg).run(&g.dataset);
             assert!(out.candidates > 0, "{pruning:?} produced no candidates");
         }
@@ -257,6 +305,35 @@ mod tests {
         let ca = all.meta_block(&blocks_a).len();
         let cw = wep.meta_block(&blocks_a).len();
         assert!(cw < ca, "WEP must prune ({cw} vs {ca})");
+    }
+
+    #[test]
+    fn streaming_backend_matches_materialised_backend() {
+        let g = generate(&profiles::center_dense(120, 9));
+        for pruning in [
+            PruningMethod::Wnp { reciprocal: false },
+            PruningMethod::Cnp {
+                reciprocal: true,
+                k: None,
+            },
+        ] {
+            let base = PipelineConfig {
+                pruning,
+                ..Default::default()
+            };
+            let m = Pipeline::new(base.clone()).run(&g.dataset);
+            let s = Pipeline::new(PipelineConfig {
+                backend: GraphBackend::Streaming,
+                ..base
+            })
+            .run(&g.dataset);
+            assert_eq!(m.candidates, s.candidates, "{pruning:?}");
+            assert_eq!(m.resolution.matches, s.resolution.matches, "{pruning:?}");
+            assert_eq!(
+                m.resolution.comparisons, s.resolution.comparisons,
+                "{pruning:?}"
+            );
+        }
     }
 
     #[test]

@@ -114,7 +114,11 @@ impl<'d> CompositeResolver<'d> {
             (0.0..=1.0).contains(&config.neighbor_weight),
             "neighbor weight must be in [0,1]"
         );
-        Self { dataset, matcher, config }
+        Self {
+            dataset,
+            matcher,
+            config,
+        }
     }
 
     /// Runs all rules over the candidate pairs.
@@ -145,13 +149,21 @@ impl<'d> CompositeResolver<'d> {
         };
 
         let mut consumed: FxHashSet<EntityId> = FxHashSet::default();
-        let accept =
-            |a: EntityId, b: EntityId, score: f64, rule: Rule, out: &mut CompositeResolution,
-             consumed: &mut FxHashSet<EntityId>| {
-                out.matches.push(RuleMatch { a: a.min(b), b: a.max(b), score, rule });
-                consumed.insert(a);
-                consumed.insert(b);
-            };
+        let accept = |a: EntityId,
+                      b: EntityId,
+                      score: f64,
+                      rule: Rule,
+                      out: &mut CompositeResolution,
+                      consumed: &mut FxHashSet<EntityId>| {
+            out.matches.push(RuleMatch {
+                a: a.min(b),
+                b: a.max(b),
+                score,
+                rule,
+            });
+            consumed.insert(a);
+            consumed.insert(b);
+        };
 
         // --- R1: reciprocal name match ---------------------------------
         let name_best = self.best_by(&partners, |a, b| self.name_similarity(a, b));
@@ -159,8 +171,7 @@ impl<'d> CompositeResolver<'d> {
             if consumed.contains(&e) || consumed.contains(&best) || e >= best {
                 continue;
             }
-            if sim >= self.config.name_threshold
-                && name_best.get(&best).map(|&(x, _)| x) == Some(e)
+            if sim >= self.config.name_threshold && name_best.get(&best).map(|&(x, _)| x) == Some(e)
             {
                 accept(e, best, sim, Rule::NameReciprocity, &mut out, &mut consumed);
             }
@@ -195,7 +206,11 @@ impl<'d> CompositeResolver<'d> {
                 r2.push((e, best, sim));
             }
         }
-        r2.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite").then((x.0, x.1).cmp(&(y.0, y.1))));
+        r2.sort_by(|x, y| {
+            y.2.partial_cmp(&x.2)
+                .expect("finite")
+                .then((x.0, x.1).cmp(&(y.0, y.1)))
+        });
         for (a, b, sim) in r2 {
             if !consumed.contains(&a) && !consumed.contains(&b) {
                 accept(a, b, sim, Rule::ValueReciprocity, &mut out, &mut consumed);
@@ -220,7 +235,11 @@ impl<'d> CompositeResolver<'d> {
                 r3.push((e, best, score));
             }
         }
-        r3.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite").then((x.0, x.1).cmp(&(y.0, y.1))));
+        r3.sort_by(|x, y| {
+            y.2.partial_cmp(&x.2)
+                .expect("finite")
+                .then((x.0, x.1).cmp(&(y.0, y.1)))
+        });
         for (a, b, score) in r3 {
             if !consumed.contains(&a) && !consumed.contains(&b) {
                 accept(a, b, score, Rule::RankAggregation, &mut out, &mut consumed);
@@ -327,7 +346,11 @@ mod tests {
         let g = generate(&profiles::center_dense(200, 41));
         let res = run(&g, CompositeConfig::default());
         assert!(!res.matches.is_empty());
-        let tp = res.matches.iter().filter(|m| g.truth.is_match(m.a, m.b)).count();
+        let tp = res
+            .matches
+            .iter()
+            .filter(|m| g.truth.is_match(m.a, m.b))
+            .count();
         let precision = tp as f64 / res.matches.len() as f64;
         assert!(precision > 0.9, "precision {precision}");
         let recall = tp as f64 / g.truth.matching_pairs() as f64;
@@ -378,8 +401,8 @@ mod tests {
         let g = generate(&profiles::center_dense(120, 59));
         let pairs = candidates(&g);
         let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
-        let res = CompositeResolver::new(&g.dataset, &matcher, CompositeConfig::default())
-            .run(&pairs);
+        let res =
+            CompositeResolver::new(&g.dataset, &matcher, CompositeConfig::default()).run(&pairs);
         // Value similarities are cached per pair: at most one comparison
         // per distinct candidate pair.
         assert!(res.comparisons <= pairs.len() as u64);
@@ -389,8 +412,7 @@ mod tests {
     fn empty_candidates_empty_output() {
         let g = generate(&profiles::center_dense(50, 61));
         let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
-        let res = CompositeResolver::new(&g.dataset, &matcher, CompositeConfig::default())
-            .run(&[]);
+        let res = CompositeResolver::new(&g.dataset, &matcher, CompositeConfig::default()).run(&[]);
         assert!(res.matches.is_empty());
         assert_eq!(res.comparisons, 0);
     }

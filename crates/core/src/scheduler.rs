@@ -144,7 +144,9 @@ mod tests {
         pool.add_evidence(EntityId(0), EntityId(100), 0.2);
         s.push(&pool, CandidateId(0), 0.95);
         s.push(&pool, CandidateId(1), 0.5);
-        let (id, p) = s.pop_best(&pool, |id| if id.0 == 0 { 0.95 } else { 0.5 }).unwrap();
+        let (id, p) = s
+            .pop_best(&pool, |id| if id.0 == 0 { 0.95 } else { 0.5 })
+            .unwrap();
         assert_eq!(id.0, 0);
         assert!((p - 0.95).abs() < 1e-12);
         // The stale 0.9 entry must not deliver candidate 0 twice.
@@ -177,7 +179,8 @@ mod tests {
         s.push(&pool, CandidateId(2), 0.5);
         s.push(&pool, CandidateId(0), 0.5);
         s.push(&pool, CandidateId(1), 0.5);
-        let order: Vec<u32> = std::iter::from_fn(|| s.pop_best(&pool, |_| 0.5).map(|(i, _)| i.0)).collect();
+        let order: Vec<u32> =
+            std::iter::from_fn(|| s.pop_best(&pool, |_| 0.5).map(|(i, _)| i.0)).collect();
         assert_eq!(order, vec![0, 1, 2]);
     }
 

@@ -50,7 +50,11 @@ impl Trace {
 
     /// Appends a step (engine-internal).
     pub fn push(&mut self, step: TraceStep) {
-        debug_assert_eq!(step.comparison as usize, self.steps.len() + 1, "steps in order");
+        debug_assert_eq!(
+            step.comparison as usize,
+            self.steps.len() + 1,
+            "steps in order"
+        );
         self.steps.push(step);
     }
 
@@ -76,7 +80,9 @@ impl Trace {
 
     /// Comparison index at which the `n`-th match (1-based) was found.
     pub fn budget_for_nth_match(&self, n: usize) -> Option<u64> {
-        self.match_steps().nth(n.saturating_sub(1)).map(|s| s.comparison)
+        self.match_steps()
+            .nth(n.saturating_sub(1))
+            .map(|s| s.comparison)
     }
 }
 

@@ -13,9 +13,10 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 /// Which corruption a KB applies to noisy tokens.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum CorruptionModel {
     /// Swap two adjacent characters (keyboard-style typo) — the default.
+    #[default]
     Typo,
     /// Substitute characters from a confusion table (`o↔0`, `l↔1`, `rn↔m`,
     /// `e↔c` …) the way OCR errors cluster.
@@ -25,12 +26,6 @@ pub enum CorruptionModel {
     Abbreviation,
     /// Duplicate or drop one character (fat-finger insertion/deletion).
     InsertDelete,
-}
-
-impl Default for CorruptionModel {
-    fn default() -> Self {
-        CorruptionModel::Typo
-    }
 }
 
 impl CorruptionModel {
@@ -180,8 +175,16 @@ mod tests {
     fn ocr_substitutes_from_the_table() {
         let mut r = rng();
         let c = ocr("location", &mut r);
-        assert_eq!(c.chars().count(), "location".chars().count(), "OCR preserves length");
-        let diffs = c.chars().zip("location".chars()).filter(|(a, b)| a != b).count();
+        assert_eq!(
+            c.chars().count(),
+            "location".chars().count(),
+            "OCR preserves length"
+        );
+        let diffs = c
+            .chars()
+            .zip("location".chars())
+            .filter(|(a, b)| a != b)
+            .count();
         assert_eq!(diffs, 1, "exactly one glyph confused: {c}");
     }
 
@@ -218,7 +221,10 @@ mod tests {
         for model in CorruptionModel::ALL {
             let mut a = rng();
             let mut b = rng();
-            assert_eq!(model.corrupt("systematic", &mut a), model.corrupt("systematic", &mut b));
+            assert_eq!(
+                model.corrupt("systematic", &mut a),
+                model.corrupt("systematic", &mut b)
+            );
         }
     }
 

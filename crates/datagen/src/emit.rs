@@ -143,8 +143,8 @@ pub fn generate(config: &WorldConfig) -> GeneratedWorld {
                     if !is_name && !rng.gen_bool(kbc.attr_coverage) {
                         continue;
                     }
-                    let shared = det_coin(config.seed, kb_idx as u64, *attr as u64)
-                        < kbc.vocab_overlap;
+                    let shared =
+                        det_coin(config.seed, kb_idx as u64, *attr as u64) < kbc.vocab_overlap;
                     let pred = if shared {
                         canonical_predicate(*attr, is_name)
                     } else {
@@ -199,7 +199,11 @@ pub fn generate(config: &WorldConfig) -> GeneratedWorld {
     let dataset = builder.build();
     debug_assert_eq!(dataset.len(), entity_of.len());
     let truth = GroundTruth::new(entity_of, world.len(), world.links.clone());
-    GeneratedWorld { dataset, truth, world }
+    GeneratedWorld {
+        dataset,
+        truth,
+        world,
+    }
 }
 
 fn poisson(rng: &mut StdRng, mean: f64) -> usize {
@@ -274,7 +278,11 @@ mod tests {
         let g = generate(&c);
         assert!(g.truth.matching_pairs() > 0);
         for (a, b) in g.truth.matching_pair_iter() {
-            assert_eq!(g.dataset.kb_of(a), g.dataset.kb_of(b), "dirty pairs are intra-KB");
+            assert_eq!(
+                g.dataset.kb_of(a),
+                g.dataset.kb_of(b),
+                "dirty pairs are intra-KB"
+            );
         }
     }
 

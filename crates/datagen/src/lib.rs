@@ -43,6 +43,6 @@ pub mod world;
 pub use config::{KbConfig, WorldConfig};
 pub use corruption::CorruptionModel;
 pub use emit::{generate, GeneratedWorld};
-pub use truth::GroundTruth;
 pub use stream::ArrivalOrder;
+pub use truth::GroundTruth;
 pub use world::{World, WorldEntity};

@@ -37,7 +37,10 @@ pub fn center_dense(num_entities: usize, seed: u64) -> WorldConfig {
 /// update phase targets).
 pub fn periphery_sparse(num_entities: usize, seed: u64) -> WorldConfig {
     let mut c = base(num_entities, seed);
-    c.kbs = vec![KbConfig::periphery("openfood"), KbConfig::periphery("bio2rdf")];
+    c.kbs = vec![
+        KbConfig::periphery("openfood"),
+        KbConfig::periphery("bio2rdf"),
+    ];
     c
 }
 

@@ -21,7 +21,11 @@ pub struct GroundTruth {
 
 impl GroundTruth {
     /// Builds the truth from the description → world map and world links.
-    pub fn new(entity_of: Vec<u32>, num_world_entities: usize, world_links: Vec<(u32, u32)>) -> Self {
+    pub fn new(
+        entity_of: Vec<u32>,
+        num_world_entities: usize,
+        world_links: Vec<(u32, u32)>,
+    ) -> Self {
         let mut clusters: Vec<Vec<EntityId>> = vec![Vec::new(); num_world_entities];
         for (d, &w) in entity_of.iter().enumerate() {
             clusters[w as usize].push(EntityId(d as u32));
@@ -30,7 +34,12 @@ impl GroundTruth {
             .iter()
             .map(|c| (c.len() as u64) * (c.len().saturating_sub(1) as u64) / 2)
             .sum();
-        Self { entity_of, clusters, world_links, matching_pairs }
+        Self {
+            entity_of,
+            clusters,
+            world_links,
+            matching_pairs,
+        }
     }
 
     /// Number of descriptions covered.
@@ -125,7 +134,10 @@ mod tests {
         assert!(t.is_match(EntityId(0), EntityId(2)));
         assert!(t.is_match(EntityId(3), EntityId(4)));
         assert!(!t.is_match(EntityId(0), EntityId(1)));
-        assert!(!t.is_match(EntityId(0), EntityId(0)), "self pair is not a match");
+        assert!(
+            !t.is_match(EntityId(0), EntityId(0)),
+            "self pair is not a match"
+        );
     }
 
     #[test]

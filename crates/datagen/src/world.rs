@@ -80,8 +80,7 @@ impl World {
                 let pick = rng.gen_range(0..slots.len());
                 let slot = slots.swap_remove(pick);
                 let len = rng.gen_range(config.value_tokens_min..=config.value_tokens_max);
-                let value: Vec<u32> =
-                    (0..len).map(|_| zipf.sample(&mut rng) as u32).collect();
+                let value: Vec<u32> = (0..len).map(|_| zipf.sample(&mut rng) as u32).collect();
                 attributes.push(((base + slot) as u32, value));
             }
 
@@ -106,7 +105,12 @@ impl World {
             pa_pool.push(id);
             out.sort_unstable();
 
-            entities.push(WorldEntity { etype, name_tokens, attributes, links: out });
+            entities.push(WorldEntity {
+                etype,
+                name_tokens,
+                attributes,
+                links: out,
+            });
         }
         links.sort_unstable();
         links.dedup();

@@ -67,7 +67,11 @@ pub fn bootstrap_interval<T: Copy>(
     let alpha = (1.0 - level) / 2.0;
     let lo_idx = ((stats.len() as f64 * alpha) as usize).min(stats.len() - 1);
     let hi_idx = ((stats.len() as f64 * (1.0 - alpha)) as usize).min(stats.len() - 1);
-    Interval { estimate, lo: stats[lo_idx], hi: stats[hi_idx] }
+    Interval {
+        estimate,
+        lo: stats[lo_idx],
+        hi: stats[hi_idx],
+    }
 }
 
 /// Bootstrap CI of a proportion (e.g. precision from per-match correctness
@@ -132,7 +136,10 @@ mod tests {
         let b = mean_interval(&data, 300, 0.9, 7);
         assert_eq!(a, b);
         let c = mean_interval(&data, 300, 0.9, 8);
-        assert!(a.lo != c.lo || a.hi != c.hi, "different seed should perturb the CI");
+        assert!(
+            a.lo != c.lo || a.hi != c.hi,
+            "different seed should perturb the CI"
+        );
     }
 
     #[test]
@@ -145,7 +152,11 @@ mod tests {
 
     #[test]
     fn render_format() {
-        let iv = Interval { estimate: 0.8125, lo: 0.75, hi: 0.875 };
+        let iv = Interval {
+            estimate: 0.8125,
+            lo: 0.75,
+            hi: 0.875,
+        };
         assert_eq!(iv.render(), "0.812 [0.750, 0.875]");
     }
 

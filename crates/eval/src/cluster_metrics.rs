@@ -28,7 +28,10 @@ pub fn assignment(n: usize, clusters: &[Vec<u32>]) -> Vec<u32> {
                 (m as usize) < n,
                 "cluster member {m} outside universe of size {n}"
             );
-            assert!(assign[m as usize] == u32::MAX, "description {m} in two clusters");
+            assert!(
+                assign[m as usize] == u32::MAX,
+                "description {m} in two clusters"
+            );
             assign[m as usize] = cid as u32;
         }
     }
@@ -60,7 +63,11 @@ impl Prf {
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Self { precision, recall, f1 }
+        Self {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -111,8 +118,16 @@ pub fn pairwise(pa: &[u32], ta: &[u32]) -> Prf {
     let predicted_pairs: u64 = cluster_sizes(pa).values().map(|&s| c2(s)).sum();
     let truth_pairs: u64 = cluster_sizes(ta).values().map(|&s| c2(s)).sum();
     let common_pairs: u64 = contingency(pa, ta).values().map(|&s| c2(s)).sum();
-    let p = if predicted_pairs == 0 { 1.0 } else { common_pairs as f64 / predicted_pairs as f64 };
-    let r = if truth_pairs == 0 { 1.0 } else { common_pairs as f64 / truth_pairs as f64 };
+    let p = if predicted_pairs == 0 {
+        1.0
+    } else {
+        common_pairs as f64 / predicted_pairs as f64
+    };
+    let r = if truth_pairs == 0 {
+        1.0
+    } else {
+        common_pairs as f64 / truth_pairs as f64
+    };
     Prf::new(p, r)
 }
 
@@ -241,7 +256,10 @@ mod tests {
         let one: Vec<Vec<u32>> = vec![(0..n as u32).collect()];
         let m = q(n, &[], &one);
         assert!(m.vi <= (n as f64).ln() + 1e-9);
-        assert!((m.vi - (n as f64).ln()).abs() < 1e-9, "VI should hit ln n here");
+        assert!(
+            (m.vi - (n as f64).ln()).abs() < 1e-9,
+            "VI should hit ln n here"
+        );
     }
 
     #[test]

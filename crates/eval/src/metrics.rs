@@ -53,13 +53,28 @@ pub fn blocking_quality(
     candidates: &[(EntityId, EntityId)],
 ) -> BlockingQuality {
     let brute = brute_force_comparisons(dataset);
-    let found = candidates.iter().filter(|&&(a, b)| truth.is_match(a, b)).count() as u64;
+    let found = candidates
+        .iter()
+        .filter(|&&(a, b)| truth.is_match(a, b))
+        .count() as u64;
     let total_truth = truth.matching_pairs();
     let comparisons = candidates.len() as u64;
     BlockingQuality {
-        pc: if total_truth == 0 { 0.0 } else { found as f64 / total_truth as f64 },
-        pq: if comparisons == 0 { 0.0 } else { found as f64 / comparisons as f64 },
-        rr: if brute == 0 { 0.0 } else { 1.0 - comparisons as f64 / brute as f64 },
+        pc: if total_truth == 0 {
+            0.0
+        } else {
+            found as f64 / total_truth as f64
+        },
+        pq: if comparisons == 0 {
+            0.0
+        } else {
+            found as f64 / comparisons as f64
+        },
+        rr: if brute == 0 {
+            0.0
+        } else {
+            1.0 - comparisons as f64 / brute as f64
+        },
         comparisons,
         brute_force: brute,
     }
@@ -82,9 +97,16 @@ pub struct MatchQuality {
 
 /// Evaluates emitted matches against the truth.
 pub fn match_quality(truth: &GroundTruth, matches: &[(EntityId, EntityId)]) -> MatchQuality {
-    let tp = matches.iter().filter(|&&(a, b)| truth.is_match(a, b)).count() as u64;
+    let tp = matches
+        .iter()
+        .filter(|&&(a, b)| truth.is_match(a, b))
+        .count() as u64;
     let emitted = matches.len() as u64;
-    let precision = if emitted == 0 { 0.0 } else { tp as f64 / emitted as f64 };
+    let precision = if emitted == 0 {
+        0.0
+    } else {
+        tp as f64 / emitted as f64
+    };
     let recall = if truth.matching_pairs() == 0 {
         0.0
     } else {
@@ -100,10 +122,7 @@ pub fn match_quality(truth: &GroundTruth, matches: &[(EntityId, EntityId)]) -> M
 }
 
 /// Convenience: evaluates a [`minoan_er::Resolution`]'s matches.
-pub fn resolution_quality(
-    truth: &GroundTruth,
-    resolution: &minoan_er::Resolution,
-) -> MatchQuality {
+pub fn resolution_quality(truth: &GroundTruth, resolution: &minoan_er::Resolution) -> MatchQuality {
     let pairs: Vec<(EntityId, EntityId)> =
         resolution.matches.iter().map(|&(a, b, _)| (a, b)).collect();
     match_quality(truth, &pairs)

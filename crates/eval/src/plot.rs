@@ -18,7 +18,10 @@ pub struct Series {
 impl Series {
     /// Constructor.
     pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
-        Self { label: label.into(), points }
+        Self {
+            label: label.into(),
+            points,
+        }
     }
 }
 
@@ -65,9 +68,17 @@ pub fn render_plot(series: &[Series], width: usize, height: usize, y_max: f64) -
         out.push('\n');
     }
     out.push_str(&format!("       +{}\n", "-".repeat(width)));
-    out.push_str(&format!("        0{:>width$.0}\n", x_max, width = width - 1));
+    out.push_str(&format!(
+        "        0{:>width$.0}\n",
+        x_max,
+        width = width - 1
+    ));
     for (si, s) in series.iter().enumerate() {
-        out.push_str(&format!("        {} {}\n", GLYPHS[si % GLYPHS.len()], s.label));
+        out.push_str(&format!(
+            "        {} {}\n",
+            GLYPHS[si % GLYPHS.len()],
+            s.label
+        ));
     }
     out
 }
@@ -84,7 +95,9 @@ pub fn plot_recall_curves(
         .map(|(label, pts)| {
             Series::new(
                 *label,
-                pts.iter().map(|p| (p.comparisons as f64, p.recall)).collect(),
+                pts.iter()
+                    .map(|p| (p.comparisons as f64, p.recall))
+                    .collect(),
             )
         })
         .collect();
@@ -96,7 +109,10 @@ mod tests {
     use super::*;
 
     fn diagonal() -> Series {
-        Series::new("diag", (0..=10).map(|i| (i as f64, i as f64 / 10.0)).collect())
+        Series::new(
+            "diag",
+            (0..=10).map(|i| (i as f64, i as f64 / 10.0)).collect(),
+        )
     }
 
     #[test]

@@ -81,7 +81,16 @@ pub fn progressive_curves(
     let mut tp = 0u64;
     let mut emitted = 0u64;
     let mut points = Vec::with_capacity(num_points + 2);
-    points.push(checkpoint(0, truth, &matchable, &full_attrs, &attrs_of, &mut uf, 0, 0));
+    points.push(checkpoint(
+        0,
+        truth,
+        &matchable,
+        &full_attrs,
+        &attrs_of,
+        &mut uf,
+        0,
+        0,
+    ));
 
     let steps = trace.steps();
     let mut next_checkpoint = stride;
@@ -151,7 +160,11 @@ fn checkpoint(
         }
         covered[w as usize] = any_pair;
     }
-    let ac = if matchable.is_empty() { 0.0 } else { ac_sum / matchable.len() as f64 };
+    let ac = if matchable.is_empty() {
+        0.0
+    } else {
+        ac_sum / matchable.len() as f64
+    };
     let ec = if matchable.is_empty() {
         0.0
     } else {
@@ -180,7 +193,11 @@ fn checkpoint(
         } else {
             tp as f64 / truth.matching_pairs() as f64
         },
-        precision: if emitted == 0 { 0.0 } else { tp as f64 / emitted as f64 },
+        precision: if emitted == 0 {
+            0.0
+        } else {
+            tp as f64 / emitted as f64
+        },
         attr_completeness: ac,
         entity_coverage: ec,
         rel_completeness: rc,
@@ -199,7 +216,10 @@ pub fn recall_auc(points: &[CurvePoint]) -> f64 {
 
 /// Normalised AUC of an arbitrary dimension selected by `f`.
 pub fn dimension_auc(points: &[CurvePoint], f: impl Fn(&CurvePoint) -> f64) -> f64 {
-    let pts: Vec<(f64, f64)> = points.iter().map(|p| (p.comparisons as f64, f(p))).collect();
+    let pts: Vec<(f64, f64)> = points
+        .iter()
+        .map(|p| (p.comparisons as f64, f(p)))
+        .collect();
     minoan_common::stats::normalized_step_auc(&pts)
 }
 
@@ -208,15 +228,10 @@ mod tests {
     use super::*;
     use minoan_blocking::{builders, ErMode};
     use minoan_datagen::{generate, profiles};
-    use minoan_er::{
-        Matcher, MatcherConfig, ProgressiveResolver, ResolverConfig, Strategy,
-    };
+    use minoan_er::{Matcher, MatcherConfig, ProgressiveResolver, ResolverConfig, Strategy};
     use minoan_metablocking::{prune, BlockingGraph, WeightingScheme};
 
-    fn run(
-        g: &minoan_datagen::GeneratedWorld,
-        strategy: Strategy,
-    ) -> minoan_er::Resolution {
+    fn run(g: &minoan_datagen::GeneratedWorld, strategy: Strategy) -> minoan_er::Resolution {
         let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
         let cleaned = minoan_blocking::filter::clean(&blocks);
         let graph = BlockingGraph::build(&cleaned);
@@ -229,7 +244,10 @@ mod tests {
         ProgressiveResolver::new(
             &g.dataset,
             matcher,
-            ResolverConfig { strategy, ..Default::default() },
+            ResolverConfig {
+                strategy,
+                ..Default::default()
+            },
         )
         .run(&pairs)
     }
@@ -237,19 +255,31 @@ mod tests {
     #[test]
     fn curves_are_monotone_and_bounded() {
         let g = generate(&profiles::center_dense(120, 8));
-        let res = run(&g, Strategy::Progressive(minoan_er::BenefitModel::PairQuantity));
+        let res = run(
+            &g,
+            Strategy::Progressive(minoan_er::BenefitModel::PairQuantity),
+        );
         let pts = progressive_curves(&g.dataset, &g.truth, &res.trace, 15);
         assert!(pts.len() >= 2);
         assert_eq!(pts[0].comparisons, 0);
         for w in pts.windows(2) {
             assert!(w[1].comparisons >= w[0].comparisons);
-            assert!(w[1].recall + 1e-12 >= w[0].recall, "recall must be monotone");
+            assert!(
+                w[1].recall + 1e-12 >= w[0].recall,
+                "recall must be monotone"
+            );
             assert!(w[1].entity_coverage + 1e-12 >= w[0].entity_coverage);
             assert!(w[1].attr_completeness + 1e-12 >= w[0].attr_completeness);
             assert!(w[1].rel_completeness + 1e-12 >= w[0].rel_completeness);
         }
         for p in &pts {
-            for v in [p.recall, p.precision, p.attr_completeness, p.entity_coverage, p.rel_completeness] {
+            for v in [
+                p.recall,
+                p.precision,
+                p.attr_completeness,
+                p.entity_coverage,
+                p.rel_completeness,
+            ] {
                 assert!((0.0..=1.0 + 1e-9).contains(&v));
             }
         }
@@ -263,7 +293,10 @@ mod tests {
         // Before any match, each entity is covered by its best single
         // description — non-zero coverage.
         let g = generate(&profiles::center_dense(80, 9));
-        let res = run(&g, Strategy::Progressive(minoan_er::BenefitModel::PairQuantity));
+        let res = run(
+            &g,
+            Strategy::Progressive(minoan_er::BenefitModel::PairQuantity),
+        );
         let pts = progressive_curves(&g.dataset, &g.truth, &res.trace, 5);
         assert!(pts[0].attr_completeness > 0.2);
         assert_eq!(pts[0].entity_coverage, 0.0);
@@ -273,7 +306,10 @@ mod tests {
     #[test]
     fn progressive_auc_beats_random() {
         let g = generate(&profiles::center_dense(160, 10));
-        let prog = run(&g, Strategy::Progressive(minoan_er::BenefitModel::PairQuantity));
+        let prog = run(
+            &g,
+            Strategy::Progressive(minoan_er::BenefitModel::PairQuantity),
+        );
         let rand = run(&g, Strategy::Random { seed: 3 });
         let prog_pts = progressive_curves(&g.dataset, &g.truth, &prog.trace, 20);
         let rand_pts = progressive_curves(&g.dataset, &g.truth, &rand.trace, 20);
@@ -315,7 +351,10 @@ mod tests {
     #[test]
     fn dimension_auc_selector_works() {
         let g = generate(&profiles::center_dense(80, 12));
-        let res = run(&g, Strategy::Progressive(minoan_er::BenefitModel::EntityCoverage));
+        let res = run(
+            &g,
+            Strategy::Progressive(minoan_er::BenefitModel::EntityCoverage),
+        );
         let pts = progressive_curves(&g.dataset, &g.truth, &res.trace, 10);
         let ec = dimension_auc(&pts, |p| p.entity_coverage);
         let rc = dimension_auc(&pts, |p| p.rel_completeness);

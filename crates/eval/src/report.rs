@@ -21,7 +21,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<&str>) -> Self {
-        Self { headers: headers.into_iter().map(String::from).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; must have as many cells as there are headers.
@@ -108,7 +111,10 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);
         // All rows same width.
-        assert_eq!(lines[0].len(), lines[2].trim_end().len().max(lines[0].len()));
+        assert_eq!(
+            lines[0].len(),
+            lines[2].trim_end().len().max(lines[0].len())
+        );
         assert!(lines[2].starts_with("long-name-here"));
     }
 
@@ -124,7 +130,10 @@ mod tests {
         let s = render_series(
             "budget",
             &[0, 100, 200],
-            &[("progressive", vec![0.0, 0.5, 0.9]), ("random", vec![0.0, 0.2, 0.4])],
+            &[
+                ("progressive", vec![0.0, 0.5, 0.9]),
+                ("random", vec![0.0, 0.2, 0.4]),
+            ],
         );
         assert!(s.contains("budget"));
         assert!(s.contains("0.500"));

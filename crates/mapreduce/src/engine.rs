@@ -78,7 +78,9 @@ impl Default for Engine {
     /// An engine using all available CPU parallelism.
     fn default() -> Self {
         Self::new(
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         )
     }
 }
@@ -86,7 +88,9 @@ impl Default for Engine {
 impl Engine {
     /// Creates an engine with `workers` threads (clamped to ≥ 1).
     pub fn new(workers: usize) -> Self {
-        Self { workers: workers.max(1) }
+        Self {
+            workers: workers.max(1),
+        }
     }
 
     /// Number of worker threads used by map and reduce phases.
@@ -182,8 +186,9 @@ impl Engine {
             (self.workers * 4).min(inputs.len())
         };
         stats.map_tasks = num_chunks;
-        let map_task_nanos: Vec<std::sync::atomic::AtomicU64> =
-            (0..num_chunks).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+        let map_task_nanos: Vec<std::sync::atomic::AtomicU64> = (0..num_chunks)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
         // chunk_outputs[chunk][partition] = that chunk's spill for the partition.
         // Per chunk, per partition: that chunk's spilled (key, value) pairs.
         type Spills<K, V> = Vec<Vec<Mutex<Vec<(K, V)>>>>;
@@ -229,10 +234,8 @@ impl Engine {
                         for (p, buf) in parts.into_iter().enumerate() {
                             *chunk_outputs[c][p].lock() = buf;
                         }
-                        map_task_nanos[c].store(
-                            task_start.elapsed().as_nanos() as u64,
-                            Ordering::Relaxed,
-                        );
+                        map_task_nanos[c]
+                            .store(task_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     });
                 }
             });
@@ -250,8 +253,9 @@ impl Engine {
         type PartResults<K, O> = Vec<Mutex<Vec<(K, Vec<O>)>>>;
         let part_results: PartResults<K, O> =
             (0..partitions).map(|_| Mutex::new(Vec::new())).collect();
-        let partition_nanos: Vec<std::sync::atomic::AtomicU64> =
-            (0..partitions).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
+        let partition_nanos: Vec<std::sync::atomic::AtomicU64> = (0..partitions)
+            .map(|_| std::sync::atomic::AtomicU64::new(0))
+            .collect();
         let pairs_total = AtomicUsize::new(0);
         let groups_total = AtomicUsize::new(0);
         if num_chunks > 0 {
@@ -291,10 +295,8 @@ impl Engine {
                             results.push((key, out));
                         }
                         *part_results[p].lock() = results;
-                        partition_nanos[p].store(
-                            task_start.elapsed().as_nanos() as u64,
-                            Ordering::Relaxed,
-                        );
+                        partition_nanos[p]
+                            .store(task_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     });
                 }
             });
@@ -320,7 +322,11 @@ impl Engine {
         }
         stats.reduce_nanos = t2.elapsed().as_nanos() as u64;
 
-        JobResult { output, counters, stats }
+        JobResult {
+            output,
+            counters,
+            stats,
+        }
     }
 }
 
@@ -368,10 +374,7 @@ mod tests {
     fn word_count_is_correct_and_sorted() {
         let e = Engine::new(4);
         let out = word_count(&e, vec!["b a b", "c b"]);
-        assert_eq!(
-            out,
-            vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 1)]
-        );
+        assert_eq!(out, vec![("a".into(), 1), ("b".into(), 3), ("c".into(), 1)]);
     }
 
     #[test]
@@ -421,7 +424,10 @@ mod tests {
         );
         assert_eq!(plain.output, combined.output);
         assert!(combined.stats.intermediate_pairs < plain.stats.intermediate_pairs);
-        assert_eq!(combined.stats.intermediate_pairs, 2, "one pair per map task");
+        assert_eq!(
+            combined.stats.intermediate_pairs, 2,
+            "one pair per map task"
+        );
     }
 
     #[test]

@@ -80,9 +80,18 @@ struct Attempt {
 /// Panics if `workers == 0` or the config is out of range.
 pub fn simulate_cluster(tasks: &[u64], workers: usize, config: &FaultConfig) -> SimOutcome {
     assert!(workers > 0, "need at least one worker");
-    assert!((0.0..1.0).contains(&config.failure_probability), "failure probability in [0,1)");
-    assert!((0.0..=1.0).contains(&config.straggler_probability), "straggler probability in [0,1]");
-    assert!(config.straggler_factor >= 1.0, "straggler factor must be ≥ 1");
+    assert!(
+        (0.0..1.0).contains(&config.failure_probability),
+        "failure probability in [0,1)"
+    );
+    assert!(
+        (0.0..=1.0).contains(&config.straggler_probability),
+        "straggler probability in [0,1]"
+    );
+    assert!(
+        config.straggler_factor >= 1.0,
+        "straggler factor must be ≥ 1"
+    );
     assert!(config.max_attempts >= 1, "need at least one attempt");
     let mut rng = StdRng::seed_from_u64(config.seed);
     let n = tasks.len();
@@ -112,10 +121,10 @@ pub fn simulate_cluster(tasks: &[u64], workers: usize, config: &FaultConfig) -> 
     // `running`) records which in-flight attempts are doomed.
     let mut will_fail: Vec<bool> = Vec::new();
     let launch = |task: usize,
-                       now: u64,
-                       speculative: bool,
-                       rng: &mut StdRng,
-                       outcome: &mut SimOutcome|
+                  now: u64,
+                  speculative: bool,
+                  rng: &mut StdRng,
+                  outcome: &mut SimOutcome|
      -> (Attempt, bool) {
         let base = tasks[task].max(1);
         let slowed = if rng.gen_bool(config.straggler_probability) {
@@ -126,18 +135,34 @@ pub fn simulate_cluster(tasks: &[u64], workers: usize, config: &FaultConfig) -> 
         if rng.gen_bool(config.failure_probability) {
             outcome.failed_attempts += 1;
             let partial = ((slowed as f64) * rng.gen_range(0.05..0.95)) as u64;
-            (Attempt { task, finish: now + partial.max(1), speculative }, true)
+            (
+                Attempt {
+                    task,
+                    finish: now + partial.max(1),
+                    speculative,
+                },
+                true,
+            )
         } else {
             if speculative {
                 outcome.speculative_attempts += 1;
             }
-            (Attempt { task, finish: now + slowed, speculative }, false)
+            (
+                Attempt {
+                    task,
+                    finish: now + slowed,
+                    speculative,
+                },
+                false,
+            )
         }
     };
 
     // Fill the initial workers.
     while running.len() < workers {
-        let Some(task) = pending.pop_front() else { break };
+        let Some(task) = pending.pop_front() else {
+            break;
+        };
         attempts_used[task] += 1;
         let (a, fails) = launch(task, now, false, &mut rng, &mut outcome);
         running.push(a);
@@ -205,8 +230,7 @@ pub fn simulate_cluster(tasks: &[u64], workers: usize, config: &FaultConfig) -> 
                         if remaining as f64 > threshold * median as f64 {
                             speculated[candidate] = true;
                             attempts_used[candidate] += 1;
-                            let (a, fails) =
-                                launch(candidate, now, true, &mut rng, &mut outcome);
+                            let (a, fails) = launch(candidate, now, true, &mut rng, &mut outcome);
                             running.push(a);
                             will_fail.push(fails);
                         }
@@ -312,12 +336,18 @@ mod tests {
         let without = simulate_cluster(
             &tasks,
             8,
-            &FaultConfig { speculative_threshold: None, ..base },
+            &FaultConfig {
+                speculative_threshold: None,
+                ..base
+            },
         );
         let with = simulate_cluster(
             &tasks,
             8,
-            &FaultConfig { speculative_threshold: Some(1.5), ..base },
+            &FaultConfig {
+                speculative_threshold: Some(1.5),
+                ..base
+            },
         );
         assert!(with.completed && without.completed);
         assert!(with.speculative_attempts > 0, "speculation never triggered");

@@ -43,5 +43,5 @@ mod engine;
 pub mod faults;
 
 pub use counters::Counters;
-pub use faults::{fault_free_makespan, simulate_cluster, FaultConfig, SimOutcome};
 pub use engine::{Engine, JobResult, JobStats};
+pub use faults::{fault_free_makespan, simulate_cluster, FaultConfig, SimOutcome};

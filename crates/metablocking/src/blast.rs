@@ -32,13 +32,29 @@ pub const DEFAULT_RATIO: f64 = 0.35;
 
 /// Pearson χ² weight of `edge` in `graph`.
 pub fn chi_square_weight(graph: &BlockingGraph, edge: &Edge) -> f64 {
-    let total = graph.num_blocks() as f64;
+    chi_square_from_stats(
+        edge.common_blocks,
+        graph.blocks_of(edge.a),
+        graph.blocks_of(edge.b),
+        graph.num_blocks(),
+    )
+}
+
+/// Pearson χ² from raw statistics — the shared kernel of the materialised
+/// and streaming BLAST paths (bit-identical results for equal inputs).
+pub fn chi_square_from_stats(
+    common_blocks: u32,
+    blocks_a: u32,
+    blocks_b: u32,
+    num_blocks: usize,
+) -> f64 {
+    let total = num_blocks as f64;
     if total <= 0.0 {
         return 0.0;
     }
-    let n11 = edge.common_blocks as f64;
-    let bi = graph.blocks_of(edge.a) as f64;
-    let bj = graph.blocks_of(edge.b) as f64;
+    let n11 = common_blocks as f64;
+    let bi = blocks_a as f64;
+    let bj = blocks_b as f64;
     let n12 = bi - n11;
     let n21 = bj - n11;
     let n22 = total - bi - bj + n11;
@@ -56,7 +72,11 @@ pub fn chi_square_weight(graph: &BlockingGraph, edge: &Edge) -> f64 {
 
 /// χ² weights of every edge, aligned with `graph.edges()`.
 pub fn chi_square_weights(graph: &BlockingGraph) -> Vec<f64> {
-    graph.edges().iter().map(|e| chi_square_weight(graph, e)).collect()
+    graph
+        .edges()
+        .iter()
+        .map(|e| chi_square_weight(graph, e))
+        .collect()
 }
 
 /// BLAST pruning: per node, keep edges with weight ≥ `ratio · local_max`;
@@ -89,10 +109,13 @@ pub fn blast(graph: &BlockingGraph, ratio: f64) -> PrunedComparisons {
         .enumerate()
         .filter(|(i, e)| {
             let w = weights[*i];
-            w > 0.0
-                && (w >= ratio * local_max[e.a.index()] || w >= ratio * local_max[e.b.index()])
+            w > 0.0 && (w >= ratio * local_max[e.a.index()] || w >= ratio * local_max[e.b.index()])
         })
-        .map(|(i, e)| WeightedPair { a: e.a, b: e.b, weight: weights[i] })
+        .map(|(i, e)| WeightedPair {
+            a: e.a,
+            b: e.b,
+            weight: weights[i],
+        })
         .collect();
     pairs.sort_by(|x, y| {
         y.weight
@@ -100,7 +123,11 @@ pub fn blast(graph: &BlockingGraph, ratio: f64) -> PrunedComparisons {
             .expect("chi-square weights are finite")
             .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
     });
-    PrunedComparisons { pairs, scheme: WeightingScheme::Cbs, input_edges: graph.num_edges() }
+    PrunedComparisons {
+        pairs,
+        scheme: WeightingScheme::Cbs,
+        input_edges: graph.num_edges(),
+    }
 }
 
 /// Convenience accessor: the χ² weight of a specific pair, if the edge

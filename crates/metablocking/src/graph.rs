@@ -1,7 +1,27 @@
-//! The blocking graph.
+//! The blocking graph, stored in flat CSR (compressed sparse row) arrays.
+//!
+//! Earlier revisions accumulated edges in a global
+//! `FxHashMap<(EntityId, EntityId), (u32, f64)>` and kept adjacency as
+//! `Vec<Vec<u32>>` — one heap allocation per node and a hash probe per
+//! pair occurrence, which dominated end-to-end runtime on large worlds.
+//! The current layout is three flat slabs:
+//!
+//! * `edges` — the edge records, sorted by `(a, b)`; the slab *is* the
+//!   per-source-CSR: edges of source `a` occupy
+//!   `edge_offsets[a] .. edge_offsets[a + 1]`, sorted by target;
+//! * `adj_offsets` / `adj_edges` — CSR adjacency over *both* endpoints:
+//!   edge indices incident to node `v` occupy
+//!   `adj_offsets[v] .. adj_offsets[v + 1]`, ascending.
+//!
+//! Construction is a two-pass counting sort over node-centric sweeps
+//! (count → prefix-sum → fill) with no hash map anywhere, parallelised
+//! over contiguous entity ranges with scoped threads. The result is
+//! byte-identical for every thread count: each entity's edges land at a
+//! precomputed offset, and per-edge ARCS sums accumulate in ascending
+//! block order exactly as the serial build would.
 
+use crate::sweep::{default_threads, entity_sweep_ranges, split_by_ends, SweepScratch};
 use minoan_blocking::BlockCollection;
-use minoan_common::FxHashMap;
 use minoan_rdf::EntityId;
 
 /// One edge of the blocking graph: a distinct comparable pair plus the
@@ -18,15 +38,29 @@ pub struct Edge {
     pub arcs: f64,
 }
 
-/// The blocking graph of a [`BlockCollection`].
+const EDGE_PLACEHOLDER: Edge = Edge {
+    a: EntityId(0),
+    b: EntityId(0),
+    common_blocks: 0,
+    arcs: 0.0,
+};
+
+/// The blocking graph of a [`BlockCollection`] in CSR layout.
 ///
 /// Nodes are descriptions; there is one edge per *distinct* pair that
 /// co-occurs in at least one block (and is comparable under the ER mode).
-/// Construction is `O(Σ_b ‖b‖)` — it enumerates pair occurrences once.
+/// Construction visits each pair occurrence a constant number of times
+/// (at both endpoints, in both the count and fill passes) — `O(Σ_b ‖b‖²)`
+/// work spread across threads.
 pub struct BlockingGraph {
+    /// Edge slab, sorted by `(a, b)`.
     edges: Vec<Edge>,
-    /// Per entity: indices into `edges` (sorted ascending).
-    adjacency: Vec<Vec<u32>>,
+    /// Per entity: start of its source-edge run in `edges` (len n+1).
+    edge_offsets: Vec<u32>,
+    /// Per entity: start of its incident-edge run in `adj_edges` (len n+1).
+    adj_offsets: Vec<u32>,
+    /// Incident edge indices per entity, ascending (each edge twice).
+    adj_edges: Vec<u32>,
     /// Per entity: number of blocks it belongs to, |B_i|.
     blocks_of: Vec<u32>,
     /// Total number of blocks, |B|.
@@ -36,33 +70,100 @@ pub struct BlockingGraph {
 }
 
 impl BlockingGraph {
-    /// Builds the graph from a block collection.
+    /// Builds the graph from a block collection, using all available
+    /// cores for the counting and fill sweeps.
     pub fn build(collection: &BlockCollection) -> Self {
-        let n = collection.num_entities();
-        let mut acc: FxHashMap<(EntityId, EntityId), (u32, f64)> = FxHashMap::default();
-        for (bid, a, b) in collection.pair_occurrences() {
-            let card = collection.block(bid).comparisons as f64;
-            let e = acc.entry((a, b)).or_insert((0, 0.0));
-            e.0 += 1;
-            e.1 += 1.0 / card.max(1.0);
-        }
-        let mut edges: Vec<Edge> = acc
-            .into_iter()
-            .map(|((a, b), (cbs, arcs))| Edge { a, b, common_blocks: cbs, arcs })
-            .collect();
-        edges.sort_unstable_by_key(|e| (e.a, e.b));
+        Self::build_with_threads(collection, default_threads())
+    }
 
-        let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (i, e) in edges.iter().enumerate() {
-            adjacency[e.a.index()].push(i as u32);
-            adjacency[e.b.index()].push(i as u32);
+    /// Builds the graph with an explicit worker count. Output is
+    /// identical for every `threads` value (including 1).
+    pub fn build_with_threads(collection: &BlockCollection, threads: usize) -> Self {
+        let n = collection.num_entities();
+        let ranges = entity_sweep_ranges(collection, threads);
+
+        // Pass 1 — count: per entity, #distinct comparable neighbours
+        // above it (its source edges) and in total (its adjacency run).
+        let mut fwd = vec![0u32; n];
+        let mut deg = vec![0u32; n];
+        {
+            let fwd_chunks = split_by_ends(&mut fwd, ranges.iter().map(|r| r.end));
+            let deg_chunks = split_by_ends(&mut deg, ranges.iter().map(|r| r.end));
+            std::thread::scope(|s| {
+                for ((r, f), d) in ranges.iter().zip(fwd_chunks).zip(deg_chunks) {
+                    let r = r.clone();
+                    s.spawn(move || {
+                        let mut scratch = SweepScratch::new(n);
+                        for a in r.clone() {
+                            let neighbours = scratch.sweep(collection, EntityId(a as u32));
+                            d[a - r.start] = neighbours.len() as u32;
+                            f[a - r.start] =
+                                neighbours.iter().filter(|&&y| y > a as u32).count() as u32;
+                        }
+                    });
+                }
+            });
         }
+
+        let edge_offsets = prefix_sum(&fwd);
+        let adj_offsets = prefix_sum(&deg);
+        let num_edges = *edge_offsets.last().unwrap_or(&0) as usize;
+
+        // Pass 2 — fill: each entity's edges land at its precomputed
+        // offset, so chunks write disjoint slices of the slab.
+        let mut edges = vec![EDGE_PLACEHOLDER; num_edges];
+        {
+            let edge_chunks = split_by_ends(
+                &mut edges,
+                ranges.iter().map(|r| edge_offsets[r.end] as usize),
+            );
+            std::thread::scope(|s| {
+                for (r, chunk) in ranges.iter().zip(edge_chunks) {
+                    let r = r.clone();
+                    let base = edge_offsets[r.start] as usize;
+                    let edge_offsets = &edge_offsets;
+                    s.spawn(move || {
+                        let mut scratch = SweepScratch::new(n);
+                        for a in r {
+                            let mut out = edge_offsets[a] as usize - base;
+                            scratch.sweep(collection, EntityId(a as u32));
+                            for &y in scratch.neighbours() {
+                                if y > a as u32 {
+                                    chunk[out] = Edge {
+                                        a: EntityId(a as u32),
+                                        b: EntityId(y),
+                                        common_blocks: scratch.cbs_of(y),
+                                        arcs: scratch.arcs_of(y),
+                                    };
+                                    out += 1;
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+        }
+
+        // Adjacency fill: ascending edge index per node by construction.
+        let mut adj_edges = vec![0u32; 2 * num_edges];
+        let mut cursor: Vec<u32> = adj_offsets[..n].to_vec();
+        for (i, e) in edges.iter().enumerate() {
+            let ca = &mut cursor[e.a.index()];
+            adj_edges[*ca as usize] = i as u32;
+            *ca += 1;
+            let cb = &mut cursor[e.b.index()];
+            adj_edges[*cb as usize] = i as u32;
+            *cb += 1;
+        }
+
         let blocks_of: Vec<u32> = (0..n as u32)
             .map(|e| collection.entity_blocks(EntityId(e)).len() as u32)
             .collect();
         Self {
             edges,
-            adjacency,
+            edge_offsets,
+            adj_offsets,
+            adj_edges,
             blocks_of,
             num_blocks: collection.len(),
             total_assignments: collection.total_assignments(),
@@ -77,7 +178,7 @@ impl BlockingGraph {
     /// Number of nodes (entities in the underlying dataset, including
     /// entities that ended up in no block).
     pub fn num_nodes(&self) -> usize {
-        self.adjacency.len()
+        self.adj_offsets.len() - 1
     }
 
     /// Number of blocks in the source collection, |B|.
@@ -100,14 +201,23 @@ impl BlockingGraph {
         &self.edges[idx as usize]
     }
 
-    /// Indices of the edges incident to `e`.
+    /// Edges whose *smaller* endpoint is `a`, sorted by target (the CSR
+    /// row of `a` in the edge slab).
+    pub fn edges_from(&self, a: EntityId) -> &[Edge] {
+        let i = a.index();
+        &self.edges[self.edge_offsets[i] as usize..self.edge_offsets[i + 1] as usize]
+    }
+
+    /// Indices of the edges incident to `e`, ascending.
     pub fn incident(&self, e: EntityId) -> &[u32] {
-        &self.adjacency[e.index()]
+        let i = e.index();
+        &self.adj_edges[self.adj_offsets[i] as usize..self.adj_offsets[i + 1] as usize]
     }
 
     /// Node degree |V_i| (number of distinct co-occurring entities).
     pub fn degree(&self, e: EntityId) -> usize {
-        self.adjacency[e.index()].len()
+        let i = e.index();
+        (self.adj_offsets[i + 1] - self.adj_offsets[i]) as usize
     }
 
     /// |B_i| — number of blocks entity `e` belongs to.
@@ -117,8 +227,27 @@ impl BlockingGraph {
 
     /// Nodes with at least one incident edge.
     pub fn active_nodes(&self) -> usize {
-        self.adjacency.iter().filter(|a| !a.is_empty()).count()
+        self.adj_offsets.windows(2).filter(|w| w[1] > w[0]).count()
     }
+
+    /// Approximate resident size of the graph in bytes (slabs only).
+    pub fn heap_bytes(&self) -> usize {
+        self.edges.len() * std::mem::size_of::<Edge>()
+            + (self.edge_offsets.len() + self.adj_offsets.len() + self.adj_edges.len()) * 4
+            + self.blocks_of.len() * 4
+    }
+}
+
+/// Exclusive prefix sum with a trailing total (CSR offsets).
+fn prefix_sum(counts: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(counts.len() + 1);
+    let mut acc = 0u32;
+    out.push(0);
+    for &c in counts {
+        acc += c;
+        out.push(acc);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -156,11 +285,19 @@ mod tests {
         let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
         let g = BlockingGraph::build(&c);
         assert_eq!(g.num_edges(), 3); // (0,2), (0,3), (1,3)
-        let edge02 = g.edges().iter().find(|ed| ed.a == e(0) && ed.b == e(2)).unwrap();
+        let edge02 = g
+            .edges()
+            .iter()
+            .find(|ed| ed.a == e(0) && ed.b == e(2))
+            .unwrap();
         assert_eq!(edge02.common_blocks, 2);
         // k1 has 1 comparison, k2 has 2 → arcs = 1/1 + 1/2.
         assert!((edge02.arcs - 1.5).abs() < 1e-12);
-        let edge03 = g.edges().iter().find(|ed| ed.a == e(0) && ed.b == e(3)).unwrap();
+        let edge03 = g
+            .edges()
+            .iter()
+            .find(|ed| ed.a == e(0) && ed.b == e(3))
+            .unwrap();
         assert_eq!(edge03.common_blocks, 1);
         assert!((edge03.arcs - 0.5).abs() < 1e-12);
     }
@@ -189,7 +326,11 @@ mod tests {
     #[test]
     fn empty_collection_empty_graph() {
         let ds = dataset(1, 1);
-        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, Vec::<(String, Vec<EntityId>)>::new());
+        let c = BlockCollection::from_groups(
+            &ds,
+            ErMode::CleanClean,
+            Vec::<(String, Vec<EntityId>)>::new(),
+        );
         let g = BlockingGraph::build(&c);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.active_nodes(), 0);
@@ -210,6 +351,62 @@ mod tests {
         }
         for ed in g.edges() {
             assert!(ed.a < ed.b);
+        }
+    }
+
+    #[test]
+    fn csr_rows_agree_with_flat_edges() {
+        let ds = dataset(3, 3);
+        let groups = vec![
+            ("k1".to_string(), vec![e(0), e(3), e(4)]),
+            ("k2".to_string(), vec![e(0), e(1), e(3)]),
+            ("k3".to_string(), vec![e(2), e(5)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        let g = BlockingGraph::build(&c);
+        // edges_from(a) is exactly the sorted run of edges with source a.
+        let mut reassembled: Vec<Edge> = Vec::new();
+        for a in 0..g.num_nodes() as u32 {
+            reassembled.extend_from_slice(g.edges_from(EntityId(a)));
+        }
+        assert_eq!(reassembled, g.edges());
+        // incident() lists each node's edges ascending and consistently.
+        for v in 0..g.num_nodes() as u32 {
+            let inc = g.incident(EntityId(v));
+            assert!(inc.windows(2).all(|w| w[0] < w[1]));
+            for &i in inc {
+                let ed = g.edge(i);
+                assert!(ed.a == EntityId(v) || ed.b == EntityId(v));
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_graph() {
+        let ds = dataset(20, 20);
+        let groups: Vec<(String, Vec<EntityId>)> = (0..12)
+            .map(|k| {
+                (
+                    format!("k{k}"),
+                    (0..40u32).filter(|i| (i * 7 + k) % 5 == 0).map(e).collect(),
+                )
+            })
+            .collect();
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        let serial = BlockingGraph::build_with_threads(&c, 1);
+        for threads in [2, 3, 8] {
+            let par = BlockingGraph::build_with_threads(&c, threads);
+            assert_eq!(par.num_edges(), serial.num_edges());
+            for (x, y) in par.edges().iter().zip(serial.edges()) {
+                assert_eq!((x.a, x.b, x.common_blocks), (y.a, y.b, y.common_blocks));
+                assert_eq!(
+                    x.arcs.to_bits(),
+                    y.arcs.to_bits(),
+                    "ARCS must be bit-identical"
+                );
+            }
+            assert_eq!(par.adj_offsets, serial.adj_offsets);
+            assert_eq!(par.adj_edges, serial.adj_edges);
         }
     }
 }

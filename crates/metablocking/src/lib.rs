@@ -6,39 +6,76 @@
 //! meta-blocking aims at discarding comparisons between descriptions that
 //! share few common blocks and are thus less likely to match" (paper §1).
 //!
-//! * [`graph`] — the blocking graph: one node per description, one edge per
-//!   *distinct* comparable pair, annotated with co-occurrence statistics.
+//! # Execution backends
+//!
+//! Meta-blocking is the pipeline's hot path, and this crate offers two
+//! ways to run it, selected by [`GraphBackend`]:
+//!
+//! * **Materialised** — build the [`BlockingGraph`] first, then prune it.
+//!   The graph lives in flat CSR slabs (edge records sorted by pair, plus
+//!   `offsets`/`edge-index` adjacency arrays); construction is a two-pass
+//!   counting sort over node-centric sweeps, parallelised over entity
+//!   ranges with scoped threads, with no hash map anywhere. Required for
+//!   the edge-centric algorithms (WEP, CEP) and anything else that needs
+//!   random access to the whole edge set.
+//! * **Streaming** — the node-centric algorithms (WNP, CNP, BLAST) never
+//!   need the global edge set: [`streaming`] sweeps the collection entity
+//!   by entity, reconstructing each node's incident statistics in dense
+//!   epoch-reset accumulators, and emits only the kept pairs. Output is
+//!   bit-identical to the materialised path for every scheme, variant and
+//!   thread count (enforced by property tests), while skipping the edge
+//!   slab entirely.
+//!
+//! # Modules
+//!
+//! * [`graph`] — the CSR blocking graph: one node per description, one
+//!   edge per *distinct* comparable pair, annotated with co-occurrence
+//!   statistics.
 //! * [`weights`] — the five standard edge-weighting schemes (CBS, ECBS,
-//!   JS, EJS, ARCS).
-//! * [`prune`] — the four pruning algorithms: weight-based (WEP, WNP) and
-//!   cardinality-based (CEP, CNP), with redundancy (union) and reciprocal
-//!   (intersection) variants of the node-centric ones.
+//!   JS, EJS, ARCS), all computed through one stats kernel shared by both
+//!   backends.
+//! * [`prune`] — the four pruning algorithms over a built graph:
+//!   weight-based (WEP, WNP) and cardinality-based (CEP, CNP), with
+//!   redundancy (union) and reciprocal (intersection) variants of the
+//!   node-centric ones.
+//! * [`streaming`] — the on-the-fly node-centric WNP/CNP/BLAST described
+//!   above.
+//! * [`blast`] — BLAST's χ² weighting with loose per-node pruning.
 //! * [`parallel`] — the MapReduce formulations of reference \[4\]
 //!   (edge-based and entity-based strategies) on [`minoan_mapreduce`].
+//! * [`supervised`] — perceptron-based supervised meta-blocking.
 //!
 //! # Example
 //!
 //! ```
 //! use minoan_datagen::{generate, profiles};
 //! use minoan_blocking::{builders, ErMode};
-//! use minoan_metablocking::{BlockingGraph, WeightingScheme, prune};
+//! use minoan_metablocking::{streaming, BlockingGraph, WeightingScheme, prune};
 //!
 //! let g = generate(&profiles::center_dense(120, 3));
 //! let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
+//!
+//! // Materialised: build the CSR graph, then prune.
 //! let graph = BlockingGraph::build(&blocks);
-//! let pruned = prune::wep(&graph, WeightingScheme::Cbs);
-//! assert!(pruned.pairs.len() <= graph.num_edges());
+//! let pruned = prune::wnp(&graph, WeightingScheme::Arcs, false);
+//!
+//! // Streaming: same result, no graph materialisation.
+//! let streamed = streaming::wnp(&blocks, WeightingScheme::Arcs, false);
+//! assert_eq!(pruned.pairs.len(), streamed.pairs.len());
 //! ```
 
-pub mod graph;
 pub mod blast;
+pub mod graph;
 pub mod parallel;
 pub mod prune;
+pub mod streaming;
 pub mod supervised;
+mod sweep;
 pub mod weights;
 
 pub use blast::{blast, chi_square_weight, chi_square_weights};
 pub use graph::{BlockingGraph, Edge};
-pub use supervised::{supervised_prune, EdgeFeatures, FeatureExtractor, Perceptron, TrainingSet};
 pub use prune::{PrunedComparisons, WeightedPair};
+pub use streaming::{GraphBackend, StreamingOptions};
+pub use supervised::{supervised_prune, EdgeFeatures, FeatureExtractor, Perceptron, TrainingSet};
 pub use weights::WeightingScheme;

@@ -91,9 +91,8 @@ pub fn parallel_edge_weights_with_stats(
     let pairs = edges
         .into_iter()
         .map(|((a, b), st)| {
-            let weight = weight_from_stats(
-                scheme, st, a, b, &blocks_of, &degree, num_blocks, num_edges,
-            );
+            let weight =
+                weight_from_stats(scheme, st, a, b, &blocks_of, &degree, num_blocks, num_edges);
             WeightedPair { a, b, weight }
         })
         .collect();
@@ -131,27 +130,19 @@ fn weight_from_stats(
         }
         WeightingScheme::Ejs => {
             let js = weight_from_stats(
-                WeightingScheme::Js, st, a, b, blocks_of, degree, num_blocks, num_edges,
+                WeightingScheme::Js,
+                st,
+                a,
+                b,
+                blocks_of,
+                degree,
+                num_blocks,
+                num_edges,
             );
             let v = num_edges as f64;
-            js * log_weight(v, degree[a.index()] as f64)
-                * log_weight(v, degree[b.index()] as f64)
+            js * log_weight(v, degree[a.index()] as f64) * log_weight(v, degree[b.index()] as f64)
         }
     }
-}
-
-fn finish(
-    mut pairs: Vec<WeightedPair>,
-    scheme: WeightingScheme,
-    input_edges: usize,
-) -> PrunedComparisons {
-    pairs.sort_by(|x, y| {
-        y.weight
-            .partial_cmp(&x.weight)
-            .expect("finite weights")
-            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
-    });
-    PrunedComparisons { pairs, scheme, input_edges }
 }
 
 /// Parallel WEP (edge-based strategy): weight job + global mean filter.
@@ -168,7 +159,7 @@ pub fn parallel_wep(
         .into_iter()
         .filter(|p| p.weight >= threshold && p.weight > 0.0)
         .collect();
-    finish(kept, scheme, input_edges)
+    PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges)
 }
 
 /// Parallel CNP (entity-based strategy): weight job, then a per-node top-k
@@ -226,7 +217,7 @@ pub fn parallel_cnp(
         .filter(|(_, (v, _))| *v >= need)
         .map(|((a, b), (_, w))| WeightedPair { a, b, weight: w })
         .collect();
-    finish(kept, scheme, input_edges)
+    PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges)
 }
 
 /// Convenience check used by tests and the harness: the serial graph built

@@ -48,6 +48,28 @@ impl PrunedComparisons {
         }
     }
 
+    /// Builds the result from already-selected pairs, applying the
+    /// presentation order every pruning path shares: weight descending,
+    /// ties by pair. The streaming and MapReduce paths rely on this being
+    /// the single definition of that order.
+    pub(crate) fn from_weighted_pairs(
+        mut pairs: Vec<WeightedPair>,
+        scheme: WeightingScheme,
+        input_edges: usize,
+    ) -> Self {
+        pairs.sort_by(|x, y| {
+            y.weight
+                .partial_cmp(&x.weight)
+                .expect("weights are finite")
+                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
+        });
+        Self {
+            pairs,
+            scheme,
+            input_edges,
+        }
+    }
+
     fn from_indices(
         graph: &BlockingGraph,
         weights: &[f64],
@@ -56,20 +78,18 @@ impl PrunedComparisons {
     ) -> Self {
         keep.sort_unstable();
         keep.dedup();
-        let mut pairs: Vec<WeightedPair> = keep
+        let pairs: Vec<WeightedPair> = keep
             .into_iter()
             .map(|i| {
                 let e = graph.edge(i);
-                WeightedPair { a: e.a, b: e.b, weight: weights[i as usize] }
+                WeightedPair {
+                    a: e.a,
+                    b: e.b,
+                    weight: weights[i as usize],
+                }
             })
             .collect();
-        pairs.sort_by(|x, y| {
-            y.weight
-                .partial_cmp(&x.weight)
-                .expect("weights are finite")
-                .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
-        });
-        Self { pairs, scheme, input_edges: graph.num_edges() }
+        Self::from_weighted_pairs(pairs, scheme, graph.num_edges())
     }
 }
 
@@ -102,7 +122,11 @@ pub fn cep(graph: &BlockingGraph, scheme: WeightingScheme, k: Option<usize>) -> 
             top.push((OrdF64(w), std::cmp::Reverse(i as u32)));
         }
     }
-    let keep: Vec<u32> = top.into_sorted_vec().into_iter().map(|(_, r)| r.0).collect();
+    let keep: Vec<u32> = top
+        .into_sorted_vec()
+        .into_iter()
+        .map(|(_, r)| r.0)
+        .collect();
     PrunedComparisons::from_indices(graph, &weights, scheme, keep)
 }
 
@@ -135,8 +159,14 @@ pub fn wnp(graph: &BlockingGraph, scheme: WeightingScheme, reciprocal: bool) -> 
 /// Default CNP per-node cardinality: `k = max(1, ⌊BC / |E|⌋)` where `|E|`
 /// is the number of *active* (blocked) entities.
 pub fn default_cnp_k(graph: &BlockingGraph) -> usize {
-    let active = graph.active_nodes().max(1);
-    ((graph.total_assignments() as usize) / active).max(1)
+    default_cnp_k_from(graph.total_assignments(), graph.active_nodes())
+}
+
+/// The default-CNP-k formula from raw aggregates — the single definition
+/// both the materialised and streaming paths use, so `k = None` stays
+/// bit-identical across backends.
+pub(crate) fn default_cnp_k_from(total_assignments: u64, active_nodes: usize) -> usize {
+    ((total_assignments as usize) / active_nodes.max(1)).max(1)
 }
 
 /// Cardinality Node Pruning: each node keeps its top-`k` incident edges
@@ -270,8 +300,7 @@ mod tests {
         let g = generate(&profiles::center_dense(200, 6));
         let blocks = token_blocking(&g.dataset, ErMode::CleanClean);
         let graph = BlockingGraph::build(&blocks);
-        let truth_pairs: std::collections::HashSet<_> =
-            g.truth.matching_pair_iter().collect();
+        let truth_pairs: std::collections::HashSet<_> = g.truth.matching_pair_iter().collect();
         let base_found = graph
             .edges()
             .iter()
@@ -302,7 +331,11 @@ mod tests {
     #[test]
     fn empty_graph_is_handled() {
         let ds = DatasetBuilder::new().build();
-        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, Vec::<(String, Vec<EntityId>)>::new());
+        let c = BlockCollection::from_groups(
+            &ds,
+            ErMode::CleanClean,
+            Vec::<(String, Vec<EntityId>)>::new(),
+        );
         let g = BlockingGraph::build(&c);
         for scheme in [WeightingScheme::Cbs, WeightingScheme::Ejs] {
             assert!(wep(&g, scheme).pairs.is_empty());

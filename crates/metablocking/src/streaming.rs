@@ -1,0 +1,559 @@
+//! On-the-fly node-centric meta-blocking: WNP, CNP and BLAST without
+//! materialising the blocking graph.
+//!
+//! The materialised path builds the full edge slab (one record per
+//! distinct comparable pair) before pruning discards most of it. For the
+//! node-centric algorithms that is wasted work and — on large LOD worlds —
+//! wasted memory: each node's pruning decision only needs *its own*
+//! neighbourhood. The streaming path therefore sweeps the block collection
+//! entity by entity (see [`crate::sweep`]): per node it reconstructs the
+//! incident edge statistics in dense epoch-reset accumulators, applies the
+//! local criterion (mean threshold, top-k, or ratio-of-max), and emits only
+//! the *kept* pairs. Union/reciprocal vote combination happens on the kept
+//! set, which is a small fraction of the full edge set.
+//!
+//! The sweeps are embarrassingly parallel over entity ranges (scoped
+//! threads, one scratch per worker) and every per-edge quantity is
+//! computed through the same kernels as the materialised path
+//! ([`WeightingScheme::weight_from_stats`],
+//! [`chi_square_from_stats`](crate::blast::chi_square_from_stats)) with
+//! f64 accumulation in the same order — so for every scheme, variant and
+//! thread count the output is **bit-identical** to pruning a built
+//! [`BlockingGraph`](crate::BlockingGraph). Property tests in
+//! `tests/streaming_equivalence.rs` enforce this.
+//!
+//! EJS needs two global aggregates (node degrees and the distinct-edge
+//! count |V|); those come from one extra counting sweep, still without
+//! materialising edges. WEP/CEP are edge-centric (global mean / global
+//! top-k) and keep using the materialised graph.
+
+use crate::blast::chi_square_from_stats;
+use crate::prune::{PrunedComparisons, WeightedPair};
+use crate::sweep::{default_threads, entity_sweep_ranges, split_by_ends, SweepScratch};
+use crate::weights::WeightingScheme;
+use minoan_blocking::BlockCollection;
+use minoan_common::stats::mean;
+use minoan_common::{OrdF64, TopK};
+use minoan_rdf::EntityId;
+
+/// Which execution path meta-blocking pruning runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GraphBackend {
+    /// Build the CSR blocking graph, then prune it.
+    #[default]
+    Materialized,
+    /// Node-centric streaming sweeps; the global edge set is never
+    /// materialised (WNP/CNP/BLAST only — edge-centric algorithms fall
+    /// back to the materialised graph).
+    Streaming,
+}
+
+impl GraphBackend {
+    /// Parses the CLI/config spelling (`materialized` | `streaming`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "materialized" | "materialised" => Some(Self::Materialized),
+            "streaming" => Some(Self::Streaming),
+            _ => None,
+        }
+    }
+
+    /// The config spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Materialized => "materialized",
+            Self::Streaming => "streaming",
+        }
+    }
+}
+
+/// Tuning for the streaming sweeps.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamingOptions {
+    /// Worker threads for the parallel entity sweeps (≥ 1).
+    pub threads: usize,
+}
+
+impl Default for StreamingOptions {
+    fn default() -> Self {
+        Self {
+            threads: default_threads(),
+        }
+    }
+}
+
+impl StreamingOptions {
+    /// Options with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+}
+
+/// Global aggregates a sweep pass may need before weighting.
+struct Globals {
+    /// Per-entity |B_i| (straight from the collection).
+    blocks_of: Vec<u32>,
+    /// |B|.
+    num_blocks: usize,
+    /// Per-entity degree |V_i|; empty unless a counting pass ran.
+    degrees: Vec<u32>,
+    /// |V| — number of distinct comparable pairs (0 unless counted).
+    num_edges: usize,
+    /// Entities with at least one neighbour (0 unless counted).
+    active_nodes: usize,
+}
+
+fn blocks_of(collection: &BlockCollection) -> Vec<u32> {
+    (0..collection.num_entities() as u32)
+        .map(|e| collection.entity_blocks(EntityId(e)).len() as u32)
+        .collect()
+}
+
+/// One parallel pass filling a per-entity `u32` (or `f64`) slot from its
+/// sweep — used for degree counting and BLAST local maxima.
+fn fill_per_entity<T: Send, F>(
+    collection: &BlockCollection,
+    ranges: &[std::ops::Range<usize>],
+    out: &mut [T],
+    f: F,
+) where
+    F: Fn(usize, &SweepScratch) -> T + Sync,
+{
+    let n = collection.num_entities();
+    let chunks = split_by_ends(out, ranges.iter().map(|r| r.end));
+    let f = &f;
+    std::thread::scope(|s| {
+        for (r, chunk) in ranges.iter().zip(chunks) {
+            let r = r.clone();
+            s.spawn(move || {
+                let mut scratch = SweepScratch::new(n);
+                for a in r.clone() {
+                    scratch.sweep(collection, EntityId(a as u32));
+                    chunk[a - r.start] = f(a, &scratch);
+                }
+            });
+        }
+    });
+}
+
+/// One counting sweep over all entities: degrees, |V| and the active-node
+/// count, in parallel, without materialising any edge.
+fn count_pass(collection: &BlockCollection, ranges: &[std::ops::Range<usize>]) -> Globals {
+    let n = collection.num_entities();
+    let mut degrees = vec![0u32; n];
+    fill_per_entity(collection, ranges, &mut degrees, |_a, scratch| {
+        scratch.neighbours().len() as u32
+    });
+    // |V| = Σ degrees / 2 (every edge counted at both endpoints).
+    let num_edges = degrees.iter().map(|&d| d as u64).sum::<u64>() as usize / 2;
+    let active_nodes = degrees.iter().filter(|&&d| d > 0).count();
+    Globals {
+        blocks_of: blocks_of(collection),
+        num_blocks: collection.len(),
+        degrees,
+        num_edges,
+        active_nodes,
+    }
+}
+
+/// Globals needed by `scheme` (and optionally the active-node count).
+fn globals_for(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    ranges: &[std::ops::Range<usize>],
+    need_active: bool,
+) -> Globals {
+    if scheme == WeightingScheme::Ejs || need_active {
+        count_pass(collection, ranges)
+    } else {
+        Globals {
+            blocks_of: blocks_of(collection),
+            num_blocks: collection.len(),
+            degrees: Vec::new(),
+            num_edges: 0,
+            active_nodes: 0,
+        }
+    }
+}
+
+/// Runs `keep` once per entity with ≥ 1 neighbour, handing it the node,
+/// the sweep scratch (stats for the node's sorted neighbours), a reusable
+/// f64 buffer and the emit sink. Returns all emitted pairs sorted by pair,
+/// plus the number of distinct pairs (counted at their smaller endpoint).
+fn per_node_pass<K>(
+    collection: &BlockCollection,
+    ranges: &[std::ops::Range<usize>],
+    keep: K,
+) -> (Vec<WeightedPair>, u64)
+where
+    K: Fn(u32, &SweepScratch, &mut Vec<f64>, &mut Vec<WeightedPair>) + Sync,
+{
+    let n = collection.num_entities();
+    let keep = &keep;
+    let mut outs: Vec<(Vec<WeightedPair>, u64)> = Vec::new();
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let r = r.clone();
+            handles.push(s.spawn(move || {
+                let mut scratch = SweepScratch::new(n);
+                let mut kept = Vec::new();
+                let mut weights_buf: Vec<f64> = Vec::new();
+                let mut fwd_edges = 0u64;
+                for a in r {
+                    let a = a as u32;
+                    scratch.sweep(collection, EntityId(a));
+                    if scratch.neighbours().is_empty() {
+                        continue;
+                    }
+                    fwd_edges += scratch.neighbours().iter().filter(|&&y| y > a).count() as u64;
+                    keep(a, &scratch, &mut weights_buf, &mut kept);
+                }
+                (kept, fwd_edges)
+            }));
+        }
+        for h in handles {
+            outs.push(h.join().expect("sweep worker panicked"));
+        }
+    });
+    let fwd: u64 = outs.iter().map(|o| o.1).sum();
+    let mut kept: Vec<WeightedPair> = outs.into_iter().flat_map(|o| o.0).collect();
+    kept.sort_unstable_by_key(|x| (x.a, x.b));
+    (kept, fwd)
+}
+
+/// Combines per-node votes on the kept set: union keeps pairs emitted by
+/// ≥ 1 endpoint, reciprocal by both. Input must be sorted by pair.
+fn combine_votes(kept: Vec<WeightedPair>, reciprocal: bool) -> Vec<WeightedPair> {
+    let need = if reciprocal { 2 } else { 1 };
+    let mut out: Vec<WeightedPair> = Vec::with_capacity(kept.len());
+    let mut i = 0;
+    while i < kept.len() {
+        let mut j = i + 1;
+        while j < kept.len() && (kept[j].a, kept[j].b) == (kept[i].a, kept[i].b) {
+            j += 1;
+        }
+        if j - i >= need {
+            out.push(kept[i]);
+        }
+        i = j;
+    }
+    out
+}
+
+/// Computes the weights of the current sweep's neighbours into `out`
+/// (ascending neighbour order — the same order the materialised path
+/// iterates a node's incident edges in, so local f64 means agree bitwise).
+fn neighbour_weights(
+    scheme: WeightingScheme,
+    scratch: &SweepScratch,
+    a: u32,
+    globals: &Globals,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.reserve(scratch.neighbours().len());
+    for &y in scratch.neighbours() {
+        // Stats are passed in normalised (smaller, larger) endpoint order:
+        // the materialised path always evaluates edges that way, and f64
+        // multiplication chains are association-order sensitive at the ulp
+        // level (ECBS/EJS multiply per-endpoint factors).
+        let (lo, hi) = if a < y { (a, y) } else { (y, a) };
+        let (dlo, dhi) = if globals.degrees.is_empty() {
+            (0, 0)
+        } else {
+            (
+                globals.degrees[lo as usize] as usize,
+                globals.degrees[hi as usize] as usize,
+            )
+        };
+        out.push(scheme.weight_from_stats(
+            scratch.cbs_of(y),
+            scratch.arcs_of(y),
+            globals.blocks_of[lo as usize],
+            globals.blocks_of[hi as usize],
+            globals.num_blocks,
+            dlo,
+            dhi,
+            globals.num_edges,
+        ));
+    }
+}
+
+fn normalised(a: u32, y: u32, w: f64) -> WeightedPair {
+    let (lo, hi) = if a < y { (a, y) } else { (y, a) };
+    WeightedPair {
+        a: EntityId(lo),
+        b: EntityId(hi),
+        weight: w,
+    }
+}
+
+/// Streaming Weighted Node Pruning — bit-identical to
+/// [`crate::prune::wnp`] on the built graph.
+pub fn wnp(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+) -> PrunedComparisons {
+    wnp_with(collection, scheme, reciprocal, &StreamingOptions::default())
+}
+
+/// [`wnp`] with explicit options.
+pub fn wnp_with(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    opts: &StreamingOptions,
+) -> PrunedComparisons {
+    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
+    let globals = globals_for(collection, scheme, &ranges, false);
+    let (kept, fwd) = {
+        let globals = &globals;
+        per_node_pass(collection, &ranges, move |a, scratch, weights, out| {
+            neighbour_weights(scheme, scratch, a, globals, weights);
+            let threshold = mean(weights);
+            for (i, &y) in scratch.neighbours().iter().enumerate() {
+                let w = weights[i];
+                if w >= threshold && w > 0.0 {
+                    out.push(normalised(a, y, w));
+                }
+            }
+        })
+    };
+    let input_edges = if globals.num_edges > 0 {
+        globals.num_edges
+    } else {
+        fwd as usize
+    };
+    PrunedComparisons::from_weighted_pairs(combine_votes(kept, reciprocal), scheme, input_edges)
+}
+
+/// Streaming Cardinality Node Pruning — bit-identical to
+/// [`crate::prune::cnp`] on the built graph.
+pub fn cnp(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    k: Option<usize>,
+) -> PrunedComparisons {
+    cnp_with(
+        collection,
+        scheme,
+        reciprocal,
+        k,
+        &StreamingOptions::default(),
+    )
+}
+
+/// [`cnp`] with explicit options.
+pub fn cnp_with(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    k: Option<usize>,
+    opts: &StreamingOptions,
+) -> PrunedComparisons {
+    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
+    // The default k needs the active-node count, which needs a counting
+    // pass anyway; EJS needs one for degrees. Otherwise one pass suffices.
+    let globals = globals_for(collection, scheme, &ranges, k.is_none());
+    let k = k.unwrap_or_else(|| {
+        crate::prune::default_cnp_k_from(collection.total_assignments(), globals.active_nodes)
+    });
+    let (kept, fwd) = {
+        let globals = &globals;
+        per_node_pass(collection, &ranges, move |a, scratch, weights, out| {
+            neighbour_weights(scheme, scratch, a, globals, weights);
+            // Same selector the materialised path uses; tie-breaking by
+            // normalised pair is order-isomorphic to the global edge index.
+            let mut top: TopK<(OrdF64, std::cmp::Reverse<(EntityId, EntityId)>)> = TopK::new(k);
+            for (i, &y) in scratch.neighbours().iter().enumerate() {
+                let w = weights[i];
+                if w > 0.0 {
+                    let p = normalised(a, y, w);
+                    top.push((OrdF64(w), std::cmp::Reverse((p.a, p.b))));
+                }
+            }
+            for (w, r) in top.into_sorted_vec() {
+                out.push(WeightedPair {
+                    a: r.0 .0,
+                    b: r.0 .1,
+                    weight: w.0,
+                });
+            }
+        })
+    };
+    let input_edges = if globals.num_edges > 0 {
+        globals.num_edges
+    } else {
+        fwd as usize
+    };
+    PrunedComparisons::from_weighted_pairs(combine_votes(kept, reciprocal), scheme, input_edges)
+}
+
+/// Streaming BLAST (χ² weighting, loose ratio-of-local-max pruning) —
+/// bit-identical to [`crate::blast::blast`] on the built graph.
+///
+/// # Panics
+/// Panics unless `0 < ratio ≤ 1`.
+pub fn blast(collection: &BlockCollection, ratio: f64) -> PrunedComparisons {
+    blast_with(collection, ratio, &StreamingOptions::default())
+}
+
+/// [`blast`] with explicit options.
+pub fn blast_with(
+    collection: &BlockCollection,
+    ratio: f64,
+    opts: &StreamingOptions,
+) -> PrunedComparisons {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
+    let blocks = blocks_of(collection);
+    let num_blocks = collection.len();
+
+    // Pass 1: per-node local χ² maxima.
+    let n = collection.num_entities();
+    let mut local_max = vec![0.0f64; n];
+    {
+        let blocks = &blocks;
+        fill_per_entity(collection, &ranges, &mut local_max, |a, scratch| {
+            let mut max = 0.0f64;
+            for &y in scratch.neighbours() {
+                // Normalised endpoint order — see `neighbour_weights`.
+                let (lo, hi) = if a < y as usize {
+                    (a, y as usize)
+                } else {
+                    (y as usize, a)
+                };
+                let w =
+                    chi_square_from_stats(scratch.cbs_of(y), blocks[lo], blocks[hi], num_blocks);
+                if w > max {
+                    max = w;
+                }
+            }
+            max
+        });
+    }
+
+    // Pass 2: emit each edge once (at its smaller endpoint) if either
+    // endpoint would keep it.
+    let blocks_ref = &blocks;
+    let local_max_ref = &local_max;
+    let (kept, fwd) = per_node_pass(collection, &ranges, move |a, scratch, _weights, out| {
+        for &y in scratch.neighbours() {
+            if y <= a {
+                continue;
+            }
+            let w = chi_square_from_stats(
+                scratch.cbs_of(y),
+                blocks_ref[a as usize],
+                blocks_ref[y as usize],
+                num_blocks,
+            );
+            if w > 0.0
+                && (w >= ratio * local_max_ref[a as usize]
+                    || w >= ratio * local_max_ref[y as usize])
+            {
+                out.push(WeightedPair {
+                    a: EntityId(a),
+                    b: EntityId(y),
+                    weight: w,
+                });
+            }
+        }
+    });
+    // BLAST reports the χ² values under the CBS label, matching the
+    // materialised implementation.
+    PrunedComparisons::from_weighted_pairs(kept, WeightingScheme::Cbs, fwd as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::BlockingGraph;
+    use crate::{blast as blast_mod, prune};
+    use minoan_blocking::builders::token_blocking;
+    use minoan_blocking::ErMode;
+    use minoan_datagen::{generate, profiles};
+
+    fn assert_bit_identical(stream: &PrunedComparisons, matr: &PrunedComparisons, label: &str) {
+        assert_eq!(stream.input_edges, matr.input_edges, "{label}: input_edges");
+        assert_eq!(stream.pairs.len(), matr.pairs.len(), "{label}: kept count");
+        for (s, m) in stream.pairs.iter().zip(&matr.pairs) {
+            assert_eq!((s.a, s.b), (m.a, m.b), "{label}: pair order");
+            assert_eq!(
+                s.weight.to_bits(),
+                m.weight.to_bits(),
+                "{label}: weight bits for ({:?},{:?})",
+                s.a,
+                s.b
+            );
+        }
+    }
+
+    #[test]
+    fn streaming_matches_materialised_on_generated_world() {
+        let world = generate(&profiles::center_dense(150, 7));
+        let blocks = token_blocking(&world.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        for threads in [1, 4] {
+            let opts = StreamingOptions::with_threads(threads);
+            for scheme in WeightingScheme::ALL {
+                for reciprocal in [false, true] {
+                    let s = wnp_with(&blocks, scheme, reciprocal, &opts);
+                    let m = prune::wnp(&graph, scheme, reciprocal);
+                    assert_bit_identical(
+                        &s,
+                        &m,
+                        &format!("wnp/{scheme:?}/r={reciprocal}/t={threads}"),
+                    );
+
+                    let s = cnp_with(&blocks, scheme, reciprocal, Some(3), &opts);
+                    let m = prune::cnp(&graph, scheme, reciprocal, Some(3));
+                    assert_bit_identical(
+                        &s,
+                        &m,
+                        &format!("cnp3/{scheme:?}/r={reciprocal}/t={threads}"),
+                    );
+                }
+            }
+            let s = blast_with(&blocks, 0.35, &opts);
+            let m = blast_mod::blast(&graph, 0.35);
+            assert_bit_identical(&s, &m, &format!("blast/t={threads}"));
+        }
+    }
+
+    #[test]
+    fn default_k_matches_materialised_default() {
+        let world = generate(&profiles::center_dense(100, 3));
+        let blocks = token_blocking(&world.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        let s = cnp(&blocks, WeightingScheme::Js, false, None);
+        let m = prune::cnp(&graph, WeightingScheme::Js, false, None);
+        assert_bit_identical(&s, &m, "cnp/default-k");
+    }
+
+    #[test]
+    fn empty_collection_is_fine() {
+        let ds = minoan_rdf::DatasetBuilder::new().build();
+        let c = BlockCollection::from_groups(
+            &ds,
+            ErMode::CleanClean,
+            Vec::<(String, Vec<EntityId>)>::new(),
+        );
+        assert!(wnp(&c, WeightingScheme::Arcs, false).pairs.is_empty());
+        assert!(cnp(&c, WeightingScheme::Ejs, true, None).pairs.is_empty());
+        assert!(blast(&c, 0.5).pairs.is_empty());
+    }
+
+    #[test]
+    fn backend_parsing_round_trips() {
+        for b in [GraphBackend::Materialized, GraphBackend::Streaming] {
+            assert_eq!(GraphBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(GraphBackend::parse("nonsense"), None);
+    }
+}

@@ -53,7 +53,11 @@ impl FeatureExtractor {
         let raw = raw_features(graph, edge);
         let mut out = [0.0f64; NUM_FEATURES];
         for i in 0..NUM_FEATURES {
-            out[i] = if self.max[i] > 0.0 { raw[i] / self.max[i] } else { 0.0 };
+            out[i] = if self.max[i] > 0.0 {
+                raw[i] / self.max[i]
+            } else {
+                0.0
+            };
         }
         EdgeFeatures(out)
     }
@@ -178,8 +182,7 @@ impl Perceptron {
         for _ in 0..epochs.max(1) {
             for (x, &label) in set.features.iter().zip(&set.labels) {
                 let y = if label { 1.0 } else { -1.0 };
-                let score: f64 =
-                    w.iter().zip(&x.0).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
+                let score: f64 = w.iter().zip(&x.0).map(|(wi, xi)| wi * xi).sum::<f64>() + b;
                 if y * score <= 0.0 {
                     for (wi, xi) in w.iter_mut().zip(&x.0) {
                         *wi += y * xi;
@@ -199,12 +202,20 @@ impl Perceptron {
             }
             b_sum /= count;
         }
-        Self { weights: w_sum, bias: b_sum }
+        Self {
+            weights: w_sum,
+            bias: b_sum,
+        }
     }
 
     /// Raw decision score (positive = predicted match).
     pub fn score(&self, x: &EdgeFeatures) -> f64 {
-        self.weights.iter().zip(&x.0).map(|(w, xi)| w * xi).sum::<f64>() + self.bias
+        self.weights
+            .iter()
+            .zip(&x.0)
+            .map(|(w, xi)| w * xi)
+            .sum::<f64>()
+            + self.bias
     }
 
     /// Binary prediction.
@@ -238,7 +249,11 @@ pub fn supervised_prune(graph: &BlockingGraph, model: &Perceptron) -> PrunedComp
             let score = model.score(&extractor.extract(graph, e));
             if score > 0.0 {
                 let weight = 1.0 / (1.0 + (-score).exp());
-                Some(WeightedPair { a: e.a, b: e.b, weight })
+                Some(WeightedPair {
+                    a: e.a,
+                    b: e.b,
+                    weight,
+                })
             } else {
                 None
             }
@@ -250,7 +265,11 @@ pub fn supervised_prune(graph: &BlockingGraph, model: &Perceptron) -> PrunedComp
             .expect("sigmoid weights are finite")
             .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
     });
-    PrunedComparisons { pairs, scheme: WeightingScheme::Cbs, input_edges: graph.num_edges() }
+    PrunedComparisons {
+        pairs,
+        scheme: WeightingScheme::Cbs,
+        input_edges: graph.num_edges(),
+    }
 }
 
 #[cfg(test)]
@@ -272,7 +291,10 @@ mod tests {
         for e in graph.edges().iter().take(200) {
             let f = extractor.extract(&graph, e);
             for v in f.0 {
-                assert!((0.0..=1.0 + 1e-12).contains(&v), "feature out of range: {v}");
+                assert!(
+                    (0.0..=1.0 + 1e-12).contains(&v),
+                    "feature out of range: {v}"
+                );
             }
         }
     }
@@ -281,8 +303,7 @@ mod tests {
     fn sample_is_balanced_when_possible() {
         let (graph, truth) = graph_and_truth();
         let extractor = FeatureExtractor::fit(&graph);
-        let set =
-            TrainingSet::sample(&graph, &extractor, |a, b| truth.is_match(a, b), 30, 42);
+        let set = TrainingSet::sample(&graph, &extractor, |a, b| truth.is_match(a, b), 30, 42);
         assert!(!set.is_empty());
         let ratio = set.positive_ratio();
         assert!(ratio > 0.2 && ratio < 0.8, "imbalanced sample: {ratio}");
@@ -300,7 +321,11 @@ mod tests {
             set.labels.push(pos);
         }
         let model = Perceptron::train(&set, 20);
-        assert!(model.accuracy(&set) > 0.95, "accuracy {}", model.accuracy(&set));
+        assert!(
+            model.accuracy(&set) > 0.95,
+            "accuracy {}",
+            model.accuracy(&set)
+        );
     }
 
     #[test]
@@ -319,8 +344,7 @@ mod tests {
     fn supervised_prune_beats_random_on_recall_density() {
         let (graph, truth) = graph_and_truth();
         let extractor = FeatureExtractor::fit(&graph);
-        let set =
-            TrainingSet::sample(&graph, &extractor, |a, b| truth.is_match(a, b), 50, 11);
+        let set = TrainingSet::sample(&graph, &extractor, |a, b| truth.is_match(a, b), 50, 11);
         let model = Perceptron::train(&set, 15);
         let pruned = supervised_prune(&graph, &model);
         assert!(!pruned.pairs.is_empty(), "model kept nothing");

@@ -1,0 +1,192 @@
+//! The node-centric co-occurrence sweep shared by the CSR graph build and
+//! the streaming pruners.
+//!
+//! For one entity `a`, a sweep visits every block containing `a` (in
+//! ascending block-id order) and every comparable co-member, accumulating
+//! per-neighbour statistics — `|B_aj|` (CBS) and `Σ 1/‖b‖` (ARCS) — in
+//! dense arrays indexed by neighbour id. Resetting between entities uses
+//! the classic epoch/touched-list trick: an epoch counter is bumped per
+//! sweep and a slot is (re)initialised lazily the first time it is touched,
+//! so a sweep costs `O(co-occurrences of a)`, never `O(n)`.
+//!
+//! Because blocks are visited in ascending id order, the f64 ARCS sums are
+//! accumulated in exactly the order the materialised graph build uses —
+//! which is what makes the streaming pruning paths *bit-identical* to the
+//! materialised ones.
+
+use minoan_blocking::BlockCollection;
+use minoan_rdf::EntityId;
+
+/// Reusable per-worker scratch for node-centric sweeps over a collection
+/// with `n` entities.
+pub(crate) struct SweepScratch {
+    /// Epoch at which each neighbour slot was last touched.
+    last_seen: Vec<u32>,
+    /// CBS accumulator per neighbour (valid when `last_seen == epoch`).
+    cbs: Vec<u32>,
+    /// ARCS accumulator per neighbour (valid when `last_seen == epoch`).
+    arcs: Vec<f64>,
+    /// Neighbours touched by the current sweep (unsorted until
+    /// [`Self::sweep`] returns).
+    touched: Vec<u32>,
+    /// Current sweep epoch.
+    epoch: u32,
+}
+
+impl SweepScratch {
+    /// Scratch sized for `n` entities.
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            last_seen: vec![0; n],
+            cbs: vec![0; n],
+            arcs: vec![0.0; n],
+            touched: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Sweeps entity `a`, leaving the distinct comparable neighbours of
+    /// `a` (sorted ascending) in the returned slice; per-neighbour stats
+    /// are then available through [`Self::cbs_of`] / [`Self::arcs_of`].
+    pub(crate) fn sweep(&mut self, collection: &BlockCollection, a: EntityId) -> &[u32] {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Extremely long-lived scratch wrapped around: clear lazily by
+            // resetting all stamps (amortised to nothing in practice).
+            self.last_seen.fill(u32::MAX);
+            self.epoch = 1;
+        }
+        self.touched.clear();
+        for (_bid, inv_card, y) in collection.co_occurrences(a) {
+            let yi = y.index();
+            if self.last_seen[yi] != self.epoch {
+                self.last_seen[yi] = self.epoch;
+                self.cbs[yi] = 1;
+                self.arcs[yi] = inv_card;
+                self.touched.push(y.0);
+            } else {
+                self.cbs[yi] += 1;
+                self.arcs[yi] += inv_card;
+            }
+        }
+        self.touched.sort_unstable();
+        &self.touched
+    }
+
+    /// Sorted distinct neighbours of the most recent sweep.
+    #[inline]
+    pub(crate) fn neighbours(&self) -> &[u32] {
+        &self.touched
+    }
+
+    /// CBS of the most recent sweep's edge to neighbour `y`.
+    #[inline]
+    pub(crate) fn cbs_of(&self, y: u32) -> u32 {
+        self.cbs[y as usize]
+    }
+
+    /// ARCS of the most recent sweep's edge to neighbour `y`.
+    #[inline]
+    pub(crate) fn arcs_of(&self, y: u32) -> f64 {
+        self.arcs[y as usize]
+    }
+}
+
+/// Splits `0..costs.len()` into at most `parts` contiguous ranges of
+/// roughly equal total cost (for entity-range parallelism). Never returns
+/// an empty range; may return fewer ranges than `parts`.
+pub(crate) fn partition_by_cost(costs: &[u64], parts: usize) -> Vec<std::ops::Range<usize>> {
+    let n = costs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let parts = parts.max(1).min(n);
+    let total: u64 = costs.iter().sum();
+    let target = total / parts as u64 + 1;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c;
+        if acc >= target && out.len() + 1 < parts {
+            out.push(start..i + 1);
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        out.push(start..n);
+    }
+    out
+}
+
+/// Default worker count for the parallel sweeps.
+pub(crate) fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Contiguous entity ranges for `threads` workers, balanced by sweep cost
+/// (Σ sizes of each entity's blocks) — shared by the CSR build and the
+/// streaming passes so their parallel partitioning stays in lockstep.
+pub(crate) fn entity_sweep_ranges(
+    collection: &BlockCollection,
+    threads: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let costs: Vec<u64> = (0..collection.num_entities() as u32)
+        .map(|e| {
+            collection
+                .entity_blocks(EntityId(e))
+                .iter()
+                .map(|&b| collection.block(b).len() as u64)
+                .sum()
+        })
+        .collect();
+    partition_by_cost(&costs, threads)
+}
+
+/// Splits `slice` at the given cumulative `ends` (ascending, last ==
+/// `slice.len()`), yielding one mutable chunk per segment for the scoped
+/// worker threads.
+pub(crate) fn split_by_ends<T>(
+    mut slice: &mut [T],
+    ends: impl IntoIterator<Item = usize>,
+) -> Vec<&mut [T]> {
+    let mut chunks = Vec::new();
+    let mut prev = 0usize;
+    for end in ends {
+        let (chunk, rest) = slice.split_at_mut(end - prev);
+        slice = rest;
+        chunks.push(chunk);
+        prev = end;
+    }
+    debug_assert!(slice.is_empty(), "ends must cover the whole slice");
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_in_order() {
+        let costs = vec![5u64, 1, 1, 1, 8, 1, 1, 1, 1, 1];
+        for parts in 1..6 {
+            let ranges = partition_by_cost(&costs, parts);
+            assert!(ranges.len() <= parts);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next, costs.len());
+        }
+    }
+
+    #[test]
+    fn partition_handles_empty() {
+        assert!(partition_by_cost(&[], 4).is_empty());
+    }
+}

@@ -47,16 +47,46 @@ impl WeightingScheme {
     /// Weight of `edge` in `graph` under this scheme. Always finite and
     /// ≥ 0; higher = stronger co-occurrence evidence.
     pub fn weight(self, graph: &BlockingGraph, edge: &Edge) -> f64 {
-        let cbs = edge.common_blocks as f64;
+        self.weight_from_stats(
+            edge.common_blocks,
+            edge.arcs,
+            graph.blocks_of(edge.a),
+            graph.blocks_of(edge.b),
+            graph.num_blocks(),
+            graph.degree(edge.a),
+            graph.degree(edge.b),
+            graph.num_edges(),
+        )
+    }
+
+    /// Weight from raw per-pair and per-endpoint statistics. This is the
+    /// single kernel both the materialised path ([`Self::weight`]) and the
+    /// streaming node-centric path compute through, so the two produce
+    /// bit-identical f64 results for the same inputs.
+    ///
+    /// `deg_a`/`deg_b`/`num_edges` are only read by [`WeightingScheme::Ejs`].
+    #[allow(clippy::too_many_arguments)]
+    #[inline]
+    pub fn weight_from_stats(
+        self,
+        common_blocks: u32,
+        arcs: f64,
+        blocks_a: u32,
+        blocks_b: u32,
+        num_blocks: usize,
+        deg_a: usize,
+        deg_b: usize,
+        num_edges: usize,
+    ) -> f64 {
+        let cbs = common_blocks as f64;
         match self {
             WeightingScheme::Cbs => cbs,
             WeightingScheme::Ecbs => {
-                let b = graph.num_blocks() as f64;
-                cbs * log_weight(b, graph.blocks_of(edge.a) as f64)
-                    * log_weight(b, graph.blocks_of(edge.b) as f64)
+                let b = num_blocks as f64;
+                cbs * log_weight(b, blocks_a as f64) * log_weight(b, blocks_b as f64)
             }
             WeightingScheme::Js => {
-                let denom = graph.blocks_of(edge.a) as f64 + graph.blocks_of(edge.b) as f64 - cbs;
+                let denom = blocks_a as f64 + blocks_b as f64 - cbs;
                 if denom <= 0.0 {
                     0.0
                 } else {
@@ -64,18 +94,30 @@ impl WeightingScheme {
                 }
             }
             WeightingScheme::Ejs => {
-                let js = WeightingScheme::Js.weight(graph, edge);
-                let v = graph.num_edges() as f64;
-                js * log_weight(v, graph.degree(edge.a) as f64)
-                    * log_weight(v, graph.degree(edge.b) as f64)
+                let js = WeightingScheme::Js.weight_from_stats(
+                    common_blocks,
+                    arcs,
+                    blocks_a,
+                    blocks_b,
+                    num_blocks,
+                    deg_a,
+                    deg_b,
+                    num_edges,
+                );
+                let v = num_edges as f64;
+                js * log_weight(v, deg_a as f64) * log_weight(v, deg_b as f64)
             }
-            WeightingScheme::Arcs => edge.arcs,
+            WeightingScheme::Arcs => arcs,
         }
     }
 
     /// Weights of every edge, aligned with `graph.edges()`.
     pub fn all_weights(self, graph: &BlockingGraph) -> Vec<f64> {
-        graph.edges().iter().map(|e| self.weight(graph, e)).collect()
+        graph
+            .edges()
+            .iter()
+            .map(|e| self.weight(graph, e))
+            .collect()
     }
 }
 
@@ -172,7 +214,11 @@ mod tests {
         for scheme in WeightingScheme::ALL {
             let ws = scheme.all_weights(&g);
             assert_eq!(ws.len(), g.num_edges());
-            assert!(ws.iter().all(|w| w.is_finite() && *w >= 0.0), "{:?}", scheme);
+            assert!(
+                ws.iter().all(|w| w.is_finite() && *w >= 0.0),
+                "{:?}",
+                scheme
+            );
         }
     }
 

@@ -241,7 +241,10 @@ impl Dataset {
         if self.descriptions.is_empty() {
             return 0.0;
         }
-        self.descriptions.iter().map(|d| d.attributes.len()).sum::<usize>() as f64
+        self.descriptions
+            .iter()
+            .map(|d| d.attributes.len())
+            .sum::<usize>() as f64
             / self.descriptions.len() as f64
     }
 
@@ -330,7 +333,9 @@ impl DatasetBuilder {
     pub fn add_literal(&mut self, kb: KbId, subject: &str, predicate: &str, value: &str) {
         let p = self.predicates.intern(predicate);
         let e = self.entity_for(kb, subject);
-        self.descriptions[e.index()].attributes.push((p, Value::Literal(value.into())));
+        self.descriptions[e.index()]
+            .attributes
+            .push((p, Value::Literal(value.into())));
     }
 
     /// Adds a resource-valued attribute (a link) to `subject`.
@@ -422,10 +427,30 @@ mod tests {
         let mut b = DatasetBuilder::new();
         let kb0 = b.add_kb("dbpedia", "http://db.org/r/");
         let kb1 = b.add_kb("yago", "http://yago.org/r/");
-        b.add_literal(kb0, "http://db.org/r/Heraklion", "http://db.org/o/label", "Heraklion");
-        b.add_resource(kb0, "http://db.org/r/Heraklion", "http://db.org/o/region", "http://db.org/r/Crete");
-        b.add_literal(kb0, "http://db.org/r/Crete", "http://db.org/o/label", "Crete");
-        b.add_literal(kb1, "http://yago.org/r/Iraklio", "http://yago.org/o/name", "Iraklio city");
+        b.add_literal(
+            kb0,
+            "http://db.org/r/Heraklion",
+            "http://db.org/o/label",
+            "Heraklion",
+        );
+        b.add_resource(
+            kb0,
+            "http://db.org/r/Heraklion",
+            "http://db.org/o/region",
+            "http://db.org/r/Crete",
+        );
+        b.add_literal(
+            kb0,
+            "http://db.org/r/Crete",
+            "http://db.org/o/label",
+            "Crete",
+        );
+        b.add_literal(
+            kb1,
+            "http://yago.org/r/Iraklio",
+            "http://yago.org/o/name",
+            "Iraklio city",
+        );
         b.build()
     }
 
@@ -477,7 +502,10 @@ mod tests {
         let h = ds.entity_by_uri("http://db.org/r/Heraklion").unwrap();
         let toks = ds.blocking_tokens(h);
         assert!(toks.contains(&"heraklion".to_string()));
-        assert!(toks.contains(&"crete".to_string()), "resource infix token missing: {toks:?}");
+        assert!(
+            toks.contains(&"crete".to_string()),
+            "resource infix token missing: {toks:?}"
+        );
         let lit = ds.literal_tokens(h);
         assert!(!lit.contains(&"crete".to_string()));
     }
@@ -492,7 +520,9 @@ mod tests {
     #[test]
     fn per_kb_partition_is_complete() {
         let ds = small();
-        let total: usize = (0..ds.kb_count()).map(|k| ds.entities_of_kb(KbId(k as u16)).len()).sum();
+        let total: usize = (0..ds.kb_count())
+            .map(|k| ds.entities_of_kb(KbId(k as u16)).len())
+            .sum();
         assert_eq!(total, ds.len());
     }
 
@@ -517,7 +547,11 @@ mod tests {
         b.add_triple(kb0, &t);
         b.add_triple(kb1, &t);
         let ds = b.build();
-        assert_eq!(ds.len(), 2, "same blank label in different KBs stays distinct");
+        assert_eq!(
+            ds.len(),
+            2,
+            "same blank label in different KBs stays distinct"
+        );
     }
 
     #[test]

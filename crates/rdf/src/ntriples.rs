@@ -19,7 +19,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "N-Triples parse error at line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "N-Triples parse error at line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -73,7 +77,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn err(&self, reason: impl Into<String>) -> ParseError {
-        ParseError { line: self.line, reason: reason.into() }
+        ParseError {
+            line: self.line,
+            reason: reason.into(),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -85,7 +92,10 @@ impl<'a> Cursor<'a> {
             self.rest = r;
             Ok(())
         } else {
-            Err(self.err(format!("expected '{c}', found {:?}", self.rest.chars().next())))
+            Err(self.err(format!(
+                "expected '{c}', found {:?}",
+                self.rest.chars().next()
+            )))
         }
     }
 
@@ -155,8 +165,9 @@ impl<'a> Cursor<'a> {
                             let cp = u32::from_str_radix(&hex, 16)
                                 .map_err(|_| self.err(format!("bad hex escape \\{esc}{hex}")))?;
                             value.push(
-                                char::from_u32(cp)
-                                    .ok_or_else(|| self.err(format!("invalid code point U+{hex}")))?,
+                                char::from_u32(cp).ok_or_else(|| {
+                                    self.err(format!("invalid code point U+{hex}"))
+                                })?,
                             );
                         }
                         other => return Err(self.err(format!("unknown escape '\\{other}'"))),
@@ -178,11 +189,19 @@ impl<'a> Cursor<'a> {
             }
             let lang = r[..end].to_string();
             self.rest = &r[end..];
-            Ok(Literal { value, lang: Some(lang), datatype: None })
+            Ok(Literal {
+                value,
+                lang: Some(lang),
+                datatype: None,
+            })
         } else if let Some(r) = self.rest.strip_prefix("^^") {
             self.rest = r;
             let dt = self.parse_iri()?;
-            Ok(Literal { value, lang: None, datatype: Some(dt) })
+            Ok(Literal {
+                value,
+                lang: None,
+                datatype: Some(dt),
+            })
         } else {
             Ok(Literal::plain(value))
         }
@@ -200,7 +219,10 @@ impl<'a> Cursor<'a> {
 
 /// Parses a single (already trimmed, non-comment) N-Triples statement.
 pub fn parse_line(line: &str, line_no: usize) -> Result<Triple, ParseError> {
-    let mut c = Cursor { rest: line, line: line_no };
+    let mut c = Cursor {
+        rest: line,
+        line: line_no,
+    };
     c.skip_ws();
     let subject = c.parse_term()?;
     if !subject.is_subject() {
@@ -216,7 +238,11 @@ pub fn parse_line(line: &str, line_no: usize) -> Result<Triple, ParseError> {
     if !c.rest.is_empty() && !c.rest.starts_with('#') {
         return Err(c.err(format!("trailing content after '.': {:?}", c.rest)));
     }
-    Ok(Triple { subject, predicate, object })
+    Ok(Triple {
+        subject,
+        predicate,
+        object,
+    })
 }
 
 #[cfg(test)]
@@ -261,7 +287,8 @@ mod tests {
 
     #[test]
     fn document_skips_comments_and_blanks() {
-        let doc = "# header\n\n<http://a> <http://p> \"x\" .\n  # tail\n<http://b> <http://p> \"y\" .\n";
+        let doc =
+            "# header\n\n<http://a> <http://p> \"x\" .\n  # tail\n<http://b> <http://p> \"y\" .\n";
         let ts = parse_document(doc).unwrap();
         assert_eq!(ts.len(), 2);
     }

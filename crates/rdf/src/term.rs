@@ -16,17 +16,29 @@ pub struct Literal {
 impl Literal {
     /// A plain literal with neither language tag nor datatype.
     pub fn plain(value: impl Into<String>) -> Self {
-        Self { value: value.into(), lang: None, datatype: None }
+        Self {
+            value: value.into(),
+            lang: None,
+            datatype: None,
+        }
     }
 
     /// A language-tagged literal.
     pub fn lang_tagged(value: impl Into<String>, lang: impl Into<String>) -> Self {
-        Self { value: value.into(), lang: Some(lang.into()), datatype: None }
+        Self {
+            value: value.into(),
+            lang: Some(lang.into()),
+            datatype: None,
+        }
     }
 
     /// A typed literal.
     pub fn typed(value: impl Into<String>, datatype: impl Into<String>) -> Self {
-        Self { value: value.into(), lang: None, datatype: Some(datatype.into()) }
+        Self {
+            value: value.into(),
+            lang: None,
+            datatype: Some(datatype.into()),
+        }
     }
 }
 
@@ -108,7 +120,11 @@ pub struct Triple {
 impl Triple {
     /// Builds a triple; no validation beyond types is performed.
     pub fn new(subject: Term, predicate: impl Into<String>, object: Term) -> Self {
-        Self { subject, predicate: predicate.into(), object }
+        Self {
+            subject,
+            predicate: predicate.into(),
+            object,
+        }
     }
 }
 
@@ -127,7 +143,9 @@ mod tests {
         assert_eq!(Literal::plain("x").lang, None);
         assert_eq!(Literal::lang_tagged("x", "en").lang.as_deref(), Some("en"));
         assert_eq!(
-            Literal::typed("3", "http://www.w3.org/2001/XMLSchema#int").datatype.as_deref(),
+            Literal::typed("3", "http://www.w3.org/2001/XMLSchema#int")
+                .datatype
+                .as_deref(),
             Some("http://www.w3.org/2001/XMLSchema#int")
         );
     }
@@ -155,13 +173,23 @@ mod tests {
             t.to_string(),
             "<http://e.org/s> <http://e.org/p> \"caf\u{e9} \\\"bar\\\"\"@fr ."
         );
-        let t2 = Triple::new(Term::Blank("b1".into()), "http://e.org/p", Term::iri("http://e.org/o"));
+        let t2 = Triple::new(
+            Term::Blank("b1".into()),
+            "http://e.org/p",
+            Term::iri("http://e.org/o"),
+        );
         assert_eq!(t2.to_string(), "_:b1 <http://e.org/p> <http://e.org/o> .");
     }
 
     #[test]
     fn typed_literal_display() {
-        let t = Term::Literal(Literal::typed("42", "http://www.w3.org/2001/XMLSchema#integer"));
-        assert_eq!(t.to_string(), "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>");
+        let t = Term::Literal(Literal::typed(
+            "42",
+            "http://www.w3.org/2001/XMLSchema#integer",
+        ));
+        assert_eq!(
+            t.to_string(),
+            "\"42\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
     }
 }

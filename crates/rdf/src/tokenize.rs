@@ -70,7 +70,11 @@ pub fn decompose_uri(uri: &str) -> UriDecomposition<'_> {
     if let Some(hash) = uri.rfind('#') {
         let frag = &uri[hash + 1..];
         if !frag.is_empty() && !GENERIC_SUFFIX_SEGMENTS.contains(&frag) {
-            return UriDecomposition { prefix: &uri[..hash + 1], infix: frag, suffix: "" };
+            return UriDecomposition {
+                prefix: &uri[..hash + 1],
+                infix: frag,
+                suffix: "",
+            };
         }
     }
     // Work on the part after the scheme's "://", if any.
@@ -80,7 +84,11 @@ pub fn decompose_uri(uri: &str) -> UriDecomposition<'_> {
         Some(i) => body_start + i + 1,
         None => {
             // No path at all: the authority itself is all prefix.
-            return UriDecomposition { prefix: uri, infix: "", suffix: "" };
+            return UriDecomposition {
+                prefix: uri,
+                infix: "",
+                suffix: "",
+            };
         }
     };
     let mut segs: Vec<(usize, &str)> = Vec::new();
@@ -93,8 +101,8 @@ pub fn decompose_uri(uri: &str) -> UriDecomposition<'_> {
     let mut end = segs.len();
     while end > 0 {
         let seg = segs[end - 1].1;
-        let is_generic = seg.is_empty()
-            || GENERIC_SUFFIX_SEGMENTS.contains(&seg.to_lowercase().as_str());
+        let is_generic =
+            seg.is_empty() || GENERIC_SUFFIX_SEGMENTS.contains(&seg.to_lowercase().as_str());
         if is_generic {
             end -= 1;
         } else {
@@ -102,7 +110,11 @@ pub fn decompose_uri(uri: &str) -> UriDecomposition<'_> {
         }
     }
     if end == 0 {
-        return UriDecomposition { prefix: &uri[..path_start], infix: "", suffix: &uri[path_start..] };
+        return UriDecomposition {
+            prefix: &uri[..path_start],
+            infix: "",
+            suffix: &uri[path_start..],
+        };
     }
     let (seg_off, seg) = segs[end - 1];
     // Split a file extension off the naming segment.
@@ -216,7 +228,11 @@ mod tests {
             "http://example.org/resource/Athens/",
         ] {
             let d = decompose_uri(uri);
-            assert_eq!(format!("{}{}{}", d.prefix, d.infix, d.suffix), uri, "lossy: {uri}");
+            assert_eq!(
+                format!("{}{}{}", d.prefix, d.infix, d.suffix),
+                uri,
+                "lossy: {uri}"
+            );
         }
     }
 }

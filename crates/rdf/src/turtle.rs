@@ -32,7 +32,11 @@ pub struct TurtleError {
 
 impl std::fmt::Display for TurtleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "turtle parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "turtle parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -74,7 +78,10 @@ impl<'a> Parser<'a> {
     }
 
     fn err<T>(&self, message: impl Into<String>) -> Result<T, TurtleError> {
-        Err(TurtleError { line: self.line, message: message.into() })
+        Err(TurtleError {
+            line: self.line,
+            message: message.into(),
+        })
     }
 
     fn peek(&self) -> Option<char> {
@@ -215,7 +222,8 @@ impl<'a> Parser<'a> {
             let predicate = self.parse_predicate()?;
             loop {
                 let object = self.parse_object()?;
-                self.triples.push(Triple::new(subject.clone(), predicate.clone(), object));
+                self.triples
+                    .push(Triple::new(subject.clone(), predicate.clone(), object));
                 self.skip_ws();
                 if self.peek() == Some(',') {
                     self.bump();
@@ -267,7 +275,11 @@ impl<'a> Parser<'a> {
             Some('t') | Some('f')
                 if self.starts_with_keyword("true") || self.starts_with_keyword("false") =>
             {
-                let word = if self.starts_with_keyword("true") { "true" } else { "false" };
+                let word = if self.starts_with_keyword("true") {
+                    "true"
+                } else {
+                    "false"
+                };
                 for _ in 0..word.len() {
                     self.bump();
                 }
@@ -447,7 +459,11 @@ impl<'a> Parser<'a> {
             } else if c == '.' && !saw_dot {
                 // A dot is part of the number only if a digit follows;
                 // otherwise it terminates the statement.
-                if self.chars.get(self.pos + 1).is_some_and(|d| d.is_ascii_digit()) {
+                if self
+                    .chars
+                    .get(self.pos + 1)
+                    .is_some_and(|d| d.is_ascii_digit())
+                {
                     saw_dot = true;
                     text.push(c);
                     self.bump();
@@ -465,7 +481,6 @@ impl<'a> Parser<'a> {
         Ok(Term::Literal(Literal::typed(text, datatype)))
     }
 }
-
 
 /// Serialises triples as compact Turtle.
 ///
@@ -489,7 +504,9 @@ pub fn write_turtle(triples: &[Triple], prefixes: &[(&str, &str)]) -> String {
         for (label, ns) in prefixes {
             if let Some(local) = iri.strip_prefix(ns) {
                 let simple = !local.is_empty()
-                    && local.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '-')
+                    && local
+                        .chars()
+                        .all(|c| c.is_alphanumeric() || c == '_' || c == '-')
                     && !local.ends_with('.');
                 if simple {
                     return format!("{label}:{local}");
@@ -545,7 +562,11 @@ pub fn write_turtle(triples: &[Triple], prefixes: &[(&str, &str)]) -> String {
             entry.push(&t.object);
         }
         for (pi, pred) in pred_order.iter().enumerate() {
-            let pred_text = if *pred == RDF_TYPE { "a".to_string() } else { shorten(pred) };
+            let pred_text = if *pred == RDF_TYPE {
+                "a".to_string()
+            } else {
+                shorten(pred)
+            };
             let objects: Vec<String> = by_pred[pred].iter().map(|o| term_str(o)).collect();
             let _ = write!(out, "{pred_text} {}", objects.join(" , "));
             if pi + 1 < pred_order.len() {
@@ -616,7 +637,10 @@ mod tests {
         }
         match &t[1].object {
             Term::Literal(l) => {
-                assert_eq!(l.datatype.as_deref(), Some("http://www.w3.org/2001/XMLSchema#int"))
+                assert_eq!(
+                    l.datatype.as_deref(),
+                    Some("http://www.w3.org/2001/XMLSchema#int")
+                )
             }
             other => panic!("expected literal, got {other:?}"),
         }
@@ -651,8 +675,10 @@ mod tests {
             Term::Blank(b) => b.clone(),
             other => panic!("expected blank object, got {other:?}"),
         };
-        assert!(t.iter().any(|x| x.subject == Term::Blank(anon.clone())
-            && x.object.as_literal() == Some("nested")));
+        assert!(t
+            .iter()
+            .any(|x| x.subject == Term::Blank(anon.clone())
+                && x.object.as_literal() == Some("nested")));
     }
 
     #[test]
@@ -698,7 +724,6 @@ mod tests {
         assert!(triples("# nothing here\n\n").is_empty());
     }
 
-
     #[test]
     fn writer_round_trips_through_parser() {
         let doc = "@prefix x: <http://x/> .\n\
@@ -714,7 +739,11 @@ mod tests {
     fn writer_groups_subjects_and_uses_a() {
         let doc = "@prefix x: <http://x/> .\nx:s a x:T .\nx:s x:p \"v\" .";
         let written = write_turtle(&triples(doc), &[("x", "http://x/")]);
-        assert_eq!(written.matches("x:s").count(), 1, "one subject group:\n{written}");
+        assert_eq!(
+            written.matches("x:s").count(),
+            1,
+            "one subject group:\n{written}"
+        );
         assert!(written.contains(" a x:T"), "{written}");
         assert!(written.contains(';'), "{written}");
     }
@@ -739,7 +768,10 @@ mod tests {
             Term::iri("http://x/ok"),
         )];
         let written = write_turtle(&t, &[("x", "http://x/")]);
-        assert!(written.contains("<http://elsewhere/with space.x.>"), "{written}");
+        assert!(
+            written.contains("<http://elsewhere/with space.x.>"),
+            "{written}"
+        );
         assert!(written.contains("x:ok"), "{written}");
     }
 

@@ -36,7 +36,12 @@ pub fn needleman_wunsch(a: &str, b: &str) -> f64 {
     for i in 1..=n {
         cur[0] = i as i32 * GAP;
         for j in 1..=m {
-            let diag = prev[j - 1] + if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let diag = prev[j - 1]
+                + if a[i - 1] == b[j - 1] {
+                    MATCH
+                } else {
+                    MISMATCH
+                };
             cur[j] = diag.max(prev[j] + GAP).max(cur[j - 1] + GAP);
         }
         std::mem::swap(&mut prev, &mut cur);
@@ -65,7 +70,12 @@ pub fn smith_waterman(a: &str, b: &str) -> f64 {
     for i in 1..=n {
         cur[0] = 0;
         for j in 1..=m {
-            let diag = prev[j - 1] + if a[i - 1] == b[j - 1] { MATCH } else { MISMATCH };
+            let diag = prev[j - 1]
+                + if a[i - 1] == b[j - 1] {
+                    MATCH
+                } else {
+                    MISMATCH
+                };
             cur[j] = 0.max(diag).max(prev[j] + GAP).max(cur[j - 1] + GAP);
             if cur[j] > best {
                 best = cur[j];
@@ -104,7 +114,10 @@ mod tests {
     #[test]
     fn local_alignment_finds_embedded_substring() {
         let sw = smith_waterman("heraklion", "municipality of heraklion crete");
-        assert!((sw - 1.0).abs() < 1e-12, "embedded name should score 1: {sw}");
+        assert!(
+            (sw - 1.0).abs() < 1e-12,
+            "embedded name should score 1: {sw}"
+        );
         // Global alignment is dragged down by the flanking text.
         let nw = needleman_wunsch("heraklion", "municipality of heraklion crete");
         assert!(nw < sw, "nw {nw} should trail sw {sw}");
@@ -120,7 +133,11 @@ mod tests {
 
     #[test]
     fn symmetric() {
-        for (a, b) in [("abc", "abd"), ("hello", "hallo"), ("short", "a much longer value")] {
+        for (a, b) in [
+            ("abc", "abd"),
+            ("hello", "hallo"),
+            ("short", "a much longer value"),
+        ] {
             assert!((needleman_wunsch(a, b) - needleman_wunsch(b, a)).abs() < 1e-12);
             assert!((smith_waterman(a, b) - smith_waterman(b, a)).abs() < 1e-12);
         }
@@ -128,8 +145,15 @@ mod tests {
 
     #[test]
     fn local_at_least_global() {
-        for (a, b) in [("abcdef", "xxabcdxx"), ("kostas", "konstantinos"), ("ab", "ba")] {
-            assert!(smith_waterman(a, b) + 1e-12 >= needleman_wunsch(a, b), "{a} vs {b}");
+        for (a, b) in [
+            ("abcdef", "xxabcdxx"),
+            ("kostas", "konstantinos"),
+            ("ab", "ba"),
+        ] {
+            assert!(
+                smith_waterman(a, b) + 1e-12 >= needleman_wunsch(a, b),
+                "{a} vs {b}"
+            );
         }
     }
 

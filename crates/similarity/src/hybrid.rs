@@ -14,7 +14,9 @@
 use crate::string::jaro_winkler;
 
 fn tokens(s: &str) -> Vec<&str> {
-    s.split(|c: char| !c.is_alphanumeric()).filter(|t| !t.is_empty()).collect()
+    s.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .collect()
 }
 
 /// Monge–Elkan similarity of `a` against `b` using Jaro–Winkler as the
@@ -46,7 +48,10 @@ pub fn monge_elkan_symmetric(a: &str, b: &str) -> f64 {
 /// highest-similarity first), and the coefficient is
 /// `matches / (|A| + |B| − matches)`.
 pub fn soft_token_jaccard(a: &str, b: &str, threshold: f64) -> f64 {
-    assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&threshold),
+        "threshold must be in [0,1]"
+    );
     let (ta, tb) = (tokens(a), tokens(b));
     if ta.is_empty() && tb.is_empty() {
         return 0.0;
@@ -61,7 +66,11 @@ pub fn soft_token_jaccard(a: &str, b: &str, threshold: f64) -> f64 {
             }
         }
     }
-    scored.sort_by(|p, q| q.0.partial_cmp(&p.0).expect("finite").then(p.1.cmp(&q.1).then(p.2.cmp(&q.2))));
+    scored.sort_by(|p, q| {
+        q.0.partial_cmp(&p.0)
+            .expect("finite")
+            .then(p.1.cmp(&q.1).then(p.2.cmp(&q.2)))
+    });
     let mut used_a = vec![false; ta.len()];
     let mut used_b = vec![false; tb.len()];
     let mut matches = 0usize;

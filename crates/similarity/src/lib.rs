@@ -28,10 +28,10 @@ pub mod token;
 
 pub use alignment::{needleman_wunsch, smith_waterman};
 pub use hybrid::{monge_elkan, monge_elkan_symmetric, soft_token_jaccard};
+pub use minhash::{MinHasher, Signature};
 pub use numeric::{date_literal_similarity, numeric_literal_similarity};
 pub use simhash::{simhash_similarity, SimHash};
 pub use softtfidf::{soft_cosine, soft_tfidf};
-pub use minhash::{MinHasher, Signature};
 pub use string::{jaro, jaro_winkler, levenshtein, levenshtein_similarity, qgram_similarity};
 pub use tfidf::TfIdfWeights;
 pub use token::{cosine, dice, jaccard, overlap_coefficient, weighted_jaccard};

@@ -77,27 +77,48 @@ pub fn parse_date(s: &str) -> Option<Date> {
             return None;
         }
         let leap = (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
-        let dim = [31, if leap { 29 } else { 28 }, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+        let dim = [
+            31,
+            if leap { 29 } else { 28 },
+            31,
+            30,
+            31,
+            30,
+            31,
+            31,
+            30,
+            31,
+            30,
+            31,
+        ];
         if d == 0 || d > dim[(m - 1) as usize] {
             return None;
         }
-        Some(Date { year: y, month: m as u8, day: d as u8 })
+        Some(Date {
+            year: y,
+            month: m as u8,
+            day: d as u8,
+        })
     };
     for sep in ['-', '/'] {
         let parts: Vec<&str> = s.split(sep).collect();
         if parts.len() == 3 {
-            if let (Ok(y), Ok(m), Ok(d)) =
-                (parts[0].parse::<i32>(), parts[1].parse::<u32>(), parts[2].parse::<u32>())
-            {
+            if let (Ok(y), Ok(m), Ok(d)) = (
+                parts[0].parse::<i32>(),
+                parts[1].parse::<u32>(),
+                parts[2].parse::<u32>(),
+            ) {
                 return make(y, m, d);
             }
         }
     }
     let parts: Vec<&str> = s.split('.').collect();
     if parts.len() == 3 {
-        if let (Ok(d), Ok(m), Ok(y)) =
-            (parts[0].parse::<u32>(), parts[1].parse::<u32>(), parts[2].parse::<i32>())
-        {
+        if let (Ok(d), Ok(m), Ok(y)) = (
+            parts[0].parse::<u32>(),
+            parts[1].parse::<u32>(),
+            parts[2].parse::<i32>(),
+        ) {
             return make(y, m, d);
         }
     }
@@ -133,7 +154,7 @@ mod tests {
     #[test]
     fn parse_number_variants() {
         assert_eq!(parse_number("42"), Some(42.0));
-        assert_eq!(parse_number(" 3.14 "), Some(3.14));
+        assert_eq!(parse_number(" 3.25 "), Some(3.25));
         assert_eq!(parse_number("1,234,567"), Some(1_234_567.0));
         assert_eq!(parse_number("+7"), Some(7.0));
         assert_eq!(parse_number("-2.5e3"), Some(-2500.0));
@@ -159,34 +180,99 @@ mod tests {
 
     #[test]
     fn parse_date_formats() {
-        let d = Date { year: 2016, month: 3, day: 15 };
+        let d = Date {
+            year: 2016,
+            month: 3,
+            day: 15,
+        };
         assert_eq!(parse_date("2016-03-15"), Some(d));
         assert_eq!(parse_date("2016/03/15"), Some(d));
         assert_eq!(parse_date("15.03.2016"), Some(d));
-        assert_eq!(parse_date("2016"), Some(Date { year: 2016, month: 7, day: 1 }));
+        assert_eq!(
+            parse_date("2016"),
+            Some(Date {
+                year: 2016,
+                month: 7,
+                day: 1
+            })
+        );
         assert_eq!(parse_date("2016-13-01"), None, "month 13");
         assert_eq!(parse_date("2015-02-29"), None, "not a leap year");
-        assert_eq!(parse_date("2016-02-29"), Some(Date { year: 2016, month: 2, day: 29 }));
+        assert_eq!(
+            parse_date("2016-02-29"),
+            Some(Date {
+                year: 2016,
+                month: 2,
+                day: 29
+            })
+        );
         assert_eq!(parse_date("nonsense"), None);
     }
 
     #[test]
     fn epoch_days_known_values() {
-        assert_eq!(Date { year: 1970, month: 1, day: 1 }.days_from_epoch(), 0);
-        assert_eq!(Date { year: 1970, month: 1, day: 2 }.days_from_epoch(), 1);
-        assert_eq!(Date { year: 1969, month: 12, day: 31 }.days_from_epoch(), -1);
-        assert_eq!(Date { year: 2000, month: 3, day: 1 }.days_from_epoch(), 11_017);
+        assert_eq!(
+            Date {
+                year: 1970,
+                month: 1,
+                day: 1
+            }
+            .days_from_epoch(),
+            0
+        );
+        assert_eq!(
+            Date {
+                year: 1970,
+                month: 1,
+                day: 2
+            }
+            .days_from_epoch(),
+            1
+        );
+        assert_eq!(
+            Date {
+                year: 1969,
+                month: 12,
+                day: 31
+            }
+            .days_from_epoch(),
+            -1
+        );
+        assert_eq!(
+            Date {
+                year: 2000,
+                month: 3,
+                day: 1
+            }
+            .days_from_epoch(),
+            11_017
+        );
     }
 
     #[test]
     fn date_similarity_decay() {
-        let a = Date { year: 2016, month: 1, day: 1 };
+        let a = Date {
+            year: 2016,
+            month: 1,
+            day: 1,
+        };
         let same = date_similarity(a, a, 365.0);
         assert!((same - 1.0).abs() < 1e-12);
-        let b = Date { year: 2017, month: 1, day: 1 };
+        let b = Date {
+            year: 2017,
+            month: 1,
+            day: 1,
+        };
         let one_year = date_similarity(a, b, 365.0);
-        assert!((one_year - 0.5).abs() < 0.01, "one half-life ≈ 0.5: {one_year}");
-        let c = Date { year: 2018, month: 1, day: 1 };
+        assert!(
+            (one_year - 0.5).abs() < 0.01,
+            "one half-life ≈ 0.5: {one_year}"
+        );
+        let c = Date {
+            year: 2018,
+            month: 1,
+            day: 1,
+        };
         assert!(date_similarity(a, c, 365.0) < one_year);
     }
 
@@ -200,7 +286,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "half-life")]
     fn zero_half_life_rejected() {
-        let d = Date { year: 2016, month: 1, day: 1 };
+        let d = Date {
+            year: 2016,
+            month: 1,
+            day: 1,
+        };
         date_similarity(d, d, 0.0);
     }
 }

@@ -27,7 +27,10 @@ pub fn soft_tfidf(
     mut idf: impl FnMut(&str) -> f64,
     threshold: f64,
 ) -> f64 {
-    assert!(threshold > 0.0 && threshold <= 1.0, "threshold must be in (0, 1]");
+    assert!(
+        threshold > 0.0 && threshold <= 1.0,
+        "threshold must be in (0, 1]"
+    );
     if a_tokens.is_empty() || b_tokens.is_empty() {
         return 0.0;
     }
@@ -106,7 +109,10 @@ mod tests {
         let b_shared_common = ["the", "aardvark"];
         let rare = soft_tfidf(&a, &b_shared_rare, idf, 0.9);
         let common = soft_tfidf(&a, &b_shared_common, idf, 0.9);
-        assert!(rare > common, "sharing the rare token must count more: {rare} vs {common}");
+        assert!(
+            rare > common,
+            "sharing the rare token must count more: {rare} vs {common}"
+        );
     }
 
     #[test]

@@ -102,7 +102,9 @@ pub fn qgram_similarity(a: &str, b: &str, q: usize) -> f64 {
         if cs.len() < q {
             return Vec::new();
         }
-        (0..=cs.len() - q).map(|i| cs[i..i + q].iter().collect()).collect()
+        (0..=cs.len() - q)
+            .map(|i| cs[i..i + q].iter().collect())
+            .collect()
     };
     let (mut ga, mut gb) = (grams(a), grams(b));
     if ga.is_empty() || gb.is_empty() {

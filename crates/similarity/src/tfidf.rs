@@ -60,9 +60,8 @@ impl TfIdfWeights {
     /// TF-IDF cosine similarity between two canonical (sorted+deduped)
     /// token slices, treating each as a binary-TF document vector.
     pub fn cosine(&self, a: &[u32], b: &[u32]) -> f64 {
-        let norm = |xs: &[u32]| -> f64 {
-            xs.iter().map(|&t| self.idf(t).powi(2)).sum::<f64>().sqrt()
-        };
+        let norm =
+            |xs: &[u32]| -> f64 { xs.iter().map(|&t| self.idf(t).powi(2)).sum::<f64>().sqrt() };
         let (na, nb) = (norm(a), norm(b));
         if na == 0.0 || nb == 0.0 {
             return 0.0;

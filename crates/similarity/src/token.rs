@@ -15,7 +15,10 @@ pub fn prepare(mut tokens: Vec<u32>) -> Vec<u32> {
 }
 
 fn assert_canonical(xs: &[u32]) {
-    debug_assert!(xs.windows(2).all(|w| w[0] < w[1]), "tokens must be sorted+deduped");
+    debug_assert!(
+        xs.windows(2).all(|w| w[0] < w[1]),
+        "tokens must be sorted+deduped"
+    );
 }
 
 /// Size of the intersection of two canonical token slices (linear merge).

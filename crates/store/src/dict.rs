@@ -97,7 +97,9 @@ impl Dict {
 
     /// Looks a term up without inserting.
     pub fn encode_lookup(&self, term: &Term) -> Option<TermId> {
-        self.lookup.get(&(term.kind(), term.text()) as &dyn DictKey).copied()
+        self.lookup
+            .get(&(term.kind(), term.text()) as &dyn DictKey)
+            .copied()
     }
 
     /// The text of `id`.
@@ -148,7 +150,9 @@ impl Dict {
 
 impl fmt::Debug for Dict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Dict").field("terms", &self.texts.len()).finish()
+        f.debug_struct("Dict")
+            .field("terms", &self.texts.len())
+            .finish()
     }
 }
 
@@ -217,7 +221,11 @@ mod tests {
     #[test]
     fn decode_round_trips() {
         let mut d = Dict::new();
-        for t in [Term::iri("http://a"), Term::literal("b c"), Term::blank("n0")] {
+        for t in [
+            Term::iri("http://a"),
+            Term::literal("b c"),
+            Term::blank("n0"),
+        ] {
             let id = d.encode(&t);
             assert_eq!(d.decode(id), t);
             assert_eq!(d.kind(id), t.kind());

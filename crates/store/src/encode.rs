@@ -84,7 +84,10 @@ fn get_varint_u32(buf: &mut impl Buf) -> Result<u32, DecodeError> {
 /// losslessly but wastes space and fails `decode_page`'s sort check only if
 /// subjects regress.
 pub fn encode_page(triples: &[EncodedTriple]) -> Bytes {
-    debug_assert!(triples.windows(2).all(|w| w[0] <= w[1]), "encode_page input must be sorted");
+    debug_assert!(
+        triples.windows(2).all(|w| w[0] <= w[1]),
+        "encode_page input must be sorted"
+    );
     let mut buf = BytesMut::with_capacity(triples.len() * 4 + 8);
     put_varint(&mut buf, triples.len() as u64);
     let mut prev_s = 0u32;

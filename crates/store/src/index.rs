@@ -46,7 +46,10 @@ impl SortedIndex {
         let mut v = triples.to_vec();
         v.sort_unstable_by_key(|t| order.key(t));
         v.dedup();
-        Self { order, triples: v.into_boxed_slice() }
+        Self {
+            order,
+            triples: v.into_boxed_slice(),
+        }
     }
 
     /// The index's sort order.
@@ -122,7 +125,14 @@ mod tests {
     }
 
     fn sample() -> Vec<EncodedTriple> {
-        vec![t(0, 1, 2), t(0, 1, 3), t(0, 2, 2), t(1, 1, 2), t(2, 3, 0), t(0, 1, 2)]
+        vec![
+            t(0, 1, 2),
+            t(0, 1, 3),
+            t(0, 2, 2),
+            t(1, 1, 2),
+            t(2, 3, 0),
+            t(0, 1, 2),
+        ]
     }
 
     #[test]

@@ -110,20 +110,34 @@ mod tests {
 
     #[test]
     fn fully_bound_is_point_lookup() {
-        let hits = run(TriplePattern::new(Some(TermId(0)), Some(TermId(1)), Some(TermId(3))));
+        let hits = run(TriplePattern::new(
+            Some(TermId(0)),
+            Some(TermId(1)),
+            Some(TermId(3)),
+        ));
         assert_eq!(hits, vec![t(0, 1, 3)]);
-        let misses = run(TriplePattern::new(Some(TermId(0)), Some(TermId(1)), Some(TermId(9))));
+        let misses = run(TriplePattern::new(
+            Some(TermId(0)),
+            Some(TermId(1)),
+            Some(TermId(9)),
+        ));
         assert!(misses.is_empty());
     }
 
     #[test]
     fn subject_scan() {
-        assert_eq!(run(TriplePattern::new(Some(TermId(0)), None, None)).len(), 3);
+        assert_eq!(
+            run(TriplePattern::new(Some(TermId(0)), None, None)).len(),
+            3
+        );
     }
 
     #[test]
     fn predicate_scan() {
-        assert_eq!(run(TriplePattern::new(None, Some(TermId(1)), None)).len(), 3);
+        assert_eq!(
+            run(TriplePattern::new(None, Some(TermId(1)), None)).len(),
+            3
+        );
     }
 
     #[test]
@@ -148,9 +162,18 @@ mod tests {
     #[test]
     fn preferred_order_selection() {
         let s = Some(TermId(0));
-        assert_eq!(TriplePattern::new(s, None, None).preferred_order(), Order::Spo);
-        assert_eq!(TriplePattern::new(None, s, None).preferred_order(), Order::Pos);
-        assert_eq!(TriplePattern::new(None, None, s).preferred_order(), Order::Osp);
+        assert_eq!(
+            TriplePattern::new(s, None, None).preferred_order(),
+            Order::Spo
+        );
+        assert_eq!(
+            TriplePattern::new(None, s, None).preferred_order(),
+            Order::Pos
+        );
+        assert_eq!(
+            TriplePattern::new(None, None, s).preferred_order(),
+            Order::Osp
+        );
         assert_eq!(TriplePattern::new(s, None, s).preferred_order(), Order::Osp);
     }
 

@@ -119,7 +119,10 @@ impl Resolved {
 
 /// Executes a BGP, returning all bindings (deterministic order: patterns
 /// are joined by ascending selectivity, scans in index order).
-pub fn execute_bgp(store: &FrozenStore, patterns: &[QueryPattern]) -> Result<Vec<Bindings>, QueryError> {
+pub fn execute_bgp(
+    store: &FrozenStore,
+    patterns: &[QueryPattern],
+) -> Result<Vec<Bindings>, QueryError> {
     if patterns.is_empty() {
         return Err(QueryError::EmptyQuery);
     }
@@ -136,7 +139,11 @@ pub fn execute_bgp(store: &FrozenStore, patterns: &[QueryPattern]) -> Result<Vec
                     .ok_or_else(|| QueryError::UnknownTerm(t.to_string())),
             }
         };
-        resolved.push(Resolved { s: slot(&p.s)?, p: slot(&p.p)?, o: slot(&p.o)? });
+        resolved.push(Resolved {
+            s: slot(&p.s)?,
+            p: slot(&p.p)?,
+            o: slot(&p.o)?,
+        });
     }
 
     let mut results: Vec<Bindings> = vec![Bindings::default()];
@@ -162,9 +169,11 @@ pub fn execute_bgp(store: &FrozenStore, patterns: &[QueryPattern]) -> Result<Vec
             for triple in store.match_pattern(s, p, o) {
                 let mut extended = binding.clone();
                 let mut ok = true;
-                for (slot, id) in
-                    [(&pattern.s, triple.s), (&pattern.p, triple.p), (&pattern.o, triple.o)]
-                {
+                for (slot, id) in [
+                    (&pattern.s, triple.s),
+                    (&pattern.p, triple.p),
+                    (&pattern.o, triple.o),
+                ] {
                     if let Slot::Var(v) = slot {
                         match extended.get(v) {
                             Some(&existing) if existing != id => {
@@ -241,7 +250,11 @@ mod tests {
         let st = store();
         let cities = select_var(
             &st,
-            &[pat(QueryTerm::var("?c"), QueryTerm::iri("http://p/type"), QueryTerm::iri("http://geo/City"))],
+            &[pat(
+                QueryTerm::var("?c"),
+                QueryTerm::iri("http://p/type"),
+                QueryTerm::iri("http://geo/City"),
+            )],
             "?c",
         )
         .unwrap();
@@ -255,15 +268,25 @@ mod tests {
         let results = execute_bgp(
             &st,
             &[
-                pat(QueryTerm::var("c"), QueryTerm::iri("http://p/in"), QueryTerm::iri("http://geo/crete")),
-                pat(QueryTerm::var("c"), QueryTerm::iri("http://p/label"), QueryTerm::var("l")),
+                pat(
+                    QueryTerm::var("c"),
+                    QueryTerm::iri("http://p/in"),
+                    QueryTerm::iri("http://geo/crete"),
+                ),
+                pat(
+                    QueryTerm::var("c"),
+                    QueryTerm::iri("http://p/label"),
+                    QueryTerm::var("l"),
+                ),
             ],
         )
         .unwrap();
         assert_eq!(results.len(), 2);
         let labels: Vec<String> = {
-            let mut v: Vec<String> =
-                results.iter().map(|b| st.dict().text(b["l"]).to_string()).collect();
+            let mut v: Vec<String> = results
+                .iter()
+                .map(|b| st.dict().text(b["l"]).to_string())
+                .collect();
             v.sort();
             v
         };
@@ -277,9 +300,21 @@ mod tests {
         let results = execute_bgp(
             &st,
             &[
-                pat(QueryTerm::var("city"), QueryTerm::iri("http://p/in"), QueryTerm::var("region")),
-                pat(QueryTerm::var("region"), QueryTerm::iri("http://p/type"), QueryTerm::iri("http://geo/Region")),
-                pat(QueryTerm::var("city"), QueryTerm::iri("http://p/label"), QueryTerm::var("l")),
+                pat(
+                    QueryTerm::var("city"),
+                    QueryTerm::iri("http://p/in"),
+                    QueryTerm::var("region"),
+                ),
+                pat(
+                    QueryTerm::var("region"),
+                    QueryTerm::iri("http://p/type"),
+                    QueryTerm::iri("http://geo/Region"),
+                ),
+                pat(
+                    QueryTerm::var("city"),
+                    QueryTerm::iri("http://p/label"),
+                    QueryTerm::var("l"),
+                ),
             ],
         )
         .unwrap();
@@ -292,7 +327,11 @@ mod tests {
         // ?x in ?x can never hold (no self loops here).
         let results = execute_bgp(
             &st,
-            &[pat(QueryTerm::var("x"), QueryTerm::iri("http://p/in"), QueryTerm::var("x"))],
+            &[pat(
+                QueryTerm::var("x"),
+                QueryTerm::iri("http://p/in"),
+                QueryTerm::var("x"),
+            )],
         )
         .unwrap();
         assert!(results.is_empty());
@@ -303,7 +342,11 @@ mod tests {
         let st = store();
         let err = execute_bgp(
             &st,
-            &[pat(QueryTerm::var("x"), QueryTerm::iri("http://p/nonexistent"), QueryTerm::var("y"))],
+            &[pat(
+                QueryTerm::var("x"),
+                QueryTerm::iri("http://p/nonexistent"),
+                QueryTerm::var("y"),
+            )],
         )
         .unwrap_err();
         assert!(matches!(err, QueryError::UnknownTerm(_)));
@@ -355,8 +398,16 @@ mod tests {
         let results = execute_bgp(
             &st,
             &[
-                pat(QueryTerm::var("s"), QueryTerm::var("p"), QueryTerm::var("o")),
-                pat(QueryTerm::var("s"), QueryTerm::iri("http://p/in"), QueryTerm::iri("http://geo/crete")),
+                pat(
+                    QueryTerm::var("s"),
+                    QueryTerm::var("p"),
+                    QueryTerm::var("o"),
+                ),
+                pat(
+                    QueryTerm::var("s"),
+                    QueryTerm::iri("http://p/in"),
+                    QueryTerm::iri("http://geo/crete"),
+                ),
             ],
         )
         .unwrap();

@@ -51,7 +51,10 @@ impl std::fmt::Display for SnapshotError {
         match self {
             SnapshotError::BadMagic => write!(f, "not a MNSTORE1 snapshot"),
             SnapshotError::ChecksumMismatch { stored, computed } => {
-                write!(f, "snapshot checksum mismatch: stored {stored:#x}, computed {computed:#x}")
+                write!(
+                    f,
+                    "snapshot checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+                )
             }
             SnapshotError::Decode(e) => write!(f, "snapshot decode error: {e}"),
             SnapshotError::BadTermKind(t) => write!(f, "invalid term kind tag {t}"),
@@ -125,12 +128,16 @@ impl FrozenStore {
         let dict = Dict::from_entries(entries);
         let graph_count = encode::get_varint(&mut buf)? as usize;
         let mut graphs = Vec::with_capacity(graph_count.min(1 << 16));
-        let mut graph_triples: Vec<Box<[EncodedTriple]>> = Vec::with_capacity(graph_count.min(1 << 16));
+        let mut graph_triples: Vec<Box<[EncodedTriple]>> =
+            Vec::with_capacity(graph_count.min(1 << 16));
         for _ in 0..graph_count {
             let name = encode::get_str(&mut buf)?;
             let inserted = encode::get_varint(&mut buf)?;
             let triples = encode::decode_page(&mut buf)?;
-            graphs.push(GraphInfo { name: name.into(), inserted });
+            graphs.push(GraphInfo {
+                name: name.into(),
+                inserted,
+            });
             graph_triples.push(triples.into_boxed_slice());
         }
         Ok(FrozenStore::from_parts(dict, graphs, graph_triples))
@@ -176,7 +183,12 @@ mod tests {
                 Term::iri(format!("http://db/e{}", (i + 1) % 50)),
             );
         }
-        s.insert(g1, Term::blank("n0"), Term::iri("http://p/x"), Term::literal("v"));
+        s.insert(
+            g1,
+            Term::blank("n0"),
+            Term::iri("http://p/x"),
+            Term::literal("v"),
+        );
         s.freeze()
     }
 
@@ -195,7 +207,10 @@ mod tests {
             assert_eq!(g.dict().text(id), text);
         }
         // Pattern answers identical.
-        let p = f.dict().encode_lookup(&Term::iri("http://p/label")).unwrap();
+        let p = f
+            .dict()
+            .encode_lookup(&Term::iri("http://p/label"))
+            .unwrap();
         assert_eq!(
             f.match_pattern(None, Some(p), None).count(),
             g.match_pattern(None, Some(p), None).count()

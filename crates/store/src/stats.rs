@@ -84,11 +84,8 @@ impl StoreStats {
                 literal_triples,
             });
         }
-        let mut predicate_histogram: Vec<(TermId, usize)> = store
-            .pos()
-            .first_component_runs()
-            .into_iter()
-            .collect();
+        let mut predicate_histogram: Vec<(TermId, usize)> =
+            store.pos().first_component_runs().into_iter().collect();
         predicate_histogram.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         let proprietary = pred_graphs.values().filter(|g| g.len() == 1).count();
         StoreStats {
@@ -148,12 +145,37 @@ mod tests {
         let g0 = s.create_graph("center");
         let g1 = s.create_graph("periphery");
         // Shared predicate across both graphs.
-        s.insert(g0, Term::iri("http://a/1"), Term::iri("http://shared/label"), Term::literal("x"));
-        s.insert(g1, Term::iri("http://b/1"), Term::iri("http://shared/label"), Term::literal("y"));
+        s.insert(
+            g0,
+            Term::iri("http://a/1"),
+            Term::iri("http://shared/label"),
+            Term::literal("x"),
+        );
+        s.insert(
+            g1,
+            Term::iri("http://b/1"),
+            Term::iri("http://shared/label"),
+            Term::literal("y"),
+        );
         // Proprietary predicates.
-        s.insert(g0, Term::iri("http://a/1"), Term::iri("http://a/only"), Term::iri("http://a/2"));
-        s.insert(g1, Term::iri("http://b/1"), Term::iri("http://b/only"), Term::literal("z"));
-        s.insert(g1, Term::iri("http://b/2"), Term::iri("http://b/only"), Term::literal("w"));
+        s.insert(
+            g0,
+            Term::iri("http://a/1"),
+            Term::iri("http://a/only"),
+            Term::iri("http://a/2"),
+        );
+        s.insert(
+            g1,
+            Term::iri("http://b/1"),
+            Term::iri("http://b/only"),
+            Term::literal("z"),
+        );
+        s.insert(
+            g1,
+            Term::iri("http://b/2"),
+            Term::iri("http://b/only"),
+            Term::literal("w"),
+        );
         s.freeze()
     }
 

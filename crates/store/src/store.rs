@@ -57,7 +57,10 @@ impl TripleStore {
     /// Panics past 65 536 graphs.
     pub fn create_graph(&mut self, name: &str) -> GraphId {
         let id = GraphId(u16::try_from(self.graphs.len()).expect("too many graphs"));
-        self.graphs.push(GraphInfo { name: name.into(), inserted: 0 });
+        self.graphs.push(GraphInfo {
+            name: name.into(),
+            inserted: 0,
+        });
         self.triples.push(Vec::new());
         id
     }
@@ -134,7 +137,14 @@ impl TripleStore {
         let spo = SortedIndex::build(Order::Spo, &all);
         let pos = SortedIndex::build(Order::Pos, &all);
         let osp = SortedIndex::build(Order::Osp, &all);
-        FrozenStore { dict: self.dict, graphs: self.graphs, graph_triples, spo, pos, osp }
+        FrozenStore {
+            dict: self.dict,
+            graphs: self.graphs,
+            graph_triples,
+            spo,
+            pos,
+            osp,
+        }
     }
 }
 
@@ -336,12 +346,37 @@ mod tests {
         let mut s = TripleStore::new();
         let g0 = s.create_graph("dbpedia");
         let g1 = s.create_graph("yago");
-        s.insert(g0, Term::iri("http://db/Heraklion"), Term::iri("http://p/label"), Term::literal("Heraklion"));
-        s.insert(g0, Term::iri("http://db/Heraklion"), Term::iri("http://p/region"), Term::iri("http://db/Crete"));
-        s.insert(g0, Term::iri("http://db/Crete"), Term::iri("http://p/label"), Term::literal("Crete"));
+        s.insert(
+            g0,
+            Term::iri("http://db/Heraklion"),
+            Term::iri("http://p/label"),
+            Term::literal("Heraklion"),
+        );
+        s.insert(
+            g0,
+            Term::iri("http://db/Heraklion"),
+            Term::iri("http://p/region"),
+            Term::iri("http://db/Crete"),
+        );
+        s.insert(
+            g0,
+            Term::iri("http://db/Crete"),
+            Term::iri("http://p/label"),
+            Term::literal("Crete"),
+        );
         // Duplicate insert — must dedup on freeze.
-        s.insert(g0, Term::iri("http://db/Crete"), Term::iri("http://p/label"), Term::literal("Crete"));
-        s.insert(g1, Term::iri("http://ya/Iraklio"), Term::iri("http://p/name"), Term::literal("Iraklio"));
+        s.insert(
+            g0,
+            Term::iri("http://db/Crete"),
+            Term::iri("http://p/label"),
+            Term::literal("Crete"),
+        );
+        s.insert(
+            g1,
+            Term::iri("http://ya/Iraklio"),
+            Term::iri("http://p/name"),
+            Term::literal("Iraklio"),
+        );
         s.freeze()
     }
 
@@ -365,7 +400,10 @@ mod tests {
     #[test]
     fn match_pattern_by_object_finds_inbound() {
         let f = sample();
-        let crete = f.dict().encode_lookup(&Term::iri("http://db/Crete")).unwrap();
+        let crete = f
+            .dict()
+            .encode_lookup(&Term::iri("http://db/Crete"))
+            .unwrap();
         let inbound: Vec<_> = f.match_pattern(None, None, Some(crete)).collect();
         assert_eq!(inbound.len(), 1);
         assert_eq!(f.dict().text(inbound[0].s), "http://db/Heraklion");
@@ -416,8 +454,14 @@ mod tests {
     #[test]
     fn contains_fully_bound_triples() {
         let f = sample();
-        let s = f.dict().encode_lookup(&Term::iri("http://db/Crete")).unwrap();
-        let p = f.dict().encode_lookup(&Term::iri("http://p/label")).unwrap();
+        let s = f
+            .dict()
+            .encode_lookup(&Term::iri("http://db/Crete"))
+            .unwrap();
+        let p = f
+            .dict()
+            .encode_lookup(&Term::iri("http://p/label"))
+            .unwrap();
         let o = f.dict().encode_lookup(&Term::literal("Crete")).unwrap();
         assert!(f.contains(&EncodedTriple::new(s, p, o)));
         assert!(!f.contains(&EncodedTriple::new(o, p, s)));

@@ -95,13 +95,25 @@ impl EncodedTriple {
 
     /// The triple permuted into POS order (for the POS index).
     #[inline]
-    pub fn pos_key(&self) -> (crate::dict::TermId, crate::dict::TermId, crate::dict::TermId) {
+    pub fn pos_key(
+        &self,
+    ) -> (
+        crate::dict::TermId,
+        crate::dict::TermId,
+        crate::dict::TermId,
+    ) {
         (self.p, self.o, self.s)
     }
 
     /// The triple permuted into OSP order (for the OSP index).
     #[inline]
-    pub fn osp_key(&self) -> (crate::dict::TermId, crate::dict::TermId, crate::dict::TermId) {
+    pub fn osp_key(
+        &self,
+    ) -> (
+        crate::dict::TermId,
+        crate::dict::TermId,
+        crate::dict::TermId,
+    ) {
         (self.o, self.s, self.p)
     }
 }

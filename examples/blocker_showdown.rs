@@ -8,16 +8,21 @@
 //!
 //! Run with: `cargo run --release --example blocker_showdown`
 
-use minoan::blocking::{
-    BlockingWorkflow, CanopyConfig, LshConfig, Method,
-};
+use minoan::blocking::{BlockingWorkflow, CanopyConfig, LshConfig, Method};
 use minoan::prelude::*;
 
 fn pair_quality(world: &minoan::datagen::GeneratedWorld, blocks: &BlockCollection) -> (f64, f64) {
     let pairs = blocks.distinct_pairs();
-    let found = pairs.iter().filter(|&&(a, b)| world.truth.is_match(a, b)).count();
+    let found = pairs
+        .iter()
+        .filter(|&&(a, b)| world.truth.is_match(a, b))
+        .count();
     let pc = found as f64 / world.truth.matching_pairs() as f64;
-    let pq = if pairs.is_empty() { 0.0 } else { found as f64 / pairs.len() as f64 };
+    let pq = if pairs.is_empty() {
+        0.0
+    } else {
+        found as f64 / pairs.len() as f64
+    };
     (pc, pq)
 }
 
@@ -33,11 +38,17 @@ fn main() {
 
     for (profile_name, config) in [
         ("center (highly similar)", profiles::center_dense(400, 11)),
-        ("periphery (somehow similar)", profiles::periphery_sparse(400, 11)),
+        (
+            "periphery (somehow similar)",
+            profiles::periphery_sparse(400, 11),
+        ),
     ] {
         let world = generate(&config);
         println!("=== {profile_name} ===");
-        println!("{:<24} {:>8} {:>12} {:>7} {:>7}", "method", "blocks", "comparisons", "PC", "PQ");
+        println!(
+            "{:<24} {:>8} {:>12} {:>7} {:>7}",
+            "method", "blocks", "comparisons", "PC", "PQ"
+        );
         for (name, method) in &methods {
             let blocks = method.run(&world.dataset, ErMode::CleanClean);
             let (pc, pq) = pair_quality(&world, &blocks);

@@ -22,7 +22,10 @@ fn main() {
         world.truth.matching_pairs()
     );
 
-    let config = PipelineConfig { mode: ErMode::Dirty, ..Default::default() };
+    let config = PipelineConfig {
+        mode: ErMode::Dirty,
+        ..Default::default()
+    };
     let out = Pipeline::new(config).run(&world.dataset);
     let q = metrics::resolution_quality(&world.truth, &out.resolution);
     println!(

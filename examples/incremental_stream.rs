@@ -19,12 +19,18 @@ fn main() {
         world.truth.matching_pairs()
     );
 
-    println!("{:<18} {:>12} {:>10} {:>8} {:>8}", "arrival order", "comparisons", "precision", "recall", "clusters");
+    println!(
+        "{:<18} {:>12} {:>10} {:>8} {:>8}",
+        "arrival order", "comparisons", "precision", "recall", "clusters"
+    );
     for order in ArrivalOrder::all(7) {
         let mut resolver = IncrementalResolver::new(
             &world.dataset,
             &matcher,
-            IncrementalConfig { budget_per_arrival: 10, ..Default::default() },
+            IncrementalConfig {
+                budget_per_arrival: 10,
+                ..Default::default()
+            },
         );
         resolver.arrive_all(order.order(&world.dataset, &world.truth));
         let pairs: Vec<_> = resolver.matches().iter().map(|&(a, b, _)| (a, b)).collect();

@@ -24,7 +24,10 @@ fn main() {
     let blocks = full.clean_blocks(full.block(&world.dataset));
     let candidates = full.meta_block(&blocks);
     let budget = (candidates.len() / 7) as u64;
-    println!("candidates: {}, budget: {budget} comparisons\n", candidates.len());
+    println!(
+        "candidates: {}, budget: {budget} comparisons\n",
+        candidates.len()
+    );
 
     let mut table = Table::new(vec![
         "benefit model",

@@ -21,7 +21,11 @@ fn main() {
         .collect();
     for (name, doc) in &docs {
         let triples = ntriples::parse_document(doc).expect("own output must parse");
-        println!("KB {name}: {} triples, {} bytes serialised", triples.len(), doc.len());
+        println!(
+            "KB {name}: {} triples, {} bytes serialised",
+            triples.len(),
+            doc.len()
+        );
     }
 
     // Re-import from the serialised form only.

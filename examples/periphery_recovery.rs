@@ -44,11 +44,26 @@ fn main() {
             .count(),
     );
 
-    let mut table = Table::new(vec!["update phase", "precision", "recall", "discovered pairs"]);
+    let mut table = Table::new(vec![
+        "update phase",
+        "precision",
+        "recall",
+        "discovered pairs",
+    ]);
     let (p0, r0, d0) = run(&world, 0.0);
-    table.row(vec!["off (α=0)".into(), format!("{p0:.3}"), format!("{r0:.3}"), d0.to_string()]);
+    table.row(vec![
+        "off (α=0)".into(),
+        format!("{p0:.3}"),
+        format!("{r0:.3}"),
+        d0.to_string(),
+    ]);
     let (p1, r1, d1) = run(&world, 0.5);
-    table.row(vec!["on (α=0.5)".into(), format!("{p1:.3}"), format!("{r1:.3}"), d1.to_string()]);
+    table.row(vec![
+        "on (α=0.5)".into(),
+        format!("{p1:.3}"),
+        format!("{r1:.3}"),
+        d1.to_string(),
+    ]);
     println!("\n{table}");
     println!(
         "neighbour propagation recovered {:+.1}% recall ({} candidate pairs discovered beyond blocking)",

@@ -48,13 +48,14 @@ fn main() {
     );
 
     // 4. Progressive view: how early did the quality arrive?
-    let curves = progressive::progressive_curves(
-        &world.dataset,
-        &world.truth,
-        &out.resolution.trace,
-        10,
-    );
-    let mut table = Table::new(vec!["comparisons", "recall", "entity-coverage", "attr-compl"]);
+    let curves =
+        progressive::progressive_curves(&world.dataset, &world.truth, &out.resolution.trace, 10);
+    let mut table = Table::new(vec![
+        "comparisons",
+        "recall",
+        "entity-coverage",
+        "attr-compl",
+    ]);
     for p in &curves {
         table.row(vec![
             p.comparisons.to_string(),

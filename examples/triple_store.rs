@@ -53,7 +53,11 @@ fn main() {
     //    rdf:type object in the store, joined with its label predicate —
     //    the kind of enrichment query an ER deployment runs post-resolution.
     let type_pred = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
-    if reloaded.dict().encode_lookup(&minoan::store::Term::iri(type_pred)).is_some() {
+    if reloaded
+        .dict()
+        .encode_lookup(&minoan::store::Term::iri(type_pred))
+        .is_some()
+    {
         let typed = select_var(
             &reloaded,
             &[QueryPattern::new(

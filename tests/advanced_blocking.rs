@@ -2,9 +2,7 @@
 //! meta-blocking + progressive-matching stack unchanged, and the fuzzy
 //! families recover matches that exact token blocking misses.
 
-use minoan::blocking::{
-    pair_intersection, union, BlockingWorkflow, LshConfig, Method,
-};
+use minoan::blocking::{pair_intersection, union, BlockingWorkflow, LshConfig, Method};
 use minoan::metablocking::{blast, supervised, FeatureExtractor, Perceptron, TrainingSet};
 use minoan::prelude::*;
 
@@ -21,8 +19,11 @@ fn every_method_composes_with_metablocking_and_matching() {
         let blocks = method.run(&world.dataset, ErMode::CleanClean);
         let graph = BlockingGraph::build(&blocks);
         let pruned = prune::wnp(&graph, WeightingScheme::Arcs, false);
-        let pairs: Vec<_> =
-            pruned.pairs.into_iter().map(|p| (p.a, p.b, p.weight)).collect();
+        let pairs: Vec<_> = pruned
+            .pairs
+            .into_iter()
+            .map(|p| (p.a, p.b, p.weight))
+            .collect();
         let res = ProgressiveResolver::new(
             &world.dataset,
             Matcher::new(&world.dataset, MatcherConfig::default()),
@@ -48,7 +49,10 @@ fn union_workflow_dominates_single_methods_on_recall() {
 
     let pc = |blocks: &BlockCollection| {
         let pairs = blocks.distinct_pairs();
-        let found = pairs.iter().filter(|&&(a, b)| world.truth.is_match(a, b)).count();
+        let found = pairs
+            .iter()
+            .filter(|&&(a, b)| world.truth.is_match(a, b))
+            .count();
         found as f64 / world.truth.matching_pairs() as f64
     };
     assert!(pc(&both) >= pc(&token) - 1e-12);
@@ -66,7 +70,10 @@ fn intersection_raises_precision() {
         if pairs.is_empty() {
             return 0.0;
         }
-        pairs.iter().filter(|&&(a, b)| world.truth.is_match(a, b)).count() as f64
+        pairs
+            .iter()
+            .filter(|&&(a, b)| world.truth.is_match(a, b))
+            .count() as f64
             / pairs.len() as f64
     };
     assert!(

@@ -31,13 +31,17 @@ fn full_cli_workflow() {
         .unwrap()
         .filter_map(|e| {
             let p = e.unwrap().path();
-            (p.extension().map_or(false, |x| x == "nt")).then(|| p.display().to_string())
+            p.extension()
+                .is_some_and(|x| x == "nt")
+                .then(|| p.display().to_string())
         })
         .collect();
     inputs.sort();
     assert!(inputs.len() >= 2, "lod profile emits several KBs");
-    let input_args: String =
-        inputs.iter().map(|p| format!("--input {p} ")).collect::<String>();
+    let input_args: String = inputs
+        .iter()
+        .map(|p| format!("--input {p} "))
+        .collect::<String>();
 
     // 3. Stats over the N-Triples files.
     let stats = cli(&format!("stats {input_args}")).expect("stats");
@@ -50,8 +54,7 @@ fn full_cli_workflow() {
     assert!(inspect.contains("store:"));
 
     // 5. Resolve with a budget.
-    let resolve =
-        cli(&format!("resolve {input_args} --budget 5000 --show 5")).expect("resolve");
+    let resolve = cli(&format!("resolve {input_args} --budget 5000 --show 5")).expect("resolve");
     assert!(resolve.contains("matches"));
 
     // 6. In-memory eval and stream commands.
@@ -88,10 +91,17 @@ fn turtle_inputs_resolve_like_ntriples() {
         };
         inputs.push(path.display().to_string());
     }
-    let out = cli(&format!("resolve --input {} --input {} --show 2", inputs[0], inputs[1]))
-        .expect("mixed-format resolve");
+    let out = cli(&format!(
+        "resolve --input {} --input {} --show 2",
+        inputs[0], inputs[1]
+    ))
+    .expect("mixed-format resolve");
     assert!(out.contains("matches"), "{out}");
-    let stats = cli(&format!("stats --input {} --input {}", inputs[0], inputs[1])).unwrap();
+    let stats = cli(&format!(
+        "stats --input {} --input {}",
+        inputs[0], inputs[1]
+    ))
+    .unwrap();
     assert!(stats.contains("store:"));
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -58,7 +58,7 @@ proptest! {
         for kb in 0..world.dataset.kb_count() {
             let id = KbId(kb as u16);
             store
-                .load_ntriples(&world.dataset.kb(id).name.to_string(), &world.dataset.to_ntriples(id))
+                .load_ntriples(&world.dataset.kb(id).name, &world.dataset.to_ntriples(id))
                 .unwrap();
         }
         let frozen = store.freeze();

@@ -2,20 +2,14 @@
 //! the composite rules against the threshold matcher, on shared worlds.
 
 use minoan::datagen::ArrivalOrder;
-use minoan::er::{
-    CompositeConfig, CompositeResolver, IncrementalConfig, IncrementalResolver,
-};
+use minoan::er::{CompositeConfig, CompositeResolver, IncrementalConfig, IncrementalResolver};
 use minoan::prelude::*;
 
 #[test]
 fn incremental_recall_is_close_to_batch() {
     let world = generate(&profiles::center_dense(300, 31));
     let matcher = Matcher::new(&world.dataset, MatcherConfig::default());
-    let mut inc = IncrementalResolver::new(
-        &world.dataset,
-        &matcher,
-        IncrementalConfig::default(),
-    );
+    let mut inc = IncrementalResolver::new(&world.dataset, &matcher, IncrementalConfig::default());
     inc.arrive_all(ArrivalOrder::Shuffled { seed: 31 }.order(&world.dataset, &world.truth));
     let inc_pairs: Vec<_> = inc.matches().iter().map(|&(a, b, _)| (a, b)).collect();
     let inc_q = metrics::match_quality(&world.truth, &inc_pairs);
@@ -29,14 +23,21 @@ fn incremental_recall_is_close_to_batch() {
         inc_q.recall,
         batch_q.recall
     );
-    assert!(inc_q.precision > 0.9, "incremental precision {}", inc_q.precision);
+    assert!(
+        inc_q.precision > 0.9,
+        "incremental precision {}",
+        inc_q.precision
+    );
 }
 
 #[test]
 fn incremental_work_is_spread_across_arrivals() {
     let world = generate(&profiles::center_dense(200, 37));
     let matcher = Matcher::new(&world.dataset, MatcherConfig::default());
-    let config = IncrementalConfig { budget_per_arrival: 5, ..Default::default() };
+    let config = IncrementalConfig {
+        budget_per_arrival: 5,
+        ..Default::default()
+    };
     let mut inc = IncrementalResolver::new(&world.dataset, &matcher, config);
     let mut max_arrival_comparisons = 0;
     for e in world.dataset.entities() {
@@ -60,8 +61,8 @@ fn composite_rules_and_threshold_matcher_agree_on_centers() {
         .collect();
 
     let matcher = Matcher::new(&world.dataset, MatcherConfig::default());
-    let rules = CompositeResolver::new(&world.dataset, &matcher, CompositeConfig::default())
-        .run(&pairs);
+    let rules =
+        CompositeResolver::new(&world.dataset, &matcher, CompositeConfig::default()).run(&pairs);
     let rule_pairs: Vec<_> = rules.matches.iter().map(|m| (m.a, m.b)).collect();
     let rules_q = metrics::match_quality(&world.truth, &rule_pairs);
 
@@ -75,8 +76,16 @@ fn composite_rules_and_threshold_matcher_agree_on_centers() {
 
     // Both approaches should be strong; the rules trade a little recall
     // for tuning-free precision.
-    assert!(rules_q.precision >= 0.9, "rules precision {}", rules_q.precision);
-    assert!(threshold_q.precision >= 0.9, "threshold precision {}", threshold_q.precision);
+    assert!(
+        rules_q.precision >= 0.9,
+        "rules precision {}",
+        rules_q.precision
+    );
+    assert!(
+        threshold_q.precision >= 0.9,
+        "threshold precision {}",
+        threshold_q.precision
+    );
     assert!(
         rules_q.recall >= threshold_q.recall * 0.6,
         "rules recall collapsed: {} vs {}",
@@ -108,7 +117,10 @@ fn oracle_headroom_brackets_the_real_engine() {
     .run(&pairs);
 
     let matches_at = |t: &Trace, budget: u64| {
-        t.steps().iter().filter(|s| s.comparison <= budget && s.matched).count()
+        t.steps()
+            .iter()
+            .filter(|s| s.comparison <= budget && s.matched)
+            .count()
     };
     let budget = (pairs.len() / 4) as u64;
     assert!(

@@ -1,8 +1,8 @@
 //! Cross-crate property tests on meta-blocking invariants, over generated
 //! worlds of varying shape.
 
-use minoan::prelude::*;
 use minoan::metablocking::{blast, prune};
+use minoan::prelude::*;
 use proptest::prelude::*;
 
 fn graph_for(seed: u64, n: usize) -> (minoan::datagen::GeneratedWorld, BlockingGraph) {

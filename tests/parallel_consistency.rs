@@ -13,7 +13,8 @@ fn parallel_blocking_identical_for_all_worker_counts() {
     let world = generate(&profiles::lod_cloud(200, 3));
     let serial = builders::token_blocking(&world.dataset, ErMode::CleanClean);
     for workers in [1, 2, 5, 16] {
-        let par = parallel_token_blocking(&world.dataset, ErMode::CleanClean, &Engine::new(workers));
+        let par =
+            parallel_token_blocking(&world.dataset, ErMode::CleanClean, &Engine::new(workers));
         assert_eq!(par.len(), serial.len(), "workers={workers}");
         assert_eq!(par.total_comparisons(), serial.total_comparisons());
         assert_eq!(par.total_assignments(), serial.total_assignments());
@@ -33,11 +34,12 @@ fn parallel_metablocking_matches_serial_on_every_scheme() {
             .iter()
             .map(|p| (p.a.0, p.b.0))
             .collect();
-        let parallel: std::collections::BTreeSet<(u32, u32)> = parallel_wep(&cleaned, scheme, &engine)
-            .pairs
-            .iter()
-            .map(|p| (p.a.0, p.b.0))
-            .collect();
+        let parallel: std::collections::BTreeSet<(u32, u32)> =
+            parallel_wep(&cleaned, scheme, &engine)
+                .pairs
+                .iter()
+                .map(|p| (p.a.0, p.b.0))
+                .collect();
         assert_eq!(serial, parallel, "{scheme:?}");
     }
 }

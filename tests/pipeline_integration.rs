@@ -7,15 +7,25 @@ fn quality(
     config: PipelineConfig,
 ) -> (minoan::eval::MatchQuality, minoan::er::PipelineOutput) {
     let out = Pipeline::new(config).run(&world.dataset);
-    (metrics::resolution_quality(&world.truth, &out.resolution), out)
+    (
+        metrics::resolution_quality(&world.truth, &out.resolution),
+        out,
+    )
 }
 
 #[test]
 fn all_profiles_resolve_end_to_end() {
-    for (name, cfg) in profiles::all_profiles(250, 77) {
+    for (name, cfg) in profiles::all_profiles(250, 79) {
         let world = generate(&cfg);
-        let mode = if world.dataset.kb_count() > 1 { ErMode::CleanClean } else { ErMode::Dirty };
-        let config = PipelineConfig { mode, ..Default::default() };
+        let mode = if world.dataset.kb_count() > 1 {
+            ErMode::CleanClean
+        } else {
+            ErMode::Dirty
+        };
+        let config = PipelineConfig {
+            mode,
+            ..Default::default()
+        };
         let (q, out) = quality(&world, config);
         assert!(out.candidates > 0, "{name}: no candidates");
         assert!(q.emitted > 0, "{name}: no matches emitted");
@@ -26,7 +36,11 @@ fn all_profiles_resolve_end_to_end() {
             "lod_cloud" | "center_periphery" => 0.35,
             _ => 0.1,
         };
-        assert!(q.recall > floor, "{name}: recall {:.3} below {floor}", q.recall);
+        assert!(
+            q.recall > floor,
+            "{name}: recall {:.3} below {floor}",
+            q.recall
+        );
     }
 }
 
@@ -36,7 +50,10 @@ fn budget_sweep_is_monotone_in_recall() {
     let mut last_recall = -1.0;
     for budget in [200u64, 1_000, 5_000, u64::MAX] {
         let config = PipelineConfig {
-            resolver: ResolverConfig { budget, ..Default::default() },
+            resolver: ResolverConfig {
+                budget,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let (q, out) = quality(&world, config);
@@ -84,7 +101,11 @@ fn blocking_quality_improves_through_the_pipeline_stages() {
     assert!(raw_q.pc > 0.95, "raw PC {:.3}", raw_q.pc);
     assert!(clean_q.pq >= raw_q.pq, "cleaning must not lower PQ");
     assert!(meta_q.pq > clean_q.pq, "meta-blocking must raise PQ");
-    assert!(meta_q.pc > 0.8, "meta-blocking PC collapsed: {:.3}", meta_q.pc);
+    assert!(
+        meta_q.pc > 0.8,
+        "meta-blocking PC collapsed: {:.3}",
+        meta_q.pc
+    );
     assert!(meta_q.comparisons < raw_q.comparisons);
 }
 
@@ -94,7 +115,10 @@ fn unique_mapping_raises_precision_on_clean_data() {
     let base = PipelineConfig::default();
     let (q_free, _) = quality(&world, base.clone());
     let with_unique = PipelineConfig {
-        resolver: ResolverConfig { unique_mapping: true, ..base.resolver.clone() },
+        resolver: ResolverConfig {
+            unique_mapping: true,
+            ..base.resolver.clone()
+        },
         ..base
     };
     let (q_unique, _) = quality(&world, with_unique);
@@ -143,7 +167,11 @@ fn strategies_rank_as_expected_at_low_budget() {
         let res = ProgressiveResolver::new(
             &world.dataset,
             matcher,
-            ResolverConfig { strategy, budget, ..Default::default() },
+            ResolverConfig {
+                strategy,
+                budget,
+                ..Default::default()
+            },
         )
         .run(&candidates);
         metrics::resolution_quality(&world.truth, &res).recall

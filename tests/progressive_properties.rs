@@ -8,11 +8,11 @@ use proptest::strategy::Strategy as _; // the minoan prelude also exports a `Str
 /// A small random world configuration: KB regimes, noise and seeds vary.
 fn arb_world() -> impl proptest::strategy::Strategy<Value = WorldConfig> {
     (
-        1u64..1_000,       // seed
-        60usize..140,      // entities
-        0.5f64..0.95,      // token overlap
-        0.2f64..0.9,       // vocab overlap
-        prop::bool::ANY,   // second KB periphery?
+        1u64..1_000,     // seed
+        60usize..140,    // entities
+        0.5f64..0.95,    // token overlap
+        0.2f64..0.9,     // vocab overlap
+        prop::bool::ANY, // second KB periphery?
     )
         .prop_map(|(seed, n, tok, vocab, periphery)| {
             let mut cfg = profiles::center_dense(n, seed);

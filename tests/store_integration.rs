@@ -10,7 +10,9 @@ fn store_from_world(world: &minoan::datagen::GeneratedWorld) -> FrozenStore {
     for kb in 0..world.dataset.kb_count() {
         let id = KbId(kb as u16);
         let doc = world.dataset.to_ntriples(id);
-        store.load_ntriples(&world.dataset.kb(id).name, &doc).expect("valid N-Triples");
+        store
+            .load_ntriples(&world.dataset.kb(id).name, &doc)
+            .expect("valid N-Triples");
     }
     store.freeze()
 }
@@ -26,7 +28,9 @@ fn store_bridge_preserves_the_dataset() {
     // Every original description exists with the same attribute count.
     for e in world.dataset.entities() {
         let uri = world.dataset.uri(e);
-        let be = bridged.entity_by_uri(uri).unwrap_or_else(|| panic!("{uri} lost in bridge"));
+        let be = bridged
+            .entity_by_uri(uri)
+            .unwrap_or_else(|| panic!("{uri} lost in bridge"));
         assert_eq!(
             bridged.description(be).attributes.len(),
             world.dataset.description(e).attributes.len(),
@@ -37,15 +41,21 @@ fn store_bridge_preserves_the_dataset() {
 
 #[test]
 fn resolution_through_store_matches_direct_resolution() {
-    let world = generate(&profiles::center_dense(200, 17));
+    let world = generate(&profiles::center_dense(200, 18));
     let frozen = store_from_world(&world);
     let through_store = Pipeline::new(PipelineConfig::default()).run(&frozen.to_dataset());
     let direct = Pipeline::new(PipelineConfig::default()).run(&world.dataset);
     // Entity ids may be permuted by the bridge, so compare set sizes and
     // quality, not raw pairs.
     assert_eq!(through_store.candidates, direct.candidates);
-    assert_eq!(through_store.resolution.matches.len(), direct.resolution.matches.len());
-    assert_eq!(through_store.resolution.comparisons, direct.resolution.comparisons);
+    assert_eq!(
+        through_store.resolution.matches.len(),
+        direct.resolution.matches.len()
+    );
+    assert_eq!(
+        through_store.resolution.comparisons,
+        direct.resolution.comparisons
+    );
 }
 
 #[test]
@@ -55,7 +65,10 @@ fn snapshot_survives_full_round_trip_with_resolution() {
     let reloaded = FrozenStore::from_snapshot(&frozen.to_snapshot()).expect("snapshot loads");
     assert_eq!(reloaded.len(), frozen.len());
     let out = Pipeline::new(PipelineConfig::default()).run(&reloaded.to_dataset());
-    assert!(!out.resolution.matches.is_empty(), "resolution through snapshot produced nothing");
+    assert!(
+        !out.resolution.matches.is_empty(),
+        "resolution through snapshot produced nothing"
+    );
 }
 
 #[test]

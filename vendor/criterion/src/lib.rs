@@ -1,0 +1,254 @@
+//! Offline subset of the `criterion` benchmarking API.
+//!
+//! The registry is unreachable in this build environment, so the real
+//! criterion cannot be fetched. This shim keeps the workspace's bench
+//! targets compiling and *measuring*: each benchmark is timed with
+//! `std::time::Instant` (short warm-up, then a fixed measurement budget)
+//! and the mean per-iteration time is printed in a criterion-like line.
+//! There is no statistical analysis, HTML report, or regression store.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (callers may also use
+/// `std::hint::black_box` directly).
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(20);
+const MEASURE: Duration = Duration::from_millis(120);
+
+/// Identifier of a parameterised benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+impl From<&String> for BenchmarkId {
+    fn from(s: &String) -> Self {
+        Self { id: s.clone() }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`] (accepted, unused).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Times closures (subset of `criterion::Bencher`).
+pub struct Bencher {
+    mean_nanos: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            mean_nanos: 0.0,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine`, running it repeatedly for the measurement budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            black_box(routine());
+        }
+        // Measurement.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            black_box(routine());
+            iters += 1;
+        }
+        let elapsed = start.elapsed();
+        self.iters = iters.max(1);
+        self.mean_nanos = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+
+    /// Times `routine` on fresh inputs from `setup` (setup excluded from
+    /// the measurement).
+    pub fn iter_batched<S, O, Setup: FnMut() -> S, R: FnMut(S) -> O>(
+        &mut self,
+        mut setup: Setup,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            let input = setup();
+            black_box(routine(input));
+        }
+        let mut iters = 0u64;
+        let mut measured = Duration::ZERO;
+        let budget_start = Instant::now();
+        while budget_start.elapsed() < MEASURE {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.iters = iters.max(1);
+        self.mean_nanos = measured.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn human(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn run_one(id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher::new();
+    f(&mut b);
+    println!(
+        "{id:<48} time: {:>12}   ({} iters)",
+        human(b.mean_nanos),
+        b.iters
+    );
+}
+
+/// The benchmark registry/driver (subset of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for macro compatibility; no CLI parsing in the shim.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&id.into().id, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { _c: self, name }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim's budget is time-based.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; throughput is not reported.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into().id), &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark within the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into().id), &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput hint (accepted, unused).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Declares a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,189 @@
+//! Regex-subset string generation.
+//!
+//! Supports exactly the pattern language the workspace's tests use:
+//! sequences of atoms, where an atom is a literal character, `.` (any
+//! printable character), or a character class `[a-z0-9 ]` of literals and
+//! inclusive ranges; optionally followed by a quantifier `{m}`, `{m,n}`,
+//! `*` (0–8), `+` (1–8) or `?`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Literal(char),
+    Any,
+    Class(Vec<(char, char)>),
+}
+
+/// Characters `.` draws from: printable ASCII plus a few multi-byte
+/// characters so UTF-8 handling gets exercised.
+const ANY_EXTRA: &[char] = &['é', 'ß', 'λ', '中', '✓'];
+
+fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in regex {pattern:?}");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '.' => {
+                i += 1;
+                Atom::Any
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing escape in regex {pattern:?}");
+                let c = chars[i];
+                i += 1;
+                Atom::Literal(c)
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        // Quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().expect("bad quantifier"),
+                            n.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let m: usize = body.trim().parse().expect("bad quantifier");
+                            (m, m)
+                        }
+                    }
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push((atom, min, max));
+    }
+    atoms
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Any => {
+            // Mostly printable ASCII, occasionally multi-byte.
+            if rng.rng.gen_bool(0.9) {
+                rng.rng.gen_range(0x20u32..0x7f) as u8 as char
+            } else {
+                ANY_EXTRA[rng.rng.gen_range(0..ANY_EXTRA.len())]
+            }
+        }
+        Atom::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.rng.gen_range(0..total);
+            for &(lo, hi) in ranges {
+                let span = hi as u32 - lo as u32 + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick)
+                        .expect("class range spans invalid scalar");
+                }
+                pick -= span;
+            }
+            unreachable!("pick within total")
+        }
+    }
+}
+
+/// Generates a string matching `pattern` (see module docs for the subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let atoms = parse(pattern);
+    let mut out = String::new();
+    for (atom, min, max) in &atoms {
+        let count = if min == max {
+            *min
+        } else {
+            rng.rng.gen_range(*min..=*max)
+        };
+        for _ in 0..count {
+            out.push(sample_atom(atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..100 {
+            let s = generate_matching("[a-c]{2,5}", &mut rng);
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn unicode_class_and_space() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            let s = generate_matching("[a-zα-ω ]{1,6}", &mut rng);
+            assert!(!s.is_empty());
+            assert!(
+                s.chars()
+                    .all(|c| c == ' ' || c.is_ascii_lowercase() || ('α'..='ω').contains(&c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_star_and_literals() {
+        let mut rng = TestRng::from_seed(6);
+        let any = generate_matching(".*", &mut rng);
+        assert!(any.chars().count() <= 8);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+    }
+}

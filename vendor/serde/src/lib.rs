@@ -1,0 +1,19 @@
+//! Offline marker-trait subset of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on config and trace
+//! types but never invokes a serializer (the registry is unreachable in
+//! this build environment, so `serde_json` was never an option; JSON and
+//! CSV emission are hand-rolled). The traits here are satisfied by every
+//! type via blanket impls, and the re-exported derives expand to nothing —
+//! `Serialize` resolves to the trait in the type namespace and the no-op
+//! derive in the macro namespace, exactly like the real crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,18 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde shim.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! documentation of intent — nothing calls a serializer (JSON emission is
+//! hand-rolled in `minoan-eval`). The shimmed `serde` crate provides
+//! blanket trait impls, so these derives expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
