@@ -7,7 +7,10 @@
 //!   pre-CSR implementation, reproduced here as the baseline),
 //! * the CSR counting-sort build, serial and parallel,
 //! * materialised WNP (graph build + prune) vs streaming WNP, serial and
-//!   parallel.
+//!   parallel,
+//! * materialised WEP and CEP (graph build + prune) vs their graph-free
+//!   streaming counterparts (two-pass pairwise mean / merged per-thread
+//!   top-k heaps), serial and parallel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minoan_blocking::{builders, filter, purge, BlockCollection, ErMode};
@@ -40,6 +43,9 @@ fn bench_metablocking(c: &mut Criterion) {
     group.bench_function("wep/arcs", |b| {
         b.iter(|| black_box(prune::wep(&graph, WeightingScheme::Arcs)));
     });
+    group.bench_function("wep/arcs-streaming", |b| {
+        b.iter(|| black_box(streaming::wep(&cleaned, WeightingScheme::Arcs)));
+    });
     group.bench_function("wnp/arcs", |b| {
         b.iter(|| black_box(prune::wnp(&graph, WeightingScheme::Arcs, false)));
     });
@@ -54,6 +60,9 @@ fn bench_metablocking(c: &mut Criterion) {
     });
     group.bench_function("cep/ecbs", |b| {
         b.iter(|| black_box(prune::cep(&graph, WeightingScheme::Ecbs, None)));
+    });
+    group.bench_function("cep/ecbs-streaming", |b| {
+        b.iter(|| black_box(streaming::cep(&cleaned, WeightingScheme::Ecbs, None)));
     });
     group.finish();
 }
@@ -195,6 +204,82 @@ fn bench_scaling(_c: &mut Criterion) {
                         &cleaned,
                         WeightingScheme::Arcs,
                         false,
+                        &StreamingOptions::with_threads(threads),
+                    )
+                },
+                reps,
+            ),
+        );
+
+        rec(
+            "wep/materialized-total",
+            time(
+                || {
+                    let g = BlockingGraph::build(&cleaned);
+                    prune::wep(&g, WeightingScheme::Arcs)
+                },
+                reps,
+            ),
+        );
+        rec(
+            "wep/streaming-serial",
+            time(
+                || {
+                    streaming::wep_with(
+                        &cleaned,
+                        WeightingScheme::Arcs,
+                        &StreamingOptions::with_threads(1),
+                    )
+                },
+                reps,
+            ),
+        );
+        rec(
+            "wep/streaming-parallel",
+            time(
+                || {
+                    streaming::wep_with(
+                        &cleaned,
+                        WeightingScheme::Arcs,
+                        &StreamingOptions::with_threads(threads),
+                    )
+                },
+                reps,
+            ),
+        );
+
+        rec(
+            "cep/materialized-total",
+            time(
+                || {
+                    let g = BlockingGraph::build(&cleaned);
+                    prune::cep(&g, WeightingScheme::Ecbs, None)
+                },
+                reps,
+            ),
+        );
+        rec(
+            "cep/streaming-serial",
+            time(
+                || {
+                    streaming::cep_with(
+                        &cleaned,
+                        WeightingScheme::Ecbs,
+                        None,
+                        &StreamingOptions::with_threads(1),
+                    )
+                },
+                reps,
+            ),
+        );
+        rec(
+            "cep/streaming-parallel",
+            time(
+                || {
+                    streaming::cep_with(
+                        &cleaned,
+                        WeightingScheme::Ecbs,
+                        None,
                         &StreamingOptions::with_threads(threads),
                     )
                 },

@@ -77,12 +77,13 @@ COMMANDS
   inspect   --snapshot FILE.mnstore
             Print statistics of a snapshot.
   resolve   --input FILE.nt --input FILE.nt [--strategy S] [--budget N]
-            [--blocking B] [--backend materialized|streaming] [--show K]
-            [--no-purge] [--dirty]
+            [--blocking B] [--backend materialized|streaming]
+            [--pruning P] [--weighting W] [--show K] [--no-purge] [--dirty]
             Run the full pipeline over N-Triples/Turtle KBs and print
             matches.
   eval      --profile P --entities N --seed S [--strategy S] [--budget N]
-            [--backend materialized|streaming] [--clustering A]
+            [--backend materialized|streaming] [--pruning P]
+            [--weighting W] [--clustering A]
             Generate a world, resolve it, and score against ground truth;
             with --clustering also report cluster-level quality.
   stream    --profile P --entities N --seed S [--order O] [--arrival-budget N]
@@ -95,6 +96,9 @@ ORDERS    kb-sequential | round-robin | shuffled | clustered
 CLUSTERING  connected-components | center | merge-center | unique-mapping
 BLOCKING  token | uri-infix | token+uri | attr-clustering | qgrams |
           sorted-neighborhood | minhash-lsh | canopy
+PRUNING   none | wep | cep | wnp | wnp-reciprocal | cnp | cnp-reciprocal
+          (every method runs under either --backend)
+WEIGHTING cbs | ecbs | js | ejs | arcs
 "
     .to_string()
 }
@@ -233,6 +237,47 @@ fn blocking_by_name(name: &str) -> Result<BlockingMethod, CliError> {
     })
 }
 
+fn pruning_by_name(name: &str) -> Result<minoan_er::pipeline::PruningMethod, CliError> {
+    use minoan_er::pipeline::PruningMethod;
+    Ok(match name {
+        "none" => PruningMethod::None,
+        "wep" => PruningMethod::Wep,
+        "cep" => PruningMethod::Cep(None),
+        "wnp" => PruningMethod::Wnp { reciprocal: false },
+        "wnp-reciprocal" => PruningMethod::Wnp { reciprocal: true },
+        "cnp" => PruningMethod::Cnp {
+            reciprocal: false,
+            k: None,
+        },
+        "cnp-reciprocal" => PruningMethod::Cnp {
+            reciprocal: true,
+            k: None,
+        },
+        other => {
+            return Err(CliError(format!(
+                "unknown pruning method {other:?}; valid: none | wep | cep | wnp | \
+                 wnp-reciprocal | cnp | cnp-reciprocal"
+            )))
+        }
+    })
+}
+
+fn weighting_by_name(name: &str) -> Result<minoan_metablocking::WeightingScheme, CliError> {
+    use minoan_metablocking::WeightingScheme;
+    Ok(match name {
+        "cbs" => WeightingScheme::Cbs,
+        "ecbs" => WeightingScheme::Ecbs,
+        "js" => WeightingScheme::Js,
+        "ejs" => WeightingScheme::Ejs,
+        "arcs" => WeightingScheme::Arcs,
+        other => {
+            return Err(CliError(format!(
+                "unknown weighting scheme {other:?}; valid: cbs | ecbs | js | ejs | arcs"
+            )))
+        }
+    })
+}
+
 fn pipeline_config(args: &Args) -> Result<PipelineConfig, CliError> {
     let mut config = PipelineConfig::default();
     if args.flag("dirty") {
@@ -247,9 +292,18 @@ fn pipeline_config(args: &Args) -> Result<PipelineConfig, CliError> {
     if let Some(s) = args.get("strategy") {
         config.resolver.strategy = strategy_by_name(s)?;
     }
+    if let Some(p) = args.get("pruning") {
+        config.pruning = pruning_by_name(p)?;
+    }
+    if let Some(w) = args.get("weighting") {
+        config.weighting = weighting_by_name(w)?;
+    }
     if let Some(b) = args.get("backend") {
-        config.backend = minoan_metablocking::GraphBackend::parse(b)
-            .ok_or_else(|| CliError(format!("unknown backend {b:?} (materialized | streaming)")))?;
+        config.backend = minoan_metablocking::GraphBackend::parse(b).ok_or_else(|| {
+            CliError(format!(
+                "unknown backend {b:?}; valid spellings: materialized | streaming"
+            ))
+        })?;
     }
     config.resolver.budget = args.get_parsed("budget", u64::MAX)?;
     config.matcher.threshold = args.get_parsed("threshold", config.matcher.threshold)?;
@@ -536,6 +590,57 @@ mod tests {
             assert!(out.contains("b-cubed"), "{alg}: {out}");
         }
         assert!(run_str("eval --profile center --clustering bogus").is_err());
+    }
+
+    #[test]
+    fn unknown_backend_lists_valid_spellings() {
+        for cmd in [
+            "eval --profile center --entities 40 --seed 1 --backend bogus",
+            "eval --profile center --entities 40 --seed 1 --backend stream",
+        ] {
+            let err = run_str(cmd).unwrap_err();
+            assert!(
+                err.0.contains("materialized") && err.0.contains("streaming"),
+                "error must list the valid spellings, got: {}",
+                err.0
+            );
+        }
+    }
+
+    #[test]
+    fn every_pruning_method_runs_under_both_backends() {
+        for backend in ["materialized", "streaming"] {
+            for pruning in [
+                "none",
+                "wep",
+                "cep",
+                "wnp",
+                "wnp-reciprocal",
+                "cnp",
+                "cnp-reciprocal",
+            ] {
+                let out = run_str(&format!(
+                    "eval --profile center --entities 80 --seed 19 \
+                     --backend {backend} --pruning {pruning}"
+                ))
+                .unwrap();
+                assert!(out.contains("precision"), "{backend}/{pruning}: {out}");
+            }
+        }
+        assert!(run_str("eval --profile center --pruning bogus").is_err());
+        assert!(run_str("eval --profile center --weighting bogus").is_err());
+    }
+
+    #[test]
+    fn weighting_schemes_are_selectable() {
+        for w in ["cbs", "ecbs", "js", "ejs", "arcs"] {
+            let out = run_str(&format!(
+                "eval --profile center --entities 60 --seed 21 --weighting {w} \
+                 --backend streaming --pruning wep"
+            ))
+            .unwrap();
+            assert!(out.contains("recall"), "{w}: {out}");
+        }
     }
 
     #[test]

@@ -64,6 +64,27 @@ pub fn harmonic_mean(a: f64, b: f64) -> f64 {
     }
 }
 
+/// Deterministic fixed-shape pairwise (cascade) summation.
+///
+/// The reduction tree depends only on `xs.len()` — never on thread count
+/// or chunking — so any two callers that assemble the same slice get the
+/// same f64 down to the last bit. Streaming WEP relies on this: each
+/// worker fills its slots of a per-entity partial-sum slab, and the final
+/// reduction over that fixed-length slab is identical whether the slab was
+/// produced by one thread or sixteen. Pairwise summation also carries the
+/// usual `O(log n)` error bound, tighter than a running sum.
+pub fn pairwise_sum(xs: &[f64]) -> f64 {
+    if xs.len() <= 8 {
+        let mut s = 0.0;
+        for &x in xs {
+            s += x;
+        }
+        return s;
+    }
+    let mid = xs.len() / 2;
+    pairwise_sum(&xs[..mid]) + pairwise_sum(&xs[mid..])
+}
+
 /// Natural-log "information" weight `ln(total / part)`, clamped at 0 —
 /// the shape used by ECBS/EJS meta-blocking weights. Returns 0 when either
 /// argument is non-positive or `part > total`.
@@ -120,6 +141,26 @@ mod tests {
         assert_eq!(harmonic_mean(0.0, 0.0), 0.0);
         assert!((harmonic_mean(1.0, 1.0) - 1.0).abs() < 1e-12);
         assert!((harmonic_mean(0.5, 1.0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_sum_matches_naive_on_exact_inputs() {
+        assert_eq!(pairwise_sum(&[]), 0.0);
+        assert_eq!(pairwise_sum(&[1.5]), 1.5);
+        // Sums of small integers are exact in f64, so pairwise == naive.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(pairwise_sum(&xs), 5050.0);
+    }
+
+    #[test]
+    fn pairwise_sum_shape_depends_only_on_length() {
+        // Splitting the slice at arbitrary points and reducing the parts
+        // separately is NOT the defined order — but calling the function
+        // twice on equal content must agree bitwise.
+        let xs: Vec<f64> = (0..1000).map(|i| 1.0 / (i as f64 + 1.0)).collect();
+        let a = pairwise_sum(&xs);
+        let b = pairwise_sum(&xs.clone());
+        assert_eq!(a.to_bits(), b.to_bits());
     }
 
     #[test]

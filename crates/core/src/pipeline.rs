@@ -69,9 +69,9 @@ pub struct PipelineConfig {
     /// Meta-blocking pruning algorithm.
     pub pruning: PruningMethod,
     /// Meta-blocking execution backend. [`GraphBackend::Streaming`] runs
-    /// the node-centric pruners (WNP, CNP) without materialising the
-    /// blocking graph; edge-centric methods (None, WEP, CEP) always build
-    /// the graph. Output is identical either way.
+    /// *every* pruning method (edge-centric WEP/CEP included) without
+    /// materialising the blocking graph; [`GraphBackend::Materialized`]
+    /// builds the CSR graph first. Output is bit-identical either way.
     pub backend: GraphBackend,
     /// Matcher configuration.
     pub matcher: MatcherConfig,
@@ -155,45 +155,46 @@ impl Pipeline {
     }
 
     /// Runs meta-blocking, returning weighted candidates.
+    ///
+    /// Under [`GraphBackend::Streaming`] no pruning method ever builds
+    /// the edge slab — there is deliberately no fall-through to
+    /// [`BlockingGraph::build`], so asking for the streaming backend
+    /// means streaming for WEP and CEP too.
     pub fn meta_block(&self, blocks: &BlockCollection) -> Vec<(EntityId, EntityId, f64)> {
         let scheme = self.config.weighting;
-        if self.config.backend == GraphBackend::Streaming {
-            // Node-centric pruners run on-the-fly, never materialising
-            // the edge set; edge-centric methods fall through to the
-            // graph build below.
-            match self.config.pruning {
-                PruningMethod::Wnp { reciprocal } => {
-                    let pruned = streaming::wnp(blocks, scheme, reciprocal);
-                    return pruned
-                        .pairs
+        let pruned = match self.config.backend {
+            GraphBackend::Streaming => match self.config.pruning {
+                PruningMethod::None => {
+                    return streaming::weighted_edges(blocks, scheme)
                         .into_iter()
                         .map(|p| (p.a, p.b, p.weight))
                         .collect();
                 }
+                PruningMethod::Wep => streaming::wep(blocks, scheme),
+                PruningMethod::Cep(k) => streaming::cep(blocks, scheme, k),
+                PruningMethod::Wnp { reciprocal } => streaming::wnp(blocks, scheme, reciprocal),
                 PruningMethod::Cnp { reciprocal, k } => {
-                    let pruned = streaming::cnp(blocks, scheme, reciprocal, k);
-                    return pruned
-                        .pairs
-                        .into_iter()
-                        .map(|p| (p.a, p.b, p.weight))
-                        .collect();
+                    streaming::cnp(blocks, scheme, reciprocal, k)
                 }
-                PruningMethod::None | PruningMethod::Wep | PruningMethod::Cep(_) => {}
+            },
+            GraphBackend::Materialized => {
+                let graph = BlockingGraph::build(blocks);
+                match self.config.pruning {
+                    PruningMethod::None => {
+                        return graph
+                            .edges()
+                            .iter()
+                            .map(|e| (e.a, e.b, scheme.weight(&graph, e)))
+                            .collect();
+                    }
+                    PruningMethod::Wep => prune::wep(&graph, scheme),
+                    PruningMethod::Cep(k) => prune::cep(&graph, scheme, k),
+                    PruningMethod::Wnp { reciprocal } => prune::wnp(&graph, scheme, reciprocal),
+                    PruningMethod::Cnp { reciprocal, k } => {
+                        prune::cnp(&graph, scheme, reciprocal, k)
+                    }
+                }
             }
-        }
-        let graph = BlockingGraph::build(blocks);
-        let pruned = match self.config.pruning {
-            PruningMethod::None => {
-                return graph
-                    .edges()
-                    .iter()
-                    .map(|e| (e.a, e.b, scheme.weight(&graph, e)))
-                    .collect();
-            }
-            PruningMethod::Wep => prune::wep(&graph, scheme),
-            PruningMethod::Cep(k) => prune::cep(&graph, scheme, k),
-            PruningMethod::Wnp { reciprocal } => prune::wnp(&graph, scheme, reciprocal),
-            PruningMethod::Cnp { reciprocal, k } => prune::cnp(&graph, scheme, reciprocal, k),
         };
         pruned
             .pairs
@@ -311,6 +312,9 @@ mod tests {
     fn streaming_backend_matches_materialised_backend() {
         let g = generate(&profiles::center_dense(120, 9));
         for pruning in [
+            PruningMethod::None,
+            PruningMethod::Wep,
+            PruningMethod::Cep(None),
             PruningMethod::Wnp { reciprocal: false },
             PruningMethod::Cnp {
                 reciprocal: true,
@@ -333,6 +337,49 @@ mod tests {
                 m.resolution.comparisons, s.resolution.comparisons,
                 "{pruning:?}"
             );
+        }
+    }
+
+    #[test]
+    fn candidate_lists_are_bitwise_equal_across_backends() {
+        // Stronger than the end-to-end check above: the weighted
+        // candidate list itself must agree pair-for-pair and bit-for-bit
+        // for every pruning method × weighting scheme combination.
+        let g = generate(&profiles::center_dense(100, 17));
+        for scheme in WeightingScheme::ALL {
+            for pruning in [
+                PruningMethod::None,
+                PruningMethod::Wep,
+                PruningMethod::Cep(Some(40)),
+                PruningMethod::Wnp { reciprocal: true },
+                PruningMethod::Cnp {
+                    reciprocal: false,
+                    k: Some(2),
+                },
+            ] {
+                let base = PipelineConfig {
+                    pruning,
+                    weighting: scheme,
+                    ..Default::default()
+                };
+                let mat = Pipeline::new(base.clone());
+                let blocks = mat.clean_blocks(mat.block(&g.dataset));
+                let m = mat.meta_block(&blocks);
+                let s = Pipeline::new(PipelineConfig {
+                    backend: GraphBackend::Streaming,
+                    ..base
+                })
+                .meta_block(&blocks);
+                assert_eq!(m.len(), s.len(), "{scheme:?}/{pruning:?}");
+                for (x, y) in m.iter().zip(&s) {
+                    assert_eq!((x.0, x.1), (y.0, y.1), "{scheme:?}/{pruning:?}");
+                    assert_eq!(
+                        x.2.to_bits(),
+                        y.2.to_bits(),
+                        "{scheme:?}/{pruning:?}: weight bits"
+                    );
+                }
+            }
         }
     }
 

@@ -15,16 +15,21 @@
 //!   The graph lives in flat CSR slabs (edge records sorted by pair, plus
 //!   `offsets`/`edge-index` adjacency arrays); construction is a two-pass
 //!   counting sort over node-centric sweeps, parallelised over entity
-//!   ranges with scoped threads, with no hash map anywhere. Required for
-//!   the edge-centric algorithms (WEP, CEP) and anything else that needs
-//!   random access to the whole edge set.
-//! * **Streaming** — the node-centric algorithms (WNP, CNP, BLAST) never
-//!   need the global edge set: [`streaming`] sweeps the collection entity
-//!   by entity, reconstructing each node's incident statistics in dense
-//!   epoch-reset accumulators, and emits only the kept pairs. Output is
-//!   bit-identical to the materialised path for every scheme, variant and
-//!   thread count (enforced by property tests), while skipping the edge
-//!   slab entirely.
+//!   ranges with scoped threads, with no hash map anywhere. The choice
+//!   for anything that needs random access to the whole edge set (e.g.
+//!   the supervised feature extractor) or reuses one graph across many
+//!   pruning runs.
+//! * **Streaming** — *every* pruning family runs without the global edge
+//!   slab: [`streaming`] sweeps the collection entity by entity,
+//!   reconstructing each node's incident statistics in dense epoch-reset
+//!   accumulators, and emits only the kept pairs. The node-centric
+//!   algorithms (WNP, CNP, BLAST) prune per neighbourhood; the
+//!   edge-centric ones reduce their single global criterion
+//!   deterministically — WEP via a fixed-shape pairwise mean, CEP via
+//!   per-thread bounded top-k heaps merged under a strict total order.
+//!   Output is bit-identical to the materialised path for every method,
+//!   scheme, variant and thread count (enforced by property tests); see
+//!   the support matrix in the [`streaming`] module docs.
 //!
 //! # Modules
 //!
@@ -38,7 +43,7 @@
 //!   weight-based (WEP, WNP) and cardinality-based (CEP, CNP), with
 //!   redundancy (union) and reciprocal (intersection) variants of the
 //!   node-centric ones.
-//! * [`streaming`] — the on-the-fly node-centric WNP/CNP/BLAST described
+//! * [`streaming`] — the on-the-fly WEP/CEP/WNP/CNP/BLAST described
 //!   above.
 //! * [`blast`] — BLAST's χ² weighting with loose per-node pruning.
 //! * [`parallel`] — the MapReduce formulations of reference \[4\]

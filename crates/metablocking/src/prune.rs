@@ -12,7 +12,7 @@
 
 use crate::graph::BlockingGraph;
 use crate::weights::WeightingScheme;
-use minoan_common::stats::mean;
+use minoan_common::stats::{mean, pairwise_sum};
 use minoan_common::{OrdF64, TopK};
 use minoan_rdf::EntityId;
 
@@ -70,6 +70,17 @@ impl PrunedComparisons {
         }
     }
 
+    /// An explicit empty result that still reports the input-edge count,
+    /// used when a cardinality of 0 makes pruning degenerate (empty or
+    /// single-assignment collections).
+    pub(crate) fn empty(scheme: WeightingScheme, input_edges: usize) -> Self {
+        Self {
+            pairs: Vec::new(),
+            scheme,
+            input_edges,
+        }
+    }
+
     fn from_indices(
         graph: &BlockingGraph,
         weights: &[f64],
@@ -93,10 +104,43 @@ impl PrunedComparisons {
     }
 }
 
-/// Weighted Edge Pruning: keep edges with weight ≥ the global mean weight.
+/// The WEP threshold from per-source-entity partial sums: the mean over
+/// *positive-weight* edges. Zero-weight edges (ECBS/EJS can produce them
+/// when an entity appears in every block) carry no co-occurrence evidence
+/// and are excluded from the denominator — they could never be kept, so
+/// counting them only deflated the mean.
+///
+/// Both backends feed this the same fixed-length slab (`sums[a]` = Σ of
+/// the positive weights of the edges whose *smaller* endpoint is `a`,
+/// accumulated in ascending larger-endpoint order) and the same positive
+/// count; [`pairwise_sum`]'s reduction shape depends only on the slab
+/// length, so the threshold is bit-identical across backends and thread
+/// counts.
+pub(crate) fn wep_threshold_from_sums(sums: &[f64], positive_edges: u64) -> f64 {
+    if positive_edges == 0 {
+        0.0
+    } else {
+        pairwise_sum(sums) / positive_edges as f64
+    }
+}
+
+/// Weighted Edge Pruning: keep edges with weight ≥ the global mean weight
+/// (mean over the positive-weight edges; see [`wep_threshold_from_sums`]).
 pub fn wep(graph: &BlockingGraph, scheme: WeightingScheme) -> PrunedComparisons {
     let weights = scheme.all_weights(graph);
-    let threshold = mean(&weights);
+    // Per-source partial sums in slab order (edges sorted by (a, b), so
+    // each source accumulates over ascending targets) — the exact f64
+    // sequence the streaming sweep of entity `a` produces.
+    let mut sums = vec![0.0f64; graph.num_nodes()];
+    let mut positive = 0u64;
+    for (i, e) in graph.edges().iter().enumerate() {
+        let w = weights[i];
+        if w > 0.0 {
+            sums[e.a.index()] += w;
+            positive += 1;
+        }
+    }
+    let threshold = wep_threshold_from_sums(&sums, positive);
     let keep: Vec<u32> = (0..graph.num_edges() as u32)
         .filter(|&i| weights[i as usize] >= threshold && weights[i as usize] > 0.0)
         .collect();
@@ -107,13 +151,28 @@ pub fn wep(graph: &BlockingGraph, scheme: WeightingScheme) -> PrunedComparisons 
 /// of block assignments (the literature's budget: half an assignment's
 /// worth of comparisons).
 pub fn default_cep_k(graph: &BlockingGraph) -> usize {
-    (graph.total_assignments() / 2) as usize
+    default_cep_k_from(graph.total_assignments())
+}
+
+/// The default-CEP-K formula from the raw assignment count — the single
+/// definition both backends use. Note this is 0 on empty or
+/// single-assignment collections; [`cep`] guards that case explicitly.
+pub(crate) fn default_cep_k_from(total_assignments: u64) -> usize {
+    (total_assignments / 2) as usize
 }
 
 /// Cardinality Edge Pruning: keep the global top-`k` edges by weight
 /// (`k` defaults to [`default_cep_k`]).
+///
+/// `k == 0` (an explicit `Some(0)`, or the default on an empty or
+/// single-assignment collection) short-circuits to an explicit empty
+/// result that still reports `input_edges`, rather than driving a
+/// degenerate zero-capacity heap.
 pub fn cep(graph: &BlockingGraph, scheme: WeightingScheme, k: Option<usize>) -> PrunedComparisons {
     let k = k.unwrap_or_else(|| default_cep_k(graph));
+    if k == 0 {
+        return PrunedComparisons::empty(scheme, graph.num_edges());
+    }
     let weights = scheme.all_weights(graph);
     // TopK orders by the tuple; invert edge index so earlier edges win ties.
     let mut top: TopK<(OrdF64, std::cmp::Reverse<u32>)> = TopK::new(k);
@@ -170,7 +229,9 @@ pub(crate) fn default_cnp_k_from(total_assignments: u64, active_nodes: usize) ->
 }
 
 /// Cardinality Node Pruning: each node keeps its top-`k` incident edges
-/// (`k` defaults to [`default_cnp_k`]); `reciprocal` as in [`wnp`].
+/// (`k` defaults to [`default_cnp_k`], which is always ≥ 1); `reciprocal`
+/// as in [`wnp`]. An explicit `k == 0` short-circuits to an explicit
+/// empty result (see [`cep`]).
 pub fn cnp(
     graph: &BlockingGraph,
     scheme: WeightingScheme,
@@ -178,6 +239,9 @@ pub fn cnp(
     k: Option<usize>,
 ) -> PrunedComparisons {
     let k = k.unwrap_or_else(|| default_cnp_k(graph));
+    if k == 0 {
+        return PrunedComparisons::empty(scheme, graph.num_edges());
+    }
     let weights = scheme.all_weights(graph);
     let mut votes = vec![0u8; graph.num_edges()];
     for node in 0..graph.num_nodes() as u32 {
@@ -350,5 +414,98 @@ mod tests {
         let g = toy_graph();
         assert!(default_cep_k(&g) >= 1);
         assert!(default_cnp_k(&g) >= 1);
+    }
+
+    /// Fixture with ECBS zero-weight edges: entities 0 (KB a) and 5–8
+    /// (KB b) sit in *every* block, so `ln(|B|/|B_i|) = 0` kills each of
+    /// their edges. Positive edges: (1,3) weak ≈ 0.199, (2,4) strong
+    /// ≈ 2.59, plus 14 zero-weight edges.
+    fn zero_heavy_ecbs_graph() -> BlockingGraph {
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        let k1 = b.add_kb("b", "http://b/");
+        for i in 0..3 {
+            b.add_literal(k0, &format!("http://a/{i}"), "http://p", "x");
+        }
+        for i in 3..9 {
+            b.add_literal(k1, &format!("http://b/{i}"), "http://p", "x");
+        }
+        let ds = b.build();
+        let e = EntityId;
+        let everywhere = [e(0), e(5), e(6), e(7), e(8)];
+        let mut groups: Vec<(String, Vec<EntityId>)> = (0..4)
+            .map(|i| {
+                let mut members = vec![e(1), e(3)];
+                members.extend_from_slice(&everywhere);
+                (format!("strong{i}"), members)
+            })
+            .collect();
+        let mut weak = vec![e(2), e(4)];
+        weak.extend_from_slice(&everywhere);
+        groups.push(("weak".to_string(), weak));
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        BlockingGraph::build(&c)
+    }
+
+    #[test]
+    fn wep_mean_excludes_zero_weight_edges() {
+        let g = zero_heavy_ecbs_graph();
+        assert_eq!(g.num_edges(), 16);
+        let weights = WeightingScheme::Ecbs.all_weights(&g);
+        let positives: Vec<f64> = weights.iter().copied().filter(|&w| w > 0.0).collect();
+        assert_eq!(positives.len(), 2, "fixture: exactly two positive edges");
+        // The mean over positive edges (≈ 1.39) excludes the weak edge
+        // (≈ 0.199); the old zero-deflated mean (≈ 0.174) kept it.
+        let deflated = mean(&weights);
+        let weak = positives.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            deflated < weak && weak < mean(&positives),
+            "fixture must separate the two definitions"
+        );
+        let out = wep(&g, WeightingScheme::Ecbs);
+        assert_eq!(out.pairs.len(), 1, "only the strong edge survives");
+        assert_eq!((out.pairs[0].a, out.pairs[0].b), (EntityId(2), EntityId(4)));
+    }
+
+    #[test]
+    fn wep_threshold_denominator_counts_positive_edges_only() {
+        // sums {3, 2} over 2 positive edges → 2.5; a third zero-weight
+        // edge must not deflate it to 5/3.
+        assert_eq!(wep_threshold_from_sums(&[3.0, 2.0, 0.0], 2), 2.5);
+        assert_eq!(wep_threshold_from_sums(&[0.0, 0.0], 0), 0.0);
+    }
+
+    #[test]
+    fn zero_cardinality_returns_explicit_empty_with_stats() {
+        let g = toy_graph();
+        for scheme in [WeightingScheme::Cbs, WeightingScheme::Ejs] {
+            let e = cep(&g, scheme, Some(0));
+            assert!(e.pairs.is_empty());
+            assert_eq!(e.input_edges, g.num_edges(), "stats survive the guard");
+            assert_eq!(e.retention(), 0.0);
+            let n = cnp(&g, scheme, false, Some(0));
+            assert!(n.pairs.is_empty());
+            assert_eq!(n.input_edges, g.num_edges());
+        }
+    }
+
+    #[test]
+    fn default_cep_k_zero_on_single_assignment_collection() {
+        // One block with one entity: BC = 1 → default K = 0; the guard
+        // must yield an explicit empty result, not a degenerate heap.
+        let mut b = DatasetBuilder::new();
+        let k0 = b.add_kb("a", "http://a/");
+        b.add_literal(k0, "http://a/0", "http://p", "x");
+        let ds = b.build();
+        let c = BlockCollection::from_groups(
+            &ds,
+            ErMode::Dirty,
+            vec![("only".to_string(), vec![EntityId(0)])],
+        );
+        let g = BlockingGraph::build(&c);
+        assert_eq!(default_cep_k(&g), 0);
+        let out = cep(&g, WeightingScheme::Cbs, None);
+        assert!(out.pairs.is_empty());
+        assert_eq!(out.input_edges, 0);
     }
 }

@@ -1,31 +1,57 @@
-//! On-the-fly node-centric meta-blocking: WNP, CNP and BLAST without
-//! materialising the blocking graph.
+//! On-the-fly meta-blocking: every pruning family — WEP, CEP, WNP, CNP
+//! and BLAST — without materialising the blocking graph.
 //!
 //! The materialised path builds the full edge slab (one record per
-//! distinct comparable pair) before pruning discards most of it. For the
-//! node-centric algorithms that is wasted work and — on large LOD worlds —
-//! wasted memory: each node's pruning decision only needs *its own*
-//! neighbourhood. The streaming path therefore sweeps the block collection
-//! entity by entity (see [`crate::sweep`]): per node it reconstructs the
-//! incident edge statistics in dense epoch-reset accumulators, applies the
-//! local criterion (mean threshold, top-k, or ratio-of-max), and emits only
-//! the *kept* pairs. Union/reciprocal vote combination happens on the kept
-//! set, which is a small fraction of the full edge set.
+//! distinct comparable pair) before pruning discards most of it. That is
+//! wasted work and — on large LOD worlds — wasted memory: pruning
+//! decisions need per-node neighbourhoods (node-centric) or two global
+//! scalars (edge-centric), never random access to the whole slab. The
+//! streaming path therefore sweeps the block collection entity by entity
+//! (see [`crate::sweep`]): per node it reconstructs the incident edge
+//! statistics in dense epoch-reset accumulators, applies the pruning
+//! criterion, and emits only the *kept* pairs.
+//!
+//! # Backend × method support matrix
+//!
+//! | Method               | Materialised              | Streaming |
+//! |----------------------|---------------------------|-----------|
+//! | WEP (global mean)    | [`crate::prune::wep`]     | [`wep`] — two-pass: partial-sum sweep, then re-sweep ≥ threshold |
+//! | CEP (global top-k)   | [`crate::prune::cep`]     | [`cep`] — per-thread bounded heaps, deterministic merge |
+//! | WNP (local mean)     | [`crate::prune::wnp`]     | [`wnp`] |
+//! | CNP (local top-k)    | [`crate::prune::cnp`]     | [`cnp`] |
+//! | BLAST (ratio-of-max) | [`crate::blast::blast`]   | [`blast`] |
+//! | no pruning           | `BlockingGraph::edges`    | [`weighted_edges`] |
+//!
+//! Every cell of the streaming column is **bit-identical** to its
+//! materialised counterpart for every weighting scheme and thread count;
+//! property tests in `tests/streaming_equivalence.rs` enforce this.
 //!
 //! The sweeps are embarrassingly parallel over entity ranges (scoped
 //! threads, one scratch per worker) and every per-edge quantity is
 //! computed through the same kernels as the materialised path
 //! ([`WeightingScheme::weight_from_stats`],
 //! [`chi_square_from_stats`](crate::blast::chi_square_from_stats)) with
-//! f64 accumulation in the same order — so for every scheme, variant and
-//! thread count the output is **bit-identical** to pruning a built
-//! [`BlockingGraph`](crate::BlockingGraph). Property tests in
-//! `tests/streaming_equivalence.rs` enforce this.
+//! f64 accumulation in the same order. Two constructions keep the
+//! *global* criteria deterministic without a global edge slab:
+//!
+//! * **WEP** needs one global mean. Pass 1 accumulates, per entity `a`,
+//!   the sum of its positive forward-edge weights (ascending neighbour
+//!   order — the slab order) into a fixed-length per-entity slab; the
+//!   final reduction is a fixed-shape pairwise sum
+//!   ([`minoan_common::stats::pairwise_sum`]) whose tree depends only on
+//!   the entity count, so the threshold is independent of the worker
+//!   partitioning. Pass 2 re-sweeps and emits edges ≥ threshold.
+//! * **CEP** needs one global top-k. Each worker keeps a bounded
+//!   [`TopK`] over its forward edges keyed by
+//!   `(OrdF64(weight), Reverse((a, b)))` — the same total order as the
+//!   materialised `(weight, Reverse(edge rank))` key, because the slab is
+//!   sorted by pair — and the per-thread survivors merge through one more
+//!   bounded heap. A strict total order makes the merged set the exact
+//!   global top-k regardless of how edges were partitioned.
 //!
 //! EJS needs two global aggregates (node degrees and the distinct-edge
 //! count |V|); those come from one extra counting sweep, still without
-//! materialising edges. WEP/CEP are edge-centric (global mean / global
-//! top-k) and keep using the materialised graph.
+//! materialising edges.
 
 use crate::blast::chi_square_from_stats;
 use crate::prune::{PrunedComparisons, WeightedPair};
@@ -42,9 +68,9 @@ pub enum GraphBackend {
     /// Build the CSR blocking graph, then prune it.
     #[default]
     Materialized,
-    /// Node-centric streaming sweeps; the global edge set is never
-    /// materialised (WNP/CNP/BLAST only — edge-centric algorithms fall
-    /// back to the materialised graph).
+    /// Streaming sweeps; the global edge set is never materialised for
+    /// *any* pruning method (node-centric WNP/CNP/BLAST and edge-centric
+    /// WEP/CEP alike).
     Streaming,
 }
 
@@ -243,6 +269,42 @@ fn combine_votes(kept: Vec<WeightedPair>, reciprocal: bool) -> Vec<WeightedPair>
     out
 }
 
+/// Weight of the current sweep's edge to neighbour `y`, with `(lo, hi)`
+/// the pair's endpoints in normalised (smaller, larger) order. The single
+/// kernel call site for every streaming pruner: the materialised path
+/// always evaluates edges in that endpoint order, and f64 multiplication
+/// chains are association-order sensitive at the ulp level (ECBS/EJS
+/// multiply per-endpoint factors), so bit-identity depends on this one
+/// body staying the only place the order is decided.
+fn edge_weight(
+    scheme: WeightingScheme,
+    scratch: &SweepScratch,
+    globals: &Globals,
+    y: u32,
+    lo: u32,
+    hi: u32,
+) -> f64 {
+    debug_assert!(lo < hi);
+    let (dlo, dhi) = if globals.degrees.is_empty() {
+        (0, 0)
+    } else {
+        (
+            globals.degrees[lo as usize] as usize,
+            globals.degrees[hi as usize] as usize,
+        )
+    };
+    scheme.weight_from_stats(
+        scratch.cbs_of(y),
+        scratch.arcs_of(y),
+        globals.blocks_of[lo as usize],
+        globals.blocks_of[hi as usize],
+        globals.num_blocks,
+        dlo,
+        dhi,
+        globals.num_edges,
+    )
+}
+
 /// Computes the weights of the current sweep's neighbours into `out`
 /// (ascending neighbour order — the same order the materialised path
 /// iterates a node's incident edges in, so local f64 means agree bitwise).
@@ -256,29 +318,8 @@ fn neighbour_weights(
     out.clear();
     out.reserve(scratch.neighbours().len());
     for &y in scratch.neighbours() {
-        // Stats are passed in normalised (smaller, larger) endpoint order:
-        // the materialised path always evaluates edges that way, and f64
-        // multiplication chains are association-order sensitive at the ulp
-        // level (ECBS/EJS multiply per-endpoint factors).
         let (lo, hi) = if a < y { (a, y) } else { (y, a) };
-        let (dlo, dhi) = if globals.degrees.is_empty() {
-            (0, 0)
-        } else {
-            (
-                globals.degrees[lo as usize] as usize,
-                globals.degrees[hi as usize] as usize,
-            )
-        };
-        out.push(scheme.weight_from_stats(
-            scratch.cbs_of(y),
-            scratch.arcs_of(y),
-            globals.blocks_of[lo as usize],
-            globals.blocks_of[hi as usize],
-            globals.num_blocks,
-            dlo,
-            dhi,
-            globals.num_edges,
-        ));
+        out.push(edge_weight(scheme, scratch, globals, y, lo, hi));
     }
 }
 
@@ -289,6 +330,238 @@ fn normalised(a: u32, y: u32, w: f64) -> WeightedPair {
         b: EntityId(hi),
         weight: w,
     }
+}
+
+/// Weight of the forward edge `(a, y)` (`a < y`) from the current
+/// sweep's stats — [`edge_weight`] with the endpoints already normalised.
+fn forward_weight(
+    scheme: WeightingScheme,
+    scratch: &SweepScratch,
+    a: u32,
+    y: u32,
+    globals: &Globals,
+) -> f64 {
+    edge_weight(scheme, scratch, globals, y, a, y)
+}
+
+/// Streaming Weighted Edge Pruning — bit-identical to
+/// [`crate::prune::wep`] on the built graph.
+///
+/// Two passes, neither materialising an edge: pass 1 accumulates each
+/// entity's positive forward-edge weight sum into a fixed-length slab and
+/// reduces it with a fixed-shape pairwise sum (the threshold is therefore
+/// independent of the thread count); pass 2 re-sweeps and emits the edges
+/// at or above the threshold.
+pub fn wep(collection: &BlockCollection, scheme: WeightingScheme) -> PrunedComparisons {
+    wep_with(collection, scheme, &StreamingOptions::default())
+}
+
+/// [`wep`] with explicit options.
+pub fn wep_with(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    opts: &StreamingOptions,
+) -> PrunedComparisons {
+    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
+    let globals = globals_for(collection, scheme, &ranges, false);
+    let n = collection.num_entities();
+
+    // Pass 1 — per-entity partial sums of positive forward-edge weights,
+    // accumulated in ascending neighbour order (the slab order the
+    // materialised path sums in), plus the positive / forward counts.
+    let mut sums = vec![0.0f64; n];
+    let mut positive = 0u64;
+    let mut fwd_edges = 0u64;
+    {
+        let chunks = split_by_ends(&mut sums, ranges.iter().map(|r| r.end));
+        let globals = &globals;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            for (r, chunk) in ranges.iter().zip(chunks) {
+                let r = r.clone();
+                handles.push(s.spawn(move || {
+                    let mut scratch = SweepScratch::new(n);
+                    let (mut pos, mut fwd) = (0u64, 0u64);
+                    for a in r.clone() {
+                        scratch.sweep(collection, EntityId(a as u32));
+                        let mut sum = 0.0f64;
+                        for &y in scratch.neighbours() {
+                            if y <= a as u32 {
+                                continue;
+                            }
+                            fwd += 1;
+                            let w = forward_weight(scheme, &scratch, a as u32, y, globals);
+                            if w > 0.0 {
+                                sum += w;
+                                pos += 1;
+                            }
+                        }
+                        chunk[a - r.start] = sum;
+                    }
+                    (pos, fwd)
+                }));
+            }
+            for h in handles {
+                let (p, f) = h.join().expect("sweep worker panicked");
+                positive += p;
+                fwd_edges += f;
+            }
+        });
+    }
+    let threshold = crate::prune::wep_threshold_from_sums(&sums, positive);
+
+    // Pass 2 — re-sweep and emit each edge once, at its smaller endpoint.
+    let (kept, _) = {
+        let globals = &globals;
+        per_node_pass(collection, &ranges, move |a, scratch, _weights, out| {
+            for &y in scratch.neighbours() {
+                if y <= a {
+                    continue;
+                }
+                let w = forward_weight(scheme, scratch, a, y, globals);
+                if w >= threshold && w > 0.0 {
+                    out.push(WeightedPair {
+                        a: EntityId(a),
+                        b: EntityId(y),
+                        weight: w,
+                    });
+                }
+            }
+        })
+    };
+    let input_edges = if globals.num_edges > 0 {
+        globals.num_edges
+    } else {
+        fwd_edges as usize
+    };
+    PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges)
+}
+
+/// Key of the CEP selection order: weight descending, ties to the
+/// *earlier* pair. Identical to the materialised `(weight, Reverse(edge
+/// rank))` order because the edge slab is sorted by pair.
+type CepKey = (OrdF64, std::cmp::Reverse<(EntityId, EntityId)>);
+
+/// Streaming Cardinality Edge Pruning — bit-identical to
+/// [`crate::prune::cep`] on the built graph.
+///
+/// Each worker keeps a bounded top-k heap over the forward edges of its
+/// entity range (the `a < b` orientation visits every edge exactly once);
+/// the per-thread survivors merge through one more bounded heap. The key
+/// is a strict total order, so the merged set is the exact global top-k
+/// for any partitioning.
+pub fn cep(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    k: Option<usize>,
+) -> PrunedComparisons {
+    cep_with(collection, scheme, k, &StreamingOptions::default())
+}
+
+/// [`cep`] with explicit options.
+pub fn cep_with(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    k: Option<usize>,
+    opts: &StreamingOptions,
+) -> PrunedComparisons {
+    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
+    let k = k.unwrap_or_else(|| crate::prune::default_cep_k_from(collection.total_assignments()));
+    if k == 0 {
+        // Degenerate cardinality (empty or single-assignment collection):
+        // report the edge count without driving a zero-capacity heap.
+        let g = count_pass(collection, &ranges);
+        return PrunedComparisons::empty(scheme, g.num_edges);
+    }
+    let globals = globals_for(collection, scheme, &ranges, false);
+    let n = collection.num_entities();
+    let mut merged: TopK<CepKey> = TopK::new(k);
+    let mut fwd_edges = 0u64;
+    {
+        let globals = &globals;
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(ranges.len());
+            for r in &ranges {
+                let r = r.clone();
+                handles.push(s.spawn(move || {
+                    let mut scratch = SweepScratch::new(n);
+                    let mut top: TopK<CepKey> = TopK::new(k);
+                    let mut fwd = 0u64;
+                    for a in r {
+                        let a = a as u32;
+                        scratch.sweep(collection, EntityId(a));
+                        for &y in scratch.neighbours() {
+                            if y <= a {
+                                continue;
+                            }
+                            fwd += 1;
+                            let w = forward_weight(scheme, &scratch, a, y, globals);
+                            if w > 0.0 {
+                                top.push((
+                                    OrdF64(w),
+                                    std::cmp::Reverse((EntityId(a), EntityId(y))),
+                                ));
+                            }
+                        }
+                    }
+                    (top, fwd)
+                }));
+            }
+            for h in handles {
+                let (top, fwd) = h.join().expect("sweep worker panicked");
+                fwd_edges += fwd;
+                for item in top.into_sorted_vec() {
+                    merged.push(item);
+                }
+            }
+        });
+    }
+    let input_edges = if globals.num_edges > 0 {
+        globals.num_edges
+    } else {
+        fwd_edges as usize
+    };
+    let pairs: Vec<WeightedPair> = merged
+        .into_sorted_vec()
+        .into_iter()
+        .map(|(w, r)| WeightedPair {
+            a: r.0 .0,
+            b: r.0 .1,
+            weight: w.0,
+        })
+        .collect();
+    PrunedComparisons::from_weighted_pairs(pairs, scheme, input_edges)
+}
+
+/// Every distinct comparable pair with its weight, sorted by pair — the
+/// streaming equivalent of weighting [`BlockingGraph`](crate::BlockingGraph)
+/// edges one by one (the unpruned path), without building the graph.
+pub fn weighted_edges(collection: &BlockCollection, scheme: WeightingScheme) -> Vec<WeightedPair> {
+    weighted_edges_with(collection, scheme, &StreamingOptions::default())
+}
+
+/// [`weighted_edges`] with explicit options.
+pub fn weighted_edges_with(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    opts: &StreamingOptions,
+) -> Vec<WeightedPair> {
+    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
+    let globals = globals_for(collection, scheme, &ranges, false);
+    let globals = &globals;
+    let (kept, _) = per_node_pass(collection, &ranges, move |a, scratch, _weights, out| {
+        for &y in scratch.neighbours() {
+            if y <= a {
+                continue;
+            }
+            out.push(WeightedPair {
+                a: EntityId(a),
+                b: EntityId(y),
+                weight: forward_weight(scheme, scratch, a, y, globals),
+            });
+        }
+    });
+    kept
 }
 
 /// Streaming Weighted Node Pruning — bit-identical to
@@ -363,6 +636,11 @@ pub fn cnp_with(
     let k = k.unwrap_or_else(|| {
         crate::prune::default_cnp_k_from(collection.total_assignments(), globals.active_nodes)
     });
+    if k == 0 {
+        // Explicit zero cardinality: mirror `prune::cnp`'s guard.
+        let g = count_pass(collection, &ranges);
+        return PrunedComparisons::empty(scheme, g.num_edges);
+    }
     let (kept, fwd) = {
         let globals = &globals;
         per_node_pass(collection, &ranges, move |a, scratch, weights, out| {
@@ -519,10 +797,37 @@ mod tests {
                         &format!("cnp3/{scheme:?}/r={reciprocal}/t={threads}"),
                     );
                 }
+                let s = wep_with(&blocks, scheme, &opts);
+                let m = prune::wep(&graph, scheme);
+                assert_bit_identical(&s, &m, &format!("wep/{scheme:?}/t={threads}"));
+
+                for k in [None, Some(5)] {
+                    let s = cep_with(&blocks, scheme, k, &opts);
+                    let m = prune::cep(&graph, scheme, k);
+                    assert_bit_identical(&s, &m, &format!("cep{k:?}/{scheme:?}/t={threads}"));
+                }
             }
             let s = blast_with(&blocks, 0.35, &opts);
             let m = blast_mod::blast(&graph, 0.35);
             assert_bit_identical(&s, &m, &format!("blast/t={threads}"));
+        }
+    }
+
+    #[test]
+    fn weighted_edges_match_the_slab() {
+        let world = generate(&profiles::center_dense(120, 5));
+        let blocks = token_blocking(&world.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        for threads in [1, 4] {
+            for scheme in WeightingScheme::ALL {
+                let stream =
+                    weighted_edges_with(&blocks, scheme, &StreamingOptions::with_threads(threads));
+                assert_eq!(stream.len(), graph.num_edges(), "{scheme:?}/t={threads}");
+                for (s, e) in stream.iter().zip(graph.edges()) {
+                    assert_eq!((s.a, s.b), (e.a, e.b));
+                    assert_eq!(s.weight.to_bits(), scheme.weight(&graph, e).to_bits());
+                }
+            }
         }
     }
 
@@ -546,7 +851,26 @@ mod tests {
         );
         assert!(wnp(&c, WeightingScheme::Arcs, false).pairs.is_empty());
         assert!(cnp(&c, WeightingScheme::Ejs, true, None).pairs.is_empty());
+        assert!(wep(&c, WeightingScheme::Js).pairs.is_empty());
+        let e = cep(&c, WeightingScheme::Cbs, None);
+        assert!(e.pairs.is_empty());
+        assert_eq!(e.input_edges, 0, "empty default-k CEP still reports stats");
+        assert!(weighted_edges(&c, WeightingScheme::Arcs).is_empty());
         assert!(blast(&c, 0.5).pairs.is_empty());
+    }
+
+    #[test]
+    fn explicit_zero_k_reports_stats() {
+        let world = generate(&profiles::center_dense(60, 8));
+        let blocks = token_blocking(&world.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        for (out, label) in [
+            (cep(&blocks, WeightingScheme::Js, Some(0)), "cep"),
+            (cnp(&blocks, WeightingScheme::Js, false, Some(0)), "cnp"),
+        ] {
+            assert!(out.pairs.is_empty(), "{label}");
+            assert_eq!(out.input_edges, graph.num_edges(), "{label}: stats");
+        }
     }
 
     #[test]

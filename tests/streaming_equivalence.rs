@@ -1,8 +1,9 @@
-//! Property test: the streaming node-centric meta-blocking path and the
-//! materialised CSR-graph path produce **bit-identical** pruned pair sets
-//! for WNP and CNP under all five weighting schemes (and for BLAST), on
-//! random generated worlds, for both the union and reciprocal variants,
-//! serial and parallel.
+//! Property test: the streaming meta-blocking path and the materialised
+//! CSR-graph path produce **bit-identical** pruned pair sets for every
+//! pruning family — edge-centric WEP/CEP as well as node-centric WNP/CNP
+//! (and BLAST) — under all five weighting schemes, on random generated
+//! worlds, for both the union and reciprocal variants, at thread counts
+//! 1/2/4/8.
 
 use minoan::blocking::{builders, ErMode};
 use minoan::metablocking::{blast, prune, streaming, BlockingGraph, StreamingOptions};
@@ -59,6 +60,58 @@ proptest! {
                     &prune::cnp(&graph, scheme, reciprocal, Some(2)),
                     &format!("cnp2/{label}"),
                 );
+            }
+        }
+    }
+
+    /// Edge-centric WEP and CEP agree bitwise between backends for every
+    /// scheme at thread counts 1/2/4/8 — WEP's global mean comes from a
+    /// fixed-shape pairwise reduction, CEP's global top-k from merged
+    /// per-thread heaps, so neither may drift with the partitioning.
+    #[test]
+    fn streaming_wep_cep_equal_materialised(seed in 0u64..500, n in 40usize..120) {
+        let world = generate(&profiles::center_periphery(n, seed));
+        let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        for threads in [1usize, 2, 4, 8] {
+            let opts = StreamingOptions::with_threads(threads);
+            for scheme in WeightingScheme::ALL {
+                let label = format!("{}/t={threads}", scheme.name());
+                assert_bit_identical(
+                    &streaming::wep_with(&blocks, scheme, &opts),
+                    &prune::wep(&graph, scheme),
+                    &format!("wep/{label}"),
+                );
+                for k in [None, Some(7)] {
+                    assert_bit_identical(
+                        &streaming::cep_with(&blocks, scheme, k, &opts),
+                        &prune::cep(&graph, scheme, k),
+                        &format!("cep{k:?}/{label}"),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The unpruned streaming edge enumeration reproduces the edge slab
+    /// (pairs, order and weight bits) without building it.
+    #[test]
+    fn streaming_weighted_edges_equal_the_slab(seed in 0u64..500, n in 40usize..100) {
+        let world = generate(&profiles::lod_cloud(n, seed));
+        let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        for threads in [1usize, 4] {
+            for scheme in WeightingScheme::ALL {
+                let stream = streaming::weighted_edges_with(
+                    &blocks,
+                    scheme,
+                    &StreamingOptions::with_threads(threads),
+                );
+                prop_assert_eq!(stream.len(), graph.num_edges());
+                for (s, e) in stream.iter().zip(graph.edges()) {
+                    prop_assert_eq!((s.a, s.b), (e.a, e.b));
+                    prop_assert_eq!(s.weight.to_bits(), scheme.weight(&graph, e).to_bits());
+                }
             }
         }
     }
