@@ -10,13 +10,20 @@
 //!   parallel,
 //! * materialised WEP and CEP (graph build + prune) vs their graph-free
 //!   streaming counterparts (two-pass pairwise mean / merged per-thread
-//!   top-k heaps), serial and parallel.
+//!   top-k heaps), serial and parallel,
+//! * the two MapReduce strategies — edge-based (one shuffled record per
+//!   pair occurrence) vs entity-partitioned (at most one per entity
+//!   neighbourhood) — recording shuffle volume and the modeled makespan
+//!   at 1/4/16 workers from the measured task durations.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use minoan_blocking::{builders, filter, purge, BlockCollection, ErMode};
 use minoan_common::FxHashMap;
 use minoan_datagen::{generate, profiles};
-use minoan_metablocking::{prune, streaming, BlockingGraph, StreamingOptions, WeightingScheme};
+use minoan_mapreduce::Engine;
+use minoan_metablocking::{
+    parallel, prune, streaming, BlockingGraph, StreamingOptions, WeightingScheme,
+};
 use minoan_rdf::EntityId;
 use std::hint::black_box;
 use std::time::Instant;
@@ -98,6 +105,19 @@ struct Record {
     nanos: u128,
 }
 
+/// One MapReduce-strategy row: shuffle volume plus the makespan modeled
+/// from the measured task durations at several worker counts.
+struct MrRecord {
+    world: usize,
+    edges: usize,
+    strategy: &'static str,
+    shuffled_records: usize,
+    modeled_nanos: [u64; 3],
+}
+
+/// Modeled-makespan worker counts recorded per strategy.
+const MR_WORKERS: [usize; 3] = [1, 4, 16];
+
 fn time<F: FnMut() -> R, R>(mut f: F, reps: u32) -> u128 {
     let mut best = u128::MAX;
     for _ in 0..reps {
@@ -127,6 +147,7 @@ fn bench_scaling(_c: &mut Criterion) {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut records: Vec<Record> = Vec::new();
+    let mut mr_records: Vec<MrRecord> = Vec::new();
     println!("scaling harness: sizes {sizes:?}, {threads} threads");
 
     for &n in &sizes {
@@ -286,6 +307,55 @@ fn bench_scaling(_c: &mut Criterion) {
                 reps,
             ),
         );
+
+        // MapReduce strategies: per-occurrence (edge-based) vs
+        // per-entity-neighbourhood (entity-partitioned) shuffle volume,
+        // and the makespan modeled from the measured task durations.
+        let engine = Engine::new(threads);
+        let mut mr_rec = |strategy: &'static str, shuffled: usize, modeled: [u64; 3]| {
+            println!(
+                "  mapreduce {strategy:<22} {shuffled:>9} shuffled records   modeled \
+                 {:.1}/{:.1}/{:.1} ms at {MR_WORKERS:?} workers",
+                modeled[0] as f64 / 1e6,
+                modeled[1] as f64 / 1e6,
+                modeled[2] as f64 / 1e6,
+            );
+            mr_records.push(MrRecord {
+                world: n,
+                edges,
+                strategy,
+                shuffled_records: shuffled,
+                modeled_nanos: modeled,
+            });
+        };
+        let (_, edge_stats) =
+            parallel::parallel_edge_weights_with_stats(&cleaned, WeightingScheme::Arcs, &engine);
+        mr_rec(
+            "edge-based/weights",
+            edge_stats.intermediate_pairs,
+            MR_WORKERS.map(|w| edge_stats.modeled_nanos(w)),
+        );
+        let (_, report) =
+            parallel::wnp_with_report(&cleaned, WeightingScheme::Arcs, false, &engine);
+        mr_rec(
+            "entity-based/wnp",
+            report.shuffled_records(),
+            MR_WORKERS.map(|w| report.modeled_nanos(w)),
+        );
+        let (_, report) = parallel::wep_with_report(&cleaned, WeightingScheme::Arcs, &engine);
+        mr_rec(
+            "entity-based/wep",
+            report.shuffled_records(),
+            MR_WORKERS.map(|w| report.modeled_nanos(w)),
+        );
+        // Same scheme as the other MapReduce rows so makespans compare
+        // strategy cost, not weighting-scheme cost.
+        let (_, report) = parallel::cep_with_report(&cleaned, WeightingScheme::Arcs, None, &engine);
+        mr_rec(
+            "entity-based/cep",
+            report.shuffled_records(),
+            MR_WORKERS.map(|w| report.modeled_nanos(w)),
+        );
     }
 
     // Hand-rolled JSON (no serde_json in this offline workspace).
@@ -302,6 +372,22 @@ fn bench_scaling(_c: &mut Criterion) {
             r.nanos,
             throughput,
             if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"mapreduce_results\": [\n");
+    for (i, r) in mr_records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"world_entities\": {}, \"graph_edges\": {}, \"strategy\": \"{}\", \
+             \"shuffled_records\": {}, \"modeled_nanos_w1\": {}, \"modeled_nanos_w4\": {}, \
+             \"modeled_nanos_w16\": {}}}{}\n",
+            r.world,
+            r.edges,
+            r.strategy,
+            r.shuffled_records,
+            r.modeled_nanos[0],
+            r.modeled_nanos[1],
+            r.modeled_nanos[2],
+            if i + 1 < mr_records.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

@@ -77,13 +77,14 @@ COMMANDS
   inspect   --snapshot FILE.mnstore
             Print statistics of a snapshot.
   resolve   --input FILE.nt --input FILE.nt [--strategy S] [--budget N]
-            [--blocking B] [--backend materialized|streaming]
-            [--pruning P] [--weighting W] [--show K] [--no-purge] [--dirty]
+            [--blocking B] [--backend materialized|streaming|mapreduce]
+            [--workers N] [--pruning P] [--weighting W] [--show K]
+            [--no-purge] [--dirty]
             Run the full pipeline over N-Triples/Turtle KBs and print
             matches.
   eval      --profile P --entities N --seed S [--strategy S] [--budget N]
-            [--backend materialized|streaming] [--pruning P]
-            [--weighting W] [--clustering A]
+            [--backend materialized|streaming|mapreduce] [--workers N]
+            [--pruning P] [--weighting W] [--clustering A]
             Generate a world, resolve it, and score against ground truth;
             with --clustering also report cluster-level quality.
   stream    --profile P --entities N --seed S [--order O] [--arrival-budget N]
@@ -97,7 +98,8 @@ CLUSTERING  connected-components | center | merge-center | unique-mapping
 BLOCKING  token | uri-infix | token+uri | attr-clustering | qgrams |
           sorted-neighborhood | minhash-lsh | canopy
 PRUNING   none | wep | cep | wnp | wnp-reciprocal | cnp | cnp-reciprocal
-          (every method runs under either --backend)
+          (every method runs under every --backend, bit-identically;
+          --workers pins the streaming/mapreduce parallelism)
 WEIGHTING cbs | ecbs | js | ejs | arcs
 "
     .to_string()
@@ -299,11 +301,17 @@ fn pipeline_config(args: &Args) -> Result<PipelineConfig, CliError> {
         config.weighting = weighting_by_name(w)?;
     }
     if let Some(b) = args.get("backend") {
-        config.backend = minoan_metablocking::GraphBackend::parse(b).ok_or_else(|| {
+        config.backend = minoan_metablocking::ExecutionBackend::parse(b).ok_or_else(|| {
             CliError(format!(
-                "unknown backend {b:?}; valid spellings: materialized | streaming"
+                "unknown backend {b:?}; valid spellings: materialized | streaming | mapreduce"
             ))
         })?;
+    }
+    if let Some(w) = args.get("workers") {
+        let workers: usize = w.parse().ok().filter(|&w| w >= 1).ok_or_else(|| {
+            CliError(format!("option --workers: expected a count ≥ 1, got {w:?}"))
+        })?;
+        config.workers = Some(workers);
     }
     config.resolver.budget = args.get_parsed("budget", u64::MAX)?;
     config.matcher.threshold = args.get_parsed("threshold", config.matcher.threshold)?;
@@ -600,7 +608,9 @@ mod tests {
         ] {
             let err = run_str(cmd).unwrap_err();
             assert!(
-                err.0.contains("materialized") && err.0.contains("streaming"),
+                err.0.contains("materialized")
+                    && err.0.contains("streaming")
+                    && err.0.contains("mapreduce"),
                 "error must list the valid spellings, got: {}",
                 err.0
             );
@@ -608,8 +618,8 @@ mod tests {
     }
 
     #[test]
-    fn every_pruning_method_runs_under_both_backends() {
-        for backend in ["materialized", "streaming"] {
+    fn every_pruning_method_runs_under_every_backend() {
+        for backend in ["materialized", "streaming", "mapreduce"] {
             for pruning in [
                 "none",
                 "wep",
@@ -621,7 +631,7 @@ mod tests {
             ] {
                 let out = run_str(&format!(
                     "eval --profile center --entities 80 --seed 19 \
-                     --backend {backend} --pruning {pruning}"
+                     --backend {backend} --pruning {pruning} --workers 3"
                 ))
                 .unwrap();
                 assert!(out.contains("precision"), "{backend}/{pruning}: {out}");
@@ -629,6 +639,33 @@ mod tests {
         }
         assert!(run_str("eval --profile center --pruning bogus").is_err());
         assert!(run_str("eval --profile center --weighting bogus").is_err());
+    }
+
+    #[test]
+    fn mapreduce_backend_matches_materialised_from_the_cli() {
+        // The user-facing acceptance check: identical eval report (same
+        // precision/recall/comparisons) whichever backend and worker
+        // count the command line picks.
+        let base = run_str("eval --profile center --entities 100 --seed 23 --pruning cnp").unwrap();
+        for workers in [1, 8] {
+            let mr = run_str(&format!(
+                "eval --profile center --entities 100 --seed 23 --pruning cnp \
+                 --backend mapreduce --workers {workers}"
+            ))
+            .unwrap();
+            assert_eq!(base, mr, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn bad_worker_counts_are_rejected() {
+        for w in ["0", "-3", "many"] {
+            let err = run_str(&format!(
+                "eval --profile center --entities 40 --seed 1 --workers {w}"
+            ))
+            .unwrap_err();
+            assert!(err.0.contains("workers"), "{w}: {}", err.0);
+        }
     }
 
     #[test]

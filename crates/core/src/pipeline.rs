@@ -8,7 +8,10 @@
 use crate::engine::{ProgressiveResolver, Resolution, ResolverConfig};
 use crate::matcher::{Matcher, MatcherConfig};
 use minoan_blocking::{builders, filter, purge, BlockCollection, ErMode};
-use minoan_metablocking::{prune, streaming, BlockingGraph, GraphBackend, WeightingScheme};
+use minoan_mapreduce::Engine;
+use minoan_metablocking::{
+    parallel, prune, streaming, BlockingGraph, ExecutionBackend, StreamingOptions, WeightingScheme,
+};
 use minoan_rdf::{Dataset, EntityId};
 
 /// Which blocking-key extractor to use.
@@ -68,11 +71,17 @@ pub struct PipelineConfig {
     pub weighting: WeightingScheme,
     /// Meta-blocking pruning algorithm.
     pub pruning: PruningMethod,
-    /// Meta-blocking execution backend. [`GraphBackend::Streaming`] runs
-    /// *every* pruning method (edge-centric WEP/CEP included) without
-    /// materialising the blocking graph; [`GraphBackend::Materialized`]
-    /// builds the CSR graph first. Output is bit-identical either way.
-    pub backend: GraphBackend,
+    /// Meta-blocking execution backend. [`ExecutionBackend::Streaming`]
+    /// runs *every* pruning method (edge-centric WEP/CEP included)
+    /// without materialising the blocking graph;
+    /// [`ExecutionBackend::Materialized`] builds the CSR graph first;
+    /// [`ExecutionBackend::MapReduce`] runs the entity-partitioned
+    /// MapReduce jobs on [`minoan_mapreduce`]. Output is bit-identical
+    /// across all three.
+    pub backend: ExecutionBackend,
+    /// Worker threads for the streaming sweeps / MapReduce engine
+    /// (`None` = all available parallelism). Results never depend on it.
+    pub workers: Option<usize>,
     /// Matcher configuration.
     pub matcher: MatcherConfig,
     /// Progressive engine configuration.
@@ -90,7 +99,8 @@ impl Default for PipelineConfig {
             filter_ratio: Some(filter::DEFAULT_RATIO),
             weighting: WeightingScheme::Arcs,
             pruning: PruningMethod::Wnp { reciprocal: false },
-            backend: GraphBackend::Materialized,
+            backend: ExecutionBackend::Materialized,
+            workers: None,
             matcher: MatcherConfig::default(),
             resolver: ResolverConfig::default(),
         }
@@ -156,28 +166,58 @@ impl Pipeline {
 
     /// Runs meta-blocking, returning weighted candidates.
     ///
-    /// Under [`GraphBackend::Streaming`] no pruning method ever builds
-    /// the edge slab — there is deliberately no fall-through to
-    /// [`BlockingGraph::build`], so asking for the streaming backend
-    /// means streaming for WEP and CEP too.
+    /// Every backend drives every [`PruningMethod`] natively — there is
+    /// deliberately no fall-through to [`BlockingGraph::build`] from the
+    /// streaming or MapReduce arms, and the three backends produce
+    /// bit-identical candidates.
     pub fn meta_block(&self, blocks: &BlockCollection) -> Vec<(EntityId, EntityId, f64)> {
         let scheme = self.config.weighting;
         let pruned = match self.config.backend {
-            GraphBackend::Streaming => match self.config.pruning {
-                PruningMethod::None => {
-                    return streaming::weighted_edges(blocks, scheme)
-                        .into_iter()
-                        .map(|p| (p.a, p.b, p.weight))
-                        .collect();
+            ExecutionBackend::Streaming => {
+                let opts = match self.config.workers {
+                    Some(w) => StreamingOptions::with_threads(w),
+                    None => StreamingOptions::default(),
+                };
+                match self.config.pruning {
+                    PruningMethod::None => {
+                        return streaming::weighted_edges_with(blocks, scheme, &opts)
+                            .into_iter()
+                            .map(|p| (p.a, p.b, p.weight))
+                            .collect();
+                    }
+                    PruningMethod::Wep => streaming::wep_with(blocks, scheme, &opts),
+                    PruningMethod::Cep(k) => streaming::cep_with(blocks, scheme, k, &opts),
+                    PruningMethod::Wnp { reciprocal } => {
+                        streaming::wnp_with(blocks, scheme, reciprocal, &opts)
+                    }
+                    PruningMethod::Cnp { reciprocal, k } => {
+                        streaming::cnp_with(blocks, scheme, reciprocal, k, &opts)
+                    }
                 }
-                PruningMethod::Wep => streaming::wep(blocks, scheme),
-                PruningMethod::Cep(k) => streaming::cep(blocks, scheme, k),
-                PruningMethod::Wnp { reciprocal } => streaming::wnp(blocks, scheme, reciprocal),
-                PruningMethod::Cnp { reciprocal, k } => {
-                    streaming::cnp(blocks, scheme, reciprocal, k)
+            }
+            ExecutionBackend::MapReduce => {
+                let engine = match self.config.workers {
+                    Some(w) => Engine::new(w),
+                    None => Engine::default(),
+                };
+                match self.config.pruning {
+                    PruningMethod::None => {
+                        return parallel::weighted_edges(blocks, scheme, &engine)
+                            .into_iter()
+                            .map(|p| (p.a, p.b, p.weight))
+                            .collect();
+                    }
+                    PruningMethod::Wep => parallel::wep(blocks, scheme, &engine),
+                    PruningMethod::Cep(k) => parallel::cep(blocks, scheme, k, &engine),
+                    PruningMethod::Wnp { reciprocal } => {
+                        parallel::wnp(blocks, scheme, reciprocal, &engine)
+                    }
+                    PruningMethod::Cnp { reciprocal, k } => {
+                        parallel::cnp(blocks, scheme, reciprocal, k, &engine)
+                    }
                 }
-            },
-            GraphBackend::Materialized => {
+            }
+            ExecutionBackend::Materialized => {
                 let graph = BlockingGraph::build(blocks);
                 match self.config.pruning {
                     PruningMethod::None => {
@@ -309,7 +349,7 @@ mod tests {
     }
 
     #[test]
-    fn streaming_backend_matches_materialised_backend() {
+    fn alternative_backends_match_materialised_backend() {
         let g = generate(&profiles::center_dense(120, 9));
         for pruning in [
             PruningMethod::None,
@@ -326,17 +366,22 @@ mod tests {
                 ..Default::default()
             };
             let m = Pipeline::new(base.clone()).run(&g.dataset);
-            let s = Pipeline::new(PipelineConfig {
-                backend: GraphBackend::Streaming,
-                ..base
-            })
-            .run(&g.dataset);
-            assert_eq!(m.candidates, s.candidates, "{pruning:?}");
-            assert_eq!(m.resolution.matches, s.resolution.matches, "{pruning:?}");
-            assert_eq!(
-                m.resolution.comparisons, s.resolution.comparisons,
-                "{pruning:?}"
-            );
+            for backend in [ExecutionBackend::Streaming, ExecutionBackend::MapReduce] {
+                let s = Pipeline::new(PipelineConfig {
+                    backend,
+                    ..base.clone()
+                })
+                .run(&g.dataset);
+                assert_eq!(m.candidates, s.candidates, "{backend:?}/{pruning:?}");
+                assert_eq!(
+                    m.resolution.matches, s.resolution.matches,
+                    "{backend:?}/{pruning:?}"
+                );
+                assert_eq!(
+                    m.resolution.comparisons, s.resolution.comparisons,
+                    "{backend:?}/{pruning:?}"
+                );
+            }
         }
     }
 
@@ -344,7 +389,7 @@ mod tests {
     fn candidate_lists_are_bitwise_equal_across_backends() {
         // Stronger than the end-to-end check above: the weighted
         // candidate list itself must agree pair-for-pair and bit-for-bit
-        // for every pruning method × weighting scheme combination.
+        // for every backend × pruning method × weighting scheme combo.
         let g = generate(&profiles::center_dense(100, 17));
         for scheme in WeightingScheme::ALL {
             for pruning in [
@@ -365,19 +410,22 @@ mod tests {
                 let mat = Pipeline::new(base.clone());
                 let blocks = mat.clean_blocks(mat.block(&g.dataset));
                 let m = mat.meta_block(&blocks);
-                let s = Pipeline::new(PipelineConfig {
-                    backend: GraphBackend::Streaming,
-                    ..base
-                })
-                .meta_block(&blocks);
-                assert_eq!(m.len(), s.len(), "{scheme:?}/{pruning:?}");
-                for (x, y) in m.iter().zip(&s) {
-                    assert_eq!((x.0, x.1), (y.0, y.1), "{scheme:?}/{pruning:?}");
-                    assert_eq!(
-                        x.2.to_bits(),
-                        y.2.to_bits(),
-                        "{scheme:?}/{pruning:?}: weight bits"
-                    );
+                for backend in [ExecutionBackend::Streaming, ExecutionBackend::MapReduce] {
+                    let s = Pipeline::new(PipelineConfig {
+                        backend,
+                        workers: Some(3),
+                        ..base.clone()
+                    })
+                    .meta_block(&blocks);
+                    assert_eq!(m.len(), s.len(), "{backend:?}/{scheme:?}/{pruning:?}");
+                    for (x, y) in m.iter().zip(&s) {
+                        assert_eq!((x.0, x.1), (y.0, y.1), "{backend:?}/{scheme:?}/{pruning:?}");
+                        assert_eq!(
+                            x.2.to_bits(),
+                            y.2.to_bits(),
+                            "{backend:?}/{scheme:?}/{pruning:?}: weight bits"
+                        );
+                    }
                 }
             }
         }

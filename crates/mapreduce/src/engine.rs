@@ -143,6 +143,7 @@ impl Engine {
 
     /// Full-control entry point: map and reduce closures also receive the
     /// job [`Counters`]; `combine_fn` (if given) is applied per map task.
+    /// Uses hash partitioning (Hadoop's default partitioner).
     ///
     /// Determinism contract: map tasks are contiguous input chunks taken in
     /// order; each key group's value list preserves (chunk index, emission
@@ -164,17 +165,76 @@ impl Engine {
         C: Fn(&K, Vec<V>) -> Vec<V> + Sync,
         R: Fn(&K, &mut Vec<V>, &mut Vec<O>, &Counters) + Sync,
     {
+        let hasher = minoan_common::FxBuildHasher::default();
+        self.run_inner(
+            inputs,
+            move |k: &K, parts: usize| {
+                use std::hash::BuildHasher;
+                (hasher.hash_one(k) as usize) % parts
+            },
+            map_fn,
+            combine_fn,
+            reduce_fn,
+        )
+    }
+
+    /// As [`Engine::run_full`] (no combiner) with an explicit partitioner
+    /// hook: `partitioner(key, partitions)` assigns each intermediate key
+    /// to a reduce partition (any out-of-range result is clamped).
+    /// Hadoop exposes the same hook for jobs whose keys carry locality —
+    /// e.g. the entity-partitioned meta-blocking jobs range-partition
+    /// entity ids so a reducer owns a contiguous id slice. The output is
+    /// globally key-sorted either way; the partitioner only shapes the
+    /// per-partition work distribution, never the result.
+    pub fn run_partitioned<I, K, V, O, P, M, R>(
+        &self,
+        inputs: Vec<I>,
+        partitioner: P,
+        map_fn: M,
+        reduce_fn: R,
+    ) -> JobResult<O>
+    where
+        I: Send + Sync,
+        K: Ord + std::hash::Hash + Clone + Send,
+        V: Send,
+        O: Send,
+        P: Fn(&K, usize) -> usize + Sync,
+        M: Fn(&I, &mut dyn FnMut(K, V), &Counters) + Sync,
+        R: Fn(&K, &mut Vec<V>, &mut Vec<O>, &Counters) + Sync,
+    {
+        self.run_inner(
+            inputs,
+            partitioner,
+            map_fn,
+            None::<fn(&K, Vec<V>) -> Vec<V>>,
+            reduce_fn,
+        )
+    }
+
+    fn run_inner<I, K, V, O, P, M, C, R>(
+        &self,
+        inputs: Vec<I>,
+        partitioner: P,
+        map_fn: M,
+        combine_fn: Option<C>,
+        reduce_fn: R,
+    ) -> JobResult<O>
+    where
+        I: Send + Sync,
+        K: Ord + std::hash::Hash + Clone + Send,
+        V: Send,
+        O: Send,
+        P: Fn(&K, usize) -> usize + Sync,
+        M: Fn(&I, &mut dyn FnMut(K, V), &Counters) + Sync,
+        C: Fn(&K, Vec<V>) -> Vec<V> + Sync,
+        R: Fn(&K, &mut Vec<V>, &mut Vec<O>, &Counters) + Sync,
+    {
         let counters = Counters::new();
         let mut stats = JobStats::default();
-        // Hash partitioning (Hadoop's partitioner): each reduce partition
-        // owns a disjoint key range, so grouping and reducing run in
-        // parallel per partition.
+        // Each reduce partition owns a disjoint key set, so grouping and
+        // reducing run in parallel per partition.
         let partitions = self.workers;
-        let hasher = minoan_common::FxBuildHasher::default();
-        let part_of = |k: &K| -> usize {
-            use std::hash::BuildHasher;
-            (hasher.hash_one(k) as usize) % partitions
-        };
+        let part_of = |k: &K| -> usize { partitioner(k, partitions).min(partitions - 1) };
 
         // ---- Map phase -----------------------------------------------------
         let t0 = Instant::now();
@@ -480,6 +540,28 @@ mod tests {
         assert_eq!(r.stats.reduce_groups, 3);
         assert!(r.stats.map_tasks >= 1);
         assert!(r.stats.total_nanos() > 0);
+    }
+
+    #[test]
+    fn custom_partitioner_matches_hash_partitioner_output() {
+        let docs = vec!["x y z", "y y", "z x q w e r t", "q q q"];
+        let e = Engine::new(3);
+        let hashed = word_count(&e, docs.clone());
+        let ranged = e
+            .run_partitioned(
+                docs,
+                // Range partitioner on the first byte; deliberately skewed,
+                // and deliberately out of range for some keys (clamped).
+                |k: &String, parts| (k.as_bytes()[0] as usize - b'a' as usize) * parts / 4,
+                |d, emit, _c| {
+                    for w in d.split_whitespace() {
+                        emit(w.to_string(), 1u64);
+                    }
+                },
+                |k, vs, out, _c| out.push((k.clone(), vs.iter().sum::<u64>())),
+            )
+            .output;
+        assert_eq!(hashed, ranged);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //!
 //! * **map** over input splits (parallel across worker threads),
 //! * optional **combiner** applied to each map task's local output,
-//! * hash **shuffle** grouping values by key,
+//! * a **shuffle** grouping values by key — hash-partitioned by default,
+//!   with a pluggable partitioner hook ([`Engine::run_partitioned`]) for
+//!   jobs whose keys carry locality (e.g. range-partitioned entity ids),
 //! * **reduce** over key groups (parallel across worker threads),
 //! * named **counters** aggregated across tasks, and per-phase timings.
 //!

@@ -1,0 +1,264 @@
+//! The shared neighbourhood-stats → edge-weight kernel.
+//!
+//! Every execution backend — the materialised pruners over the CSR graph
+//! ([`crate::prune`] via [`WeightingScheme::weight`]), the streaming sweeps
+//! ([`crate::streaming`]) and the MapReduce formulations
+//! ([`crate::parallel`]) — must produce *bit-identical* f64 weights. That
+//! only holds if the arithmetic lives in exactly one place: f64
+//! multiplication chains are association-order sensitive at the ulp level
+//! (ECBS/EJS multiply per-endpoint log factors), so three copies of the
+//! same formula drift the moment one is edited. This module is that single
+//! place:
+//!
+//! * [`weight_from_stats`] — the scalar kernel: per-pair co-occurrence
+//!   statistics (`|B_ij|`, ARCS sum) plus per-endpoint/global aggregates
+//!   in, one weight out. Endpoint-dependent factors are always evaluated
+//!   in normalised `(smaller, larger)` endpoint order.
+//! * `WeightGlobals` (crate-internal) — the per-collection aggregates a
+//!   sweep-based backend needs before it can weight an edge (`|B_i|`,
+//!   `|B|`, and — for EJS — node degrees and `|V|`).
+//! * Crate-internal sweep-side helpers (`edge_weight`, `forward_weight`,
+//!   `neighbour_weights`, `combine_votes`) shared by the streaming and
+//!   MapReduce paths, which both reconstruct a node's incident statistics
+//!   with the epoch-reset `SweepScratch` and must iterate neighbours in
+//!   the same ascending order the edge slab is sorted in.
+
+use crate::prune::WeightedPair;
+use crate::sweep::SweepScratch;
+use crate::weights::WeightingScheme;
+use minoan_blocking::BlockCollection;
+use minoan_common::stats::log_weight;
+use minoan_rdf::EntityId;
+
+/// Weight of one edge from raw per-pair and per-endpoint statistics — the
+/// scalar kernel every backend computes through.
+///
+/// `blocks_lo`/`blocks_hi` (and `deg_lo`/`deg_hi`) are the endpoint
+/// aggregates in normalised `(smaller, larger)` endpoint order; passing
+/// them swapped changes the f64 rounding of the ECBS/EJS factor products
+/// and breaks cross-backend bit-identity. `deg_lo`/`deg_hi`/`num_edges`
+/// are only read by [`WeightingScheme::Ejs`].
+#[allow(clippy::too_many_arguments)]
+#[inline]
+pub fn weight_from_stats(
+    scheme: WeightingScheme,
+    common_blocks: u32,
+    arcs: f64,
+    blocks_lo: u32,
+    blocks_hi: u32,
+    num_blocks: usize,
+    deg_lo: usize,
+    deg_hi: usize,
+    num_edges: usize,
+) -> f64 {
+    let cbs = common_blocks as f64;
+    match scheme {
+        WeightingScheme::Cbs => cbs,
+        WeightingScheme::Ecbs => {
+            let b = num_blocks as f64;
+            cbs * log_weight(b, blocks_lo as f64) * log_weight(b, blocks_hi as f64)
+        }
+        WeightingScheme::Js => {
+            let denom = blocks_lo as f64 + blocks_hi as f64 - cbs;
+            if denom <= 0.0 {
+                0.0
+            } else {
+                cbs / denom
+            }
+        }
+        WeightingScheme::Ejs => {
+            let js = weight_from_stats(
+                WeightingScheme::Js,
+                common_blocks,
+                arcs,
+                blocks_lo,
+                blocks_hi,
+                num_blocks,
+                deg_lo,
+                deg_hi,
+                num_edges,
+            );
+            let v = num_edges as f64;
+            js * log_weight(v, deg_lo as f64) * log_weight(v, deg_hi as f64)
+        }
+        WeightingScheme::Arcs => arcs,
+    }
+}
+
+/// Global aggregates a sweep pass may need before weighting.
+pub(crate) struct WeightGlobals {
+    /// Per-entity |B_i| (straight from the collection).
+    pub(crate) blocks_of: Vec<u32>,
+    /// |B|.
+    pub(crate) num_blocks: usize,
+    /// Per-entity degree |V_i|; empty unless a counting pass ran.
+    pub(crate) degrees: Vec<u32>,
+    /// |V| — number of distinct comparable pairs (0 unless counted).
+    pub(crate) num_edges: usize,
+    /// Entities with at least one neighbour (0 unless counted).
+    pub(crate) active_nodes: usize,
+}
+
+impl WeightGlobals {
+    /// The aggregates available without any counting pass: per-entity
+    /// block counts and the total block count.
+    pub(crate) fn basic(collection: &BlockCollection) -> Self {
+        Self {
+            blocks_of: blocks_of(collection),
+            num_blocks: collection.len(),
+            degrees: Vec::new(),
+            num_edges: 0,
+            active_nodes: 0,
+        }
+    }
+}
+
+/// Per-entity |B_i| for the whole collection.
+pub(crate) fn blocks_of(collection: &BlockCollection) -> Vec<u32> {
+    (0..collection.num_entities() as u32)
+        .map(|e| collection.entity_blocks(EntityId(e)).len() as u32)
+        .collect()
+}
+
+/// Weight of the current sweep's edge to neighbour `y`, with `(lo, hi)`
+/// the pair's endpoints in normalised (smaller, larger) order. The single
+/// kernel call site for every sweep-based backend: the materialised path
+/// always evaluates edges in that endpoint order, so bit-identity depends
+/// on this one body staying the only place the order is decided.
+pub(crate) fn edge_weight(
+    scheme: WeightingScheme,
+    scratch: &SweepScratch,
+    globals: &WeightGlobals,
+    y: u32,
+    lo: u32,
+    hi: u32,
+) -> f64 {
+    debug_assert!(lo < hi);
+    let (dlo, dhi) = if globals.degrees.is_empty() {
+        (0, 0)
+    } else {
+        (
+            globals.degrees[lo as usize] as usize,
+            globals.degrees[hi as usize] as usize,
+        )
+    };
+    weight_from_stats(
+        scheme,
+        scratch.cbs_of(y),
+        scratch.arcs_of(y),
+        globals.blocks_of[lo as usize],
+        globals.blocks_of[hi as usize],
+        globals.num_blocks,
+        dlo,
+        dhi,
+        globals.num_edges,
+    )
+}
+
+/// Weight of the forward edge `(a, y)` (`a < y`) from the current
+/// sweep's stats — [`edge_weight`] with the endpoints already normalised.
+pub(crate) fn forward_weight(
+    scheme: WeightingScheme,
+    scratch: &SweepScratch,
+    a: u32,
+    y: u32,
+    globals: &WeightGlobals,
+) -> f64 {
+    edge_weight(scheme, scratch, globals, y, a, y)
+}
+
+/// Computes the weights of the current sweep's neighbours into `out`
+/// (ascending neighbour order — the same order the materialised path
+/// iterates a node's incident edges in, so local f64 means agree bitwise).
+pub(crate) fn neighbour_weights(
+    scheme: WeightingScheme,
+    scratch: &SweepScratch,
+    a: u32,
+    globals: &WeightGlobals,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.reserve(scratch.neighbours().len());
+    for &y in scratch.neighbours() {
+        let (lo, hi) = if a < y { (a, y) } else { (y, a) };
+        out.push(edge_weight(scheme, scratch, globals, y, lo, hi));
+    }
+}
+
+/// The pair `(a, y)` in normalised endpoint order with its weight.
+pub(crate) fn normalised(a: u32, y: u32, w: f64) -> WeightedPair {
+    let (lo, hi) = if a < y { (a, y) } else { (y, a) };
+    WeightedPair {
+        a: EntityId(lo),
+        b: EntityId(hi),
+        weight: w,
+    }
+}
+
+/// Combines per-node votes on the kept set: union keeps pairs emitted by
+/// ≥ 1 endpoint, reciprocal by both. Input must be sorted by pair.
+pub(crate) fn combine_votes(kept: Vec<WeightedPair>, reciprocal: bool) -> Vec<WeightedPair> {
+    let need = if reciprocal { 2 } else { 1 };
+    let mut out: Vec<WeightedPair> = Vec::with_capacity(kept.len());
+    let mut i = 0;
+    while i < kept.len() {
+        let mut j = i + 1;
+        while j < kept.len() && (kept[j].a, kept[j].b) == (kept[i].a, kept[i].b) {
+            j += 1;
+        }
+        if j - i >= need {
+            out.push(kept[i]);
+        }
+        i = j;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_matches_hand_computed_schemes() {
+        // CBS=3, blocks 3/3 of 4 total.
+        assert_eq!(
+            weight_from_stats(WeightingScheme::Cbs, 3, 1.75, 3, 3, 4, 0, 0, 0),
+            3.0
+        );
+        assert_eq!(
+            weight_from_stats(WeightingScheme::Arcs, 3, 1.75, 3, 3, 4, 0, 0, 0),
+            1.75
+        );
+        let js = weight_from_stats(WeightingScheme::Js, 3, 1.75, 3, 3, 4, 0, 0, 0);
+        assert!((js - 1.0).abs() < 1e-12);
+        let ecbs = weight_from_stats(WeightingScheme::Ecbs, 3, 1.75, 3, 3, 4, 0, 0, 0);
+        let expected = 3.0 * (4.0f64 / 3.0).ln() * (4.0f64 / 3.0).ln();
+        assert!((ecbs - expected).abs() < 1e-12);
+        let ejs = weight_from_stats(WeightingScheme::Ejs, 3, 1.75, 3, 3, 4, 2, 2, 4);
+        let expected = js * (4.0f64 / 2.0).ln() * (4.0f64 / 2.0).ln();
+        assert!((ejs - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn js_guard_on_degenerate_denominator() {
+        assert_eq!(
+            weight_from_stats(WeightingScheme::Js, 0, 0.0, 0, 0, 4, 0, 0, 0),
+            0.0
+        );
+    }
+
+    #[test]
+    fn combine_votes_union_vs_reciprocal() {
+        let p = |a: u32, b: u32| WeightedPair {
+            a: EntityId(a),
+            b: EntityId(b),
+            weight: 1.0,
+        };
+        let kept = vec![p(0, 1), p(0, 1), p(0, 2), p(1, 3)];
+        let union = combine_votes(kept.clone(), false);
+        assert_eq!(union.len(), 3);
+        let recip = combine_votes(kept, true);
+        assert_eq!(recip.len(), 1);
+        assert_eq!((recip[0].a, recip[0].b), (EntityId(0), EntityId(1)));
+    }
+}

@@ -8,8 +8,8 @@
 //!
 //! # Execution backends
 //!
-//! Meta-blocking is the pipeline's hot path, and this crate offers two
-//! ways to run it, selected by [`GraphBackend`]:
+//! Meta-blocking is the pipeline's hot path, and this crate offers three
+//! ways to run it, selected by [`ExecutionBackend`]:
 //!
 //! * **Materialised** — build the [`BlockingGraph`] first, then prune it.
 //!   The graph lives in flat CSR slabs (edge records sorted by pair, plus
@@ -27,27 +27,38 @@
 //!   edge-centric ones reduce their single global criterion
 //!   deterministically — WEP via a fixed-shape pairwise mean, CEP via
 //!   per-thread bounded top-k heaps merged under a strict total order.
-//!   Output is bit-identical to the materialised path for every method,
-//!   scheme, variant and thread count (enforced by property tests); see
-//!   the support matrix in the [`streaming`] module docs.
+//! * **MapReduce** — the paper's distributed formulation (reference
+//!   \[4\]) on [`minoan_mapreduce`]: [`parallel`] runs every pruning
+//!   family as *entity-partitioned* jobs that map over entity ranges,
+//!   rebuild each node's weighted neighbourhood with the same sweep
+//!   kernel, and apply the pruning criterion reducer-side — shuffling at
+//!   most one record per entity neighbourhood instead of one per pair
+//!   occurrence (the edge-based strategy, kept as a baseline).
+//!
+//! Output is bit-identical across all three backends for every method,
+//! scheme, variant, thread count and worker count (enforced by property
+//! tests); every f64 weight is computed through the single
+//! [`kernel::weight_from_stats`] body.
 //!
 //! # Modules
 //!
 //! * [`graph`] — the CSR blocking graph: one node per description, one
 //!   edge per *distinct* comparable pair, annotated with co-occurrence
 //!   statistics.
+//! * [`kernel`] — the shared neighbourhood-stats → weight kernel all
+//!   backends compute through.
 //! * [`weights`] — the five standard edge-weighting schemes (CBS, ECBS,
-//!   JS, EJS, ARCS), all computed through one stats kernel shared by both
-//!   backends.
+//!   JS, EJS, ARCS).
 //! * [`prune`] — the four pruning algorithms over a built graph:
 //!   weight-based (WEP, WNP) and cardinality-based (CEP, CNP), with
 //!   redundancy (union) and reciprocal (intersection) variants of the
 //!   node-centric ones.
 //! * [`streaming`] — the on-the-fly WEP/CEP/WNP/CNP/BLAST described
 //!   above.
-//! * [`blast`] — BLAST's χ² weighting with loose per-node pruning.
+//! * [`blast`](mod@blast) — BLAST's χ² weighting with loose per-node
+//!   pruning.
 //! * [`parallel`] — the MapReduce formulations of reference \[4\]
-//!   (edge-based and entity-based strategies) on [`minoan_mapreduce`].
+//!   (entity-based and edge-based strategies) on [`minoan_mapreduce`].
 //! * [`supervised`] — perceptron-based supervised meta-blocking.
 //!
 //! # Example
@@ -55,7 +66,8 @@
 //! ```
 //! use minoan_datagen::{generate, profiles};
 //! use minoan_blocking::{builders, ErMode};
-//! use minoan_metablocking::{streaming, BlockingGraph, WeightingScheme, prune};
+//! use minoan_metablocking::{parallel, streaming, BlockingGraph, WeightingScheme, prune};
+//! use minoan_mapreduce::Engine;
 //!
 //! let g = generate(&profiles::center_dense(120, 3));
 //! let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
@@ -67,10 +79,15 @@
 //! // Streaming: same result, no graph materialisation.
 //! let streamed = streaming::wnp(&blocks, WeightingScheme::Arcs, false);
 //! assert_eq!(pruned.pairs.len(), streamed.pairs.len());
+//!
+//! // MapReduce (entity-partitioned): same result again, on 4 workers.
+//! let mapped = parallel::wnp(&blocks, WeightingScheme::Arcs, false, &Engine::new(4));
+//! assert_eq!(pruned.pairs.len(), mapped.pairs.len());
 //! ```
 
 pub mod blast;
 pub mod graph;
+pub mod kernel;
 pub mod parallel;
 pub mod prune;
 pub mod streaming;
@@ -80,7 +97,97 @@ pub mod weights;
 
 pub use blast::{blast, chi_square_weight, chi_square_weights};
 pub use graph::{BlockingGraph, Edge};
+pub use parallel::JobReport;
 pub use prune::{PrunedComparisons, WeightedPair};
-pub use streaming::{GraphBackend, StreamingOptions};
+pub use streaming::StreamingOptions;
 pub use supervised::{supervised_prune, EdgeFeatures, FeatureExtractor, Perceptron, TrainingSet};
 pub use weights::WeightingScheme;
+
+/// Which execution path meta-blocking runs on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionBackend {
+    /// Build the CSR blocking graph, then prune it ([`prune`]).
+    #[default]
+    Materialized,
+    /// Streaming sweeps; the global edge set is never materialised for
+    /// *any* pruning method (node-centric WNP/CNP/BLAST and edge-centric
+    /// WEP/CEP alike) — see [`streaming`].
+    Streaming,
+    /// Entity-partitioned MapReduce jobs on [`minoan_mapreduce`] — see
+    /// [`parallel`]. The worker count is configured on the engine (or the
+    /// pipeline's `workers` knob); results never depend on it.
+    MapReduce,
+}
+
+impl ExecutionBackend {
+    /// All backends, for equivalence sweeps.
+    pub const ALL: [ExecutionBackend; 3] = [
+        ExecutionBackend::Materialized,
+        ExecutionBackend::Streaming,
+        ExecutionBackend::MapReduce,
+    ];
+
+    /// Parses the CLI/config spelling
+    /// (`materialized` | `streaming` | `mapreduce`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "materialized" | "materialised" => Some(Self::Materialized),
+            "streaming" => Some(Self::Streaming),
+            "mapreduce" | "map-reduce" => Some(Self::MapReduce),
+            _ => None,
+        }
+    }
+
+    /// The config spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Materialized => "materialized",
+            Self::Streaming => "streaming",
+            Self::MapReduce => "mapreduce",
+        }
+    }
+}
+
+/// The pre-PR-3 name of [`ExecutionBackend`], kept so existing two-way
+/// call sites keep compiling; the MapReduce variant makes it three-way.
+pub type GraphBackend = ExecutionBackend;
+
+/// The one definition of "bit-identical pruning output" the in-crate
+/// equivalence tests assert: same input-edge count, same pair order,
+/// same f64 weight bits. (The workspace-level suites keep their own copy
+/// in `tests/common/` — integration tests cannot import `#[cfg(test)]`
+/// items.)
+#[cfg(test)]
+pub(crate) fn assert_bit_identical(a: &PrunedComparisons, b: &PrunedComparisons, label: &str) {
+    assert_eq!(a.input_edges, b.input_edges, "{label}: input_edges");
+    assert_eq!(a.pairs.len(), b.pairs.len(), "{label}: kept count");
+    for (x, y) in a.pairs.iter().zip(&b.pairs) {
+        assert_eq!((x.a, x.b), (y.a, y.b), "{label}: pair order");
+        assert_eq!(
+            x.weight.to_bits(),
+            y.weight.to_bits(),
+            "{label}: weight bits differ for ({:?},{:?}): {} vs {}",
+            x.a,
+            x.b,
+            x.weight,
+            y.weight
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parsing_round_trips() {
+        for b in ExecutionBackend::ALL {
+            assert_eq!(ExecutionBackend::parse(b.name()), Some(b));
+        }
+        assert_eq!(
+            ExecutionBackend::parse("map-reduce"),
+            Some(ExecutionBackend::MapReduce)
+        );
+        assert_eq!(ExecutionBackend::parse("nonsense"), None);
+    }
+}

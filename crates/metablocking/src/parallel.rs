@@ -1,27 +1,722 @@
 //! Parallel meta-blocking on the MapReduce substrate (reference \[4\]).
 //!
-//! Two of the paper's strategies are reproduced:
+//! Both of the paper's strategies are reproduced, and they differ in what
+//! gets shuffled:
 //!
-//! * **edge-based**: map over blocks emitting one record per comparison
-//!   occurrence keyed by the pair; the reducer aggregates each pair's
-//!   co-occurrence statistics (CBS count, ARCS sum) so every edge weight is
-//!   computed exactly once — the repeated-comparison elimination happens in
-//!   the shuffle.
-//! * **entity-based**: a second job re-keys weighted edges by endpoint so
-//!   each reducer sees one node neighbourhood and applies the node-centric
-//!   pruning criterion locally (here: CNP's top-k).
+//! * **edge-based** ([`parallel_edge_weights`], [`parallel_wep`],
+//!   [`parallel_cnp`]): map over *blocks* emitting one record per
+//!   comparison occurrence keyed by the pair; the reducer aggregates each
+//!   pair's co-occurrence statistics (CBS count, ARCS sum) so every edge
+//!   weight is computed exactly once — the repeated-comparison
+//!   elimination happens in the shuffle. Shuffle volume:
+//!   `Σ_b ‖b‖` records — one per pair *occurrence*, which on token
+//!   blocking is typically an order of magnitude above the distinct-edge
+//!   count `|V|`.
+//! * **entity-based** ([`wnp`], [`cnp`], [`wep`], [`cep`], [`blast`],
+//!   [`weighted_edges`]): map over contiguous *entity ranges*, run the
+//!   node-centric sweep kernel locally (the same epoch-reset
+//!   `SweepScratch` the streaming backend uses) to rebuild each node's
+//!   weighted neighbourhood, and emit **at most one record per entity
+//!   neighbourhood** keyed by the entity; the reducer applies the pruning
+//!   criterion to the neighbourhood it owns. Where the criterion permits,
+//!   the fold happens map-side and the shuffled record shrinks further:
+//!   WEP's sum job ships one scalar per entity, CEP one bounded top-k per
+//!   map split. Shuffle volume: at most `|E|` records (entities with ≥ 1
+//!   neighbour) for the weighting job plus at most `2·|kept|` tiny
+//!   records for the node-centric vote job — per-occurrence shuffling
+//!   never happens, which is exactly why the paper prefers this strategy
+//!   at scale.
 //!
-//! Results are identical to the serial implementations in [`crate::prune`];
-//! tests assert it and EXPERIMENTS.md E7 measures the speedup.
+//! Every weight is computed through the shared
+//! [`kernel::weight_from_stats`] body and every global criterion through
+//! the same deterministic reductions as the other backends (WEP's
+//! fixed-shape pairwise mean over positive weights, the strict
+//! `(weight, Reverse(pair))` top-k total order), so results are
+//! **bit-identical** to both the
+//! materialised and streaming backends at *any* worker count —
+//! `tests/parallel_consistency.rs` asserts the full scheme × family ×
+//! worker matrix, and each job returns its [`JobStats`] (via
+//! [`JobReport`]) so the shuffle-volume gap between the two strategies is
+//! measurable (`BENCH_metablocking.json` records it).
 
-use crate::graph::BlockingGraph;
-use crate::prune::{PrunedComparisons, WeightedPair};
+use crate::kernel::{self, WeightGlobals};
+use crate::prune::{self, PrunedComparisons, WeightedPair};
+use crate::sweep::{entity_sweep_ranges, SweepScratch};
 use crate::weights::WeightingScheme;
 use minoan_blocking::BlockCollection;
 use minoan_common::stats::mean;
 use minoan_common::{OrdF64, TopK};
-use minoan_mapreduce::Engine;
+use minoan_mapreduce::{Engine, JobStats};
 use minoan_rdf::EntityId;
+use std::cmp::Reverse;
+
+/// Counter name: forward (`a < b`) edges seen by the weighting job — the
+/// distinct-edge count `|V|` when no counting job ran.
+const FWD_EDGES: &str = "forward_edges";
+
+/// Per-job execution statistics of one meta-blocking MapReduce run
+/// (a run is one to three chained jobs: optional counting, weighting +
+/// local criterion, optional vote combination).
+#[derive(Clone, Debug, Default)]
+pub struct JobReport {
+    /// `(job label, stats)` in execution order.
+    pub jobs: Vec<(&'static str, JobStats)>,
+}
+
+impl JobReport {
+    fn push(&mut self, label: &'static str, stats: JobStats) {
+        self.jobs.push((label, stats));
+    }
+
+    /// Total shuffled records across all jobs — the strategy's
+    /// intermediate-pair volume (one record per pair occurrence for the
+    /// edge-based jobs, at most one per entity neighbourhood for the
+    /// entity-based ones).
+    pub fn shuffled_records(&self) -> usize {
+        self.jobs.iter().map(|(_, s)| s.intermediate_pairs).sum()
+    }
+
+    /// Total measured wall time across all jobs, nanoseconds.
+    pub fn total_nanos(&self) -> u64 {
+        self.jobs.iter().map(|(_, s)| s.total_nanos()).sum()
+    }
+
+    /// Modeled makespan on `workers` parallel workers: the chained jobs'
+    /// [`JobStats::modeled_nanos`] summed (jobs are barriers).
+    pub fn modeled_nanos(&self, workers: usize) -> u64 {
+        self.jobs
+            .iter()
+            .map(|(_, s)| s.modeled_nanos(workers))
+            .sum()
+    }
+}
+
+/// Contiguous-range partitioner for entity keys: reducer `p` owns the
+/// `p`-th slice of the id space, mirroring the range partitioner the
+/// paper's entity-based jobs use (locality of the per-node state).
+fn entity_partitioner(n: usize) -> impl Fn(&u32, usize) -> usize + Sync {
+    let n = n.max(1);
+    move |&a: &u32, parts: usize| (a as usize * parts) / n
+}
+
+/// Range partitioner for pair keys, by smaller endpoint.
+fn pair_partitioner(n: usize) -> impl Fn(&(EntityId, EntityId), usize) -> usize + Sync {
+    let n = n.max(1);
+    move |k: &(EntityId, EntityId), parts: usize| (k.0.index() * parts) / n
+}
+
+/// Map-input splits: cost-balanced contiguous entity ranges, a few per
+/// worker so the engine's greedy scheduler can smooth skew.
+fn map_splits(collection: &BlockCollection, engine: &Engine) -> Vec<std::ops::Range<usize>> {
+    entity_sweep_ranges(collection, engine.workers() * 4)
+}
+
+/// Runs the preprocessing (counting) job when `scheme` or the caller
+/// needs degree/|V|/active-node aggregates: one entity-partitioned job
+/// shuffling one `(entity, degree)` record per active entity.
+fn mapreduce_globals(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    need_counts: bool,
+    engine: &Engine,
+    report: &mut JobReport,
+) -> WeightGlobals {
+    if scheme != WeightingScheme::Ejs && !need_counts {
+        return WeightGlobals::basic(collection);
+    }
+    let n = collection.num_entities();
+    let result = engine.run_partitioned(
+        map_splits(collection, engine),
+        entity_partitioner(n),
+        |range, emit, _c| {
+            let mut scratch = SweepScratch::new(n);
+            for a in range.clone() {
+                scratch.sweep(collection, EntityId(a as u32));
+                let d = scratch.neighbours().len() as u32;
+                if d > 0 {
+                    emit(a as u32, d);
+                }
+            }
+        },
+        |&a, degs, out, _c| out.push((a, degs[0])),
+    );
+    report.push("count", result.stats);
+    let mut degrees = vec![0u32; n];
+    for &(a, d) in &result.output {
+        degrees[a as usize] = d;
+    }
+    let num_edges = degrees.iter().map(|&d| d as u64).sum::<u64>() as usize / 2;
+    let active_nodes = result.output.len();
+    WeightGlobals {
+        blocks_of: kernel::blocks_of(collection),
+        num_blocks: collection.len(),
+        degrees,
+        num_edges,
+        active_nodes,
+    }
+}
+
+/// The entity-partitioned weighting job shared by every entity-based
+/// pruner: map over entity ranges, sweep each entity with the shared
+/// kernel, and emit its weighted neighbourhood — `(neighbour, weight)`
+/// in ascending neighbour order, forward (`y > a`) edges only when
+/// `forward_only` — as **one record keyed by the entity**; `reduce`
+/// applies the pruning criterion to the neighbourhood it owns. Returns
+/// the reduce output (ordered by entity key), the forward-edge count and
+/// the job stats.
+fn neighbourhood_job<O, R>(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    globals: &WeightGlobals,
+    forward_only: bool,
+    engine: &Engine,
+    reduce: R,
+) -> (Vec<O>, u64, JobStats)
+where
+    O: Send,
+    R: Fn(u32, &[(u32, f64)], &mut Vec<O>) + Sync,
+{
+    let n = collection.num_entities();
+    let result = engine.run_partitioned(
+        map_splits(collection, engine),
+        entity_partitioner(n),
+        |range, emit, c| {
+            let mut scratch = SweepScratch::new(n);
+            let mut weights: Vec<f64> = Vec::new();
+            for a in range.clone() {
+                let a = a as u32;
+                scratch.sweep(collection, EntityId(a));
+                if scratch.neighbours().is_empty() {
+                    continue;
+                }
+                let record: Vec<(u32, f64)> = if forward_only {
+                    scratch
+                        .neighbours()
+                        .iter()
+                        .filter(|&&y| y > a)
+                        .map(|&y| (y, kernel::forward_weight(scheme, &scratch, a, y, globals)))
+                        .collect()
+                } else {
+                    kernel::neighbour_weights(scheme, &scratch, a, globals, &mut weights);
+                    scratch
+                        .neighbours()
+                        .iter()
+                        .copied()
+                        .zip(weights.iter().copied())
+                        .collect()
+                };
+                let fwd = if forward_only {
+                    record.len() as u64
+                } else {
+                    record.iter().filter(|&&(y, _)| y > a).count() as u64
+                };
+                c.add(FWD_EDGES, fwd);
+                if !record.is_empty() {
+                    emit(a, record);
+                }
+            }
+        },
+        |&a, neighbourhoods, out, _c| {
+            // Exactly one neighbourhood record arrives per entity key.
+            for neigh in neighbourhoods.iter() {
+                reduce(a, neigh, out);
+            }
+        },
+    );
+    let fwd = result.counters.get(FWD_EDGES);
+    (result.output, fwd, result.stats)
+}
+
+/// The vote-combination job of the node-centric pruners: re-key each
+/// locally-kept pair by the pair itself and keep it when enough endpoints
+/// voted for it (1 under union, 2 under reciprocal semantics). Output is
+/// ordered by pair, so the result is deterministic at any worker count.
+fn vote_job(
+    kept: Vec<WeightedPair>,
+    reciprocal: bool,
+    n: usize,
+    engine: &Engine,
+) -> (Vec<WeightedPair>, JobStats) {
+    let need = if reciprocal { 2 } else { 1 };
+    let result = engine.run_partitioned(
+        kept,
+        pair_partitioner(n),
+        |p, emit, _c| emit((p.a, p.b), p.weight),
+        move |&(a, b), ws, out, _c| {
+            if ws.len() >= need {
+                // Both endpoints computed the weight through the kernel in
+                // normalised endpoint order, so the votes carry identical
+                // bits; the first is as good as any.
+                out.push(WeightedPair {
+                    a,
+                    b,
+                    weight: ws[0],
+                });
+            }
+        },
+    );
+    (result.output, result.stats)
+}
+
+fn input_edges_of(globals: &WeightGlobals, fwd: u64) -> usize {
+    if globals.num_edges > 0 {
+        globals.num_edges
+    } else {
+        fwd as usize
+    }
+}
+
+/// Entity-based Weighted Node Pruning — bit-identical to
+/// [`prune::wnp`] / [`crate::streaming::wnp`] at any worker count.
+pub fn wnp(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    engine: &Engine,
+) -> PrunedComparisons {
+    wnp_with_report(collection, scheme, reciprocal, engine).0
+}
+
+/// [`wnp`], also returning the per-job execution statistics.
+pub fn wnp_with_report(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
+    let mut report = JobReport::default();
+    let globals = mapreduce_globals(collection, scheme, false, engine, &mut report);
+    let (kept, fwd, stats) = neighbourhood_job(
+        collection,
+        scheme,
+        &globals,
+        false,
+        engine,
+        |a, neigh, out| {
+            let ws: Vec<f64> = neigh.iter().map(|&(_, w)| w).collect();
+            let threshold = mean(&ws);
+            for &(y, w) in neigh {
+                if w >= threshold && w > 0.0 {
+                    out.push(kernel::normalised(a, y, w));
+                }
+            }
+        },
+    );
+    report.push("wnp/neighbourhoods", stats);
+    let (pairs, vstats) = vote_job(kept, reciprocal, collection.num_entities(), engine);
+    report.push("wnp/votes", vstats);
+    let out = PrunedComparisons::from_weighted_pairs(pairs, scheme, input_edges_of(&globals, fwd));
+    (out, report)
+}
+
+/// Entity-based Cardinality Node Pruning — bit-identical to
+/// [`prune::cnp`] / [`crate::streaming::cnp`] at any worker count.
+pub fn cnp(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    k: Option<usize>,
+    engine: &Engine,
+) -> PrunedComparisons {
+    cnp_with_report(collection, scheme, reciprocal, k, engine).0
+}
+
+/// [`cnp`], also returning the per-job execution statistics.
+pub fn cnp_with_report(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    k: Option<usize>,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
+    let mut report = JobReport::default();
+    // The default k needs the active-node count, which needs the counting
+    // job anyway; EJS needs one for degrees.
+    let globals = mapreduce_globals(collection, scheme, k.is_none(), engine, &mut report);
+    let k = k.unwrap_or_else(|| {
+        prune::default_cnp_k_from(collection.total_assignments(), globals.active_nodes)
+    });
+    if k == 0 {
+        // Explicit zero cardinality: mirror `prune::cnp`'s guard, still
+        // reporting the input-edge count.
+        let globals = if globals.degrees.is_empty() {
+            mapreduce_globals(collection, scheme, true, engine, &mut report)
+        } else {
+            globals
+        };
+        return (PrunedComparisons::empty(scheme, globals.num_edges), report);
+    }
+    let (kept, fwd, stats) = neighbourhood_job(
+        collection,
+        scheme,
+        &globals,
+        false,
+        engine,
+        |a, neigh, out| {
+            // Same selector the other backends use; tie-breaking by
+            // normalised pair is order-isomorphic to the edge index.
+            let mut top: TopK<(OrdF64, Reverse<(EntityId, EntityId)>)> = TopK::new(k);
+            for &(y, w) in neigh {
+                if w > 0.0 {
+                    let p = kernel::normalised(a, y, w);
+                    top.push((OrdF64(w), Reverse((p.a, p.b))));
+                }
+            }
+            for (w, r) in top.into_sorted_vec() {
+                out.push(WeightedPair {
+                    a: r.0 .0,
+                    b: r.0 .1,
+                    weight: w.0,
+                });
+            }
+        },
+    );
+    report.push("cnp/neighbourhoods", stats);
+    let (pairs, vstats) = vote_job(kept, reciprocal, collection.num_entities(), engine);
+    report.push("cnp/votes", vstats);
+    let out = PrunedComparisons::from_weighted_pairs(pairs, scheme, input_edges_of(&globals, fwd));
+    (out, report)
+}
+
+/// Entity-based Weighted Edge Pruning — bit-identical to
+/// [`prune::wep`] / [`crate::streaming::wep`] at any worker count.
+///
+/// Two chained jobs: job 1 folds each entity's neighbourhood map-side
+/// into its positive forward-weight sum (one *scalar* record per entity
+/// in the shuffle); the global threshold comes from the same
+/// fixed-length-slab pairwise mean as the other backends
+/// (`prune::wep_threshold_from_sums`), so it is independent of the
+/// partitioning. Job 2 re-sweeps and keeps the edges at or above the
+/// threshold.
+pub fn wep(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    engine: &Engine,
+) -> PrunedComparisons {
+    wep_with_report(collection, scheme, engine).0
+}
+
+/// [`wep`], also returning the per-job execution statistics.
+pub fn wep_with_report(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
+    let mut report = JobReport::default();
+    let globals = mapreduce_globals(collection, scheme, false, engine, &mut report);
+    let n = collection.num_entities();
+
+    // Job 1 — per-entity partial sums of positive forward-edge weights,
+    // accumulated map-side in ascending neighbour order (the slab order),
+    // so the shuffle carries one scalar per entity, never an edge list.
+    let result = {
+        let globals = &globals;
+        engine.run_partitioned(
+            map_splits(collection, engine),
+            entity_partitioner(n),
+            |range, emit, c| {
+                let mut scratch = SweepScratch::new(n);
+                for a in range.clone() {
+                    let a = a as u32;
+                    scratch.sweep(collection, EntityId(a));
+                    let (mut sum, mut pos, mut fwd) = (0.0f64, 0u64, 0u64);
+                    for &y in scratch.neighbours() {
+                        if y <= a {
+                            continue;
+                        }
+                        fwd += 1;
+                        let w = kernel::forward_weight(scheme, &scratch, a, y, globals);
+                        if w > 0.0 {
+                            sum += w;
+                            pos += 1;
+                        }
+                    }
+                    c.add(FWD_EDGES, fwd);
+                    if pos > 0 {
+                        emit(a, (sum, pos));
+                    }
+                }
+            },
+            |&a, partials, out, _c| out.push((a, partials[0])),
+        )
+    };
+    let fwd = result.counters.get(FWD_EDGES);
+    report.push("wep/partial-sums", result.stats);
+    let mut sums = vec![0.0f64; n];
+    let mut positive = 0u64;
+    for &(a, (sum, pos)) in &result.output {
+        sums[a as usize] = sum;
+        positive += pos;
+    }
+    let threshold = prune::wep_threshold_from_sums(&sums, positive);
+
+    // Job 2 — re-sweep and keep each edge once, at its smaller endpoint.
+    let (kept, _, s2) = neighbourhood_job(
+        collection,
+        scheme,
+        &globals,
+        true,
+        engine,
+        move |a, neigh, out| {
+            for &(y, w) in neigh {
+                if w >= threshold && w > 0.0 {
+                    out.push(WeightedPair {
+                        a: EntityId(a),
+                        b: EntityId(y),
+                        weight: w,
+                    });
+                }
+            }
+        },
+    );
+    report.push("wep/filter", s2);
+    let out = PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges_of(&globals, fwd));
+    (out, report)
+}
+
+/// Key of the CEP selection order: weight descending, ties to the
+/// *earlier* pair — identical to the other backends' total order.
+type CepKey = (OrdF64, Reverse<(EntityId, EntityId)>);
+
+/// Entity-based Cardinality Edge Pruning — bit-identical to
+/// [`prune::cep`] / [`crate::streaming::cep`] at any worker count.
+///
+/// Each map split folds the forward edges of its whole entity range into
+/// one bounded top-k heap (mirroring the streaming backend's per-thread
+/// heaps) and ships a single record; the single reducer merges the local
+/// winners under the strict `(weight, Reverse(pair))` total order, which
+/// makes the merged set the exact global top-k for any partitioning.
+pub fn cep(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    k: Option<usize>,
+    engine: &Engine,
+) -> PrunedComparisons {
+    cep_with_report(collection, scheme, k, engine).0
+}
+
+/// [`cep`], also returning the per-job execution statistics.
+pub fn cep_with_report(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    k: Option<usize>,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
+    let mut report = JobReport::default();
+    let k = k.unwrap_or_else(|| prune::default_cep_k_from(collection.total_assignments()));
+    if k == 0 {
+        // Degenerate cardinality (empty or single-assignment collection):
+        // count the edges for the stats, keep nothing.
+        let globals = mapreduce_globals(collection, scheme, true, engine, &mut report);
+        return (PrunedComparisons::empty(scheme, globals.num_edges), report);
+    }
+    let globals = mapreduce_globals(collection, scheme, false, engine, &mut report);
+    let n = collection.num_entities();
+    let result = engine.run_partitioned(
+        map_splits(collection, engine),
+        |_k: &u8, _parts| 0,
+        |range, emit, c| {
+            let mut scratch = SweepScratch::new(n);
+            let mut top: TopK<CepKey> = TopK::new(k);
+            let mut fwd = 0u64;
+            for a in range.clone() {
+                let a = a as u32;
+                scratch.sweep(collection, EntityId(a));
+                for &y in scratch.neighbours() {
+                    if y <= a {
+                        continue;
+                    }
+                    fwd += 1;
+                    let w = kernel::forward_weight(scheme, &scratch, a, y, &globals);
+                    if w > 0.0 {
+                        top.push((OrdF64(w), Reverse((EntityId(a), EntityId(y)))));
+                    }
+                }
+            }
+            c.add(FWD_EDGES, fwd);
+            let local = top.into_sorted_vec();
+            if !local.is_empty() {
+                emit(0u8, local);
+            }
+        },
+        |_key, locals, out, _c| {
+            let mut merged: TopK<CepKey> = TopK::new(k);
+            for local in locals.iter() {
+                for &item in local {
+                    merged.push(item);
+                }
+            }
+            for (w, r) in merged.into_sorted_vec() {
+                out.push(WeightedPair {
+                    a: r.0 .0,
+                    b: r.0 .1,
+                    weight: w.0,
+                });
+            }
+        },
+    );
+    let fwd = result.counters.get(FWD_EDGES);
+    report.push("cep/local-topk", result.stats);
+    let out = PrunedComparisons::from_weighted_pairs(
+        result.output,
+        scheme,
+        input_edges_of(&globals, fwd),
+    );
+    (out, report)
+}
+
+/// Entity-based BLAST — bit-identical to [`crate::blast::blast`] /
+/// [`crate::streaming::blast`] at any worker count. Job 1 reduces each
+/// neighbourhood to its local χ² maximum; job 2 keeps the edges that
+/// reach `ratio` of either endpoint's maximum.
+///
+/// # Panics
+/// Panics unless `0 < ratio ≤ 1`.
+pub fn blast(collection: &BlockCollection, ratio: f64, engine: &Engine) -> PrunedComparisons {
+    blast_with_report(collection, ratio, engine).0
+}
+
+/// [`blast`], also returning the per-job execution statistics.
+pub fn blast_with_report(
+    collection: &BlockCollection,
+    ratio: f64,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
+    assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
+    let mut report = JobReport::default();
+    let n = collection.num_entities();
+    let blocks = kernel::blocks_of(collection);
+    let num_blocks = collection.len();
+    let chi = |scratch: &SweepScratch, a: u32, y: u32| {
+        let (lo, hi) = if a < y { (a, y) } else { (y, a) };
+        crate::blast::chi_square_from_stats(
+            scratch.cbs_of(y),
+            blocks[lo as usize],
+            blocks[hi as usize],
+            num_blocks,
+        )
+    };
+
+    // Job 1: per-node local χ² maxima.
+    let result = engine.run_partitioned(
+        map_splits(collection, engine),
+        entity_partitioner(n),
+        |range, emit, _c| {
+            let mut scratch = SweepScratch::new(n);
+            for a in range.clone() {
+                let a = a as u32;
+                scratch.sweep(collection, EntityId(a));
+                if scratch.neighbours().is_empty() {
+                    continue;
+                }
+                let mut max = 0.0f64;
+                for &y in scratch.neighbours() {
+                    let w = chi(&scratch, a, y);
+                    if w > max {
+                        max = w;
+                    }
+                }
+                emit(a, max);
+            }
+        },
+        |&a, maxima, out, _c| out.push((a, maxima[0])),
+    );
+    report.push("blast/local-maxima", result.stats);
+    let mut local_max = vec![0.0f64; n];
+    for &(a, m) in &result.output {
+        local_max[a as usize] = m;
+    }
+
+    // Job 2: keep each forward edge if either endpoint would keep it.
+    let local_max = &local_max;
+    let result = engine.run_partitioned(
+        map_splits(collection, engine),
+        entity_partitioner(n),
+        |range, emit, c| {
+            let mut scratch = SweepScratch::new(n);
+            for a in range.clone() {
+                let a = a as u32;
+                scratch.sweep(collection, EntityId(a));
+                let record: Vec<(u32, f64)> = scratch
+                    .neighbours()
+                    .iter()
+                    .filter(|&&y| y > a)
+                    .map(|&y| (y, chi(&scratch, a, y)))
+                    .collect();
+                c.add(FWD_EDGES, record.len() as u64);
+                if !record.is_empty() {
+                    emit(a, record);
+                }
+            }
+        },
+        move |&a, neighbourhoods, out, _c| {
+            for neigh in neighbourhoods.iter() {
+                for &(y, w) in neigh {
+                    if w > 0.0
+                        && (w >= ratio * local_max[a as usize]
+                            || w >= ratio * local_max[y as usize])
+                    {
+                        out.push(WeightedPair {
+                            a: EntityId(a),
+                            b: EntityId(y),
+                            weight: w,
+                        });
+                    }
+                }
+            }
+        },
+    );
+    let fwd = result.counters.get(FWD_EDGES);
+    report.push("blast/filter", result.stats);
+    // BLAST reports the χ² values under the CBS label, matching the
+    // other implementations.
+    let out =
+        PrunedComparisons::from_weighted_pairs(result.output, WeightingScheme::Cbs, fwd as usize);
+    (out, report)
+}
+
+/// Every distinct comparable pair with its weight, sorted by pair — the
+/// entity-based equivalent of enumerating the blocking graph's edges
+/// (the unpruned path), one shuffled record per entity neighbourhood.
+pub fn weighted_edges(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    engine: &Engine,
+) -> Vec<WeightedPair> {
+    weighted_edges_with_report(collection, scheme, engine).0
+}
+
+/// [`weighted_edges`], also returning the per-job execution statistics.
+pub fn weighted_edges_with_report(
+    collection: &BlockCollection,
+    scheme: WeightingScheme,
+    engine: &Engine,
+) -> (Vec<WeightedPair>, JobReport) {
+    let mut report = JobReport::default();
+    let globals = mapreduce_globals(collection, scheme, false, engine, &mut report);
+    let (pairs, _, stats) = neighbourhood_job(
+        collection,
+        scheme,
+        &globals,
+        true,
+        engine,
+        |a, neigh, out| {
+            for &(y, w) in neigh {
+                out.push(WeightedPair {
+                    a: EntityId(a),
+                    b: EntityId(y),
+                    weight: w,
+                });
+            }
+        },
+    );
+    report.push("weighted-edges", stats);
+    (pairs, report)
+}
+
+// ---------------------------------------------------------------------------
+// Edge-based strategy (the shuffle-heavy baseline).
+// ---------------------------------------------------------------------------
 
 /// Edge statistics computed by the edge-based MapReduce job.
 #[derive(Clone, Copy, Debug)]
@@ -41,18 +736,17 @@ pub fn parallel_edge_weights(
 }
 
 /// As [`parallel_edge_weights`], also returning the job's execution
-/// statistics (used by the scalability experiment E7).
+/// statistics — its `intermediate_pairs` is the per-occurrence shuffle
+/// volume the entity-based strategy avoids.
 pub fn parallel_edge_weights_with_stats(
     collection: &BlockCollection,
     scheme: WeightingScheme,
     engine: &Engine,
-) -> (Vec<WeightedPair>, minoan_mapreduce::JobStats) {
+) -> (Vec<WeightedPair>, JobStats) {
     // Per-entity stats are cheap and shared read-only with all tasks
     // (the paper's preprocessing job materialises the same information).
     let n = collection.num_entities();
-    let blocks_of: Vec<u32> = (0..n as u32)
-        .map(|e| collection.entity_blocks(EntityId(e)).len() as u32)
-        .collect();
+    let blocks_of = kernel::blocks_of(collection);
     let num_blocks = collection.len();
 
     let block_ids: Vec<u32> = (0..collection.len() as u32).collect();
@@ -91,61 +785,27 @@ pub fn parallel_edge_weights_with_stats(
     let pairs = edges
         .into_iter()
         .map(|((a, b), st)| {
-            let weight =
-                weight_from_stats(scheme, st, a, b, &blocks_of, &degree, num_blocks, num_edges);
+            let weight = kernel::weight_from_stats(
+                scheme,
+                st.cbs,
+                st.arcs,
+                blocks_of[a.index()],
+                blocks_of[b.index()],
+                num_blocks,
+                degree[a.index()] as usize,
+                degree[b.index()] as usize,
+                num_edges,
+            );
             WeightedPair { a, b, weight }
         })
         .collect();
     (pairs, result.stats)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn weight_from_stats(
-    scheme: WeightingScheme,
-    st: EdgeStats,
-    a: EntityId,
-    b: EntityId,
-    blocks_of: &[u32],
-    degree: &[u32],
-    num_blocks: usize,
-    num_edges: usize,
-) -> f64 {
-    use minoan_common::stats::log_weight;
-    let cbs = st.cbs as f64;
-    match scheme {
-        WeightingScheme::Cbs => cbs,
-        WeightingScheme::Arcs => st.arcs,
-        WeightingScheme::Js => {
-            let denom = blocks_of[a.index()] as f64 + blocks_of[b.index()] as f64 - cbs;
-            if denom <= 0.0 {
-                0.0
-            } else {
-                cbs / denom
-            }
-        }
-        WeightingScheme::Ecbs => {
-            let nb = num_blocks as f64;
-            cbs * log_weight(nb, blocks_of[a.index()] as f64)
-                * log_weight(nb, blocks_of[b.index()] as f64)
-        }
-        WeightingScheme::Ejs => {
-            let js = weight_from_stats(
-                WeightingScheme::Js,
-                st,
-                a,
-                b,
-                blocks_of,
-                degree,
-                num_blocks,
-                num_edges,
-            );
-            let v = num_edges as f64;
-            js * log_weight(v, degree[a.index()] as f64) * log_weight(v, degree[b.index()] as f64)
-        }
-    }
-}
-
 /// Parallel WEP (edge-based strategy): weight job + global mean filter.
+/// The threshold is the shared positive-weight-only mean
+/// (`prune::wep_threshold_from_sums`), so the result is bit-identical
+/// to [`prune::wep`] even on ECBS/EJS inputs with zero-weight edges.
 pub fn parallel_wep(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -153,8 +813,17 @@ pub fn parallel_wep(
 ) -> PrunedComparisons {
     let weighted = parallel_edge_weights(collection, scheme, engine);
     let input_edges = weighted.len();
-    let ws: Vec<f64> = weighted.iter().map(|p| p.weight).collect();
-    let threshold = mean(&ws);
+    // The job output is sorted by pair, so accumulating per smaller
+    // endpoint walks the exact slab order the other backends sum in.
+    let mut sums = vec![0.0f64; collection.num_entities()];
+    let mut positive = 0u64;
+    for p in &weighted {
+        if p.weight > 0.0 {
+            sums[p.a.index()] += p.weight;
+            positive += 1;
+        }
+    }
+    let threshold = prune::wep_threshold_from_sums(&sums, positive);
     let kept: Vec<WeightedPair> = weighted
         .into_iter()
         .filter(|p| p.weight >= threshold && p.weight > 0.0)
@@ -162,8 +831,10 @@ pub fn parallel_wep(
     PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges)
 }
 
-/// Parallel CNP (entity-based strategy): weight job, then a per-node top-k
+/// Parallel CNP (edge-based strategy): weight job, then a per-node top-k
 /// job keyed by endpoint; `reciprocal` intersects the two endpoint votes.
+/// Vote combination runs over the pair-sorted kept list (no hash-map
+/// iteration order anywhere), so the output ordering is deterministic.
 pub fn parallel_cnp(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -181,9 +852,9 @@ pub fn parallel_cnp(
         }
         seen.iter().filter(|&&s| s).count().max(1)
     };
-    let k = k.unwrap_or_else(|| ((collection.total_assignments() as usize) / active).max(1));
+    let k = k.unwrap_or_else(|| prune::default_cnp_k_from(collection.total_assignments(), active));
 
-    // Entity-based job: each reducer owns one node neighbourhood.
+    // Entity-based second job: each reducer owns one node neighbourhood.
     let result = engine.run(
         weighted,
         |p, emit| {
@@ -191,48 +862,46 @@ pub fn parallel_cnp(
             emit(p.b, (p.a, p.weight));
         },
         |&node, neigh, out| {
-            let mut top: TopK<(OrdF64, std::cmp::Reverse<EntityId>)> = TopK::new(k);
+            let mut top: TopK<(OrdF64, Reverse<(EntityId, EntityId)>)> = TopK::new(k);
             for &(other, w) in neigh.iter() {
                 if w > 0.0 {
-                    top.push((OrdF64(w), std::cmp::Reverse(other)));
+                    let (lo, hi) = (node.min(other), node.max(other));
+                    top.push((OrdF64(w), Reverse((lo, hi))));
                 }
             }
             for (w, r) in top.into_sorted_vec() {
-                let other = r.0;
-                out.push(((node.min(other), node.max(other)), w.0));
+                out.push(WeightedPair {
+                    a: r.0 .0,
+                    b: r.0 .1,
+                    weight: w.0,
+                });
             }
         },
     );
 
-    // Vote counting (union vs reciprocal) — a trivial final aggregate.
-    let mut votes: minoan_common::FxHashMap<(EntityId, EntityId), (u8, f64)> =
-        minoan_common::FxHashMap::default();
-    for ((a, b), w) in result.output {
-        let e = votes.entry((a, b)).or_insert((0, w));
-        e.0 += 1;
-    }
-    let need = if reciprocal { 2 } else { 1 };
-    let kept: Vec<WeightedPair> = votes
-        .into_iter()
-        .filter(|(_, (v, _))| *v >= need)
-        .map(|((a, b), (_, w))| WeightedPair { a, b, weight: w })
-        .collect();
+    // Vote counting (union vs reciprocal) over the pair-sorted kept list.
+    let mut kept = result.output;
+    kept.sort_unstable_by_key(|p| (p.a, p.b));
+    let kept = kernel::combine_votes(kept, reciprocal);
     PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges)
 }
 
 /// Convenience check used by tests and the harness: the serial graph built
 /// from the same collection.
-pub fn serial_graph(collection: &BlockCollection) -> BlockingGraph {
-    BlockingGraph::build(collection)
+pub fn serial_graph(collection: &BlockCollection) -> crate::graph::BlockingGraph {
+    crate::graph::BlockingGraph::build(collection)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::prune;
+    use crate::graph::BlockingGraph;
+    use crate::{blast as blast_mod, streaming};
     use minoan_blocking::builders::token_blocking;
     use minoan_blocking::ErMode;
     use minoan_datagen::{generate, profiles};
+
+    use crate::assert_bit_identical;
 
     fn pair_set(p: &PrunedComparisons) -> std::collections::BTreeSet<(u32, u32)> {
         p.pairs.iter().map(|p| (p.a.0, p.b.0)).collect()
@@ -250,8 +919,9 @@ mod tests {
             for (wp, edge) in par.iter().zip(graph.edges()) {
                 assert_eq!((wp.a, wp.b), (edge.a, edge.b));
                 let serial_w = scheme.weight(&graph, edge);
-                assert!(
-                    (wp.weight - serial_w).abs() < 1e-9,
+                assert_eq!(
+                    wp.weight.to_bits(),
+                    serial_w.to_bits(),
                     "{scheme:?}: {} vs {serial_w}",
                     wp.weight
                 );
@@ -260,14 +930,33 @@ mod tests {
     }
 
     #[test]
-    fn parallel_wep_equals_serial_wep() {
+    fn entity_based_weighted_edges_match_the_slab() {
+        let g = generate(&profiles::center_dense(110, 6));
+        let blocks = token_blocking(&g.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        for scheme in [WeightingScheme::Arcs, WeightingScheme::Ejs] {
+            let par = weighted_edges(&blocks, scheme, &Engine::new(3));
+            assert_eq!(par.len(), graph.num_edges(), "{scheme:?}");
+            for (wp, edge) in par.iter().zip(graph.edges()) {
+                assert_eq!((wp.a, wp.b), (edge.a, edge.b));
+                assert_eq!(wp.weight.to_bits(), scheme.weight(&graph, edge).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_wep_bit_identical_to_serial_wep() {
         let g = generate(&profiles::center_dense(100, 9));
         let blocks = token_blocking(&g.dataset, ErMode::CleanClean);
         let graph = BlockingGraph::build(&blocks);
-        for workers in [1, 4] {
-            let par = parallel_wep(&blocks, WeightingScheme::Ecbs, &Engine::new(workers));
-            let ser = prune::wep(&graph, WeightingScheme::Ecbs);
-            assert_eq!(pair_set(&par), pair_set(&ser));
+        for scheme in [WeightingScheme::Ecbs, WeightingScheme::Ejs] {
+            let ser = prune::wep(&graph, scheme);
+            for workers in [1, 4] {
+                let par = parallel_wep(&blocks, scheme, &Engine::new(workers));
+                assert_bit_identical(&par, &ser, &format!("edge-based/{scheme:?}/w={workers}"));
+                let ent = wep(&blocks, scheme, &Engine::new(workers));
+                assert_bit_identical(&ent, &ser, &format!("entity-based/{scheme:?}/w={workers}"));
+            }
         }
     }
 
@@ -277,6 +966,7 @@ mod tests {
         let blocks = token_blocking(&g.dataset, ErMode::CleanClean);
         let graph = BlockingGraph::build(&blocks);
         for reciprocal in [false, true] {
+            let ser = prune::cnp(&graph, WeightingScheme::Js, reciprocal, Some(3));
             let par = parallel_cnp(
                 &blocks,
                 WeightingScheme::Js,
@@ -284,17 +974,129 @@ mod tests {
                 Some(3),
                 &Engine::new(3),
             );
-            let ser = prune::cnp(&graph, WeightingScheme::Js, reciprocal, Some(3));
-            assert_eq!(pair_set(&par), pair_set(&ser), "reciprocal={reciprocal}");
+            assert_bit_identical(&par, &ser, &format!("edge-based/r={reciprocal}"));
+            let ent = cnp(
+                &blocks,
+                WeightingScheme::Js,
+                reciprocal,
+                Some(3),
+                &Engine::new(3),
+            );
+            assert_bit_identical(&ent, &ser, &format!("entity-based/r={reciprocal}"));
         }
+    }
+
+    #[test]
+    fn entity_based_matches_streaming_on_all_families() {
+        let g = generate(&profiles::center_dense(90, 23));
+        let blocks = token_blocking(&g.dataset, ErMode::CleanClean);
+        let engine = Engine::new(3);
+        for scheme in [WeightingScheme::Arcs, WeightingScheme::Ejs] {
+            assert_bit_identical(
+                &wnp(&blocks, scheme, false, &engine),
+                &streaming::wnp(&blocks, scheme, false),
+                &format!("wnp/{scheme:?}"),
+            );
+            assert_bit_identical(
+                &cnp(&blocks, scheme, true, None, &engine),
+                &streaming::cnp(&blocks, scheme, true, None),
+                &format!("cnp/{scheme:?}"),
+            );
+            assert_bit_identical(
+                &wep(&blocks, scheme, &engine),
+                &streaming::wep(&blocks, scheme),
+                &format!("wep/{scheme:?}"),
+            );
+            assert_bit_identical(
+                &cep(&blocks, scheme, Some(7), &engine),
+                &streaming::cep(&blocks, scheme, Some(7)),
+                &format!("cep/{scheme:?}"),
+            );
+        }
+        let graph = BlockingGraph::build(&blocks);
+        assert_bit_identical(
+            &blast(&blocks, 0.35, &engine),
+            &blast_mod::blast(&graph, 0.35),
+            "blast",
+        );
     }
 
     #[test]
     fn worker_count_invariance() {
         let g = generate(&profiles::periphery_sparse(80, 5));
         let blocks = token_blocking(&g.dataset, ErMode::CleanClean);
-        let one = parallel_wep(&blocks, WeightingScheme::Arcs, &Engine::new(1));
-        let many = parallel_wep(&blocks, WeightingScheme::Arcs, &Engine::new(8));
+        let one = wep(&blocks, WeightingScheme::Arcs, &Engine::new(1));
+        let many = wep(&blocks, WeightingScheme::Arcs, &Engine::new(8));
         assert_eq!(pair_set(&one), pair_set(&many));
+        assert_bit_identical(&many, &one, "wep w=8 vs w=1");
+    }
+
+    #[test]
+    fn entity_based_shuffles_less_than_edge_based() {
+        let g = generate(&profiles::center_dense(150, 31));
+        let blocks = token_blocking(&g.dataset, ErMode::CleanClean);
+        let engine = Engine::new(4);
+        let (_, edge_stats) =
+            parallel_edge_weights_with_stats(&blocks, WeightingScheme::Arcs, &engine);
+        let (_, report) = wnp_with_report(&blocks, WeightingScheme::Arcs, false, &engine);
+        // Edge-based: one record per pair occurrence. Entity-based: at
+        // most one weighting record per entity plus the kept votes.
+        assert!(
+            report.shuffled_records() < edge_stats.intermediate_pairs,
+            "entity-based must shuffle less: {} vs {}",
+            report.shuffled_records(),
+            edge_stats.intermediate_pairs
+        );
+        let weighting_records = report
+            .jobs
+            .iter()
+            .find(|(l, _)| *l == "wnp/neighbourhoods")
+            .map(|(_, s)| s.intermediate_pairs)
+            .unwrap();
+        assert!(
+            weighting_records <= blocks.num_entities(),
+            "at most one record per entity neighbourhood"
+        );
+    }
+
+    #[test]
+    fn degenerate_collections_are_fine() {
+        let ds = minoan_rdf::DatasetBuilder::new().build();
+        let c = BlockCollection::from_groups(
+            &ds,
+            ErMode::CleanClean,
+            Vec::<(String, Vec<EntityId>)>::new(),
+        );
+        let engine = Engine::new(2);
+        assert!(wnp(&c, WeightingScheme::Arcs, false, &engine)
+            .pairs
+            .is_empty());
+        assert!(cnp(&c, WeightingScheme::Ejs, true, None, &engine)
+            .pairs
+            .is_empty());
+        assert!(wep(&c, WeightingScheme::Js, &engine).pairs.is_empty());
+        let e = cep(&c, WeightingScheme::Cbs, None, &engine);
+        assert!(e.pairs.is_empty());
+        assert_eq!(e.input_edges, 0);
+        assert!(weighted_edges(&c, WeightingScheme::Arcs, &engine).is_empty());
+        assert!(blast(&c, 0.5, &engine).pairs.is_empty());
+    }
+
+    #[test]
+    fn explicit_zero_k_reports_stats() {
+        let g = generate(&profiles::center_dense(60, 8));
+        let blocks = token_blocking(&g.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        let engine = Engine::new(3);
+        for (out, label) in [
+            (cep(&blocks, WeightingScheme::Js, Some(0), &engine), "cep"),
+            (
+                cnp(&blocks, WeightingScheme::Js, false, Some(0), &engine),
+                "cnp",
+            ),
+        ] {
+            assert!(out.pairs.is_empty(), "{label}");
+            assert_eq!(out.input_edges, graph.num_edges(), "{label}: stats");
+        }
     }
 }

@@ -125,7 +125,8 @@ pub(crate) fn wep_threshold_from_sums(sums: &[f64], positive_edges: u64) -> f64 
 }
 
 /// Weighted Edge Pruning: keep edges with weight ≥ the global mean weight
-/// (mean over the positive-weight edges; see [`wep_threshold_from_sums`]).
+/// (mean over the positive-weight edges; see `wep_threshold_from_sums`,
+/// the crate-internal reduction all three backends share).
 pub fn wep(graph: &BlockingGraph, scheme: WeightingScheme) -> PrunedComparisons {
     let weights = scheme.all_weights(graph);
     // Per-source partial sums in slab order (edges sorted by (a, b), so

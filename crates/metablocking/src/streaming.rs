@@ -7,7 +7,8 @@
 //! decisions need per-node neighbourhoods (node-centric) or two global
 //! scalars (edge-centric), never random access to the whole slab. The
 //! streaming path therefore sweeps the block collection entity by entity
-//! (see [`crate::sweep`]): per node it reconstructs the incident edge
+//! (the crate-internal `sweep` module): per node it reconstructs the
+//! incident edge
 //! statistics in dense epoch-reset accumulators, applies the pruning
 //! criterion, and emits only the *kept* pairs.
 //!
@@ -29,8 +30,8 @@
 //! The sweeps are embarrassingly parallel over entity ranges (scoped
 //! threads, one scratch per worker) and every per-edge quantity is
 //! computed through the same kernels as the materialised path
-//! ([`WeightingScheme::weight_from_stats`],
-//! [`chi_square_from_stats`](crate::blast::chi_square_from_stats)) with
+//! ([`crate::kernel::weight_from_stats`],
+//! [`crate::blast::chi_square_from_stats`]) with
 //! f64 accumulation in the same order. Two constructions keep the
 //! *global* criteria deterministic without a global edge slab:
 //!
@@ -54,6 +55,9 @@
 //! materialising edges.
 
 use crate::blast::chi_square_from_stats;
+use crate::kernel::{
+    self, combine_votes, forward_weight, neighbour_weights, normalised, WeightGlobals,
+};
 use crate::prune::{PrunedComparisons, WeightedPair};
 use crate::sweep::{default_threads, entity_sweep_ranges, split_by_ends, SweepScratch};
 use crate::weights::WeightingScheme;
@@ -61,37 +65,6 @@ use minoan_blocking::BlockCollection;
 use minoan_common::stats::mean;
 use minoan_common::{OrdF64, TopK};
 use minoan_rdf::EntityId;
-
-/// Which execution path meta-blocking pruning runs on.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub enum GraphBackend {
-    /// Build the CSR blocking graph, then prune it.
-    #[default]
-    Materialized,
-    /// Streaming sweeps; the global edge set is never materialised for
-    /// *any* pruning method (node-centric WNP/CNP/BLAST and edge-centric
-    /// WEP/CEP alike).
-    Streaming,
-}
-
-impl GraphBackend {
-    /// Parses the CLI/config spelling (`materialized` | `streaming`).
-    pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "materialized" | "materialised" => Some(Self::Materialized),
-            "streaming" => Some(Self::Streaming),
-            _ => None,
-        }
-    }
-
-    /// The config spelling of this backend.
-    pub fn name(self) -> &'static str {
-        match self {
-            Self::Materialized => "materialized",
-            Self::Streaming => "streaming",
-        }
-    }
-}
 
 /// Tuning for the streaming sweeps.
 #[derive(Clone, Copy, Debug)]
@@ -115,26 +88,6 @@ impl StreamingOptions {
             threads: threads.max(1),
         }
     }
-}
-
-/// Global aggregates a sweep pass may need before weighting.
-struct Globals {
-    /// Per-entity |B_i| (straight from the collection).
-    blocks_of: Vec<u32>,
-    /// |B|.
-    num_blocks: usize,
-    /// Per-entity degree |V_i|; empty unless a counting pass ran.
-    degrees: Vec<u32>,
-    /// |V| — number of distinct comparable pairs (0 unless counted).
-    num_edges: usize,
-    /// Entities with at least one neighbour (0 unless counted).
-    active_nodes: usize,
-}
-
-fn blocks_of(collection: &BlockCollection) -> Vec<u32> {
-    (0..collection.num_entities() as u32)
-        .map(|e| collection.entity_blocks(EntityId(e)).len() as u32)
-        .collect()
 }
 
 /// One parallel pass filling a per-entity `u32` (or `f64`) slot from its
@@ -166,7 +119,7 @@ fn fill_per_entity<T: Send, F>(
 
 /// One counting sweep over all entities: degrees, |V| and the active-node
 /// count, in parallel, without materialising any edge.
-fn count_pass(collection: &BlockCollection, ranges: &[std::ops::Range<usize>]) -> Globals {
+fn count_pass(collection: &BlockCollection, ranges: &[std::ops::Range<usize>]) -> WeightGlobals {
     let n = collection.num_entities();
     let mut degrees = vec![0u32; n];
     fill_per_entity(collection, ranges, &mut degrees, |_a, scratch| {
@@ -175,8 +128,8 @@ fn count_pass(collection: &BlockCollection, ranges: &[std::ops::Range<usize>]) -
     // |V| = Σ degrees / 2 (every edge counted at both endpoints).
     let num_edges = degrees.iter().map(|&d| d as u64).sum::<u64>() as usize / 2;
     let active_nodes = degrees.iter().filter(|&&d| d > 0).count();
-    Globals {
-        blocks_of: blocks_of(collection),
+    WeightGlobals {
+        blocks_of: kernel::blocks_of(collection),
         num_blocks: collection.len(),
         degrees,
         num_edges,
@@ -190,17 +143,11 @@ fn globals_for(
     scheme: WeightingScheme,
     ranges: &[std::ops::Range<usize>],
     need_active: bool,
-) -> Globals {
+) -> WeightGlobals {
     if scheme == WeightingScheme::Ejs || need_active {
         count_pass(collection, ranges)
     } else {
-        Globals {
-            blocks_of: blocks_of(collection),
-            num_blocks: collection.len(),
-            degrees: Vec::new(),
-            num_edges: 0,
-            active_nodes: 0,
-        }
+        WeightGlobals::basic(collection)
     }
 }
 
@@ -248,100 +195,6 @@ where
     let mut kept: Vec<WeightedPair> = outs.into_iter().flat_map(|o| o.0).collect();
     kept.sort_unstable_by_key(|x| (x.a, x.b));
     (kept, fwd)
-}
-
-/// Combines per-node votes on the kept set: union keeps pairs emitted by
-/// ≥ 1 endpoint, reciprocal by both. Input must be sorted by pair.
-fn combine_votes(kept: Vec<WeightedPair>, reciprocal: bool) -> Vec<WeightedPair> {
-    let need = if reciprocal { 2 } else { 1 };
-    let mut out: Vec<WeightedPair> = Vec::with_capacity(kept.len());
-    let mut i = 0;
-    while i < kept.len() {
-        let mut j = i + 1;
-        while j < kept.len() && (kept[j].a, kept[j].b) == (kept[i].a, kept[i].b) {
-            j += 1;
-        }
-        if j - i >= need {
-            out.push(kept[i]);
-        }
-        i = j;
-    }
-    out
-}
-
-/// Weight of the current sweep's edge to neighbour `y`, with `(lo, hi)`
-/// the pair's endpoints in normalised (smaller, larger) order. The single
-/// kernel call site for every streaming pruner: the materialised path
-/// always evaluates edges in that endpoint order, and f64 multiplication
-/// chains are association-order sensitive at the ulp level (ECBS/EJS
-/// multiply per-endpoint factors), so bit-identity depends on this one
-/// body staying the only place the order is decided.
-fn edge_weight(
-    scheme: WeightingScheme,
-    scratch: &SweepScratch,
-    globals: &Globals,
-    y: u32,
-    lo: u32,
-    hi: u32,
-) -> f64 {
-    debug_assert!(lo < hi);
-    let (dlo, dhi) = if globals.degrees.is_empty() {
-        (0, 0)
-    } else {
-        (
-            globals.degrees[lo as usize] as usize,
-            globals.degrees[hi as usize] as usize,
-        )
-    };
-    scheme.weight_from_stats(
-        scratch.cbs_of(y),
-        scratch.arcs_of(y),
-        globals.blocks_of[lo as usize],
-        globals.blocks_of[hi as usize],
-        globals.num_blocks,
-        dlo,
-        dhi,
-        globals.num_edges,
-    )
-}
-
-/// Computes the weights of the current sweep's neighbours into `out`
-/// (ascending neighbour order — the same order the materialised path
-/// iterates a node's incident edges in, so local f64 means agree bitwise).
-fn neighbour_weights(
-    scheme: WeightingScheme,
-    scratch: &SweepScratch,
-    a: u32,
-    globals: &Globals,
-    out: &mut Vec<f64>,
-) {
-    out.clear();
-    out.reserve(scratch.neighbours().len());
-    for &y in scratch.neighbours() {
-        let (lo, hi) = if a < y { (a, y) } else { (y, a) };
-        out.push(edge_weight(scheme, scratch, globals, y, lo, hi));
-    }
-}
-
-fn normalised(a: u32, y: u32, w: f64) -> WeightedPair {
-    let (lo, hi) = if a < y { (a, y) } else { (y, a) };
-    WeightedPair {
-        a: EntityId(lo),
-        b: EntityId(hi),
-        weight: w,
-    }
-}
-
-/// Weight of the forward edge `(a, y)` (`a < y`) from the current
-/// sweep's stats — [`edge_weight`] with the endpoints already normalised.
-fn forward_weight(
-    scheme: WeightingScheme,
-    scratch: &SweepScratch,
-    a: u32,
-    y: u32,
-    globals: &Globals,
-) -> f64 {
-    edge_weight(scheme, scratch, globals, y, a, y)
 }
 
 /// Streaming Weighted Edge Pruning — bit-identical to
@@ -689,7 +542,7 @@ pub fn blast_with(
 ) -> PrunedComparisons {
     assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
     let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
-    let blocks = blocks_of(collection);
+    let blocks = kernel::blocks_of(collection);
     let num_blocks = collection.len();
 
     // Pass 1: per-node local χ² maxima.
@@ -757,20 +610,7 @@ mod tests {
     use minoan_blocking::ErMode;
     use minoan_datagen::{generate, profiles};
 
-    fn assert_bit_identical(stream: &PrunedComparisons, matr: &PrunedComparisons, label: &str) {
-        assert_eq!(stream.input_edges, matr.input_edges, "{label}: input_edges");
-        assert_eq!(stream.pairs.len(), matr.pairs.len(), "{label}: kept count");
-        for (s, m) in stream.pairs.iter().zip(&matr.pairs) {
-            assert_eq!((s.a, s.b), (m.a, m.b), "{label}: pair order");
-            assert_eq!(
-                s.weight.to_bits(),
-                m.weight.to_bits(),
-                "{label}: weight bits for ({:?},{:?})",
-                s.a,
-                s.b
-            );
-        }
-    }
+    use crate::assert_bit_identical;
 
     #[test]
     fn streaming_matches_materialised_on_generated_world() {
@@ -871,13 +711,5 @@ mod tests {
             assert!(out.pairs.is_empty(), "{label}");
             assert_eq!(out.input_edges, graph.num_edges(), "{label}: stats");
         }
-    }
-
-    #[test]
-    fn backend_parsing_round_trips() {
-        for b in [GraphBackend::Materialized, GraphBackend::Streaming] {
-            assert_eq!(GraphBackend::parse(b.name()), Some(b));
-        }
-        assert_eq!(GraphBackend::parse("nonsense"), None);
     }
 }

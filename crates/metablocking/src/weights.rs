@@ -6,7 +6,7 @@
 //! comparable pairs (edges); `‖b‖` = comparisons in block `b`.
 
 use crate::graph::{BlockingGraph, Edge};
-use minoan_common::stats::log_weight;
+use crate::kernel;
 
 /// The five standard meta-blocking weighting schemes.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
@@ -46,8 +46,15 @@ impl WeightingScheme {
 
     /// Weight of `edge` in `graph` under this scheme. Always finite and
     /// ≥ 0; higher = stronger co-occurrence evidence.
+    ///
+    /// Computed through [`kernel::weight_from_stats`] — the single
+    /// stats → weight body shared with the streaming and MapReduce
+    /// backends, so all three produce bit-identical f64 results for the
+    /// same inputs. Edge endpoints are already normalised (`edge.a <
+    /// edge.b` in the slab), matching the kernel's `(lo, hi)` contract.
     pub fn weight(self, graph: &BlockingGraph, edge: &Edge) -> f64 {
-        self.weight_from_stats(
+        kernel::weight_from_stats(
+            self,
             edge.common_blocks,
             edge.arcs,
             graph.blocks_of(edge.a),
@@ -57,58 +64,6 @@ impl WeightingScheme {
             graph.degree(edge.b),
             graph.num_edges(),
         )
-    }
-
-    /// Weight from raw per-pair and per-endpoint statistics. This is the
-    /// single kernel both the materialised path ([`Self::weight`]) and the
-    /// streaming node-centric path compute through, so the two produce
-    /// bit-identical f64 results for the same inputs.
-    ///
-    /// `deg_a`/`deg_b`/`num_edges` are only read by [`WeightingScheme::Ejs`].
-    #[allow(clippy::too_many_arguments)]
-    #[inline]
-    pub fn weight_from_stats(
-        self,
-        common_blocks: u32,
-        arcs: f64,
-        blocks_a: u32,
-        blocks_b: u32,
-        num_blocks: usize,
-        deg_a: usize,
-        deg_b: usize,
-        num_edges: usize,
-    ) -> f64 {
-        let cbs = common_blocks as f64;
-        match self {
-            WeightingScheme::Cbs => cbs,
-            WeightingScheme::Ecbs => {
-                let b = num_blocks as f64;
-                cbs * log_weight(b, blocks_a as f64) * log_weight(b, blocks_b as f64)
-            }
-            WeightingScheme::Js => {
-                let denom = blocks_a as f64 + blocks_b as f64 - cbs;
-                if denom <= 0.0 {
-                    0.0
-                } else {
-                    cbs / denom
-                }
-            }
-            WeightingScheme::Ejs => {
-                let js = WeightingScheme::Js.weight_from_stats(
-                    common_blocks,
-                    arcs,
-                    blocks_a,
-                    blocks_b,
-                    num_blocks,
-                    deg_a,
-                    deg_b,
-                    num_edges,
-                );
-                let v = num_edges as f64;
-                js * log_weight(v, deg_a as f64) * log_weight(v, deg_b as f64)
-            }
-            WeightingScheme::Arcs => arcs,
-        }
     }
 
     /// Weights of every edge, aligned with `graph.edges()`.

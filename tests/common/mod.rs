@@ -1,0 +1,23 @@
+//! Helpers shared by the backend-equivalence integration suites.
+
+use minoan::metablocking::PrunedComparisons;
+
+/// The one definition of "bit-identical pruning output" the equivalence
+/// suites assert: same input-edge count, same pair order, same f64
+/// weight bits.
+pub fn assert_bit_identical(a: &PrunedComparisons, b: &PrunedComparisons, label: &str) {
+    assert_eq!(a.input_edges, b.input_edges, "{label}: input_edges");
+    assert_eq!(a.pairs.len(), b.pairs.len(), "{label}: kept count");
+    for (x, y) in a.pairs.iter().zip(&b.pairs) {
+        assert_eq!((x.a, x.b), (y.a, y.b), "{label}: pair order");
+        assert_eq!(
+            x.weight.to_bits(),
+            y.weight.to_bits(),
+            "{label}: weight bits differ for ({:?},{:?}): {} vs {}",
+            x.a,
+            x.b,
+            x.weight,
+            y.weight
+        );
+    }
+}

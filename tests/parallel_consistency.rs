@@ -1,12 +1,22 @@
 //! Cross-crate consistency of the MapReduce formulations: the parallel
 //! blocking and meta-blocking implementations must produce results
 //! identical to their serial counterparts at any worker count.
+//!
+//! The heart of the suite is the full equivalence matrix: every weighting
+//! scheme × every pruning family (WNP, CNP, WEP, CEP, BLAST; reciprocal
+//! variants included) × workers {1, 3, 8}, asserting the
+//! entity-partitioned MapReduce backend is **bit-identical** to the
+//! materialised one — pair-for-pair order, f64 weight bits and the
+//! reported input-edge counts.
 
 use minoan::blocking::parallel::parallel_token_blocking;
 use minoan::blocking::{builders, ErMode};
-use minoan::metablocking::parallel::{parallel_cnp, parallel_wep};
-use minoan::metablocking::{prune, BlockingGraph, WeightingScheme};
+use minoan::metablocking::parallel::{self, parallel_cnp, parallel_wep};
+use minoan::metablocking::{blast, prune, BlockingGraph, WeightingScheme};
 use minoan::prelude::*;
+
+mod common;
+use common::assert_bit_identical;
 
 #[test]
 fn parallel_blocking_identical_for_all_worker_counts() {
@@ -21,26 +31,104 @@ fn parallel_blocking_identical_for_all_worker_counts() {
     }
 }
 
+/// The full matrix: scheme × pruning family × worker count, entity-based
+/// MapReduce vs the materialised graph, bit-for-bit.
 #[test]
-fn parallel_metablocking_matches_serial_on_every_scheme() {
+fn entity_partitioned_matrix_is_bit_identical_to_materialised() {
+    let world = generate(&profiles::center_dense(140, 13));
+    let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    let cleaned = filter::clean(&blocks);
+    let graph = BlockingGraph::build(&cleaned);
+    for workers in [1usize, 3, 8] {
+        let engine = Engine::new(workers);
+        for scheme in WeightingScheme::ALL {
+            let label = |family: &str| format!("{family}/{scheme:?}/w={workers}");
+
+            let ser = prune::wep(&graph, scheme);
+            assert_bit_identical(
+                &parallel::wep(&cleaned, scheme, &engine),
+                &ser,
+                &label("wep"),
+            );
+
+            for k in [None, Some(25)] {
+                let ser = prune::cep(&graph, scheme, k);
+                assert_bit_identical(
+                    &parallel::cep(&cleaned, scheme, k, &engine),
+                    &ser,
+                    &label(&format!("cep{k:?}")),
+                );
+            }
+
+            for reciprocal in [false, true] {
+                let ser = prune::wnp(&graph, scheme, reciprocal);
+                assert_bit_identical(
+                    &parallel::wnp(&cleaned, scheme, reciprocal, &engine),
+                    &ser,
+                    &label(&format!("wnp/r={reciprocal}")),
+                );
+
+                for k in [None, Some(3)] {
+                    let ser = prune::cnp(&graph, scheme, reciprocal, k);
+                    assert_bit_identical(
+                        &parallel::cnp(&cleaned, scheme, reciprocal, k, &engine),
+                        &ser,
+                        &label(&format!("cnp{k:?}/r={reciprocal}")),
+                    );
+                }
+            }
+        }
+
+        // BLAST is scheme-free (χ² weights).
+        for ratio in [0.35, 0.8] {
+            assert_bit_identical(
+                &parallel::blast(&cleaned, ratio, &engine),
+                &blast(&graph, ratio),
+                &format!("blast/{ratio}/w={workers}"),
+            );
+        }
+    }
+}
+
+/// The unpruned path: the entity-based weighting job reproduces the edge
+/// slab exactly.
+#[test]
+fn entity_partitioned_weighted_edges_match_the_slab() {
+    let world = generate(&profiles::center_dense(120, 29));
+    let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    let graph = BlockingGraph::build(&blocks);
+    for workers in [1, 3, 8] {
+        for scheme in WeightingScheme::ALL {
+            let par = parallel::weighted_edges(&blocks, scheme, &Engine::new(workers));
+            assert_eq!(
+                par.len(),
+                graph.num_edges(),
+                "{scheme:?}/w={workers}: edge count"
+            );
+            for (wp, edge) in par.iter().zip(graph.edges()) {
+                assert_eq!((wp.a, wp.b), (edge.a, edge.b));
+                assert_eq!(wp.weight.to_bits(), scheme.weight(&graph, edge).to_bits());
+            }
+        }
+    }
+}
+
+/// The edge-based (per-occurrence shuffle) baseline stays bit-identical
+/// too — including WEP's positive-weight-only mean on schemes that emit
+/// zero-weight edges, which the old all-edge mean diverged on.
+#[test]
+fn edge_based_baseline_matches_serial_on_every_scheme() {
     let world = generate(&profiles::center_dense(180, 13));
     let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
     let cleaned = filter::clean(&blocks);
     let graph = BlockingGraph::build(&cleaned);
     let engine = Engine::new(4);
     for scheme in WeightingScheme::ALL {
-        let serial: std::collections::BTreeSet<(u32, u32)> = prune::wep(&graph, scheme)
-            .pairs
-            .iter()
-            .map(|p| (p.a.0, p.b.0))
-            .collect();
-        let parallel: std::collections::BTreeSet<(u32, u32)> =
-            parallel_wep(&cleaned, scheme, &engine)
-                .pairs
-                .iter()
-                .map(|p| (p.a.0, p.b.0))
-                .collect();
-        assert_eq!(serial, parallel, "{scheme:?}");
+        assert_bit_identical(
+            &parallel_wep(&cleaned, scheme, &engine),
+            &prune::wep(&graph, scheme),
+            &format!("edge-based wep/{scheme:?}"),
+        );
     }
 }
 
@@ -51,19 +139,57 @@ fn parallel_cnp_reciprocal_variants_match_serial() {
     let graph = BlockingGraph::build(&blocks);
     let engine = Engine::new(3);
     for reciprocal in [false, true] {
-        let serial: std::collections::BTreeSet<(u32, u32)> =
-            prune::cnp(&graph, WeightingScheme::Ecbs, reciprocal, Some(4))
-                .pairs
-                .iter()
-                .map(|p| (p.a.0, p.b.0))
-                .collect();
-        let parallel: std::collections::BTreeSet<(u32, u32)> =
-            parallel_cnp(&blocks, WeightingScheme::Ecbs, reciprocal, Some(4), &engine)
-                .pairs
-                .iter()
-                .map(|p| (p.a.0, p.b.0))
-                .collect();
-        assert_eq!(serial, parallel, "reciprocal={reciprocal}");
+        assert_bit_identical(
+            &parallel_cnp(&blocks, WeightingScheme::Ecbs, reciprocal, Some(4), &engine),
+            &prune::cnp(&graph, WeightingScheme::Ecbs, reciprocal, Some(4)),
+            &format!("edge-based cnp/r={reciprocal}"),
+        );
+    }
+}
+
+/// The entity-partitioned strategy's whole point: its shuffle volume is
+/// bounded by the entity count, not the pair-occurrence count.
+#[test]
+fn entity_based_shuffle_volume_is_per_entity_not_per_occurrence() {
+    let world = generate(&profiles::center_dense(200, 41));
+    let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    let engine = Engine::new(4);
+    let (_, edge_stats) =
+        parallel::parallel_edge_weights_with_stats(&blocks, WeightingScheme::Arcs, &engine);
+    for (label, report) in [
+        (
+            "wnp",
+            parallel::wnp_with_report(&blocks, WeightingScheme::Arcs, false, &engine).1,
+        ),
+        (
+            "wep",
+            parallel::wep_with_report(&blocks, WeightingScheme::Arcs, &engine).1,
+        ),
+        (
+            "cep",
+            parallel::cep_with_report(&blocks, WeightingScheme::Arcs, Some(50), &engine).1,
+        ),
+    ] {
+        for (job, stats) in &report.jobs {
+            // The vote-combination job shuffles the (small) kept set; every
+            // other job is bounded by one record per entity neighbourhood.
+            if job.ends_with("votes") {
+                continue;
+            }
+            assert!(
+                stats.intermediate_pairs <= blocks.num_entities(),
+                "{label}/{job}: weighting jobs shuffle at most one record per entity \
+                 ({} vs {} entities)",
+                stats.intermediate_pairs,
+                blocks.num_entities()
+            );
+        }
+        assert!(
+            report.shuffled_records() < edge_stats.intermediate_pairs,
+            "{label}: {} entity-based records vs {} per-occurrence records",
+            report.shuffled_records(),
+            edge_stats.intermediate_pairs
+        );
     }
 }
 

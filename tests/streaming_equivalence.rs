@@ -10,26 +10,8 @@ use minoan::metablocking::{blast, prune, streaming, BlockingGraph, StreamingOpti
 use minoan::prelude::*;
 use proptest::prelude::*;
 
-fn assert_bit_identical(
-    stream: &minoan::metablocking::PrunedComparisons,
-    matr: &minoan::metablocking::PrunedComparisons,
-    label: &str,
-) {
-    assert_eq!(stream.input_edges, matr.input_edges, "{label}: input_edges");
-    assert_eq!(stream.pairs.len(), matr.pairs.len(), "{label}: kept count");
-    for (s, m) in stream.pairs.iter().zip(&matr.pairs) {
-        assert_eq!((s.a, s.b), (m.a, m.b), "{label}: pair order");
-        assert_eq!(
-            s.weight.to_bits(),
-            m.weight.to_bits(),
-            "{label}: weight bits differ for ({:?},{:?}): {} vs {}",
-            s.a,
-            s.b,
-            s.weight,
-            m.weight
-        );
-    }
-}
+mod common;
+use common::assert_bit_identical;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
