@@ -22,7 +22,7 @@ use minoan_common::FxHashMap;
 use minoan_datagen::{generate, profiles};
 use minoan_mapreduce::Engine;
 use minoan_metablocking::{
-    parallel, prune, streaming, BlockingGraph, StreamingOptions, WeightingScheme,
+    parallel, prune, streaming, BlockingGraph, Pruning, Session, StreamingOptions, WeightingScheme,
 };
 use minoan_rdf::EntityId;
 use std::hint::black_box;
@@ -70,6 +70,25 @@ fn bench_metablocking(c: &mut Criterion) {
     });
     group.bench_function("cep/ecbs-streaming", |b| {
         b.iter(|| black_box(streaming::cep(&cleaned, WeightingScheme::Ecbs, None)));
+    });
+    // The session API's reason to exist: sweeping all five schemes reuses
+    // the shared state instead of rebuilding it per scheme.
+    group.bench_function("sweep5-wnp/session", |b| {
+        b.iter(|| {
+            let mut session = Session::new(&cleaned);
+            session.pruning(Pruning::Wnp { reciprocal: false });
+            for scheme in WeightingScheme::ALL {
+                black_box(session.scheme(scheme).run());
+            }
+        });
+    });
+    group.bench_function("sweep5-wnp/rebuild", |b| {
+        b.iter(|| {
+            for scheme in WeightingScheme::ALL {
+                let g = BlockingGraph::build(&cleaned);
+                black_box(prune::wnp(&g, scheme, false));
+            }
+        });
     });
     group.finish();
 }
@@ -303,6 +322,64 @@ fn bench_scaling(_c: &mut Criterion) {
                         None,
                         &StreamingOptions::with_threads(threads),
                     )
+                },
+                reps,
+            ),
+        );
+
+        // Scheme-sweep row family: all five schemes × WNP through one
+        // Session (shared CSR build / sweep state) vs the pre-session
+        // shape (rebuild the shared state per scheme). Same pruned
+        // output, different amount of rebuilt state.
+        rec(
+            "sweep5-wnp/materialized-session",
+            time(
+                || {
+                    let mut session = Session::new(&cleaned);
+                    session.pruning(Pruning::Wnp { reciprocal: false });
+                    for scheme in WeightingScheme::ALL {
+                        black_box(session.scheme(scheme).run());
+                    }
+                },
+                reps,
+            ),
+        );
+        rec(
+            "sweep5-wnp/materialized-rebuild",
+            time(
+                || {
+                    for scheme in WeightingScheme::ALL {
+                        let g = BlockingGraph::build(&cleaned);
+                        black_box(prune::wnp(&g, scheme, false));
+                    }
+                },
+                reps,
+            ),
+        );
+        rec(
+            "sweep5-wnp/streaming-session",
+            time(
+                || {
+                    let mut session = Session::new(&cleaned);
+                    session
+                        .backend(minoan_metablocking::ExecutionBackend::Streaming)
+                        .workers(threads)
+                        .pruning(Pruning::Wnp { reciprocal: false });
+                    for scheme in WeightingScheme::ALL {
+                        black_box(session.scheme(scheme).run());
+                    }
+                },
+                reps,
+            ),
+        );
+        rec(
+            "sweep5-wnp/streaming-rebuild",
+            time(
+                || {
+                    let opts = StreamingOptions::with_threads(threads);
+                    for scheme in WeightingScheme::ALL {
+                        black_box(streaming::wnp_with(&cleaned, scheme, false, &opts));
+                    }
                 },
                 reps,
             ),

@@ -13,7 +13,7 @@ use minoan_er::{
 use minoan_eval::report::fmt3;
 use minoan_eval::{metrics, progressive, Table};
 use minoan_mapreduce::Engine;
-use minoan_metablocking::{prune, BlockingGraph, WeightingScheme};
+use minoan_metablocking::{Pruning, Session, WeightingScheme};
 use minoan_rdf::EntityId;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -37,12 +37,11 @@ pub fn candidate_pairs_public(
 fn candidate_pairs(world: &GeneratedWorld, mode: ErMode) -> Vec<(EntityId, EntityId, f64)> {
     let blocks = builders::token_and_uri_blocking(&world.dataset, mode);
     let cleaned = filter::filter(&purge::purge(&blocks).collection);
-    let graph = BlockingGraph::build(&cleaned);
-    prune::wnp(&graph, WeightingScheme::Arcs, false)
-        .pairs
-        .into_iter()
-        .map(|p| (p.a, p.b, p.weight))
-        .collect()
+    Session::new(&cleaned)
+        .scheme(WeightingScheme::Arcs)
+        .pruning(Pruning::Wnp { reciprocal: false })
+        .run()
+        .into_candidates()
 }
 
 fn resolve(
@@ -122,34 +121,42 @@ pub fn exp3_metablocking(scale: usize, seed: u64) -> String {
     let world = generate(&profiles::center_dense(scale, seed));
     let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
     let cleaned = filter::filter(&purge::purge(&blocks).collection);
-    let graph = BlockingGraph::build(&cleaned);
+    // One session for the whole grid: the CSR graph is built once and
+    // every scheme × pruning cell reuses it.
+    let mut session = Session::new(&cleaned);
+    let graph = session.graph();
+    let num_edges = graph.num_edges();
     let base_pairs: Vec<(EntityId, EntityId)> = graph.edges().iter().map(|e| (e.a, e.b)).collect();
     let base_q = metrics::blocking_quality(&world.dataset, &world.truth, &base_pairs);
 
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "E3: meta-blocking grid on center_dense({scale}) — blocking graph: {} edges, PC {}\n",
-        graph.num_edges(),
+        "E3: meta-blocking grid on center_dense({scale}) — blocking graph: {num_edges} edges, PC {}\n",
         fmt3(base_q.pc)
     );
     let mut table = Table::new(vec!["pruning", "scheme", "kept", "retention", "PC", "PQ"]);
-    type Pruner<'g> =
-        Box<dyn Fn(&BlockingGraph, WeightingScheme) -> minoan_metablocking::PrunedComparisons + 'g>;
-    let pruners: Vec<(&str, Pruner)> = vec![
-        ("WEP", Box::new(prune::wep)),
-        ("CEP", Box::new(|g, s| prune::cep(g, s, None))),
-        ("WNP", Box::new(|g, s| prune::wnp(g, s, false))),
-        ("CNP", Box::new(|g, s| prune::cnp(g, s, false, None))),
-        ("WNP-recip", Box::new(|g, s| prune::wnp(g, s, true))),
+    let pruners: [(&str, Pruning); 5] = [
+        ("WEP", Pruning::Wep),
+        ("CEP", Pruning::Cep(None)),
+        ("WNP", Pruning::Wnp { reciprocal: false }),
+        (
+            "CNP",
+            Pruning::Cnp {
+                reciprocal: false,
+                k: None,
+            },
+        ),
+        ("WNP-recip", Pruning::Wnp { reciprocal: true }),
     ];
-    for (pname, pruner) in &pruners {
+    for (pname, pruning) in pruners {
+        session.pruning(pruning);
         for scheme in WeightingScheme::ALL {
-            let pruned = pruner(&graph, scheme);
-            let pairs: Vec<_> = pruned.pairs.iter().map(|p| (p.a, p.b)).collect();
+            let pruned = session.scheme(scheme).run();
+            let pairs: Vec<_> = pruned.pairs().iter().map(|p| (p.a, p.b)).collect();
             let q = metrics::blocking_quality(&world.dataset, &world.truth, &pairs);
             table.row(vec![
-                (*pname).into(),
+                pname.into(),
                 scheme.name().into(),
                 pairs.len().to_string(),
                 fmt3(pruned.retention()),

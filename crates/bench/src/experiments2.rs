@@ -15,8 +15,7 @@ use minoan_er::{
 use minoan_eval::report::fmt3;
 use minoan_eval::{metrics, plot, Table};
 use minoan_metablocking::{
-    blast, prune, supervised, BlockingGraph, FeatureExtractor, Perceptron, TrainingSet,
-    WeightingScheme,
+    blast, FeatureExtractor, Perceptron, Pruning, Session, TrainingSet, WeightingScheme,
 };
 use minoan_rdf::EntityId;
 use std::fmt::Write as _;
@@ -95,53 +94,64 @@ pub fn exp10_metablocking_extensions(scale: usize, seed: u64) -> String {
         minoan_blocking::builders::token_and_uri_blocking(&world.dataset, ErMode::CleanClean);
     let cleaned =
         minoan_blocking::filter::filter(&minoan_blocking::purge::purge(&blocks).collection);
-    let graph = BlockingGraph::build(&cleaned);
+    // One session drives the whole pruner column — the graph (and, for
+    // the supervised row, the feature slab) is built once.
+    let mut session = Session::new(&cleaned);
+    let num_edges = session.graph().num_edges();
+
+    // The supervised model still trains on the session's graph.
+    let model = {
+        let graph = session.graph();
+        let extractor = FeatureExtractor::fit(graph);
+        let train = TrainingSet::sample(
+            graph,
+            &extractor,
+            |a, b| world.truth.is_match(a, b),
+            50,
+            seed,
+        );
+        Perceptron::train(&train, 15)
+    };
 
     let mut table = Table::new(vec!["pruner", "kept", "retention", "PC", "PQ"]);
-    let mut record = |name: &str, pairs: Vec<(EntityId, EntityId)>| {
+    let mut rows: Vec<(String, Pruning, WeightingScheme)> = vec![(
+        "none (all edges)".into(),
+        Pruning::None,
+        WeightingScheme::Arcs,
+    )];
+    for scheme in [WeightingScheme::Cbs, WeightingScheme::Arcs] {
+        rows.push((format!("WEP/{}", scheme.name()), Pruning::Wep, scheme));
+        rows.push((
+            format!("WNP/{}", scheme.name()),
+            Pruning::Wnp { reciprocal: false },
+            scheme,
+        ));
+    }
+    rows.push((
+        "BLAST(chi2)".into(),
+        Pruning::Blast {
+            ratio: blast::DEFAULT_RATIO,
+        },
+        WeightingScheme::Arcs,
+    ));
+    rows.push((
+        "supervised(50/class)".into(),
+        Pruning::Supervised(model),
+        WeightingScheme::Arcs,
+    ));
+
+    for (name, pruning, scheme) in rows {
+        let out = session.scheme(scheme).pruning(pruning).run();
+        let pairs: Vec<(EntityId, EntityId)> = out.pairs().iter().map(|p| (p.a, p.b)).collect();
         let (pc, pq) = pair_quality(&world, &pairs);
         table.row(vec![
-            name.to_string(),
+            name,
             pairs.len().to_string(),
-            fmt3(pairs.len() as f64 / graph.num_edges().max(1) as f64),
+            fmt3(pairs.len() as f64 / num_edges.max(1) as f64),
             fmt3(pc),
             fmt3(pq),
         ]);
-    };
-
-    record(
-        "none (all edges)",
-        graph.edges().iter().map(|e| (e.a, e.b)).collect(),
-    );
-    for scheme in [WeightingScheme::Cbs, WeightingScheme::Arcs] {
-        let wep = prune::wep(&graph, scheme);
-        record(
-            &format!("WEP/{}", scheme.name()),
-            wep.pairs.iter().map(|p| (p.a, p.b)).collect(),
-        );
-        let wnp = prune::wnp(&graph, scheme, false);
-        record(
-            &format!("WNP/{}", scheme.name()),
-            wnp.pairs.iter().map(|p| (p.a, p.b)).collect(),
-        );
     }
-    let bl = blast::blast(&graph, blast::DEFAULT_RATIO);
-    record("BLAST(chi2)", bl.pairs.iter().map(|p| (p.a, p.b)).collect());
-
-    let extractor = FeatureExtractor::fit(&graph);
-    let train = TrainingSet::sample(
-        &graph,
-        &extractor,
-        |a, b| world.truth.is_match(a, b),
-        50,
-        seed,
-    );
-    let model = Perceptron::train(&train, 15);
-    let sup = supervised::supervised_prune(&graph, &model);
-    record(
-        "supervised(50/class)",
-        sup.pairs.iter().map(|p| (p.a, p.b)).collect(),
-    );
 
     format!("{table}")
 }

@@ -98,6 +98,7 @@ CLUSTERING  connected-components | center | merge-center | unique-mapping
 BLOCKING  token | uri-infix | token+uri | attr-clustering | qgrams |
           sorted-neighborhood | minhash-lsh | canopy
 PRUNING   none | wep | cep | wnp | wnp-reciprocal | cnp | cnp-reciprocal
+          | blast
           (every method runs under every --backend, bit-identically;
           --workers pins the streaming/mapreduce parallelism)
 WEIGHTING cbs | ecbs | js | ejs | arcs
@@ -255,10 +256,11 @@ fn pruning_by_name(name: &str) -> Result<minoan_er::pipeline::PruningMethod, Cli
             reciprocal: true,
             k: None,
         },
+        "blast" => PruningMethod::blast(),
         other => {
             return Err(CliError(format!(
                 "unknown pruning method {other:?}; valid: none | wep | cep | wnp | \
-                 wnp-reciprocal | cnp | cnp-reciprocal"
+                 wnp-reciprocal | cnp | cnp-reciprocal | blast"
             )))
         }
     })
@@ -628,6 +630,7 @@ mod tests {
                 "wnp-reciprocal",
                 "cnp",
                 "cnp-reciprocal",
+                "blast",
             ] {
                 let out = run_str(&format!(
                     "eval --profile center --entities 80 --seed 19 \
@@ -639,6 +642,32 @@ mod tests {
         }
         assert!(run_str("eval --profile center --pruning bogus").is_err());
         assert!(run_str("eval --profile center --weighting bogus").is_err());
+    }
+
+    #[test]
+    fn unknown_pruning_lists_blast_among_valid_spellings() {
+        let err =
+            run_str("eval --profile center --entities 40 --seed 1 --pruning bogus").unwrap_err();
+        assert!(
+            err.0.contains("blast") && err.0.contains("cnp-reciprocal"),
+            "error must list the valid spellings incl. blast, got: {}",
+            err.0
+        );
+    }
+
+    #[test]
+    fn blast_pruning_matches_across_backends_from_the_cli() {
+        let base =
+            run_str("eval --profile center --entities 100 --seed 27 --pruning blast").unwrap();
+        assert!(base.contains("precision"), "{base}");
+        for backend in ["streaming", "mapreduce"] {
+            let other = run_str(&format!(
+                "eval --profile center --entities 100 --seed 27 --pruning blast \
+                 --backend {backend} --workers 3"
+            ))
+            .unwrap();
+            assert_eq!(base, other, "{backend}");
+        }
     }
 
     #[test]

@@ -8,10 +8,7 @@
 use crate::engine::{ProgressiveResolver, Resolution, ResolverConfig};
 use crate::matcher::{Matcher, MatcherConfig};
 use minoan_blocking::{builders, filter, purge, BlockCollection, ErMode};
-use minoan_mapreduce::Engine;
-use minoan_metablocking::{
-    parallel, prune, streaming, BlockingGraph, ExecutionBackend, StreamingOptions, WeightingScheme,
-};
+use minoan_metablocking::{ExecutionBackend, Session, WeightingScheme};
 use minoan_rdf::{Dataset, EntityId};
 
 /// Which blocking-key extractor to use.
@@ -33,28 +30,11 @@ pub enum BlockingMethod {
     Custom(minoan_blocking::Method),
 }
 
-/// Which meta-blocking pruning algorithm to run.
-#[derive(Clone, Copy, Debug, PartialEq)]
-pub enum PruningMethod {
-    /// No pruning: all blocking-graph edges become candidates.
-    None,
-    /// Weighted edge pruning.
-    Wep,
-    /// Cardinality edge pruning (global top-k; `None` = literature default).
-    Cep(Option<usize>),
-    /// Weighted node pruning; `reciprocal` = intersection variant.
-    Wnp {
-        /// Both endpoints must retain the edge.
-        reciprocal: bool,
-    },
-    /// Cardinality node pruning; per-node `k` (`None` = default).
-    Cnp {
-        /// Both endpoints must retain the edge.
-        reciprocal: bool,
-        /// Per-node cardinality override.
-        k: Option<usize>,
-    },
-}
+/// Which meta-blocking pruning algorithm to run — re-exported from
+/// [`minoan_metablocking::Pruning`], so the pipeline config speaks the
+/// session's language directly (the historical variants are unchanged;
+/// `Blast` and `Supervised` extend the catalogue).
+pub use minoan_metablocking::Pruning as PruningMethod;
 
 /// Full pipeline configuration.
 #[derive(Clone, Debug)]
@@ -164,83 +144,31 @@ impl Pipeline {
         }
     }
 
+    /// Opens a configured [`Session`] over `blocks` — the meta-blocking
+    /// entry point everything in the pipeline (and the experiment
+    /// harnesses) goes through. Callers that sweep several schemes or
+    /// pruning families should hold on to the session so its shared
+    /// state (CSR graph, sweep scratch) is built once.
+    pub fn meta_block_session<'b>(&self, blocks: &'b BlockCollection) -> Session<'b> {
+        let mut session = Session::new(blocks);
+        session
+            .scheme(self.config.weighting)
+            .pruning(self.config.pruning)
+            .backend(self.config.backend);
+        if let Some(w) = self.config.workers {
+            session.workers(w);
+        }
+        session
+    }
+
     /// Runs meta-blocking, returning weighted candidates.
     ///
-    /// Every backend drives every [`PruningMethod`] natively — there is
-    /// deliberately no fall-through to [`BlockingGraph::build`] from the
-    /// streaming or MapReduce arms, and the three backends produce
-    /// bit-identical candidates.
+    /// Every backend drives every [`PruningMethod`] natively through the
+    /// [`Session`] — there is deliberately no fall-through to the
+    /// materialised graph from the streaming or MapReduce arms, and the
+    /// three backends produce bit-identical candidates.
     pub fn meta_block(&self, blocks: &BlockCollection) -> Vec<(EntityId, EntityId, f64)> {
-        let scheme = self.config.weighting;
-        let pruned = match self.config.backend {
-            ExecutionBackend::Streaming => {
-                let opts = match self.config.workers {
-                    Some(w) => StreamingOptions::with_threads(w),
-                    None => StreamingOptions::default(),
-                };
-                match self.config.pruning {
-                    PruningMethod::None => {
-                        return streaming::weighted_edges_with(blocks, scheme, &opts)
-                            .into_iter()
-                            .map(|p| (p.a, p.b, p.weight))
-                            .collect();
-                    }
-                    PruningMethod::Wep => streaming::wep_with(blocks, scheme, &opts),
-                    PruningMethod::Cep(k) => streaming::cep_with(blocks, scheme, k, &opts),
-                    PruningMethod::Wnp { reciprocal } => {
-                        streaming::wnp_with(blocks, scheme, reciprocal, &opts)
-                    }
-                    PruningMethod::Cnp { reciprocal, k } => {
-                        streaming::cnp_with(blocks, scheme, reciprocal, k, &opts)
-                    }
-                }
-            }
-            ExecutionBackend::MapReduce => {
-                let engine = match self.config.workers {
-                    Some(w) => Engine::new(w),
-                    None => Engine::default(),
-                };
-                match self.config.pruning {
-                    PruningMethod::None => {
-                        return parallel::weighted_edges(blocks, scheme, &engine)
-                            .into_iter()
-                            .map(|p| (p.a, p.b, p.weight))
-                            .collect();
-                    }
-                    PruningMethod::Wep => parallel::wep(blocks, scheme, &engine),
-                    PruningMethod::Cep(k) => parallel::cep(blocks, scheme, k, &engine),
-                    PruningMethod::Wnp { reciprocal } => {
-                        parallel::wnp(blocks, scheme, reciprocal, &engine)
-                    }
-                    PruningMethod::Cnp { reciprocal, k } => {
-                        parallel::cnp(blocks, scheme, reciprocal, k, &engine)
-                    }
-                }
-            }
-            ExecutionBackend::Materialized => {
-                let graph = BlockingGraph::build(blocks);
-                match self.config.pruning {
-                    PruningMethod::None => {
-                        return graph
-                            .edges()
-                            .iter()
-                            .map(|e| (e.a, e.b, scheme.weight(&graph, e)))
-                            .collect();
-                    }
-                    PruningMethod::Wep => prune::wep(&graph, scheme),
-                    PruningMethod::Cep(k) => prune::cep(&graph, scheme, k),
-                    PruningMethod::Wnp { reciprocal } => prune::wnp(&graph, scheme, reciprocal),
-                    PruningMethod::Cnp { reciprocal, k } => {
-                        prune::cnp(&graph, scheme, reciprocal, k)
-                    }
-                }
-            }
-        };
-        pruned
-            .pairs
-            .into_iter()
-            .map(|p| (p.a, p.b, p.weight))
-            .collect()
+        self.meta_block_session(blocks).run().into_candidates()
     }
 
     /// Runs the full pipeline on `dataset`.
@@ -321,6 +249,7 @@ mod tests {
                 reciprocal: false,
                 k: None,
             },
+            PruningMethod::blast(),
         ] {
             let cfg = PipelineConfig {
                 pruning,
@@ -401,6 +330,7 @@ mod tests {
                     reciprocal: false,
                     k: Some(2),
                 },
+                PruningMethod::blast(),
             ] {
                 let base = PipelineConfig {
                     pruning,
@@ -427,6 +357,34 @@ mod tests {
                         );
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn supervised_pruning_runs_through_the_pipeline_on_every_backend() {
+        use minoan_metablocking::{BlockingGraph, FeatureExtractor, Perceptron, TrainingSet};
+        let g = generate(&profiles::center_dense(100, 21));
+        let base = Pipeline::new(PipelineConfig::default());
+        let blocks = base.clean_blocks(base.block(&g.dataset));
+        let graph = BlockingGraph::build(&blocks);
+        let extractor = FeatureExtractor::fit(&graph);
+        let set = TrainingSet::sample(&graph, &extractor, |a, b| g.truth.is_match(a, b), 40, 11);
+        let model = Perceptron::train(&set, 12);
+        let cfg = |backend| PipelineConfig {
+            pruning: PruningMethod::Supervised(model),
+            backend,
+            workers: Some(3),
+            ..Default::default()
+        };
+        let m = Pipeline::new(cfg(ExecutionBackend::Materialized)).meta_block(&blocks);
+        assert!(!m.is_empty(), "supervised pruning kept nothing");
+        for backend in [ExecutionBackend::Streaming, ExecutionBackend::MapReduce] {
+            let s = Pipeline::new(cfg(backend)).meta_block(&blocks);
+            assert_eq!(m.len(), s.len(), "{backend:?}");
+            for (x, y) in m.iter().zip(&s) {
+                assert_eq!((x.0, x.1), (y.0, y.1), "{backend:?}");
+                assert_eq!(x.2.to_bits(), y.2.to_bits(), "{backend:?}: weight bits");
             }
         }
     }

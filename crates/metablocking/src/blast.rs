@@ -88,6 +88,7 @@ pub fn chi_square_weights(graph: &BlockingGraph) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics unless `0 < ratio ≤ 1`.
+#[doc(hidden)]
 pub fn blast(graph: &BlockingGraph, ratio: f64) -> PrunedComparisons {
     assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
     let weights = chi_square_weights(graph);

@@ -16,7 +16,9 @@
 //!   in normalised `(smaller, larger)` endpoint order.
 //! * `WeightGlobals` (crate-internal) — the per-collection aggregates a
 //!   sweep-based backend needs before it can weight an edge (`|B_i|`,
-//!   `|B|`, and — for EJS — node degrees and `|V|`).
+//!   `|B|`, and — for EJS — node degrees and `|V|`). Owned and cached
+//!   across runs by [`Session`](crate::Session)'s sweep state, so a
+//!   scheme sweep computes them once.
 //! * Crate-internal sweep-side helpers (`edge_weight`, `forward_weight`,
 //!   `neighbour_weights`, `combine_votes`) shared by the streaming and
 //!   MapReduce paths, which both reconstruct a node's incident statistics

@@ -6,42 +6,92 @@
 //! meta-blocking aims at discarding comparisons between descriptions that
 //! share few common blocks and are thus less likely to match" (paper §1).
 //!
+//! # One entry point: [`Session`]
+//!
+//! The paper's contribution is a *family* of strategies meant to be swept
+//! and compared — five weighting schemes ([`WeightingScheme`]) × six
+//! pruning families ([`Pruning`]: none, WEP, CEP, WNP, CNP, BLAST, plus
+//! the supervised perceptron pruner) × three execution backends
+//! ([`ExecutionBackend`]). A [`Session`] exposes the whole matrix behind
+//! one builder-style call chain and returns one unified [`PruneOutcome`]
+//! for every combination:
+//!
+//! ```
+//! use minoan_datagen::{generate, profiles};
+//! use minoan_blocking::{builders, ErMode};
+//! use minoan_metablocking::{ExecutionBackend, Pruning, Session, WeightingScheme};
+//!
+//! let g = generate(&profiles::center_dense(120, 3));
+//! let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
+//!
+//! let outcome = Session::new(&blocks)
+//!     .scheme(WeightingScheme::Arcs)
+//!     .pruning(Pruning::Wnp { reciprocal: false })
+//!     .backend(ExecutionBackend::Streaming)
+//!     .workers(4)
+//!     .run();
+//! assert!(outcome.retention() < 1.0, "WNP must prune something");
+//! ```
+//!
+//! Crucially the session *owns the expensive shared state* — the CSR
+//! [`BlockingGraph`] and supervised feature slab for the materialised
+//! backend, the sweep ranges / weight globals / scratch pool for the
+//! streaming and MapReduce backends — and reuses it across runs, so a
+//! sweep over all five schemes costs one CSR build (or one scratch
+//! allocation), not five:
+//!
+//! ```
+//! # use minoan_datagen::{generate, profiles};
+//! # use minoan_blocking::{builders, ErMode};
+//! # use minoan_metablocking::{Pruning, Session, WeightingScheme};
+//! # let g = generate(&profiles::center_dense(100, 7));
+//! # let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
+//! let mut session = Session::new(&blocks);
+//! session.pruning(Pruning::Cnp { reciprocal: false, k: None });
+//! for scheme in WeightingScheme::ALL {
+//!     let outcome = session.scheme(scheme).run();   // graph built once
+//!     assert!(!outcome.pairs().is_empty());
+//! }
+//! ```
+//!
 //! # Execution backends
 //!
-//! Meta-blocking is the pipeline's hot path, and this crate offers three
-//! ways to run it, selected by [`ExecutionBackend`]:
+//! Meta-blocking is the pipeline's hot path, and every session runs on
+//! one of three backends, selected by [`ExecutionBackend`]:
 //!
 //! * **Materialised** — build the [`BlockingGraph`] first, then prune it.
 //!   The graph lives in flat CSR slabs (edge records sorted by pair, plus
 //!   `offsets`/`edge-index` adjacency arrays); construction is a two-pass
 //!   counting sort over node-centric sweeps, parallelised over entity
 //!   ranges with scoped threads, with no hash map anywhere. The choice
-//!   for anything that needs random access to the whole edge set (e.g.
-//!   the supervised feature extractor) or reuses one graph across many
-//!   pruning runs.
+//!   for anything that needs random access to the whole edge set or
+//!   reuses one graph across many pruning runs.
 //! * **Streaming** — *every* pruning family runs without the global edge
 //!   slab: [`streaming`] sweeps the collection entity by entity,
 //!   reconstructing each node's incident statistics in dense epoch-reset
 //!   accumulators, and emits only the kept pairs. The node-centric
-//!   algorithms (WNP, CNP, BLAST) prune per neighbourhood; the
-//!   edge-centric ones reduce their single global criterion
-//!   deterministically — WEP via a fixed-shape pairwise mean, CEP via
-//!   per-thread bounded top-k heaps merged under a strict total order.
+//!   algorithms (WNP, CNP, BLAST) prune per neighbourhood; the global
+//!   criteria reduce deterministically — WEP via a fixed-shape pairwise
+//!   mean, CEP via per-thread bounded top-k heaps merged under a strict
+//!   total order, the supervised feature maxima via exact f64 `max`.
 //! * **MapReduce** — the paper's distributed formulation (reference
 //!   \[4\]) on [`minoan_mapreduce`]: [`parallel`] runs every pruning
 //!   family as *entity-partitioned* jobs that map over entity ranges,
 //!   rebuild each node's weighted neighbourhood with the same sweep
 //!   kernel, and apply the pruning criterion reducer-side — shuffling at
 //!   most one record per entity neighbourhood instead of one per pair
-//!   occurrence (the edge-based strategy, kept as a baseline).
+//!   occurrence (the edge-based strategy, kept as a baseline). These runs
+//!   also fill [`PruneOutcome::report`] with per-job [`JobReport`] stats.
 //!
 //! Output is bit-identical across all three backends for every method,
 //! scheme, variant, thread count and worker count (enforced by property
-//! tests); every f64 weight is computed through the single
-//! [`kernel::weight_from_stats`] body.
+//! tests), and session-state reuse never changes a bit either
+//! (`tests/session_reuse.rs`); every f64 weight is computed through the
+//! single [`kernel::weight_from_stats`] body.
 //!
 //! # Modules
 //!
+//! * [`session`] — the [`Session`] entry point described above.
 //! * [`graph`] — the CSR blocking graph: one node per description, one
 //!   edge per *distinct* comparable pair, annotated with co-occurrence
 //!   statistics.
@@ -49,58 +99,48 @@
 //!   backends compute through.
 //! * [`weights`] — the five standard edge-weighting schemes (CBS, ECBS,
 //!   JS, EJS, ARCS).
-//! * [`prune`] — the four pruning algorithms over a built graph:
-//!   weight-based (WEP, WNP) and cardinality-based (CEP, CNP), with
-//!   redundancy (union) and reciprocal (intersection) variants of the
-//!   node-centric ones.
-//! * [`streaming`] — the on-the-fly WEP/CEP/WNP/CNP/BLAST described
-//!   above.
+//! * [`prune`] — the materialised pruning bodies over a built graph,
+//!   plus the output type [`PrunedComparisons`] and the default-k
+//!   helpers.
+//! * [`streaming`] — the on-the-fly backend described above.
 //! * [`blast`](mod@blast) — BLAST's χ² weighting with loose per-node
 //!   pruning.
 //! * [`parallel`] — the MapReduce formulations of reference \[4\]
 //!   (entity-based and edge-based strategies) on [`minoan_mapreduce`].
-//! * [`supervised`] — perceptron-based supervised meta-blocking.
+//! * [`supervised`] — perceptron-based supervised meta-blocking
+//!   (training, features, batched extraction).
+//! * [`probe`] — build/allocation counters backing the state-reuse
+//!   assertions.
 //!
-//! # Example
-//!
-//! ```
-//! use minoan_datagen::{generate, profiles};
-//! use minoan_blocking::{builders, ErMode};
-//! use minoan_metablocking::{parallel, streaming, BlockingGraph, WeightingScheme, prune};
-//! use minoan_mapreduce::Engine;
-//!
-//! let g = generate(&profiles::center_dense(120, 3));
-//! let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
-//!
-//! // Materialised: build the CSR graph, then prune.
-//! let graph = BlockingGraph::build(&blocks);
-//! let pruned = prune::wnp(&graph, WeightingScheme::Arcs, false);
-//!
-//! // Streaming: same result, no graph materialisation.
-//! let streamed = streaming::wnp(&blocks, WeightingScheme::Arcs, false);
-//! assert_eq!(pruned.pairs.len(), streamed.pairs.len());
-//!
-//! // MapReduce (entity-partitioned): same result again, on 4 workers.
-//! let mapped = parallel::wnp(&blocks, WeightingScheme::Arcs, false, &Engine::new(4));
-//! assert_eq!(pruned.pairs.len(), mapped.pairs.len());
-//! ```
+//! The per-backend free functions that predate the session
+//! (`prune::wnp`, `streaming::cep`, `parallel::wep_with_report`, …) still
+//! exist as `#[doc(hidden)]` shims over the session bodies: the
+//! cross-backend equivalence suites pin bit-identity against them, but
+//! new code should go through [`Session`].
 
 pub mod blast;
 pub mod graph;
 pub mod kernel;
 pub mod parallel;
+pub mod probe;
 pub mod prune;
+pub mod session;
 pub mod streaming;
 pub mod supervised;
 mod sweep;
 pub mod weights;
 
-pub use blast::{blast, chi_square_weight, chi_square_weights};
+#[doc(hidden)]
+pub use blast::blast;
+pub use blast::{chi_square_weight, chi_square_weights};
 pub use graph::{BlockingGraph, Edge};
 pub use parallel::JobReport;
 pub use prune::{PrunedComparisons, WeightedPair};
+pub use session::{PruneOutcome, Pruning, Session};
 pub use streaming::StreamingOptions;
-pub use supervised::{supervised_prune, EdgeFeatures, FeatureExtractor, Perceptron, TrainingSet};
+#[doc(hidden)]
+pub use supervised::supervised_prune;
+pub use supervised::{EdgeFeatures, FeatureExtractor, Perceptron, TrainingSet};
 pub use weights::WeightingScheme;
 
 /// Which execution path meta-blocking runs on.

@@ -1,47 +1,55 @@
-//! Parallel meta-blocking on the MapReduce substrate (reference \[4\]).
+//! Parallel meta-blocking on the MapReduce substrate (reference \[4\]) —
+//! the MapReduce arm of [`Session`](crate::Session).
 //!
 //! Both of the paper's strategies are reproduced, and they differ in what
 //! gets shuffled:
 //!
-//! * **edge-based** ([`parallel_edge_weights`], [`parallel_wep`],
-//!   [`parallel_cnp`]): map over *blocks* emitting one record per
+//! * **edge-based** ([`parallel_edge_weights`], plus `parallel_wep` /
+//!   `parallel_cnp`): map over *blocks* emitting one record per
 //!   comparison occurrence keyed by the pair; the reducer aggregates each
 //!   pair's co-occurrence statistics (CBS count, ARCS sum) so every edge
 //!   weight is computed exactly once — the repeated-comparison
 //!   elimination happens in the shuffle. Shuffle volume:
 //!   `Σ_b ‖b‖` records — one per pair *occurrence*, which on token
 //!   blocking is typically an order of magnitude above the distinct-edge
-//!   count `|V|`.
-//! * **entity-based** ([`wnp`], [`cnp`], [`wep`], [`cep`], [`blast`],
-//!   [`weighted_edges`]): map over contiguous *entity ranges*, run the
-//!   node-centric sweep kernel locally (the same epoch-reset
-//!   `SweepScratch` the streaming backend uses) to rebuild each node's
+//!   count `|V|`. Kept as the measured baseline.
+//! * **entity-based** (everything the session dispatches here): map over
+//!   contiguous *entity ranges*, run the node-centric sweep kernel
+//!   locally (the same epoch-reset scratch the streaming backend uses,
+//!   drawn from the session's shared pool) to rebuild each node's
 //!   weighted neighbourhood, and emit **at most one record per entity
 //!   neighbourhood** keyed by the entity; the reducer applies the pruning
 //!   criterion to the neighbourhood it owns. Where the criterion permits,
 //!   the fold happens map-side and the shuffled record shrinks further:
-//!   WEP's sum job ships one scalar per entity, CEP one bounded top-k per
-//!   map split. Shuffle volume: at most `|E|` records (entities with ≥ 1
-//!   neighbour) for the weighting job plus at most `2·|kept|` tiny
-//!   records for the node-centric vote job — per-occurrence shuffling
-//!   never happens, which is exactly why the paper prefers this strategy
-//!   at scale.
+//!   WEP's sum job ships one scalar per entity, CEP one bounded top-k and
+//!   the supervised maxima one 7-float vector per map split. Shuffle
+//!   volume: at most `|E|` records (entities with ≥ 1 neighbour) for the
+//!   weighting job plus at most `2·|kept|` tiny records for the
+//!   node-centric vote job — per-occurrence shuffling never happens,
+//!   which is exactly why the paper prefers this strategy at scale.
 //!
 //! Every weight is computed through the shared
 //! [`kernel::weight_from_stats`] body and every global criterion through
 //! the same deterministic reductions as the other backends (WEP's
 //! fixed-shape pairwise mean over positive weights, the strict
-//! `(weight, Reverse(pair))` top-k total order), so results are
-//! **bit-identical** to both the
-//! materialised and streaming backends at *any* worker count —
+//! `(weight, Reverse(pair))` top-k total order, exact f64 `max` merges),
+//! so results are **bit-identical** to both the materialised and
+//! streaming backends at *any* worker count —
 //! `tests/parallel_consistency.rs` asserts the full scheme × family ×
-//! worker matrix, and each job returns its [`JobStats`] (via
-//! [`JobReport`]) so the shuffle-volume gap between the two strategies is
-//! measurable (`BENCH_metablocking.json` records it).
+//! worker matrix, and each run returns its per-job [`JobStats`] (via
+//! [`JobReport`], surfaced on
+//! [`PruneOutcome::report`](crate::PruneOutcome)) so the shuffle-volume
+//! gap between the two strategies is measurable
+//! (`BENCH_metablocking.json` records it).
+//!
+//! The per-family free functions are `#[doc(hidden)]` shims over the
+//! session bodies, kept so the equivalence suites pin bit-identity
+//! against the pre-session surface.
 
 use crate::kernel::{self, WeightGlobals};
 use crate::prune::{self, PrunedComparisons, WeightedPair};
-use crate::sweep::{entity_sweep_ranges, SweepScratch};
+use crate::supervised::{self, Perceptron, NUM_FEATURES};
+use crate::sweep::{ScratchPool, SweepScratch, SweepState};
 use crate::weights::WeightingScheme;
 use minoan_blocking::BlockCollection;
 use minoan_common::stats::mean;
@@ -105,38 +113,68 @@ fn pair_partitioner(n: usize) -> impl Fn(&(EntityId, EntityId), usize) -> usize 
     move |k: &(EntityId, EntityId), parts: usize| (k.0.index() * parts) / n
 }
 
-/// Map-input splits: cost-balanced contiguous entity ranges, a few per
-/// worker so the engine's greedy scheduler can smooth skew.
-fn map_splits(collection: &BlockCollection, engine: &Engine) -> Vec<std::ops::Range<usize>> {
-    entity_sweep_ranges(collection, engine.workers() * 4)
+/// The read-only context every entity-partitioned job maps with: the
+/// collection, the session-cached globals and scratch pool, and the
+/// cost-balanced map-input splits (a few per worker so the engine's
+/// greedy scheduler can smooth skew).
+struct JobCtx<'a> {
+    collection: &'a BlockCollection,
+    globals: &'a WeightGlobals,
+    pool: &'a ScratchPool,
+    splits: Vec<std::ops::Range<usize>>,
 }
 
-/// Runs the preprocessing (counting) job when `scheme` or the caller
-/// needs degree/|V|/active-node aggregates: one entity-partitioned job
-/// shuffling one `(entity, degree)` record per active entity.
-fn mapreduce_globals(
-    collection: &BlockCollection,
+impl<'a> JobCtx<'a> {
+    /// Borrows the session state for job execution; call after the
+    /// globals tier has been ensured.
+    fn new(st: &'a mut SweepState<'_>, engine: &Engine) -> Self {
+        let splits = st.ranges(engine.workers() * 4);
+        Self {
+            collection: st.collection,
+            globals: st.globals(),
+            pool: &st.pool,
+            splits,
+        }
+    }
+}
+
+/// Ensures the globals tier the run needs. The basic tier is free; the
+/// counted tier (degrees, |V|, active nodes) runs as one
+/// entity-partitioned counting job — shuffling one `(entity, degree)`
+/// record per active entity — unless the session already counted (in
+/// which case no job runs and no stats are reported).
+fn ensure_globals_job(
+    st: &mut SweepState<'_>,
     scheme: WeightingScheme,
     need_counts: bool,
     engine: &Engine,
     report: &mut JobReport,
-) -> WeightGlobals {
+) {
     if scheme != WeightingScheme::Ejs && !need_counts {
-        return WeightGlobals::basic(collection);
+        st.ensure_basic();
+        return;
     }
-    let n = collection.num_entities();
+    if st.is_counted() {
+        return;
+    }
+    st.ensure_basic();
+    let n = st.collection.num_entities();
+    let splits = st.ranges(engine.workers() * 4);
+    let collection = st.collection;
+    let pool = &st.pool;
     let result = engine.run_partitioned(
-        map_splits(collection, engine),
+        splits,
         entity_partitioner(n),
         |range, emit, _c| {
-            let mut scratch = SweepScratch::new(n);
-            for a in range.clone() {
-                scratch.sweep(collection, EntityId(a as u32));
-                let d = scratch.neighbours().len() as u32;
-                if d > 0 {
-                    emit(a as u32, d);
+            pool.with(|scratch| {
+                for a in range.clone() {
+                    scratch.sweep(collection, EntityId(a as u32));
+                    let d = scratch.neighbours().len() as u32;
+                    if d > 0 {
+                        emit(a as u32, d);
+                    }
                 }
-            }
+            })
         },
         |&a, degs, out, _c| out.push((a, degs[0])),
     );
@@ -145,15 +183,7 @@ fn mapreduce_globals(
     for &(a, d) in &result.output {
         degrees[a as usize] = d;
     }
-    let num_edges = degrees.iter().map(|&d| d as u64).sum::<u64>() as usize / 2;
-    let active_nodes = result.output.len();
-    WeightGlobals {
-        blocks_of: kernel::blocks_of(collection),
-        num_blocks: collection.len(),
-        degrees,
-        num_edges,
-        active_nodes,
-    }
+    st.apply_count(degrees);
 }
 
 /// The entity-partitioned weighting job shared by every entity-based
@@ -165,9 +195,8 @@ fn mapreduce_globals(
 /// the reduce output (ordered by entity key), the forward-edge count and
 /// the job stats.
 fn neighbourhood_job<O, R>(
-    collection: &BlockCollection,
+    cx: &JobCtx<'_>,
     scheme: WeightingScheme,
-    globals: &WeightGlobals,
     forward_only: bool,
     engine: &Engine,
     reduce: R,
@@ -176,45 +205,47 @@ where
     O: Send,
     R: Fn(u32, &[(u32, f64)], &mut Vec<O>) + Sync,
 {
+    let (collection, globals, pool) = (cx.collection, cx.globals, cx.pool);
     let n = collection.num_entities();
     let result = engine.run_partitioned(
-        map_splits(collection, engine),
+        cx.splits.clone(),
         entity_partitioner(n),
         |range, emit, c| {
-            let mut scratch = SweepScratch::new(n);
-            let mut weights: Vec<f64> = Vec::new();
-            for a in range.clone() {
-                let a = a as u32;
-                scratch.sweep(collection, EntityId(a));
-                if scratch.neighbours().is_empty() {
-                    continue;
+            pool.with(|scratch| {
+                let mut weights: Vec<f64> = Vec::new();
+                for a in range.clone() {
+                    let a = a as u32;
+                    scratch.sweep(collection, EntityId(a));
+                    if scratch.neighbours().is_empty() {
+                        continue;
+                    }
+                    let record: Vec<(u32, f64)> = if forward_only {
+                        scratch
+                            .neighbours()
+                            .iter()
+                            .filter(|&&y| y > a)
+                            .map(|&y| (y, kernel::forward_weight(scheme, scratch, a, y, globals)))
+                            .collect()
+                    } else {
+                        kernel::neighbour_weights(scheme, scratch, a, globals, &mut weights);
+                        scratch
+                            .neighbours()
+                            .iter()
+                            .copied()
+                            .zip(weights.iter().copied())
+                            .collect()
+                    };
+                    let fwd = if forward_only {
+                        record.len() as u64
+                    } else {
+                        record.iter().filter(|&&(y, _)| y > a).count() as u64
+                    };
+                    c.add(FWD_EDGES, fwd);
+                    if !record.is_empty() {
+                        emit(a, record);
+                    }
                 }
-                let record: Vec<(u32, f64)> = if forward_only {
-                    scratch
-                        .neighbours()
-                        .iter()
-                        .filter(|&&y| y > a)
-                        .map(|&y| (y, kernel::forward_weight(scheme, &scratch, a, y, globals)))
-                        .collect()
-                } else {
-                    kernel::neighbour_weights(scheme, &scratch, a, globals, &mut weights);
-                    scratch
-                        .neighbours()
-                        .iter()
-                        .copied()
-                        .zip(weights.iter().copied())
-                        .collect()
-                };
-                let fwd = if forward_only {
-                    record.len() as u64
-                } else {
-                    record.iter().filter(|&&(y, _)| y > a).count() as u64
-                };
-                c.add(FWD_EDGES, fwd);
-                if !record.is_empty() {
-                    emit(a, record);
-                }
-            }
+            })
         },
         |&a, neighbourhoods, out, _c| {
             // Exactly one neighbourhood record arrives per entity key.
@@ -266,8 +297,9 @@ fn input_edges_of(globals: &WeightGlobals, fwd: u64) -> usize {
     }
 }
 
-/// Entity-based Weighted Node Pruning — bit-identical to
-/// [`prune::wnp`] / [`crate::streaming::wnp`] at any worker count.
+/// Entity-based Weighted Node Pruning — bit-identical to the other
+/// backends at any worker count.
+#[doc(hidden)]
 pub fn wnp(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -278,39 +310,46 @@ pub fn wnp(
 }
 
 /// [`wnp`], also returning the per-job execution statistics.
+#[doc(hidden)]
 pub fn wnp_with_report(
     collection: &BlockCollection,
     scheme: WeightingScheme,
     reciprocal: bool,
     engine: &Engine,
 ) -> (PrunedComparisons, JobReport) {
+    wnp_session(&mut SweepState::new(collection), scheme, reciprocal, engine)
+}
+
+/// The session body of entity-based WNP.
+pub(crate) fn wnp_session(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
     let mut report = JobReport::default();
-    let globals = mapreduce_globals(collection, scheme, false, engine, &mut report);
-    let (kept, fwd, stats) = neighbourhood_job(
-        collection,
-        scheme,
-        &globals,
-        false,
-        engine,
-        |a, neigh, out| {
-            let ws: Vec<f64> = neigh.iter().map(|&(_, w)| w).collect();
-            let threshold = mean(&ws);
-            for &(y, w) in neigh {
-                if w >= threshold && w > 0.0 {
-                    out.push(kernel::normalised(a, y, w));
-                }
+    ensure_globals_job(st, scheme, false, engine, &mut report);
+    let cx = JobCtx::new(st, engine);
+    let (kept, fwd, stats) = neighbourhood_job(&cx, scheme, false, engine, |a, neigh, out| {
+        let ws: Vec<f64> = neigh.iter().map(|&(_, w)| w).collect();
+        let threshold = mean(&ws);
+        for &(y, w) in neigh {
+            if w >= threshold && w > 0.0 {
+                out.push(kernel::normalised(a, y, w));
             }
-        },
-    );
+        }
+    });
     report.push("wnp/neighbourhoods", stats);
-    let (pairs, vstats) = vote_job(kept, reciprocal, collection.num_entities(), engine);
+    let (pairs, vstats) = vote_job(kept, reciprocal, cx.collection.num_entities(), engine);
     report.push("wnp/votes", vstats);
-    let out = PrunedComparisons::from_weighted_pairs(pairs, scheme, input_edges_of(&globals, fwd));
+    let out =
+        PrunedComparisons::from_weighted_pairs(pairs, scheme, input_edges_of(cx.globals, fwd));
     (out, report)
 }
 
-/// Entity-based Cardinality Node Pruning — bit-identical to
-/// [`prune::cnp`] / [`crate::streaming::cnp`] at any worker count.
+/// Entity-based Cardinality Node Pruning — bit-identical to the other
+/// backends at any worker count.
+#[doc(hidden)]
 pub fn cnp(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -322,8 +361,26 @@ pub fn cnp(
 }
 
 /// [`cnp`], also returning the per-job execution statistics.
+#[doc(hidden)]
 pub fn cnp_with_report(
     collection: &BlockCollection,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    k: Option<usize>,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
+    cnp_session(
+        &mut SweepState::new(collection),
+        scheme,
+        reciprocal,
+        k,
+        engine,
+    )
+}
+
+/// The session body of entity-based CNP.
+pub(crate) fn cnp_session(
+    st: &mut SweepState<'_>,
     scheme: WeightingScheme,
     reciprocal: bool,
     k: Option<usize>,
@@ -332,62 +389,49 @@ pub fn cnp_with_report(
     let mut report = JobReport::default();
     // The default k needs the active-node count, which needs the counting
     // job anyway; EJS needs one for degrees.
-    let globals = mapreduce_globals(collection, scheme, k.is_none(), engine, &mut report);
+    ensure_globals_job(st, scheme, k.is_none(), engine, &mut report);
     let k = k.unwrap_or_else(|| {
-        prune::default_cnp_k_from(collection.total_assignments(), globals.active_nodes)
+        prune::default_cnp_k_from(st.collection.total_assignments(), st.globals().active_nodes)
     });
     if k == 0 {
         // Explicit zero cardinality: mirror `prune::cnp`'s guard, still
         // reporting the input-edge count.
-        let globals = if globals.degrees.is_empty() {
-            mapreduce_globals(collection, scheme, true, engine, &mut report)
-        } else {
-            globals
-        };
-        return (PrunedComparisons::empty(scheme, globals.num_edges), report);
+        ensure_globals_job(st, scheme, true, engine, &mut report);
+        return (
+            PrunedComparisons::empty(scheme, st.globals().num_edges),
+            report,
+        );
     }
-    let (kept, fwd, stats) = neighbourhood_job(
-        collection,
-        scheme,
-        &globals,
-        false,
-        engine,
-        |a, neigh, out| {
-            // Same selector the other backends use; tie-breaking by
-            // normalised pair is order-isomorphic to the edge index.
-            let mut top: TopK<(OrdF64, Reverse<(EntityId, EntityId)>)> = TopK::new(k);
-            for &(y, w) in neigh {
-                if w > 0.0 {
-                    let p = kernel::normalised(a, y, w);
-                    top.push((OrdF64(w), Reverse((p.a, p.b))));
-                }
+    let cx = JobCtx::new(st, engine);
+    let (kept, fwd, stats) = neighbourhood_job(&cx, scheme, false, engine, |a, neigh, out| {
+        // Same selector the other backends use; tie-breaking by
+        // normalised pair is order-isomorphic to the edge index.
+        let mut top: TopK<(OrdF64, Reverse<(EntityId, EntityId)>)> = TopK::new(k);
+        for &(y, w) in neigh {
+            if w > 0.0 {
+                let p = kernel::normalised(a, y, w);
+                top.push((OrdF64(w), Reverse((p.a, p.b))));
             }
-            for (w, r) in top.into_sorted_vec() {
-                out.push(WeightedPair {
-                    a: r.0 .0,
-                    b: r.0 .1,
-                    weight: w.0,
-                });
-            }
-        },
-    );
+        }
+        for (w, r) in top.into_sorted_vec() {
+            out.push(WeightedPair {
+                a: r.0 .0,
+                b: r.0 .1,
+                weight: w.0,
+            });
+        }
+    });
     report.push("cnp/neighbourhoods", stats);
-    let (pairs, vstats) = vote_job(kept, reciprocal, collection.num_entities(), engine);
+    let (pairs, vstats) = vote_job(kept, reciprocal, cx.collection.num_entities(), engine);
     report.push("cnp/votes", vstats);
-    let out = PrunedComparisons::from_weighted_pairs(pairs, scheme, input_edges_of(&globals, fwd));
+    let out =
+        PrunedComparisons::from_weighted_pairs(pairs, scheme, input_edges_of(cx.globals, fwd));
     (out, report)
 }
 
-/// Entity-based Weighted Edge Pruning — bit-identical to
-/// [`prune::wep`] / [`crate::streaming::wep`] at any worker count.
-///
-/// Two chained jobs: job 1 folds each entity's neighbourhood map-side
-/// into its positive forward-weight sum (one *scalar* record per entity
-/// in the shuffle); the global threshold comes from the same
-/// fixed-length-slab pairwise mean as the other backends
-/// (`prune::wep_threshold_from_sums`), so it is independent of the
-/// partitioning. Job 2 re-sweeps and keeps the edges at or above the
-/// threshold.
+/// Entity-based Weighted Edge Pruning — bit-identical to the other
+/// backends at any worker count.
+#[doc(hidden)]
 pub fn wep(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -397,25 +441,43 @@ pub fn wep(
 }
 
 /// [`wep`], also returning the per-job execution statistics.
+#[doc(hidden)]
 pub fn wep_with_report(
     collection: &BlockCollection,
     scheme: WeightingScheme,
     engine: &Engine,
 ) -> (PrunedComparisons, JobReport) {
+    wep_session(&mut SweepState::new(collection), scheme, engine)
+}
+
+/// The session body of entity-based WEP.
+///
+/// Two chained jobs: job 1 folds each entity's neighbourhood map-side
+/// into its positive forward-weight sum (one *scalar* record per entity
+/// in the shuffle); the global threshold comes from the same
+/// fixed-length-slab pairwise mean as the other backends
+/// (`prune::wep_threshold_from_sums`), so it is independent of the
+/// partitioning. Job 2 re-sweeps and keeps the edges at or above the
+/// threshold.
+pub(crate) fn wep_session(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
     let mut report = JobReport::default();
-    let globals = mapreduce_globals(collection, scheme, false, engine, &mut report);
+    ensure_globals_job(st, scheme, false, engine, &mut report);
+    let cx = JobCtx::new(st, engine);
+    let (collection, globals, pool) = (cx.collection, cx.globals, cx.pool);
     let n = collection.num_entities();
 
     // Job 1 — per-entity partial sums of positive forward-edge weights,
     // accumulated map-side in ascending neighbour order (the slab order),
     // so the shuffle carries one scalar per entity, never an edge list.
-    let result = {
-        let globals = &globals;
-        engine.run_partitioned(
-            map_splits(collection, engine),
-            entity_partitioner(n),
-            |range, emit, c| {
-                let mut scratch = SweepScratch::new(n);
+    let result = engine.run_partitioned(
+        cx.splits.clone(),
+        entity_partitioner(n),
+        |range, emit, c| {
+            pool.with(|scratch| {
                 for a in range.clone() {
                     let a = a as u32;
                     scratch.sweep(collection, EntityId(a));
@@ -425,7 +487,7 @@ pub fn wep_with_report(
                             continue;
                         }
                         fwd += 1;
-                        let w = kernel::forward_weight(scheme, &scratch, a, y, globals);
+                        let w = kernel::forward_weight(scheme, scratch, a, y, globals);
                         if w > 0.0 {
                             sum += w;
                             pos += 1;
@@ -436,10 +498,10 @@ pub fn wep_with_report(
                         emit(a, (sum, pos));
                     }
                 }
-            },
-            |&a, partials, out, _c| out.push((a, partials[0])),
-        )
-    };
+            })
+        },
+        |&a, partials, out, _c| out.push((a, partials[0])),
+    );
     let fwd = result.counters.get(FWD_EDGES);
     report.push("wep/partial-sums", result.stats);
     let mut sums = vec![0.0f64; n];
@@ -451,26 +513,19 @@ pub fn wep_with_report(
     let threshold = prune::wep_threshold_from_sums(&sums, positive);
 
     // Job 2 — re-sweep and keep each edge once, at its smaller endpoint.
-    let (kept, _, s2) = neighbourhood_job(
-        collection,
-        scheme,
-        &globals,
-        true,
-        engine,
-        move |a, neigh, out| {
-            for &(y, w) in neigh {
-                if w >= threshold && w > 0.0 {
-                    out.push(WeightedPair {
-                        a: EntityId(a),
-                        b: EntityId(y),
-                        weight: w,
-                    });
-                }
+    let (kept, _, s2) = neighbourhood_job(&cx, scheme, true, engine, move |a, neigh, out| {
+        for &(y, w) in neigh {
+            if w >= threshold && w > 0.0 {
+                out.push(WeightedPair {
+                    a: EntityId(a),
+                    b: EntityId(y),
+                    weight: w,
+                });
             }
-        },
-    );
+        }
+    });
     report.push("wep/filter", s2);
-    let out = PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges_of(&globals, fwd));
+    let out = PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges_of(globals, fwd));
     (out, report)
 }
 
@@ -478,14 +533,9 @@ pub fn wep_with_report(
 /// *earlier* pair — identical to the other backends' total order.
 type CepKey = (OrdF64, Reverse<(EntityId, EntityId)>);
 
-/// Entity-based Cardinality Edge Pruning — bit-identical to
-/// [`prune::cep`] / [`crate::streaming::cep`] at any worker count.
-///
-/// Each map split folds the forward edges of its whole entity range into
-/// one bounded top-k heap (mirroring the streaming backend's per-thread
-/// heaps) and ships a single record; the single reducer merges the local
-/// winners under the strict `(weight, Reverse(pair))` total order, which
-/// makes the merged set the exact global top-k for any partitioning.
+/// Entity-based Cardinality Edge Pruning — bit-identical to the other
+/// backends at any worker count.
+#[doc(hidden)]
 pub fn cep(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -496,48 +546,70 @@ pub fn cep(
 }
 
 /// [`cep`], also returning the per-job execution statistics.
+#[doc(hidden)]
 pub fn cep_with_report(
     collection: &BlockCollection,
     scheme: WeightingScheme,
     k: Option<usize>,
     engine: &Engine,
 ) -> (PrunedComparisons, JobReport) {
+    cep_session(&mut SweepState::new(collection), scheme, k, engine)
+}
+
+/// The session body of entity-based CEP.
+///
+/// Each map split folds the forward edges of its whole entity range into
+/// one bounded top-k heap (mirroring the streaming backend's per-thread
+/// heaps) and ships a single record; the single reducer merges the local
+/// winners under the strict `(weight, Reverse(pair))` total order, which
+/// makes the merged set the exact global top-k for any partitioning.
+pub(crate) fn cep_session(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    k: Option<usize>,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
     let mut report = JobReport::default();
-    let k = k.unwrap_or_else(|| prune::default_cep_k_from(collection.total_assignments()));
+    let k = k.unwrap_or_else(|| prune::default_cep_k_from(st.collection.total_assignments()));
     if k == 0 {
         // Degenerate cardinality (empty or single-assignment collection):
         // count the edges for the stats, keep nothing.
-        let globals = mapreduce_globals(collection, scheme, true, engine, &mut report);
-        return (PrunedComparisons::empty(scheme, globals.num_edges), report);
+        ensure_globals_job(st, scheme, true, engine, &mut report);
+        return (
+            PrunedComparisons::empty(scheme, st.globals().num_edges),
+            report,
+        );
     }
-    let globals = mapreduce_globals(collection, scheme, false, engine, &mut report);
-    let n = collection.num_entities();
+    ensure_globals_job(st, scheme, false, engine, &mut report);
+    let cx = JobCtx::new(st, engine);
+    let (collection, globals, pool) = (cx.collection, cx.globals, cx.pool);
     let result = engine.run_partitioned(
-        map_splits(collection, engine),
+        cx.splits.clone(),
         |_k: &u8, _parts| 0,
         |range, emit, c| {
-            let mut scratch = SweepScratch::new(n);
-            let mut top: TopK<CepKey> = TopK::new(k);
-            let mut fwd = 0u64;
-            for a in range.clone() {
-                let a = a as u32;
-                scratch.sweep(collection, EntityId(a));
-                for &y in scratch.neighbours() {
-                    if y <= a {
-                        continue;
-                    }
-                    fwd += 1;
-                    let w = kernel::forward_weight(scheme, &scratch, a, y, &globals);
-                    if w > 0.0 {
-                        top.push((OrdF64(w), Reverse((EntityId(a), EntityId(y)))));
+            pool.with(|scratch| {
+                let mut top: TopK<CepKey> = TopK::new(k);
+                let mut fwd = 0u64;
+                for a in range.clone() {
+                    let a = a as u32;
+                    scratch.sweep(collection, EntityId(a));
+                    for &y in scratch.neighbours() {
+                        if y <= a {
+                            continue;
+                        }
+                        fwd += 1;
+                        let w = kernel::forward_weight(scheme, scratch, a, y, globals);
+                        if w > 0.0 {
+                            top.push((OrdF64(w), Reverse((EntityId(a), EntityId(y)))));
+                        }
                     }
                 }
-            }
-            c.add(FWD_EDGES, fwd);
-            let local = top.into_sorted_vec();
-            if !local.is_empty() {
-                emit(0u8, local);
-            }
+                c.add(FWD_EDGES, fwd);
+                let local = top.into_sorted_vec();
+                if !local.is_empty() {
+                    emit(0u8, local);
+                }
+            })
         },
         |_key, locals, out, _c| {
             let mut merged: TopK<CepKey> = TopK::new(k);
@@ -557,36 +629,47 @@ pub fn cep_with_report(
     );
     let fwd = result.counters.get(FWD_EDGES);
     report.push("cep/local-topk", result.stats);
-    let out = PrunedComparisons::from_weighted_pairs(
-        result.output,
-        scheme,
-        input_edges_of(&globals, fwd),
-    );
+    let out =
+        PrunedComparisons::from_weighted_pairs(result.output, scheme, input_edges_of(globals, fwd));
     (out, report)
 }
 
-/// Entity-based BLAST — bit-identical to [`crate::blast::blast`] /
-/// [`crate::streaming::blast`] at any worker count. Job 1 reduces each
-/// neighbourhood to its local χ² maximum; job 2 keeps the edges that
-/// reach `ratio` of either endpoint's maximum.
+/// Entity-based BLAST — bit-identical to the other backends at any
+/// worker count.
 ///
 /// # Panics
 /// Panics unless `0 < ratio ≤ 1`.
+#[doc(hidden)]
 pub fn blast(collection: &BlockCollection, ratio: f64, engine: &Engine) -> PrunedComparisons {
     blast_with_report(collection, ratio, engine).0
 }
 
 /// [`blast`], also returning the per-job execution statistics.
+#[doc(hidden)]
 pub fn blast_with_report(
     collection: &BlockCollection,
     ratio: f64,
     engine: &Engine,
 ) -> (PrunedComparisons, JobReport) {
+    blast_session(&mut SweepState::new(collection), ratio, engine)
+}
+
+/// The session body of entity-based BLAST. Job 1 reduces each
+/// neighbourhood to its local χ² maximum; job 2 keeps the edges that
+/// reach `ratio` of either endpoint's maximum.
+pub(crate) fn blast_session(
+    st: &mut SweepState<'_>,
+    ratio: f64,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
     assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
     let mut report = JobReport::default();
+    st.ensure_basic();
+    let cx = JobCtx::new(st, engine);
+    let (collection, globals, pool) = (cx.collection, cx.globals, cx.pool);
     let n = collection.num_entities();
-    let blocks = kernel::blocks_of(collection);
-    let num_blocks = collection.len();
+    let blocks = &globals.blocks_of;
+    let num_blocks = globals.num_blocks;
     let chi = |scratch: &SweepScratch, a: u32, y: u32| {
         let (lo, hi) = if a < y { (a, y) } else { (y, a) };
         crate::blast::chi_square_from_stats(
@@ -599,25 +682,26 @@ pub fn blast_with_report(
 
     // Job 1: per-node local χ² maxima.
     let result = engine.run_partitioned(
-        map_splits(collection, engine),
+        cx.splits.clone(),
         entity_partitioner(n),
         |range, emit, _c| {
-            let mut scratch = SweepScratch::new(n);
-            for a in range.clone() {
-                let a = a as u32;
-                scratch.sweep(collection, EntityId(a));
-                if scratch.neighbours().is_empty() {
-                    continue;
-                }
-                let mut max = 0.0f64;
-                for &y in scratch.neighbours() {
-                    let w = chi(&scratch, a, y);
-                    if w > max {
-                        max = w;
+            pool.with(|scratch| {
+                for a in range.clone() {
+                    let a = a as u32;
+                    scratch.sweep(collection, EntityId(a));
+                    if scratch.neighbours().is_empty() {
+                        continue;
                     }
+                    let mut max = 0.0f64;
+                    for &y in scratch.neighbours() {
+                        let w = chi(scratch, a, y);
+                        if w > max {
+                            max = w;
+                        }
+                    }
+                    emit(a, max);
                 }
-                emit(a, max);
-            }
+            })
         },
         |&a, maxima, out, _c| out.push((a, maxima[0])),
     );
@@ -630,24 +714,25 @@ pub fn blast_with_report(
     // Job 2: keep each forward edge if either endpoint would keep it.
     let local_max = &local_max;
     let result = engine.run_partitioned(
-        map_splits(collection, engine),
+        cx.splits.clone(),
         entity_partitioner(n),
         |range, emit, c| {
-            let mut scratch = SweepScratch::new(n);
-            for a in range.clone() {
-                let a = a as u32;
-                scratch.sweep(collection, EntityId(a));
-                let record: Vec<(u32, f64)> = scratch
-                    .neighbours()
-                    .iter()
-                    .filter(|&&y| y > a)
-                    .map(|&y| (y, chi(&scratch, a, y)))
-                    .collect();
-                c.add(FWD_EDGES, record.len() as u64);
-                if !record.is_empty() {
-                    emit(a, record);
+            pool.with(|scratch| {
+                for a in range.clone() {
+                    let a = a as u32;
+                    scratch.sweep(collection, EntityId(a));
+                    let record: Vec<(u32, f64)> = scratch
+                        .neighbours()
+                        .iter()
+                        .filter(|&&y| y > a)
+                        .map(|&y| (y, chi(scratch, a, y)))
+                        .collect();
+                    c.add(FWD_EDGES, record.len() as u64);
+                    if !record.is_empty() {
+                        emit(a, record);
+                    }
                 }
-            }
+            })
         },
         move |&a, neighbourhoods, out, _c| {
             for neigh in neighbourhoods.iter() {
@@ -675,9 +760,142 @@ pub fn blast_with_report(
     (out, report)
 }
 
+/// Entity-based supervised pruning — bit-identical to the other backends
+/// at any worker count. Job 1 folds each map split's forward edges into
+/// one per-feature-maxima record (f64 `max` merges exactly, so the
+/// normalisation constants are partition-independent); job 2 scores each
+/// forward edge with the perceptron, one record per entity neighbourhood.
+#[doc(hidden)]
+pub fn supervised_prune(
+    collection: &BlockCollection,
+    model: &Perceptron,
+    engine: &Engine,
+) -> PrunedComparisons {
+    supervised_prune_with_report(collection, model, engine).0
+}
+
+/// [`supervised_prune`], also returning the per-job execution statistics.
+#[doc(hidden)]
+pub fn supervised_prune_with_report(
+    collection: &BlockCollection,
+    model: &Perceptron,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
+    supervised_session(&mut SweepState::new(collection), model, engine)
+}
+
+/// The session body of entity-based supervised pruning.
+pub(crate) fn supervised_session(
+    st: &mut SweepState<'_>,
+    model: &Perceptron,
+    engine: &Engine,
+) -> (PrunedComparisons, JobReport) {
+    let mut report = JobReport::default();
+    // Features include the endpoint degrees and the EJS weight, which
+    // need the counted tier (degrees + |V|).
+    ensure_globals_job(st, WeightingScheme::Ejs, true, engine, &mut report);
+    let cx = JobCtx::new(st, engine);
+    let (collection, globals, pool) = (cx.collection, cx.globals, cx.pool);
+    let n = collection.num_entities();
+
+    // Job 1: per-feature maxima, one 7-float record per map split.
+    let result = engine.run_partitioned(
+        cx.splits.clone(),
+        |_k: &u8, _parts| 0,
+        |range, emit, _c| {
+            pool.with(|scratch| {
+                let mut local = [0.0f64; NUM_FEATURES];
+                let mut any = false;
+                for a in range.clone() {
+                    let a = a as u32;
+                    scratch.sweep(collection, EntityId(a));
+                    for &y in scratch.neighbours() {
+                        if y <= a {
+                            continue;
+                        }
+                        any = true;
+                        let raw = supervised::raw_forward_features(scratch, a, y, globals);
+                        supervised::merge_feature_max(&mut local, &raw);
+                    }
+                }
+                if any {
+                    emit(0u8, local);
+                }
+            })
+        },
+        |_key, locals, out, _c| {
+            let mut max = [0.0f64; NUM_FEATURES];
+            for local in locals.iter() {
+                supervised::merge_feature_max(&mut max, local);
+            }
+            out.push(max);
+        },
+    );
+    let max = result
+        .output
+        .first()
+        .copied()
+        .unwrap_or([0.0; NUM_FEATURES]);
+    report.push("supervised/feature-maxima", result.stats);
+    let extractor = supervised::FeatureExtractor::from_max(max);
+
+    // Job 2: score each forward edge, one record per entity
+    // neighbourhood carrying only the kept pairs.
+    let extractor = &extractor;
+    let result = engine.run_partitioned(
+        cx.splits.clone(),
+        entity_partitioner(n),
+        |range, emit, c| {
+            pool.with(|scratch| {
+                for a in range.clone() {
+                    let a = a as u32;
+                    scratch.sweep(collection, EntityId(a));
+                    let mut kept: Vec<(u32, f64)> = Vec::new();
+                    let mut fwd = 0u64;
+                    for &y in scratch.neighbours() {
+                        if y <= a {
+                            continue;
+                        }
+                        fwd += 1;
+                        let raw = supervised::raw_forward_features(scratch, a, y, globals);
+                        let score = model.score(&extractor.normalise(raw));
+                        if score > 0.0 {
+                            kept.push((y, supervised::sigmoid(score)));
+                        }
+                    }
+                    c.add(FWD_EDGES, fwd);
+                    if !kept.is_empty() {
+                        emit(a, kept);
+                    }
+                }
+            })
+        },
+        |&a, neighbourhoods, out, _c| {
+            for neigh in neighbourhoods.iter() {
+                for &(y, w) in neigh {
+                    out.push(WeightedPair {
+                        a: EntityId(a),
+                        b: EntityId(y),
+                        weight: w,
+                    });
+                }
+            }
+        },
+    );
+    report.push("supervised/score", result.stats);
+    // Sigmoid weights under the CBS label, matching `supervised_prune`.
+    let out = PrunedComparisons::from_weighted_pairs(
+        result.output,
+        WeightingScheme::Cbs,
+        globals.num_edges,
+    );
+    (out, report)
+}
+
 /// Every distinct comparable pair with its weight, sorted by pair — the
 /// entity-based equivalent of enumerating the blocking graph's edges
 /// (the unpruned path), one shuffled record per entity neighbourhood.
+#[doc(hidden)]
 pub fn weighted_edges(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -687,29 +905,33 @@ pub fn weighted_edges(
 }
 
 /// [`weighted_edges`], also returning the per-job execution statistics.
+#[doc(hidden)]
 pub fn weighted_edges_with_report(
     collection: &BlockCollection,
     scheme: WeightingScheme,
     engine: &Engine,
 ) -> (Vec<WeightedPair>, JobReport) {
+    weighted_edges_session(&mut SweepState::new(collection), scheme, engine)
+}
+
+/// The session body of the unpruned entity-based path.
+pub(crate) fn weighted_edges_session(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    engine: &Engine,
+) -> (Vec<WeightedPair>, JobReport) {
     let mut report = JobReport::default();
-    let globals = mapreduce_globals(collection, scheme, false, engine, &mut report);
-    let (pairs, _, stats) = neighbourhood_job(
-        collection,
-        scheme,
-        &globals,
-        true,
-        engine,
-        |a, neigh, out| {
-            for &(y, w) in neigh {
-                out.push(WeightedPair {
-                    a: EntityId(a),
-                    b: EntityId(y),
-                    weight: w,
-                });
-            }
-        },
-    );
+    ensure_globals_job(st, scheme, false, engine, &mut report);
+    let cx = JobCtx::new(st, engine);
+    let (pairs, _, stats) = neighbourhood_job(&cx, scheme, true, engine, |a, neigh, out| {
+        for &(y, w) in neigh {
+            out.push(WeightedPair {
+                a: EntityId(a),
+                b: EntityId(y),
+                weight: w,
+            });
+        }
+    });
     report.push("weighted-edges", stats);
     (pairs, report)
 }
@@ -727,6 +949,8 @@ struct EdgeStats {
 
 /// Runs the edge-based weighting job: one weighted record per distinct
 /// comparable pair, sorted by pair. Exactly the blocking-graph edges.
+/// Kept (visible) as the measured per-occurrence-shuffle baseline the
+/// entity-based strategy is compared against.
 pub fn parallel_edge_weights(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -805,7 +1029,8 @@ pub fn parallel_edge_weights_with_stats(
 /// Parallel WEP (edge-based strategy): weight job + global mean filter.
 /// The threshold is the shared positive-weight-only mean
 /// (`prune::wep_threshold_from_sums`), so the result is bit-identical
-/// to [`prune::wep`] even on ECBS/EJS inputs with zero-weight edges.
+/// to `prune::wep` even on ECBS/EJS inputs with zero-weight edges.
+#[doc(hidden)]
 pub fn parallel_wep(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -835,6 +1060,7 @@ pub fn parallel_wep(
 /// job keyed by endpoint; `reciprocal` intersects the two endpoint votes.
 /// Vote combination runs over the pair-sorted kept list (no hash-map
 /// iteration order anywhere), so the output ordering is deterministic.
+#[doc(hidden)]
 pub fn parallel_cnp(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -1019,6 +1245,25 @@ mod tests {
             &blast_mod::blast(&graph, 0.35),
             "blast",
         );
+    }
+
+    #[test]
+    fn mapreduce_supervised_matches_materialised() {
+        use crate::supervised::{FeatureExtractor, Perceptron, TrainingSet};
+        let g = generate(&profiles::center_dense(140, 5));
+        let blocks = token_blocking(&g.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        let extractor = FeatureExtractor::fit(&graph);
+        let set = TrainingSet::sample(&graph, &extractor, |a, b| g.truth.is_match(a, b), 40, 17);
+        let model = Perceptron::train(&set, 12);
+        let ser = crate::supervised::supervised_prune(&graph, &model);
+        assert!(!ser.pairs.is_empty(), "fixture model must keep something");
+        for workers in [1, 4] {
+            let (par, report) =
+                supervised_prune_with_report(&blocks, &model, &Engine::new(workers));
+            assert_bit_identical(&par, &ser, &format!("supervised/w={workers}"));
+            assert!(report.jobs.iter().any(|(l, _)| *l == "supervised/score"));
+        }
     }
 
     #[test]

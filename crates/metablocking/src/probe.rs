@@ -1,0 +1,38 @@
+//! Process-wide instrumentation counters for the expensive shared state.
+//!
+//! The whole point of [`Session`](crate::Session) is that sweeping many
+//! scheme × pruning combinations reuses one CSR build and one set of sweep
+//! scratches instead of rebuilding them per call. That claim is asserted,
+//! not assumed: these counters tick on every [`BlockingGraph`] CSR
+//! construction and every `SweepScratch` allocation, and the session-reuse
+//! test suite checks the deltas (e.g. a five-scheme sweep through one
+//! session performs exactly one CSR build, and — at one worker — exactly
+//! one scratch allocation).
+//!
+//! The counters are monotone, global and racy-read (`Relaxed`); callers
+//! that assert on deltas must serialise the measured region themselves.
+//!
+//! [`BlockingGraph`]: crate::BlockingGraph
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static CSR_BUILDS: AtomicUsize = AtomicUsize::new(0);
+static SCRATCH_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of CSR blocking-graph constructions so far in this process.
+pub fn csr_builds() -> usize {
+    CSR_BUILDS.load(Ordering::Relaxed)
+}
+
+/// Number of sweep-scratch allocations so far in this process.
+pub fn scratch_allocs() -> usize {
+    SCRATCH_ALLOCS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn record_csr_build() {
+    CSR_BUILDS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_scratch_alloc() {
+    SCRATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}

@@ -127,6 +127,7 @@ pub(crate) fn wep_threshold_from_sums(sums: &[f64], positive_edges: u64) -> f64 
 /// Weighted Edge Pruning: keep edges with weight ≥ the global mean weight
 /// (mean over the positive-weight edges; see `wep_threshold_from_sums`,
 /// the crate-internal reduction all three backends share).
+#[doc(hidden)]
 pub fn wep(graph: &BlockingGraph, scheme: WeightingScheme) -> PrunedComparisons {
     let weights = scheme.all_weights(graph);
     // Per-source partial sums in slab order (edges sorted by (a, b), so
@@ -169,6 +170,7 @@ pub(crate) fn default_cep_k_from(total_assignments: u64) -> usize {
 /// single-assignment collection) short-circuits to an explicit empty
 /// result that still reports `input_edges`, rather than driving a
 /// degenerate zero-capacity heap.
+#[doc(hidden)]
 pub fn cep(graph: &BlockingGraph, scheme: WeightingScheme, k: Option<usize>) -> PrunedComparisons {
     let k = k.unwrap_or_else(|| default_cep_k(graph));
     if k == 0 {
@@ -193,6 +195,7 @@ pub fn cep(graph: &BlockingGraph, scheme: WeightingScheme, k: Option<usize>) -> 
 /// Weighted Node Pruning: each node keeps its incident edges with weight ≥
 /// the mean weight of its neighbourhood; `reciprocal` demands both
 /// endpoints keep the edge, otherwise either suffices.
+#[doc(hidden)]
 pub fn wnp(graph: &BlockingGraph, scheme: WeightingScheme, reciprocal: bool) -> PrunedComparisons {
     let weights = scheme.all_weights(graph);
     let mut votes = vec![0u8; graph.num_edges()];
@@ -233,6 +236,7 @@ pub(crate) fn default_cnp_k_from(total_assignments: u64, active_nodes: usize) ->
 /// (`k` defaults to [`default_cnp_k`], which is always ≥ 1); `reciprocal`
 /// as in [`wnp`]. An explicit `k == 0` short-circuits to an explicit
 /// empty result (see [`cep`]).
+#[doc(hidden)]
 pub fn cnp(
     graph: &BlockingGraph,
     scheme: WeightingScheme,

@@ -1,0 +1,439 @@
+//! The one meta-blocking entry point: [`Session`].
+//!
+//! The paper's contribution is a *family* of meta-blocking strategies
+//! meant to be swept and compared — five weighting schemes × six pruning
+//! families × three execution backends. A session makes that sweep cheap
+//! and uniform: it borrows a block collection, is configured builder-style
+//! ([`Session::scheme`], [`Session::pruning`], [`Session::backend`],
+//! [`Session::workers`]), and every [`Session::run`] returns the same
+//! unified [`PruneOutcome`] whichever combination is selected.
+//!
+//! What makes it a session rather than a dispatcher is the **owned shared
+//! state**: the CSR [`BlockingGraph`] (and the supervised feature slab)
+//! for the materialised backend, and the sweep state — cost-balanced
+//! entity ranges, [`kernel`](crate::kernel) weight globals, the scratch
+//! pool — for the streaming and MapReduce backends. All of it is built
+//! lazily on first use and reused by every subsequent run, so sweeping
+//! all five schemes (or all pruning families) performs exactly one CSR
+//! build / one scratch allocation instead of one per call. The
+//! [`probe`](crate::probe) counters exist so tests can assert that claim.
+//!
+//! Reuse never changes results: every combination stays bit-identical to
+//! a fresh single-shot run (enforced in `tests/session_reuse.rs`).
+
+use crate::blast;
+use crate::graph::BlockingGraph;
+use crate::parallel::{self, JobReport};
+use crate::prune::{self, PrunedComparisons, WeightedPair};
+use crate::streaming;
+use crate::supervised::{self, EdgeFeatures, FeatureExtractor, Perceptron};
+use crate::sweep::{default_threads, SweepState};
+use crate::weights::WeightingScheme;
+use crate::ExecutionBackend;
+use minoan_blocking::BlockCollection;
+use minoan_mapreduce::Engine;
+use minoan_rdf::EntityId;
+
+/// Which pruning family a session run applies — the full catalogue,
+/// including BLAST and the supervised pruner, each runnable on every
+/// [`ExecutionBackend`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Pruning {
+    /// No pruning: every blocking-graph edge survives, weighted, in pair
+    /// order (the order the edge slab is sorted in).
+    None,
+    /// Weighted edge pruning: keep edges at or above the global mean
+    /// weight (over positive-weight edges).
+    Wep,
+    /// Cardinality edge pruning: keep the global top-k edges by weight
+    /// (`None` = the literature default `BC / 2`).
+    Cep(Option<usize>),
+    /// Weighted node pruning; `reciprocal` = intersection variant.
+    Wnp {
+        /// Both endpoints must retain the edge.
+        reciprocal: bool,
+    },
+    /// Cardinality node pruning; per-node `k` (`None` = default).
+    Cnp {
+        /// Both endpoints must retain the edge.
+        reciprocal: bool,
+        /// Per-node cardinality override.
+        k: Option<usize>,
+    },
+    /// BLAST: χ² weighting with loose ratio-of-local-max pruning. The
+    /// weighting scheme setting is ignored (χ² replaces it).
+    Blast {
+        /// Keep edges with weight ≥ `ratio ·` either endpoint's local
+        /// maximum; must be in `(0, 1]`.
+        ratio: f64,
+    },
+    /// Supervised pruning with a trained perceptron over the 7-feature
+    /// edge vectors. The weighting scheme setting is ignored (all five
+    /// schemes enter the feature vector).
+    Supervised(Perceptron),
+}
+
+impl Pruning {
+    /// BLAST at its recommended default keep ratio.
+    pub fn blast() -> Self {
+        Pruning::Blast {
+            ratio: blast::DEFAULT_RATIO,
+        }
+    }
+
+    /// The unsupervised families at their defaults, for sweep
+    /// experiments ([`Pruning::Supervised`] needs a trained model, so it
+    /// is not listed).
+    pub const FAMILIES: [Pruning; 6] = [
+        Pruning::None,
+        Pruning::Wep,
+        Pruning::Cep(None),
+        Pruning::Wnp { reciprocal: false },
+        Pruning::Cnp {
+            reciprocal: false,
+            k: None,
+        },
+        Pruning::Blast {
+            ratio: blast::DEFAULT_RATIO,
+        },
+    ];
+}
+
+/// The unified result of one [`Session::run`]: the pruned comparisons
+/// plus — when the MapReduce backend ran — the per-job execution
+/// statistics (shuffle volume, modeled makespan).
+#[derive(Clone, Debug)]
+pub struct PruneOutcome {
+    /// The retained comparisons with their weights, the scheme label and
+    /// the input-edge count.
+    pub pruned: PrunedComparisons,
+    /// Per-job [`minoan_mapreduce::JobStats`] of the MapReduce run that
+    /// produced this outcome; empty for the materialised and streaming
+    /// backends (they run in-process, not as jobs).
+    pub report: JobReport,
+}
+
+impl PruneOutcome {
+    fn local(pruned: PrunedComparisons) -> Self {
+        Self {
+            pruned,
+            report: JobReport::default(),
+        }
+    }
+
+    /// The retained pairs (see [`PrunedComparisons::pairs`] for the
+    /// ordering contract per family).
+    pub fn pairs(&self) -> &[WeightedPair] {
+        &self.pruned.pairs
+    }
+
+    /// Edges in the input blocking graph (for retention reporting).
+    pub fn input_edges(&self) -> usize {
+        self.pruned.input_edges
+    }
+
+    /// Fraction of input edges retained.
+    pub fn retention(&self) -> f64 {
+        self.pruned.retention()
+    }
+
+    /// Total records shuffled by the MapReduce jobs (0 for the local
+    /// backends).
+    pub fn shuffled_records(&self) -> usize {
+        self.report.shuffled_records()
+    }
+
+    /// The candidate list the pipeline feeds to progressive matching.
+    pub fn into_candidates(self) -> Vec<(EntityId, EntityId, f64)> {
+        self.pruned
+            .pairs
+            .into_iter()
+            .map(|p| (p.a, p.b, p.weight))
+            .collect()
+    }
+}
+
+/// A configured meta-blocking run over one block collection, with the
+/// expensive shared state cached across runs.
+///
+/// ```
+/// use minoan_datagen::{generate, profiles};
+/// use minoan_blocking::{builders, ErMode};
+/// use minoan_metablocking::{ExecutionBackend, Pruning, Session, WeightingScheme};
+///
+/// let g = generate(&profiles::center_dense(120, 3));
+/// let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
+///
+/// // Sweep all five schemes through one session: the CSR graph is built
+/// // once and reused.
+/// let mut session = Session::new(&blocks);
+/// session.pruning(Pruning::Wnp { reciprocal: false });
+/// for scheme in WeightingScheme::ALL {
+///     let outcome = session.scheme(scheme).run();
+///     assert!(outcome.pairs().len() <= outcome.input_edges());
+/// }
+///
+/// // Every backend produces the same pairs, bit for bit.
+/// let m = session
+///     .scheme(WeightingScheme::Arcs)
+///     .backend(ExecutionBackend::Materialized)
+///     .run();
+/// let s = session.backend(ExecutionBackend::Streaming).run();
+/// let p = session.backend(ExecutionBackend::MapReduce).workers(3).run();
+/// assert_eq!(m.pairs(), s.pairs());
+/// assert_eq!(m.pairs(), p.pairs());
+/// ```
+pub struct Session<'c> {
+    collection: &'c BlockCollection,
+    scheme: WeightingScheme,
+    pruning: Pruning,
+    backend: ExecutionBackend,
+    workers: Option<usize>,
+    // Cached shared state, built lazily and reused across runs.
+    graph: Option<BlockingGraph>,
+    features: Option<(FeatureExtractor, Vec<EdgeFeatures>)>,
+    sweep: SweepState<'c>,
+}
+
+impl<'c> Session<'c> {
+    /// A session over `collection` with the pipeline defaults:
+    /// ARCS-weighted WNP on the materialised backend.
+    pub fn new(collection: &'c BlockCollection) -> Self {
+        Self {
+            collection,
+            scheme: WeightingScheme::Arcs,
+            pruning: Pruning::Wnp { reciprocal: false },
+            backend: ExecutionBackend::Materialized,
+            workers: None,
+            graph: None,
+            features: None,
+            sweep: SweepState::new(collection),
+        }
+    }
+
+    /// Sets the edge-weighting scheme (ignored by BLAST and supervised
+    /// pruning, which bring their own weights).
+    pub fn scheme(&mut self, scheme: WeightingScheme) -> &mut Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Sets the pruning family.
+    pub fn pruning(&mut self, pruning: Pruning) -> &mut Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Sets the execution backend.
+    pub fn backend(&mut self, backend: ExecutionBackend) -> &mut Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Pins the worker count (streaming threads / MapReduce workers /
+    /// CSR build threads). Results never depend on it; the default is all
+    /// available parallelism.
+    pub fn workers(&mut self, workers: usize) -> &mut Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The underlying block collection.
+    pub fn collection(&self) -> &'c BlockCollection {
+        self.collection
+    }
+
+    fn threads(&self) -> usize {
+        self.workers.unwrap_or_else(default_threads).max(1)
+    }
+
+    /// The session's CSR blocking graph, built on first use and cached.
+    /// Only the materialised backend needs it; the sweep backends never
+    /// build it.
+    pub fn graph(&mut self) -> &BlockingGraph {
+        if self.graph.is_none() {
+            self.graph = Some(BlockingGraph::build_with_threads(
+                self.collection,
+                self.threads(),
+            ));
+        }
+        self.graph.as_ref().expect("just built")
+    }
+
+    /// Runs the configured scheme × pruning × backend combination,
+    /// reusing every piece of shared state previous runs already built.
+    pub fn run(&mut self) -> PruneOutcome {
+        match self.backend {
+            ExecutionBackend::Materialized => self.run_materialized(),
+            ExecutionBackend::Streaming => self.run_streaming(),
+            ExecutionBackend::MapReduce => self.run_mapreduce(),
+        }
+    }
+
+    fn run_materialized(&mut self) -> PruneOutcome {
+        let scheme = self.scheme;
+        let pruning = self.pruning;
+        self.graph();
+        if matches!(pruning, Pruning::Supervised(_)) && self.features.is_none() {
+            let graph = self.graph.as_ref().expect("graph just ensured");
+            self.features = Some(FeatureExtractor::fit_extract_all(graph));
+        }
+        let graph = self.graph.as_ref().expect("graph just ensured");
+        let pruned = match pruning {
+            Pruning::None => {
+                let pairs = graph
+                    .edges()
+                    .iter()
+                    .map(|e| WeightedPair {
+                        a: e.a,
+                        b: e.b,
+                        weight: scheme.weight(graph, e),
+                    })
+                    .collect();
+                PrunedComparisons {
+                    pairs,
+                    scheme,
+                    input_edges: graph.num_edges(),
+                }
+            }
+            Pruning::Wep => prune::wep(graph, scheme),
+            Pruning::Cep(k) => prune::cep(graph, scheme, k),
+            Pruning::Wnp { reciprocal } => prune::wnp(graph, scheme, reciprocal),
+            Pruning::Cnp { reciprocal, k } => prune::cnp(graph, scheme, reciprocal, k),
+            Pruning::Blast { ratio } => blast::blast(graph, ratio),
+            Pruning::Supervised(model) => {
+                let (_, features) = self.features.as_ref().expect("features just ensured");
+                supervised::prune_with_features(graph, features, &model)
+            }
+        };
+        PruneOutcome::local(pruned)
+    }
+
+    fn run_streaming(&mut self) -> PruneOutcome {
+        let scheme = self.scheme;
+        let threads = self.threads();
+        let st = &mut self.sweep;
+        let pruned = match self.pruning {
+            Pruning::None => {
+                let (pairs, fwd) = streaming::weighted_edges_session(st, scheme, threads);
+                let input_edges = fwd as usize;
+                PrunedComparisons {
+                    pairs,
+                    scheme,
+                    input_edges,
+                }
+            }
+            Pruning::Wep => streaming::wep_session(st, scheme, threads),
+            Pruning::Cep(k) => streaming::cep_session(st, scheme, k, threads),
+            Pruning::Wnp { reciprocal } => streaming::wnp_session(st, scheme, reciprocal, threads),
+            Pruning::Cnp { reciprocal, k } => {
+                streaming::cnp_session(st, scheme, reciprocal, k, threads)
+            }
+            Pruning::Blast { ratio } => streaming::blast_session(st, ratio, threads),
+            Pruning::Supervised(model) => streaming::supervised_session(st, &model, threads),
+        };
+        PruneOutcome::local(pruned)
+    }
+
+    fn run_mapreduce(&mut self) -> PruneOutcome {
+        let scheme = self.scheme;
+        let engine = match self.workers {
+            Some(w) => Engine::new(w),
+            None => Engine::default(),
+        };
+        let st = &mut self.sweep;
+        let (pruned, report) = match self.pruning {
+            Pruning::None => {
+                let (pairs, report) = parallel::weighted_edges_session(st, scheme, &engine);
+                let input_edges = pairs.len();
+                (
+                    PrunedComparisons {
+                        pairs,
+                        scheme,
+                        input_edges,
+                    },
+                    report,
+                )
+            }
+            Pruning::Wep => parallel::wep_session(st, scheme, &engine),
+            Pruning::Cep(k) => parallel::cep_session(st, scheme, k, &engine),
+            Pruning::Wnp { reciprocal } => parallel::wnp_session(st, scheme, reciprocal, &engine),
+            Pruning::Cnp { reciprocal, k } => {
+                parallel::cnp_session(st, scheme, reciprocal, k, &engine)
+            }
+            Pruning::Blast { ratio } => parallel::blast_session(st, ratio, &engine),
+            Pruning::Supervised(model) => parallel::supervised_session(st, &model, &engine),
+        };
+        PruneOutcome { pruned, report }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minoan_blocking::builders::token_blocking;
+    use minoan_blocking::ErMode;
+    use minoan_datagen::{generate, profiles};
+
+    #[test]
+    fn builder_chain_runs_every_backend() {
+        let world = generate(&profiles::center_dense(80, 5));
+        let blocks = token_blocking(&world.dataset, ErMode::CleanClean);
+        let base = Session::new(&blocks)
+            .scheme(WeightingScheme::Js)
+            .pruning(Pruning::Wnp { reciprocal: true })
+            .run();
+        assert!(!base.pairs().is_empty());
+        for backend in ExecutionBackend::ALL {
+            let out = Session::new(&blocks)
+                .scheme(WeightingScheme::Js)
+                .pruning(Pruning::Wnp { reciprocal: true })
+                .backend(backend)
+                .workers(2)
+                .run();
+            assert_eq!(out.pairs(), base.pairs(), "{backend:?}");
+            assert_eq!(out.input_edges(), base.input_edges(), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn mapreduce_outcome_carries_job_stats() {
+        let world = generate(&profiles::center_dense(80, 7));
+        let blocks = token_blocking(&world.dataset, ErMode::CleanClean);
+        let out = Session::new(&blocks)
+            .backend(ExecutionBackend::MapReduce)
+            .workers(3)
+            .run();
+        assert!(!out.report.jobs.is_empty(), "MapReduce runs report jobs");
+        assert!(out.shuffled_records() > 0);
+        let local = Session::new(&blocks).run();
+        assert!(local.report.jobs.is_empty(), "local backends report none");
+        assert_eq!(local.shuffled_records(), 0);
+    }
+
+    #[test]
+    fn pruning_none_keeps_every_edge_in_pair_order() {
+        let world = generate(&profiles::center_dense(60, 9));
+        let blocks = token_blocking(&world.dataset, ErMode::CleanClean);
+        for backend in ExecutionBackend::ALL {
+            let out = Session::new(&blocks)
+                .pruning(Pruning::None)
+                .backend(backend)
+                .run();
+            assert_eq!(out.pairs().len(), out.input_edges(), "{backend:?}");
+            assert!(
+                out.pairs()
+                    .windows(2)
+                    .all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b)),
+                "{backend:?}: unpruned output must stay in pair order"
+            );
+            assert_eq!(out.retention(), 1.0, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn families_constant_covers_the_catalogue() {
+        assert_eq!(Pruning::FAMILIES.len(), 6);
+        assert!(Pruning::FAMILIES.contains(&Pruning::blast()));
+    }
+}

@@ -1,39 +1,36 @@
-//! On-the-fly meta-blocking: every pruning family — WEP, CEP, WNP, CNP
-//! and BLAST — without materialising the blocking graph.
+//! On-the-fly meta-blocking: every pruning family — WEP, CEP, WNP, CNP,
+//! BLAST and the supervised pruner — without materialising the blocking
+//! graph.
 //!
 //! The materialised path builds the full edge slab (one record per
 //! distinct comparable pair) before pruning discards most of it. That is
 //! wasted work and — on large LOD worlds — wasted memory: pruning
-//! decisions need per-node neighbourhoods (node-centric) or two global
+//! decisions need per-node neighbourhoods (node-centric) or a few global
 //! scalars (edge-centric), never random access to the whole slab. The
 //! streaming path therefore sweeps the block collection entity by entity
 //! (the crate-internal `sweep` module): per node it reconstructs the
-//! incident edge
-//! statistics in dense epoch-reset accumulators, applies the pruning
-//! criterion, and emits only the *kept* pairs.
+//! incident edge statistics in dense epoch-reset accumulators, applies
+//! the pruning criterion, and emits only the *kept* pairs.
 //!
-//! # Backend × method support matrix
-//!
-//! | Method               | Materialised              | Streaming |
-//! |----------------------|---------------------------|-----------|
-//! | WEP (global mean)    | [`crate::prune::wep`]     | [`wep`] — two-pass: partial-sum sweep, then re-sweep ≥ threshold |
-//! | CEP (global top-k)   | [`crate::prune::cep`]     | [`cep`] — per-thread bounded heaps, deterministic merge |
-//! | WNP (local mean)     | [`crate::prune::wnp`]     | [`wnp`] |
-//! | CNP (local top-k)    | [`crate::prune::cnp`]     | [`cnp`] |
-//! | BLAST (ratio-of-max) | [`crate::blast::blast`]   | [`blast`] |
-//! | no pruning           | `BlockingGraph::edges`    | [`weighted_edges`] |
+//! This module is the streaming arm of [`Session`](crate::Session), which
+//! is the public entry point: the session owns the shared sweep state
+//! (entity ranges, weight globals, scratch pool) and reuses it across
+//! runs. The one-shot free functions below are `#[doc(hidden)]` shims
+//! that build a throwaway state per call — they exist so the equivalence
+//! test suites keep pinning bit-identity against the pre-session surface.
 //!
 //! Every cell of the streaming column is **bit-identical** to its
 //! materialised counterpart for every weighting scheme and thread count;
-//! property tests in `tests/streaming_equivalence.rs` enforce this.
+//! property tests in `tests/streaming_equivalence.rs` and
+//! `tests/session_reuse.rs` enforce this.
 //!
 //! The sweeps are embarrassingly parallel over entity ranges (scoped
-//! threads, one scratch per worker) and every per-edge quantity is
+//! threads, one pooled scratch per worker) and every per-edge quantity is
 //! computed through the same kernels as the materialised path
 //! ([`crate::kernel::weight_from_stats`],
-//! [`crate::blast::chi_square_from_stats`]) with
-//! f64 accumulation in the same order. Two constructions keep the
-//! *global* criteria deterministic without a global edge slab:
+//! [`crate::blast::chi_square_from_stats`]) with f64 accumulation in the
+//! same order. Three constructions keep the *global* criteria
+//! deterministic without a global edge slab:
 //!
 //! * **WEP** needs one global mean. Pass 1 accumulates, per entity `a`,
 //!   the sum of its positive forward-edge weights (ascending neighbour
@@ -49,17 +46,20 @@
 //!   sorted by pair — and the per-thread survivors merge through one more
 //!   bounded heap. A strict total order makes the merged set the exact
 //!   global top-k regardless of how edges were partitioned.
+//! * **Supervised** needs global per-feature maxima (the extractor's
+//!   normalisation constants). Per-worker local maxima merge under f64
+//!   `max`, which is exact and order-free; pass 2 re-sweeps, normalises
+//!   and scores each forward edge with the perceptron.
 //!
 //! EJS needs two global aggregates (node degrees and the distinct-edge
 //! count |V|); those come from one extra counting sweep, still without
-//! materialising edges.
+//! materialising edges — run at most once per session.
 
 use crate::blast::chi_square_from_stats;
-use crate::kernel::{
-    self, combine_votes, forward_weight, neighbour_weights, normalised, WeightGlobals,
-};
+use crate::kernel::{combine_votes, forward_weight, neighbour_weights, normalised};
 use crate::prune::{PrunedComparisons, WeightedPair};
-use crate::sweep::{default_threads, entity_sweep_ranges, split_by_ends, SweepScratch};
+use crate::supervised::{self, Perceptron, NUM_FEATURES};
+use crate::sweep::{default_threads, ScratchPool, SweepScratch, SweepState};
 use crate::weights::WeightingScheme;
 use minoan_blocking::BlockCollection;
 use minoan_common::stats::mean;
@@ -90,67 +90,6 @@ impl StreamingOptions {
     }
 }
 
-/// One parallel pass filling a per-entity `u32` (or `f64`) slot from its
-/// sweep — used for degree counting and BLAST local maxima.
-fn fill_per_entity<T: Send, F>(
-    collection: &BlockCollection,
-    ranges: &[std::ops::Range<usize>],
-    out: &mut [T],
-    f: F,
-) where
-    F: Fn(usize, &SweepScratch) -> T + Sync,
-{
-    let n = collection.num_entities();
-    let chunks = split_by_ends(out, ranges.iter().map(|r| r.end));
-    let f = &f;
-    std::thread::scope(|s| {
-        for (r, chunk) in ranges.iter().zip(chunks) {
-            let r = r.clone();
-            s.spawn(move || {
-                let mut scratch = SweepScratch::new(n);
-                for a in r.clone() {
-                    scratch.sweep(collection, EntityId(a as u32));
-                    chunk[a - r.start] = f(a, &scratch);
-                }
-            });
-        }
-    });
-}
-
-/// One counting sweep over all entities: degrees, |V| and the active-node
-/// count, in parallel, without materialising any edge.
-fn count_pass(collection: &BlockCollection, ranges: &[std::ops::Range<usize>]) -> WeightGlobals {
-    let n = collection.num_entities();
-    let mut degrees = vec![0u32; n];
-    fill_per_entity(collection, ranges, &mut degrees, |_a, scratch| {
-        scratch.neighbours().len() as u32
-    });
-    // |V| = Σ degrees / 2 (every edge counted at both endpoints).
-    let num_edges = degrees.iter().map(|&d| d as u64).sum::<u64>() as usize / 2;
-    let active_nodes = degrees.iter().filter(|&&d| d > 0).count();
-    WeightGlobals {
-        blocks_of: kernel::blocks_of(collection),
-        num_blocks: collection.len(),
-        degrees,
-        num_edges,
-        active_nodes,
-    }
-}
-
-/// Globals needed by `scheme` (and optionally the active-node count).
-fn globals_for(
-    collection: &BlockCollection,
-    scheme: WeightingScheme,
-    ranges: &[std::ops::Range<usize>],
-    need_active: bool,
-) -> WeightGlobals {
-    if scheme == WeightingScheme::Ejs || need_active {
-        count_pass(collection, ranges)
-    } else {
-        WeightGlobals::basic(collection)
-    }
-}
-
 /// Runs `keep` once per entity with ≥ 1 neighbour, handing it the node,
 /// the sweep scratch (stats for the node's sorted neighbours), a reusable
 /// f64 buffer and the emit sink. Returns all emitted pairs sorted by pair,
@@ -158,12 +97,12 @@ fn globals_for(
 fn per_node_pass<K>(
     collection: &BlockCollection,
     ranges: &[std::ops::Range<usize>],
+    pool: &ScratchPool,
     keep: K,
 ) -> (Vec<WeightedPair>, u64)
 where
     K: Fn(u32, &SweepScratch, &mut Vec<f64>, &mut Vec<WeightedPair>) + Sync,
 {
-    let n = collection.num_entities();
     let keep = &keep;
     let mut outs: Vec<(Vec<WeightedPair>, u64)> = Vec::new();
     std::thread::scope(|s| {
@@ -171,20 +110,21 @@ where
         for r in ranges {
             let r = r.clone();
             handles.push(s.spawn(move || {
-                let mut scratch = SweepScratch::new(n);
-                let mut kept = Vec::new();
-                let mut weights_buf: Vec<f64> = Vec::new();
-                let mut fwd_edges = 0u64;
-                for a in r {
-                    let a = a as u32;
-                    scratch.sweep(collection, EntityId(a));
-                    if scratch.neighbours().is_empty() {
-                        continue;
+                pool.with(|scratch| {
+                    let mut kept = Vec::new();
+                    let mut weights_buf: Vec<f64> = Vec::new();
+                    let mut fwd_edges = 0u64;
+                    for a in r {
+                        let a = a as u32;
+                        scratch.sweep(collection, EntityId(a));
+                        if scratch.neighbours().is_empty() {
+                            continue;
+                        }
+                        fwd_edges += scratch.neighbours().iter().filter(|&&y| y > a).count() as u64;
+                        keep(a, scratch, &mut weights_buf, &mut kept);
                     }
-                    fwd_edges += scratch.neighbours().iter().filter(|&&y| y > a).count() as u64;
-                    keep(a, &scratch, &mut weights_buf, &mut kept);
-                }
-                (kept, fwd_edges)
+                    (kept, fwd_edges)
+                })
             }));
         }
         for h in handles {
@@ -197,26 +137,40 @@ where
     (kept, fwd)
 }
 
-/// Streaming Weighted Edge Pruning — bit-identical to
-/// [`crate::prune::wep`] on the built graph.
-///
-/// Two passes, neither materialising an edge: pass 1 accumulates each
-/// entity's positive forward-edge weight sum into a fixed-length slab and
-/// reduces it with a fixed-shape pairwise sum (the threshold is therefore
-/// independent of the thread count); pass 2 re-sweeps and emits the edges
-/// at or above the threshold.
+/// Streaming Weighted Edge Pruning — bit-identical to the materialised
+/// `prune::wep` on the built graph.
+#[doc(hidden)]
 pub fn wep(collection: &BlockCollection, scheme: WeightingScheme) -> PrunedComparisons {
     wep_with(collection, scheme, &StreamingOptions::default())
 }
 
 /// [`wep`] with explicit options.
+#[doc(hidden)]
 pub fn wep_with(
     collection: &BlockCollection,
     scheme: WeightingScheme,
     opts: &StreamingOptions,
 ) -> PrunedComparisons {
-    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
-    let globals = globals_for(collection, scheme, &ranges, false);
+    wep_session(&mut SweepState::new(collection), scheme, opts.threads)
+}
+
+/// The session body of streaming WEP: two passes, neither materialising
+/// an edge — pass 1 accumulates each entity's positive forward-edge
+/// weight sum into a fixed-length slab and reduces it with a fixed-shape
+/// pairwise sum (the threshold is therefore independent of the thread
+/// count); pass 2 re-sweeps and emits the edges at or above the
+/// threshold.
+pub(crate) fn wep_session(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    threads: usize,
+) -> PrunedComparisons {
+    let threads = threads.max(1);
+    st.ensure(scheme, false, threads);
+    let ranges = st.ranges(threads);
+    let collection = st.collection;
+    let globals = st.globals();
+    let pool = &st.pool;
     let n = collection.num_entities();
 
     // Pass 1 — per-entity partial sums of positive forward-edge weights,
@@ -226,32 +180,32 @@ pub fn wep_with(
     let mut positive = 0u64;
     let mut fwd_edges = 0u64;
     {
-        let chunks = split_by_ends(&mut sums, ranges.iter().map(|r| r.end));
-        let globals = &globals;
+        let chunks = crate::sweep::split_by_ends(&mut sums, ranges.iter().map(|r| r.end));
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(ranges.len());
             for (r, chunk) in ranges.iter().zip(chunks) {
                 let r = r.clone();
                 handles.push(s.spawn(move || {
-                    let mut scratch = SweepScratch::new(n);
-                    let (mut pos, mut fwd) = (0u64, 0u64);
-                    for a in r.clone() {
-                        scratch.sweep(collection, EntityId(a as u32));
-                        let mut sum = 0.0f64;
-                        for &y in scratch.neighbours() {
-                            if y <= a as u32 {
-                                continue;
+                    pool.with(|scratch| {
+                        let (mut pos, mut fwd) = (0u64, 0u64);
+                        for a in r.clone() {
+                            scratch.sweep(collection, EntityId(a as u32));
+                            let mut sum = 0.0f64;
+                            for &y in scratch.neighbours() {
+                                if y <= a as u32 {
+                                    continue;
+                                }
+                                fwd += 1;
+                                let w = forward_weight(scheme, scratch, a as u32, y, globals);
+                                if w > 0.0 {
+                                    sum += w;
+                                    pos += 1;
+                                }
                             }
-                            fwd += 1;
-                            let w = forward_weight(scheme, &scratch, a as u32, y, globals);
-                            if w > 0.0 {
-                                sum += w;
-                                pos += 1;
-                            }
+                            chunk[a - r.start] = sum;
                         }
-                        chunk[a - r.start] = sum;
-                    }
-                    (pos, fwd)
+                        (pos, fwd)
+                    })
                 }));
             }
             for h in handles {
@@ -264,9 +218,11 @@ pub fn wep_with(
     let threshold = crate::prune::wep_threshold_from_sums(&sums, positive);
 
     // Pass 2 — re-sweep and emit each edge once, at its smaller endpoint.
-    let (kept, _) = {
-        let globals = &globals;
-        per_node_pass(collection, &ranges, move |a, scratch, _weights, out| {
+    let (kept, _) = per_node_pass(
+        collection,
+        &ranges,
+        pool,
+        move |a, scratch, _weights, out| {
             for &y in scratch.neighbours() {
                 if y <= a {
                     continue;
@@ -280,8 +236,8 @@ pub fn wep_with(
                     });
                 }
             }
-        })
-    };
+        },
+    );
     let input_edges = if globals.num_edges > 0 {
         globals.num_edges
     } else {
@@ -295,14 +251,9 @@ pub fn wep_with(
 /// rank))` order because the edge slab is sorted by pair.
 type CepKey = (OrdF64, std::cmp::Reverse<(EntityId, EntityId)>);
 
-/// Streaming Cardinality Edge Pruning — bit-identical to
-/// [`crate::prune::cep`] on the built graph.
-///
-/// Each worker keeps a bounded top-k heap over the forward edges of its
-/// entity range (the `a < b` orientation visits every edge exactly once);
-/// the per-thread survivors merge through one more bounded heap. The key
-/// is a strict total order, so the merged set is the exact global top-k
-/// for any partitioning.
+/// Streaming Cardinality Edge Pruning — bit-identical to the materialised
+/// `prune::cep` on the built graph.
+#[doc(hidden)]
 pub fn cep(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -312,32 +263,49 @@ pub fn cep(
 }
 
 /// [`cep`] with explicit options.
+#[doc(hidden)]
 pub fn cep_with(
     collection: &BlockCollection,
     scheme: WeightingScheme,
     k: Option<usize>,
     opts: &StreamingOptions,
 ) -> PrunedComparisons {
-    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
-    let k = k.unwrap_or_else(|| crate::prune::default_cep_k_from(collection.total_assignments()));
+    cep_session(&mut SweepState::new(collection), scheme, k, opts.threads)
+}
+
+/// The session body of streaming CEP: each worker keeps a bounded top-k
+/// heap over the forward edges of its entity range (the `a < b`
+/// orientation visits every edge exactly once); the per-thread survivors
+/// merge through one more bounded heap. The key is a strict total order,
+/// so the merged set is the exact global top-k for any partitioning.
+pub(crate) fn cep_session(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    k: Option<usize>,
+    threads: usize,
+) -> PrunedComparisons {
+    let threads = threads.max(1);
+    let k =
+        k.unwrap_or_else(|| crate::prune::default_cep_k_from(st.collection.total_assignments()));
     if k == 0 {
         // Degenerate cardinality (empty or single-assignment collection):
         // report the edge count without driving a zero-capacity heap.
-        let g = count_pass(collection, &ranges);
-        return PrunedComparisons::empty(scheme, g.num_edges);
+        st.ensure_counted(threads);
+        return PrunedComparisons::empty(scheme, st.globals().num_edges);
     }
-    let globals = globals_for(collection, scheme, &ranges, false);
-    let n = collection.num_entities();
+    st.ensure(scheme, false, threads);
+    let ranges = st.ranges(threads);
+    let collection = st.collection;
+    let globals = st.globals();
+    let pool = &st.pool;
     let mut merged: TopK<CepKey> = TopK::new(k);
     let mut fwd_edges = 0u64;
-    {
-        let globals = &globals;
-        std::thread::scope(|s| {
-            let mut handles = Vec::with_capacity(ranges.len());
-            for r in &ranges {
-                let r = r.clone();
-                handles.push(s.spawn(move || {
-                    let mut scratch = SweepScratch::new(n);
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let r = r.clone();
+            handles.push(s.spawn(move || {
+                pool.with(|scratch| {
                     let mut top: TopK<CepKey> = TopK::new(k);
                     let mut fwd = 0u64;
                     for a in r {
@@ -348,7 +316,7 @@ pub fn cep_with(
                                 continue;
                             }
                             fwd += 1;
-                            let w = forward_weight(scheme, &scratch, a, y, globals);
+                            let w = forward_weight(scheme, scratch, a, y, globals);
                             if w > 0.0 {
                                 top.push((
                                     OrdF64(w),
@@ -358,17 +326,17 @@ pub fn cep_with(
                         }
                     }
                     (top, fwd)
-                }));
+                })
+            }));
+        }
+        for h in handles {
+            let (top, fwd) = h.join().expect("sweep worker panicked");
+            fwd_edges += fwd;
+            for item in top.into_sorted_vec() {
+                merged.push(item);
             }
-            for h in handles {
-                let (top, fwd) = h.join().expect("sweep worker panicked");
-                fwd_edges += fwd;
-                for item in top.into_sorted_vec() {
-                    merged.push(item);
-                }
-            }
-        });
-    }
+        }
+    });
     let input_edges = if globals.num_edges > 0 {
         globals.num_edges
     } else {
@@ -387,38 +355,56 @@ pub fn cep_with(
 }
 
 /// Every distinct comparable pair with its weight, sorted by pair — the
-/// streaming equivalent of weighting [`BlockingGraph`](crate::BlockingGraph)
-/// edges one by one (the unpruned path), without building the graph.
+/// streaming equivalent of weighting the blocking graph's edges one by
+/// one (the unpruned path), without building the graph.
+#[doc(hidden)]
 pub fn weighted_edges(collection: &BlockCollection, scheme: WeightingScheme) -> Vec<WeightedPair> {
     weighted_edges_with(collection, scheme, &StreamingOptions::default())
 }
 
 /// [`weighted_edges`] with explicit options.
+#[doc(hidden)]
 pub fn weighted_edges_with(
     collection: &BlockCollection,
     scheme: WeightingScheme,
     opts: &StreamingOptions,
 ) -> Vec<WeightedPair> {
-    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
-    let globals = globals_for(collection, scheme, &ranges, false);
-    let globals = &globals;
-    let (kept, _) = per_node_pass(collection, &ranges, move |a, scratch, _weights, out| {
-        for &y in scratch.neighbours() {
-            if y <= a {
-                continue;
-            }
-            out.push(WeightedPair {
-                a: EntityId(a),
-                b: EntityId(y),
-                weight: forward_weight(scheme, scratch, a, y, globals),
-            });
-        }
-    });
-    kept
+    weighted_edges_session(&mut SweepState::new(collection), scheme, opts.threads).0
 }
 
-/// Streaming Weighted Node Pruning — bit-identical to
-/// [`crate::prune::wnp`] on the built graph.
+/// The session body of the unpruned path; also returns the forward-edge
+/// count (= the pair count, every edge emitted once).
+pub(crate) fn weighted_edges_session(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    threads: usize,
+) -> (Vec<WeightedPair>, u64) {
+    let threads = threads.max(1);
+    st.ensure(scheme, false, threads);
+    let ranges = st.ranges(threads);
+    let (collection, globals, pool) = (st.collection, st.globals(), &st.pool);
+    per_node_pass(
+        collection,
+        &ranges,
+        pool,
+        move |a, scratch, _weights, out| {
+            for &y in scratch.neighbours() {
+                if y <= a {
+                    continue;
+                }
+                out.push(WeightedPair {
+                    a: EntityId(a),
+                    b: EntityId(y),
+                    weight: forward_weight(scheme, scratch, a, y, globals),
+                });
+            }
+        },
+    )
+}
+
+/// Streaming Weighted Node Pruning — bit-identical to the materialised
+/// `prune::wnp` on the built graph.
+#[doc(hidden)]
 pub fn wnp(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -428,17 +414,37 @@ pub fn wnp(
 }
 
 /// [`wnp`] with explicit options.
+#[doc(hidden)]
 pub fn wnp_with(
     collection: &BlockCollection,
     scheme: WeightingScheme,
     reciprocal: bool,
     opts: &StreamingOptions,
 ) -> PrunedComparisons {
-    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
-    let globals = globals_for(collection, scheme, &ranges, false);
-    let (kept, fwd) = {
-        let globals = &globals;
-        per_node_pass(collection, &ranges, move |a, scratch, weights, out| {
+    wnp_session(
+        &mut SweepState::new(collection),
+        scheme,
+        reciprocal,
+        opts.threads,
+    )
+}
+
+/// The session body of streaming WNP.
+pub(crate) fn wnp_session(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    threads: usize,
+) -> PrunedComparisons {
+    let threads = threads.max(1);
+    st.ensure(scheme, false, threads);
+    let ranges = st.ranges(threads);
+    let (collection, globals, pool) = (st.collection, st.globals(), &st.pool);
+    let (kept, fwd) = per_node_pass(
+        collection,
+        &ranges,
+        pool,
+        move |a, scratch, weights, out| {
             neighbour_weights(scheme, scratch, a, globals, weights);
             let threshold = mean(weights);
             for (i, &y) in scratch.neighbours().iter().enumerate() {
@@ -447,8 +453,8 @@ pub fn wnp_with(
                     out.push(normalised(a, y, w));
                 }
             }
-        })
-    };
+        },
+    );
     let input_edges = if globals.num_edges > 0 {
         globals.num_edges
     } else {
@@ -457,8 +463,9 @@ pub fn wnp_with(
     PrunedComparisons::from_weighted_pairs(combine_votes(kept, reciprocal), scheme, input_edges)
 }
 
-/// Streaming Cardinality Node Pruning — bit-identical to
-/// [`crate::prune::cnp`] on the built graph.
+/// Streaming Cardinality Node Pruning — bit-identical to the materialised
+/// `prune::cnp` on the built graph.
+#[doc(hidden)]
 pub fn cnp(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -475,6 +482,7 @@ pub fn cnp(
 }
 
 /// [`cnp`] with explicit options.
+#[doc(hidden)]
 pub fn cnp_with(
     collection: &BlockCollection,
     scheme: WeightingScheme,
@@ -482,21 +490,45 @@ pub fn cnp_with(
     k: Option<usize>,
     opts: &StreamingOptions,
 ) -> PrunedComparisons {
-    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
+    cnp_session(
+        &mut SweepState::new(collection),
+        scheme,
+        reciprocal,
+        k,
+        opts.threads,
+    )
+}
+
+/// The session body of streaming CNP.
+pub(crate) fn cnp_session(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    reciprocal: bool,
+    k: Option<usize>,
+    threads: usize,
+) -> PrunedComparisons {
+    let threads = threads.max(1);
     // The default k needs the active-node count, which needs a counting
     // pass anyway; EJS needs one for degrees. Otherwise one pass suffices.
-    let globals = globals_for(collection, scheme, &ranges, k.is_none());
+    st.ensure(scheme, k.is_none(), threads);
     let k = k.unwrap_or_else(|| {
-        crate::prune::default_cnp_k_from(collection.total_assignments(), globals.active_nodes)
+        crate::prune::default_cnp_k_from(
+            st.collection.total_assignments(),
+            st.globals().active_nodes,
+        )
     });
     if k == 0 {
         // Explicit zero cardinality: mirror `prune::cnp`'s guard.
-        let g = count_pass(collection, &ranges);
-        return PrunedComparisons::empty(scheme, g.num_edges);
+        st.ensure_counted(threads);
+        return PrunedComparisons::empty(scheme, st.globals().num_edges);
     }
-    let (kept, fwd) = {
-        let globals = &globals;
-        per_node_pass(collection, &ranges, move |a, scratch, weights, out| {
+    let ranges = st.ranges(threads);
+    let (collection, globals, pool) = (st.collection, st.globals(), &st.pool);
+    let (kept, fwd) = per_node_pass(
+        collection,
+        &ranges,
+        pool,
+        move |a, scratch, weights, out| {
             neighbour_weights(scheme, scratch, a, globals, weights);
             // Same selector the materialised path uses; tie-breaking by
             // normalised pair is order-isomorphic to the global edge index.
@@ -515,8 +547,8 @@ pub fn cnp_with(
                     weight: w.0,
                 });
             }
-        })
-    };
+        },
+    );
     let input_edges = if globals.num_edges > 0 {
         globals.num_edges
     } else {
@@ -526,79 +558,185 @@ pub fn cnp_with(
 }
 
 /// Streaming BLAST (χ² weighting, loose ratio-of-local-max pruning) —
-/// bit-identical to [`crate::blast::blast`] on the built graph.
+/// bit-identical to the materialised `blast::blast` on the built graph.
 ///
 /// # Panics
 /// Panics unless `0 < ratio ≤ 1`.
+#[doc(hidden)]
 pub fn blast(collection: &BlockCollection, ratio: f64) -> PrunedComparisons {
     blast_with(collection, ratio, &StreamingOptions::default())
 }
 
 /// [`blast`] with explicit options.
+#[doc(hidden)]
 pub fn blast_with(
     collection: &BlockCollection,
     ratio: f64,
     opts: &StreamingOptions,
 ) -> PrunedComparisons {
+    blast_session(&mut SweepState::new(collection), ratio, opts.threads)
+}
+
+/// The session body of streaming BLAST.
+pub(crate) fn blast_session(
+    st: &mut SweepState<'_>,
+    ratio: f64,
+    threads: usize,
+) -> PrunedComparisons {
     assert!(ratio > 0.0 && ratio <= 1.0, "ratio must be in (0, 1]");
-    let ranges = entity_sweep_ranges(collection, opts.threads.max(1));
-    let blocks = kernel::blocks_of(collection);
-    let num_blocks = collection.len();
+    let threads = threads.max(1);
+    st.ensure_basic();
+    let ranges = st.ranges(threads);
+    let (collection, globals, pool) = (st.collection, st.globals(), &st.pool);
+    let blocks = &globals.blocks_of;
+    let num_blocks = globals.num_blocks;
 
     // Pass 1: per-node local χ² maxima.
     let n = collection.num_entities();
     let mut local_max = vec![0.0f64; n];
-    {
-        let blocks = &blocks;
-        fill_per_entity(collection, &ranges, &mut local_max, |a, scratch| {
-            let mut max = 0.0f64;
-            for &y in scratch.neighbours() {
-                // Normalised endpoint order — see `neighbour_weights`.
-                let (lo, hi) = if a < y as usize {
-                    (a, y as usize)
-                } else {
-                    (y as usize, a)
-                };
-                let w =
-                    chi_square_from_stats(scratch.cbs_of(y), blocks[lo], blocks[hi], num_blocks);
-                if w > max {
-                    max = w;
-                }
+    crate::sweep::fill_per_entity(collection, &ranges, pool, &mut local_max, |a, scratch| {
+        let mut max = 0.0f64;
+        for &y in scratch.neighbours() {
+            // Normalised endpoint order — see `neighbour_weights`.
+            let (lo, hi) = if a < y as usize {
+                (a, y as usize)
+            } else {
+                (y as usize, a)
+            };
+            let w = chi_square_from_stats(scratch.cbs_of(y), blocks[lo], blocks[hi], num_blocks);
+            if w > max {
+                max = w;
             }
-            max
-        });
-    }
+        }
+        max
+    });
 
     // Pass 2: emit each edge once (at its smaller endpoint) if either
     // endpoint would keep it.
-    let blocks_ref = &blocks;
     let local_max_ref = &local_max;
-    let (kept, fwd) = per_node_pass(collection, &ranges, move |a, scratch, _weights, out| {
-        for &y in scratch.neighbours() {
-            if y <= a {
-                continue;
+    let (kept, fwd) = per_node_pass(
+        collection,
+        &ranges,
+        pool,
+        move |a, scratch, _weights, out| {
+            for &y in scratch.neighbours() {
+                if y <= a {
+                    continue;
+                }
+                let w = chi_square_from_stats(
+                    scratch.cbs_of(y),
+                    blocks[a as usize],
+                    blocks[y as usize],
+                    num_blocks,
+                );
+                if w > 0.0
+                    && (w >= ratio * local_max_ref[a as usize]
+                        || w >= ratio * local_max_ref[y as usize])
+                {
+                    out.push(WeightedPair {
+                        a: EntityId(a),
+                        b: EntityId(y),
+                        weight: w,
+                    });
+                }
             }
-            let w = chi_square_from_stats(
-                scratch.cbs_of(y),
-                blocks_ref[a as usize],
-                blocks_ref[y as usize],
-                num_blocks,
-            );
-            if w > 0.0
-                && (w >= ratio * local_max_ref[a as usize]
-                    || w >= ratio * local_max_ref[y as usize])
-            {
-                out.push(WeightedPair {
-                    a: EntityId(a),
-                    b: EntityId(y),
-                    weight: w,
-                });
-            }
-        }
-    });
+        },
+    );
     // BLAST reports the χ² values under the CBS label, matching the
     // materialised implementation.
     PrunedComparisons::from_weighted_pairs(kept, WeightingScheme::Cbs, fwd as usize)
+}
+
+/// Streaming supervised pruning — bit-identical to the materialised
+/// `supervised::supervised_prune` on the built graph.
+#[doc(hidden)]
+pub fn supervised_prune(collection: &BlockCollection, model: &Perceptron) -> PrunedComparisons {
+    supervised_prune_with(collection, model, &StreamingOptions::default())
+}
+
+/// [`supervised_prune`] with explicit options.
+#[doc(hidden)]
+pub fn supervised_prune_with(
+    collection: &BlockCollection,
+    model: &Perceptron,
+    opts: &StreamingOptions,
+) -> PrunedComparisons {
+    supervised_session(&mut SweepState::new(collection), model, opts.threads)
+}
+
+/// The session body of streaming supervised pruning: pass 1 finds the
+/// global per-feature maxima (f64 `max` merges exactly, so the result is
+/// partition-independent); pass 2 normalises and scores each forward
+/// edge, keeping positive-margin pairs weighted by `sigmoid(margin)`.
+pub(crate) fn supervised_session(
+    st: &mut SweepState<'_>,
+    model: &Perceptron,
+    threads: usize,
+) -> PrunedComparisons {
+    let threads = threads.max(1);
+    // Features include the endpoint degrees and the EJS weight, which
+    // need the counted tier (degrees + |V|).
+    st.ensure_counted(threads);
+    let ranges = st.ranges(threads);
+    let (collection, globals, pool) = (st.collection, st.globals(), &st.pool);
+
+    // Pass 1: per-feature maxima over all forward edges.
+    let mut max = [0.0f64; NUM_FEATURES];
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let r = r.clone();
+            handles.push(s.spawn(move || {
+                pool.with(|scratch| {
+                    let mut local = [0.0f64; NUM_FEATURES];
+                    for a in r {
+                        let a = a as u32;
+                        scratch.sweep(collection, EntityId(a));
+                        for &y in scratch.neighbours() {
+                            if y <= a {
+                                continue;
+                            }
+                            let raw = supervised::raw_forward_features(scratch, a, y, globals);
+                            supervised::merge_feature_max(&mut local, &raw);
+                        }
+                    }
+                    local
+                })
+            }));
+        }
+        for h in handles {
+            let local = h.join().expect("sweep worker panicked");
+            supervised::merge_feature_max(&mut max, &local);
+        }
+    });
+    let extractor = supervised::FeatureExtractor::from_max(max);
+
+    // Pass 2: score and keep positive-margin edges.
+    let extractor_ref = &extractor;
+    let (kept, _) = per_node_pass(
+        collection,
+        &ranges,
+        pool,
+        move |a, scratch, _weights, out| {
+            for &y in scratch.neighbours() {
+                if y <= a {
+                    continue;
+                }
+                let raw = supervised::raw_forward_features(scratch, a, y, globals);
+                let score = model.score(&extractor_ref.normalise(raw));
+                if score > 0.0 {
+                    out.push(WeightedPair {
+                        a: EntityId(a),
+                        b: EntityId(y),
+                        weight: supervised::sigmoid(score),
+                    });
+                }
+            }
+        },
+    );
+    // The supervised pruner reports its sigmoid weights under the CBS
+    // label, matching the materialised implementation.
+    PrunedComparisons::from_weighted_pairs(kept, WeightingScheme::Cbs, globals.num_edges)
 }
 
 #[cfg(test)]
@@ -679,6 +817,30 @@ mod tests {
         let s = cnp(&blocks, WeightingScheme::Js, false, None);
         let m = prune::cnp(&graph, WeightingScheme::Js, false, None);
         assert_bit_identical(&s, &m, "cnp/default-k");
+    }
+
+    #[test]
+    fn streaming_supervised_matches_materialised() {
+        use crate::supervised::{FeatureExtractor, Perceptron, TrainingSet};
+        let world = generate(&profiles::center_dense(150, 5));
+        let blocks = token_blocking(&world.dataset, ErMode::CleanClean);
+        let graph = BlockingGraph::build(&blocks);
+        let extractor = FeatureExtractor::fit(&graph);
+        let set = TrainingSet::sample(
+            &graph,
+            &extractor,
+            |a, b| world.truth.is_match(a, b),
+            40,
+            17,
+        );
+        let model = Perceptron::train(&set, 12);
+        let m = crate::supervised::supervised_prune(&graph, &model);
+        assert!(!m.pairs.is_empty(), "fixture model must keep something");
+        for threads in [1, 4] {
+            let s =
+                supervised_prune_with(&blocks, &model, &StreamingOptions::with_threads(threads));
+            assert_bit_identical(&s, &m, &format!("supervised/t={threads}"));
+        }
     }
 
     #[test]

@@ -7,18 +7,29 @@
 //! reproduces that design with a deterministic averaged perceptron (no
 //! external ML dependency):
 //!
-//! 1. [`EdgeFeatures::extract`] — the feature vector of an edge: the five
+//! 1. [`FeatureExtractor`] — the feature vector of an edge: the five
 //!    standard scheme weights plus the two endpoint degrees, each
 //!    max-normalised over the graph so the perceptron sees `[0, 1]` inputs.
+//!    [`FeatureExtractor::extract_all`] batches extraction by walking the
+//!    CSR rows of the edge slab instead of doing per-edge lookups, and
+//!    [`FeatureExtractor::fit_extract_all`] computes the raw features
+//!    exactly once for both fitting and extraction.
 //! 2. [`TrainingSet::sample`] — a balanced labelled sample drawn
 //!    deterministically from a ground-truth oracle.
 //! 3. [`Perceptron`] — averaged-perceptron training and scoring.
-//! 4. [`supervised_prune`] — keeps the edges the model classifies as
-//!    likely matches; surviving edges are weighted by the decision margin,
-//!    so downstream progressive scheduling still gets a ranking.
+//! 4. `supervised_prune` — keeps the edges the model classifies as likely
+//!    matches; surviving edges are weighted by the decision margin, so
+//!    downstream progressive scheduling still gets a ranking. Reachable
+//!    from every backend through
+//!    [`Pruning::Supervised`](crate::Pruning::Supervised) on a
+//!    [`Session`](crate::Session); the sweep backends recompute the same
+//!    features through the shared weight kernel, so all three backends
+//!    stay bit-identical.
 
 use crate::graph::{BlockingGraph, Edge};
+use crate::kernel::{self, WeightGlobals};
 use crate::prune::{PrunedComparisons, WeightedPair};
+use crate::sweep::SweepScratch;
 use crate::weights::WeightingScheme;
 use minoan_rdf::EntityId;
 
@@ -48,9 +59,53 @@ impl FeatureExtractor {
         Self { max }
     }
 
+    /// Fits the extractor *and* extracts every edge's feature vector in
+    /// one batched pass: the raw features are computed exactly once (the
+    /// fit-then-extract path computes them twice), walking the edge slab
+    /// CSR row by CSR row. The returned vectors align with
+    /// `graph.edges()` and are bit-identical to per-edge
+    /// [`Self::extract`] calls.
+    pub fn fit_extract_all(graph: &BlockingGraph) -> (Self, Vec<EdgeFeatures>) {
+        let mut raw: Vec<[f64; NUM_FEATURES]> = Vec::with_capacity(graph.num_edges());
+        let mut max = [0.0f64; NUM_FEATURES];
+        for a in 0..graph.num_nodes() as u32 {
+            for e in graph.edges_from(EntityId(a)) {
+                let r = raw_features(graph, e);
+                merge_feature_max(&mut max, &r);
+                raw.push(r);
+            }
+        }
+        let extractor = Self { max };
+        let features = raw.into_iter().map(|r| extractor.normalise(r)).collect();
+        (extractor, features)
+    }
+
+    /// Batch-extracts every edge's feature vector with this (already
+    /// fitted) extractor, walking the CSR rows; aligned with
+    /// `graph.edges()`.
+    pub fn extract_all(&self, graph: &BlockingGraph) -> Vec<EdgeFeatures> {
+        let mut out = Vec::with_capacity(graph.num_edges());
+        for a in 0..graph.num_nodes() as u32 {
+            for e in graph.edges_from(EntityId(a)) {
+                out.push(self.normalise(raw_features(graph, e)));
+            }
+        }
+        out
+    }
+
     /// Extracts the normalised feature vector of `edge`.
     pub fn extract(&self, graph: &BlockingGraph, edge: &Edge) -> EdgeFeatures {
-        let raw = raw_features(graph, edge);
+        self.normalise(raw_features(graph, edge))
+    }
+
+    /// An extractor from externally-computed per-feature maxima (the
+    /// sweep backends' pass-1 reduction).
+    pub(crate) fn from_max(max: [f64; NUM_FEATURES]) -> Self {
+        Self { max }
+    }
+
+    /// Normalises a raw feature vector by the fitted maxima.
+    pub(crate) fn normalise(&self, raw: [f64; NUM_FEATURES]) -> EdgeFeatures {
         let mut out = [0.0f64; NUM_FEATURES];
         for i in 0..NUM_FEATURES {
             out[i] = if self.max[i] > 0.0 {
@@ -80,6 +135,47 @@ fn raw_features(graph: &BlockingGraph, e: &Edge) -> [f64; NUM_FEATURES] {
         graph.degree(e.a) as f64,
         graph.degree(e.b) as f64,
     ]
+}
+
+/// Raw features of the forward edge `(a, y)` (`a < y`) from the current
+/// sweep's statistics — the sweep-backend twin of `raw_features`. Every
+/// entry goes through the same shared kernel as the materialised path
+/// ([`kernel::weight_from_stats`] per scheme, counted degrees for the
+/// last two slots), so the f64 bits agree across backends. `globals`
+/// must carry the counted tier (degrees + |V|).
+pub(crate) fn raw_forward_features(
+    scratch: &SweepScratch,
+    a: u32,
+    y: u32,
+    globals: &WeightGlobals,
+) -> [f64; NUM_FEATURES] {
+    [
+        kernel::forward_weight(WeightingScheme::Cbs, scratch, a, y, globals),
+        kernel::forward_weight(WeightingScheme::Ecbs, scratch, a, y, globals),
+        kernel::forward_weight(WeightingScheme::Js, scratch, a, y, globals),
+        kernel::forward_weight(WeightingScheme::Ejs, scratch, a, y, globals),
+        kernel::forward_weight(WeightingScheme::Arcs, scratch, a, y, globals),
+        globals.degrees[a as usize] as f64,
+        globals.degrees[y as usize] as f64,
+    ]
+}
+
+/// The margin → weight squash every supervised path shares.
+pub(crate) fn sigmoid(score: f64) -> f64 {
+    1.0 / (1.0 + (-score).exp())
+}
+
+/// Element-wise per-feature maximum fold — the one definition of how
+/// feature maxima accumulate and merge. Strict `>` (exact f64 `max`, no
+/// NaN inputs by construction), so partial maxima merge to the same bits
+/// regardless of partitioning; every backend's fit/merge path must go
+/// through this so the normalisation constants stay bit-identical.
+pub(crate) fn merge_feature_max(dst: &mut [f64; NUM_FEATURES], src: &[f64; NUM_FEATURES]) {
+    for (m, v) in dst.iter_mut().zip(src) {
+        if *v > *m {
+            *m = *v;
+        }
+    }
 }
 
 /// A balanced labelled sample of edges.
@@ -161,8 +257,10 @@ fn gcd(a: usize, b: usize) -> usize {
     }
 }
 
-/// An averaged perceptron over [`EdgeFeatures`].
-#[derive(Clone, Debug)]
+/// An averaged perceptron over [`EdgeFeatures`]. `Copy` so a trained
+/// model can travel inside [`Pruning::Supervised`](crate::Pruning) by
+/// value.
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Perceptron {
     /// Feature weights.
     pub weights: [f64; NUM_FEATURES],
@@ -239,37 +337,40 @@ impl Perceptron {
 }
 
 /// Keeps the edges the model scores positive; weight = sigmoid(margin), so
-/// the output ranks like the unsupervised pruners.
+/// the output ranks like the unsupervised pruners. Features come from the
+/// batched [`FeatureExtractor::fit_extract_all`] (one raw-feature pass
+/// over the CSR rows instead of fit-then-extract's two).
+#[doc(hidden)]
 pub fn supervised_prune(graph: &BlockingGraph, model: &Perceptron) -> PrunedComparisons {
-    let extractor = FeatureExtractor::fit(graph);
-    let mut pairs: Vec<WeightedPair> = graph
+    let (_, features) = FeatureExtractor::fit_extract_all(graph);
+    prune_with_features(graph, &features, model)
+}
+
+/// Scores pre-extracted features (aligned with `graph.edges()`) — the
+/// session path, which caches the feature vectors across models.
+pub(crate) fn prune_with_features(
+    graph: &BlockingGraph,
+    features: &[EdgeFeatures],
+    model: &Perceptron,
+) -> PrunedComparisons {
+    let pairs: Vec<WeightedPair> = graph
         .edges()
         .iter()
-        .filter_map(|e| {
-            let score = model.score(&extractor.extract(graph, e));
+        .zip(features)
+        .filter_map(|(e, f)| {
+            let score = model.score(f);
             if score > 0.0 {
-                let weight = 1.0 / (1.0 + (-score).exp());
                 Some(WeightedPair {
                     a: e.a,
                     b: e.b,
-                    weight,
+                    weight: sigmoid(score),
                 })
             } else {
                 None
             }
         })
         .collect();
-    pairs.sort_by(|x, y| {
-        y.weight
-            .partial_cmp(&x.weight)
-            .expect("sigmoid weights are finite")
-            .then_with(|| (x.a, x.b).cmp(&(y.a, y.b)))
-    });
-    PrunedComparisons {
-        pairs,
-        scheme: WeightingScheme::Cbs,
-        input_edges: graph.num_edges(),
-    }
+    PrunedComparisons::from_weighted_pairs(pairs, WeightingScheme::Cbs, graph.num_edges())
 }
 
 #[cfg(test)]
@@ -294,6 +395,48 @@ mod tests {
                 assert!(
                     (0.0..=1.0 + 1e-12).contains(&v),
                     "feature out of range: {v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extract_all_is_bit_identical_to_edge_by_edge() {
+        let (graph, _) = graph_and_truth();
+        let (fitted, batched) = FeatureExtractor::fit_extract_all(&graph);
+        assert_eq!(batched.len(), graph.num_edges());
+        // fit_extract_all's maxima equal fit's (same comparisons).
+        let separate = FeatureExtractor::fit(&graph);
+        assert_eq!(fitted.max, separate.max);
+        // The batched CSR-row walk must equal per-edge extraction, bitwise.
+        for (i, e) in graph.edges().iter().enumerate() {
+            let single = separate.extract(&graph, e);
+            for (a, b) in batched[i].0.iter().zip(&single.0) {
+                assert_eq!(a.to_bits(), b.to_bits(), "edge {i}");
+            }
+        }
+        // And extract_all on a pre-fitted extractor agrees too.
+        let again = separate.extract_all(&graph);
+        assert_eq!(again, batched);
+    }
+
+    /// Regression: the CBS and ARCS feature columns must stay in parity
+    /// with the schemes' own weights — i.e. the batched extractor is the
+    /// scheme weight divided by its global maximum, bit for bit, for both
+    /// the count-based (CBS) and the reciprocal-comparison (ARCS) scheme.
+    #[test]
+    fn cbs_vs_arcs_feature_parity_with_scheme_weights() {
+        let (graph, _) = graph_and_truth();
+        let (_, features) = FeatureExtractor::fit_extract_all(&graph);
+        for (column, scheme) in [(0usize, WeightingScheme::Cbs), (4, WeightingScheme::Arcs)] {
+            let weights = scheme.all_weights(&graph);
+            let max = weights.iter().cloned().fold(0.0f64, f64::max);
+            assert!(max > 0.0, "{scheme:?}: degenerate fixture");
+            for (i, f) in features.iter().enumerate() {
+                assert_eq!(
+                    f.0[column].to_bits(),
+                    (weights[i] / max).to_bits(),
+                    "{scheme:?} feature column diverged at edge {i}"
                 );
             }
         }

@@ -14,8 +14,11 @@
 //! which is what makes the streaming pruning paths *bit-identical* to the
 //! materialised ones.
 
+use crate::kernel::WeightGlobals;
+use crate::weights::WeightingScheme;
 use minoan_blocking::BlockCollection;
 use minoan_rdf::EntityId;
+use std::sync::Mutex;
 
 /// Reusable per-worker scratch for node-centric sweeps over a collection
 /// with `n` entities.
@@ -36,6 +39,7 @@ pub(crate) struct SweepScratch {
 impl SweepScratch {
     /// Scratch sized for `n` entities.
     pub(crate) fn new(n: usize) -> Self {
+        crate::probe::record_scratch_alloc();
         Self {
             last_seen: vec![0; n],
             cbs: vec![0; n],
@@ -51,9 +55,11 @@ impl SweepScratch {
     pub(crate) fn sweep(&mut self, collection: &BlockCollection, a: EntityId) -> &[u32] {
         self.epoch = self.epoch.wrapping_add(1);
         if self.epoch == 0 {
-            // Extremely long-lived scratch wrapped around: clear lazily by
-            // resetting all stamps (amortised to nothing in practice).
-            self.last_seen.fill(u32::MAX);
+            // Extremely long-lived scratch (now reachable: the session
+            // pool keeps scratches alive across runs) wrapped around:
+            // reset all stamps to 0, which no future epoch ever equals
+            // (this branch skips 0), so stale slots can never collide.
+            self.last_seen.fill(0);
             self.epoch = 1;
         }
         self.touched.clear();
@@ -90,6 +96,198 @@ impl SweepScratch {
     pub(crate) fn arcs_of(&self, y: u32) -> f64 {
         self.arcs[y as usize]
     }
+}
+
+/// A free-list of [`SweepScratch`]es shared by the workers of a sweep
+/// pass. Sweeps are epoch-reset, so a returned scratch is immediately
+/// reusable; the pool only ever allocates on a miss, which is what lets a
+/// [`Session`](crate::Session) sweep many scheme × pruning combinations
+/// with the scratch allocations of a single run (the `probe` counters
+/// assert this).
+pub(crate) struct ScratchPool {
+    n: usize,
+    free: Mutex<Vec<SweepScratch>>,
+}
+
+impl ScratchPool {
+    /// An empty pool for collections with `n` entities.
+    pub(crate) fn new(n: usize) -> Self {
+        Self {
+            n,
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn take(&self) -> SweepScratch {
+        let pooled = self.free.lock().expect("scratch pool poisoned").pop();
+        pooled.unwrap_or_else(|| SweepScratch::new(self.n))
+    }
+
+    fn put(&self, scratch: SweepScratch) {
+        self.free
+            .lock()
+            .expect("scratch pool poisoned")
+            .push(scratch);
+    }
+
+    /// Runs `f` with a pooled scratch, returning the scratch to the pool
+    /// afterwards (dropped instead if `f` panics — a poisoned sweep must
+    /// not be reused).
+    pub(crate) fn with<R>(&self, f: impl FnOnce(&mut SweepScratch) -> R) -> R {
+        let mut scratch = self.take();
+        let out = f(&mut scratch);
+        self.put(scratch);
+        out
+    }
+}
+
+/// One parallel pass filling a per-entity slot from its sweep — used for
+/// degree counting and BLAST local maxima. Shared by the streaming and
+/// session paths; scratches come from `pool`.
+pub(crate) fn fill_per_entity<T: Send, F>(
+    collection: &BlockCollection,
+    ranges: &[std::ops::Range<usize>],
+    pool: &ScratchPool,
+    out: &mut [T],
+    f: F,
+) where
+    F: Fn(usize, &SweepScratch) -> T + Sync,
+{
+    let chunks = split_by_ends(out, ranges.iter().map(|r| r.end));
+    let f = &f;
+    std::thread::scope(|s| {
+        for (r, chunk) in ranges.iter().zip(chunks) {
+            let r = r.clone();
+            s.spawn(move || {
+                pool.with(|scratch| {
+                    for a in r.clone() {
+                        scratch.sweep(collection, EntityId(a as u32));
+                        chunk[a - r.start] = f(a, scratch);
+                    }
+                });
+            });
+        }
+    });
+}
+
+/// The expensive state a sweep-based backend (streaming or MapReduce)
+/// needs before it can weight an edge, owned and cached across runs by
+/// [`Session`](crate::Session): the per-entity sweep-cost slab and its
+/// range partitionings, the [`WeightGlobals`] tiers (basic, and the
+/// counted degrees/|V|/active-node upgrade), and the scratch pool.
+///
+/// The one-shot free functions construct a throwaway `SweepState` per
+/// call, which reproduces the pre-session behaviour exactly.
+pub(crate) struct SweepState<'c> {
+    pub(crate) collection: &'c BlockCollection,
+    pub(crate) pool: ScratchPool,
+    costs: Option<Vec<u64>>,
+    ranges: Vec<(usize, Vec<std::ops::Range<usize>>)>,
+    globals: Option<WeightGlobals>,
+    counted: bool,
+}
+
+impl<'c> SweepState<'c> {
+    pub(crate) fn new(collection: &'c BlockCollection) -> Self {
+        Self {
+            collection,
+            pool: ScratchPool::new(collection.num_entities()),
+            costs: None,
+            ranges: Vec::new(),
+            globals: None,
+            counted: false,
+        }
+    }
+
+    /// Cost-balanced contiguous entity ranges for `parts` workers, cached
+    /// per part count (the per-entity cost slab is computed once).
+    pub(crate) fn ranges(&mut self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        if let Some((_, r)) = self.ranges.iter().find(|(p, _)| *p == parts) {
+            return r.clone();
+        }
+        let collection = self.collection;
+        let costs = self.costs.get_or_insert_with(|| sweep_costs(collection));
+        let r = partition_by_cost(costs, parts);
+        self.ranges.push((parts, r.clone()));
+        r
+    }
+
+    /// Ensures the globals tier `scheme` (and `need_active`) requires:
+    /// the basic per-entity block counts always, plus — for EJS or
+    /// active-node consumers — the counting pass, run at most once per
+    /// state regardless of how many runs need it.
+    pub(crate) fn ensure(&mut self, scheme: WeightingScheme, need_active: bool, threads: usize) {
+        self.ensure_basic();
+        if (scheme == WeightingScheme::Ejs || need_active) && !self.counted {
+            self.count(threads);
+        }
+    }
+
+    /// Ensures the counted tier (degrees, |V|, active nodes).
+    pub(crate) fn ensure_counted(&mut self, threads: usize) {
+        self.ensure_basic();
+        if !self.counted {
+            self.count(threads);
+        }
+    }
+
+    /// Ensures the basic tier (per-entity block counts, |B|).
+    pub(crate) fn ensure_basic(&mut self) {
+        if self.globals.is_none() {
+            self.globals = Some(WeightGlobals::basic(self.collection));
+        }
+    }
+
+    fn count(&mut self, threads: usize) {
+        let ranges = self.ranges(threads.max(1));
+        let mut degrees = vec![0u32; self.collection.num_entities()];
+        fill_per_entity(
+            self.collection,
+            &ranges,
+            &self.pool,
+            &mut degrees,
+            |_a, s| s.neighbours().len() as u32,
+        );
+        self.apply_count(degrees);
+    }
+
+    /// Installs externally-computed per-entity degrees (the MapReduce
+    /// counting job) as the counted tier.
+    pub(crate) fn apply_count(&mut self, degrees: Vec<u32>) {
+        self.ensure_basic();
+        let g = self.globals.as_mut().expect("just ensured");
+        // |V| = Σ degrees / 2 (every edge counted at both endpoints).
+        g.num_edges = degrees.iter().map(|&d| d as u64).sum::<u64>() as usize / 2;
+        g.active_nodes = degrees.iter().filter(|&&d| d > 0).count();
+        g.degrees = degrees;
+        self.counted = true;
+    }
+
+    /// Whether the counted tier is installed.
+    pub(crate) fn is_counted(&self) -> bool {
+        self.counted
+    }
+
+    /// The cached globals; call [`Self::ensure`] (or a sibling) first.
+    pub(crate) fn globals(&self) -> &WeightGlobals {
+        self.globals
+            .as_ref()
+            .expect("SweepState::ensure must run first")
+    }
+}
+
+/// Per-entity sweep cost (Σ sizes of the entity's blocks) — the balance
+/// metric of the range partitioner.
+fn sweep_costs(collection: &BlockCollection) -> Vec<u64> {
+    (0..collection.num_entities() as u32)
+        .map(|e| {
+            collection
+                .entity_blocks(EntityId(e))
+                .iter()
+                .map(|&b| collection.block(b).len() as u64)
+                .sum()
+        })
+        .collect()
 }
 
 /// Splits `0..costs.len()` into at most `parts` contiguous ranges of
@@ -134,16 +332,7 @@ pub(crate) fn entity_sweep_ranges(
     collection: &BlockCollection,
     threads: usize,
 ) -> Vec<std::ops::Range<usize>> {
-    let costs: Vec<u64> = (0..collection.num_entities() as u32)
-        .map(|e| {
-            collection
-                .entity_blocks(EntityId(e))
-                .iter()
-                .map(|&b| collection.block(b).len() as u64)
-                .sum()
-        })
-        .collect();
-    partition_by_cost(&costs, threads)
+    partition_by_cost(&sweep_costs(collection), threads)
 }
 
 /// Splits `slice` at the given cumulative `ends` (ascending, last ==

@@ -9,7 +9,7 @@
 //! | [`datagen`] | `minoan-datagen` | synthetic LOD worlds + ground truth |
 //! | [`mapreduce`] | `minoan-mapreduce` | the in-process MapReduce engine |
 //! | [`blocking`] | `minoan-blocking` | token/URI/attribute-clustering blocking, purging, filtering |
-//! | [`metablocking`] | `minoan-metablocking` | blocking graph, weighting, pruning (serial + parallel) |
+//! | [`metablocking`] | `minoan-metablocking` | the meta-blocking `Session` (scheme × pruning × backend), blocking graph, weighting |
 //! | [`similarity`] | `minoan-similarity` | token and string similarity measures |
 //! | [`er`] | `minoan-er` | **the progressive ER engine and pipeline** |
 //! | [`eval`] | `minoan-eval` | PC/PQ/RR, precision/recall, progressive curves, bootstrap CIs, ASCII plots |
@@ -39,6 +39,8 @@ pub mod prelude {
     };
     pub use minoan_eval::{metrics, progressive, Table};
     pub use minoan_mapreduce::Engine;
-    pub use minoan_metablocking::{prune, BlockingGraph, WeightingScheme};
+    pub use minoan_metablocking::{
+        prune, BlockingGraph, ExecutionBackend, PruneOutcome, Pruning, Session, WeightingScheme,
+    };
     pub use minoan_rdf::{Dataset, DatasetBuilder, EntityId, KbId};
 }

@@ -1,14 +1,13 @@
 //! Helpers shared by the backend-equivalence integration suites.
 
-use minoan::metablocking::PrunedComparisons;
+use minoan::metablocking::{PruneOutcome, PrunedComparisons, WeightedPair};
 
-/// The one definition of "bit-identical pruning output" the equivalence
-/// suites assert: same input-edge count, same pair order, same f64
-/// weight bits.
-pub fn assert_bit_identical(a: &PrunedComparisons, b: &PrunedComparisons, label: &str) {
-    assert_eq!(a.input_edges, b.input_edges, "{label}: input_edges");
-    assert_eq!(a.pairs.len(), b.pairs.len(), "{label}: kept count");
-    for (x, y) in a.pairs.iter().zip(&b.pairs) {
+/// Bit-identity over bare pair lists: same pairs in the same order with
+/// the same f64 weight bits.
+#[allow(dead_code)]
+pub fn assert_pairs_bit_identical(a: &[WeightedPair], b: &[WeightedPair], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: kept count");
+    for (x, y) in a.iter().zip(b) {
         assert_eq!((x.a, x.b), (y.a, y.b), "{label}: pair order");
         assert_eq!(
             x.weight.to_bits(),
@@ -20,4 +19,19 @@ pub fn assert_bit_identical(a: &PrunedComparisons, b: &PrunedComparisons, label:
             y.weight
         );
     }
+}
+
+/// The one definition of "bit-identical pruning output" the equivalence
+/// suites assert: same input-edge count, same pair order, same f64
+/// weight bits.
+pub fn assert_bit_identical(a: &PrunedComparisons, b: &PrunedComparisons, label: &str) {
+    assert_eq!(a.input_edges, b.input_edges, "{label}: input_edges");
+    assert_pairs_bit_identical(&a.pairs, &b.pairs, label);
+}
+
+/// As [`assert_bit_identical`], comparing a session [`PruneOutcome`]
+/// against a pre-session single-shot result.
+#[allow(dead_code)]
+pub fn assert_outcome_bit_identical(a: &PruneOutcome, b: &PrunedComparisons, label: &str) {
+    assert_bit_identical(&a.pruned, b, label);
 }
