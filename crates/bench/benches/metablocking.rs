@@ -435,12 +435,14 @@ fn bench_scaling(_c: &mut Criterion) {
         );
     }
 
-    // Hand-rolled JSON (no serde_json in this offline workspace).
-    let mut json = String::from("{\n  \"bench\": \"metablocking build-vs-stream\",\n");
-    json.push_str(&format!("  \"threads\": {threads},\n  \"results\": [\n"));
+    // Hand-rolled JSON (no serde_json in this offline workspace). Each
+    // harness owns its sections of the shared file: this one writes
+    // `results` + `mapreduce_results`, the `blockbuild` binary writes
+    // `blockbuild_results`; merging keeps the other's rows intact.
+    let mut results_rows = String::new();
     for (i, r) in records.iter().enumerate() {
         let throughput = r.edges as f64 / (r.nanos as f64 / 1e9);
-        json.push_str(&format!(
+        results_rows.push_str(&format!(
             "    {{\"world_entities\": {}, \"graph_edges\": {}, \"variant\": \"{}\", \
              \"nanos\": {}, \"edges_per_sec\": {:.0}}}{}\n",
             r.world,
@@ -451,9 +453,9 @@ fn bench_scaling(_c: &mut Criterion) {
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ],\n  \"mapreduce_results\": [\n");
+    let mut mr_rows = String::new();
     for (i, r) in mr_records.iter().enumerate() {
-        json.push_str(&format!(
+        mr_rows.push_str(&format!(
             "    {{\"world_entities\": {}, \"graph_edges\": {}, \"strategy\": \"{}\", \
              \"shuffled_records\": {}, \"modeled_nanos_w1\": {}, \"modeled_nanos_w4\": {}, \
              \"modeled_nanos_w16\": {}}}{}\n",
@@ -467,10 +469,14 @@ fn bench_scaling(_c: &mut Criterion) {
             if i + 1 < mr_records.len() { "," } else { "" }
         ));
     }
-    json.push_str("  ]\n}\n");
     let path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_metablocking.json");
-    if let Err(e) = std::fs::write(&path, &json) {
+    let written = minoan_bench::blockbuild::ensure_header(&path, threads)
+        .and_then(|_| minoan_bench::blockbuild::merge_section(&path, "results", &results_rows))
+        .and_then(|_| {
+            minoan_bench::blockbuild::merge_section(&path, "mapreduce_results", &mr_rows)
+        });
+    if let Err(e) = written {
         eprintln!("could not write {}: {e}", path.display());
     } else {
         println!("wrote {}", path.display());

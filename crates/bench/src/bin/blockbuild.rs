@@ -1,0 +1,65 @@
+//! The `blockbuild` harness: block build → purge → filter, flat CSR vs.
+//! the pre-flat hash-map path, on identical worlds.
+//!
+//! * `--smoke` — one small world, outputs verified stage by stage, no file
+//!   written; wired into CI so the flat path can't silently regress to a
+//!   rebuild (or diverge from the legacy semantics).
+//! * default — records the family at 50k and 200k entities into the
+//!   `blockbuild_results` section of `BENCH_metablocking.json`, leaving
+//!   the scaling harness's sections untouched. Sizes can be overridden
+//!   with `--sizes a,b,c` or `MINOAN_BLOCKBUILD_SIZES`.
+
+use minoan_bench::blockbuild;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let sizes: Vec<usize> = if smoke {
+        vec![1_500]
+    } else if let Some(i) = args.iter().position(|a| a == "--sizes") {
+        parse_sizes(args.get(i + 1).map(String::as_str).unwrap_or(""))
+    } else if let Ok(s) = std::env::var("MINOAN_BLOCKBUILD_SIZES") {
+        parse_sizes(&s)
+    } else {
+        vec![50_000, 200_000]
+    };
+    if sizes.is_empty() {
+        eprintln!("no sizes to run");
+        std::process::exit(2);
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "blockbuild harness: sizes {sizes:?}, {threads} threads{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    // run_rows asserts legacy/flat output identity at every stage; a
+    // mismatch aborts the process with a non-zero status.
+    let rows = blockbuild::run_rows(&sizes, if smoke { 1 } else { 2 });
+
+    if smoke {
+        println!("blockbuild smoke: all stages bit-identical across paths — OK");
+        return;
+    }
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_metablocking.json");
+    blockbuild::ensure_header(&path, threads)
+        .and_then(|_| {
+            blockbuild::merge_section(
+                &path,
+                "blockbuild_results",
+                &blockbuild::rows_json(&rows, threads),
+            )
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("could not update {}: {e}", path.display());
+            std::process::exit(1);
+        });
+    println!("wrote blockbuild_results into {}", path.display());
+}
+
+fn parse_sizes(s: &str) -> Vec<usize> {
+    s.split(',').filter_map(|x| x.trim().parse().ok()).collect()
+}

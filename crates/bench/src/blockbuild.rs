@@ -1,0 +1,377 @@
+//! The `blockbuild` bench family: block **build → purge → filter** on the
+//! flat CSR collection vs. the pre-flat path.
+//!
+//! Two implementations of each stage are timed on identical worlds:
+//!
+//! * **legacy** — owned token `String`s grouped through a
+//!   `FxHashMap<String, Vec<EntityId>>` plus the owned-`Vec` rebuild
+//!   passes (`legacy_purge_with` / `legacy_filter_with`) — the shape the
+//!   collection layer had before the flat slabs;
+//! * **flat** — the string-free symbol build
+//!   (`BlockCollection::from_assignments` via `builders::token_blocking`)
+//!   and the mask + id-remap `purge`/`filter` index passes.
+//!
+//! Besides timing, [`run_rows`] *verifies* the two paths produce
+//! identical collections at every stage, so wiring the `--smoke` mode
+//! into CI keeps the flat path honest: a silent regression to rebuild
+//! semantics (or a divergence in output) fails the run.
+
+use minoan_blocking::{builders, filter, purge, BlockCollection, ErMode};
+use minoan_common::FxHashMap;
+use minoan_datagen::{generate, profiles};
+use minoan_rdf::EntityId;
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+/// One timed stage on one world.
+pub struct BlockbuildRow {
+    /// World size (entities).
+    pub world: usize,
+    /// Blocks in the raw token-blocking collection.
+    pub blocks: usize,
+    /// Block assignments (BC) in the raw collection.
+    pub assignments: u64,
+    /// Stage/variant label, e.g. `build/flat-symbolic`.
+    pub variant: &'static str,
+    /// Best-of-reps wall clock.
+    pub nanos: u128,
+}
+
+fn time<R>(mut f: impl FnMut() -> R, reps: u32) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let t = Instant::now();
+        black_box(f());
+        best = best.min(t.elapsed().as_nanos());
+    }
+    best
+}
+
+/// The pre-flat token-blocking builder: one owned `String` per token
+/// occurrence, hash-map grouping, then the string-keyed `from_groups`.
+/// Shared with the `blocking_layout` property suite as the reference
+/// (legacy) build the string-free path is pinned against.
+pub fn reference_token_blocking(dataset: &minoan_rdf::Dataset, mode: ErMode) -> BlockCollection {
+    BlockCollection::from_groups(dataset, mode, reference_token_groups(dataset, false))
+}
+
+/// As [`reference_token_blocking`] for the paper's token ∪ URI-infix
+/// criterion (`uri:`-prefixed key space, like `token_and_uri_blocking`).
+pub fn reference_token_and_uri_blocking(
+    dataset: &minoan_rdf::Dataset,
+    mode: ErMode,
+) -> BlockCollection {
+    BlockCollection::from_groups(dataset, mode, reference_token_groups(dataset, true))
+}
+
+fn reference_token_groups(
+    dataset: &minoan_rdf::Dataset,
+    with_uri: bool,
+) -> FxHashMap<String, Vec<EntityId>> {
+    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    for e in dataset.entities() {
+        let mut tokens: Vec<String> = dataset.blocking_tokens(e);
+        tokens.sort_unstable();
+        tokens.dedup();
+        for t in tokens {
+            groups.entry(t).or_default().push(e);
+        }
+        if with_uri {
+            let mut utoks = minoan_rdf::tokenize::uri_infix_tokens(dataset.uri(e));
+            utoks.sort_unstable();
+            utoks.dedup();
+            for t in utoks {
+                groups.entry(format!("uri:{t}")).or_default().push(e);
+            }
+        }
+    }
+    groups
+}
+
+/// Panics unless `a` and `b` are observably identical collections.
+pub fn assert_collections_identical(a: &BlockCollection, b: &BlockCollection, what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: block count");
+    assert_eq!(
+        a.total_comparisons(),
+        b.total_comparisons(),
+        "{what}: comparisons"
+    );
+    assert_eq!(
+        a.total_assignments(),
+        b.total_assignments(),
+        "{what}: assignments"
+    );
+    for (x, y) in a.blocks().zip(b.blocks()) {
+        assert_eq!(
+            a.key_str(x.id),
+            b.key_str(y.id),
+            "{what}: key of {:?}",
+            x.id
+        );
+        assert_eq!(x.entities, y.entities, "{what}: members of {:?}", x.id);
+        assert_eq!(
+            x.comparisons, y.comparisons,
+            "{what}: comparisons of {:?}",
+            x.id
+        );
+        assert_eq!(
+            a.inv_cardinality(x.id).to_bits(),
+            b.inv_cardinality(y.id).to_bits(),
+            "{what}: 1/‖{:?}‖ bits",
+            x.id
+        );
+    }
+    assert_eq!(a.num_entities(), b.num_entities(), "{what}: entities");
+    for e in 0..a.num_entities() as u32 {
+        assert_eq!(
+            a.entity_blocks(EntityId(e)),
+            b.entity_blocks(EntityId(e)),
+            "{what}: entity_blocks({e})"
+        );
+    }
+}
+
+/// Runs the family at the given world sizes. Every stage's legacy and
+/// flat outputs are asserted identical before the timings are trusted.
+pub fn run_rows(sizes: &[usize], reps: u32) -> Vec<BlockbuildRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        println!("blockbuild: world {n} entities");
+        let world = generate(&profiles::center_dense(n, 11));
+        let ds = &world.dataset;
+
+        let flat = builders::token_blocking(ds, ErMode::CleanClean);
+        let legacy = reference_token_blocking(ds, ErMode::CleanClean);
+        assert_collections_identical(&flat, &legacy, "build");
+        let blocks = flat.len();
+        let assignments = flat.total_assignments();
+
+        let mut rec = |variant: &'static str, nanos: u128| {
+            println!("  {variant:<24} {:>10.2} ms", nanos as f64 / 1e6);
+            rows.push(BlockbuildRow {
+                world: n,
+                blocks,
+                assignments,
+                variant,
+                nanos,
+            });
+        };
+
+        rec(
+            "build/legacy-hashmap",
+            time(|| reference_token_blocking(ds, ErMode::CleanClean), reps),
+        );
+        rec(
+            "build/flat-symbolic",
+            time(|| builders::token_blocking(ds, ErMode::CleanClean), reps),
+        );
+
+        let purged_flat = purge::purge(&flat).collection;
+        let purged_legacy = purge::legacy_purge_with(&flat, purge::DEFAULT_SMOOTHING).collection;
+        assert_collections_identical(&purged_flat, &purged_legacy, "purge");
+        rec(
+            "purge/legacy-rebuild",
+            time(
+                || purge::legacy_purge_with(&flat, purge::DEFAULT_SMOOTHING),
+                reps,
+            ),
+        );
+        rec("purge/flat-mask", time(|| purge::purge(&flat), reps));
+
+        let filtered_flat = filter::filter(&purged_flat);
+        let filtered_legacy = filter::legacy_filter_with(&purged_flat, filter::DEFAULT_RATIO);
+        assert_collections_identical(&filtered_flat, &filtered_legacy, "filter");
+        rec(
+            "filter/legacy-rebuild",
+            time(
+                || filter::legacy_filter_with(&purged_flat, filter::DEFAULT_RATIO),
+                reps,
+            ),
+        );
+        rec(
+            "filter/flat-mask",
+            time(|| filter::filter(&purged_flat), reps),
+        );
+
+        // End-to-end: the paper's block building + cleaning pipeline.
+        rec(
+            "clean/legacy-total",
+            time(
+                || {
+                    let c = reference_token_blocking(ds, ErMode::CleanClean);
+                    let p = purge::legacy_purge_with(&c, purge::DEFAULT_SMOOTHING).collection;
+                    filter::legacy_filter_with(&p, filter::DEFAULT_RATIO)
+                },
+                reps,
+            ),
+        );
+        rec(
+            "clean/flat-total",
+            time(
+                || {
+                    let c = builders::token_blocking(ds, ErMode::CleanClean);
+                    let p = purge::purge(&c).collection;
+                    filter::filter(&p)
+                },
+                reps,
+            ),
+        );
+
+        let nanos_of = |variant: &str| {
+            rows.iter()
+                .find(|r| r.world == n && r.variant == variant)
+                .map(|r| r.nanos)
+                .unwrap_or(0)
+        };
+        let legacy_total = nanos_of("clean/legacy-total");
+        let flat_total = nanos_of("clean/flat-total");
+        if flat_total > 0 {
+            println!(
+                "  end-to-end speedup: {:.2}x",
+                legacy_total as f64 / flat_total as f64
+            );
+        }
+    }
+    rows
+}
+
+/// Formats rows as the `blockbuild_results` JSON section body.
+pub fn rows_json(rows: &[BlockbuildRow], threads: usize) -> String {
+    let mut out = String::new();
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"world_entities\": {}, \"blocks\": {}, \"assignments\": {}, \
+             \"variant\": \"{}\", \"nanos\": {}, \"threads\": {}}}{}\n",
+            r.world,
+            r.blocks,
+            r.assignments,
+            r.variant,
+            r.nanos,
+            threads,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out
+}
+
+/// Creates the benchmark JSON skeleton if `path` does not exist yet, and
+/// refreshes its top-level `"threads"` count if it does.
+pub fn ensure_header(path: &Path, threads: usize) -> std::io::Result<()> {
+    match std::fs::read_to_string(path) {
+        Ok(existing) => {
+            // Refresh `"threads": N` in place, if present.
+            if let Some(pos) = existing.find("\"threads\":") {
+                let val_start = pos + "\"threads\":".len();
+                let rest = &existing[val_start..];
+                let val_len = rest.find([',', '\n', '}']).unwrap_or(0);
+                let updated = format!(
+                    "{} {}{}",
+                    &existing[..val_start],
+                    threads,
+                    &existing[val_start + val_len..]
+                );
+                std::fs::write(path, updated)?;
+            }
+            Ok(())
+        }
+        Err(_) => std::fs::write(
+            path,
+            format!("{{\n  \"bench\": \"metablocking build-vs-stream\",\n  \"threads\": {threads}\n}}\n"),
+        ),
+    }
+}
+
+/// Replaces (or inserts) the top-level array section `"key": [...]` of the
+/// hand-rolled benchmark JSON at `path`, leaving every other section
+/// untouched — so the criterion scaling harness and the `blockbuild`
+/// binary each own their sections without clobbering the other's rows.
+///
+/// The file format is the one this workspace writes (no `[`/`]` inside
+/// string values), which is all the bracket-depth scan assumes.
+pub fn merge_section(path: &Path, key: &str, section_rows: &str) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_else(|_| String::from("{\n}\n"));
+    let section = format!("  \"{key}\": [\n{section_rows}  ]");
+    let marker = format!("\"{key}\"");
+    let merged = if let Some(pos) = existing.find(&marker) {
+        let line_start = existing[..pos].rfind('\n').map(|i| i + 1).unwrap_or(0);
+        let open = existing[pos..]
+            .find('[')
+            .map(|i| pos + i)
+            .expect("existing section must be a JSON array");
+        let mut depth = 0usize;
+        let mut close = None;
+        for (i, ch) in existing[open..].char_indices() {
+            match ch {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(open + i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let close = close.expect("unbalanced array in benchmark JSON");
+        format!(
+            "{}{}{}",
+            &existing[..line_start],
+            section,
+            &existing[close + 1..]
+        )
+    } else {
+        let brace = existing.rfind('}').expect("top-level JSON object");
+        let head = existing[..brace].trim_end();
+        let sep = if head.ends_with('{') { "\n" } else { ",\n" };
+        format!("{head}{sep}{section}\n}}\n")
+    };
+    std::fs::write(path, merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_inserts_then_replaces_and_preserves_others() {
+        let dir = std::env::temp_dir().join("minoan_blockbuild_merge_test");
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join("bench.json");
+        let _ = std::fs::remove_file(&path);
+
+        ensure_header(&path, 4).unwrap();
+        merge_section(&path, "results", "    {\"a\": [1, 2]}\n").unwrap();
+        merge_section(&path, "blockbuild_results", "    {\"b\": 1}\n").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"threads\": 4"));
+        assert!(text.contains("\"results\": ["));
+        assert!(text.contains("\"blockbuild_results\": ["));
+
+        // Replacing one section keeps the other's rows (nested brackets
+        // in the replaced section must not confuse the scan).
+        merge_section(&path, "results", "    {\"a\": [9]}\n").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("{\"a\": [9]}"));
+        assert!(!text.contains("[1, 2]"));
+        assert!(text.contains("{\"b\": 1}"));
+        // Still exactly one of each key (the quoted marker does not match
+        // inside "blockbuild_results").
+        assert_eq!(text.matches("\"results\"").count(), 1);
+        assert_eq!(text.matches("\"blockbuild_results\"").count(), 1);
+
+        ensure_header(&path, 8).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"threads\": 8"));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn smoke_family_verifies_and_times() {
+        let rows = run_rows(&[600], 1);
+        // 8 variants on one world.
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.nanos > 0));
+    }
+}

@@ -4,6 +4,7 @@
 //! returns its report as plain text; the `reproduce` binary prints them.
 //! Criterion micro-benchmarks live in `benches/`.
 
+pub mod blockbuild;
 pub mod experiments;
 pub mod experiments2;
 

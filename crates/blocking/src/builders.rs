@@ -2,62 +2,63 @@
 //!
 //! All builders are schema-agnostic per the paper: keys are tokens of
 //! attribute values and URIs, with no assumptions about the schema.
+//!
+//! The token/URI builders are **string-free end to end**: tokens are
+//! interned into [`Symbol`](minoan_common::Symbol)s *during* tokenisation
+//! (through [`KeyAssignments`]) instead of accumulating a
+//! `HashMap<String, Vec<EntityId>>` of owned groups, and the collection is
+//! assembled by the counting-sort CSR build
+//! ([`BlockCollection::from_assignments`]). URI keys live in a disjoint
+//! `uri:` symbol namespace composed without a `format!` per token.
 
-use crate::collection::{BlockCollection, ErMode};
+use crate::collection::{BlockCollection, ErMode, KeyAssignments};
 use minoan_common::{FxHashMap, FxHashSet, UnionFind};
-use minoan_rdf::tokenize;
-use minoan_rdf::{Dataset, EntityId, Value};
+use minoan_rdf::tokenize::{self, TokenBuffers};
+use minoan_rdf::{Dataset, Value};
+
+/// Namespace prefix keeping URI-infix keys disjoint from value-token keys.
+const URI_PREFIX: &str = "uri:";
 
 /// Token blocking: one block per distinct token appearing in any attribute
 /// value (literal tokens + resource-URI infix tokens) of a description.
 pub fn token_blocking(dataset: &Dataset, mode: ErMode) -> BlockCollection {
-    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    let mut asg = KeyAssignments::with_capacity(dataset.len());
+    let mut buffers = TokenBuffers::default();
     for e in dataset.entities() {
-        let mut tokens: Vec<String> = dataset.blocking_tokens(e);
-        tokens.sort_unstable();
-        tokens.dedup();
-        for t in tokens {
-            groups.entry(t).or_default().push(e);
-        }
+        dataset.for_each_blocking_token(e, &mut buffers, |tok| asg.push_key(tok));
+        asg.seal_entity();
     }
-    BlockCollection::from_groups(dataset, mode, groups)
+    BlockCollection::from_assignments(dataset, mode, asg)
 }
 
 /// Prefix-Infix(-Suffix) URI blocking: one block per token of the subject
 /// URI's *infix* — naming evidence independent of attribute values.
 pub fn uri_infix_blocking(dataset: &Dataset, mode: ErMode) -> BlockCollection {
-    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    let mut asg = KeyAssignments::with_capacity(dataset.len());
+    let mut buffers = TokenBuffers::default();
     for e in dataset.entities() {
-        let mut tokens = tokenize::uri_infix_tokens(dataset.uri(e));
-        tokens.sort_unstable();
-        tokens.dedup();
-        for t in tokens {
-            groups.entry(format!("uri:{t}")).or_default().push(e);
-        }
+        tokenize::uri_infix_tokens_with(dataset.uri(e), &mut buffers, |tok| {
+            asg.push_key_prefixed(URI_PREFIX, tok)
+        });
+        asg.seal_entity();
     }
-    BlockCollection::from_groups(dataset, mode, groups)
+    BlockCollection::from_assignments(dataset, mode, asg)
 }
 
 /// Token blocking ∪ URI-infix blocking — the paper's "common token in their
 /// descriptions *or URIs*" criterion in one collection. Key spaces are kept
 /// disjoint by the `uri:` prefix.
 pub fn token_and_uri_blocking(dataset: &Dataset, mode: ErMode) -> BlockCollection {
-    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    let mut asg = KeyAssignments::with_capacity(dataset.len());
+    let mut buffers = TokenBuffers::default();
     for e in dataset.entities() {
-        let mut tokens: Vec<String> = dataset.blocking_tokens(e);
-        tokens.sort_unstable();
-        tokens.dedup();
-        for t in tokens {
-            groups.entry(t).or_default().push(e);
-        }
-        let mut utoks = tokenize::uri_infix_tokens(dataset.uri(e));
-        utoks.sort_unstable();
-        utoks.dedup();
-        for t in utoks {
-            groups.entry(format!("uri:{t}")).or_default().push(e);
-        }
+        dataset.for_each_blocking_token(e, &mut buffers, |tok| asg.push_key(tok));
+        tokenize::uri_infix_tokens_with(dataset.uri(e), &mut buffers, |tok| {
+            asg.push_key_prefixed(URI_PREFIX, tok)
+        });
+        asg.seal_entity();
     }
-    BlockCollection::from_groups(dataset, mode, groups)
+    BlockCollection::from_assignments(dataset, mode, asg)
 }
 
 /// Attribute-clustering blocking (Papadakis et al. style): attribute names
@@ -121,31 +122,34 @@ pub fn attribute_clustering_blocking(
         .map(|(i, (key, _))| (*key, uf.find(i as u32)))
         .collect();
 
-    // 3. Cluster-qualified token keys.
-    let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+    // 3. Cluster-qualified token keys: one `c{cluster}:` prefix composed
+    //    per attribute occurrence, then interned per token — no owned key
+    //    string per token occurrence.
+    let mut asg = KeyAssignments::with_capacity(dataset.len());
+    let mut buffers = TokenBuffers::default();
+    let mut prefix = String::new();
     for e in dataset.entities() {
         let kb = dataset.kb_of(e).0;
         let d = dataset.description(e);
-        let mut keys: Vec<String> = Vec::new();
         for (p, v) in &d.attributes {
             let Some(&cluster) = cluster_of.get(&(kb, p.0)) else {
                 continue;
             };
-            let toks = match v {
-                Value::Literal(s) => tokenize::value_tokens(s).collect::<Vec<_>>(),
-                Value::Resource(u) => tokenize::uri_infix_tokens(u),
-            };
-            for t in toks {
-                keys.push(format!("c{cluster}:{t}"));
+            use std::fmt::Write as _;
+            prefix.clear();
+            let _ = write!(prefix, "c{cluster}:");
+            match v {
+                Value::Literal(s) => tokenize::value_tokens_with(s, &mut buffers, |tok| {
+                    asg.push_key_prefixed(&prefix, tok)
+                }),
+                Value::Resource(u) => tokenize::uri_infix_tokens_with(u, &mut buffers, |tok| {
+                    asg.push_key_prefixed(&prefix, tok)
+                }),
             }
         }
-        keys.sort_unstable();
-        keys.dedup();
-        for k in keys {
-            groups.entry(k).or_default().push(e);
-        }
+        asg.seal_entity();
     }
-    BlockCollection::from_groups(dataset, mode, groups)
+    BlockCollection::from_assignments(dataset, mode, asg)
 }
 
 fn set_jaccard(a: &FxHashSet<String>, b: &FxHashSet<String>) -> f64 {
@@ -161,7 +165,7 @@ fn set_jaccard(a: &FxHashSet<String>, b: &FxHashSet<String>) -> f64 {
 mod tests {
     use super::*;
     use minoan_datagen::{generate, profiles};
-    use minoan_rdf::DatasetBuilder;
+    use minoan_rdf::{DatasetBuilder, EntityId};
 
     fn toy() -> Dataset {
         let mut b = DatasetBuilder::new();
@@ -216,6 +220,42 @@ mod tests {
         let both = token_and_uri_blocking(&ds, ErMode::CleanClean);
         assert_eq!(both.len(), t.len() + u.len());
         assert!(both.distinct_pairs().len() >= t.distinct_pairs().len());
+    }
+
+    /// The string-free builders must reproduce the legacy string-grouped
+    /// path exactly (same keys, members, comparisons, inverted index).
+    #[test]
+    fn symbol_path_matches_string_grouped_reference() {
+        let g = generate(&profiles::center_dense(120, 17));
+        let ds = &g.dataset;
+        // Reference: the pre-flat builder shape — owned token strings
+        // grouped through a hash map, then `from_groups`.
+        let mut groups: FxHashMap<String, Vec<EntityId>> = FxHashMap::default();
+        for e in ds.entities() {
+            let mut tokens: Vec<String> = ds.blocking_tokens(e);
+            tokens.sort_unstable();
+            tokens.dedup();
+            for t in tokens {
+                groups.entry(t).or_default().push(e);
+            }
+            let mut utoks = tokenize::uri_infix_tokens(ds.uri(e));
+            utoks.sort_unstable();
+            utoks.dedup();
+            for t in utoks {
+                groups.entry(format!("uri:{t}")).or_default().push(e);
+            }
+        }
+        let reference = BlockCollection::from_groups(ds, ErMode::CleanClean, groups);
+        let c = token_and_uri_blocking(ds, ErMode::CleanClean);
+        assert_eq!(c.len(), reference.len());
+        for (a, b) in c.blocks().zip(reference.blocks()) {
+            assert_eq!(c.key_str(a.id), reference.key_str(b.id));
+            assert_eq!(a.entities, b.entities);
+            assert_eq!(a.comparisons, b.comparisons);
+        }
+        for e in ds.entities() {
+            assert_eq!(c.entity_blocks(e), reference.entity_blocks(e));
+        }
     }
 
     #[test]

@@ -1,8 +1,30 @@
-//! The block collection data structure.
+//! The block collection data structure, stored in flat CSR slabs.
+//!
+//! Earlier revisions kept one heap allocation per block
+//! (`Box<[EntityId]>` member lists behind a `Vec<Block>`) plus a
+//! `Vec<Vec<BlockId>>` inverted index, and every purge/filter pass
+//! rebuilt all of it through string re-interning and fresh `Vec`s. The
+//! current layout mirrors the CSR blocking graph (`metablocking::graph`):
+//!
+//! * `block_offsets` / `block_entities` — block `b`'s members occupy
+//!   `block_offsets[b] .. block_offsets[b + 1]`, sorted ascending;
+//! * `entity_offsets` / `entity_block_ids` — entity `e`'s blocks occupy
+//!   `entity_offsets[e] .. entity_offsets[e + 1]`, ascending by id;
+//! * per-block `comparisons` (‖b‖) and the precomputed ARCS reciprocal
+//!   `inv_cardinality` (`1/‖b‖`) that the meta-blocking sweeps read
+//!   directly instead of re-dividing per block visit.
+//!
+//! Construction is a two-pass counting sort (the crate-internal `layout`
+//! module), thread-parallel over entity ranges and bit-identical for
+//! every thread count. Block keys are interned [`Symbol`]s; successors produced by
+//! purging/filtering share the interner (`Arc`) and remap ids instead of
+//! rebuilding — see [`crate::purge`] and [`crate::filter`].
 
-use minoan_common::{FxHashMap, FxHashSet, Interner, Symbol};
+use crate::layout::{count_cols_per_range, merge_counts, split_rows, transpose_csr};
+use minoan_common::{FxHashSet, Interner, Symbol};
 use minoan_rdf::{Dataset, EntityId};
 use std::fmt;
+use std::sync::Arc;
 
 /// Whether comparisons happen within one dirty source or only across clean
 /// sources.
@@ -34,19 +56,24 @@ impl fmt::Debug for BlockId {
     }
 }
 
-/// One block: a key and the entities that share it.
-#[derive(Clone, Debug)]
-pub struct Block {
+/// A borrowed view of one block: key, member slice and comparison count.
+///
+/// Returned by value from [`BlockCollection::block`]; the member slice
+/// points straight into the collection's entity slab.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockRef<'a> {
+    /// Dense id of the block.
+    pub id: BlockId,
     /// Interned block key (token, infix token, or cluster-qualified token).
     pub key: Symbol,
     /// Member entities, sorted ascending.
-    pub entities: Box<[EntityId]>,
+    pub entities: &'a [EntityId],
     /// Number of comparisons this block induces under the collection's
     /// [`ErMode`].
     pub comparisons: u64,
 }
 
-impl Block {
+impl BlockRef<'_> {
     /// Number of member entities.
     pub fn len(&self) -> usize {
         self.entities.len()
@@ -58,7 +85,128 @@ impl Block {
     }
 }
 
-/// A set of blocks plus the inverted per-entity view.
+/// Per-entity interned blocking keys — the string-free input of
+/// [`BlockCollection::from_assignments`].
+///
+/// Builders visit entities in ascending id order, push one interned
+/// [`Symbol`] per raw token (interning happens *during* tokenisation, so
+/// no `String` per token occurrence is ever accumulated), and call
+/// [`Self::seal_entity`] once per entity; sealing sorts and dedups the
+/// entity's run in place.
+#[derive(Default)]
+pub struct KeyAssignments {
+    keys: Interner,
+    syms: Vec<Symbol>,
+    /// `ends[e]` = end of entity `e`'s (sealed) run in `syms`.
+    ends: Vec<u32>,
+}
+
+impl KeyAssignments {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-sizes the per-entity run table for `entities` entities.
+    pub fn with_capacity(entities: usize) -> Self {
+        Self {
+            keys: Interner::new(),
+            syms: Vec::new(),
+            ends: Vec::with_capacity(entities),
+        }
+    }
+
+    /// Interns `key` and assigns it to the current entity.
+    #[inline]
+    pub fn push_key(&mut self, key: &str) {
+        let sym = self.keys.intern(key);
+        self.syms.push(sym);
+    }
+
+    /// Interns `{prefix}{key}` (namespaced key space, no `format!`
+    /// allocation) and assigns it to the current entity.
+    #[inline]
+    pub fn push_key_prefixed(&mut self, prefix: &str, key: &str) {
+        let sym = self.keys.intern_prefixed(prefix, key);
+        self.syms.push(sym);
+    }
+
+    /// Seals the current entity: sorts and dedups its run. Must be called
+    /// exactly once per entity, in ascending entity-id order.
+    pub fn seal_entity(&mut self) {
+        let start = self.ends.last().copied().unwrap_or(0) as usize;
+        self.syms[start..].sort_unstable();
+        let mut w = start;
+        for r in start..self.syms.len() {
+            if w == start || self.syms[r] != self.syms[w - 1] {
+                self.syms[w] = self.syms[r];
+                w += 1;
+            }
+        }
+        self.syms.truncate(w);
+        self.ends
+            .push(u32::try_from(self.syms.len()).expect("more than u32::MAX assignments"));
+    }
+
+    /// Number of sealed entities so far.
+    pub fn num_entities(&self) -> usize {
+        self.ends.len()
+    }
+
+    /// Number of (deduplicated) key assignments so far.
+    pub fn num_assignments(&self) -> usize {
+        self.syms.len()
+    }
+}
+
+/// Reusable per-KB member counters for clean–clean comparison counting.
+pub(crate) struct KbScratch {
+    counts: Vec<u64>,
+    touched: Vec<u16>,
+}
+
+impl KbScratch {
+    pub(crate) fn new(num_kbs: usize) -> Self {
+        Self {
+            counts: vec![0; num_kbs],
+            touched: Vec::new(),
+        }
+    }
+}
+
+/// Comparisons a sorted member list induces: all pairs (dirty) or cross-KB
+/// pairs only (clean–clean: C(n,2) − Σ_kb C(n_kb,2)).
+pub(crate) fn count_comparisons(
+    entities: &[EntityId],
+    kb_of: &[u16],
+    mode: ErMode,
+    scratch: &mut KbScratch,
+) -> u64 {
+    let n = entities.len() as u64;
+    let all = n * n.saturating_sub(1) / 2;
+    match mode {
+        ErMode::Dirty => all,
+        ErMode::CleanClean => {
+            for &e in entities {
+                let kb = kb_of[e.index()] as usize;
+                if scratch.counts[kb] == 0 {
+                    scratch.touched.push(kb as u16);
+                }
+                scratch.counts[kb] += 1;
+            }
+            let mut intra = 0u64;
+            for &kb in &scratch.touched {
+                let c = scratch.counts[kb as usize];
+                intra += c * c.saturating_sub(1) / 2;
+                scratch.counts[kb as usize] = 0;
+            }
+            scratch.touched.clear();
+            all - intra
+        }
+    }
+}
+
+/// A set of blocks plus the inverted per-entity view, both in flat CSR.
 ///
 /// Invariants established at construction:
 /// * every block induces at least one comparison (singleton and
@@ -68,15 +216,37 @@ impl Block {
 ///   containing `e`.
 pub struct BlockCollection {
     mode: ErMode,
-    blocks: Vec<Block>,
-    keys: Interner,
-    entity_blocks: Vec<Vec<BlockId>>,
+    /// Key interner — shared (`Arc`) with purge/filter successors, which
+    /// remap block ids instead of re-interning.
+    keys: Arc<Interner>,
+    /// Per block: its interned key.
+    block_keys: Vec<Symbol>,
+    /// CSR offsets into `block_entities` (len = blocks + 1).
+    block_offsets: Vec<u32>,
+    /// Member slab, sorted ascending within each block.
+    block_entities: Vec<EntityId>,
+    /// Per block: comparisons ‖b‖ under `mode`.
+    comparisons: Vec<u64>,
+    /// Per block: `1 / max(‖b‖, 1)` — the ARCS reciprocal, precomputed so
+    /// the meta-blocking sweeps never divide per block visit.
+    inv_cardinality: Vec<f64>,
+    /// CSR offsets into `entity_block_ids` (len = entities + 1).
+    entity_offsets: Vec<u32>,
+    /// Inverted slab: block ids per entity, ascending.
+    entity_block_ids: Vec<BlockId>,
     kb_of: Vec<u16>,
+    num_kbs: usize,
     total_comparisons: u64,
 }
 
 impl BlockCollection {
     /// Builds a collection from raw `key → entities` groups.
+    ///
+    /// This is the string-keyed compatibility path (used by the union
+    /// combinator and the window/cluster blockers whose keys are composed
+    /// strings); the token builders go through the string-free
+    /// [`Self::from_assignments`] instead. Both produce identical
+    /// collections for the same logical groups.
     ///
     /// `dataset` supplies the KB partition (for clean–clean comparison
     /// counting) and the entity-id universe.
@@ -88,66 +258,314 @@ impl BlockCollection {
         let kb_of: Vec<u16> = (0..dataset.len() as u32)
             .map(|e| dataset.kb_of(EntityId(e)).0)
             .collect();
+        let num_kbs = dataset.kbs().len();
         let mut keys = Interner::new();
-        let mut blocks: Vec<Block> = Vec::new();
         // Sort groups by key for full determinism independent of map order.
         let mut groups: Vec<(String, Vec<EntityId>)> = groups.into_iter().collect();
         groups.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut scratch = KbScratch::new(num_kbs);
+        let mut block_keys = Vec::with_capacity(groups.len());
+        let mut block_offsets = vec![0u32];
+        let mut block_entities: Vec<EntityId> = Vec::new();
+        let mut comparisons = Vec::with_capacity(groups.len());
         for (key, mut entities) in groups {
             entities.sort_unstable();
             entities.dedup();
-            let comparisons = block_comparisons(&entities, &kb_of, mode);
-            if comparisons == 0 {
+            let c = count_comparisons(&entities, &kb_of, mode, &mut scratch);
+            if c == 0 {
                 continue;
             }
-            let sym = keys.intern(&key);
-            blocks.push(Block {
-                key: sym,
-                entities: entities.into_boxed_slice(),
-                comparisons,
-            });
+            block_keys.push(keys.intern(&key));
+            block_entities.extend_from_slice(&entities);
+            block_offsets.push(slab_len(&block_entities));
+            comparisons.push(c);
         }
-        Self::assemble(mode, blocks, keys, kb_of)
+        Self::finish(
+            mode,
+            Arc::new(keys),
+            block_keys,
+            block_offsets,
+            block_entities,
+            comparisons,
+            kb_of,
+            num_kbs,
+            1,
+        )
     }
 
-    /// Rebuilds a collection from already-formed blocks (used by purging
-    /// and filtering). Blocks inducing no comparison are dropped.
-    pub(crate) fn rebuild(&self, blocks: Vec<(Symbol, Vec<EntityId>)>) -> Self {
+    /// Builds a collection from per-entity interned key assignments using
+    /// all available cores.
+    pub fn from_assignments(dataset: &Dataset, mode: ErMode, assignments: KeyAssignments) -> Self {
+        Self::from_assignments_with_threads(
+            dataset,
+            mode,
+            assignments,
+            minoan_common::default_threads(),
+        )
+    }
+
+    /// As [`Self::from_assignments`] with an explicit worker count. The
+    /// result is identical for every `threads` value (including 1): the
+    /// grouping is a two-pass counting sort over entity ranges in which
+    /// every slab position is precomputed from per-thread counts.
+    pub fn from_assignments_with_threads(
+        dataset: &Dataset,
+        mode: ErMode,
+        assignments: KeyAssignments,
+        threads: usize,
+    ) -> Self {
+        let KeyAssignments { keys, syms, ends } = assignments;
+        let n = dataset.len();
+        assert_eq!(
+            ends.len(),
+            n,
+            "assignments must seal every entity exactly once"
+        );
+        let kb_of: Vec<u16> = (0..n as u32)
+            .map(|e| dataset.kb_of(EntityId(e)).0)
+            .collect();
+        let num_kbs = dataset.kbs().len();
+        let k = keys.len();
+        let threads = threads.max(1);
+
+        // Pass 1 — occurrence count per symbol (entity-range parallel).
+        let counts = count_symbols(&ends, &syms, k, threads);
+
+        // Blocks need ≥ 2 members to induce any comparison; survivors are
+        // ordered by key string, exactly like the `from_groups` path.
+        let mut order: Vec<u32> = (0..k as u32).filter(|&s| counts[s as usize] >= 2).collect();
+        order.sort_unstable_by(|&a, &b| keys.resolve(Symbol(a)).cmp(keys.resolve(Symbol(b))));
+        let mut slot_of = vec![u32::MAX; k];
+        for (slot, &sym) in order.iter().enumerate() {
+            slot_of[sym as usize] = slot as u32;
+        }
+
+        // Map assignments to provisional slots, dropping singleton keys.
+        let mut cols = Vec::with_capacity(syms.len());
+        let mut kept_ends = Vec::with_capacity(n);
+        let mut start = 0usize;
+        for &end in &ends {
+            for &sym in &syms[start..end as usize] {
+                let slot = slot_of[sym.index()];
+                if slot != u32::MAX {
+                    cols.push(slot);
+                }
+            }
+            kept_ends.push(cols.len() as u32);
+            start = end as usize;
+        }
+
+        // Pass 2 — counting-sort transpose into the provisional block
+        // slab (members ascending: rows are scanned in entity order).
+        let (prov_offsets, rows) = transpose_csr(&kept_ends, &cols, order.len(), threads);
+        let prov_entities: Vec<EntityId> = rows.into_iter().map(EntityId).collect();
+
+        // Comparisons per provisional block; drop blocks inducing none
+        // and compact the survivors into the final slabs.
+        let prov_comparisons = comparisons_per_block(
+            &prov_offsets,
+            &prov_entities,
+            &kb_of,
+            num_kbs,
+            mode,
+            threads,
+        );
+        let (block_keys, block_offsets, block_entities, comparisons) =
+            compact_blocks(&prov_offsets, &prov_entities, &prov_comparisons, |i| {
+                Symbol(order[i])
+            });
+        Self::finish(
+            mode,
+            Arc::new(keys),
+            block_keys,
+            block_offsets,
+            block_entities,
+            comparisons,
+            kb_of,
+            num_kbs,
+            threads,
+        )
+    }
+
+    /// Retains exactly the blocks with `keep[b] == true`, remapping ids
+    /// and sharing the key interner — no hash maps, no re-interning, no
+    /// per-block member copies beyond one slab memcpy. Member lists (and
+    /// therefore comparison counts) are unchanged. Used by purging.
+    pub(crate) fn retain_blocks(&self, keep: &[bool], threads: usize) -> Self {
+        debug_assert_eq!(keep.len(), self.len());
+        let kept: Vec<u64> = keep
+            .iter()
+            .zip(&self.comparisons)
+            .map(|(&k, &c)| if k { c } else { 0 })
+            .collect();
+        let (block_keys, block_offsets, block_entities, comparisons) =
+            compact_blocks(&self.block_offsets, &self.block_entities, &kept, |i| {
+                self.block_keys[i]
+            });
+        Self::finish(
+            self.mode,
+            Arc::clone(&self.keys),
+            block_keys,
+            block_offsets,
+            block_entities,
+            comparisons,
+            self.kb_of.clone(),
+            self.num_kbs,
+            threads,
+        )
+    }
+
+    /// Retains exactly the `(entity, block)` assignments whose slot in
+    /// the inverted slab (`entity_block_ids` order) is marked in `keep`,
+    /// recounts comparisons, drops blocks left without any, and writes
+    /// the successor straight into fresh slabs. Used by filtering.
+    pub(crate) fn retain_assignments(&self, keep: &[bool], threads: usize) -> Self {
+        debug_assert_eq!(keep.len(), self.entity_block_ids.len());
+        let n = self.num_entities();
+        let mut cols = Vec::with_capacity(self.entity_block_ids.len());
+        let mut kept_ends = Vec::with_capacity(n);
+        for e in 0..n {
+            let start = self.entity_offsets[e] as usize;
+            let end = self.entity_offsets[e + 1] as usize;
+            for (&kept, b) in keep[start..end]
+                .iter()
+                .zip(&self.entity_block_ids[start..end])
+            {
+                if kept {
+                    cols.push(b.0);
+                }
+            }
+            kept_ends.push(cols.len() as u32);
+        }
+        let (prov_offsets, rows) = transpose_csr(&kept_ends, &cols, self.len(), threads);
+        let prov_entities: Vec<EntityId> = rows.into_iter().map(EntityId).collect();
+        let prov_comparisons = comparisons_per_block(
+            &prov_offsets,
+            &prov_entities,
+            &self.kb_of,
+            self.num_kbs,
+            self.mode,
+            threads,
+        );
+        let (block_keys, block_offsets, block_entities, comparisons) =
+            compact_blocks(&prov_offsets, &prov_entities, &prov_comparisons, |i| {
+                self.block_keys[i]
+            });
+        Self::finish(
+            self.mode,
+            Arc::clone(&self.keys),
+            block_keys,
+            block_offsets,
+            block_entities,
+            comparisons,
+            self.kb_of.clone(),
+            self.num_kbs,
+            threads,
+        )
+    }
+
+    /// The pre-flat successor path: re-sorts, re-counts and re-interns
+    /// every retained block through fresh owned storage, then rebuilds
+    /// the inverted index via per-entity `Vec`s. Kept **only** as the
+    /// measured baseline and equivalence oracle for the slab-based
+    /// `retain_*` passes (see `purge::legacy_purge_with` /
+    /// `filter::legacy_filter_with` and the `blocking_layout` suite).
+    #[doc(hidden)]
+    pub fn rebuild_from_blocks(&self, blocks: Vec<(Symbol, Vec<EntityId>)>) -> Self {
         let mut keys = Interner::new();
-        let mut out = Vec::with_capacity(blocks.len());
+        let mut scratch = KbScratch::new(self.num_kbs);
+        let mut block_keys = Vec::with_capacity(blocks.len());
+        let mut owned: Vec<Vec<EntityId>> = Vec::with_capacity(blocks.len());
+        let mut comparisons = Vec::with_capacity(blocks.len());
         for (old_key, mut entities) in blocks {
             entities.sort_unstable();
             entities.dedup();
-            let comparisons = block_comparisons(&entities, &self.kb_of, self.mode);
-            if comparisons == 0 {
+            let c = count_comparisons(&entities, &self.kb_of, self.mode, &mut scratch);
+            if c == 0 {
                 continue;
             }
-            let sym = keys.intern(self.keys.resolve(old_key));
-            out.push(Block {
-                key: sym,
-                entities: entities.into_boxed_slice(),
-                comparisons,
-            });
+            block_keys.push(keys.intern(self.keys.resolve(old_key)));
+            owned.push(entities);
+            comparisons.push(c);
         }
-        Self::assemble(self.mode, out, keys, self.kb_of.clone())
-    }
-
-    fn assemble(mode: ErMode, blocks: Vec<Block>, keys: Interner, kb_of: Vec<u16>) -> Self {
-        let mut entity_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); kb_of.len()];
-        let mut total = 0u64;
-        for (i, b) in blocks.iter().enumerate() {
-            total += b.comparisons;
-            for &e in b.entities.iter() {
+        // Legacy inverted index: one Vec per entity, then flatten.
+        let mut entity_blocks: Vec<Vec<BlockId>> = vec![Vec::new(); self.num_entities()];
+        for (i, members) in owned.iter().enumerate() {
+            for &e in members {
                 entity_blocks[e.index()].push(BlockId(i as u32));
             }
         }
+        let mut block_offsets = vec![0u32];
+        let mut block_entities = Vec::new();
+        for members in owned {
+            block_entities.extend_from_slice(&members);
+            block_offsets.push(slab_len(&block_entities));
+        }
+        let mut entity_offsets = vec![0u32];
+        let mut entity_block_ids = Vec::new();
+        for bs in entity_blocks {
+            entity_block_ids.extend_from_slice(&bs);
+            entity_offsets.push(entity_block_ids.len() as u32);
+        }
+        let inv_cardinality = comparisons
+            .iter()
+            .map(|&c| 1.0 / (c as f64).max(1.0))
+            .collect();
+        let total_comparisons = comparisons.iter().sum();
+        Self {
+            mode: self.mode,
+            keys: Arc::new(keys),
+            block_keys,
+            block_offsets,
+            block_entities,
+            comparisons,
+            inv_cardinality,
+            entity_offsets,
+            entity_block_ids,
+            kb_of: self.kb_of.clone(),
+            num_kbs: self.num_kbs,
+            total_comparisons,
+        }
+    }
+
+    /// Finalises a collection whose block-side slabs are already built:
+    /// derives the reciprocal slab and transposes the block slab into the
+    /// entity-side CSR.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        mode: ErMode,
+        keys: Arc<Interner>,
+        block_keys: Vec<Symbol>,
+        block_offsets: Vec<u32>,
+        block_entities: Vec<EntityId>,
+        comparisons: Vec<u64>,
+        kb_of: Vec<u16>,
+        num_kbs: usize,
+        threads: usize,
+    ) -> Self {
+        debug_assert_eq!(block_offsets.len(), block_keys.len() + 1);
+        debug_assert_eq!(comparisons.len(), block_keys.len());
+        let inv_cardinality: Vec<f64> = comparisons
+            .iter()
+            .map(|&c| 1.0 / (c as f64).max(1.0))
+            .collect();
+        let total_comparisons = comparisons.iter().sum();
+        let (entity_offsets, rows) =
+            transpose_csr(&block_offsets[1..], &block_entities, kb_of.len(), threads);
+        let entity_block_ids: Vec<BlockId> = rows.into_iter().map(BlockId).collect();
         Self {
             mode,
-            blocks,
             keys,
-            entity_blocks,
+            block_keys,
+            block_offsets,
+            block_entities,
+            comparisons,
+            inv_cardinality,
+            entity_offsets,
+            entity_block_ids,
             kb_of,
-            total_comparisons: total,
+            num_kbs,
+            total_comparisons,
         }
     }
 
@@ -158,42 +576,86 @@ impl BlockCollection {
 
     /// Number of blocks.
     pub fn len(&self) -> usize {
-        self.blocks.len()
+        self.block_keys.len()
     }
 
     /// Whether there are no blocks.
     pub fn is_empty(&self) -> bool {
-        self.blocks.is_empty()
+        self.block_keys.is_empty()
     }
 
-    /// The blocks, in key order.
-    pub fn blocks(&self) -> &[Block] {
-        &self.blocks
+    /// Iterates the blocks in id (key) order.
+    pub fn blocks(&self) -> impl ExactSizeIterator<Item = BlockRef<'_>> + '_ {
+        (0..self.len() as u32).map(move |i| self.block(BlockId(i)))
     }
 
-    /// Block by id.
-    pub fn block(&self, id: BlockId) -> &Block {
-        &self.blocks[id.index()]
+    /// Block view by id.
+    pub fn block(&self, id: BlockId) -> BlockRef<'_> {
+        BlockRef {
+            id,
+            key: self.block_keys[id.index()],
+            entities: self.block_entities(id),
+            comparisons: self.comparisons[id.index()],
+        }
     }
 
-    /// Resolves a block key symbol to its string.
+    /// Member entities of block `b`, sorted ascending — a slice of the
+    /// flat slab.
+    #[inline]
+    pub fn block_entities(&self, b: BlockId) -> &[EntityId] {
+        let i = b.index();
+        &self.block_entities[self.block_offsets[i] as usize..self.block_offsets[i + 1] as usize]
+    }
+
+    /// Number of members of block `b`.
+    #[inline]
+    pub fn block_len(&self, b: BlockId) -> usize {
+        let i = b.index();
+        (self.block_offsets[i + 1] - self.block_offsets[i]) as usize
+    }
+
+    /// Comparisons ‖b‖ induced by block `b`.
+    #[inline]
+    pub fn block_comparisons(&self, b: BlockId) -> u64 {
+        self.comparisons[b.index()]
+    }
+
+    /// The precomputed ARCS reciprocal `1 / max(‖b‖, 1)` of block `b`.
+    #[inline]
+    pub fn inv_cardinality(&self, b: BlockId) -> f64 {
+        self.inv_cardinality[b.index()]
+    }
+
+    /// Interned key of block `b`.
+    #[inline]
+    pub fn block_key(&self, b: BlockId) -> Symbol {
+        self.block_keys[b.index()]
+    }
+
+    /// Resolves a block's key to its string.
     pub fn key_str(&self, b: BlockId) -> &str {
-        self.keys.resolve(self.blocks[b.index()].key)
+        self.keys.resolve(self.block_keys[b.index()])
     }
 
-    /// Blocks containing entity `e`, sorted by block id.
+    /// Blocks containing entity `e`, sorted by block id — a slice of the
+    /// inverted slab.
+    #[inline]
     pub fn entity_blocks(&self, e: EntityId) -> &[BlockId] {
-        &self.entity_blocks[e.index()]
+        let i = e.index();
+        &self.entity_block_ids[self.entity_offsets[i] as usize..self.entity_offsets[i + 1] as usize]
     }
 
     /// Number of entities placed in at least one block.
     pub fn placed_entities(&self) -> usize {
-        self.entity_blocks.iter().filter(|b| !b.is_empty()).count()
+        self.entity_offsets
+            .windows(2)
+            .filter(|w| w[1] > w[0])
+            .count()
     }
 
     /// Σ over blocks of their member count (the "block assignments" BC).
     pub fn total_assignments(&self) -> u64 {
-        self.blocks.iter().map(|b| b.len() as u64).sum()
+        self.block_entities.len() as u64
     }
 
     /// Σ over blocks of their comparisons (with repetitions across blocks).
@@ -223,7 +685,7 @@ impl BlockCollection {
     /// experiment scale (it is exactly what meta-blocking exists to avoid).
     pub fn distinct_pairs(&self) -> Vec<(EntityId, EntityId)> {
         let mut set: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
-        for b in &self.blocks {
+        for b in self.blocks() {
             for (i, &x) in b.entities.iter().enumerate() {
                 for &y in &b.entities[i + 1..] {
                     if self.comparable(x, y) {
@@ -240,8 +702,8 @@ impl BlockCollection {
     /// Iterates `(block, pair)` occurrences *with* repetitions — the raw
     /// comparison stream meta-blocking analyses.
     pub fn pair_occurrences(&self) -> impl Iterator<Item = (BlockId, EntityId, EntityId)> + '_ {
-        self.blocks.iter().enumerate().flat_map(move |(bi, b)| {
-            let id = BlockId(bi as u32);
+        self.blocks().flat_map(move |b| {
+            let id = b.id;
             b.entities.iter().enumerate().flat_map(move |(i, &x)| {
                 b.entities[i + 1..]
                     .iter()
@@ -258,15 +720,15 @@ impl BlockCollection {
     /// This is the node-centric dual of [`Self::pair_occurrences`]: summing
     /// the items per `other` yields exactly the CBS/ARCS statistics of the
     /// blocking-graph edges incident to `a`. Meta-blocking's streaming
-    /// path sweeps this per entity instead of materialising the edge set.
+    /// path sweeps this per entity instead of materialising the edge set;
+    /// the reciprocal comes from the precomputed per-block slab.
     pub fn co_occurrences(
         &self,
         a: EntityId,
     ) -> impl Iterator<Item = (BlockId, f64, EntityId)> + '_ {
         self.entity_blocks(a).iter().flat_map(move |&bid| {
-            let b = self.block(bid);
-            let inv_card = 1.0 / (b.comparisons as f64).max(1.0);
-            b.entities
+            let inv_card = self.inv_cardinality(bid);
+            self.block_entities(bid)
                 .iter()
                 .copied()
                 .filter(move |&y| self.comparable(a, y))
@@ -276,10 +738,12 @@ impl BlockCollection {
 
     /// Distribution summary: (min, median, max) block sizes.
     pub fn size_summary(&self) -> (usize, usize, usize) {
-        if self.blocks.is_empty() {
+        if self.is_empty() {
             return (0, 0, 0);
         }
-        let mut sizes: Vec<usize> = self.blocks.iter().map(|b| b.len()).collect();
+        let mut sizes: Vec<usize> = (0..self.len() as u32)
+            .map(|i| self.block_len(BlockId(i)))
+            .collect();
         sizes.sort_unstable();
         (sizes[0], sizes[sizes.len() / 2], sizes[sizes.len() - 1])
     }
@@ -289,28 +753,96 @@ impl fmt::Debug for BlockCollection {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("BlockCollection")
             .field("mode", &self.mode)
-            .field("blocks", &self.blocks.len())
+            .field("blocks", &self.len())
             .field("comparisons", &self.total_comparisons)
             .finish()
     }
 }
 
-/// Comparisons a member list induces: all pairs (dirty) or cross-KB pairs
-/// only (clean–clean: C(n,2) − Σ_kb C(n_kb,2)).
-pub(crate) fn block_comparisons(entities: &[EntityId], kb_of: &[u16], mode: ErMode) -> u64 {
-    let n = entities.len() as u64;
-    let all = n * n.saturating_sub(1) / 2;
-    match mode {
-        ErMode::Dirty => all,
-        ErMode::CleanClean => {
-            let mut per_kb: FxHashMap<u16, u64> = FxHashMap::default();
-            for &e in entities {
-                *per_kb.entry(kb_of[e.index()]).or_insert(0) += 1;
-            }
-            let intra: u64 = per_kb.values().map(|&c| c * c.saturating_sub(1) / 2).sum();
-            all - intra
+/// Current slab length as a checked `u32` CSR offset.
+fn slab_len(slab: &[EntityId]) -> u32 {
+    u32::try_from(slab.len()).expect("block slab exceeds u32::MAX entries")
+}
+
+/// Occurrence count per symbol over the (sealed) assignment runs —
+/// pass 1 of the shared layout counting sort, entity-range parallel with
+/// an additive merge, so thread-count independent.
+fn count_symbols(ends: &[u32], syms: &[Symbol], k: usize, threads: usize) -> Vec<u32> {
+    let ranges = split_rows(ends, threads);
+    merge_counts(&count_cols_per_range(ends, syms, k, &ranges), k)
+}
+
+/// Comparisons per CSR block, block-range parallel (each worker owns a
+/// disjoint chunk of the output and its own KB scratch).
+fn comparisons_per_block(
+    offsets: &[u32],
+    entities: &[EntityId],
+    kb_of: &[u16],
+    num_kbs: usize,
+    mode: ErMode,
+    threads: usize,
+) -> Vec<u64> {
+    let b = offsets.len() - 1;
+    let mut out = vec![0u64; b];
+    let ranges = split_rows(&offsets[1..], threads);
+    if ranges.len() <= 1 {
+        let mut scratch = KbScratch::new(num_kbs);
+        for (i, slot) in out.iter_mut().enumerate() {
+            let members = &entities[offsets[i] as usize..offsets[i + 1] as usize];
+            *slot = count_comparisons(members, kb_of, mode, &mut scratch);
+        }
+        return out;
+    }
+    let mut chunks: Vec<(std::ops::Range<usize>, &mut [u64])> = Vec::with_capacity(ranges.len());
+    {
+        let mut rest: &mut [u64] = &mut out;
+        for r in &ranges {
+            let (chunk, tail) = rest.split_at_mut(r.end - r.start);
+            chunks.push((r.clone(), chunk));
+            rest = tail;
         }
     }
+    std::thread::scope(|s| {
+        for (r, chunk) in chunks {
+            s.spawn(move || {
+                let mut scratch = KbScratch::new(num_kbs);
+                for (slot, i) in chunk.iter_mut().zip(r) {
+                    let members = &entities[offsets[i] as usize..offsets[i + 1] as usize];
+                    *slot = count_comparisons(members, kb_of, mode, &mut scratch);
+                }
+            });
+        }
+    });
+    out
+}
+
+/// Compacts a provisional block slab, keeping blocks with a non-zero
+/// comparison count and remapping ids to the dense survivor order; `key`
+/// supplies the retained key per *provisional* index.
+fn compact_blocks(
+    prov_offsets: &[u32],
+    prov_entities: &[EntityId],
+    prov_comparisons: &[u64],
+    key: impl Fn(usize) -> Symbol,
+) -> (Vec<Symbol>, Vec<u32>, Vec<EntityId>, Vec<u64>) {
+    let survivors = prov_comparisons.iter().filter(|&&c| c > 0).count();
+    let mut block_keys = Vec::with_capacity(survivors);
+    let mut block_offsets = Vec::with_capacity(survivors + 1);
+    block_offsets.push(0u32);
+    let mut block_entities = Vec::new();
+    let mut comparisons = Vec::with_capacity(survivors);
+    for (i, &c) in prov_comparisons.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        block_keys.push(key(i));
+        block_entities.extend_from_slice(
+            &prov_entities[prov_offsets[i] as usize..prov_offsets[i + 1] as usize],
+        );
+        block_offsets.push(slab_len(&block_entities));
+        comparisons.push(c);
+    }
+    (block_keys, block_offsets, block_entities, comparisons)
 }
 
 #[cfg(test)]
@@ -439,5 +971,103 @@ mod tests {
         );
         assert_eq!(c.size_summary(), (0, 0, 0));
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn inv_cardinality_slab_matches_comparisons() {
+        let ds = dataset();
+        let groups = vec![
+            ("k1".to_string(), vec![e(0), e(3)]),
+            ("k2".to_string(), vec![e(0), e(1), e(3), e(4)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        for b in c.blocks() {
+            let expect = 1.0 / (b.comparisons as f64).max(1.0);
+            assert_eq!(c.inv_cardinality(b.id).to_bits(), expect.to_bits());
+        }
+    }
+
+    /// The string-free assignment path must produce exactly the same
+    /// collection as `from_groups` given the same logical groups, at
+    /// every thread count.
+    #[test]
+    fn assignments_match_groups_at_every_thread_count() {
+        let ds = dataset();
+        // Entity → keys (entities visited in ascending order, with
+        // duplicates to exercise the seal-time dedup).
+        let per_entity: [&[&str]; 5] = [
+            &["knossos", "crete", "knossos"],
+            &["athens", "crete"],
+            &[],
+            &["knossos", "athens"],
+            &["crete"],
+        ];
+        let mut groups: std::collections::BTreeMap<String, Vec<EntityId>> = Default::default();
+        for (i, keys) in per_entity.iter().enumerate() {
+            let mut seen: Vec<&str> = keys.to_vec();
+            seen.sort_unstable();
+            seen.dedup();
+            for k in seen {
+                groups.entry(k.to_string()).or_default().push(e(i as u32));
+            }
+        }
+        let reference = BlockCollection::from_groups(
+            &ds,
+            ErMode::CleanClean,
+            groups.into_iter().collect::<Vec<_>>(),
+        );
+        for threads in [1usize, 2, 3, 8] {
+            let mut asg = KeyAssignments::with_capacity(ds.len());
+            for keys in per_entity.iter() {
+                for k in keys.iter() {
+                    asg.push_key(k);
+                }
+                asg.seal_entity();
+            }
+            let c = BlockCollection::from_assignments_with_threads(
+                &ds,
+                ErMode::CleanClean,
+                asg,
+                threads,
+            );
+            assert_eq!(c.len(), reference.len(), "threads = {threads}");
+            for (a, b) in c.blocks().zip(reference.blocks()) {
+                assert_eq!(c.key_str(a.id), reference.key_str(b.id));
+                assert_eq!(a.entities, b.entities);
+                assert_eq!(a.comparisons, b.comparisons);
+            }
+            for i in 0..ds.len() as u32 {
+                assert_eq!(c.entity_blocks(e(i)), reference.entity_blocks(e(i)));
+            }
+            assert_eq!(c.total_comparisons(), reference.total_comparisons());
+        }
+    }
+
+    #[test]
+    fn retain_blocks_matches_legacy_rebuild() {
+        let ds = dataset();
+        let groups = vec![
+            ("k1".to_string(), vec![e(0), e(3)]),
+            ("k2".to_string(), vec![e(0), e(1), e(3), e(4)]),
+            ("k3".to_string(), vec![e(1), e(4)]),
+        ];
+        let c = BlockCollection::from_groups(&ds, ErMode::CleanClean, groups);
+        let keep = [true, false, true];
+        let fast = c.retain_blocks(&keep, 2);
+        let legacy = c.rebuild_from_blocks(
+            c.blocks()
+                .filter(|b| keep[b.id.index()])
+                .map(|b| (b.key, b.entities.to_vec()))
+                .collect(),
+        );
+        assert_eq!(fast.len(), legacy.len());
+        for (a, b) in fast.blocks().zip(legacy.blocks()) {
+            assert_eq!(fast.key_str(a.id), legacy.key_str(b.id));
+            assert_eq!(a.entities, b.entities);
+            assert_eq!(a.comparisons, b.comparisons);
+        }
+        for i in 0..ds.len() as u32 {
+            assert_eq!(fast.entity_blocks(e(i)), legacy.entity_blocks(e(i)));
+        }
     }
 }

@@ -25,12 +25,8 @@ use minoan_rdf::{Dataset, EntityId};
 pub fn union(dataset: &Dataset, mode: ErMode, inputs: &[&BlockCollection]) -> BlockCollection {
     let mut groups: Vec<(String, Vec<EntityId>)> = Vec::new();
     for (i, c) in inputs.iter().enumerate() {
-        for (bi, b) in c.blocks().iter().enumerate() {
-            let key = format!(
-                "u{}:{}",
-                i,
-                c.key_str(crate::collection::BlockId(bi as u32))
-            );
+        for b in c.blocks() {
+            let key = format!("u{}:{}", i, c.key_str(b.id));
             groups.push((key, b.entities.to_vec()));
         }
     }

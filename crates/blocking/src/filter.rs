@@ -7,7 +7,7 @@
 //! (entity, block) assignments.
 
 use crate::collection::{BlockCollection, ErMode};
-use minoan_common::FxHashMap;
+use minoan_common::{default_threads, FxHashMap};
 use minoan_rdf::EntityId;
 
 /// Default retain ratio from the literature.
@@ -15,7 +15,67 @@ pub const DEFAULT_RATIO: f64 = 0.8;
 
 /// Applies block filtering with `ratio` ∈ (0, 1]; each entity keeps
 /// `ceil(ratio × |blocks(e)|)` of its smallest blocks.
+///
+/// This is a pure *index pass* over the flat collection: one scan of the
+/// inverted slab marks the retained `(entity, block)` assignments in a
+/// mask, using a single reused scratch buffer and an `O(|blocks(e)|)`
+/// `select_nth_unstable_by_key` split per entity (fewest comparisons
+/// first, ties by block id — the same deterministic keep set as a full
+/// sort). The successor collection is then written straight into fresh
+/// slabs with remapped block ids — no hash maps, no re-interning, no
+/// per-entity copies of the block lists.
 pub fn filter_with(collection: &BlockCollection, ratio: f64) -> BlockCollection {
+    filter_with_threads(collection, ratio, default_threads())
+}
+
+/// As [`filter_with`] with an explicit worker count for the successor's
+/// slab build (the pipeline threads its `workers` knob through here).
+/// The result never depends on `threads`.
+pub fn filter_with_threads(
+    collection: &BlockCollection,
+    ratio: f64,
+    threads: usize,
+) -> BlockCollection {
+    assert!(
+        ratio > 0.0 && ratio <= 1.0,
+        "ratio must be in (0,1], got {ratio}"
+    );
+    let mut keep_mask = vec![false; collection.total_assignments() as usize];
+    // Reused scratch of in-run indices — sized once to the largest run.
+    let mut scratch: Vec<u32> = Vec::new();
+    let mut offset = 0usize;
+    for e in 0..collection.num_entities() as u32 {
+        let bs = collection.entity_blocks(EntityId(e));
+        if bs.is_empty() {
+            continue;
+        }
+        let keep = ((ratio * bs.len() as f64).ceil() as usize).clamp(1, bs.len());
+        scratch.clear();
+        scratch.extend(0..bs.len() as u32);
+        if keep < bs.len() {
+            // Partition: the `keep` smallest (comparisons, id) keys land in
+            // scratch[..keep]. Keys are distinct (ids break ties), so the
+            // kept *set* equals the full sort's prefix.
+            scratch.select_nth_unstable_by_key(keep - 1, |&i| {
+                let b = bs[i as usize];
+                (collection.block_comparisons(b), b)
+            });
+        }
+        for &i in &scratch[..keep] {
+            keep_mask[offset + i as usize] = true;
+        }
+        offset += bs.len();
+    }
+    collection.retain_assignments(&keep_mask, threads)
+}
+
+/// The pre-flat filter: per-entity `to_vec` + full sort, hash-map
+/// regrouping of the retained assignments, and the legacy owned-`Vec`
+/// rebuild. Kept **only** as the measured baseline and equivalence oracle
+/// for [`filter_with`] — see the `blocking_layout` suite and the
+/// `blockbuild` bench family.
+#[doc(hidden)]
+pub fn legacy_filter_with(collection: &BlockCollection, ratio: f64) -> BlockCollection {
     assert!(
         ratio > 0.0 && ratio <= 1.0,
         "ratio must be in (0,1], got {ratio}"
@@ -30,7 +90,7 @@ pub fn filter_with(collection: &BlockCollection, ratio: f64) -> BlockCollection 
         let keep = ((ratio * bs.len() as f64).ceil() as usize).clamp(1, bs.len());
         let mut sorted: Vec<_> = bs.to_vec();
         // Fewest comparisons first; ties by id for determinism.
-        sorted.sort_by_key(|&b| (collection.block(b).comparisons, b));
+        sorted.sort_by_key(|&b| (collection.block_comparisons(b), b));
         for &b in sorted.iter().take(keep) {
             retained.entry(b.0).or_default().push(e);
         }
@@ -39,9 +99,9 @@ pub fn filter_with(collection: &BlockCollection, ratio: f64) -> BlockCollection 
     blocks.sort_unstable_by_key(|(b, _)| *b);
     let rebuilt: Vec<_> = blocks
         .into_iter()
-        .map(|(b, members)| (collection.block(crate::BlockId(b)).key, members))
+        .map(|(b, members)| (collection.block_key(crate::BlockId(b)), members))
         .collect();
-    collection.rebuild(rebuilt)
+    collection.rebuild_from_blocks(rebuilt)
 }
 
 /// Block filtering with the standard ratio 0.8.
@@ -118,6 +178,27 @@ mod tests {
         let cleaned = clean(&c);
         assert!(cleaned.total_comparisons() < c.total_comparisons());
         assert_eq!(mode_of(&cleaned), ErMode::CleanClean);
+    }
+
+    #[test]
+    fn mask_filter_matches_legacy_filter() {
+        for (n, seed) in [(120usize, 3u64), (200, 7)] {
+            let g = generate(&profiles::center_dense(n, seed));
+            let c = token_blocking(&g.dataset, ErMode::CleanClean);
+            for ratio in [0.3, 0.5, 0.8, 1.0] {
+                let fast = filter_with(&c, ratio);
+                let legacy = legacy_filter_with(&c, ratio);
+                assert_eq!(fast.len(), legacy.len(), "ratio {ratio}");
+                for (a, b) in fast.blocks().zip(legacy.blocks()) {
+                    assert_eq!(fast.key_str(a.id), legacy.key_str(b.id));
+                    assert_eq!(a.entities, b.entities);
+                    assert_eq!(a.comparisons, b.comparisons);
+                }
+                for e in g.dataset.entities() {
+                    assert_eq!(fast.entity_blocks(e), legacy.entity_blocks(e));
+                }
+            }
+        }
     }
 
     #[test]

@@ -6,11 +6,49 @@
 //! here is **schema-agnostic**: keys come from tokens of attribute values
 //! and URIs, never from schema knowledge.
 //!
+//! # The flat layout
+//!
+//! The paper's pipeline is *block building → block purging → block
+//! filtering → meta-blocking*, and on power-law token-blocking output the
+//! first three stages dominate end-to-end wall clock once meta-blocking
+//! runs on the CSR graph. The whole layer is therefore flat and
+//! string-free, mirroring `metablocking::graph`:
+//!
+//! * **Build** — the token/URI builders intern each token into a
+//!   [`Symbol`](minoan_common::Symbol) *during* tokenisation
+//!   ([`collection::KeyAssignments`]); no owned key string is ever
+//!   accumulated per token occurrence. The collection is assembled by a
+//!   two-pass counting sort ([`BlockCollection::from_assignments`]) into
+//!   two CSR slab pairs — `block_offsets`/`block_entities` (block →
+//!   sorted members) and `entity_offsets`/`entity_block_ids` (entity →
+//!   sorted block ids) — plus per-block comparison counts and the
+//!   precomputed ARCS reciprocal `1/‖b‖` slab the meta-blocking sweeps
+//!   read directly. The sort is thread-parallel over entity ranges
+//!   (`std::thread::scope`) and bit-identical for every thread count.
+//! * **Purge** ([`purge`]) — the comparison-cardinality scan reads the
+//!   per-block slab and emits a per-block retain mask; the successor is
+//!   written straight into fresh slabs (kept member runs are memcpy'd,
+//!   ids remapped, interner shared). Nothing is re-hashed or re-interned.
+//! * **Filter** ([`filter`]) — one pass over the inverted slab marks the
+//!   retained `(entity, block)` assignments in a mask (reused scratch +
+//!   `select_nth_unstable_by_key` keep-`k` split per entity); the masked
+//!   assignments are counting-sorted into the successor's slabs and
+//!   blocks left without comparisons are dropped by the same id remap.
+//!
+//! The string-keyed [`BlockCollection::from_groups`] remains as the
+//! compatibility path for blockers whose keys are composed strings
+//! (windows, q-grams, LSH bands, unions); it produces identical
+//! collections for the same logical groups.
+//!
+//! # Modules
+//!
 //! * [`builders`] — token blocking, Prefix-Infix(-Suffix) URI blocking,
 //!   attribute-clustering blocking, and their combination.
 //! * [`collection`] — the [`BlockCollection`] representation shared with
-//!   meta-blocking (blocks, per-entity block lists, comparison counting for
-//!   dirty and clean–clean ER).
+//!   meta-blocking (CSR slabs, per-entity block lists, comparison
+//!   counting for dirty and clean–clean ER).
+//! * `layout` *(crate-internal)* — the counting-sort CSR transpose every
+//!   construction path is built on.
 //! * [`purge`] — comparison-based block purging (drops oversized blocks).
 //! * [`filter`] — block filtering (each entity keeps its `r`% smallest
 //!   blocks).
@@ -23,12 +61,17 @@
 //!
 //! ```
 //! use minoan_datagen::{generate, profiles};
-//! use minoan_blocking::{builders, ErMode};
+//! use minoan_blocking::{builders, filter, purge, ErMode};
 //!
 //! let g = generate(&profiles::center_dense(150, 7));
+//! // Build → purge → filter: the paper's block cleaning pipeline.
 //! let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
-//! assert!(blocks.len() > 0);
-//! assert!(blocks.total_comparisons() > 0);
+//! let cleaned = filter::filter(&purge::purge(&blocks).collection);
+//! assert!(cleaned.len() > 0);
+//! assert!(cleaned.total_comparisons() <= blocks.total_comparisons());
+//! // Slice accessors read straight from the slabs.
+//! let b = cleaned.block(minoan_blocking::BlockId(0));
+//! assert_eq!(b.entities, cleaned.block_entities(b.id));
 //! ```
 
 pub mod builders;
@@ -36,6 +79,7 @@ pub mod canopy;
 pub mod collection;
 pub mod composite;
 pub mod filter;
+mod layout;
 pub mod lsh;
 pub mod parallel;
 pub mod purge;
@@ -44,7 +88,7 @@ pub mod schedule;
 pub mod sorted_neighborhood;
 
 pub use canopy::{canopy_blocking, CanopyConfig};
-pub use collection::{Block, BlockCollection, BlockId, ErMode};
+pub use collection::{BlockCollection, BlockId, BlockRef, ErMode, KeyAssignments};
 pub use composite::{pair_intersection, union, BlockingWorkflow, Method, WorkflowReport};
 pub use lsh::{minhash_lsh_blocking, LshConfig};
 pub use qgrams::{extended_qgram_blocking, qgram_blocking};

@@ -101,7 +101,7 @@ mod tests {
                 parallel_token_blocking(&g.dataset, ErMode::CleanClean, &Engine::new(workers));
             assert_eq!(par.len(), serial.len());
             assert_eq!(par.total_comparisons(), serial.total_comparisons());
-            for (a, b) in par.blocks().iter().zip(serial.blocks()) {
+            for (a, b) in par.blocks().zip(serial.blocks()) {
                 assert_eq!(a.entities, b.entities);
             }
         }

@@ -14,7 +14,8 @@
 //! by more than the smoothing factor; the scan stops at the first level
 //! whose removal no longer pays.
 
-use crate::collection::BlockCollection;
+use crate::collection::{BlockCollection, BlockId};
+use minoan_common::default_threads;
 
 /// Default smoothing factor (JedAI's value).
 pub const DEFAULT_SMOOTHING: f64 = 1.025;
@@ -40,21 +41,49 @@ pub fn purge(collection: &BlockCollection) -> PurgeOutcome {
 /// Purges oversized blocks; `smoothing > 1` controls how large the marginal
 /// ratio improvement must stay for the scan to keep cutting (closer to 1 ⇒
 /// more aggressive purging).
+///
+/// This is a pure *index pass* over the flat collection: the cardinality
+/// scan reads the per-block comparison slab, the verdict is a per-block
+/// retain mask, and the successor collection is written straight into
+/// fresh slabs with remapped block ids — kept member runs are memcpy'd,
+/// nothing is re-hashed or re-interned.
 pub fn purge_with(collection: &BlockCollection, smoothing: f64) -> PurgeOutcome {
+    purge_with_threads(collection, smoothing, default_threads())
+}
+
+/// As [`purge_with`] with an explicit worker count for the successor's
+/// slab build (the pipeline threads its `workers` knob through here).
+/// The result never depends on `threads`.
+pub fn purge_with_threads(
+    collection: &BlockCollection,
+    smoothing: f64,
+    threads: usize,
+) -> PurgeOutcome {
+    let limit = purge_limit(collection, smoothing);
+    let keep: Vec<bool> = (0..collection.len() as u32)
+        .map(|i| collection.block_comparisons(BlockId(i)) <= limit)
+        .collect();
+    let purged_blocks = keep.iter().filter(|&&k| !k).count();
+    let new = collection.retain_blocks(&keep, threads);
+    PurgeOutcome {
+        purged_comparisons: collection.total_comparisons() - new.total_comparisons(),
+        collection: new,
+        purged_blocks,
+        max_comparisons_per_block: limit,
+    }
+}
+
+/// The comparison-cardinality limit the greedy CC/BC scan settles on
+/// (`u64::MAX` = keep everything).
+fn purge_limit(collection: &BlockCollection, smoothing: f64) -> u64 {
     assert!(smoothing > 1.0, "smoothing factor must exceed 1");
-    let blocks = collection.blocks();
-    if blocks.is_empty() {
-        return PurgeOutcome {
-            collection: collection.rebuild(Vec::new()),
-            purged_blocks: 0,
-            purged_comparisons: 0,
-            max_comparisons_per_block: u64::MAX,
-        };
+    if collection.is_empty() {
+        return u64::MAX;
     }
 
     // Distinct cardinalities ascending, with cumulative CC and BC.
-    let mut sorted: Vec<(u64, u64)> = blocks
-        .iter()
+    let mut sorted: Vec<(u64, u64)> = collection
+        .blocks()
         .map(|b| (b.comparisons, b.len() as u64))
         .collect();
     sorted.sort_unstable();
@@ -85,14 +114,24 @@ pub fn purge_with(collection: &BlockCollection, smoothing: f64) -> PurgeOutcome 
             break;
         }
     }
+    limit
+}
 
-    let keep: Vec<_> = blocks
-        .iter()
+/// The pre-flat purge: identical cardinality scan, but the successor is
+/// produced by the legacy owned-`Vec` rebuild (per-block `to_vec`,
+/// re-sort, re-count, re-intern). Kept **only** as the measured baseline
+/// and equivalence oracle for [`purge_with`] — see the `blocking_layout`
+/// suite and the `blockbuild` bench family.
+#[doc(hidden)]
+pub fn legacy_purge_with(collection: &BlockCollection, smoothing: f64) -> PurgeOutcome {
+    let limit = purge_limit(collection, smoothing);
+    let keep: Vec<_> = collection
+        .blocks()
         .filter(|b| b.comparisons <= limit)
         .map(|b| (b.key, b.entities.to_vec()))
         .collect();
-    let purged_blocks = blocks.len() - keep.len();
-    let new = collection.rebuild(keep);
+    let purged_blocks = collection.len() - keep.len();
+    let new = collection.rebuild_from_blocks(keep);
     PurgeOutcome {
         purged_comparisons: collection.total_comparisons() - new.total_comparisons(),
         collection: new,
@@ -202,6 +241,37 @@ mod tests {
         let gentle = purge_with(&c, 2.0);
         let aggressive = purge_with(&c, 1.01);
         assert!(aggressive.collection.total_comparisons() <= gentle.collection.total_comparisons());
+    }
+
+    #[test]
+    fn mask_purge_matches_legacy_purge() {
+        let g = generate(&profiles::center_dense(220, 6));
+        let c = token_blocking(&g.dataset, ErMode::CleanClean);
+        for smoothing in [1.01, 1.025, 2.0] {
+            let fast = purge_with(&c, smoothing);
+            let legacy = legacy_purge_with(&c, smoothing);
+            assert_eq!(fast.purged_blocks, legacy.purged_blocks);
+            assert_eq!(fast.purged_comparisons, legacy.purged_comparisons);
+            assert_eq!(
+                fast.max_comparisons_per_block,
+                legacy.max_comparisons_per_block
+            );
+            assert_eq!(fast.collection.len(), legacy.collection.len());
+            for (a, b) in fast.collection.blocks().zip(legacy.collection.blocks()) {
+                assert_eq!(
+                    fast.collection.key_str(a.id),
+                    legacy.collection.key_str(b.id)
+                );
+                assert_eq!(a.entities, b.entities);
+                assert_eq!(a.comparisons, b.comparisons);
+            }
+            for e in g.dataset.entities() {
+                assert_eq!(
+                    fast.collection.entity_blocks(e),
+                    legacy.collection.entity_blocks(e)
+                );
+            }
+        }
     }
 
     #[test]

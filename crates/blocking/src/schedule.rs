@@ -11,7 +11,7 @@
 //! baseline, giving E4 a third comparison point between random order and
 //! graph-based scheduling.
 
-use crate::collection::BlockCollection;
+use crate::collection::{BlockCollection, BlockId};
 use minoan_common::FxHashSet;
 use minoan_rdf::EntityId;
 
@@ -31,15 +31,15 @@ pub fn scheduled_pairs(collection: &BlockCollection) -> Vec<(EntityId, EntityId,
     let mut order: Vec<usize> = (0..collection.len()).collect();
     order.sort_by(|&x, &y| {
         let (bx, by) = (
-            collection.blocks()[x].comparisons,
-            collection.blocks()[y].comparisons,
+            collection.block_comparisons(BlockId(x as u32)),
+            collection.block_comparisons(BlockId(y as u32)),
         );
         bx.cmp(&by).then(x.cmp(&y))
     });
     let mut seen: FxHashSet<(EntityId, EntityId)> = FxHashSet::default();
     let mut out = Vec::new();
     for idx in order {
-        let block = &collection.blocks()[idx];
+        let block = collection.block(BlockId(idx as u32));
         let utility = block_utility(block.comparisons);
         for (i, &x) in block.entities.iter().enumerate() {
             for &y in &block.entities[i + 1..] {

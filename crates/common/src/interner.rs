@@ -37,6 +37,8 @@ impl fmt::Debug for Symbol {
 pub struct Interner {
     map: FxHashMap<Box<str>, Symbol>,
     strings: Vec<Box<str>>,
+    /// Reused composition buffer for [`Interner::intern_prefixed`].
+    scratch: String,
 }
 
 impl Interner {
@@ -50,6 +52,7 @@ impl Interner {
         Self {
             map: FxHashMap::with_capacity_and_hasher(n, Default::default()),
             strings: Vec::with_capacity(n),
+            scratch: String::new(),
         }
     }
 
@@ -65,6 +68,21 @@ impl Interner {
         let boxed: Box<str> = s.into();
         self.strings.push(boxed.clone());
         self.map.insert(boxed, sym);
+        sym
+    }
+
+    /// Interns the concatenation `{prefix}{rest}` without allocating a
+    /// fresh `String` per call: the two parts are composed in a reused
+    /// internal buffer. This is how namespaced key spaces (e.g. the
+    /// `uri:` prefix of URI-infix blocking) stay disjoint without a
+    /// `format!` allocation per token.
+    pub fn intern_prefixed(&mut self, prefix: &str, rest: &str) -> Symbol {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.push_str(prefix);
+        scratch.push_str(rest);
+        let sym = self.intern(&scratch);
+        self.scratch = scratch;
         sym
     }
 
@@ -154,5 +172,18 @@ mod tests {
     fn with_capacity_starts_empty() {
         let i = Interner::with_capacity(128);
         assert!(i.is_empty());
+    }
+
+    #[test]
+    fn intern_prefixed_equals_concatenation() {
+        let mut i = Interner::new();
+        let a = i.intern_prefixed("uri:", "knossos");
+        let b = i.intern("uri:knossos");
+        assert_eq!(a, b);
+        assert_eq!(i.resolve(a), "uri:knossos");
+        // Distinct namespaces stay disjoint.
+        let plain = i.intern("knossos");
+        assert_ne!(a, plain);
+        assert_eq!(i.len(), 2);
     }
 }

@@ -29,3 +29,12 @@ pub use ordf64::OrdF64;
 pub use topk::TopK;
 pub use union_find::UnionFind;
 pub use zipf::Zipf;
+
+/// Default worker count for the thread-parallel passes (CSR builds,
+/// sweeps): all available parallelism, 1 when it cannot be queried. The
+/// one definition every subsystem shares — results never depend on it.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}

@@ -131,15 +131,21 @@ impl Pipeline {
         }
     }
 
-    /// Runs block cleaning (purge + filter) per the configuration.
+    /// Runs block cleaning (purge + filter) per the configuration. The
+    /// `workers` knob bounds the successor slab builds like it bounds the
+    /// meta-blocking sweeps; results never depend on it.
     pub fn clean_blocks(&self, blocks: BlockCollection) -> BlockCollection {
+        let threads = self
+            .config
+            .workers
+            .unwrap_or_else(minoan_common::default_threads);
         let blocks = if self.config.purge {
-            purge::purge(&blocks).collection
+            purge::purge_with_threads(&blocks, purge::DEFAULT_SMOOTHING, threads).collection
         } else {
             blocks
         };
         match self.config.filter_ratio {
-            Some(r) => filter::filter_with(&blocks, r),
+            Some(r) => filter::filter_with_threads(&blocks, r, threads),
             None => blocks,
         }
     }

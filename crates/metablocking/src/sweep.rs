@@ -284,7 +284,7 @@ fn sweep_costs(collection: &BlockCollection) -> Vec<u64> {
             collection
                 .entity_blocks(EntityId(e))
                 .iter()
-                .map(|&b| collection.block(b).len() as u64)
+                .map(|&b| collection.block_len(b) as u64)
                 .sum()
         })
         .collect()
@@ -318,11 +318,10 @@ pub(crate) fn partition_by_cost(costs: &[u64], parts: usize) -> Vec<std::ops::Ra
     out
 }
 
-/// Default worker count for the parallel sweeps.
+/// Default worker count for the parallel sweeps (the shared
+/// `minoan_common` definition).
 pub(crate) fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    minoan_common::default_threads()
 }
 
 /// Contiguous entity ranges for `threads` workers, balanced by sweep cost

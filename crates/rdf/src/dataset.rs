@@ -207,6 +207,26 @@ impl Dataset {
         out
     }
 
+    /// Visits all blocking tokens of `e` — the same tokens, in the same
+    /// order, as [`Self::blocking_tokens`] — without allocating a
+    /// `String` per token. This is the hot path of the string-free block
+    /// builders: each token is composed in `buffers` and borrowed by `f`
+    /// for the duration of the call (typically to intern it).
+    pub fn for_each_blocking_token(
+        &self,
+        e: EntityId,
+        buffers: &mut tokenize::TokenBuffers,
+        mut f: impl FnMut(&str),
+    ) {
+        let d = self.description(e);
+        for (_, v) in &d.attributes {
+            match v {
+                Value::Literal(s) => tokenize::value_tokens_with(s, buffers, &mut f),
+                Value::Resource(u) => tokenize::uri_infix_tokens_with(u, buffers, &mut f),
+            }
+        }
+    }
+
     /// Tokens of literal values only (no URI evidence).
     pub fn literal_tokens(&self, e: EntityId) -> Vec<String> {
         let d = self.description(e);

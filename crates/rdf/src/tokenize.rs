@@ -40,6 +40,69 @@ pub fn value_token_vec(value: &str) -> Vec<String> {
     value_tokens(value).collect()
 }
 
+/// Reusable scratch buffers for the allocation-free token visitors
+/// ([`value_tokens_with`], [`uri_infix_tokens_with`]). One instance per
+/// scan loop; the buffers grow to the longest token/infix seen and are
+/// reused for every subsequent call.
+#[derive(Default)]
+pub struct TokenBuffers {
+    /// Lower-cased token composition buffer.
+    lower: String,
+    /// camelCase-spaced URI infix buffer.
+    spaced: String,
+}
+
+/// Lower-cases `tok` into `buf` and returns the lowered slice. ASCII
+/// tokens (the overwhelming majority) are lowered byte-wise with no
+/// allocation; anything else goes through `str::to_lowercase` so the
+/// result is byte-identical to the iterator-based [`value_tokens`].
+fn lower_into<'b>(tok: &str, buf: &'b mut String) -> &'b str {
+    buf.clear();
+    if tok.is_ascii() {
+        buf.push_str(tok);
+        buf.make_ascii_lowercase();
+    } else {
+        buf.push_str(&tok.to_lowercase());
+    }
+    buf.as_str()
+}
+
+/// Visits the blocking tokens of a literal value — exactly the tokens
+/// [`value_tokens`] yields, in the same order — without allocating a
+/// `String` per token: each token is lower-cased into `buffers` and
+/// handed to `f` as a borrowed slice.
+pub fn value_tokens_with(value: &str, buffers: &mut TokenBuffers, mut f: impl FnMut(&str)) {
+    for tok in value
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| t.len() >= 2)
+    {
+        let lowered = lower_into(tok, &mut buffers.lower);
+        if !is_stop_word(lowered) {
+            f(lowered);
+        }
+    }
+}
+
+/// Visits the URI-infix tokens of `uri` — exactly what
+/// [`uri_infix_tokens`] yields, in the same order — reusing `buffers`
+/// instead of allocating per token.
+pub fn uri_infix_tokens_with(uri: &str, buffers: &mut TokenBuffers, f: impl FnMut(&str)) {
+    let infix = decompose_uri(uri).infix;
+    let mut spaced = std::mem::take(&mut buffers.spaced);
+    spaced.clear();
+    spaced.reserve(infix.len() + 8);
+    let mut prev_lower = false;
+    for c in infix.chars() {
+        if c.is_uppercase() && prev_lower {
+            spaced.push(' ');
+        }
+        prev_lower = c.is_lowercase() || c.is_ascii_digit();
+        spaced.push(c);
+    }
+    value_tokens_with(&spaced, buffers, f);
+    buffers.spaced = spaced;
+}
+
 /// The Prefix-Infix(-Suffix) decomposition of an entity URI.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UriDecomposition<'a> {
@@ -165,6 +228,40 @@ mod tests {
     fn unicode_values_tokenise() {
         let toks = value_token_vec("Ηράκλειο café");
         assert_eq!(toks, vec!["ηράκλειο", "café"]);
+    }
+
+    #[test]
+    fn visitor_tokens_match_iterator_tokens() {
+        let inputs = [
+            "The Palace of Knossos, Crete (1900)",
+            "a b c",
+            "of the ab",
+            "Ηράκλειο café ΣΙΓΜΑΣ",
+            "",
+            "MixedCASE tokens-with_seps 42",
+        ];
+        let mut buffers = TokenBuffers::default();
+        for input in inputs {
+            let mut visited: Vec<String> = Vec::new();
+            value_tokens_with(input, &mut buffers, |t| visited.push(t.to_string()));
+            assert_eq!(visited, value_token_vec(input), "input: {input:?}");
+        }
+    }
+
+    #[test]
+    fn visitor_uri_tokens_match_iterator_tokens() {
+        let uris = [
+            "http://yago.org/resource/MikisTheodorakis",
+            "http://dbpedia.org/resource/Knossos_Palace_1900",
+            "http://example.org/data/places#Knossos_Palace",
+            "http://example.org",
+        ];
+        let mut buffers = TokenBuffers::default();
+        for uri in uris {
+            let mut visited: Vec<String> = Vec::new();
+            uri_infix_tokens_with(uri, &mut buffers, |t| visited.push(t.to_string()));
+            assert_eq!(visited, uri_infix_tokens(uri), "uri: {uri}");
+        }
     }
 
     #[test]

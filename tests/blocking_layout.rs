@@ -1,0 +1,179 @@
+//! Property suite for the flat CSR block-collection layout.
+//!
+//! Three contracts, on random generated worlds:
+//!
+//! 1. the string-free counting-sort build
+//!    ([`BlockCollection::from_assignments`] via the token/URI builders)
+//!    produces collections **identical** to the straightforward reference
+//!    build (owned token strings grouped through a hash map, then the
+//!    string-keyed `from_groups`), at every thread count;
+//! 2. the mask + id-remap purge/filter index passes are **identical** to
+//!    the legacy owned-`Vec` rebuild passes, stage by stage and composed;
+//! 3. end-to-end pipeline candidate pairs are **bit-identical** across
+//!    all three execution backends on the new layout, and bit-identical
+//!    to candidates computed over a reference-built collection.
+//!
+//! CI reruns this suite under `RUST_TEST_THREADS=1` and `4` like the
+//! other equivalence suites.
+
+use minoan::blocking::collection::KeyAssignments;
+use minoan::blocking::{builders, filter, purge, BlockCollection, ErMode};
+use minoan::metablocking::ExecutionBackend;
+use minoan::prelude::*;
+use minoan::rdf::tokenize;
+use proptest::prelude::*;
+
+// The one observable-identity oracle (blocks, key strings, member
+// slices, comparison counts, reciprocal bits, inverted index) — shared
+// with the `blockbuild` smoke/bench harness so both always check the
+// same invariants.
+use minoan_bench::blockbuild::assert_collections_identical;
+
+// The reference (legacy string-grouped) build — shared with the
+// blockbuild harness so every suite pins against the same oracle.
+use minoan_bench::blockbuild::reference_token_and_uri_blocking as reference_token_and_uri;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Contract 1 — the CSR counting-sort build equals the reference
+    /// string-grouped build, for both ER modes, at thread counts 1/2/4/8.
+    #[test]
+    fn csr_build_equals_reference_build(seed in 0u64..500, n in 40usize..120) {
+        let world = generate(&profiles::center_periphery(n, seed));
+        let ds = &world.dataset;
+        for mode in [ErMode::CleanClean, ErMode::Dirty] {
+            let reference = reference_token_and_uri(ds, mode);
+            // The production builder (auto thread count)...
+            let built = builders::token_and_uri_blocking(ds, mode);
+            assert_collections_identical(&built, &reference, "builder");
+            // ...and the explicit thread sweep over the same assignments.
+            for threads in [1usize, 2, 4, 8] {
+                let mut asg = KeyAssignments::with_capacity(ds.len());
+                let mut buffers = tokenize::TokenBuffers::default();
+                for e in ds.entities() {
+                    ds.for_each_blocking_token(e, &mut buffers, |tok| asg.push_key(tok));
+                    tokenize::uri_infix_tokens_with(ds.uri(e), &mut buffers, |tok| {
+                        asg.push_key_prefixed("uri:", tok)
+                    });
+                    asg.seal_entity();
+                }
+                let c = BlockCollection::from_assignments_with_threads(ds, mode, asg, threads);
+                assert_collections_identical(&c, &reference, &format!("threads={threads}"));
+            }
+        }
+    }
+
+    /// Contract 2 — mask-based purge and filter equal the legacy rebuild
+    /// passes, individually and composed (purge → filter).
+    #[test]
+    fn purge_filter_equal_legacy_rebuild(seed in 0u64..500, n in 40usize..120) {
+        let world = generate(&profiles::center_periphery(n, seed));
+        let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+
+        let fast = purge::purge(&blocks);
+        let legacy = purge::legacy_purge_with(&blocks, purge::DEFAULT_SMOOTHING);
+        prop_assert_eq!(fast.purged_blocks, legacy.purged_blocks);
+        prop_assert_eq!(fast.purged_comparisons, legacy.purged_comparisons);
+        prop_assert_eq!(fast.max_comparisons_per_block, legacy.max_comparisons_per_block);
+        assert_collections_identical(&fast.collection, &legacy.collection, "purge");
+
+        for ratio in [0.3, 0.8, 1.0] {
+            let f_fast = filter::filter_with(&fast.collection, ratio);
+            let f_legacy = filter::legacy_filter_with(&legacy.collection, ratio);
+            assert_collections_identical(&f_fast, &f_legacy, &format!("filter r={ratio}"));
+        }
+    }
+
+    /// Contract 3 — pipeline candidates are bit-identical across all
+    /// three backends on the new layout, and bit-identical to candidates
+    /// over the reference-built collection.
+    #[test]
+    fn pipeline_candidates_bit_identical_across_backends(seed in 0u64..500, n in 40usize..100) {
+        let world = generate(&profiles::center_periphery(n, seed));
+        let reference = {
+            let pipeline = Pipeline::new(PipelineConfig::default());
+            let raw = reference_token_and_uri(&world.dataset, ErMode::CleanClean);
+            pipeline.meta_block(&pipeline.clean_blocks(raw))
+        };
+        for backend in [
+            ExecutionBackend::Materialized,
+            ExecutionBackend::Streaming,
+            ExecutionBackend::MapReduce,
+        ] {
+            let cfg = PipelineConfig {
+                backend,
+                workers: Some(3),
+                ..Default::default()
+            };
+            let pipeline = Pipeline::new(cfg);
+            let blocks = pipeline.block(&world.dataset);
+            let candidates = pipeline.meta_block(&pipeline.clean_blocks(blocks));
+            prop_assert_eq!(candidates.len(), reference.len(), "{:?}: count", backend);
+            for (c, r) in candidates.iter().zip(&reference) {
+                prop_assert_eq!((c.0, c.1), (r.0, r.1), "{:?}: pair", backend);
+                prop_assert_eq!(
+                    c.2.to_bits(),
+                    r.2.to_bits(),
+                    "{:?}: weight bits for ({:?},{:?})",
+                    backend,
+                    c.0,
+                    c.1
+                );
+            }
+        }
+    }
+}
+
+/// Purging must keep member lists byte-for-byte (it only drops whole
+/// blocks), so the fast path's slab memcpy is sufficient — pinned here
+/// against a semantic drift in `retain_blocks`.
+#[test]
+fn purge_keeps_surviving_blocks_untouched() {
+    let world = generate(&profiles::center_dense(150, 23));
+    let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    let out = purge::purge(&blocks);
+    let mut kept = 0usize;
+    for b in blocks.blocks() {
+        if b.comparisons <= out.max_comparisons_per_block {
+            let nb = out.collection.block(minoan::blocking::BlockId(kept as u32));
+            assert_eq!(nb.entities, b.entities);
+            assert_eq!(nb.comparisons, b.comparisons);
+            assert_eq!(out.collection.key_str(nb.id), blocks.key_str(b.id));
+            kept += 1;
+        }
+    }
+    assert_eq!(kept, out.collection.len());
+}
+
+/// The filter keep-`k` split must select exactly the full-sort prefix
+/// (fewest comparisons first, ties by block id) — the deterministic
+/// contract `select_nth_unstable_by_key` has to preserve.
+#[test]
+fn filter_keeps_the_sorted_prefix_per_entity() {
+    let world = generate(&profiles::center_dense(120, 29));
+    let blocks = builders::token_blocking(&world.dataset, ErMode::CleanClean);
+    let ratio = 0.5;
+    let filtered = filter::filter_with(&blocks, ratio);
+    for e in world.dataset.entities() {
+        let bs = blocks.entity_blocks(e);
+        if bs.is_empty() {
+            continue;
+        }
+        let keep = ((ratio * bs.len() as f64).ceil() as usize).clamp(1, bs.len());
+        let mut sorted: Vec<_> = bs.to_vec();
+        sorted.sort_by_key(|&b| (blocks.block_comparisons(b), b));
+        let expected: std::collections::BTreeSet<&str> =
+            sorted[..keep].iter().map(|&b| blocks.key_str(b)).collect();
+        // Every retained assignment of e must come from the expected set
+        // (blocks can disappear entirely if all their other members
+        // dropped them, so subset — not equality — is the invariant).
+        for &b in filtered.entity_blocks(e) {
+            assert!(
+                expected.contains(filtered.key_str(b)),
+                "entity {e:?} kept unexpected block {:?}",
+                filtered.key_str(b)
+            );
+        }
+    }
+}
