@@ -4,6 +4,8 @@
 //! returns its report as plain text; the `reproduce` binary prints them.
 //! Criterion micro-benchmarks live in `benches/`.
 
+#![forbid(unsafe_code)]
+
 pub mod blockbuild;
 pub mod experiments;
 pub mod experiments2;

@@ -127,6 +127,7 @@ pub fn attribute_clustering_blocking(
     //    string per token occurrence.
     let mut asg = KeyAssignments::with_capacity(dataset.len());
     let mut buffers = TokenBuffers::default();
+    // lint:allow(hot-path-alloc): one buffer reused across all attribute occurrences
     let mut prefix = String::new();
     for e in dataset.entities() {
         let kb = dataset.kb_of(e).0;

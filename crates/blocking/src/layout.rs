@@ -124,7 +124,7 @@ pub(crate) fn transpose_csr<C: ColId>(
     let mut locals: Vec<(Vec<u32>, Vec<u32>)> = Vec::with_capacity(ranges.len());
     for counts in &per_thread {
         let offs = prefix_sum(counts);
-        let len = *offs.last().unwrap() as usize;
+        let len = *offs.last().expect("prefix_sum output is never empty") as usize;
         locals.push((offs, vec![0u32; len]));
     }
     std::thread::scope(|s| {

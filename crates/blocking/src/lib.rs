@@ -74,6 +74,8 @@
 //! assert_eq!(b.entities, cleaned.block_entities(b.id));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod builders;
 pub mod canopy;
 pub mod collection;

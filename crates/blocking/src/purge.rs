@@ -131,6 +131,7 @@ pub fn legacy_purge_with(collection: &BlockCollection, smoothing: f64) -> PurgeO
         .map(|b| (b.key, b.entities.to_vec()))
         .collect();
     let purged_blocks = collection.len() - keep.len();
+    // lint:allow(legacy-oracle-reach): purge outcome reporting rebuilds via the compat path
     let new = collection.rebuild_from_blocks(keep);
     PurgeOutcome {
         purged_comparisons: collection.total_comparisons() - new.total_comparisons(),

@@ -11,6 +11,8 @@
 //! minoan eval     --profile lod --entities 400 --seed 7 --strategy progressive:coverage
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod commands;
 

@@ -15,6 +15,8 @@
 //! * [`stats`] — tiny numeric helpers (mean, percentile, AUC of a step
 //!   curve) shared by evaluation and pruning code.
 
+#![forbid(unsafe_code)]
+
 pub mod hash;
 pub mod interner;
 pub mod ordf64;

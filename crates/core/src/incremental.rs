@@ -162,7 +162,11 @@ impl<'d> IncrementalResolver<'d> {
                 (other, cbs as f64 + boost * 100.0)
             })
             .collect();
-        candidates.sort_by(|x, y| y.1.partial_cmp(&x.1).expect("finite").then(x.0.cmp(&y.0)));
+        candidates.sort_by(|x, y| {
+            y.1.partial_cmp(&x.1)
+                .expect("candidate scores are finite: cbs counts plus bounded boost")
+                .then(x.0.cmp(&y.0))
+        });
         candidates.truncate(self.config.max_candidates);
 
         // --- Budgeted best-first matching --------------------------------

@@ -179,6 +179,7 @@ impl<'d> CompositeResolver<'d> {
 
         // --- R2: reciprocal value match --------------------------------
         let mut value_best: FxHashMap<EntityId, (EntityId, f64)> = FxHashMap::default();
+        // lint:allow(hash-order-leak): independent per-key best-match fill; no emission order here
         for (&e, list) in partners.iter() {
             if consumed.contains(&e) {
                 continue;
@@ -208,7 +209,7 @@ impl<'d> CompositeResolver<'d> {
         }
         r2.sort_by(|x, y| {
             y.2.partial_cmp(&x.2)
-                .expect("finite")
+                .expect("R2 similarities are finite by construction")
                 .then((x.0, x.1).cmp(&(y.0, y.1)))
         });
         for (a, b, sim) in r2 {
@@ -237,7 +238,7 @@ impl<'d> CompositeResolver<'d> {
         }
         r3.sort_by(|x, y| {
             y.2.partial_cmp(&x.2)
-                .expect("finite")
+                .expect("R3 aggregate scores are finite by construction")
                 .then((x.0, x.1).cmp(&(y.0, y.1)))
         });
         for (a, b, score) in r3 {

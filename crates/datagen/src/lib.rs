@@ -32,6 +32,8 @@
 //! assert!(world.truth.matching_pairs() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod corruption;
 pub mod emit;

@@ -144,9 +144,11 @@ pub fn bcubed(pa: &[u32], ta: &[u32]) -> Prf {
     // For each description i: precision_i = |P(i) ∩ T(i)| / |P(i)|,
     // recall_i = |P(i) ∩ T(i)| / |T(i)|. Summing per joint cell:
     // Σ_i precision_i = Σ_cells |cell|² / |P|.
+    let mut cells: Vec<((u32, u32), u64)> = joint.iter().map(|(&k, &c)| (k, c)).collect();
+    cells.sort_unstable_by_key(|&(k, _)| k);
     let mut psum = 0.0f64;
     let mut rsum = 0.0f64;
-    for (&(p, t), &c) in joint.iter() {
+    for ((p, t), c) in cells {
         let c = c as f64;
         psum += c * c / p_sizes[&p] as f64;
         rsum += c * c / t_sizes[&t] as f64;

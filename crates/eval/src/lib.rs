@@ -11,6 +11,8 @@
 //!
 //! [`Trace`]: minoan_er::Trace
 
+#![forbid(unsafe_code)]
+
 pub mod bootstrap;
 pub mod cluster_metrics;
 pub mod export;

@@ -152,6 +152,7 @@ fn checkpoint(
                 any_pair = true;
             }
         }
+        // lint:allow(hash-order-leak): max over group sizes is order-insensitive
         for g in groups.values() {
             best_cov = best_cov.max(g.len());
         }

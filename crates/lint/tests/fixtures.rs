@@ -1,0 +1,154 @@
+//! Fixture suite: every rule has one firing and one clean fixture under
+//! `lint_fixtures/` (a directory the workspace walker deliberately skips).
+//! Firing fixtures assert exact rule codes *and* line numbers so the rules
+//! cannot silently drift; clean fixtures pin the sanctioned idiom.
+//!
+//! Fixtures are linted against *virtual* workspace-relative paths — the
+//! path decides which scope lists apply, so e.g. the hot-path fixture is
+//! presented as `crates/metablocking/src/kernel.rs`.
+
+#![forbid(unsafe_code)]
+
+use minoan_lint::{lint_manifest_source, lint_rust_source, Config};
+
+/// `(code, line)` pairs of surviving diagnostics, in report order.
+fn fired(rel: &str, src: &str) -> Vec<(&'static str, u32)> {
+    lint_rust_source(rel, src, &Config::default())
+        .fired
+        .iter()
+        .map(|d| (d.code, d.line))
+        .collect()
+}
+
+#[test]
+fn ml000_allow_missing_reason_fires() {
+    let src = include_str!("lint_fixtures/ml000_fire.rs");
+    // The reason-less escape is itself a diagnostic AND fails to suppress.
+    assert_eq!(
+        fired("crates/store/src/fixture.rs", src),
+        vec![("ML000", 2), ("ML005", 2)]
+    );
+}
+
+#[test]
+fn ml000_clean_allow_suppresses() {
+    let src = include_str!("lint_fixtures/ml000_clean.rs");
+    let out = lint_rust_source("crates/store/src/fixture.rs", src, &Config::default());
+    assert!(out.fired.is_empty(), "{:?}", out.fired);
+    assert_eq!(out.allowed.len(), 1);
+    assert_eq!(out.allowed[0].via, "inline");
+}
+
+#[test]
+fn ml001_hot_path_alloc_fires() {
+    let src = include_str!("lint_fixtures/ml001_fire.rs");
+    assert_eq!(
+        fired("crates/metablocking/src/kernel.rs", src),
+        vec![("ML001", 2)]
+    );
+}
+
+#[test]
+fn ml001_clean() {
+    let src = include_str!("lint_fixtures/ml001_clean.rs");
+    assert_eq!(fired("crates/metablocking/src/kernel.rs", src), vec![]);
+}
+
+#[test]
+fn ml002_tier_a_hash_type_fires_in_flat_core() {
+    let src = include_str!("lint_fixtures/ml002a_fire.rs");
+    assert_eq!(
+        fired("crates/metablocking/src/sweep.rs", src),
+        vec![("ML002", 1), ("ML002", 3)]
+    );
+}
+
+#[test]
+fn ml002_tier_a_clean() {
+    let src = include_str!("lint_fixtures/ml002a_clean.rs");
+    assert_eq!(fired("crates/metablocking/src/sweep.rs", src), vec![]);
+}
+
+#[test]
+fn ml002_tier_b_unsorted_iteration_fires() {
+    let src = include_str!("lint_fixtures/ml002b_fire.rs");
+    assert_eq!(fired("crates/eval/src/fixture.rs", src), vec![("ML002", 3)]);
+}
+
+#[test]
+fn ml002_tier_b_sorted_is_clean() {
+    let src = include_str!("lint_fixtures/ml002b_clean.rs");
+    assert_eq!(fired("crates/eval/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn ml003_float_accumulation_fires() {
+    let src = include_str!("lint_fixtures/ml003_fire.rs");
+    assert_eq!(
+        fired("crates/metablocking/src/streaming.rs", src),
+        vec![("ML003", 4)]
+    );
+}
+
+#[test]
+fn ml003_pairwise_sum_is_clean() {
+    let src = include_str!("lint_fixtures/ml003_clean.rs");
+    assert_eq!(fired("crates/metablocking/src/streaming.rs", src), vec![]);
+}
+
+#[test]
+fn ml004_legacy_oracle_fires_outside_tests() {
+    let src = include_str!("lint_fixtures/ml004_fire.rs");
+    assert_eq!(fired("crates/cli/src/fixture.rs", src), vec![("ML004", 2)]);
+}
+
+#[test]
+fn ml004_test_span_reference_is_clean() {
+    let src = include_str!("lint_fixtures/ml004_clean.rs");
+    assert_eq!(fired("crates/cli/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn ml005_unwrap_and_weak_expect_fire() {
+    let src = include_str!("lint_fixtures/ml005_fire.rs");
+    assert_eq!(
+        fired("crates/store/src/fixture.rs", src),
+        vec![("ML005", 2), ("ML005", 6)]
+    );
+}
+
+#[test]
+fn ml005_descriptive_expect_is_clean() {
+    let src = include_str!("lint_fixtures/ml005_clean.rs");
+    assert_eq!(fired("crates/store/src/fixture.rs", src), vec![]);
+}
+
+#[test]
+fn ml006_dep_drift_fires() {
+    let src = include_str!("lint_fixtures/ml006_fire.toml");
+    let out = lint_manifest_source("crates/fixture/Cargo.toml", src, &Config::default());
+    let got: Vec<(&str, u32)> = out.fired.iter().map(|d| (d.code, d.line)).collect();
+    // Registry version, git dep, and the long-form table header.
+    assert_eq!(got, vec![("ML006", 5), ("ML006", 6), ("ML006", 9)]);
+}
+
+#[test]
+fn ml006_workspace_and_path_deps_are_clean() {
+    let src = include_str!("lint_fixtures/ml006_clean.toml");
+    let out = lint_manifest_source("crates/fixture/Cargo.toml", src, &Config::default());
+    assert!(out.fired.is_empty(), "{:?}", out.fired);
+}
+
+#[test]
+fn ml007_missing_forbid_fires_on_crate_root() {
+    let src = include_str!("lint_fixtures/ml007_fire.rs");
+    assert_eq!(fired("crates/fixture/src/lib.rs", src), vec![("ML007", 1)]);
+    // The same file at a non-root path is out of scope.
+    assert_eq!(fired("crates/fixture/src/util.rs", src), vec![]);
+}
+
+#[test]
+fn ml007_present_forbid_is_clean() {
+    let src = include_str!("lint_fixtures/ml007_clean.rs");
+    assert_eq!(fired("crates/fixture/src/lib.rs", src), vec![]);
+}

@@ -1,0 +1,3 @@
+pub fn f(o: Option<u32>) -> u32 {
+    o.unwrap() // lint:allow(unwrap-in-lib)
+}

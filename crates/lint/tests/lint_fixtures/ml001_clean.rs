@@ -1,0 +1,3 @@
+pub fn hot(buf: &mut Vec<u32>, x: u32) {
+    buf.push(x);
+}

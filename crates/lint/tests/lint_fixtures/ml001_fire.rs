@@ -1,0 +1,3 @@
+pub fn hot(x: u32) -> String {
+    format!("k{x}")
+}

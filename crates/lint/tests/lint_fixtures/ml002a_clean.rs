@@ -1,0 +1,3 @@
+pub fn f(xs: &mut [u32]) {
+    xs.sort_unstable();
+}

@@ -1,0 +1,5 @@
+use minoan_common::FxHashMap;
+pub fn f() {
+    let m: FxHashMap<u32, u32> = FxHashMap::default();
+    drop(m);
+}

@@ -1,0 +1,6 @@
+use std::collections::HashMap;
+pub fn f(m: &HashMap<u32, u32>, out: &mut Vec<u32>) {
+    for (k, _) in m.iter() {
+        out.push(*k);
+    }
+}

@@ -1,0 +1,3 @@
+pub fn f(ws: &[f64]) -> f64 {
+    minoan_common::stats::pairwise_sum(ws)
+}

@@ -1,0 +1,7 @@
+pub fn f(ws: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for &w in ws {
+        sum += w;
+    }
+    sum
+}

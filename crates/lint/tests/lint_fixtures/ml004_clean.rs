@@ -1,0 +1,9 @@
+pub fn f() {}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn oracle_is_test_only() {
+        let _ = super::Collection::from_groups(super::groups());
+    }
+}

@@ -1,0 +1,3 @@
+pub fn f(groups: Groups) -> Collection {
+    Collection::from_groups(groups)
+}

@@ -1,0 +1,7 @@
+pub fn f(o: Option<u32>) -> u32 {
+    o.unwrap()
+}
+
+pub fn g(o: Option<u32>) -> u32 {
+    o.expect("no")
+}

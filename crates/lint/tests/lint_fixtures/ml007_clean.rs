@@ -1,0 +1,5 @@
+//! Fixture crate root carrying the attribute.
+
+#![forbid(unsafe_code)]
+
+pub fn f() {}

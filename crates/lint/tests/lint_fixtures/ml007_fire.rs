@@ -1,0 +1,3 @@
+//! Fixture crate root missing the attribute.
+
+pub fn f() {}

@@ -118,6 +118,8 @@
 //! cross-backend equivalence suites pin bit-identity against them, but
 //! new code should go through [`Session`].
 
+#![forbid(unsafe_code)]
+
 pub mod blast;
 pub mod graph;
 pub mod kernel;

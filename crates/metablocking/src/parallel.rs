@@ -1044,6 +1044,7 @@ pub fn parallel_wep(
     let mut positive = 0u64;
     for p in &weighted {
         if p.weight > 0.0 {
+            // lint:allow(float-accumulation): serial walk of pair-sorted job output, slab order
             sums[p.a.index()] += p.weight;
             positive += 1;
         }

@@ -198,6 +198,7 @@ pub(crate) fn wep_session(
                                 fwd += 1;
                                 let w = forward_weight(scheme, scratch, a as u32, y, globals);
                                 if w > 0.0 {
+                                    // lint:allow(float-accumulation): per-entity serial sum over sorted neighbours
                                     sum += w;
                                     pos += 1;
                                 }

@@ -72,6 +72,7 @@ impl SweepScratch {
                 self.touched.push(y.0);
             } else {
                 self.cbs[yi] += 1;
+                // lint:allow(float-accumulation): per-entity serial sweep in co-occurrence slab order
                 self.arcs[yi] += inv_card;
             }
         }

@@ -30,6 +30,8 @@
 //! assert_eq!(ds.neighbors(heraklion).len(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod ntriples;
 pub mod term;

@@ -68,7 +68,7 @@ pub fn soft_token_jaccard(a: &str, b: &str, threshold: f64) -> f64 {
     }
     scored.sort_by(|p, q| {
         q.0.partial_cmp(&p.0)
-            .expect("finite")
+            .expect("hybrid token scores are finite by construction")
             .then(p.1.cmp(&q.1).then(p.2.cmp(&q.2)))
     });
     let mut used_a = vec![false; ta.len()];

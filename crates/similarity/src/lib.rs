@@ -16,6 +16,8 @@
 //!
 //! All similarities are in `[0, 1]`, higher = more similar.
 
+#![forbid(unsafe_code)]
+
 pub mod alignment;
 pub mod hybrid;
 pub mod minhash;

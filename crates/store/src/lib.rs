@@ -42,6 +42,8 @@
 //! assert_eq!(snap.match_pattern(None, Some(label), None).count(), 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod dict;
 pub mod encode;
 pub mod index;
