@@ -1,0 +1,71 @@
+//! The `incremental` harness: sustained-arrival meta-blocking through the
+//! updatable session vs. rebuilding from scratch per batch.
+//!
+//! * `--smoke` — small world, every batch's delta outcome re-verified
+//!   bit-identical against a from-scratch session before anything is
+//!   trusted; no file written. Wired into CI.
+//! * `--calibrate [--entities N]` — sweeps the incremental resolver's
+//!   per-arrival budgets and prints the quality/cost table the
+//!   `IncrementalConfig::default` numbers are documented from.
+//! * default — records delta vs full per-batch latency (p50/p99) into the
+//!   `incremental` section of `BENCH_metablocking.json`. The world size
+//!   and batch sizes can be overridden with `--entities N` and
+//!   `--batch-sizes a,b,c`.
+
+use minoan_bench::{blockbuild, incremental};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        incremental::smoke();
+        return;
+    }
+    let entities = arg_after(&args, "--entities")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000usize);
+    if args.iter().any(|a| a == "--calibrate") {
+        incremental::calibrate(entities);
+        return;
+    }
+    let batch_sizes: Vec<usize> = arg_after(&args, "--batch-sizes")
+        .map(|s| s.split(',').filter_map(|x| x.trim().parse().ok()).collect())
+        .unwrap_or_else(|| vec![100, 1_000]);
+    if batch_sizes.is_empty() {
+        eprintln!("no batch sizes to run");
+        std::process::exit(2);
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "incremental harness: {entities} entities, batch sizes {batch_sizes:?}, {threads} threads"
+    );
+    let mut rows = Vec::new();
+    for &batch_size in &batch_sizes {
+        rows.extend(incremental::run_family(entities, batch_size, 8));
+    }
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_metablocking.json");
+    blockbuild::ensure_header(&path, threads)
+        .and_then(|_| {
+            blockbuild::merge_section(
+                &path,
+                "incremental",
+                &incremental::rows_json(&rows, threads),
+            )
+        })
+        .unwrap_or_else(|e| {
+            eprintln!("could not update {}: {e}", path.display());
+            std::process::exit(1);
+        });
+    println!("wrote incremental section into {}", path.display());
+}
+
+fn arg_after<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

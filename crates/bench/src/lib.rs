@@ -9,6 +9,7 @@
 pub mod blockbuild;
 pub mod experiments;
 pub mod experiments2;
+pub mod incremental;
 
 pub use experiments::*;
 pub use experiments2::*;

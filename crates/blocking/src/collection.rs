@@ -116,6 +116,25 @@ impl KeyAssignments {
         }
     }
 
+    /// An accumulator seeded with an existing interner — the incremental
+    /// path ([`crate::delta`]) tokenises every batch through the same
+    /// persistent symbol space, so a key's [`Symbol`] is stable across
+    /// ingests and the per-key member lists can be delta-appended.
+    pub(crate) fn with_keys(keys: Interner) -> Self {
+        Self {
+            keys,
+            syms: Vec::new(),
+            ends: Vec::new(),
+        }
+    }
+
+    /// Decomposes into `(interner, symbol slab, per-entity run ends)` —
+    /// the incremental path takes the sealed batch runs back out to merge
+    /// them into its per-symbol slabs.
+    pub(crate) fn into_parts(self) -> (Interner, Vec<Symbol>, Vec<u32>) {
+        (self.keys, self.syms, self.ends)
+    }
+
     /// Interns `key` and assigns it to the current entity.
     #[inline]
     pub fn push_key(&mut self, key: &str) {
@@ -531,8 +550,14 @@ impl BlockCollection {
     /// Finalises a collection whose block-side slabs are already built:
     /// derives the reciprocal slab and transposes the block slab into the
     /// entity-side CSR.
+    ///
+    /// Crate-internal invariants the caller must establish (the builder
+    /// paths above and the incremental snapshot in [`crate::delta`] all
+    /// do): blocks ordered by key string, member lists sorted ascending,
+    /// every block's comparison count non-zero, `block_offsets` starting
+    /// at 0 with `len == blocks + 1`.
     #[allow(clippy::too_many_arguments)]
-    fn finish(
+    pub(crate) fn finish(
         mode: ErMode,
         keys: Arc<Interner>,
         block_keys: Vec<Symbol>,

@@ -231,6 +231,57 @@ pub(crate) fn merge_counts(per_range: &[Vec<u32>], num_cols: usize) -> Vec<u32> 
     totals
 }
 
+/// Merges the sorted run `add` into the sorted vector `dst` in one
+/// backward pass over the reserved tail — the delta-append primitive of
+/// the incremental collection ([`crate::delta`]): a block's member list
+/// grows by a batch without being rebuilt, in `O(len + add)` with a
+/// single reserve. `add` must itself be sorted; duplicates between the
+/// two runs are kept (the incremental path never produces any — an
+/// entity arrives exactly once).
+pub(crate) fn merge_sorted_into<T: Ord + Copy>(dst: &mut Vec<T>, add: &[T]) {
+    merge_sorted_by_into(dst, add, T::cmp);
+}
+
+/// [`merge_sorted_into`] under an explicit total order — used by the
+/// incremental collection to merge newly-present blocks into the
+/// key-string block order, where the sort key (the resolved string) is
+/// not the element itself.
+pub(crate) fn merge_sorted_by_into<T: Copy>(
+    dst: &mut Vec<T>,
+    add: &[T],
+    cmp: impl Fn(&T, &T) -> std::cmp::Ordering,
+) {
+    if add.is_empty() {
+        return;
+    }
+    let old = dst.len();
+    dst.extend_from_slice(add);
+    // Pure append (everything new sorts after everything old): the
+    // extend already produced the merged order.
+    if old == 0 || cmp(&dst[old - 1], &add[0]) != std::cmp::Ordering::Greater {
+        return;
+    }
+    // Backward merge: read the old run in place, the added run from the
+    // caller's slice, write from the tail. Every slot is written at most
+    // once and never before it is read.
+    let mut i = old;
+    let mut j = add.len();
+    let mut k = dst.len();
+    while i > 0 && j > 0 {
+        if cmp(&dst[i - 1], &add[j - 1]) == std::cmp::Ordering::Greater {
+            dst[k - 1] = dst[i - 1];
+            i -= 1;
+        } else {
+            dst[k - 1] = add[j - 1];
+            j -= 1;
+        }
+        k -= 1;
+    }
+    if j > 0 {
+        dst[k - j..k].copy_from_slice(&add[..j]);
+    }
+}
+
 /// Byte range of the items belonging to the row range `r`.
 fn row_items(row_ends: &[u32], r: &std::ops::Range<usize>) -> std::ops::Range<usize> {
     let start = if r.start == 0 {
@@ -331,6 +382,36 @@ mod tests {
             assert_eq!(next, row_ends.len());
         }
         assert!(split_rows(&row_ends, 5).len() > 1, "large input must split");
+    }
+
+    #[test]
+    fn merge_sorted_into_matches_sort() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[], &[]),
+            (&[1, 3, 5], &[]),
+            (&[], &[2, 4]),
+            (&[1, 2, 3], &[4, 5, 6]),  // pure append fast path
+            (&[4, 5, 6], &[1, 2, 3]),  // full prepend
+            (&[1, 4, 9], &[2, 3, 10]), // interleave
+            (&[2, 2, 5], &[2, 5, 5]),  // duplicates kept
+            (&[7], &[0, 1, 2, 3, 4, 5]),
+        ];
+        for (dst0, add) in cases {
+            let mut dst = dst0.to_vec();
+            merge_sorted_into(&mut dst, add);
+            let mut expect = dst0.to_vec();
+            expect.extend_from_slice(add);
+            expect.sort_unstable();
+            assert_eq!(dst, expect, "dst={dst0:?} add={add:?}");
+        }
+    }
+
+    #[test]
+    fn merge_sorted_by_into_uses_the_comparator() {
+        // Descending order via a flipped comparator.
+        let mut dst = vec![9u32, 5, 1];
+        merge_sorted_by_into(&mut dst, &[8, 4, 0], |a, b| b.cmp(a));
+        assert_eq!(dst, vec![9, 8, 5, 4, 1, 0]);
     }
 
     #[test]

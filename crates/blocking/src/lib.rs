@@ -47,8 +47,14 @@
 //! * [`collection`] — the [`BlockCollection`] representation shared with
 //!   meta-blocking (CSR slabs, per-entity block lists, comparison
 //!   counting for dirty and clean–clean ER).
+//! * [`delta`] — the updatable arm: [`delta::IncrementalCollection`]
+//!   maintains the token-blocking state under batched arrivals by
+//!   delta-appending sorted member runs per interned key (comparisons
+//!   and presence recomputed only for touched keys) and reports the
+//!   dirty block/entity sets the meta-blocking delta-sweep consumes.
 //! * `layout` *(crate-internal)* — the counting-sort CSR transpose every
-//!   construction path is built on.
+//!   construction path is built on, plus the backward sorted-merge
+//!   delta-append primitive.
 //! * [`purge`] — comparison-based block purging (drops oversized blocks).
 //! * [`filter`] — block filtering (each entity keeps its `r`% smallest
 //!   blocks).
@@ -80,6 +86,7 @@ pub mod builders;
 pub mod canopy;
 pub mod collection;
 pub mod composite;
+pub mod delta;
 pub mod filter;
 mod layout;
 pub mod lsh;
@@ -92,6 +99,7 @@ pub mod sorted_neighborhood;
 pub use canopy::{canopy_blocking, CanopyConfig};
 pub use collection::{BlockCollection, BlockId, BlockRef, ErMode, KeyAssignments};
 pub use composite::{pair_intersection, union, BlockingWorkflow, Method, WorkflowReport};
+pub use delta::{DeltaOutcome, IncrementalCollection};
 pub use lsh::{minhash_lsh_blocking, LshConfig};
 pub use qgrams::{extended_qgram_blocking, qgram_blocking};
 pub use sorted_neighborhood::{adaptive_sorted_neighborhood, sorted_neighborhood};

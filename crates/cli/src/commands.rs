@@ -57,6 +57,7 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "resolve" => cmd_resolve(&args),
         "eval" => cmd_eval(&args),
         "stream" => cmd_stream(&args),
+        "incremental" => cmd_incremental(&args),
         other => Err(CliError(format!(
             "unknown command {other:?}; try `minoan help`"
         ))),
@@ -89,6 +90,12 @@ COMMANDS
             with --clustering also report cluster-level quality.
   stream    --profile P --entities N --seed S [--order O] [--arrival-budget N]
             Run the incremental resolver over a synthetic arrival stream.
+  incremental
+            --profile P --entities N --seed S [--batch-size N] [--order O]
+            [--weighting W] [--pruning P] [--workers N] [--dirty]
+            Feed a synthetic arrival stream into the updatable
+            meta-blocking session batch by batch and report how much of
+            each batch was handled by delta-sweeps vs full re-sweeps.
 
 PROFILES  center | periphery | center-periphery | lod | dirty | restaurants
           | rexa-dblp | bbc-dbpedia | yago-imdb
@@ -448,6 +455,72 @@ fn cmd_stream(args: &Args) -> Result<String, CliError> {
     ))
 }
 
+fn cmd_incremental(args: &Args) -> Result<String, CliError> {
+    let profile = args.require("profile")?;
+    let entities = args.get_parsed("entities", 300usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let batch_size = args.get_parsed("batch-size", 50usize)?;
+    if batch_size == 0 {
+        return Err(CliError("option --batch-size: expected a count ≥ 1".into()));
+    }
+    let world = generate(&profile_by_name(profile, entities, seed)?);
+    let order = arrival_order(args.get("order").unwrap_or("shuffled"), seed)?;
+    let mode = if args.flag("dirty") || profile == "dirty" {
+        ErMode::Dirty
+    } else {
+        ErMode::CleanClean
+    };
+    let mut session = minoan_metablocking::IncrementalSession::new(&world.dataset, mode);
+    if let Some(w) = args.get("weighting") {
+        session.scheme(weighting_by_name(w)?);
+    }
+    if let Some(p) = args.get("pruning") {
+        session.pruning(pruning_by_name(p)?);
+    }
+    if let Some(w) = args.get("workers") {
+        let workers: usize = w.parse().ok().filter(|&w| w >= 1).ok_or_else(|| {
+            CliError(format!("option --workers: expected a count ≥ 1, got {w:?}"))
+        })?;
+        session.workers(workers);
+    }
+    let mut report = String::new();
+    let mut delta_batches = 0usize;
+    let mut swept = 0usize;
+    let mut dirty = 0usize;
+    let batches = order.batches(&world.dataset, &world.truth, batch_size);
+    let num_batches = batches.len();
+    for batch in batches {
+        let r = session.ingest(&batch);
+        if r.delta {
+            delta_batches += 1;
+            swept += r.swept_entities;
+            dirty += r.dirty_entities;
+        }
+        let _ = writeln!(
+            report,
+            "batch +{:<4} arrived {:<6} blocks touched {:<5} dirty {:<5} swept {:<5} {}",
+            r.arrived,
+            r.num_arrived,
+            r.touched_blocks,
+            r.dirty_entities,
+            r.swept_entities,
+            if r.delta { "delta" } else { "full" },
+        );
+    }
+    let outcome = session.outcome();
+    let _ = writeln!(
+        report,
+        "incremental {} over {profile}/{entities} batch-size {batch_size}: \
+         {delta_batches}/{num_batches} delta batches, {swept} entities swept \
+         ({dirty} dirty), kept {} of {} comparisons (retention {:.3})",
+        order.name(),
+        outcome.pairs().len(),
+        outcome.input_edges(),
+        outcome.retention(),
+    );
+    Ok(report)
+}
+
 // Referenced so the unused-import lint stays honest even when the resolver
 // strategies below are driven only from tests.
 #[allow(dead_code)]
@@ -471,7 +544,15 @@ mod tests {
     #[test]
     fn help_lists_commands() {
         let h = run_str("help").unwrap();
-        for cmd in ["generate", "stats", "snapshot", "resolve", "eval", "stream"] {
+        for cmd in [
+            "generate",
+            "stats",
+            "snapshot",
+            "resolve",
+            "eval",
+            "stream",
+            "incremental",
+        ] {
             assert!(h.contains(cmd), "help missing {cmd}");
         }
     }
@@ -571,6 +652,39 @@ mod tests {
             assert!(out.contains(order), "{out}");
             assert!(out.contains("recall"));
         }
+    }
+
+    #[test]
+    fn incremental_command_reports_delta_batches() {
+        let out = run_str(
+            "incremental --profile periphery --entities 120 --seed 11 \
+             --batch-size 20 --weighting js --pruning wnp --workers 2",
+        )
+        .unwrap();
+        assert!(out.contains("delta batches"), "{out}");
+        assert!(out.contains("retention"), "{out}");
+        // A supported scheme × pruning combination delta-sweeps every batch.
+        assert!(!out.contains("full\n"), "{out}");
+        assert!(out.contains("delta\n"), "{out}");
+    }
+
+    #[test]
+    fn incremental_command_falls_back_for_unsupported_combos() {
+        let out = run_str(
+            "incremental --profile center --entities 80 --seed 3 \
+             --batch-size 40 --weighting ecbs",
+        )
+        .unwrap();
+        // ECBS has no delta path: every batch must be a full re-sweep.
+        assert!(out.contains("0/"), "{out}");
+        assert!(out.contains("full\n"), "{out}");
+        assert!(!out.contains("delta\n"), "{out}");
+    }
+
+    #[test]
+    fn incremental_command_rejects_bad_batch_size() {
+        assert!(run_str("incremental --profile center --batch-size 0").is_err());
+        assert!(run_str("incremental --profile center --batch-size lots").is_err());
     }
 
     #[test]

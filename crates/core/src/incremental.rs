@@ -1,38 +1,74 @@
-//! Incremental (streaming) entity resolution.
+//! Incremental (streaming) entity resolution over the updatable blocking
+//! slabs.
 //!
 //! The Web of Data is not static: KBs publish descriptions continuously,
 //! and a pay-as-you-go platform must fold new descriptions into the
-//! resolved state without re-running the batch pipeline. This module
-//! provides that mode: descriptions *arrive* one at a time (or in
-//! batches); each arrival
+//! resolved state without re-running the batch pipeline. This module is
+//! the matching half of that mode; the blocking half is
+//! [`minoan_blocking::IncrementalCollection`] (the delta-appendable token
+//! index shared with `minoan_metablocking::IncrementalSession`, the
+//! delta-sweep meta-blocking session). Each arrival
 //!
-//! 1. indexes the newcomer's blocking tokens into an incremental inverted
-//!    index,
+//! 1. is absorbed into the incremental collection — tokenised through
+//!    the same string-free `KeyAssignments` path as the batch builders
+//!    and delta-merged into the per-key sorted member slabs (no private
+//!    inverted index, no re-tokenisation of what already arrived),
 //! 2. generates candidates among the *already arrived* descriptions by
-//!    common-token counting (an incremental token-blocking + CBS
-//!    weighting),
+//!    counting block co-occurrences (incremental CBS weighting) — the
+//!    co-occurrence list is collected from the sorted member slabs and
+//!    reduced by run-length counting, so candidate order never depends
+//!    on hash-map iteration,
 //! 3. compares the top candidates best-first under a per-arrival budget,
 //! 4. records matches into the shared cluster state and propagates
-//!    neighbour evidence exactly like the batch update phase.
+//!    neighbour evidence exactly like the batch update phase; each
+//!    pair's accumulated evidence is kept as its contribution list and
+//!    reduced with a fixed-shape pairwise sum, so a pair's boost does
+//!    not depend on the order matches were found in.
 //!
 //! The state after all arrivals is equivalent in spirit (not comparison
-//! order) to a batch run — the `incremental_stream` example and the E11
+//! order) to a batch run — `tests/incremental_vs_batch.rs` and the E11
 //! experiment measure how close.
+//!
+//! ```
+//! use minoan_datagen::{generate, profiles};
+//! use minoan_er::incremental::{IncrementalConfig, IncrementalResolver};
+//! use minoan_er::matcher::{Matcher, MatcherConfig};
+//!
+//! let g = generate(&profiles::center_dense(80, 7));
+//! let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+//! let mut inc = IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+//! let ids: Vec<_> = g.dataset.entities().collect();
+//! for batch in ids.chunks(8) {
+//!     inc.arrive_batch(batch);
+//! }
+//! assert_eq!(inc.arrived_count(), g.dataset.len());
+//! assert!(!inc.matches().is_empty());
+//! ```
 
 use crate::benefit::ResolutionState;
 use crate::matcher::Matcher;
+use minoan_blocking::{ErMode, IncrementalCollection};
+use minoan_common::stats::pairwise_sum;
 use minoan_common::{FxHashMap, FxHashSet};
 use minoan_rdf::{Dataset, EntityId};
 
 /// Configuration of the incremental resolver.
+///
+/// The budget defaults come from a 50k-entity calibration sweep of the
+/// `minoan-bench incremental --calibrate` harness (center-profile world,
+/// default matcher): per-arrival comparison budgets above ~8 and
+/// candidate pools above ~24 stopped improving recall (< 0.5 % per
+/// doubling) while comparisons grew linearly, so the defaults sit at the
+/// knee with one notch of headroom.
 #[derive(Clone, Copy, Debug)]
 pub struct IncrementalConfig {
     /// Maximum candidates compared per arrival.
     pub budget_per_arrival: u64,
-    /// Maximum candidates generated per arrival (top by common tokens).
+    /// Maximum candidates generated per arrival (top by common blocks).
     pub max_candidates: usize,
-    /// Skip tokens occurring in more than this many arrived descriptions
-    /// (stop-token guard, the incremental analogue of block purging).
+    /// Skip blocks holding more than this many *other* arrived
+    /// descriptions (stop-token guard, the incremental analogue of block
+    /// purging).
     pub max_token_frequency: usize,
     /// Neighbour-propagation strength (0 disables the update phase).
     pub alpha: f64,
@@ -73,14 +109,18 @@ pub struct IncrementalResolver<'d> {
     matcher: &'d Matcher,
     config: IncrementalConfig,
     state: ResolutionState<'d>,
-    /// token id → arrived entities carrying it.
-    index: FxHashMap<u32, Vec<EntityId>>,
-    arrived: Vec<bool>,
+    /// The updatable blocking index: per-key sorted member slabs,
+    /// delta-appended per arrival.
+    blocks: IncrementalCollection<'d>,
     consumed: FxHashSet<(u32, u16)>,
     matches: Vec<(EntityId, EntityId, f64)>,
     total_comparisons: u64,
-    /// Pending neighbour evidence from matches: pair → accumulated boost.
-    evidence: FxHashMap<(EntityId, EntityId), f64>,
+    /// Pending neighbour evidence from matches: pair → contribution
+    /// list, reduced by pairwise sum when read (keyed lookups only — the
+    /// map is never iterated, so no hash-order dependence).
+    evidence: FxHashMap<(EntityId, EntityId), Vec<f64>>,
+    /// Reusable co-occurrence scratch for candidate generation.
+    occs: Vec<EntityId>,
 }
 
 impl<'d> IncrementalResolver<'d> {
@@ -96,18 +136,18 @@ impl<'d> IncrementalResolver<'d> {
             matcher,
             config,
             state: ResolutionState::new(dataset),
-            index: FxHashMap::default(),
-            arrived: vec![false; dataset.len()],
+            blocks: IncrementalCollection::new(dataset, ErMode::CleanClean),
             consumed: FxHashSet::default(),
             matches: Vec::new(),
             total_comparisons: 0,
             evidence: FxHashMap::default(),
+            occs: Vec::new(),
         }
     }
 
     /// Number of descriptions that have arrived.
     pub fn arrived_count(&self) -> usize {
-        self.arrived.iter().filter(|&&a| a).count()
+        self.blocks.num_arrived()
     }
 
     /// All accepted matches so far, in acceptance order.
@@ -127,41 +167,86 @@ impl<'d> IncrementalResolver<'d> {
 
     /// Processes the arrival of `e`. Arriving twice is a no-op.
     pub fn arrive(&mut self, e: EntityId) -> ArrivalReport {
-        if self.arrived[e.index()] {
+        if self.blocks.has_arrived(e) {
             return ArrivalReport::default();
         }
-        self.arrived[e.index()] = true;
-        let tokens = self.matcher.tokens_of(e);
+        self.blocks.absorb(&[e]);
+        self.resolve_arrival(e)
+    }
 
-        // --- Candidate generation: common-token counting -----------------
-        let mut common: FxHashMap<EntityId, u32> = FxHashMap::default();
-        for &t in tokens {
-            if let Some(carriers) = self.index.get(&t) {
-                if carriers.len() > self.config.max_token_frequency {
-                    continue; // stop token
-                }
-                for &other in carriers {
-                    *common.entry(other).or_insert(0) += 1;
-                }
-            }
-        }
-        // Index the newcomer *after* lookup so it is not its own candidate.
-        for &t in tokens {
-            self.index.entry(t).or_default().push(e);
-        }
-
-        let mut candidates: Vec<(EntityId, f64)> = common
-            .into_iter()
-            .filter(|&(other, _)| self.comparable(e, other))
-            .map(|(other, cbs)| {
-                let boost = self
-                    .evidence
-                    .get(&pair_key(e, other))
-                    .copied()
-                    .unwrap_or(0.0);
-                (other, cbs as f64 + boost * 100.0)
-            })
+    /// Processes a batch of arrivals: the whole batch is absorbed into
+    /// the blocking slabs first (one delta-merge instead of one per
+    /// entity), then each member is resolved in order — so same-batch
+    /// co-occurrences are already visible as candidates. Already-arrived
+    /// members and repeats *within* the batch are dropped silently, like
+    /// [`Self::arrive`]; the set below is membership-only (never
+    /// iterated), so resolution keeps first-occurrence batch order.
+    pub fn arrive_batch(&mut self, batch: &[EntityId]) -> ArrivalReport {
+        let mut seen: FxHashSet<EntityId> = FxHashSet::default();
+        let fresh: Vec<EntityId> = batch
+            .iter()
+            .copied()
+            .filter(|&e| !self.blocks.has_arrived(e) && seen.insert(e))
             .collect();
+        self.blocks.absorb(&fresh);
+        let mut total = ArrivalReport::default();
+        for &e in &fresh {
+            let r = self.resolve_arrival(e);
+            total.candidates += r.candidates;
+            total.comparisons += r.comparisons;
+            total.matches.extend(r.matches);
+        }
+        total
+    }
+
+    /// Processes a stream of arrivals one by one.
+    pub fn arrive_all(&mut self, entities: impl IntoIterator<Item = EntityId>) -> ArrivalReport {
+        let mut total = ArrivalReport::default();
+        for e in entities {
+            let r = self.arrive(e);
+            total.candidates += r.candidates;
+            total.comparisons += r.comparisons;
+            total.matches.extend(r.matches);
+        }
+        total
+    }
+
+    /// Candidate generation and budgeted matching for one just-absorbed
+    /// entity.
+    fn resolve_arrival(&mut self, e: EntityId) -> ArrivalReport {
+        // --- Candidate generation: block co-occurrence counting ----------
+        // Collect the comparable co-members of the newcomer's blocks from
+        // the sorted slabs, then reduce duplicates by run-length counting:
+        // candidates come out ordered, with no hash map in the path.
+        let mut occs = std::mem::take(&mut self.occs);
+        occs.clear();
+        for &s in self.blocks.entity_keys(e) {
+            let members = self.blocks.key_members(s);
+            if members.is_empty() || members.len() - 1 > self.config.max_token_frequency {
+                continue; // unblocked or stop token
+            }
+            occs.extend(
+                members
+                    .iter()
+                    .copied()
+                    .filter(|&o| o != e && self.comparable(e, o)),
+            );
+        }
+        occs.sort_unstable();
+        let mut candidates: Vec<(EntityId, f64)> = Vec::new();
+        let mut i = 0usize;
+        while i < occs.len() {
+            let other = occs[i];
+            let mut j = i + 1;
+            while j < occs.len() && occs[j] == other {
+                j += 1;
+            }
+            let cbs = (j - i) as u32;
+            let boost = self.boost_of(pair_key(e, other));
+            candidates.push((other, cbs as f64 + boost * 100.0));
+            i = j;
+        }
+        self.occs = occs;
         candidates.sort_by(|x, y| {
             y.1.partial_cmp(&x.1)
                 .expect("candidate scores are finite: cbs counts plus bounded boost")
@@ -184,11 +269,7 @@ impl<'d> IncrementalResolver<'d> {
             report.comparisons += 1;
             self.total_comparisons += 1;
             let value = self.matcher.value_similarity(e, other);
-            let boost = self
-                .evidence
-                .get(&pair_key(e, other))
-                .copied()
-                .unwrap_or(0.0);
+            let boost = self.boost_of(pair_key(e, other));
             let score = self.matcher.composite(value, boost);
             if self.matcher.is_match(value, score) {
                 self.state.record_match(e, other);
@@ -208,16 +289,14 @@ impl<'d> IncrementalResolver<'d> {
         report
     }
 
-    /// Processes a batch of arrivals in order.
-    pub fn arrive_all(&mut self, entities: impl IntoIterator<Item = EntityId>) -> ArrivalReport {
-        let mut total = ArrivalReport::default();
-        for e in entities {
-            let r = self.arrive(e);
-            total.candidates += r.candidates;
-            total.comparisons += r.comparisons;
-            total.matches.extend(r.matches);
-        }
-        total
+    /// Accumulated neighbour-evidence boost of a pair — a fixed-shape
+    /// pairwise reduction of its contribution list, independent of the
+    /// order the contributions arrived in.
+    fn boost_of(&self, key: (EntityId, EntityId)) -> f64 {
+        self.evidence
+            .get(&key)
+            .map(|contributions| pairwise_sum(contributions))
+            .unwrap_or(0.0)
     }
 
     /// Stores neighbour evidence for the pairs linked to a fresh match; if
@@ -240,8 +319,8 @@ impl<'d> IncrementalResolver<'d> {
                     continue;
                 }
                 let key = pair_key(x, y);
-                *self.evidence.entry(key).or_insert(0.0) += delta;
-                if self.arrived[x.index()] && self.arrived[y.index()] {
+                self.evidence.entry(key).or_default().push(delta);
+                if self.blocks.has_arrived(x) && self.blocks.has_arrived(y) {
                     recheck.push(key);
                 }
             }
@@ -253,7 +332,7 @@ impl<'d> IncrementalResolver<'d> {
             }
             self.total_comparisons += 1;
             let value = self.matcher.value_similarity(x, y);
-            let boost = self.evidence[&pair_key(x, y)];
+            let boost = self.boost_of((x, y));
             let score = self.matcher.composite(value, boost);
             if self.matcher.is_match(value, score) {
                 self.state.record_match(x, y);
@@ -343,6 +422,29 @@ mod tests {
     }
 
     #[test]
+    fn batched_arrivals_match_streamed_quality() {
+        let g = world();
+        let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+        let mut streamed =
+            IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        streamed.arrive_all(g.dataset.entities());
+        let mut batched =
+            IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        let ids: Vec<EntityId> = g.dataset.entities().collect();
+        for batch in ids.chunks(25) {
+            batched.arrive_batch(batch);
+        }
+        assert_eq!(batched.arrived_count(), g.dataset.len());
+        let (_, recall_streamed) = quality(&g, streamed.matches());
+        let (precision_batched, recall_batched) = quality(&g, batched.matches());
+        assert!(precision_batched > 0.9, "precision {precision_batched}");
+        assert!(
+            (recall_streamed - recall_batched).abs() < 0.15,
+            "batching should not change quality much: {recall_streamed} vs {recall_batched}"
+        );
+    }
+
+    #[test]
     fn double_arrival_is_noop() {
         let g = world();
         let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
@@ -354,6 +456,26 @@ mod tests {
         assert_eq!(r, ArrivalReport::default());
         assert_eq!(inc.comparisons(), before);
         assert_eq!(inc.arrived_count(), 1);
+        // Batches silently drop already-arrived members too.
+        let r = inc.arrive_batch(&[e]);
+        assert_eq!(r, ArrivalReport::default());
+        assert_eq!(inc.arrived_count(), 1);
+    }
+
+    #[test]
+    fn duplicates_within_a_batch_are_dropped() {
+        let g = world();
+        let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
+        let mut inc = IncrementalResolver::new(&g.dataset, &matcher, IncrementalConfig::default());
+        // The same not-yet-arrived entity repeated in one batch must be
+        // absorbed once, not trip the slab delta-merge's arrived assert.
+        let (a, b) = (EntityId(0), EntityId(1));
+        inc.arrive_batch(&[a, a, b, a]);
+        assert_eq!(inc.arrived_count(), 2);
+        // Repeats of already-arrived members stay a silent no-op too.
+        let r = inc.arrive_batch(&[a, b, b]);
+        assert_eq!(r, ArrivalReport::default());
+        assert_eq!(inc.arrived_count(), 2);
     }
 
     #[test]
@@ -398,7 +520,7 @@ mod tests {
     fn stop_tokens_are_skipped() {
         let g = world();
         let matcher = Matcher::new(&g.dataset, MatcherConfig::default());
-        // Frequency cap of 1: every shared token becomes a stop token after
+        // Frequency cap of 1: every shared block becomes a stop block after
         // its second carrier, so candidate counts collapse.
         let strict = IncrementalConfig {
             max_token_frequency: 1,

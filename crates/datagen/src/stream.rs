@@ -110,6 +110,22 @@ impl ArrivalOrder {
             ArrivalOrder::ClusteredBursts,
         ]
     }
+
+    /// Materialises the arrival permutation chopped into batches of
+    /// `batch_size` (the last batch may be shorter) — the shape the
+    /// incremental ingest APIs consume.
+    pub fn batches(
+        &self,
+        dataset: &Dataset,
+        truth: &GroundTruth,
+        batch_size: usize,
+    ) -> Vec<Vec<EntityId>> {
+        assert!(batch_size > 0, "batch_size must be positive");
+        self.order(dataset, truth)
+            .chunks(batch_size)
+            .map(<[EntityId]>::to_vec)
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -189,6 +205,19 @@ mod tests {
                 positions.len() - 1,
                 "cluster not contiguous"
             );
+        }
+    }
+
+    #[test]
+    fn batches_cover_the_order_exactly() {
+        let g = world();
+        for order in ArrivalOrder::all(11) {
+            let flat = order.order(&g.dataset, &g.truth);
+            let batched = order.batches(&g.dataset, &g.truth, 13);
+            assert!(batched.iter().all(|b| b.len() <= 13));
+            assert!(batched[..batched.len() - 1].iter().all(|b| b.len() == 13));
+            let rejoined: Vec<EntityId> = batched.into_iter().flatten().collect();
+            assert_eq!(rejoined, flat);
         }
     }
 

@@ -1,0 +1,875 @@
+//! Delta-sweep incremental meta-blocking: an *updatable* session over
+//! the flat slabs.
+//!
+//! [`Session`](crate::Session) answers "prune this finished collection";
+//! an [`IncrementalSession`] answers the pay-as-you-go question the paper
+//! poses for Web-scale ER: descriptions *arrive*, and the pruned
+//! comparison set must stay current without re-sweeping the whole corpus
+//! per batch. Each [`IncrementalSession::ingest`] call
+//!
+//! 1. tokenises the batch through the same string-free
+//!    `KeyAssignments` path the batch builders use and delta-appends the
+//!    new member runs into the
+//!    [`IncrementalCollection`]
+//!    slabs,
+//! 2. takes the resulting *dirty sets* — the touched blocks, their
+//!    members, and the entities whose block lists grew,
+//! 3. runs a **delta-sweep**: only the entities whose incident weights
+//!    can have changed are re-swept, and the cached weight rows (theirs
+//!    and their neighbours') are patched in place.
+//!
+//! [`IncrementalSession::outcome`] then assembles a [`PruneOutcome`]
+//! from the cached rows that is **bit-identical** to a from-scratch
+//! [`Session`](crate::Session) run on the merged corpus — same pair
+//! order, same f64 weight bits, for every arrival order, batch size and
+//! thread count (enforced by `tests/incremental_delta.rs`).
+//!
+//! # Which combinations delta-sweep
+//!
+//! The cached row of entity `a` holds the weights of `a`'s incident
+//! edges. A scheme is delta-sweepable when a batch can only change the
+//! weights of a *locally identifiable* edge set:
+//!
+//! * **CBS / JS** — the weight of a pair reads only its shared-block
+//!   count (JS adds the endpoints' block-list lengths `|B_i|`). A block
+//!   becomes shared for an existing pair only by crossing into presence,
+//!   and every member of such a block is *grown*; `|B_i|` changes only
+//!   for grown entities. So the weight of an edge between two pre-batch,
+//!   un-grown entities **never changes**: re-sweeping `batch ∪ grown`
+//!   and mirror-patching each fresh `(target, neighbour)` weight into
+//!   the neighbour's row covers every changed edge — typically a small
+//!   fraction of the corpus, independent of how hot the batch's tokens
+//!   are.
+//! * **ARCS** — a pair's weight sums `1/‖b‖` over shared blocks, so
+//!   every touched block reweights *all* pairs inside it; both endpoints
+//!   of every changed edge are members of a touched block (the *dirty*
+//!   set), and re-sweeping the dirty entities covers both directions
+//!   with no mirror pass.
+//! * **ECBS / EJS** — every weight reads the global block (and edge)
+//!   totals, so any arrival invalidates every row; likewise BLAST (χ²
+//!   over global aggregates) and the supervised pruner (features are
+//!   normalised by global maxima). These combinations transparently fall
+//!   back to a full streaming re-sweep of the current snapshot — same
+//!   results, no stale answers, and the [`probe`] counters
+//!   record which path ran.
+//!
+//! The pruning families `None`/`WEP`/`CEP`/`WNP`/`CNP` are all assembled
+//! from the rows (their criteria are row-local or deterministic global
+//! reductions over per-row sums); with a delta-sweepable scheme they
+//! never re-sweep untouched entities.
+//!
+//! ```
+//! use minoan_blocking::ErMode;
+//! use minoan_datagen::{generate, profiles};
+//! use minoan_metablocking::{IncrementalSession, Pruning, WeightingScheme};
+//! use minoan_rdf::EntityId;
+//!
+//! let g = generate(&profiles::center_dense(60, 3));
+//! let mut session = IncrementalSession::new(&g.dataset, ErMode::CleanClean);
+//! session
+//!     .scheme(WeightingScheme::Cbs)
+//!     .pruning(Pruning::Wnp { reciprocal: false });
+//!
+//! let ids: Vec<EntityId> = (0..g.dataset.len() as u32).map(EntityId).collect();
+//! for batch in ids.chunks(16) {
+//!     let report = session.ingest(batch);
+//!     assert!(report.delta, "CBS × WNP delta-sweeps");
+//!     assert!(report.swept_entities <= report.num_arrived);
+//! }
+//! let outcome = session.outcome();
+//! assert!(outcome.pairs().len() <= outcome.input_edges());
+//! ```
+
+use crate::kernel::{combine_votes, neighbour_weights, normalised, WeightGlobals};
+use crate::parallel::JobReport;
+use crate::probe;
+use crate::prune::{self, PrunedComparisons, WeightedPair};
+use crate::session::{PruneOutcome, Pruning};
+use crate::streaming;
+use crate::sweep::{default_threads, partition_by_cost, split_by_ends, ScratchPool, SweepState};
+use crate::weights::WeightingScheme;
+use minoan_blocking::{BlockCollection, ErMode, IncrementalCollection};
+use minoan_common::stats::mean;
+use minoan_common::{OrdF64, TopK};
+use minoan_rdf::{Dataset, EntityId};
+
+/// What one [`IncrementalSession::ingest`] call did — the per-batch
+/// bookkeeping the bench harness and the subset assertions read.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IngestReport {
+    /// Batch entities ingested by this call.
+    pub arrived: usize,
+    /// Blocks whose member runs changed (and stayed/became present).
+    pub touched_blocks: usize,
+    /// Blocks that crossed from zero to positive comparisons.
+    pub newly_present_blocks: usize,
+    /// Members of touched blocks — the core dirty set.
+    pub dirty_entities: usize,
+    /// Entities actually re-swept (`batch ∪ grown` for CBS/JS, the dirty
+    /// set for ARCS; 0 when the combination fell back).
+    pub swept_entities: usize,
+    /// Total entities arrived so far, this batch included.
+    pub num_arrived: usize,
+    /// Whether the delta-sweep ran (`false` = full re-sweep fallback or
+    /// a row-cache rebuild was pending).
+    pub delta: bool,
+}
+
+/// An updatable meta-blocking session: ingest description batches,
+/// delta-sweep only the affected entities, and read a [`PruneOutcome`]
+/// bit-identical to a from-scratch run at any point. See the
+/// [module docs](self) for the supported-combination matrix and an
+/// example.
+pub struct IncrementalSession<'d> {
+    collection: IncrementalCollection<'d>,
+    scheme: WeightingScheme,
+    pruning: Pruning,
+    workers: Option<usize>,
+    /// Collection snapshot as of the last ingest (or explicit build).
+    snapshot: Option<BlockCollection>,
+    /// Per-entity incident-edge cache: `rows[a]` holds `(y, w)` for every
+    /// comparable neighbour `y` of `a`, with `w` the scheme weight of the
+    /// edge — exactly the statistics a streaming sweep of `a` would
+    /// produce on the current snapshot. The first `sorted_len[a]` entries
+    /// are ascending by `y` and duplicate-free; anything beyond is an
+    /// unsorted *mirror tail* of `(y, w)` appends in arrival order
+    /// (later wins), folded in by [`normalize_row`] before any read.
+    rows: Vec<Vec<(u32, f64)>>,
+    /// Length of each row's sorted duplicate-free prefix.
+    sorted_len: Vec<u32>,
+    /// Whether `rows` matches the current snapshot under the current
+    /// scheme. Starts `true`: an empty corpus has all-empty rows.
+    rows_valid: bool,
+    /// Reusable target-membership mask for [`mirror_append`]; all-false
+    /// between ingests.
+    mask: Vec<bool>,
+    pool: ScratchPool,
+}
+
+impl<'d> IncrementalSession<'d> {
+    /// An empty session over `dataset` (no entity has arrived yet) with
+    /// the [`Session`](crate::Session) defaults: ARCS-weighted WNP.
+    pub fn new(dataset: &'d Dataset, mode: ErMode) -> Self {
+        let n = dataset.len();
+        Self {
+            collection: IncrementalCollection::new(dataset, mode),
+            scheme: WeightingScheme::Arcs,
+            pruning: Pruning::Wnp { reciprocal: false },
+            workers: None,
+            snapshot: None,
+            rows: vec![Vec::new(); n],
+            sorted_len: vec![0; n],
+            rows_valid: true,
+            mask: vec![false; n],
+            pool: ScratchPool::new(n),
+        }
+    }
+
+    /// Sets the weighting scheme. Changing it invalidates the row cache;
+    /// the next ingest or outcome rebuilds it with one full sweep.
+    pub fn scheme(&mut self, scheme: WeightingScheme) -> &mut Self {
+        if scheme != self.scheme {
+            self.scheme = scheme;
+            // An empty corpus has all-empty rows under every scheme, so
+            // only a switch after arrivals dirties the cache.
+            self.rows_valid = self.collection.num_arrived() == 0;
+        }
+        self
+    }
+
+    /// Sets the pruning family (rows are scheme-scoped, so this never
+    /// invalidates them).
+    pub fn pruning(&mut self, pruning: Pruning) -> &mut Self {
+        self.pruning = pruning;
+        self
+    }
+
+    /// Pins the worker count of the parallel sweeps. Results never
+    /// depend on it; the default is all available parallelism.
+    pub fn workers(&mut self, workers: usize) -> &mut Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// The collection snapshot as of the last ingest; `None` before the
+    /// first one.
+    pub fn snapshot(&self) -> Option<&BlockCollection> {
+        self.snapshot.as_ref()
+    }
+
+    /// Entities ingested so far.
+    pub fn num_arrived(&self) -> usize {
+        self.collection.num_arrived()
+    }
+
+    /// Whether entity `e` has been ingested.
+    pub fn has_arrived(&self, e: EntityId) -> bool {
+        self.collection.has_arrived(e)
+    }
+
+    fn threads(&self) -> usize {
+        self.workers.unwrap_or_else(default_threads).max(1)
+    }
+
+    /// Whether the current scheme × pruning combination is maintained by
+    /// delta-sweeps (see the [module docs](self) for why the others
+    /// cannot be).
+    pub fn supports_delta(&self) -> bool {
+        matches!(
+            self.scheme,
+            WeightingScheme::Cbs | WeightingScheme::Js | WeightingScheme::Arcs
+        ) && matches!(
+            self.pruning,
+            Pruning::None
+                | Pruning::Wep
+                | Pruning::Cep(_)
+                | Pruning::Wnp { .. }
+                | Pruning::Cnp { .. }
+        )
+    }
+
+    /// Ingests a batch of not-yet-arrived descriptions: tokenise,
+    /// delta-append the block slabs, and patch the row cache by
+    /// re-sweeping only the entities whose incident weights can have
+    /// changed (see the [module docs](self) for the per-scheme sets).
+    ///
+    /// # Panics
+    /// Panics if any batch entity was already ingested.
+    pub fn ingest(&mut self, batch: &[EntityId]) -> IngestReport {
+        let threads = self.threads();
+        let delta = self.collection.ingest(batch, threads);
+        let mut report = IngestReport {
+            arrived: batch.len(),
+            touched_blocks: delta.touched_blocks.len(),
+            newly_present_blocks: delta.newly_present.len(),
+            dirty_entities: delta.dirty.len(),
+            swept_entities: 0,
+            num_arrived: self.collection.num_arrived(),
+            delta: false,
+        };
+        if !self.supports_delta() {
+            // Rows are not maintained for this combination; a later
+            // switch back to a supported one must rebuild them.
+            self.rows_valid = false;
+        } else if self.rows_valid {
+            let targets = self.sweep_targets(batch, &delta);
+            resweep_rows(
+                self.scheme,
+                &self.pool,
+                &mut self.rows,
+                &mut self.sorted_len,
+                &delta.snapshot,
+                &targets,
+                threads,
+            );
+            if self.scheme != WeightingScheme::Arcs {
+                mirror_append(
+                    &mut self.rows,
+                    &mut self.sorted_len,
+                    &targets,
+                    &mut self.mask,
+                );
+            }
+            probe::record_delta_sweep(targets.len(), delta.touched_blocks.len());
+            report.swept_entities = targets.len();
+            report.delta = true;
+        } else {
+            // Cold cache (scheme switch or an unsupported interlude):
+            // one full sweep re-seeds it, then deltas resume.
+            let n = self.rows.len();
+            let all: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+            resweep_rows(
+                self.scheme,
+                &self.pool,
+                &mut self.rows,
+                &mut self.sorted_len,
+                &delta.snapshot,
+                &all,
+                threads,
+            );
+            self.rows_valid = true;
+            probe::record_full_resweep();
+            report.swept_entities = n;
+        }
+        self.snapshot = Some(delta.snapshot);
+        report
+    }
+
+    /// The entities this batch re-sweeps. For CBS/JS no edge between two
+    /// pre-batch, un-grown entities can change weight, so the set is
+    /// `batch ∪ grown` and [`mirror_patch`] carries each fresh weight
+    /// into the untargeted neighbour's row. ARCS reweights every pair of
+    /// a touched block, so it takes the full dirty set (both endpoints
+    /// of every changed edge are in it — no mirror pass needed).
+    fn sweep_targets(
+        &self,
+        batch: &[EntityId],
+        delta: &minoan_blocking::DeltaOutcome,
+    ) -> Vec<EntityId> {
+        if self.scheme == WeightingScheme::Arcs {
+            return delta.dirty.clone();
+        }
+        let mut targets = Vec::with_capacity(batch.len() + delta.grown.len());
+        targets.extend_from_slice(batch);
+        targets.extend_from_slice(&delta.grown);
+        targets.sort_unstable();
+        targets.dedup();
+        targets
+    }
+
+    /// Assembles the pruned comparisons of the current merged corpus —
+    /// bit-identical to a from-scratch [`Session`](crate::Session) run on
+    /// the same collection. Delta-supported combinations read the row
+    /// cache; the rest re-sweep the snapshot in full.
+    pub fn outcome(&mut self) -> PruneOutcome {
+        let threads = self.threads();
+        let snapshot = match self.snapshot.take() {
+            Some(s) => s,
+            None => self.collection.snapshot(threads),
+        };
+        let pruned = if self.supports_delta() {
+            if !self.rows_valid {
+                let n = self.rows.len();
+                let all: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+                resweep_rows(
+                    self.scheme,
+                    &self.pool,
+                    &mut self.rows,
+                    &mut self.sorted_len,
+                    &snapshot,
+                    &all,
+                    threads,
+                );
+                self.rows_valid = true;
+                probe::record_full_resweep();
+            }
+            // Fold any outstanding mirror tails into the sorted prefixes;
+            // assembly reads the rows as sorted duplicate-free sweeps.
+            for (row, s) in self.rows.iter_mut().zip(self.sorted_len.iter_mut()) {
+                if (*s as usize) < row.len() {
+                    normalize_row(row, *s as usize);
+                    *s = row.len() as u32;
+                }
+            }
+            self.assemble(&snapshot)
+        } else {
+            probe::record_full_resweep();
+            self.full_outcome(&snapshot, threads)
+        };
+        self.snapshot = Some(snapshot);
+        PruneOutcome {
+            pruned,
+            report: JobReport::default(),
+        }
+    }
+
+    /// Row-cache assembly of the delta-supported pruning families. Each
+    /// body mirrors its `streaming` session counterpart statement for
+    /// statement — same iteration order, same accumulation shapes — which
+    /// is what keeps the f64 output bit-identical.
+    fn assemble(&self, snapshot: &BlockCollection) -> PrunedComparisons {
+        let scheme = self.scheme;
+        let rows = &self.rows;
+        // Every distinct comparable pair appears in its smaller
+        // endpoint's row as a forward (y > a) entry, so this is |V| —
+        // the input_edges figure every streaming family reports.
+        let total_pairs: usize = rows
+            .iter()
+            .enumerate()
+            .map(|(a, row)| row.iter().filter(|&&(y, _)| y > a as u32).count())
+            .sum();
+        match self.pruning {
+            Pruning::None => {
+                let mut pairs = Vec::with_capacity(total_pairs);
+                for (a, row) in rows.iter().enumerate() {
+                    let a = a as u32;
+                    for &(y, w) in row {
+                        if y > a {
+                            pairs.push(WeightedPair {
+                                a: EntityId(a),
+                                b: EntityId(y),
+                                weight: w,
+                            });
+                        }
+                    }
+                }
+                PrunedComparisons {
+                    pairs,
+                    scheme,
+                    input_edges: total_pairs,
+                }
+            }
+            Pruning::Wep => {
+                let mut sums = vec![0.0f64; rows.len()];
+                let mut positive = 0u64;
+                for (a, row) in rows.iter().enumerate() {
+                    let mut sum = 0.0f64;
+                    for &(y, w) in row {
+                        if y > a as u32 && w > 0.0 {
+                            // lint:allow(float-accumulation): per-entity serial sum over sorted neighbours
+                            sum += w;
+                            positive += 1;
+                        }
+                    }
+                    sums[a] = sum;
+                }
+                let threshold = prune::wep_threshold_from_sums(&sums, positive);
+                let mut kept = Vec::new();
+                for (a, row) in rows.iter().enumerate() {
+                    let a = a as u32;
+                    for &(y, w) in row {
+                        if y > a && w >= threshold && w > 0.0 {
+                            kept.push(WeightedPair {
+                                a: EntityId(a),
+                                b: EntityId(y),
+                                weight: w,
+                            });
+                        }
+                    }
+                }
+                PrunedComparisons::from_weighted_pairs(kept, scheme, total_pairs)
+            }
+            Pruning::Cep(k) => {
+                let k =
+                    k.unwrap_or_else(|| prune::default_cep_k_from(snapshot.total_assignments()));
+                if k == 0 {
+                    return PrunedComparisons::empty(scheme, total_pairs);
+                }
+                let mut top: TopK<(OrdF64, std::cmp::Reverse<(EntityId, EntityId)>)> = TopK::new(k);
+                for (a, row) in rows.iter().enumerate() {
+                    let a = a as u32;
+                    for &(y, w) in row {
+                        if y > a && w > 0.0 {
+                            top.push((OrdF64(w), std::cmp::Reverse((EntityId(a), EntityId(y)))));
+                        }
+                    }
+                }
+                let pairs: Vec<WeightedPair> = top
+                    .into_sorted_vec()
+                    .into_iter()
+                    .map(|(w, r)| WeightedPair {
+                        a: r.0 .0,
+                        b: r.0 .1,
+                        weight: w.0,
+                    })
+                    .collect();
+                PrunedComparisons::from_weighted_pairs(pairs, scheme, total_pairs)
+            }
+            Pruning::Wnp { reciprocal } => {
+                let mut kept = Vec::new();
+                let mut weights: Vec<f64> = Vec::new();
+                for (a, row) in rows.iter().enumerate() {
+                    if row.is_empty() {
+                        continue;
+                    }
+                    weights.clear();
+                    weights.extend(row.iter().map(|&(_, w)| w));
+                    let threshold = mean(&weights);
+                    for &(y, w) in row {
+                        if w >= threshold && w > 0.0 {
+                            kept.push(normalised(a as u32, y, w));
+                        }
+                    }
+                }
+                kept.sort_unstable_by_key(|x| (x.a, x.b));
+                PrunedComparisons::from_weighted_pairs(
+                    combine_votes(kept, reciprocal),
+                    scheme,
+                    total_pairs,
+                )
+            }
+            Pruning::Cnp { reciprocal, k } => {
+                let active_nodes = rows.iter().filter(|r| !r.is_empty()).count();
+                let k = k.unwrap_or_else(|| {
+                    prune::default_cnp_k_from(snapshot.total_assignments(), active_nodes)
+                });
+                if k == 0 {
+                    return PrunedComparisons::empty(scheme, total_pairs);
+                }
+                let mut kept = Vec::new();
+                for (a, row) in rows.iter().enumerate() {
+                    if row.is_empty() {
+                        continue;
+                    }
+                    let mut top: TopK<(OrdF64, std::cmp::Reverse<(EntityId, EntityId)>)> =
+                        TopK::new(k);
+                    for &(y, w) in row {
+                        if w > 0.0 {
+                            let p = normalised(a as u32, y, w);
+                            top.push((OrdF64(w), std::cmp::Reverse((p.a, p.b))));
+                        }
+                    }
+                    for (w, r) in top.into_sorted_vec() {
+                        kept.push(WeightedPair {
+                            a: r.0 .0,
+                            b: r.0 .1,
+                            weight: w.0,
+                        });
+                    }
+                }
+                kept.sort_unstable_by_key(|x| (x.a, x.b));
+                PrunedComparisons::from_weighted_pairs(
+                    combine_votes(kept, reciprocal),
+                    scheme,
+                    total_pairs,
+                )
+            }
+            Pruning::Blast { .. } | Pruning::Supervised(_) => {
+                unreachable!("assemble is only called for delta-supported pruning families")
+            }
+        }
+    }
+
+    /// Full re-sweep fallback: the streaming session bodies on a fresh
+    /// sweep state over the current snapshot.
+    fn full_outcome(&self, snapshot: &BlockCollection, threads: usize) -> PrunedComparisons {
+        let mut st = SweepState::new(snapshot);
+        match self.pruning {
+            Pruning::None => {
+                let (pairs, fwd) = streaming::weighted_edges_session(&mut st, self.scheme, threads);
+                PrunedComparisons {
+                    pairs,
+                    scheme: self.scheme,
+                    input_edges: fwd as usize,
+                }
+            }
+            Pruning::Wep => streaming::wep_session(&mut st, self.scheme, threads),
+            Pruning::Cep(k) => streaming::cep_session(&mut st, self.scheme, k, threads),
+            Pruning::Wnp { reciprocal } => {
+                streaming::wnp_session(&mut st, self.scheme, reciprocal, threads)
+            }
+            Pruning::Cnp { reciprocal, k } => {
+                streaming::cnp_session(&mut st, self.scheme, reciprocal, k, threads)
+            }
+            Pruning::Blast { ratio } => streaming::blast_session(&mut st, ratio, threads),
+            Pruning::Supervised(model) => streaming::supervised_session(&mut st, &model, threads),
+        }
+    }
+}
+
+/// Re-sweeps `targets` on `snapshot` and installs their fresh rows —
+/// cost-balanced over scoped worker threads, scratches from `pool`. Row
+/// contents never depend on the partitioning: each row is one entity's
+/// serial sweep.
+fn resweep_rows(
+    scheme: WeightingScheme,
+    pool: &ScratchPool,
+    rows: &mut [Vec<(u32, f64)>],
+    sorted_len: &mut [u32],
+    snapshot: &BlockCollection,
+    targets: &[EntityId],
+    threads: usize,
+) {
+    if targets.is_empty() {
+        return;
+    }
+    let costs: Vec<u64> = targets
+        .iter()
+        .map(|&e| {
+            snapshot
+                .entity_blocks(e)
+                .iter()
+                .map(|&b| snapshot.block_len(b) as u64)
+                .sum()
+        })
+        .collect();
+    let ranges = partition_by_cost(&costs, threads.max(1));
+    let mut fresh: Vec<Vec<(u32, f64)>> = vec![Vec::new(); targets.len()];
+    {
+        let globals = WeightGlobals::basic(snapshot);
+        let globals = &globals;
+        let chunks = split_by_ends(&mut fresh, ranges.iter().map(|r| r.end));
+        std::thread::scope(|s| {
+            for (r, chunk) in ranges.iter().zip(chunks) {
+                let r = r.clone();
+                s.spawn(move || {
+                    pool.with(|scratch| {
+                        let mut weights: Vec<f64> = Vec::new();
+                        for i in r.clone() {
+                            let e = targets[i];
+                            scratch.sweep(snapshot, e);
+                            neighbour_weights(scheme, scratch, e.0, globals, &mut weights);
+                            let row = &mut chunk[i - r.start];
+                            row.extend(
+                                scratch
+                                    .neighbours()
+                                    .iter()
+                                    .copied()
+                                    .zip(weights.iter().copied()),
+                            );
+                        }
+                    });
+                });
+            }
+        });
+    }
+    for (i, &e) in targets.iter().enumerate() {
+        rows[e.index()] = std::mem::take(&mut fresh[i]);
+        sorted_len[e.index()] = rows[e.index()].len() as u32;
+    }
+}
+
+/// Carries the freshly swept `(target, neighbour)` weights into the rows
+/// of neighbours that were *not* re-swept themselves: every entry
+/// `(y, w)` of a target's fresh row with `y` outside the target set is
+/// **appended** to `rows[y]`'s unsorted mirror tail as `(t, w)` — O(1)
+/// per changed edge, the information-theoretic floor. Nothing sorted is
+/// rebuilt here: tails fold into the sorted prefix lazily at the next
+/// read ([`normalize_row`]), or eagerly once a tail outgrows its prefix,
+/// which amortises every fold to O(1) per append and bounds a row's
+/// memory to ~2× its folded size. (Both eager alternatives are
+/// quadratic per stream on dense neighbourhoods: per-edge `Vec::insert`
+/// memmoves the tail once per new edge, and a per-batch sorted merge
+/// rebuilds every mirror-receiving row once per batch.)
+///
+/// Edges never disappear under CBS/JS (blocks only gain members), so
+/// append with later-wins replay is exhaustive, and the weight bits are
+/// endpoint-symmetric by construction: CBS is the shared-block count and
+/// JS normalises the endpoint block counts lo/hi before the one
+/// division, so `y`'s own sweep would produce the identical f64.
+/// `mask` is a reusable all-false scratch; it is restored before return.
+fn mirror_append(
+    rows: &mut [Vec<(u32, f64)>],
+    sorted_len: &mut [u32],
+    targets: &[EntityId],
+    mask: &mut [bool],
+) {
+    for &t in targets {
+        mask[t.index()] = true;
+    }
+    for &t in targets {
+        let row = std::mem::take(&mut rows[t.index()]);
+        for &(y, w) in &row {
+            if mask[y as usize] {
+                continue;
+            }
+            let mirror = &mut rows[y as usize];
+            mirror.push((t.0, w));
+            let sorted = sorted_len[y as usize] as usize;
+            if mirror.len() - sorted >= sorted.max(64) {
+                normalize_row(mirror, sorted);
+                sorted_len[y as usize] = mirror.len() as u32;
+            }
+        }
+        rows[t.index()] = row;
+    }
+    for &t in targets {
+        mask[t.index()] = false;
+    }
+}
+
+/// Folds a row's mirror tail (`row[sorted..]`, append order) into its
+/// sorted duplicate-free prefix: the tail is stable-sorted by neighbour
+/// id, deduplicated keeping the *latest* append of each edge (mirrors
+/// replay weight updates in arrival order), and merged with the prefix,
+/// fresh weights overwriting stale ones.
+fn normalize_row(row: &mut Vec<(u32, f64)>, sorted: usize) {
+    let mut tail = row.split_off(sorted);
+    // Stable by id: equal ids keep append order, so the last one is the
+    // most recent weight.
+    tail.sort_by_key(|e| e.0);
+    let prefix = std::mem::take(row);
+    row.reserve(prefix.len() + tail.len());
+    let mut pi = 0;
+    let mut ti = 0;
+    while ti < tail.len() {
+        let (y, mut w) = tail[ti];
+        ti += 1;
+        while ti < tail.len() && tail[ti].0 == y {
+            w = tail[ti].1;
+            ti += 1;
+        }
+        while pi < prefix.len() && prefix[pi].0 < y {
+            row.push(prefix[pi]);
+            pi += 1;
+        }
+        if pi < prefix.len() && prefix[pi].0 == y {
+            pi += 1;
+        }
+        row.push((y, w));
+    }
+    row.extend_from_slice(&prefix[pi..]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ExecutionBackend, Session};
+    use minoan_blocking::builders::token_blocking;
+    use minoan_datagen::{generate, profiles};
+
+    fn assert_same(got: &PruneOutcome, want: &PruneOutcome, label: &str) {
+        crate::assert_bit_identical(&got.pruned, &want.pruned, label);
+    }
+
+    fn ids(n: usize) -> Vec<EntityId> {
+        (0..n as u32).map(EntityId).collect()
+    }
+
+    const DELTA_SCHEMES: [WeightingScheme; 3] = [
+        WeightingScheme::Cbs,
+        WeightingScheme::Js,
+        WeightingScheme::Arcs,
+    ];
+
+    const DELTA_FAMILIES: [Pruning; 5] = [
+        Pruning::None,
+        Pruning::Wep,
+        Pruning::Cep(None),
+        Pruning::Wnp { reciprocal: false },
+        Pruning::Cnp {
+            reciprocal: true,
+            k: None,
+        },
+    ];
+
+    #[test]
+    fn delta_outcomes_match_streaming_sessions_per_batch() {
+        let world = generate(&profiles::center_dense(90, 13));
+        let all = ids(world.dataset.len());
+        for mode in [ErMode::CleanClean, ErMode::Dirty] {
+            for scheme in DELTA_SCHEMES {
+                for pruning in DELTA_FAMILIES {
+                    let mut inc = IncrementalSession::new(&world.dataset, mode);
+                    inc.scheme(scheme).pruning(pruning).workers(2);
+                    for batch in all.chunks(23) {
+                        let report = inc.ingest(batch);
+                        assert!(report.delta, "supported combo must delta-sweep");
+                        let got = inc.outcome();
+                        let snap = inc.snapshot().expect("snapshot exists after ingest");
+                        let want = Session::new(snap)
+                            .scheme(scheme)
+                            .pruning(pruning)
+                            .backend(ExecutionBackend::Streaming)
+                            .workers(2)
+                            .run();
+                        assert_same(&got, &want, &format!("{mode:?}/{scheme:?}/{pruning:?}"));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unsupported_combinations_fall_back_bit_identically() {
+        let world = generate(&profiles::center_dense(70, 5));
+        let all = ids(world.dataset.len());
+        let combos = [
+            (WeightingScheme::Ecbs, Pruning::Wnp { reciprocal: false }),
+            (WeightingScheme::Ejs, Pruning::Wep),
+            (WeightingScheme::Cbs, Pruning::blast()),
+        ];
+        for (scheme, pruning) in combos {
+            let mut inc = IncrementalSession::new(&world.dataset, ErMode::CleanClean);
+            inc.scheme(scheme).pruning(pruning);
+            assert!(!inc.supports_delta());
+            for batch in all.chunks(31) {
+                let report = inc.ingest(batch);
+                assert!(!report.delta, "unsupported combo must not claim a delta");
+                assert_eq!(report.swept_entities, 0);
+                let got = inc.outcome();
+                let snap = inc.snapshot().expect("snapshot exists after ingest");
+                let want = Session::new(snap)
+                    .scheme(scheme)
+                    .pruning(pruning)
+                    .backend(ExecutionBackend::Streaming)
+                    .run();
+                assert_same(&got, &want, &format!("{scheme:?}/{pruning:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn fully_ingested_matches_batch_token_blocking() {
+        let world = generate(&profiles::center_dense(80, 5));
+        let all = ids(world.dataset.len());
+        for mode in [ErMode::CleanClean, ErMode::Dirty] {
+            let mut inc = IncrementalSession::new(&world.dataset, mode);
+            for batch in all.chunks(16) {
+                inc.ingest(batch);
+            }
+            let got = inc.outcome();
+            let blocks = token_blocking(&world.dataset, mode);
+            let want = Session::new(&blocks)
+                .backend(ExecutionBackend::Materialized)
+                .run();
+            assert_same(&got, &want, &format!("{mode:?}: merged vs batch"));
+        }
+    }
+
+    #[test]
+    fn scheme_switches_rebuild_the_row_cache_and_stay_correct() {
+        let world = generate(&profiles::center_dense(60, 9));
+        let all = ids(world.dataset.len());
+        let (first, rest) = all.split_at(all.len() / 2);
+        let mut inc = IncrementalSession::new(&world.dataset, ErMode::CleanClean);
+        inc.scheme(WeightingScheme::Cbs);
+        inc.ingest(first);
+        inc.outcome();
+        // Switch schemes mid-stream: the next ingest re-seeds the cache
+        // with one full sweep, then delta-sweeps resume.
+        inc.scheme(WeightingScheme::Js);
+        let report = inc.ingest(rest);
+        assert!(!report.delta, "first ingest after a switch re-seeds");
+        assert_eq!(report.swept_entities, world.dataset.len());
+        let report = inc.ingest(&[]);
+        assert!(report.delta, "deltas resume after the re-seed");
+        let got = inc.outcome();
+        let snap = inc.snapshot().expect("snapshot exists after ingest");
+        let want = Session::new(snap)
+            .scheme(WeightingScheme::Js)
+            .backend(ExecutionBackend::Streaming)
+            .run();
+        assert_same(&got, &want, "post-switch JS");
+    }
+
+    #[test]
+    fn small_batches_sweep_a_strict_subset() {
+        // The periphery regime has few hot tokens, so a small batch's
+        // touched blocks cover only part of the corpus (a center-style
+        // world with universal tokens would legitimately dirty everyone).
+        let world = generate(&profiles::periphery_sparse(200, 17));
+        let all = ids(world.dataset.len());
+        let (bulk, tail) = all.split_at(all.len() - 6);
+        let mut inc = IncrementalSession::new(&world.dataset, ErMode::CleanClean);
+        inc.scheme(WeightingScheme::Cbs);
+        inc.ingest(bulk);
+        let report = inc.ingest(tail);
+        assert!(report.delta);
+        assert!(
+            report.swept_entities < report.num_arrived,
+            "a small batch must re-sweep strictly fewer entities ({} of {}) than have arrived",
+            report.swept_entities,
+            report.num_arrived
+        );
+    }
+
+    #[test]
+    fn outcome_before_any_ingest_is_empty() {
+        let world = generate(&profiles::center_dense(30, 3));
+        let mut inc = IncrementalSession::new(&world.dataset, ErMode::CleanClean);
+        let out = inc.outcome();
+        assert!(out.pairs().is_empty());
+        assert_eq!(out.input_edges(), 0);
+        assert!(inc.snapshot().is_some(), "outcome materialises a snapshot");
+    }
+
+    #[test]
+    fn thread_counts_do_not_change_a_bit() {
+        let world = generate(&profiles::center_dense(80, 21));
+        let all = ids(world.dataset.len());
+        let mut base: Option<PruneOutcome> = None;
+        for workers in [1usize, 2, 4, 8] {
+            let mut inc = IncrementalSession::new(&world.dataset, ErMode::CleanClean);
+            inc.scheme(WeightingScheme::Js).workers(workers);
+            for batch in all.chunks(17) {
+                inc.ingest(batch);
+            }
+            let got = inc.outcome();
+            match &base {
+                None => base = Some(got),
+                Some(b) => assert_same(&got, b, &format!("workers={workers}")),
+            }
+        }
+    }
+}

@@ -92,6 +92,11 @@
 //! # Modules
 //!
 //! * [`session`] — the [`Session`] entry point described above.
+//! * [`incremental`] — the *updatable* arm: [`IncrementalSession`]
+//!   ingests description batches through the delta-appendable block
+//!   slabs and patches a per-entity weight-row cache by re-sweeping only
+//!   the dirty entities, keeping its [`PruneOutcome`] bit-identical to a
+//!   from-scratch run on the merged corpus.
 //! * [`graph`] — the CSR blocking graph: one node per description, one
 //!   edge per *distinct* comparable pair, annotated with co-occurrence
 //!   statistics.
@@ -122,6 +127,7 @@
 
 pub mod blast;
 pub mod graph;
+pub mod incremental;
 pub mod kernel;
 pub mod parallel;
 pub mod probe;
@@ -136,6 +142,7 @@ pub mod weights;
 pub use blast::blast;
 pub use blast::{chi_square_weight, chi_square_weights};
 pub use graph::{BlockingGraph, Edge};
+pub use incremental::{IncrementalSession, IngestReport};
 pub use parallel::JobReport;
 pub use prune::{PrunedComparisons, WeightedPair};
 pub use session::{PruneOutcome, Pruning, Session};

@@ -18,6 +18,10 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 static CSR_BUILDS: AtomicUsize = AtomicUsize::new(0);
 static SCRATCH_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+static DELTA_SWEEPS: AtomicUsize = AtomicUsize::new(0);
+static FULL_RESWEEPS: AtomicUsize = AtomicUsize::new(0);
+static DELTA_ENTITIES_SWEPT: AtomicUsize = AtomicUsize::new(0);
+static DELTA_BLOCKS_TOUCHED: AtomicUsize = AtomicUsize::new(0);
 
 /// Number of CSR blocking-graph constructions so far in this process.
 pub fn csr_builds() -> usize {
@@ -29,10 +33,44 @@ pub fn scratch_allocs() -> usize {
     SCRATCH_ALLOCS.load(Ordering::Relaxed)
 }
 
+/// Number of delta-sweep passes (dirty-set row refreshes) run by
+/// incremental sessions so far in this process.
+pub fn delta_sweeps() -> usize {
+    DELTA_SWEEPS.load(Ordering::Relaxed)
+}
+
+/// Number of full re-sweeps an incremental session fell back to (an
+/// unsupported scheme × pruning combination, or a cold rows cache).
+pub fn full_resweeps() -> usize {
+    FULL_RESWEEPS.load(Ordering::Relaxed)
+}
+
+/// Total entities re-swept by delta-sweep passes — the counter the
+/// delta suite compares against the arrived-entity count to prove the
+/// dirty sweeps touch a strict subset of the corpus.
+pub fn delta_entities_swept() -> usize {
+    DELTA_ENTITIES_SWEPT.load(Ordering::Relaxed)
+}
+
+/// Total blocks reported touched by incremental ingests.
+pub fn delta_blocks_touched() -> usize {
+    DELTA_BLOCKS_TOUCHED.load(Ordering::Relaxed)
+}
+
 pub(crate) fn record_csr_build() {
     CSR_BUILDS.fetch_add(1, Ordering::Relaxed);
 }
 
 pub(crate) fn record_scratch_alloc() {
     SCRATCH_ALLOCS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_delta_sweep(entities_swept: usize, blocks_touched: usize) {
+    DELTA_SWEEPS.fetch_add(1, Ordering::Relaxed);
+    DELTA_ENTITIES_SWEPT.fetch_add(entities_swept, Ordering::Relaxed);
+    DELTA_BLOCKS_TOUCHED.fetch_add(blocks_touched, Ordering::Relaxed);
+}
+
+pub(crate) fn record_full_resweep() {
+    FULL_RESWEEPS.fetch_add(1, Ordering::Relaxed);
 }

@@ -1,0 +1,71 @@
+//! Probe-counter assertions for the updatable meta-blocking session.
+//!
+//! These tests assert *exact deltas* of the process-global
+//! [`probe`] counters (`delta_sweeps`, `delta_entities_swept`,
+//! `delta_blocks_touched`, `full_resweeps`), so they live in their own
+//! integration-test binary: every other ingest running in the same
+//! process would tick the counters concurrently and break the
+//! equalities. Within this binary the tests serialise themselves via
+//! [`probe_lock`]. Run under `RUST_TEST_THREADS=1` and `4` in CI like
+//! the other equivalence suites — the lock makes both schedulers
+//! equivalent here.
+
+use minoan::blocking::ErMode;
+use minoan::datagen::{generate, profiles};
+use minoan::metablocking::{probe, IncrementalSession, Pruning, WeightingScheme};
+use std::sync::{Mutex, OnceLock};
+
+/// Serialises tests that assert on the process-global probe counters.
+fn probe_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(Mutex::default)
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn probe_counters_prove_dirty_sweeps_touch_a_strict_subset() {
+    let _guard = probe_lock();
+    // A periphery world: proprietary vocabularies, so a small tail batch
+    // dirties only its own neighbourhood. (In a center-style world with
+    // universal tokens, a batch can legitimately dirty everyone.)
+    let g = generate(&profiles::periphery_sparse(220, 17));
+    let ids: Vec<_> = g.dataset.entities().collect();
+    let (bulk, tail) = ids.split_at(ids.len() - 5);
+    let mut inc = IncrementalSession::new(&g.dataset, ErMode::CleanClean);
+    inc.scheme(WeightingScheme::Arcs)
+        .pruning(Pruning::Wnp { reciprocal: false });
+    inc.ingest(bulk);
+    let sweeps_before = probe::delta_sweeps();
+    let swept_before = probe::delta_entities_swept();
+    let blocks_before = probe::delta_blocks_touched();
+    let report = inc.ingest(tail);
+    assert!(report.delta, "{report:?}");
+    assert_eq!(probe::delta_sweeps(), sweeps_before + 1);
+    let swept = probe::delta_entities_swept() - swept_before;
+    assert_eq!(swept, report.swept_entities);
+    assert!(
+        swept < report.num_arrived,
+        "dirty sweep must touch a strict subset: {swept} of {}",
+        report.num_arrived
+    );
+    assert_eq!(
+        probe::delta_blocks_touched() - blocks_before,
+        report.touched_blocks
+    );
+}
+
+#[test]
+fn fallbacks_tick_the_full_resweep_counter() {
+    let _guard = probe_lock();
+    let g = generate(&profiles::center_dense(90, 5));
+    let ids: Vec<_> = g.dataset.entities().collect();
+    let mut inc = IncrementalSession::new(&g.dataset, ErMode::CleanClean);
+    inc.scheme(WeightingScheme::Ejs);
+    let full_before = probe::full_resweeps();
+    let report = inc.ingest(&ids);
+    assert!(!report.delta);
+    assert_eq!(report.swept_entities, 0);
+    let _ = inc.outcome();
+    assert!(probe::full_resweeps() > full_before);
+}
