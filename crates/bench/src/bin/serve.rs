@@ -1,0 +1,58 @@
+//! The `serve` harness: query-time resolution latency over the TCP
+//! server, cached vs uncached, under concurrent ingest.
+//!
+//! * `--smoke` — small world, interleaved resolves/ingests, every served
+//!   answer re-derived bit-identically from a fresh incremental session
+//!   fed the same batch prefix; no file written. Wired into CI.
+//! * default — records the cached vs uncached round-trip latency
+//!   (p50/p99, qps, cache hit rate) into the `serve` section of
+//!   `BENCH_metablocking.json`. Override with `--entities N`,
+//!   `--requests N`, `--clients N`, `--cache N`.
+
+use minoan_bench::{blockbuild, serve};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--smoke") {
+        serve::smoke();
+        return;
+    }
+    let entities = arg_after(&args, "--entities")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000usize);
+    let requests = arg_after(&args, "--requests")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000usize);
+    let clients = arg_after(&args, "--clients")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4usize);
+    let cache = arg_after(&args, "--cache")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4_096usize);
+
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "serve harness: {entities} entities, {requests} requests over {clients} clients, \
+         cache {cache}, {threads} threads"
+    );
+    let rows = serve::run_family(entities, requests, clients, cache);
+
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_metablocking.json");
+    blockbuild::ensure_header(&path, threads)
+        .and_then(|_| blockbuild::merge_section(&path, "serve", &serve::rows_json(&rows, threads)))
+        .unwrap_or_else(|e| {
+            eprintln!("could not update {}: {e}", path.display());
+            std::process::exit(1);
+        });
+    println!("wrote serve section into {}", path.display());
+}
+
+fn arg_after<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}

@@ -10,6 +10,7 @@ pub mod blockbuild;
 pub mod experiments;
 pub mod experiments2;
 pub mod incremental;
+pub mod serve;
 
 pub use experiments::*;
 pub use experiments2::*;

@@ -15,6 +15,7 @@ use minoan_er::{
 };
 use minoan_eval::{metrics, progressive_curves, recall_auc};
 use minoan_rdf::KbId;
+use minoan_server::{Client, ResolveService, Server};
 use minoan_store::{FrozenStore, TripleStore};
 use std::fmt::Write as _;
 use std::path::Path;
@@ -43,7 +44,7 @@ impl From<std::io::Error> for CliError {
     }
 }
 
-const FLAGS: [&str; 2] = ["no-purge", "dirty"];
+const FLAGS: [&str; 4] = ["no-purge", "dirty", "stats", "shutdown"];
 
 /// Entry point: parses `argv` (without program name) and runs the command.
 pub fn run(argv: &[String]) -> Result<String, CliError> {
@@ -58,6 +59,8 @@ pub fn run(argv: &[String]) -> Result<String, CliError> {
         "eval" => cmd_eval(&args),
         "stream" => cmd_stream(&args),
         "incremental" => cmd_incremental(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         other => Err(CliError(format!(
             "unknown command {other:?}; try `minoan help`"
         ))),
@@ -96,6 +99,17 @@ COMMANDS
             Feed a synthetic arrival stream into the updatable
             meta-blocking session batch by batch and report how much of
             each batch was handled by delta-sweeps vs full re-sweeps.
+  serve     --profile P --entities N --seed S [--weighting W] [--pruning P]
+            [--workers N] [--sweep-workers N] [--cache N] [--preload N]
+            [--port N] [--addr-file PATH] [--dirty]
+            Run the query-time resolution server over a synthetic world:
+            answers RESOLVE/INGEST/STATS/SHUTDOWN on a TCP socket until a
+            client sends SHUTDOWN. Port 0 picks an ephemeral port;
+            --addr-file writes the bound address for scripts to discover.
+  query     --addr HOST:PORT [--entity N] [--ingest 1,2,3] [--show K]
+            [--stats] [--shutdown]
+            Drive a running resolution server: ingest a batch, resolve an
+            entity, print server stats, or shut it down.
 
 PROFILES  center | periphery | center-periphery | lod | dirty | restaurants
           | rexa-dblp | bbc-dbpedia | yago-imdb
@@ -289,6 +303,26 @@ fn weighting_by_name(name: &str) -> Result<minoan_metablocking::WeightingScheme,
     })
 }
 
+/// Parses `--key` as a count ≥ 1. Zero, negatives and garbage all fail
+/// with the expected range spelled out, the same way the backend error
+/// lists its valid spellings — a typo must not silently pick a default.
+fn positive_count(args: &Args, key: &str) -> Result<Option<usize>, CliError> {
+    match args.get(key) {
+        None => Ok(None),
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .map(Some)
+            .ok_or_else(|| {
+                CliError(format!(
+                    "option --{key}: expected a count ≥ 1, got {raw:?} \
+                     (valid spellings: 1, 2, 3, …)"
+                ))
+            }),
+    }
+}
+
 fn pipeline_config(args: &Args) -> Result<PipelineConfig, CliError> {
     let mut config = PipelineConfig::default();
     if args.flag("dirty") {
@@ -316,10 +350,7 @@ fn pipeline_config(args: &Args) -> Result<PipelineConfig, CliError> {
             ))
         })?;
     }
-    if let Some(w) = args.get("workers") {
-        let workers: usize = w.parse().ok().filter(|&w| w >= 1).ok_or_else(|| {
-            CliError(format!("option --workers: expected a count ≥ 1, got {w:?}"))
-        })?;
+    if let Some(workers) = positive_count(args, "workers")? {
         config.workers = Some(workers);
     }
     config.resolver.budget = args.get_parsed("budget", u64::MAX)?;
@@ -459,10 +490,7 @@ fn cmd_incremental(args: &Args) -> Result<String, CliError> {
     let profile = args.require("profile")?;
     let entities = args.get_parsed("entities", 300usize)?;
     let seed = args.get_parsed("seed", 42u64)?;
-    let batch_size = args.get_parsed("batch-size", 50usize)?;
-    if batch_size == 0 {
-        return Err(CliError("option --batch-size: expected a count ≥ 1".into()));
-    }
+    let batch_size = positive_count(args, "batch-size")?.unwrap_or(50);
     let world = generate(&profile_by_name(profile, entities, seed)?);
     let order = arrival_order(args.get("order").unwrap_or("shuffled"), seed)?;
     let mode = if args.flag("dirty") || profile == "dirty" {
@@ -477,10 +505,7 @@ fn cmd_incremental(args: &Args) -> Result<String, CliError> {
     if let Some(p) = args.get("pruning") {
         session.pruning(pruning_by_name(p)?);
     }
-    if let Some(w) = args.get("workers") {
-        let workers: usize = w.parse().ok().filter(|&w| w >= 1).ok_or_else(|| {
-            CliError(format!("option --workers: expected a count ≥ 1, got {w:?}"))
-        })?;
+    if let Some(workers) = positive_count(args, "workers")? {
         session.workers(workers);
     }
     let mut report = String::new();
@@ -518,6 +543,137 @@ fn cmd_incremental(args: &Args) -> Result<String, CliError> {
         outcome.input_edges(),
         outcome.retention(),
     );
+    Ok(report)
+}
+
+fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let profile = args.require("profile")?;
+    let entities = args.get_parsed("entities", 300usize)?;
+    let seed = args.get_parsed("seed", 42u64)?;
+    let world = generate(&profile_by_name(profile, entities, seed)?);
+    let mode = if args.flag("dirty") || profile == "dirty" {
+        ErMode::Dirty
+    } else {
+        ErMode::CleanClean
+    };
+    // Defaults mirror the incremental session's (ARCS × WNP).
+    let scheme = match args.get("weighting") {
+        Some(w) => weighting_by_name(w)?,
+        None => minoan_metablocking::WeightingScheme::Arcs,
+    };
+    let pruning = match args.get("pruning") {
+        Some(p) => pruning_by_name(p)?,
+        None => minoan_er::pipeline::PruningMethod::Wnp { reciprocal: false },
+    };
+    let cache = args.get_parsed("cache", 1024usize)?;
+    let preload = args.get_parsed("preload", 0usize)?;
+    let workers = positive_count(args, "workers")?.unwrap_or(2);
+    let port = args.get_parsed("port", 0u16)?;
+    let service = ResolveService::new(&world.dataset, mode, scheme, pruning, cache);
+    if let Some(sweep) = positive_count(args, "sweep-workers")? {
+        service.sweep_workers(sweep);
+    }
+    if preload > 0 {
+        let n = preload.min(world.dataset.len());
+        let ids: Vec<u32> = (0..n as u32).collect();
+        service
+            .ingest(&ids)
+            .map_err(|e| CliError(e.message().into()))?;
+    }
+    let server = Server::bind(("127.0.0.1", port), service, workers)?;
+    let addr = server.local_addr()?;
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "listening on {addr} ({profile}/{entities}, cache {cache}, {workers} workers)"
+    );
+    if let Some(path) = args.get("addr-file") {
+        // Scripts discover the ephemeral port here before we block in run().
+        std::fs::write(path, format!("{addr}\n"))?;
+    }
+    server.run()?;
+    let stats = server.service().service_stats();
+    let _ = writeln!(
+        report,
+        "served {} resolves ({} coalesced, {} cache hits, {} misses), {} ingests",
+        stats.resolves, stats.coalesced, stats.cache_hits, stats.cache_misses, stats.ingests
+    );
+    Ok(report)
+}
+
+fn parse_id_list(raw: &str) -> Result<Vec<u32>, CliError> {
+    raw.split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.parse::<u32>()
+                .map_err(|_| CliError(format!("option --ingest: cannot parse entity id {t:?}")))
+        })
+        .collect()
+}
+
+fn cmd_query(args: &Args) -> Result<String, CliError> {
+    let addr = args.require("addr")?;
+    let mut client =
+        Client::connect(addr).map_err(|e| CliError(format!("cannot connect to {addr}: {e}")))?;
+    let mut report = String::new();
+    if let Some(raw) = args.get("ingest") {
+        let ids = parse_id_list(raw)?;
+        let r = client.ingest(&ids)?;
+        let _ = writeln!(
+            report,
+            "ingested {}: version {} swept {} invalidated {} {}",
+            r.arrived,
+            r.version,
+            r.swept,
+            r.invalidated,
+            if r.delta { "delta" } else { "full" },
+        );
+    }
+    if let Some(raw) = args.get("entity") {
+        let entity: u32 = raw
+            .parse()
+            .map_err(|_| CliError(format!("option --entity: cannot parse {raw:?}")))?;
+        let r = client.resolve(entity)?;
+        let show = args.get_parsed("show", 10usize)?;
+        let pairs = r.weighted_pairs();
+        let _ = writeln!(
+            report,
+            "entity {} @ version {}: {} matches",
+            r.entity,
+            r.version,
+            pairs.len()
+        );
+        for p in pairs.iter().take(show) {
+            let _ = writeln!(report, "  {:.4}  {}  —  {}", p.weight, p.a.0, p.b.0);
+        }
+        if pairs.len() > show {
+            let _ = writeln!(report, "  … {} more", pairs.len() - show);
+        }
+    }
+    if args.flag("stats") {
+        let s = client.stats()?;
+        let _ = writeln!(
+            report,
+            "version {} arrived {} | resolves {} coalesced {} hits {} misses {} ingests {}",
+            s.version,
+            s.num_arrived,
+            s.resolves,
+            s.coalesced,
+            s.cache_hits,
+            s.cache_misses,
+            s.ingests
+        );
+    }
+    if args.flag("shutdown") {
+        client.shutdown()?;
+        let _ = writeln!(report, "server shut down");
+    }
+    if report.is_empty() {
+        return Err(CliError(
+            "query: nothing to do; pass --entity N, --ingest 1,2,3, --stats or --shutdown".into(),
+        ));
+    }
     Ok(report)
 }
 
@@ -820,6 +976,69 @@ mod tests {
             ))
             .unwrap();
             assert!(out.contains("recall"), "{w}: {out}");
+        }
+    }
+
+    #[test]
+    fn serve_and_query_round_trip() {
+        let dir = tmp_dir("serve");
+        let addr_file = dir.join("addr.txt");
+        std::fs::remove_file(&addr_file).ok();
+        let serve_cmd = format!(
+            "serve --profile center --entities 80 --seed 3 --weighting js --pruning wnp \
+             --cache 64 --preload 40 --workers 2 --port 0 --addr-file {}",
+            addr_file.display()
+        );
+        std::thread::scope(|s| {
+            let server = s.spawn(move || run_str(&serve_cmd));
+            // The server writes its ephemeral address before blocking.
+            let addr = loop {
+                if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                    if text.ends_with('\n') {
+                        break text.trim().to_string();
+                    }
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            };
+            let resolve = run_str(&format!("query --addr {addr} --entity 7 --show 3")).unwrap();
+            assert!(resolve.contains("entity 7 @ version 1"), "{resolve}");
+            let ingest = run_str(&format!("query --addr {addr} --ingest 40,41,42")).unwrap();
+            assert!(ingest.contains("ingested 3: version 2"), "{ingest}");
+            // Re-ingesting an arrived entity is rejected but keeps serving.
+            assert!(run_str(&format!("query --addr {addr} --ingest 40")).is_err());
+            let stats = run_str(&format!("query --addr {addr} --stats")).unwrap();
+            assert!(stats.contains("arrived 43"), "{stats}");
+            let bye = run_str(&format!("query --addr {addr} --shutdown")).unwrap();
+            assert!(bye.contains("shut down"), "{bye}");
+            let report = server.join().unwrap().unwrap();
+            assert!(report.contains("listening on"), "{report}");
+            assert!(report.contains("resolves"), "{report}");
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn query_without_an_action_is_rejected() {
+        let err = run_str("query --addr 127.0.0.1:1").unwrap_err();
+        // Connection refused (nothing listening) or the no-action error —
+        // either way the message names the problem.
+        assert!(
+            err.0.contains("cannot connect") || err.0.contains("nothing to do"),
+            "{}",
+            err.0
+        );
+    }
+
+    #[test]
+    fn serve_rejects_zero_counts_with_the_expected_range() {
+        for cmd in [
+            "serve --profile center --workers 0",
+            "serve --profile center --sweep-workers 0",
+            "incremental --profile center --batch-size 0",
+            "eval --profile center --workers none",
+        ] {
+            let err = run_str(cmd).unwrap_err();
+            assert!(err.0.contains("expected a count ≥ 1"), "{cmd}: {}", err.0);
         }
     }
 

@@ -30,7 +30,7 @@ pub use interner::{Interner, Symbol};
 pub use ordf64::OrdF64;
 pub use topk::TopK;
 pub use union_find::UnionFind;
-pub use zipf::Zipf;
+pub use zipf::{QueryMix, Zipf};
 
 /// Default worker count for the thread-parallel passes (CSR builds,
 /// sweeps): all available parallelism, 1 when it cannot be queried. The

@@ -83,7 +83,9 @@ pub fn rule_by_name(name: &str) -> Option<&'static RuleInfo> {
 }
 
 /// Hot-path modules: no per-token string allocation (ML001). These are the
-/// flat-pipeline stages PR 5 made string-free plus the sweep kernels.
+/// flat-pipeline stages PR 5 made string-free plus the sweep kernels, and
+/// the per-request paths of the resolution service (a query must not
+/// allocate strings any more than a sweep row may).
 const HOT_PATH_FILES: &[&str] = &[
     "crates/blocking/src/builders.rs",
     "crates/blocking/src/layout.rs",
@@ -93,6 +95,9 @@ const HOT_PATH_FILES: &[&str] = &[
     "crates/metablocking/src/sweep.rs",
     "crates/metablocking/src/streaming.rs",
     "crates/metablocking/src/parallel.rs",
+    "crates/metablocking/src/query.rs",
+    "crates/server/src/service.rs",
+    "crates/server/src/server.rs",
 ];
 
 /// Flat-core modules: hash-map *types* are banned outright (ML002 tier A) —
@@ -124,6 +129,7 @@ const UNWRAP_CRATES: &[&str] = &[
     "common",
     "blocking",
     "metablocking",
+    "server",
     "store",
     "core",
     "eval",

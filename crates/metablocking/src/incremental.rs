@@ -84,6 +84,7 @@ use crate::kernel::{combine_votes, neighbour_weights, normalised, WeightGlobals}
 use crate::parallel::JobReport;
 use crate::probe;
 use crate::prune::{self, PrunedComparisons, WeightedPair};
+use crate::query::{self, CachedRows, Criterion, ResolvedEntity, SweepRows};
 use crate::session::{PruneOutcome, Pruning};
 use crate::streaming;
 use crate::sweep::{default_threads, partition_by_cost, split_by_ends, ScratchPool, SweepState};
@@ -144,6 +145,29 @@ pub struct IncrementalSession<'d> {
     /// between ingests.
     mask: Vec<bool>,
     pool: ScratchPool,
+    /// Monotone corpus version: bumped by every ingest.
+    version: u64,
+    /// Dirty entities of the last ingest (the cache-invalidation set a
+    /// layered [`NeighbourhoodCache`](crate::NeighbourhoodCache) reads).
+    last_dirty: Vec<EntityId>,
+    /// Query-time criterion (and fallback globals), valid for exactly one
+    /// `(version, scheme, pruning)` triple.
+    resolve_cache: Option<ResolveCache>,
+}
+
+/// Query-time state cached per corpus version by
+/// [`IncrementalSession::resolve_entity`]: the pruning criterion and —
+/// for the sweep-fallback combinations — a snapshot of the weight
+/// globals (cloned out so the transient sweep state that computed them
+/// can be dropped).
+struct ResolveCache {
+    version: u64,
+    scheme: WeightingScheme,
+    pruning: Pruning,
+    /// `Some` on the fallback path (per-request sweeps need them);
+    /// `None` when the row cache serves the rows directly.
+    globals: Option<WeightGlobals>,
+    criterion: Criterion,
 }
 
 impl<'d> IncrementalSession<'d> {
@@ -162,6 +186,9 @@ impl<'d> IncrementalSession<'d> {
             rows_valid: true,
             mask: vec![false; n],
             pool: ScratchPool::new(n),
+            version: 0,
+            last_dirty: Vec::new(),
+            resolve_cache: None,
         }
     }
 
@@ -173,6 +200,7 @@ impl<'d> IncrementalSession<'d> {
             // An empty corpus has all-empty rows under every scheme, so
             // only a switch after arrivals dirties the cache.
             self.rows_valid = self.collection.num_arrived() == 0;
+            self.resolve_cache = None;
         }
         self
     }
@@ -180,7 +208,10 @@ impl<'d> IncrementalSession<'d> {
     /// Sets the pruning family (rows are scheme-scoped, so this never
     /// invalidates them).
     pub fn pruning(&mut self, pruning: Pruning) -> &mut Self {
-        self.pruning = pruning;
+        if pruning != self.pruning {
+            self.pruning = pruning;
+            self.resolve_cache = None;
+        }
         self
     }
 
@@ -205,6 +236,23 @@ impl<'d> IncrementalSession<'d> {
     /// Whether entity `e` has been ingested.
     pub fn has_arrived(&self, e: EntityId) -> bool {
         self.collection.has_arrived(e)
+    }
+
+    /// Monotone corpus version: 0 before the first ingest, bumped by
+    /// every [`Self::ingest`]. Resolution servers stamp answers with the
+    /// version they were computed at.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The dirty entities of the last ingest (members of its touched
+    /// blocks) — the invalidation set for a
+    /// [`NeighbourhoodCache`](crate::NeighbourhoodCache) layered over
+    /// this session (sound only when
+    /// [`locally_invalidatable`](crate::locally_invalidatable) holds for
+    /// the configured combination). Empty before the first ingest.
+    pub fn last_dirty(&self) -> &[EntityId] {
+        &self.last_dirty
     }
 
     fn threads(&self) -> usize {
@@ -291,6 +339,9 @@ impl<'d> IncrementalSession<'d> {
             probe::record_full_resweep();
             report.swept_entities = n;
         }
+        self.version += 1;
+        self.last_dirty = delta.dirty;
+        self.resolve_cache = None;
         self.snapshot = Some(delta.snapshot);
         report
     }
@@ -360,6 +411,199 @@ impl<'d> IncrementalSession<'d> {
         PruneOutcome {
             pruned,
             report: JobReport::default(),
+        }
+    }
+
+    /// Resolves one entity against the current merged corpus: the
+    /// comparisons [`Self::outcome`] would keep for it — same pairs,
+    /// same order, same f64 weight bits — without assembling (or
+    /// re-sweeping) the whole outcome.
+    ///
+    /// Delta-supported combinations answer from the patched row cache.
+    /// The fallback combinations (ECBS/EJS, BLAST, supervised) sweep
+    /// the queried neighbourhood on the snapshot. Either way the pruning
+    /// family's *global* inputs (WEP's threshold, CEP's top-k, CNP's
+    /// default `k`, the supervised extractor) are built once per
+    /// ingested version and reused by every resolve against it.
+    ///
+    /// ```
+    /// use minoan_blocking::ErMode;
+    /// use minoan_datagen::{generate, profiles};
+    /// use minoan_metablocking::{IncrementalSession, Pruning, WeightingScheme};
+    /// use minoan_rdf::EntityId;
+    ///
+    /// let g = generate(&profiles::center_dense(60, 3));
+    /// let mut session = IncrementalSession::new(&g.dataset, ErMode::CleanClean);
+    /// session
+    ///     .scheme(WeightingScheme::Js)
+    ///     .pruning(Pruning::Wnp { reciprocal: false });
+    /// let ids: Vec<EntityId> = (0..g.dataset.len() as u32).map(EntityId).collect();
+    /// session.ingest(&ids);
+    ///
+    /// let e = EntityId(7);
+    /// let resolved = session.resolve_entity(e);
+    /// let incident: Vec<_> = session
+    ///     .outcome()
+    ///     .pairs()
+    ///     .iter()
+    ///     .filter(|p| p.a == e || p.b == e)
+    ///     .copied()
+    ///     .collect();
+    /// assert_eq!(resolved.matches, incident);
+    /// ```
+    pub fn resolve_entity(&mut self, entity: EntityId) -> ResolvedEntity {
+        assert!(
+            (entity.0 as usize) < self.rows.len(),
+            "resolve_entity: entity id out of range"
+        );
+        let threads = self.threads();
+        if self.snapshot.is_none() {
+            self.snapshot = Some(self.collection.snapshot(threads));
+        }
+        let current = self.resolve_cache.as_ref().is_some_and(|c| {
+            c.version == self.version && c.scheme == self.scheme && c.pruning == self.pruning
+        });
+        if !current {
+            self.rebuild_resolve_cache(threads);
+        }
+        let cache = self.resolve_cache.as_ref().expect("cache just ensured");
+        let snapshot = self.snapshot.as_ref().expect("snapshot just ensured");
+        let pruning = self.pruning;
+        match (&pruning, &cache.criterion) {
+            (Pruning::Supervised(model), Criterion::Supervised(extractor)) => {
+                let globals = cache.globals.as_ref().expect("fallback stores globals");
+                query::resolve_supervised(snapshot, globals, &self.pool, extractor, model, entity)
+            }
+            _ if self.supports_delta() => {
+                let mut rows = CachedRows::new(&self.rows);
+                query::resolve_rows(&mut rows, entity, pruning, &cache.criterion)
+            }
+            (Pruning::Blast { .. }, _) => {
+                let globals = cache.globals.as_ref().expect("fallback stores globals");
+                let mut rows = SweepRows::chi2(snapshot, globals, &self.pool);
+                query::resolve_rows(&mut rows, entity, pruning, &cache.criterion)
+            }
+            _ => {
+                let globals = cache.globals.as_ref().expect("fallback stores globals");
+                let mut rows = SweepRows::scheme(snapshot, globals, &self.pool, self.scheme);
+                query::resolve_rows(&mut rows, entity, pruning, &cache.criterion)
+            }
+        }
+    }
+
+    /// Rebuilds the per-version query-time state. Delta-supported
+    /// combinations normalise the row cache (re-seeding it first if a
+    /// scheme switch left it cold) and derive the criterion from the
+    /// rows with the exact `assemble` pass-1 bodies; the rest run the
+    /// streaming criterion pass on a transient sweep state over the
+    /// snapshot and keep a clone of its globals for per-request sweeps.
+    fn rebuild_resolve_cache(&mut self, threads: usize) {
+        let snapshot = self.snapshot.as_ref().expect("snapshot ensured by caller");
+        let cache = if self.supports_delta() {
+            if !self.rows_valid {
+                let n = self.rows.len();
+                let all: Vec<EntityId> = (0..n as u32).map(EntityId).collect();
+                resweep_rows(
+                    self.scheme,
+                    &self.pool,
+                    &mut self.rows,
+                    &mut self.sorted_len,
+                    snapshot,
+                    &all,
+                    threads,
+                );
+                self.rows_valid = true;
+                probe::record_full_resweep();
+            }
+            for (row, s) in self.rows.iter_mut().zip(self.sorted_len.iter_mut()) {
+                if (*s as usize) < row.len() {
+                    normalize_row(row, *s as usize);
+                    *s = row.len() as u32;
+                }
+            }
+            ResolveCache {
+                version: self.version,
+                scheme: self.scheme,
+                pruning: self.pruning,
+                globals: None,
+                criterion: self.rows_criterion(snapshot),
+            }
+        } else {
+            let mut st = SweepState::new(snapshot);
+            let criterion = query::build_criterion(&mut st, self.scheme, &self.pruning, threads);
+            ResolveCache {
+                version: self.version,
+                scheme: self.scheme,
+                pruning: self.pruning,
+                globals: Some(st.globals().clone()),
+                criterion,
+            }
+        };
+        self.resolve_cache = Some(cache);
+    }
+
+    /// The query-time criterion of a delta-supported combination, read
+    /// off the normalised row cache with the exact pass-1 bodies of
+    /// [`Self::assemble`] — same iteration order, same accumulation
+    /// shapes, so the thresholds carry the same f64 bits as a full
+    /// outcome's.
+    fn rows_criterion(&self, snapshot: &BlockCollection) -> Criterion {
+        let rows = &self.rows;
+        match self.pruning {
+            Pruning::None | Pruning::Wnp { .. } => Criterion::Local,
+            Pruning::Wep => {
+                let mut sums = vec![0.0f64; rows.len()];
+                let mut positive = 0u64;
+                for (a, row) in rows.iter().enumerate() {
+                    let mut sum = 0.0f64;
+                    for &(y, w) in row {
+                        if y > a as u32 && w > 0.0 {
+                            // lint:allow(float-accumulation): per-entity serial sum over sorted neighbours
+                            sum += w;
+                            positive += 1;
+                        }
+                    }
+                    sums[a] = sum;
+                }
+                Criterion::Wep(prune::wep_threshold_from_sums(&sums, positive))
+            }
+            Pruning::Cep(k) => {
+                let k =
+                    k.unwrap_or_else(|| prune::default_cep_k_from(snapshot.total_assignments()));
+                if k == 0 {
+                    return Criterion::Cep(Vec::new());
+                }
+                let mut top: TopK<(OrdF64, std::cmp::Reverse<(EntityId, EntityId)>)> = TopK::new(k);
+                for (a, row) in rows.iter().enumerate() {
+                    let a = a as u32;
+                    for &(y, w) in row {
+                        if y > a && w > 0.0 {
+                            top.push((OrdF64(w), std::cmp::Reverse((EntityId(a), EntityId(y)))));
+                        }
+                    }
+                }
+                let pairs: Vec<WeightedPair> = top
+                    .into_sorted_vec()
+                    .into_iter()
+                    .map(|(w, r)| WeightedPair {
+                        a: r.0 .0,
+                        b: r.0 .1,
+                        weight: w.0,
+                    })
+                    .collect();
+                // Presentation order: the full outcome runs these pairs
+                // through `from_weighted_pairs`.
+                Criterion::Cep(PrunedComparisons::from_weighted_pairs(pairs, self.scheme, 0).pairs)
+            }
+            Pruning::Cnp { k, .. } => {
+                let active_nodes = rows.iter().filter(|r| !r.is_empty()).count();
+                Criterion::CnpK(k.unwrap_or_else(|| {
+                    prune::default_cnp_k_from(snapshot.total_assignments(), active_nodes)
+                }))
+            }
+            Pruning::Blast { .. } | Pruning::Supervised(_) => {
+                unreachable!("rows criterion is only built for delta-supported families")
+            }
         }
     }
 

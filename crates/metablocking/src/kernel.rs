@@ -88,6 +88,11 @@ pub fn weight_from_stats(
 }
 
 /// Global aggregates a sweep pass may need before weighting.
+///
+/// `Clone` because the incremental resolve path snapshots these alongside
+/// a criterion (the globals are per-corpus-version; a cached copy avoids
+/// holding a borrow of the transient sweep state that computed them).
+#[derive(Clone)]
 pub(crate) struct WeightGlobals {
     /// Per-entity |B_i| (straight from the collection).
     pub(crate) blocks_of: Vec<u32>,

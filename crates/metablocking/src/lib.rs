@@ -114,6 +114,11 @@
 //!   (entity-based and edge-based strategies) on [`minoan_mapreduce`].
 //! * [`supervised`] — perceptron-based supervised meta-blocking
 //!   (training, features, batched extraction).
+//! * [`query`] — query-time resolution: single-entity neighbourhood
+//!   sweeps ([`Session::resolve_entity`],
+//!   [`IncrementalSession::resolve_entity`]) bit-identical to the
+//!   incident slice of a full run, plus the [`NeighbourhoodCache`]
+//!   backing the resolution server.
 //! * [`probe`] — build/allocation counters backing the state-reuse
 //!   assertions.
 //!
@@ -132,6 +137,7 @@ pub mod kernel;
 pub mod parallel;
 pub mod probe;
 pub mod prune;
+pub mod query;
 pub mod session;
 pub mod streaming;
 pub mod supervised;
@@ -145,6 +151,7 @@ pub use graph::{BlockingGraph, Edge};
 pub use incremental::{IncrementalSession, IngestReport};
 pub use parallel::JobReport;
 pub use prune::{PrunedComparisons, WeightedPair};
+pub use query::{locally_invalidatable, NeighbourhoodCache, ResolvedEntity};
 pub use session::{PruneOutcome, Pruning, Session};
 pub use streaming::StreamingOptions;
 #[doc(hidden)]

@@ -22,6 +22,9 @@ static DELTA_SWEEPS: AtomicUsize = AtomicUsize::new(0);
 static FULL_RESWEEPS: AtomicUsize = AtomicUsize::new(0);
 static DELTA_ENTITIES_SWEPT: AtomicUsize = AtomicUsize::new(0);
 static DELTA_BLOCKS_TOUCHED: AtomicUsize = AtomicUsize::new(0);
+static RESOLVE_SWEEPS: AtomicUsize = AtomicUsize::new(0);
+static CACHE_HITS: AtomicUsize = AtomicUsize::new(0);
+static CACHE_MISSES: AtomicUsize = AtomicUsize::new(0);
 
 /// Number of CSR blocking-graph constructions so far in this process.
 pub fn csr_builds() -> usize {
@@ -57,6 +60,25 @@ pub fn delta_blocks_touched() -> usize {
     DELTA_BLOCKS_TOUCHED.load(Ordering::Relaxed)
 }
 
+/// Number of single-entity neighbourhood sweeps run by `resolve_entity`
+/// (each one visits one entity's blocks instead of the whole corpus —
+/// the query-time claim the serve suites assert on).
+pub fn resolve_sweeps() -> usize {
+    RESOLVE_SWEEPS.load(Ordering::Relaxed)
+}
+
+/// Hot-neighbourhood cache hits (a `RESOLVE` answered from a still-valid
+/// cached entry, no sweep run).
+pub fn cache_hits() -> usize {
+    CACHE_HITS.load(Ordering::Relaxed)
+}
+
+/// Hot-neighbourhood cache misses (entry absent, evicted or invalidated
+/// by an ingest's dirty set — a sweep had to run).
+pub fn cache_misses() -> usize {
+    CACHE_MISSES.load(Ordering::Relaxed)
+}
+
 pub(crate) fn record_csr_build() {
     CSR_BUILDS.fetch_add(1, Ordering::Relaxed);
 }
@@ -73,4 +95,16 @@ pub(crate) fn record_delta_sweep(entities_swept: usize, blocks_touched: usize) {
 
 pub(crate) fn record_full_resweep() {
     FULL_RESWEEPS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_resolve_sweep() {
+    RESOLVE_SWEEPS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cache_hit() {
+    CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn record_cache_miss() {
+    CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
 }

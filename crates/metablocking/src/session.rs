@@ -25,6 +25,7 @@ use crate::blast;
 use crate::graph::BlockingGraph;
 use crate::parallel::{self, JobReport};
 use crate::prune::{self, PrunedComparisons, WeightedPair};
+use crate::query::{self, Criterion, ResolvedEntity, SweepRows};
 use crate::streaming;
 use crate::supervised::{self, EdgeFeatures, FeatureExtractor, Perceptron};
 use crate::sweep::{default_threads, SweepState};
@@ -193,6 +194,9 @@ pub struct Session<'c> {
     graph: Option<BlockingGraph>,
     features: Option<(FeatureExtractor, Vec<EdgeFeatures>)>,
     sweep: SweepState<'c>,
+    // Query-time pruning criterion, keyed by the scheme × pruning it was
+    // built for (resolve_entity rebuilds it on a config switch).
+    criterion: Option<((WeightingScheme, Pruning), Criterion)>,
 }
 
 impl<'c> Session<'c> {
@@ -208,6 +212,7 @@ impl<'c> Session<'c> {
             graph: None,
             features: None,
             sweep: SweepState::new(collection),
+            criterion: None,
         }
     }
 
@@ -267,6 +272,86 @@ impl<'c> Session<'c> {
             ExecutionBackend::Materialized => self.run_materialized(),
             ExecutionBackend::Streaming => self.run_streaming(),
             ExecutionBackend::MapReduce => self.run_mapreduce(),
+        }
+    }
+
+    /// Resolves one entity at query time: the comparisons a full
+    /// [`Session::run`] of the current scheme × pruning would keep for
+    /// it — same pairs, same order, same f64 weight bits — from a
+    /// single neighbourhood sweep instead of a corpus pass.
+    ///
+    /// The pruning family's *global* inputs (WEP's mean threshold,
+    /// CEP's top-k, CNP's default `k`, the supervised feature maxima)
+    /// are computed once per scheme × pruning configuration and cached
+    /// on the session, so repeated resolves cost one entity sweep each,
+    /// plus lazy neighbour-row sweeps where the node-centric vote needs
+    /// the other endpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entity` is out of range of the collection.
+    ///
+    /// ```
+    /// use minoan_datagen::{generate, profiles};
+    /// use minoan_blocking::{builders, ErMode};
+    /// use minoan_metablocking::{ExecutionBackend, Pruning, Session, WeightingScheme};
+    /// use minoan_rdf::EntityId;
+    ///
+    /// let g = generate(&profiles::center_dense(80, 3));
+    /// let blocks = builders::token_blocking(&g.dataset, ErMode::CleanClean);
+    /// let mut session = Session::new(&blocks);
+    /// session
+    ///     .scheme(WeightingScheme::Js)
+    ///     .pruning(Pruning::Wnp { reciprocal: false });
+    ///
+    /// // One entity's matches, from a single neighbourhood sweep …
+    /// let e = EntityId(3);
+    /// let resolved = session.resolve_entity(e);
+    ///
+    /// // … are exactly the incident slice of the full-corpus outcome.
+    /// let full = session.backend(ExecutionBackend::Streaming).run();
+    /// let incident: Vec<_> = full
+    ///     .pairs()
+    ///     .iter()
+    ///     .filter(|p| p.a == e || p.b == e)
+    ///     .copied()
+    ///     .collect();
+    /// assert_eq!(resolved.matches, incident);
+    /// ```
+    pub fn resolve_entity(&mut self, entity: EntityId) -> ResolvedEntity {
+        assert!(
+            (entity.0 as usize) < self.collection.num_entities(),
+            "resolve_entity: entity id out of range"
+        );
+        let scheme = self.scheme;
+        let pruning = self.pruning;
+        let threads = self.threads();
+        let cached = matches!(&self.criterion, Some((key, _)) if *key == (scheme, pruning));
+        if !cached {
+            let crit = query::build_criterion(&mut self.sweep, scheme, &pruning, threads);
+            self.criterion = Some(((scheme, pruning), crit));
+        }
+        let (_, criterion) = self.criterion.as_ref().expect("criterion just ensured");
+        let st = &self.sweep;
+        match (&pruning, criterion) {
+            (Pruning::Supervised(model), Criterion::Supervised(extractor)) => {
+                query::resolve_supervised(
+                    st.collection,
+                    st.globals(),
+                    &st.pool,
+                    extractor,
+                    model,
+                    entity,
+                )
+            }
+            (Pruning::Blast { .. }, _) => {
+                let mut rows = SweepRows::chi2(st.collection, st.globals(), &st.pool);
+                query::resolve_rows(&mut rows, entity, pruning, criterion)
+            }
+            _ => {
+                let mut rows = SweepRows::scheme(st.collection, st.globals(), &st.pool, scheme);
+                query::resolve_rows(&mut rows, entity, pruning, criterion)
+            }
         }
     }
 

@@ -166,6 +166,52 @@ pub(crate) fn wep_session(
     threads: usize,
 ) -> PrunedComparisons {
     let threads = threads.max(1);
+    let (threshold, fwd_edges) = wep_criterion(st, scheme, threads);
+    let ranges = st.ranges(threads);
+    let collection = st.collection;
+    let globals = st.globals();
+    let pool = &st.pool;
+
+    // Pass 2 — re-sweep and emit each edge once, at its smaller endpoint.
+    let (kept, _) = per_node_pass(
+        collection,
+        &ranges,
+        pool,
+        move |a, scratch, _weights, out| {
+            for &y in scratch.neighbours() {
+                if y <= a {
+                    continue;
+                }
+                let w = forward_weight(scheme, scratch, a, y, globals);
+                if w >= threshold && w > 0.0 {
+                    out.push(WeightedPair {
+                        a: EntityId(a),
+                        b: EntityId(y),
+                        weight: w,
+                    });
+                }
+            }
+        },
+    );
+    let input_edges = if globals.num_edges > 0 {
+        globals.num_edges
+    } else {
+        fwd_edges as usize
+    };
+    PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges)
+}
+
+/// Pass 1 of streaming WEP, shared with the query-time resolve path:
+/// computes the global threshold (the mean positive forward-edge weight,
+/// reduced through a fixed-shape pairwise sum so it is independent of the
+/// worker partitioning) and the forward-edge count. Runs `st.ensure` for
+/// the scheme, so callers can read `st.globals()` afterwards.
+pub(crate) fn wep_criterion(
+    st: &mut SweepState<'_>,
+    scheme: WeightingScheme,
+    threads: usize,
+) -> (f64, u64) {
+    let threads = threads.max(1);
     st.ensure(scheme, false, threads);
     let ranges = st.ranges(threads);
     let collection = st.collection;
@@ -173,7 +219,7 @@ pub(crate) fn wep_session(
     let pool = &st.pool;
     let n = collection.num_entities();
 
-    // Pass 1 — per-entity partial sums of positive forward-edge weights,
+    // Per-entity partial sums of positive forward-edge weights,
     // accumulated in ascending neighbour order (the slab order the
     // materialised path sums in), plus the positive / forward counts.
     let mut sums = vec![0.0f64; n];
@@ -216,35 +262,10 @@ pub(crate) fn wep_session(
             }
         });
     }
-    let threshold = crate::prune::wep_threshold_from_sums(&sums, positive);
-
-    // Pass 2 — re-sweep and emit each edge once, at its smaller endpoint.
-    let (kept, _) = per_node_pass(
-        collection,
-        &ranges,
-        pool,
-        move |a, scratch, _weights, out| {
-            for &y in scratch.neighbours() {
-                if y <= a {
-                    continue;
-                }
-                let w = forward_weight(scheme, scratch, a, y, globals);
-                if w >= threshold && w > 0.0 {
-                    out.push(WeightedPair {
-                        a: EntityId(a),
-                        b: EntityId(y),
-                        weight: w,
-                    });
-                }
-            }
-        },
-    );
-    let input_edges = if globals.num_edges > 0 {
-        globals.num_edges
-    } else {
-        fwd_edges as usize
-    };
-    PrunedComparisons::from_weighted_pairs(kept, scheme, input_edges)
+    (
+        crate::prune::wep_threshold_from_sums(&sums, positive),
+        fwd_edges,
+    )
 }
 
 /// Key of the CEP selection order: weight descending, ties to the
@@ -675,13 +696,53 @@ pub(crate) fn supervised_session(
     threads: usize,
 ) -> PrunedComparisons {
     let threads = threads.max(1);
-    // Features include the endpoint degrees and the EJS weight, which
-    // need the counted tier (degrees + |V|).
+    let extractor = supervised_extractor(st, threads);
+    let ranges = st.ranges(threads);
+    let (collection, globals, pool) = (st.collection, st.globals(), &st.pool);
+
+    // Pass 2: score and keep positive-margin edges.
+    let extractor_ref = &extractor;
+    let (kept, _) = per_node_pass(
+        collection,
+        &ranges,
+        pool,
+        move |a, scratch, _weights, out| {
+            for &y in scratch.neighbours() {
+                if y <= a {
+                    continue;
+                }
+                let raw = supervised::raw_forward_features(scratch, a, y, globals);
+                let score = model.score(&extractor_ref.normalise(raw));
+                if score > 0.0 {
+                    out.push(WeightedPair {
+                        a: EntityId(a),
+                        b: EntityId(y),
+                        weight: supervised::sigmoid(score),
+                    });
+                }
+            }
+        },
+    );
+    // The supervised pruner reports its sigmoid weights under the CBS
+    // label, matching the materialised implementation.
+    PrunedComparisons::from_weighted_pairs(kept, WeightingScheme::Cbs, globals.num_edges)
+}
+
+/// Pass 1 of streaming supervised pruning, shared with the query-time
+/// resolve path: the global per-feature maxima that become the
+/// extractor's normalisation constants (f64 `max` merges exactly, so the
+/// result is partition-independent). Runs `st.ensure_counted` — the
+/// features include endpoint degrees and the EJS weight — so callers can
+/// read `st.globals()` afterwards.
+pub(crate) fn supervised_extractor(
+    st: &mut SweepState<'_>,
+    threads: usize,
+) -> supervised::FeatureExtractor {
+    let threads = threads.max(1);
     st.ensure_counted(threads);
     let ranges = st.ranges(threads);
     let (collection, globals, pool) = (st.collection, st.globals(), &st.pool);
 
-    // Pass 1: per-feature maxima over all forward edges.
     let mut max = [0.0f64; NUM_FEATURES];
     std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(ranges.len());
@@ -710,34 +771,7 @@ pub(crate) fn supervised_session(
             supervised::merge_feature_max(&mut max, &local);
         }
     });
-    let extractor = supervised::FeatureExtractor::from_max(max);
-
-    // Pass 2: score and keep positive-margin edges.
-    let extractor_ref = &extractor;
-    let (kept, _) = per_node_pass(
-        collection,
-        &ranges,
-        pool,
-        move |a, scratch, _weights, out| {
-            for &y in scratch.neighbours() {
-                if y <= a {
-                    continue;
-                }
-                let raw = supervised::raw_forward_features(scratch, a, y, globals);
-                let score = model.score(&extractor_ref.normalise(raw));
-                if score > 0.0 {
-                    out.push(WeightedPair {
-                        a: EntityId(a),
-                        b: EntityId(y),
-                        weight: supervised::sigmoid(score),
-                    });
-                }
-            }
-        },
-    );
-    // The supervised pruner reports its sigmoid weights under the CBS
-    // label, matching the materialised implementation.
-    PrunedComparisons::from_weighted_pairs(kept, WeightingScheme::Cbs, globals.num_edges)
+    supervised::FeatureExtractor::from_max(max)
 }
 
 #[cfg(test)]

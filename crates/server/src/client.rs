@@ -1,0 +1,81 @@
+//! A small blocking client for the resolution server, used by the CLI
+//! (`minoan query`), the bench harness, and the consistency suites.
+
+use crate::protocol::{self, IngestReply, Request, ResolveReply, Response, StatsReply};
+use std::io::{self, BufReader, BufWriter};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a resolution server. Requests are answered in
+/// order on the same connection; server-side `ERR` replies surface as
+/// [`io::ErrorKind::InvalidInput`] errors carrying the server's
+/// message, and the connection stays usable afterwards.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+fn unexpected() -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        "unexpected response type from server",
+    )
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    fn call(&mut self, request: &Request) -> io::Result<Response> {
+        protocol::write_request(&mut self.writer, request)?;
+        protocol::read_response(&mut self.reader)
+    }
+
+    fn rejected(message: String) -> io::Error {
+        io::Error::new(io::ErrorKind::InvalidInput, message)
+    }
+
+    /// `RESOLVE entity`: the entity's match list at the answer's
+    /// stamped corpus version.
+    pub fn resolve(&mut self, entity: u32) -> io::Result<ResolveReply> {
+        match self.call(&Request::Resolve(entity))? {
+            Response::Resolved(reply) => Ok(reply),
+            Response::Err(message) => Err(Self::rejected(message)),
+            _ => Err(unexpected()),
+        }
+    }
+
+    /// `INGEST ids`: admits a batch of newly-arrived entities.
+    pub fn ingest(&mut self, ids: &[u32]) -> io::Result<IngestReply> {
+        match self.call(&Request::Ingest(ids.to_vec()))? {
+            Response::Ingested(reply) => Ok(reply),
+            Response::Err(message) => Err(Self::rejected(message)),
+            _ => Err(unexpected()),
+        }
+    }
+
+    /// `STATS`: service counters plus corpus state.
+    pub fn stats(&mut self) -> io::Result<StatsReply> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(reply) => Ok(reply),
+            Response::Err(message) => Err(Self::rejected(message)),
+            _ => Err(unexpected()),
+        }
+    }
+
+    /// `SHUTDOWN`: asks the server to stop accepting and drain. Returns
+    /// once the server has acknowledged with `BYE`.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            Response::Err(message) => Err(Self::rejected(message)),
+            _ => Err(unexpected()),
+        }
+    }
+}
